@@ -1,0 +1,75 @@
+//! Ablation of the individual JIT passes (constant folding, weight
+//! pre-transposition, elementwise fusion, DCE): compile time and the
+//! real execution time of the resulting graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use etude_models::{traits, ModelConfig, ModelKind};
+use etude_tensor::JitOptions;
+
+fn pass_variants() -> Vec<(&'static str, JitOptions)> {
+    vec![
+        ("none", JitOptions::none()),
+        (
+            "const_fold",
+            JitOptions {
+                const_fold: true,
+                ..JitOptions::none()
+            },
+        ),
+        (
+            "fuse",
+            JitOptions {
+                fuse: true,
+                ..JitOptions::none()
+            },
+        ),
+        (
+            "pre_transpose",
+            JitOptions {
+                pre_transpose: true,
+                ..JitOptions::none()
+            },
+        ),
+        ("all", JitOptions::default()),
+    ]
+}
+
+fn bench_compile_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jit_compile");
+    group.sample_size(10);
+    let cfg = ModelConfig::new(10_000).with_max_session_len(20).with_seed(1);
+    let model = ModelKind::SasRec.build(&cfg);
+    for (name, options) in pass_variants() {
+        group.bench_function(BenchmarkId::new("sasrec", name), |b| {
+            b.iter(|| {
+                let compiled = traits::compile(model.as_ref(), options).expect("compiles");
+                criterion::black_box(compiled.cost().launches)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_execution_by_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jit_exec_by_pass");
+    group.sample_size(20);
+    let cfg = ModelConfig::new(10_000).with_max_session_len(20).with_seed(1);
+    let session: Vec<u32> = (1..=10).collect();
+    for kind in [ModelKind::SasRec, ModelKind::Stamp] {
+        let model = kind.build(&cfg);
+        for (name, options) in pass_variants() {
+            let compiled = traits::compile(model.as_ref(), options).expect("compiles");
+            group.bench_function(BenchmarkId::new(kind.name(), name), |b| {
+                b.iter(|| {
+                    let rec = traits::recommend_compiled(model.as_ref(), &compiled, &session)
+                        .expect("forward");
+                    criterion::black_box(rec.items[0])
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile_time, bench_execution_by_pass);
+criterion_main!(benches);

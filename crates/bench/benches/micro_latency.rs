@@ -1,0 +1,62 @@
+//! Real (wall-clock) model-inference latency on this machine's CPU.
+//!
+//! Complements `fig3_micro` (which uses the calibrated device models):
+//! these numbers are genuine end-to-end Rust execution of the model
+//! forward passes at small catalog sizes, both eager and JIT-compiled.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use etude_models::{traits, ModelConfig, ModelKind};
+use etude_tensor::Device;
+
+fn bench_eager(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eager_forward");
+    group.sample_size(20);
+    for kind in [
+        ModelKind::Core,
+        ModelKind::Gru4Rec,
+        ModelKind::Narm,
+        ModelKind::SasRec,
+        ModelKind::Stamp,
+    ] {
+        for &catalog in &[1_000usize, 10_000] {
+            let cfg = ModelConfig::new(catalog).with_max_session_len(20).with_seed(1);
+            let model = kind.build(&cfg);
+            let session: Vec<u32> = (1..=8).collect();
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), catalog),
+                &model,
+                |b, model| {
+                    b.iter(|| {
+                        let rec =
+                            traits::recommend_eager(model.as_ref(), &Device::cpu(), &session)
+                                .expect("forward");
+                        criterion::black_box(rec.items[0])
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_compiled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jit_forward");
+    group.sample_size(20);
+    for kind in [ModelKind::Core, ModelKind::SasRec, ModelKind::Stamp] {
+        let cfg = ModelConfig::new(10_000).with_max_session_len(20).with_seed(1);
+        let model = kind.build(&cfg);
+        let compiled = traits::compile(model.as_ref(), Default::default()).expect("jit");
+        let session: Vec<u32> = (1..=8).collect();
+        group.bench_function(BenchmarkId::new(kind.name(), 10_000), |b| {
+            b.iter(|| {
+                let rec = traits::recommend_compiled(model.as_ref(), &compiled, &session)
+                    .expect("forward");
+                criterion::black_box(rec.items[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eager, bench_compiled);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for Algorithm 1's throughput claim: "our
+//! implementation is able to generate over one million clicks per second
+//! on a single core for a catalog size C of ten million items."
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use etude_workload::{SyntheticWorkload, WorkloadConfig};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    for &catalog in &[10_000usize, 1_000_000, 10_000_000] {
+        let workload = SyntheticWorkload::new(WorkloadConfig::bolcom_like(catalog));
+        let clicks_per_iter = 100_000u64;
+        group.throughput(Throughput::Elements(clicks_per_iter));
+        group.bench_with_input(
+            BenchmarkId::new("clicks", catalog),
+            &workload,
+            |b, workload| {
+                b.iter(|| {
+                    // The streaming generator is what the load generator
+                    // consumes online; count items to defeat dead-code
+                    // elimination.
+                    let total: u64 = workload
+                        .clicks(7)
+                        .take(clicks_per_iter as usize)
+                        .map(|c| c.item as u64)
+                        .sum();
+                    criterion::black_box(total)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cdf_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_setup");
+    group.sample_size(10);
+    group.bench_function("build_cdf_10M_items", |b| {
+        b.iter(|| {
+            let w = SyntheticWorkload::new(WorkloadConfig::bolcom_like(10_000_000));
+            criterion::black_box(w.item_cdf().len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_cdf_build);
+criterion_main!(benches);

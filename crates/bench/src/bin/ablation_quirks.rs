@@ -1,0 +1,125 @@
+//! **Section III-C (bug reports)** — RecBole implementation-quirk
+//! ablation.
+//!
+//! The paper root-causes severe performance problems in four RecBole
+//! model implementations: RepeatNet (dense ops on sparse structures),
+//! SR-GNN and GC-SAN (NumPy in the inference path forcing host/device
+//! round-trips) and LightSANs (dynamic code paths defeating JIT). This
+//! ablation runs each model with the quirk emulated (what the paper
+//! measured) and repaired (what the filed bug reports would achieve),
+//! reporting serial latency and sustainable capacity.
+
+use etude_bench::HarnessOptions;
+use etude_cluster::InstanceType;
+use etude_core::analysis::estimate_capacity;
+use etude_core::{run_serial_microbenchmark, ExperimentSpec};
+use etude_metrics::report::{fmt_duration, Table};
+use etude_models::ModelKind;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    println!("== Ablation: RecBole implementation quirks (quirky vs repaired) ==\n");
+
+    let catalog = 1_000_000;
+    let mut table = Table::new([
+        "model",
+        "instance",
+        "quirky_p90",
+        "fixed_p90",
+        "quirky_cap_rps",
+        "fixed_cap_rps",
+    ]);
+    let mut improvements = Vec::new();
+
+    for model in ModelKind::WITH_IMPLEMENTATION_ERRORS {
+        for instance in [InstanceType::CpuE2, InstanceType::GpuT4] {
+            let quirky_spec =
+                ExperimentSpec::new(model, catalog, instance).with_quirks(true);
+            let fixed_spec = ExperimentSpec::new(model, catalog, instance).with_quirks(false);
+            let quirky = run_serial_microbenchmark(&quirky_spec, 100);
+            let fixed = run_serial_microbenchmark(&fixed_spec, 100);
+            let quirky_cap = estimate_capacity(
+                &etude_core::runner::service_profile(&quirky_spec),
+                instance,
+                1,
+            );
+            let fixed_cap = estimate_capacity(
+                &etude_core::runner::service_profile(&fixed_spec),
+                instance,
+                1,
+            );
+            improvements.push((model, instance, quirky.p90, fixed.p90, quirky_cap, fixed_cap));
+            table.row([
+                model.name().to_string(),
+                instance.name().to_string(),
+                fmt_duration(quirky.p90),
+                fmt_duration(fixed.p90),
+                format!("{quirky_cap:.0}"),
+                format!("{fixed_cap:.0}"),
+            ]);
+        }
+    }
+    opts.emit("ablation_quirks", &table);
+
+    println!("paper shape checks:");
+    let check = |name: &str, ok: bool| println!("  [{}] {name}", if ok { "ok" } else { "!!" });
+
+    // RepeatNet: dense-sparse decoding slows every device down; the
+    // penalty is brutal on CPUs (the dense [l, C] product is pure memory
+    // traffic) and still clearly visible on the bandwidth-rich GPU.
+    let repeatnet_penalty = improvements
+        .iter()
+        .filter(|(m, ..)| *m == ModelKind::RepeatNet)
+        .all(|(_, i, q, f, ..)| {
+            let factor = if *i == InstanceType::CpuE2 { 2.0 } else { 1.2 };
+            q.as_secs_f64() > factor * f.as_secs_f64()
+        });
+    check(
+        "RepeatNet's dense-sparse decode costs >2x (CPU) / >1.2x (GPU) serial latency",
+        repeatnet_penalty,
+    );
+
+    // SR-GNN/GC-SAN: host ops penalise GPU capacity, not CPU.
+    let gnn_gpu_penalty = improvements
+        .iter()
+        .filter(|(m, i, ..)| {
+            matches!(m, ModelKind::SrGnn | ModelKind::GcSan) && *i == InstanceType::GpuT4
+        })
+        .all(|(.., qc, fc)| *fc > 1.2 * *qc);
+    check(
+        "fixing SR-GNN/GC-SAN host ops raises GPU capacity by >20%",
+        gnn_gpu_penalty,
+    );
+    let gnn_cpu_unaffected = improvements
+        .iter()
+        .filter(|(m, i, ..)| {
+            matches!(m, ModelKind::SrGnn | ModelKind::GcSan) && *i == InstanceType::CpuE2
+        })
+        .all(|(_, _, q, f, ..)| {
+            (q.as_secs_f64() - f.as_secs_f64()).abs() < 0.05 * q.as_secs_f64()
+        });
+    check(
+        "the same fix is a no-op on CPUs (data already lives on the host)",
+        gnn_cpu_unaffected,
+    );
+
+    // LightSANs: the quirk is about JIT, visible as eager-vs-jit gap.
+    let ls_quirky = ExperimentSpec::new(ModelKind::LightSans, catalog, InstanceType::CpuE2)
+        .with_quirks(true);
+    let ls_fixed = ExperimentSpec::new(ModelKind::LightSans, catalog, InstanceType::CpuE2)
+        .with_quirks(false);
+    let quirky_jitable = etude_models::traits::compile(
+        ModelKind::LightSans.build(&ls_quirky.model_config()).as_ref(),
+        Default::default(),
+    )
+    .is_ok();
+    let fixed_jitable = etude_models::traits::compile(
+        ModelKind::LightSans.build(&ls_fixed.model_config()).as_ref(),
+        Default::default(),
+    )
+    .is_ok();
+    check(
+        "LightSANs refuses JIT compilation until its dynamic paths are fixed",
+        !quirky_jitable && fixed_jitable,
+    );
+}

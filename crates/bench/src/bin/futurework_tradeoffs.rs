@@ -1,0 +1,112 @@
+//! **Section IV (future work)** — quality/latency trade-offs via model
+//! quantisation and approximate nearest-neighbor search.
+//!
+//! The paper closes by proposing "techniques to trade-off prediction
+//! quality with inference latency, such as model quantisation [36] or
+//! approximate nearest neighbor search [37]". This binary implements the
+//! study: the decode stage (the dominant cost) is swapped between the
+//! exhaustive f32 scan, an int8-quantised scan, and an IVF ANN index at
+//! several probe depths; recall@21 against the exact ranking is measured
+//! on a *real* embedding table alongside real wall-clock search time,
+//! and the calibrated device models price each variant at cloud scale.
+
+use etude_bench::HarnessOptions;
+use etude_metrics::report::{fmt_duration, Table};
+use etude_models::retrieval::{ExactIndex, IvfIndex, MipsIndex, QuantizedIndex};
+use etude_tensor::rng::Initializer;
+use etude_tensor::Device;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    println!("== Future work: decode quality/latency trade-offs (quantisation, ANN) ==\n");
+
+    // A real table: 200k items at the heuristic dimension.
+    let c = 200_000usize;
+    let d = 22usize;
+    let mut init = Initializer::new(11);
+    let table = init.embedding(c, d).into_vec().expect("dense");
+    let queries: Vec<Vec<f32>> = {
+        let mut rng = SmallRng::seed_from_u64(3);
+        (0..50)
+            .map(|_| (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect()
+    };
+
+    let exact = ExactIndex::new(table.clone(), c, d);
+    let quant = QuantizedIndex::from_f32(&table, c, d);
+    let ivf_fast = IvfIndex::build(table.clone(), c, d, 512, 8);
+    let ivf_balanced = IvfIndex::build(table.clone(), c, d, 512, 32);
+    let ivf_accurate = IvfIndex::build(table.clone(), c, d, 512, 96);
+
+    let ground_truth: Vec<Vec<u32>> = queries.iter().map(|q| exact.search(q, 21).0).collect();
+
+    let mut table_out = Table::new([
+        "index",
+        "recall@21",
+        "real_latency",
+        "memory",
+        "modelled_cpu",
+        "modelled_t4",
+    ]);
+    let cpu = Device::cpu();
+    let t4 = Device::t4();
+
+    let mut rows: Vec<(String, f64, Duration)> = Vec::new();
+    let mut measure = |index: &dyn MipsIndex, label: String| {
+        let start = Instant::now();
+        let mut recall_total = 0.0;
+        for (q, truth) in queries.iter().zip(&ground_truth) {
+            let (ids, _) = index.search(q, 21);
+            recall_total += etude_models::retrieval::recall_at_k(truth, &ids);
+        }
+        let elapsed = start.elapsed() / queries.len() as u32;
+        let recall = recall_total / queries.len() as f64;
+        let spec = index.cost_spec();
+        table_out.row([
+            label.clone(),
+            format!("{recall:.3}"),
+            fmt_duration(elapsed),
+            format!("{:.1}MB", index.memory_bytes() as f64 / 1e6),
+            fmt_duration(cpu.profile().latency(&spec.at_batch(1))),
+            fmt_duration(t4.profile().latency(&spec.at_batch(1))),
+        ]);
+        rows.push((label, recall, elapsed));
+    };
+
+    measure(&exact, "exact-f32".into());
+    measure(&quant, "int8".into());
+    measure(&ivf_fast, format!("ivf nprobe=8 ({:.0}% scanned)", 100.0 * ivf_fast.scan_fraction()));
+    measure(
+        &ivf_balanced,
+        format!("ivf nprobe=32 ({:.0}% scanned)", 100.0 * ivf_balanced.scan_fraction()),
+    );
+    measure(
+        &ivf_accurate,
+        format!("ivf nprobe=96 ({:.0}% scanned)", 100.0 * ivf_accurate.scan_fraction()),
+    );
+    opts.emit("futurework_tradeoffs", &table_out);
+
+    println!("shape checks:");
+    let check = |name: &str, ok: bool| println!("  [{}] {name}", if ok { "ok" } else { "!!" });
+    let exact_row = &rows[0];
+    let quant_row = &rows[1];
+    let ivf8 = &rows[2];
+    let ivf96 = &rows[4];
+    check("exact search has recall 1.0", (exact_row.1 - 1.0).abs() < 1e-9);
+    check(
+        "int8 quantisation keeps recall above 0.85",
+        quant_row.1 > 0.85,
+    );
+    check(
+        "IVF trades recall for speed monotonically in nprobe",
+        rows[2].1 <= rows[3].1 && rows[3].1 <= rows[4].1,
+    );
+    check(
+        "aggressive IVF is much faster than the exact scan",
+        ivf8.2.as_secs_f64() < 0.5 * exact_row.2.as_secs_f64(),
+    );
+    check("accurate IVF approaches exact recall (>0.95)", ivf96.1 > 0.95);
+}

@@ -1,0 +1,143 @@
+//! # etude-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! ETUDE paper's evaluation (Section III). Each artifact has a dedicated
+//! binary:
+//!
+//! | Paper artifact | Binary | What it reproduces |
+//! |---|---|---|
+//! | Figure 2 | `fig2_infra` | TorchServe vs the Rust server on empty responses at a 0→1,000 req/s ramp |
+//! | Figure 3 | `fig3_micro` | Serial p90 prediction latency vs catalog size × device × eager/JIT |
+//! | Figure 4 | `fig4_e2e`  | End-to-end latency/throughput per scenario × instance × model |
+//! | Table I  | `table1_cost` | Cost-efficient deployment options per scenario |
+//! | §III-A (validation) | `validation_synthetic` | Real-log replay vs fitted synthetic workload |
+//! | §III-C (bug reports) | `ablation_quirks` | RecBole quirk on/off cost ablation |
+//! | design ablation | `ablation_batching` | GPU request batching on/off |
+//! | design ablation | `ablation_backpressure` | Backpressure-aware vs open-loop load generation |
+//!
+//! Criterion benches (`cargo bench -p etude-bench`) cover the >1M
+//! clicks/second workload-generation claim, real kernel/model execution
+//! and the JIT pass pipeline.
+//!
+//! Every binary accepts `--quick` (scaled-down ramps, fewer cells) and
+//! `--full` (the paper's original 600-second ramps). Results print as
+//! aligned tables and are also written as CSV under `results/`.
+
+use etude_metrics::report::Table;
+use std::path::PathBuf;
+
+/// Harness-wide execution options parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct HarnessOptions {
+    /// Ramp duration in seconds for end-to-end runs.
+    pub ramp_secs: u64,
+    /// Directory CSV artifacts are written to.
+    pub results_dir: PathBuf,
+    /// Repetitions per configuration (paper: 3, keeping the median).
+    pub repetitions: usize,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        HarnessOptions {
+            ramp_secs: 60,
+            results_dir: PathBuf::from("results"),
+            repetitions: 3,
+        }
+    }
+}
+
+impl HarnessOptions {
+    /// Parses `--quick` / `--full` / `--ramp <secs>` / `--out <dir>` from
+    /// the process arguments.
+    pub fn from_args() -> HarnessOptions {
+        let mut opts = HarnessOptions::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => {
+                    opts.ramp_secs = 20;
+                    opts.repetitions = 1;
+                }
+                "--full" => {
+                    opts.ramp_secs = 600;
+                    opts.repetitions = 3;
+                }
+                "--ramp" => {
+                    i += 1;
+                    opts.ramp_secs = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(opts.ramp_secs);
+                }
+                "--out" => {
+                    i += 1;
+                    if let Some(dir) = args.get(i) {
+                        opts.results_dir = PathBuf::from(dir);
+                    }
+                }
+                other => {
+                    eprintln!("ignoring unknown argument: {other}");
+                }
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// The ramp duration as a [`std::time::Duration`].
+    pub fn ramp(&self) -> std::time::Duration {
+        std::time::Duration::from_secs(self.ramp_secs)
+    }
+
+    /// Prints a table and writes its CSV artifact.
+    pub fn emit(&self, name: &str, table: &Table) {
+        println!("{}", table.render());
+        let path = self.results_dir.join(format!("{name}.csv"));
+        match table.write_csv(&path) {
+            Ok(()) => println!("wrote {}\n", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}\n", path.display()),
+        }
+    }
+}
+
+/// Runs `f` `repetitions` times and returns the median result by `key`.
+///
+/// The paper executes "each configuration three times and ignore[s] the
+/// runs with the lowest and highest latencies" — i.e. keeps the median.
+pub fn median_of<T, F, K>(repetitions: usize, mut f: F, key: K) -> T
+where
+    F: FnMut(usize) -> T,
+    K: Fn(&T) -> f64,
+{
+    let mut runs: Vec<T> = (0..repetitions.max(1)).map(&mut f).collect();
+    runs.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = runs.len() / 2;
+    runs.swap_remove(mid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_three_keeps_the_middle_run() {
+        let values = [30.0, 10.0, 20.0];
+        let m = median_of(3, |i| values[i], |v| *v);
+        assert_eq!(m, 20.0);
+    }
+
+    #[test]
+    fn median_of_one_is_identity() {
+        let m = median_of(1, |_| 7.0, |v| *v);
+        assert_eq!(m, 7.0);
+    }
+
+    #[test]
+    fn default_options_are_scaled_down() {
+        let opts = HarnessOptions::default();
+        assert_eq!(opts.ramp_secs, 60);
+        assert_eq!(opts.repetitions, 3);
+    }
+}

@@ -1,0 +1,188 @@
+//! Deployments: model + instance type + replicas → a routable service.
+//!
+//! A [`Deployment`] assembles what the paper's `make run_deployed_benchmark`
+//! sets up: one inference-server pod per instance, a ClusterIP service in
+//! front, readiness gating, and the monthly cost of the whole setup.
+
+use crate::instances::InstanceType;
+use crate::pod::Pod;
+use crate::service::ClusterIpService;
+use etude_serve::simserver::{RustServerConfig, SimRustServer};
+use etude_serve::ServiceProfile;
+use etude_simnet::{Sim, SimTime};
+use std::rc::Rc;
+
+/// What to deploy.
+#[derive(Debug, Clone)]
+pub struct DeploymentSpec {
+    /// Machine type for every replica.
+    pub instance: InstanceType,
+    /// Number of replicas behind the service.
+    pub replicas: usize,
+    /// Bytes of the serialised model (drives pod startup time and device
+    /// memory feasibility).
+    pub model_bytes: u64,
+}
+
+impl DeploymentSpec {
+    /// A single-replica deployment.
+    pub fn single(instance: InstanceType, model_bytes: u64) -> DeploymentSpec {
+        DeploymentSpec {
+            instance,
+            replicas: 1,
+            model_bytes,
+        }
+    }
+
+    /// Monthly cost of the deployment.
+    pub fn monthly_cost(&self) -> f64 {
+        self.instance.monthly_cost() * self.replicas as f64
+    }
+
+    /// Whether the model fits the instance's inference device at all.
+    pub fn feasible(&self) -> bool {
+        self.replicas > 0 && self.instance.fits_model(self.model_bytes)
+    }
+}
+
+/// A deployed, routable model service.
+pub struct Deployment {
+    spec: DeploymentSpec,
+    service: Rc<ClusterIpService>,
+    pods: Vec<Rc<Pod>>,
+    ready_at: SimTime,
+}
+
+impl Deployment {
+    /// Deploys `replicas` pods, each running the inference server
+    /// configured for the instance class (worker pool on CPU, batcher on
+    /// GPU), and schedules their startup.
+    pub fn create(sim: &mut Sim, spec: DeploymentSpec, profile: &ServiceProfile) -> Deployment {
+        let mut pods = Vec::with_capacity(spec.replicas);
+        let mut ready_at = sim.now();
+        for _ in 0..spec.replicas {
+            let server_config = if spec.instance.has_gpu() {
+                RustServerConfig::gpu()
+            } else {
+                RustServerConfig::cpu(spec.instance.vcpus())
+            };
+            let server = SimRustServer::new(profile.clone(), server_config);
+            let pod = Pod::new(server, spec.model_bytes);
+            ready_at = ready_at.max(pod.start(sim));
+            pods.push(pod);
+        }
+        let service = ClusterIpService::new(pods.clone());
+        Deployment {
+            spec,
+            service,
+            pods,
+            ready_at,
+        }
+    }
+
+    /// The deployment's spec.
+    pub fn spec(&self) -> &DeploymentSpec {
+        &self.spec
+    }
+
+    /// The ClusterIP service routing to the replicas.
+    pub fn service(&self) -> Rc<ClusterIpService> {
+        Rc::clone(&self.service)
+    }
+
+    /// Virtual time at which every readiness probe passes; the runner
+    /// starts the load generator no earlier than this.
+    pub fn ready_at(&self) -> SimTime {
+        self.ready_at
+    }
+
+    /// The deployment's pods.
+    pub fn pods(&self) -> &[Rc<Pod>] {
+        &self.pods
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etude_serve::simserver::SimService;
+    use etude_tensor::Device;
+    use std::time::Duration;
+
+    #[test]
+    fn deployment_cost_scales_with_replicas() {
+        let spec = DeploymentSpec {
+            instance: InstanceType::GpuT4,
+            replicas: 5,
+            model_bytes: 0,
+        };
+        assert!((spec.monthly_cost() - 1_340.45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deployment_becomes_ready_and_serves() {
+        let mut sim = Sim::new();
+        let profile = ServiceProfile::static_response(&Device::cpu());
+        let spec = DeploymentSpec {
+            instance: InstanceType::CpuE2,
+            replicas: 3,
+            model_bytes: 100_000_000,
+        };
+        let deployment = Deployment::create(&mut sim, spec, &profile);
+        assert!(!deployment.service().all_ready());
+        sim.run_until(deployment.ready_at());
+        assert!(deployment.service().all_ready());
+        // And traffic flows.
+        let ok = etude_simnet::shared(false);
+        let o = Rc::clone(&ok);
+        deployment.service().submit(
+            &mut sim,
+            Box::new(move |_, result| {
+                *o.borrow_mut() = result.is_ok();
+            }),
+        );
+        sim.run_to_completion();
+        assert!(*ok.borrow());
+    }
+
+    #[test]
+    fn infeasible_models_are_flagged() {
+        // A 20 GB table cannot be served from a T4.
+        let spec = DeploymentSpec::single(InstanceType::GpuT4, 20 * (1 << 30));
+        assert!(!spec.feasible());
+        let spec = DeploymentSpec::single(InstanceType::GpuA100, 20 * (1 << 30));
+        assert!(spec.feasible());
+    }
+
+    #[test]
+    fn startup_time_grows_with_model_size() {
+        let mut sim = Sim::new();
+        let profile = ServiceProfile::static_response(&Device::cpu());
+        let small = Deployment::create(
+            &mut sim,
+            DeploymentSpec::single(InstanceType::CpuE2, 0),
+            &profile,
+        );
+        let large = Deployment::create(
+            &mut sim,
+            DeploymentSpec::single(InstanceType::CpuE2, 5_000_000_000),
+            &profile,
+        );
+        assert!(
+            large.ready_at().since(small.ready_at()) > Duration::from_secs(10),
+            "5 GB of model weights should add noticeable startup time"
+        );
+    }
+
+    #[test]
+    fn gpu_deployments_enable_batching() {
+        let mut sim = Sim::new();
+        let profile = ServiceProfile::static_response(&Device::t4());
+        let d = Deployment::create(
+            &mut sim,
+            DeploymentSpec::single(InstanceType::GpuT4, 0),
+            &profile,
+        );
+        assert_eq!(d.pods().len(), 1);
+    }
+}

@@ -1,0 +1,23 @@
+//! # etude-cluster
+//!
+//! The cloud/Kubernetes environment of the ETUDE paper, as a simulation:
+//!
+//! * [`instances`] — the GCP instance catalog the paper deploys on
+//!   (`e2` CPU, `e2` + Tesla T4, A100) with their monthly prices,
+//! * [`pod`] — pod lifecycle with model-download/load time and
+//!   Kubernetes-style readiness probes ("Once the model deployment is
+//!   finished (determined via Kubernetes's readiness probes) ..."),
+//! * [`service`] — a ClusterIP service: round-robin routing over ready
+//!   replicas,
+//! * [`deployment`] — ties a model + instance type + replica count into a
+//!   deployable, routable unit with a monthly cost.
+
+pub mod deployment;
+pub mod instances;
+pub mod pod;
+pub mod service;
+
+pub use deployment::{Deployment, DeploymentSpec};
+pub use instances::InstanceType;
+pub use pod::{Pod, PodPhase};
+pub use service::ClusterIpService;

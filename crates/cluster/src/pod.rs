@@ -1,0 +1,179 @@
+//! Pod lifecycle with readiness probes.
+//!
+//! The paper's runner "deploys the model onto a dedicated machine in
+//! Kubernetes. Once the model deployment is finished (determined via
+//! Kubernetes's readiness probes), a ClusterIP service interface is
+//! deployed". A [`Pod`] models that: it spends a startup period
+//! downloading the serialised model from the storage bucket and loading
+//! it onto the device, then flips to `Ready`; its readiness probe
+//! reports the phase, and traffic before readiness is refused.
+
+use etude_serve::simserver::{RespondFn, ServeError, SimService};
+use etude_simnet::{shared, Shared, Sim, SimTime};
+use std::rc::Rc;
+use std::time::Duration;
+
+/// Kubernetes-style pod phases (the subset the runner observes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PodPhase {
+    /// Container starting: model downloading/loading.
+    Starting,
+    /// Readiness probe passing; traffic may be routed here.
+    Ready,
+}
+
+struct PodState {
+    phase: PodPhase,
+    refused: u64,
+}
+
+/// A pod wrapping an inference server with startup/readiness semantics.
+pub struct Pod {
+    state: Shared<PodState>,
+    server: Rc<dyn SimService>,
+    startup: Duration,
+}
+
+/// Bandwidth of pulling a serialised model from the storage bucket
+/// (intra-region GCS-to-GCE, ~250 MB/s sustained).
+const DOWNLOAD_BANDWIDTH: f64 = 2.5e8;
+
+/// Fixed container + runtime initialisation time.
+const BASE_STARTUP: Duration = Duration::from_secs(8);
+
+impl Pod {
+    /// Creates a pod around a server; `model_bytes` drives the
+    /// download/load portion of startup time.
+    pub fn new(server: Rc<dyn SimService>, model_bytes: u64) -> Rc<Pod> {
+        let download = Duration::from_secs_f64(model_bytes as f64 / DOWNLOAD_BANDWIDTH);
+        Rc::new(Pod {
+            state: shared(PodState {
+                phase: PodPhase::Starting,
+                refused: 0,
+            }),
+            server,
+            startup: BASE_STARTUP + download,
+        })
+    }
+
+    /// Schedules the startup sequence; the pod becomes ready after its
+    /// startup time.
+    pub fn start(self: &Rc<Self>, sim: &mut Sim) -> SimTime {
+        let ready_at = sim.now().after(self.startup);
+        let state = Rc::clone(&self.state_rc());
+        sim.schedule_at(ready_at, move |_| {
+            state.borrow_mut().phase = PodPhase::Ready;
+        });
+        ready_at
+    }
+
+    fn state_rc(&self) -> Shared<PodState> {
+        Rc::clone(&self.state)
+    }
+
+    /// The readiness probe.
+    pub fn phase(&self) -> PodPhase {
+        self.state.borrow().phase
+    }
+
+    /// Whether the probe passes.
+    pub fn is_ready(&self) -> bool {
+        self.phase() == PodPhase::Ready
+    }
+
+    /// Total startup duration (base + model download).
+    pub fn startup_duration(&self) -> Duration {
+        self.startup
+    }
+
+    /// Requests refused because the pod was not ready.
+    pub fn refused(&self) -> u64 {
+        self.state.borrow().refused
+    }
+}
+
+impl SimService for Pod {
+    fn submit(self: Rc<Self>, sim: &mut Sim, respond: RespondFn) {
+        if !self.is_ready() {
+            self.state.borrow_mut().refused += 1;
+            respond(sim, Err(ServeError::Overloaded));
+            return;
+        }
+        Rc::clone(&self.server).submit(sim, respond);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etude_serve::simserver::{RustServerConfig, SimRustServer};
+    use etude_serve::ServiceProfile;
+    use etude_tensor::Device;
+
+    fn pod_with_bytes(bytes: u64) -> Rc<Pod> {
+        let server = SimRustServer::new(
+            ServiceProfile::static_response(&Device::cpu()),
+            RustServerConfig::cpu(1),
+        );
+        Pod::new(server, bytes)
+    }
+
+    #[test]
+    fn pod_becomes_ready_after_startup() {
+        let mut sim = Sim::new();
+        let pod = pod_with_bytes(0);
+        pod.start(&mut sim);
+        assert!(!pod.is_ready());
+        sim.run_until(SimTime::ZERO.after(Duration::from_secs(7)));
+        assert!(!pod.is_ready());
+        sim.run_until(SimTime::ZERO.after(Duration::from_secs(9)));
+        assert!(pod.is_ready());
+    }
+
+    #[test]
+    fn larger_models_start_slower() {
+        // 2.28 GB (the 10M-item table) takes ~9 s to pull at 250 MB/s.
+        let small = pod_with_bytes(0);
+        let large = pod_with_bytes(2_280_000_000);
+        assert!(large.startup_duration() > small.startup_duration() + Duration::from_secs(8));
+    }
+
+    #[test]
+    fn traffic_before_readiness_is_refused() {
+        let mut sim = Sim::new();
+        let pod = pod_with_bytes(0);
+        pod.start(&mut sim);
+        let outcome = etude_simnet::shared(None);
+        let o = Rc::clone(&outcome);
+        Rc::clone(&pod).submit(
+            &mut sim,
+            Box::new(move |_, result| {
+                *o.borrow_mut() = Some(result.is_err());
+            }),
+        );
+        sim.run_to_completion();
+        assert_eq!(*outcome.borrow(), Some(true));
+        assert_eq!(pod.refused(), 1);
+    }
+
+    #[test]
+    fn traffic_after_readiness_is_served() {
+        let mut sim = Sim::new();
+        let pod = pod_with_bytes(0);
+        pod.start(&mut sim);
+        let outcome = etude_simnet::shared(None);
+        let o = Rc::clone(&outcome);
+        let pod2 = Rc::clone(&pod);
+        sim.schedule_in(Duration::from_secs(10), move |s| {
+            pod2.submit(
+                s,
+                Box::new(move |_, result| {
+                    *o.borrow_mut() = Some(result.is_ok());
+                }),
+            );
+        });
+        sim.run_to_completion();
+        assert_eq!(*outcome.borrow(), Some(true));
+        assert_eq!(pod.refused(), 0);
+    }
+}

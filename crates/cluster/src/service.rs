@@ -1,0 +1,145 @@
+//! The ClusterIP service: round-robin routing over ready backends.
+//!
+//! Kubernetes's ClusterIP + kube-proxy distributes connections across the
+//! pods backing a service. For the paper's workload (many short requests
+//! from one load generator) round-robin per request is the effective
+//! behaviour, and it is what makes the "scale out with N cheaper
+//! machines" rows of Table I work.
+
+use crate::pod::Pod;
+use etude_serve::simserver::{RespondFn, ServeError, SimService};
+use etude_simnet::{shared, Shared, Sim};
+use std::rc::Rc;
+
+/// A round-robin service over a set of pods.
+pub struct ClusterIpService {
+    pods: Vec<Rc<Pod>>,
+    next: Shared<usize>,
+}
+
+impl ClusterIpService {
+    /// Creates a service over the given backends.
+    pub fn new(pods: Vec<Rc<Pod>>) -> Rc<ClusterIpService> {
+        Rc::new(ClusterIpService {
+            pods,
+            next: shared(0),
+        })
+    }
+
+    /// Number of backends (ready or not).
+    pub fn backends(&self) -> usize {
+        self.pods.len()
+    }
+
+    /// Number of currently ready backends.
+    pub fn ready_backends(&self) -> usize {
+        self.pods.iter().filter(|p| p.is_ready()).count()
+    }
+
+    /// Whether every backend's readiness probe passes — the condition the
+    /// experiment runner waits for before starting the load generator.
+    pub fn all_ready(&self) -> bool {
+        self.pods.iter().all(|p| p.is_ready())
+    }
+
+    /// Picks the next ready backend round-robin.
+    fn pick(&self) -> Option<Rc<Pod>> {
+        if self.pods.is_empty() {
+            return None;
+        }
+        let mut next = self.next.borrow_mut();
+        for _ in 0..self.pods.len() {
+            let idx = *next % self.pods.len();
+            *next = (*next + 1) % self.pods.len();
+            if self.pods[idx].is_ready() {
+                return Some(Rc::clone(&self.pods[idx]));
+            }
+        }
+        None
+    }
+}
+
+impl SimService for ClusterIpService {
+    fn submit(self: Rc<Self>, sim: &mut Sim, respond: RespondFn) {
+        match self.pick() {
+            Some(pod) => pod.submit(sim, respond),
+            None => respond(sim, Err(ServeError::Overloaded)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etude_serve::simserver::{RustServerConfig, SimRustServer};
+    use etude_serve::ServiceProfile;
+    use etude_simnet::SimTime;
+    use etude_tensor::Device;
+    use std::time::Duration;
+
+    fn make_pods(n: usize) -> (Vec<Rc<Pod>>, Vec<Rc<SimRustServer>>) {
+        let mut pods = Vec::new();
+        let mut servers = Vec::new();
+        for _ in 0..n {
+            let server = SimRustServer::new(
+                ServiceProfile::static_response(&Device::cpu()),
+                RustServerConfig::cpu(1),
+            );
+            servers.push(Rc::clone(&server));
+            pods.push(Pod::new(server, 0));
+        }
+        (pods, servers)
+    }
+
+    #[test]
+    fn requests_round_robin_across_ready_pods() {
+        let mut sim = Sim::new();
+        let (pods, servers) = make_pods(3);
+        for p in &pods {
+            p.start(&mut sim);
+        }
+        sim.run_until(SimTime::ZERO.after(Duration::from_secs(10)));
+        let service = ClusterIpService::new(pods);
+        assert!(service.all_ready());
+        for _ in 0..9 {
+            Rc::clone(&service).submit(&mut sim, Box::new(|_, _| {}));
+        }
+        sim.run_to_completion();
+        for s in &servers {
+            assert_eq!(s.served(), 3, "uneven round robin");
+        }
+    }
+
+    #[test]
+    fn not_ready_pods_are_skipped() {
+        let mut sim = Sim::new();
+        let (pods, servers) = make_pods(2);
+        pods[0].start(&mut sim); // pod 1 never started: stays unready
+        sim.run_until(SimTime::ZERO.after(Duration::from_secs(10)));
+        let service = ClusterIpService::new(pods);
+        assert_eq!(service.ready_backends(), 1);
+        assert!(!service.all_ready());
+        for _ in 0..4 {
+            Rc::clone(&service).submit(&mut sim, Box::new(|_, _| {}));
+        }
+        sim.run_to_completion();
+        assert_eq!(servers[0].served(), 4);
+        assert_eq!(servers[1].served(), 0);
+    }
+
+    #[test]
+    fn empty_service_fails_requests() {
+        let mut sim = Sim::new();
+        let service = ClusterIpService::new(vec![]);
+        let failed = etude_simnet::shared(false);
+        let f = Rc::clone(&failed);
+        service.submit(
+            &mut sim,
+            Box::new(move |_, result| {
+                *f.borrow_mut() = result.is_err();
+            }),
+        );
+        sim.run_to_completion();
+        assert!(*failed.borrow());
+    }
+}

@@ -1,0 +1,206 @@
+//! Feasibility and cost-efficiency analysis — how Table I is derived
+//! from ETUDE's measurements.
+
+use crate::results::ExperimentResult;
+use crate::runner::run_experiment;
+use crate::scenario::Scenario;
+use crate::spec::ExperimentSpec;
+use etude_cluster::InstanceType;
+use etude_models::ModelKind;
+use etude_serve::ServiceProfile;
+use std::time::Duration;
+
+/// The verdict for one (instance, replicas) deployment option.
+#[derive(Debug, Clone)]
+pub struct FeasibilityVerdict {
+    /// Instance type evaluated.
+    pub instance: InstanceType,
+    /// Replica count evaluated.
+    pub replicas: usize,
+    /// Monthly cost of the option.
+    pub monthly_cost: f64,
+    /// Whether the option met the SLO at the target throughput.
+    pub feasible: bool,
+    /// Steady-state p90 (zero when the option was skipped analytically).
+    pub p90: Duration,
+    /// Steady-state achieved throughput.
+    pub throughput: f64,
+}
+
+/// Analytic throughput ceiling of a deployment (requests/second), used to
+/// skip hopeless configurations before burning simulation time.
+///
+/// * CPU: a pool of `vcpus` workers, each serving one request per
+///   single-request service time.
+/// * GPU: the batcher keeps the device busy with batches of up to 1,024;
+///   the ceiling is the best batch throughput.
+pub fn estimate_capacity(profile: &ServiceProfile, instance: InstanceType, replicas: usize) -> f64 {
+    let per_replica = if instance.has_gpu() {
+        let batch = 1024usize;
+        let busy = profile.batch_latency(batch) + profile.handler_overhead * batch as u32;
+        batch as f64 / busy.as_secs_f64().max(1e-9)
+    } else {
+        let one = profile.batch_latency(1) + profile.handler_overhead;
+        instance.vcpus() as f64 / one.as_secs_f64().max(1e-9)
+    };
+    per_replica * replicas as f64
+}
+
+/// Evaluates the deployment options of a scenario for one model and
+/// returns the verdicts (ascending replica count per instance; the
+/// search stops at the first feasible count per instance type, as larger
+/// counts are then strictly more expensive).
+pub fn scan_deployments(
+    scenario: &Scenario,
+    model: ModelKind,
+    ramp: Duration,
+    quirks: bool,
+) -> Vec<FeasibilityVerdict> {
+    let mut verdicts = Vec::new();
+    for (instance, replica_options) in scenario.deployment_options() {
+        for replicas in replica_options {
+            let spec = scenario
+                .spec(model, instance)
+                .with_replicas(replicas)
+                .with_ramp(ramp)
+                .with_quirks(quirks);
+            let verdict = evaluate_option(&spec);
+            let feasible = verdict.feasible;
+            verdicts.push(verdict);
+            if feasible {
+                break; // cheaper counts failed; larger ones cost more
+            }
+        }
+    }
+    verdicts
+}
+
+/// Evaluates one concrete deployment option, using the analytic capacity
+/// bound to skip configurations that cannot possibly reach the target.
+pub fn evaluate_option(spec: &ExperimentSpec) -> FeasibilityVerdict {
+    let cost = spec.instance.monthly_cost() * spec.replicas as f64;
+    if !spec.instance.fits_model(spec.model_bytes()) {
+        return FeasibilityVerdict {
+            instance: spec.instance,
+            replicas: spec.replicas,
+            monthly_cost: cost,
+            feasible: false,
+            p90: Duration::ZERO,
+            throughput: 0.0,
+        };
+    }
+    let profile = crate::runner::service_profile(spec);
+    let capacity = estimate_capacity(&profile, spec.instance, spec.replicas);
+    if capacity < 0.8 * spec.target_rps as f64 {
+        return FeasibilityVerdict {
+            instance: spec.instance,
+            replicas: spec.replicas,
+            monthly_cost: cost,
+            feasible: false,
+            p90: Duration::ZERO,
+            throughput: capacity,
+        };
+    }
+    let result: ExperimentResult = run_experiment(spec);
+    FeasibilityVerdict {
+        instance: spec.instance,
+        replicas: spec.replicas,
+        monthly_cost: cost,
+        feasible: result.feasible,
+        p90: result.p90(),
+        throughput: result.throughput(),
+    }
+}
+
+/// The cheapest feasible deployment among verdicts, if any.
+pub fn cheapest_deployment(verdicts: &[FeasibilityVerdict]) -> Option<&FeasibilityVerdict> {
+    verdicts
+        .iter()
+        .filter(|v| v.feasible)
+        .min_by(|a, b| a.monthly_cost.partial_cmp(&b.monthly_cost).unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etude_models::ModelConfig;
+    use etude_serve::service::ExecutionKind;
+    use etude_tensor::Device;
+
+    #[test]
+    fn capacity_estimates_scale_with_replicas() {
+        let profile = ServiceProfile::build(
+            ModelKind::Core,
+            &ModelConfig::new(100_000).without_weights(),
+            &Device::cpu(),
+            ExecutionKind::Jit,
+        )
+        .unwrap();
+        let one = estimate_capacity(&profile, InstanceType::CpuE2, 1);
+        let three = estimate_capacity(&profile, InstanceType::CpuE2, 3);
+        assert!((three / one - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_capacity_exceeds_cpu_at_large_catalogs() {
+        let mk = |device: &Device| {
+            ServiceProfile::build(
+                ModelKind::Core,
+                &ModelConfig::new(10_000_000).without_weights(),
+                device,
+                ExecutionKind::Jit,
+            )
+            .unwrap()
+        };
+        let cpu = estimate_capacity(&mk(&Device::cpu()), InstanceType::CpuE2, 1);
+        let t4 = estimate_capacity(&mk(&Device::t4()), InstanceType::GpuT4, 1);
+        assert!(t4 > 20.0 * cpu, "cpu {cpu:.1} vs t4 {t4:.1}");
+    }
+
+    #[test]
+    fn groceries_small_scan_finds_the_cpu_option() {
+        // Table I row 1: CPU x1 at $108 is the cheapest feasible option.
+        let verdicts = scan_deployments(
+            &Scenario::GROCERIES_SMALL,
+            ModelKind::Core,
+            Duration::from_secs(12),
+            true,
+        );
+        let best = cheapest_deployment(&verdicts).expect("some option works");
+        assert_eq!(best.instance, InstanceType::CpuE2);
+        assert_eq!(best.replicas, 1);
+        assert!((best.monthly_cost - 108.09).abs() < 1e-9);
+    }
+
+    #[test]
+    fn platform_scenario_requires_a100s() {
+        // Table I row 5: only GPU-A100 deployments handle 20M items at
+        // 1,000 req/s; the CPU and T4 options all fail.
+        let verdicts = scan_deployments(
+            &Scenario::PLATFORM,
+            ModelKind::Gru4Rec,
+            Duration::from_secs(12),
+            true,
+        );
+        let best = cheapest_deployment(&verdicts).expect("A100s handle it");
+        assert_eq!(best.instance, InstanceType::GpuA100);
+        for v in &verdicts {
+            if v.instance != InstanceType::GpuA100 {
+                assert!(!v.feasible, "{:?} x{} should fail", v.instance, v.replicas);
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_options_are_cheap_to_evaluate() {
+        // The analytic filter must skip the CPU option for the e-Commerce
+        // scenario without running a simulation (throughput reported as
+        // the capacity bound, p90 zeroed).
+        let spec = Scenario::ECOMMERCE
+            .spec(ModelKind::Core, InstanceType::CpuE2)
+            .with_ramp(Duration::from_secs(12));
+        let v = evaluate_option(&spec);
+        assert!(!v.feasible);
+        assert_eq!(v.p90, Duration::ZERO);
+    }
+}

@@ -1,0 +1,212 @@
+//! Automatic deployment planning — the paper's future-work item "the
+//! automatic choice of appropriate instance types for declaratively
+//! specified workloads" (Section IV).
+//!
+//! Given a workload declaration (model, catalog, target throughput, SLO),
+//! [`plan_deployment`] searches the instance catalog, prunes analytically
+//! (device memory, capacity bounds), verifies the surviving candidates in
+//! the simulated cluster, and returns a ranked plan: the cheapest feasible
+//! deployment first, with the runner-up options and the reasons the
+//! rejected ones failed.
+
+use crate::analysis::{estimate_capacity, evaluate_option};
+use crate::spec::ExperimentSpec;
+use etude_cluster::InstanceType;
+use std::time::Duration;
+
+/// Why a candidate deployment was rejected without simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rejection {
+    /// The model's embedding table does not fit the device memory.
+    ModelDoesNotFit,
+    /// The analytic capacity bound is below the target throughput.
+    InsufficientCapacity {
+        /// Estimated ceiling in requests/second.
+        estimated_rps: f64,
+    },
+    /// The simulated run breached the latency SLO or dropped requests.
+    MissedSlo {
+        /// Measured steady-state p90.
+        p90: Duration,
+    },
+}
+
+/// One evaluated deployment candidate.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Instance type.
+    pub instance: InstanceType,
+    /// Replica count.
+    pub replicas: usize,
+    /// Monthly cost in USD.
+    pub monthly_cost: f64,
+    /// `None` when the candidate is viable; the rejection reason otherwise.
+    pub rejection: Option<Rejection>,
+}
+
+/// A complete deployment plan.
+#[derive(Debug, Clone)]
+pub struct DeploymentPlan {
+    /// Viable candidates, cheapest first.
+    pub viable: Vec<Candidate>,
+    /// Rejected candidates with reasons (for the report).
+    pub rejected: Vec<Candidate>,
+}
+
+impl DeploymentPlan {
+    /// The recommended (cheapest viable) deployment.
+    pub fn recommendation(&self) -> Option<&Candidate> {
+        self.viable.first()
+    }
+}
+
+/// Searches instance types and replica counts (up to `max_replicas`) for
+/// deployments of `spec`'s model/catalog meeting its target and SLO.
+pub fn plan_deployment(spec: &ExperimentSpec, max_replicas: usize) -> DeploymentPlan {
+    let mut viable = Vec::new();
+    let mut rejected = Vec::new();
+    for instance in InstanceType::ALL {
+        for replicas in 1..=max_replicas.max(1) {
+            let candidate_spec = ExperimentSpec {
+                instance,
+                replicas,
+                ..spec.clone()
+            };
+            let cost = instance.monthly_cost() * replicas as f64;
+            // Memory feasibility never improves with replicas.
+            if !instance.fits_model(candidate_spec.model_bytes()) {
+                rejected.push(Candidate {
+                    instance,
+                    replicas,
+                    monthly_cost: cost,
+                    rejection: Some(Rejection::ModelDoesNotFit),
+                });
+                break;
+            }
+            let profile = crate::runner::service_profile(&candidate_spec);
+            let capacity = estimate_capacity(&profile, instance, replicas);
+            if capacity < 0.8 * spec.target_rps as f64 {
+                rejected.push(Candidate {
+                    instance,
+                    replicas,
+                    monthly_cost: cost,
+                    rejection: Some(Rejection::InsufficientCapacity {
+                        estimated_rps: capacity,
+                    }),
+                });
+                continue;
+            }
+            let verdict = evaluate_option(&candidate_spec);
+            if verdict.feasible {
+                viable.push(Candidate {
+                    instance,
+                    replicas,
+                    monthly_cost: cost,
+                    rejection: None,
+                });
+                break; // larger counts on this instance only cost more
+            } else {
+                rejected.push(Candidate {
+                    instance,
+                    replicas,
+                    monthly_cost: cost,
+                    rejection: Some(Rejection::MissedSlo { p90: verdict.p90 }),
+                });
+            }
+        }
+    }
+    viable.sort_by(|a, b| a.monthly_cost.partial_cmp(&b.monthly_cost).unwrap());
+    DeploymentPlan { viable, rejected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etude_models::ModelKind;
+
+    fn spec(catalog: usize, rps: u64) -> ExperimentSpec {
+        ExperimentSpec::new(ModelKind::Core, catalog, InstanceType::CpuE2)
+            .with_target_rps(rps)
+            .with_ramp(Duration::from_secs(12))
+    }
+
+    #[test]
+    fn small_workloads_get_the_cpu_recommendation() {
+        let plan = plan_deployment(&spec(10_000, 100), 4);
+        let rec = plan.recommendation().expect("viable plan");
+        assert_eq!(rec.instance, InstanceType::CpuE2);
+        assert_eq!(rec.replicas, 1);
+        // All three instance classes are viable; CPU wins on cost.
+        assert_eq!(plan.viable.len(), 3);
+        assert!(plan
+            .viable
+            .windows(2)
+            .all(|w| w[0].monthly_cost <= w[1].monthly_cost));
+    }
+
+    #[test]
+    fn large_catalogs_reject_cpus_with_capacity_reasons() {
+        let plan = plan_deployment(&spec(10_000_000, 1_000), 3);
+        let cpu_rejections: Vec<_> = plan
+            .rejected
+            .iter()
+            .filter(|c| c.instance == InstanceType::CpuE2)
+            .collect();
+        assert!(!cpu_rejections.is_empty());
+        assert!(cpu_rejections.iter().all(|c| matches!(
+            c.rejection,
+            Some(Rejection::InsufficientCapacity { .. })
+        )));
+        let rec = plan.recommendation().expect("a GPU plan exists");
+        assert!(rec.instance.has_gpu());
+    }
+
+    #[test]
+    fn oversized_models_are_rejected_for_memory() {
+        // A catalog whose table exceeds the T4's 16 GB.
+        let plan = plan_deployment(&spec(60_000_000, 100), 2);
+        let t4 = plan
+            .rejected
+            .iter()
+            .find(|c| c.instance == InstanceType::GpuT4)
+            .expect("T4 rejected");
+        assert_eq!(t4.rejection, Some(Rejection::ModelDoesNotFit));
+    }
+
+    #[test]
+    fn replica_scaling_unlocks_higher_targets() {
+        // At C = 1e5 a CPU instance sustains ~1,250 req/s, so 500 req/s
+        // needs one replica and 2,500 req/s needs several.
+        let small = plan_deployment(&spec(100_000, 500), 6);
+        let large = plan_deployment(&spec(100_000, 2_500), 6);
+        let cpu_small = small
+            .viable
+            .iter()
+            .find(|c| c.instance == InstanceType::CpuE2)
+            .expect("one CPU handles 500 r/s");
+        assert_eq!(cpu_small.replicas, 1);
+        let cpu_large = large
+            .viable
+            .iter()
+            .find(|c| c.instance == InstanceType::CpuE2)
+            .expect("CPU scale-out handles 2,500 r/s");
+        assert!(cpu_large.replicas > cpu_small.replicas);
+    }
+
+    #[test]
+    fn slo_bound_by_serial_latency_is_detected() {
+        // At C = 1e6 a CPU's *single-request* latency already exceeds the
+        // 50 ms SLO (Figure 3), so no amount of replicas helps; the plan
+        // must reject every CPU option with an SLO (or capacity) reason.
+        let plan = plan_deployment(&spec(1_000_000, 300), 6);
+        assert!(plan
+            .viable
+            .iter()
+            .all(|c| c.instance != InstanceType::CpuE2));
+        assert!(plan
+            .rejected
+            .iter()
+            .filter(|c| c.instance == InstanceType::CpuE2)
+            .any(|c| matches!(c.rejection, Some(Rejection::MissedSlo { .. }))));
+    }
+}

@@ -1,0 +1,228 @@
+//! Experiment execution: deploy → wait for readiness → generate load →
+//! measure (the automated pipeline behind the paper's
+//! `make run_deployed_benchmark`).
+
+use crate::results::ExperimentResult;
+use crate::spec::{ExecutionMode, ExperimentSpec};
+use etude_cluster::{Deployment, DeploymentSpec};
+use etude_loadgen::{LoadConfig, LoadTestResult, SimLoadGen};
+use etude_metrics::percentile::percentile_duration;
+use etude_metrics::TimeSeries;
+use etude_serve::service::ExecutionKind;
+use etude_serve::ServiceProfile;
+use etude_simnet::link::Link;
+use etude_simnet::Sim;
+use etude_tensor::Device;
+use etude_workload::SyntheticWorkload;
+use std::time::Duration;
+
+fn execution_kind(mode: ExecutionMode) -> ExecutionKind {
+    match mode {
+        ExecutionMode::Eager => ExecutionKind::Eager,
+        ExecutionMode::Jit => ExecutionKind::Jit,
+    }
+}
+
+/// Builds the service profile a spec implies.
+pub fn service_profile(spec: &ExperimentSpec) -> ServiceProfile {
+    let cfg = spec.model_config();
+    ServiceProfile::build(
+        spec.model,
+        &cfg,
+        &spec.instance.device(),
+        execution_kind(spec.execution),
+    )
+    .expect("cost probing cannot fail on phantom weights")
+}
+
+/// Runs one deployed benchmark end-to-end in the simulated cluster.
+///
+/// Deployments whose model does not fit the instance's device are
+/// reported infeasible without running (exactly what the empty cells of
+/// Table I mean for the Platform scenario on small devices).
+pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
+    let deployment_spec = DeploymentSpec {
+        instance: spec.instance,
+        replicas: spec.replicas,
+        model_bytes: spec.model_bytes(),
+    };
+    let monthly_cost = deployment_spec.monthly_cost();
+    if !deployment_spec.feasible() {
+        let empty = LoadTestResult {
+            series: TimeSeries::new(),
+            sent: 0,
+            ok: 0,
+            errors: 0,
+            suppressed: 0,
+        };
+        return ExperimentResult::evaluate(spec, monthly_cost, empty, 1);
+    }
+
+    let profile = service_profile(spec);
+    // After the ramp completes, hold the full target rate for a steady
+    // measurement window — feasibility is judged there.
+    let ramp_secs = spec.ramp.as_secs();
+    let hold_secs = (ramp_secs / 5).clamp(5, 60);
+    // Enough whole sessions to cover the ramp (area under the ramp is
+    // roughly target * ramp / 2) plus the hold phase.
+    let expected_requests = spec.target_rps * ramp_secs / 2 + spec.target_rps * (hold_secs + 2);
+    let workload = SyntheticWorkload::new(spec.workload_config());
+    let log = workload.generate(expected_requests + 1_000);
+
+    let mut sim = Sim::new();
+    let deployment = Deployment::create(&mut sim, deployment_spec, &profile);
+    // The runner starts the load generator only once every readiness
+    // probe passes (Section II, "Benchmark execution").
+    sim.run_until(deployment.ready_at());
+    let start = sim.now();
+    let load_config = LoadConfig {
+        target_rps: spec.target_rps,
+        ramp: spec.ramp,
+        duration: spec.ramp + Duration::from_secs(hold_secs),
+        backpressure: true,
+        seed: spec.seed,
+    };
+    let handle = SimLoadGen::schedule(&mut sim, deployment.service(), &log, load_config, start);
+    sim.run_to_completion();
+    let load = handle.collect();
+
+    ExperimentResult::evaluate(spec, monthly_cost, load, hold_secs as usize)
+}
+
+/// Result of the serial micro-benchmark (Figure 3): one request at a
+/// time, no queueing, p90 of the end-to-end prediction latency.
+#[derive(Debug, Clone)]
+pub struct SerialResult {
+    /// Model name.
+    pub model: String,
+    /// Device name.
+    pub device: &'static str,
+    /// Execution mode.
+    pub execution: ExecutionMode,
+    /// p90 prediction latency.
+    pub p90: Duration,
+    /// Mean prediction latency.
+    pub mean: Duration,
+    /// Samples taken.
+    pub samples: usize,
+}
+
+/// Runs the Figure 3 micro-benchmark for one (model, device, execution)
+/// cell: requests are sent "in a serial manner (one request after
+/// another, waiting for model responses)".
+pub fn run_serial_microbenchmark(
+    spec: &ExperimentSpec,
+    requests: usize,
+) -> SerialResult {
+    let profile = service_profile(spec);
+    let device: Device = spec.instance.device();
+    let mut link = Link::cluster(spec.seed);
+    let mut samples = Vec::with_capacity(requests);
+    let per_request = profile.batch_latency(1) + profile.handler_overhead;
+    for _ in 0..requests.max(1) {
+        // Serial requests see the raw service time plus two network hops;
+        // there is no queueing by construction.
+        let rtt = link.sample() + link.sample();
+        samples.push(per_request + rtt);
+    }
+    let p90 = percentile_duration(&samples, 0.9).unwrap_or_default();
+    let mean = samples.iter().sum::<Duration>() / samples.len().max(1) as u32;
+    SerialResult {
+        model: spec.model.name().to_string(),
+        device: device.name(),
+        execution: spec.execution,
+        p90,
+        mean,
+        samples: samples.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etude_cluster::InstanceType;
+    use etude_models::ModelKind;
+
+    fn fast_spec() -> ExperimentSpec {
+        ExperimentSpec::new(ModelKind::Core, 10_000, InstanceType::CpuE2)
+            .with_target_rps(100)
+            .with_ramp(Duration::from_secs(15))
+    }
+
+    #[test]
+    fn groceries_on_cpu_is_feasible() {
+        // Table I row 1: the small groceries scenario runs on one CPU
+        // machine.
+        let result = run_experiment(&fast_spec());
+        assert!(result.feasible, "p90 {:?}, tp {:.1}", result.p90(), result.throughput());
+        assert!((result.monthly_cost - 108.09).abs() < 1e-9);
+    }
+
+    #[test]
+    fn million_catalog_on_cpu_misses_the_slo() {
+        // Section III-C: at one million items CPU latency "drops to
+        // around 200 milliseconds" under load — far over the SLO.
+        let spec = ExperimentSpec::new(ModelKind::Core, 1_000_000, InstanceType::CpuE2)
+            .with_target_rps(500)
+            .with_ramp(Duration::from_secs(15));
+        let result = run_experiment(&spec);
+        assert!(!result.feasible);
+    }
+
+    #[test]
+    fn million_catalog_on_t4_is_feasible() {
+        let spec = ExperimentSpec::new(ModelKind::Core, 1_000_000, InstanceType::GpuT4)
+            .with_target_rps(500)
+            .with_ramp(Duration::from_secs(15));
+        let result = run_experiment(&spec);
+        assert!(result.feasible, "p90 {:?}, tp {:.1}", result.p90(), result.throughput());
+    }
+
+    #[test]
+    fn oversized_models_report_infeasible_without_running() {
+        // A hypothetical catalog needing more memory than a T4 offers.
+        let spec = ExperimentSpec::new(ModelKind::Core, 80_000_000, InstanceType::GpuT4);
+        let result = run_experiment(&spec);
+        assert!(!result.feasible);
+        assert_eq!(result.load.sent, 0);
+    }
+
+    #[test]
+    fn serial_microbenchmark_orders_devices_correctly() {
+        // Figure 3 at C = 1e6: GPU an order of magnitude under CPU.
+        let cpu = run_serial_microbenchmark(
+            &ExperimentSpec::new(ModelKind::Gru4Rec, 1_000_000, InstanceType::CpuE2),
+            50,
+        );
+        let gpu = run_serial_microbenchmark(
+            &ExperimentSpec::new(ModelKind::Gru4Rec, 1_000_000, InstanceType::GpuT4),
+            50,
+        );
+        assert!(cpu.p90 > Duration::from_millis(45), "{:?}", cpu.p90);
+        assert!(
+            cpu.p90.as_secs_f64() > 10.0 * gpu.p90.as_secs_f64(),
+            "cpu {:?} vs gpu {:?}",
+            cpu.p90,
+            gpu.p90
+        );
+    }
+
+    #[test]
+    fn jit_is_never_slower_serially() {
+        for instance in [InstanceType::CpuE2, InstanceType::GpuT4] {
+            let base = ExperimentSpec::new(ModelKind::Narm, 100_000, instance);
+            let eager = run_serial_microbenchmark(
+                &base.clone().with_execution(ExecutionMode::Eager),
+                30,
+            );
+            let jit =
+                run_serial_microbenchmark(&base.with_execution(ExecutionMode::Jit), 30);
+            assert!(
+                jit.p90 <= eager.p90 + Duration::from_micros(50),
+                "{instance:?}: jit {:?} > eager {:?}",
+                jit.p90,
+                eager.p90
+            );
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! The five e-Commerce use-case scenarios of the paper (Table I):
+//! grocery shopping (small and large), fashion, e-Commerce and platform.
+
+use crate::spec::ExperimentSpec;
+use etude_cluster::InstanceType;
+use etude_models::ModelKind;
+
+/// One of the paper's evaluation scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scenario {
+    /// Scenario name as printed in Table I.
+    pub name: &'static str,
+    /// Catalog size `C`.
+    pub catalog_size: usize,
+    /// Target throughput (requests/second).
+    pub target_rps: u64,
+}
+
+impl Scenario {
+    /// Groceries (small): C = 10,000 at 100 req/s.
+    pub const GROCERIES_SMALL: Scenario = Scenario {
+        name: "Groceries (small)",
+        catalog_size: 10_000,
+        target_rps: 100,
+    };
+
+    /// Groceries (large): C = 100,000 at 250 req/s.
+    pub const GROCERIES_LARGE: Scenario = Scenario {
+        name: "Groceries (large)",
+        catalog_size: 100_000,
+        target_rps: 250,
+    };
+
+    /// Fashion: C = 1,000,000 at 500 req/s.
+    pub const FASHION: Scenario = Scenario {
+        name: "Fashion",
+        catalog_size: 1_000_000,
+        target_rps: 500,
+    };
+
+    /// e-Commerce: C = 10,000,000 at 1,000 req/s.
+    pub const ECOMMERCE: Scenario = Scenario {
+        name: "e-Commerce",
+        catalog_size: 10_000_000,
+        target_rps: 1_000,
+    };
+
+    /// Platform: C = 20,000,000 at 1,000 req/s.
+    pub const PLATFORM: Scenario = Scenario {
+        name: "Platform",
+        catalog_size: 20_000_000,
+        target_rps: 1_000,
+    };
+
+    /// All five scenarios in Table I order.
+    pub const ALL: [Scenario; 5] = [
+        Scenario::GROCERIES_SMALL,
+        Scenario::GROCERIES_LARGE,
+        Scenario::FASHION,
+        Scenario::ECOMMERCE,
+        Scenario::PLATFORM,
+    ];
+
+    /// The deployment options Table I evaluates for this scenario
+    /// (`(instance, replica counts considered)`).
+    pub fn deployment_options(&self) -> Vec<(InstanceType, Vec<usize>)> {
+        vec![
+            (InstanceType::CpuE2, vec![1, 2, 3, 4, 5, 6]),
+            (InstanceType::GpuT4, vec![1, 2, 3, 4, 5, 6]),
+            (InstanceType::GpuA100, vec![1, 2, 3, 4]),
+        ]
+    }
+
+    /// A spec for running `model` in this scenario on `instance`.
+    pub fn spec(&self, model: ModelKind, instance: InstanceType) -> ExperimentSpec {
+        ExperimentSpec::new(model, self.catalog_size, instance)
+            .with_target_rps(self.target_rps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_scenario_parameters() {
+        assert_eq!(Scenario::GROCERIES_SMALL.catalog_size, 10_000);
+        assert_eq!(Scenario::GROCERIES_SMALL.target_rps, 100);
+        assert_eq!(Scenario::FASHION.catalog_size, 1_000_000);
+        assert_eq!(Scenario::FASHION.target_rps, 500);
+        assert_eq!(Scenario::PLATFORM.catalog_size, 20_000_000);
+        assert_eq!(Scenario::PLATFORM.target_rps, 1_000);
+        assert_eq!(Scenario::ALL.len(), 5);
+    }
+
+    #[test]
+    fn specs_inherit_scenario_parameters() {
+        let spec = Scenario::ECOMMERCE.spec(ModelKind::Gru4Rec, InstanceType::GpuT4);
+        assert_eq!(spec.catalog_size, 10_000_000);
+        assert_eq!(spec.target_rps, 1_000);
+    }
+}

@@ -1,0 +1,261 @@
+//! Real-time load generation over HTTP.
+//!
+//! The same Algorithm 2 logic as [`crate::simdriver`], but against a live
+//! server over real sockets. Requests are fired asynchronously by handing
+//! them to a pool of sender threads, each owning a keep-alive
+//! [`HttpClient`] connection; the pending counter is a real atomic.
+//! Used by the end-to-end integration tests and the `live_server`
+//! example (the figure pipelines use the virtual-time driver instead).
+
+use crate::rampup::timeprop_rampup;
+use crate::sessions::SessionReplayer;
+use crate::simdriver::{LoadConfig, LoadTestResult};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use etude_metrics::TimeSeries;
+use etude_serve::client::{ClientError, HttpClient};
+use etude_serve::http::{self, Request};
+use parking_lot::Mutex;
+use std::net::SocketAddr;
+
+/// Channel payload: `(session id, session-prefix item ids)`.
+type Job = (u64, Vec<u32>);
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Outcome {
+    session: u64,
+    sent_at: Instant,
+    ok: bool,
+}
+
+struct SharedState {
+    pending: AtomicU64,
+    sent: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    series: Mutex<TimeSeries>,
+    start: Instant,
+}
+
+/// The real-time load generator.
+pub struct RealLoadGen;
+
+impl RealLoadGen {
+    /// Runs Algorithm 2 against a live HTTP server, replaying `log` as
+    /// POST `/predictions` requests. `connections` bounds concurrency.
+    pub fn run(
+        addr: SocketAddr,
+        log: &etude_workload::SessionLog,
+        config: LoadConfig,
+        connections: usize,
+    ) -> std::io::Result<LoadTestResult> {
+        let state = Arc::new(SharedState {
+            pending: AtomicU64::new(0),
+            sent: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            series: Mutex::new(TimeSeries::new()),
+            start: Instant::now(),
+        });
+        let (job_tx, job_rx): (Sender<Job>, Receiver<Job>) = bounded(connections.max(1) * 4);
+        let (done_tx, done_rx): (Sender<Outcome>, Receiver<Outcome>) = bounded(4096);
+
+        // Sender threads: each owns one keep-alive connection.
+        let mut senders = Vec::new();
+        for _ in 0..connections.max(1) {
+            let rx = job_rx.clone();
+            let done = done_tx.clone();
+            let state = Arc::clone(&state);
+            senders.push(std::thread::spawn(move || {
+                let client =
+                    match HttpClient::connect_with_timeout(addr, Duration::from_secs(2)) {
+                        Ok(c) => c,
+                        Err(_) => return,
+                    };
+                let mut client = Some(client);
+                while let Ok((session, items)) = rx.recv() {
+                    let sent_at = Instant::now();
+                    // A timed-out keep-alive connection is desynchronised
+                    // (its late response would answer the wrong request),
+                    // so transport failures drop the connection and the
+                    // next job starts on a fresh one — or fails cleanly
+                    // when the server is unreachable.
+                    if client.is_none() {
+                        client =
+                            HttpClient::connect_with_timeout(addr, Duration::from_secs(2)).ok();
+                    }
+                    let ok = match client.as_mut() {
+                        Some(c) => {
+                            let body = http::encode_session(&items);
+                            let result = c.request(&Request::post("/predictions", body));
+                            let ok = matches!(&result, Ok(resp) if resp.status == 200);
+                            if let Err(ClientError::Timeout | ClientError::Io(_)) = result {
+                                client = None;
+                            }
+                            ok
+                        }
+                        None => false,
+                    };
+                    let _ = done.send(Outcome {
+                        session,
+                        sent_at,
+                        ok,
+                    });
+                    let _ = &state;
+                }
+            }));
+        }
+        drop(done_tx);
+
+        let mut replayer = SessionReplayer::new(log);
+        let mut ready: std::collections::VecDeque<crate::sessions::ReplayRequest> =
+            std::collections::VecDeque::new();
+        let mut suppressed = 0u64;
+        let ticks = config.duration.as_secs();
+        for tick in 0..ticks {
+            let tick_start = state.start + Duration::from_secs(tick);
+            let tick_end = tick_start + Duration::from_secs(1);
+            let rate = timeprop_rampup(config.target_rps, config.ramp, Duration::from_secs(tick));
+            for i in 0..rate {
+                // Backpressure (lines 8-12): wait while p >= r_c.
+                while config.backpressure && state.pending.load(Ordering::Relaxed) >= rate {
+                    drain_outcomes(&done_rx, &state, &mut replayer, &mut ready);
+                    if Instant::now() + Duration::from_millis(1) >= tick_end {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                // Algorithm 2 lines 11-13: when the tick ends (or ends
+                // within the next backpressure wait) while p >= r_c, the
+                // remaining slots are skipped, never burst-sent.
+                if Instant::now() >= tick_end
+                    || (config.backpressure && state.pending.load(Ordering::Relaxed) >= rate)
+                {
+                    suppressed += rate - i;
+                    break;
+                }
+                drain_outcomes(&done_rx, &state, &mut replayer, &mut ready);
+                let next = ready.pop_front().or_else(|| replayer.next_request());
+                if let Some(req) = next {
+                    state.pending.fetch_add(1, Ordering::Relaxed);
+                    state.sent.fetch_add(1, Ordering::Relaxed);
+                    state.series.lock().record_sent(tick);
+                    if job_tx.send((req.session, req.items)).is_err() {
+                        break;
+                    }
+                }
+                // Evenly spread the remaining slots over the tick.
+                let remaining = tick_end.saturating_duration_since(Instant::now());
+                let slots_left = (rate - i).max(1);
+                std::thread::sleep(remaining / slots_left as u32);
+            }
+            // Wait until the next tick boundary.
+            let now = Instant::now();
+            if now < tick_end {
+                std::thread::sleep(tick_end - now);
+            }
+        }
+        drop(job_tx);
+        for t in senders {
+            let _ = t.join();
+        }
+        // Drain remaining outcomes.
+        while let Ok(outcome) = done_rx.recv_timeout(Duration::from_millis(200)) {
+            record_outcome(&state, &outcome, &mut replayer, &mut ready);
+        }
+
+        let state = Arc::try_unwrap(state).unwrap_or_else(|_| panic!("threads joined"));
+        Ok(LoadTestResult {
+            series: state.series.into_inner(),
+            sent: state.sent.load(Ordering::Relaxed),
+            ok: state.ok.load(Ordering::Relaxed),
+            errors: state.errors.load(Ordering::Relaxed),
+            suppressed,
+        })
+    }
+}
+
+fn drain_outcomes(
+    rx: &Receiver<Outcome>,
+    state: &SharedState,
+    replayer: &mut SessionReplayer,
+    ready: &mut std::collections::VecDeque<crate::sessions::ReplayRequest>,
+) {
+    while let Ok(outcome) = rx.try_recv() {
+        record_outcome(state, &outcome, replayer, ready);
+    }
+}
+
+fn record_outcome(
+    state: &SharedState,
+    outcome: &Outcome,
+    replayer: &mut SessionReplayer,
+    ready: &mut std::collections::VecDeque<crate::sessions::ReplayRequest>,
+) {
+    state.pending.fetch_sub(1, Ordering::Relaxed);
+    let latency = outcome.sent_at.elapsed();
+    let tick = state.start.elapsed().as_secs();
+    let mut series = state.series.lock();
+    if outcome.ok {
+        state.ok.fetch_add(1, Ordering::Relaxed);
+        series.record_ok(tick, latency);
+    } else {
+        state.errors.fetch_add(1, Ordering::Relaxed);
+        series.record_error(tick);
+    }
+    drop(series);
+    if let Some(released) = replayer.acknowledge(outcome.session) {
+        ready.push_back(released);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etude_serve::http::{Method, Response};
+    use etude_serve::rustserver::{start, Handler, ServerConfig};
+    use etude_workload::{SyntheticWorkload, WorkloadConfig};
+    use std::sync::Arc as StdArc;
+
+    fn echo_handler() -> Handler {
+        StdArc::new(|req: &http::Request| {
+            if req.method == Method::Post && req.path == "/predictions" {
+                Response::ok("1:0.5")
+            } else {
+                Response::error(404, "nope")
+            }
+        })
+    }
+
+    #[test]
+    fn real_loadgen_drives_a_real_server() {
+        let server = start(ServerConfig { workers: 2 }, echo_handler()).unwrap();
+        let log = SyntheticWorkload::new(WorkloadConfig {
+            catalog_size: 100,
+            alpha_length: 2.0,
+            alpha_clicks: 1.8,
+            max_session_len: 20,
+            seed: 1,
+        })
+        .generate(2_000);
+        let result = RealLoadGen::run(
+            server.addr(),
+            &log,
+            LoadConfig {
+                target_rps: 200,
+                ramp: Duration::from_secs(2),
+                duration: Duration::from_secs(3),
+                backpressure: true,
+                seed: 1,
+            },
+            4,
+        )
+        .unwrap();
+        assert!(result.ok > 100, "ok {}", result.ok);
+        assert_eq!(result.errors, 0);
+        let summary = result.summary();
+        assert!(summary.p90 < Duration::from_millis(100), "{:?}", summary.p90);
+        server.shutdown();
+    }
+}

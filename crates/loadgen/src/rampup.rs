@@ -1,0 +1,58 @@
+//! The `TIMEPROP_RAMPUP` function of Algorithm 2.
+
+use std::time::Duration;
+
+/// Requests/second to attempt during the tick starting at `elapsed`,
+/// ramping linearly so the target rate `r` is reached at `d`.
+///
+/// Always at least 1 (a zero-rate tick would stall the experiment) and
+/// capped at `r` once the ramp completes.
+pub fn timeprop_rampup(target: u64, ramp: Duration, elapsed: Duration) -> u64 {
+    if target == 0 {
+        return 0;
+    }
+    if ramp.is_zero() || elapsed >= ramp {
+        return target;
+    }
+    let fraction = elapsed.as_secs_f64() / ramp.as_secs_f64();
+    ((target as f64 * fraction).ceil() as u64).clamp(1, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramps_linearly_to_target() {
+        let d = Duration::from_secs(600);
+        assert_eq!(timeprop_rampup(1000, d, Duration::ZERO), 1);
+        assert_eq!(timeprop_rampup(1000, d, Duration::from_secs(60)), 100);
+        assert_eq!(timeprop_rampup(1000, d, Duration::from_secs(300)), 500);
+        assert_eq!(timeprop_rampup(1000, d, Duration::from_secs(600)), 1000);
+        assert_eq!(timeprop_rampup(1000, d, Duration::from_secs(900)), 1000);
+    }
+
+    #[test]
+    fn never_exceeds_target() {
+        let d = Duration::from_secs(10);
+        for s in 0..30 {
+            assert!(timeprop_rampup(250, d, Duration::from_secs(s)) <= 250);
+        }
+    }
+
+    #[test]
+    fn at_least_one_request_per_tick() {
+        let d = Duration::from_secs(600);
+        assert_eq!(timeprop_rampup(5, d, Duration::from_millis(1)), 1);
+    }
+
+    #[test]
+    fn zero_ramp_means_instant_target() {
+        assert_eq!(timeprop_rampup(100, Duration::ZERO, Duration::ZERO), 100);
+    }
+
+    #[test]
+    fn zero_target_is_zero() {
+        assert_eq!(timeprop_rampup(0, Duration::from_secs(1), Duration::ZERO), 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Session replay with ordering guarantees.
+//!
+//! "Our implementation additionally ensures that the load generator
+//! respects the order of the sessions, e.g., it will only send the next
+//! interaction for a session if a response for the previous interaction
+//! was received." (Paper, Section II.)
+//!
+//! [`SessionReplayer`] turns a click log into a stream of *requests* —
+//! each request carries the session prefix up to and including the
+//! current click — while blocking a session's next click until its
+//! previous response has been acknowledged.
+
+use etude_workload::{Click, SessionLog};
+use std::collections::{HashMap, VecDeque};
+
+/// One replayable recommendation request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayRequest {
+    /// Session this request belongs to.
+    pub session: u64,
+    /// The session prefix (item ids clicked so far, current click last).
+    pub items: Vec<u32>,
+}
+
+/// A click-log replayer preserving per-session ordering.
+#[derive(Debug)]
+pub struct SessionReplayer {
+    /// Clicks not yet dispatched, in log order.
+    queue: VecDeque<Click>,
+    /// Per-session state: accumulated prefix and in-flight flag.
+    sessions: HashMap<u64, SessionState>,
+    /// Clicks deferred because their session has a request in flight.
+    deferred: HashMap<u64, VecDeque<Click>>,
+    dispatched: u64,
+}
+
+#[derive(Debug, Default)]
+struct SessionState {
+    prefix: Vec<u32>,
+    in_flight: bool,
+}
+
+impl SessionReplayer {
+    /// Creates a replayer over a click log.
+    pub fn new(log: &SessionLog) -> SessionReplayer {
+        SessionReplayer {
+            queue: log.clicks().iter().copied().collect(),
+            sessions: HashMap::new(),
+            deferred: HashMap::new(),
+            dispatched: 0,
+        }
+    }
+
+    /// Total requests dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Whether every click has been dispatched.
+    pub fn is_drained(&self) -> bool {
+        self.queue.is_empty() && self.deferred.values().all(VecDeque::is_empty)
+    }
+
+    /// Takes the next dispatchable request, skipping over sessions whose
+    /// previous interaction is still in flight (their clicks are parked
+    /// and resume on [`SessionReplayer::acknowledge`]).
+    pub fn next_request(&mut self) -> Option<ReplayRequest> {
+        while let Some(click) = self.queue.pop_front() {
+            let state = self.sessions.entry(click.session).or_default();
+            if state.in_flight {
+                self.deferred
+                    .entry(click.session)
+                    .or_default()
+                    .push_back(click);
+                continue;
+            }
+            return Some(self.dispatch(click));
+        }
+        None
+    }
+
+    fn dispatch(&mut self, click: Click) -> ReplayRequest {
+        let state = self.sessions.entry(click.session).or_default();
+        state.prefix.push(click.item);
+        state.in_flight = true;
+        self.dispatched += 1;
+        ReplayRequest {
+            session: click.session,
+            items: state.prefix.clone(),
+        }
+    }
+
+    /// Acknowledges the response for a session's in-flight request. If a
+    /// deferred click exists for the session, it becomes immediately
+    /// dispatchable and is returned.
+    pub fn acknowledge(&mut self, session: u64) -> Option<ReplayRequest> {
+        if let Some(state) = self.sessions.get_mut(&session) {
+            state.in_flight = false;
+        }
+        let next = self
+            .deferred
+            .get_mut(&session)
+            .and_then(|q| q.pop_front())?;
+        Some(self.dispatch(next))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log() -> SessionLog {
+        SessionLog::new(vec![
+            Click { session: 1, item: 10, t: 1 },
+            Click { session: 2, item: 20, t: 2 },
+            Click { session: 1, item: 11, t: 3 },
+            Click { session: 1, item: 12, t: 4 },
+        ])
+    }
+
+    #[test]
+    fn prefixes_grow_within_a_session() {
+        let mut r = SessionReplayer::new(&log());
+        let a = r.next_request().unwrap();
+        assert_eq!(a.items, vec![10]);
+        let b = r.next_request().unwrap();
+        assert_eq!(b.items, vec![20]);
+        // Session 1's second click is deferred (first still in flight).
+        assert!(r.next_request().is_none());
+        let c = r.acknowledge(1).unwrap();
+        assert_eq!(c.items, vec![10, 11]);
+        let d = r.acknowledge(1).unwrap();
+        assert_eq!(d.items, vec![10, 11, 12]);
+        assert!(r.acknowledge(1).is_none());
+        assert!(r.is_drained());
+        assert_eq!(r.dispatched(), 4);
+    }
+
+    #[test]
+    fn ordering_is_preserved_under_slow_responses() {
+        let mut r = SessionReplayer::new(&log());
+        let _a = r.next_request().unwrap(); // session 1 click 1
+        let _b = r.next_request().unwrap(); // session 2 click 1
+        // No response for session 1 yet: clicks 11, 12 must never appear.
+        assert!(r.next_request().is_none());
+        assert!(r.next_request().is_none());
+        // After the ack, exactly the next click is released.
+        let c = r.acknowledge(1).unwrap();
+        assert_eq!(c.items.last(), Some(&11));
+    }
+
+    #[test]
+    fn independent_sessions_interleave_freely() {
+        let mut clicks = Vec::new();
+        for s in 1..=5u64 {
+            clicks.push(Click { session: s, item: s as u32, t: s });
+        }
+        let mut r = SessionReplayer::new(&SessionLog::new(clicks));
+        for _ in 0..5 {
+            assert!(r.next_request().is_some());
+        }
+        assert!(r.is_drained());
+    }
+
+    #[test]
+    fn acknowledge_unknown_session_is_harmless() {
+        let mut r = SessionReplayer::new(&log());
+        assert!(r.acknowledge(99).is_none());
+    }
+}

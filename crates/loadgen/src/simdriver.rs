@@ -1,0 +1,433 @@
+//! Algorithm 2 under virtual time.
+//!
+//! The simulated driver executes the paper's load-generation loop
+//! faithfully — tick loop, `TIMEPROP_RAMPUP`, even spreading, 1 ms
+//! backpressure waits, session-order preservation — against any
+//! [`SimService`] (the Rust server model, the TorchServe model, or a
+//! whole simulated cluster deployment).
+
+use crate::rampup::timeprop_rampup;
+use crate::sessions::{ReplayRequest, SessionReplayer};
+use etude_metrics::{LatencySummary, TimeSeries};
+use etude_serve::simserver::{RespondFn, SimService};
+use etude_simnet::link::Link;
+use etude_simnet::{shared, Shared, Sim, SimTime};
+use etude_workload::SessionLog;
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// Load-generation parameters (Algorithm 2's `r` and `d`).
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Target throughput `r` in requests/second.
+    pub target_rps: u64,
+    /// Ramp-up duration `d`: the rate reaches `r` at this point.
+    pub ramp: Duration,
+    /// Total experiment duration (>= ramp; the tail runs at full rate).
+    pub duration: Duration,
+    /// Backpressure handling (Algorithm 2 lines 8-12). Disabling it
+    /// yields a naive open-loop generator — the ablation in
+    /// `ablation_backpressure`.
+    pub backpressure: bool,
+    /// Seed for network jitter.
+    pub seed: u64,
+}
+
+impl LoadConfig {
+    /// The paper's standard setup: ramp to `target` over ten minutes.
+    pub fn paper_rampup(target_rps: u64) -> LoadConfig {
+        LoadConfig {
+            target_rps,
+            ramp: Duration::from_secs(600),
+            duration: Duration::from_secs(600),
+            backpressure: true,
+            seed: 7,
+        }
+    }
+
+    /// A scaled-down ramp for fast experiment iterations: identical shape,
+    /// shorter wall time.
+    pub fn scaled_rampup(target_rps: u64, seconds: u64) -> LoadConfig {
+        LoadConfig {
+            target_rps,
+            ramp: Duration::from_secs(seconds),
+            duration: Duration::from_secs(seconds),
+            backpressure: true,
+            seed: 7,
+        }
+    }
+}
+
+/// Outcome of a simulated load test.
+#[derive(Debug, Clone)]
+pub struct LoadTestResult {
+    /// Per-tick measurements.
+    pub series: TimeSeries,
+    /// Requests sent.
+    pub sent: u64,
+    /// Successful responses.
+    pub ok: u64,
+    /// Failed responses.
+    pub errors: u64,
+    /// Send slots skipped by backpressure (never sent).
+    pub suppressed: u64,
+}
+
+impl LoadTestResult {
+    /// Summary over the whole run.
+    pub fn summary(&self) -> LatencySummary {
+        self.series.summary()
+    }
+
+    /// Summary over the last `n` ticks (steady state at the target rate).
+    pub fn tail_summary(&self, n: usize) -> LatencySummary {
+        self.series.tail_summary(n)
+    }
+}
+
+struct GenState {
+    replayer: SessionReplayer,
+    ready: VecDeque<ReplayRequest>,
+    pending: u64,
+    sent: u64,
+    ok: u64,
+    errors: u64,
+    suppressed: u64,
+    series: TimeSeries,
+    link: Link,
+    config: LoadConfig,
+    start: SimTime,
+}
+
+impl GenState {
+    /// Tick index relative to the load test's start.
+    fn tick_of(&self, now: SimTime) -> u64 {
+        now.since(self.start).as_secs()
+    }
+}
+
+impl GenState {
+    fn next_request(&mut self) -> Option<ReplayRequest> {
+        self.ready.pop_front().or_else(|| self.replayer.next_request())
+    }
+}
+
+/// Handle to a scheduled load test; collect after the simulation drains.
+pub struct LoadGenHandle {
+    state: Shared<GenState>,
+}
+
+impl LoadGenHandle {
+    /// Extracts the result. Call only after `sim.run_to_completion()`.
+    pub fn collect(self) -> LoadTestResult {
+        let state = Rc::try_unwrap(self.state)
+            .unwrap_or_else(|_| panic!("pending events kept state alive"))
+            .into_inner();
+        LoadTestResult {
+            series: state.series,
+            sent: state.sent,
+            ok: state.ok,
+            errors: state.errors,
+            suppressed: state.suppressed,
+        }
+    }
+}
+
+/// The virtual-time load generator.
+pub struct SimLoadGen;
+
+impl SimLoadGen {
+    /// Schedules Algorithm 2 into an existing simulation, starting at
+    /// `start` (e.g. after a deployment's readiness probes pass).
+    pub fn schedule(
+        sim: &mut Sim,
+        service: Rc<dyn SimService>,
+        log: &SessionLog,
+        config: LoadConfig,
+        start: SimTime,
+    ) -> LoadGenHandle {
+        let state = shared(GenState {
+            replayer: SessionReplayer::new(log),
+            ready: VecDeque::new(),
+            pending: 0,
+            sent: 0,
+            ok: 0,
+            errors: 0,
+            suppressed: 0,
+            series: TimeSeries::new(),
+            link: Link::cluster(config.seed),
+            config: config.clone(),
+            start,
+        });
+
+        // Schedule the tick loop (Algorithm 2, line 3).
+        let ticks = config.duration.as_secs();
+        for t in 0..ticks {
+            let state = Rc::clone(&state);
+            let service = Rc::clone(&service);
+            sim.schedule_at(start.after(Duration::from_secs(t)), move |s| {
+                let rate = {
+                    let st = state.borrow();
+                    timeprop_rampup(st.config.target_rps, st.config.ramp, Duration::from_secs(t))
+                };
+                let tick_end = {
+                    let st = state.borrow();
+                    st.start.after(Duration::from_secs(t + 1))
+                };
+                send_slot(s, state, service, 0, rate, tick_end);
+            });
+        }
+        LoadGenHandle { state }
+    }
+
+    /// Runs Algorithm 2 against a service, replaying `log`, in a fresh
+    /// simulation.
+    pub fn run(
+        service: Rc<dyn SimService>,
+        log: &SessionLog,
+        config: LoadConfig,
+    ) -> LoadTestResult {
+        let mut sim = Sim::new();
+        let handle = Self::schedule(&mut sim, service, log, config, SimTime::ZERO);
+        sim.run_to_completion();
+        handle.collect()
+    }
+}
+
+/// One send slot of the request-generation loop (Algorithm 2 lines 6-16).
+fn send_slot(
+    sim: &mut Sim,
+    state: Shared<GenState>,
+    service: Rc<dyn SimService>,
+    i: u64,
+    rate: u64,
+    tick_end: SimTime,
+) {
+    if i >= rate {
+        return; // tick complete; the next tick has its own event
+    }
+    if sim.now() >= tick_end {
+        // Slots the tick ran out of time for count as suppressed, exactly
+        // like the backpressure path below and the real-time driver.
+        state.borrow_mut().suppressed += rate - i;
+        return;
+    }
+    let backpressured = {
+        let st = state.borrow();
+        st.config.backpressure && st.pending >= rate
+    };
+    if backpressured {
+        // Line 9-12: wait one millisecond, unless the tick is over.
+        let retry_at = sim.now().after(Duration::from_millis(1));
+        if retry_at >= tick_end {
+            let mut st = state.borrow_mut();
+            st.suppressed += rate - i;
+            return;
+        }
+        let state2 = Rc::clone(&state);
+        let service2 = Rc::clone(&service);
+        sim.schedule_at(retry_at, move |s| {
+            send_slot(s, state2, service2, i, rate, tick_end);
+        });
+        return;
+    }
+
+    dispatch_one(sim, &state, &service, tick_end);
+
+    // Line 16: spread remaining requests evenly across the tick.
+    let remaining = tick_end.since(sim.now());
+    let slots_left = rate - i;
+    let gap = Duration::from_secs_f64(remaining.as_secs_f64() / slots_left as f64);
+    let state2 = Rc::clone(&state);
+    let service2 = Rc::clone(&service);
+    sim.schedule_in(gap, move |s| {
+        send_slot(s, state2, service2, i + 1, rate, tick_end);
+    });
+}
+
+/// Sends a single request (Algorithm 2 line 14: SCHEDULE_REQUEST_ASYNC).
+fn dispatch_one(
+    sim: &mut Sim,
+    state: &Shared<GenState>,
+    service: &Rc<dyn SimService>,
+    _tick_end: SimTime,
+) {
+    let (request, out_delay, back_delay) = {
+        let mut st = state.borrow_mut();
+        let Some(req) = st.next_request() else {
+            return; // click log drained
+        };
+        st.pending += 1;
+        st.sent += 1;
+        let tick = st.tick_of(sim.now());
+        st.series.record_sent(tick);
+        (req, st.link.sample(), st.link.sample())
+    };
+    let sent_at = sim.now();
+    let session = request.session;
+    let state2 = Rc::clone(state);
+    let service2 = Rc::clone(service);
+    // Request crosses the pod network, is served, and the response
+    // crosses back; only then does the pending counter decrease.
+    sim.schedule_in(out_delay, move |s| {
+        let respond: RespondFn = Box::new(move |s2, result| {
+            let state3 = Rc::clone(&state2);
+            s2.schedule_in(back_delay, move |s3| {
+                let mut st = state3.borrow_mut();
+                st.pending = st.pending.saturating_sub(1);
+                let tick = st.tick_of(s3.now());
+                match result {
+                    Ok(_) => {
+                        st.ok += 1;
+                        st.series.record_ok(tick, s3.now().since(sent_at));
+                    }
+                    Err(_) => {
+                        st.errors += 1;
+                        st.series.record_error(tick);
+                    }
+                }
+                if let Some(released) = st.replayer.acknowledge(session) {
+                    st.ready.push_back(released);
+                }
+            });
+        });
+        Rc::clone(&service2).submit(s, respond);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etude_serve::simserver::{RustServerConfig, SimRustServer, SimTorchServe};
+    use etude_serve::{ServiceProfile, TorchServeProfile};
+    use etude_tensor::Device;
+    use etude_workload::{SyntheticWorkload, WorkloadConfig};
+
+    fn workload(clicks: u64) -> SessionLog {
+        let cfg = WorkloadConfig {
+            catalog_size: 10_000,
+            alpha_length: 2.0,
+            alpha_clicks: 1.8,
+            max_session_len: 50,
+            seed: 5,
+        };
+        SyntheticWorkload::new(cfg).generate(clicks)
+    }
+
+    #[test]
+    fn rust_server_sustains_ramp_without_errors() {
+        let profile = ServiceProfile::static_response(&Device::cpu());
+        let server = SimRustServer::new(profile, RustServerConfig::cpu(4));
+        let result = SimLoadGen::run(
+            server,
+            &workload(100_000),
+            LoadConfig::scaled_rampup(500, 20),
+        );
+        assert_eq!(result.errors, 0);
+        assert!(result.sent > 3_000, "sent {}", result.sent);
+        let tail = result.tail_summary(5);
+        assert!(tail.p90 < Duration::from_millis(5), "{:?}", tail.p90);
+        // The final tick approaches the target rate.
+        let rows = result.series.rows();
+        let last_sent = rows[rows.len() - 2].1;
+        assert!(last_sent >= 400, "last tick sent only {last_sent}");
+    }
+
+    #[test]
+    fn torchserve_produces_errors_under_ramp() {
+        // Figure 2: TorchServe sheds load through its internal timeout —
+        // lots of HTTP errors, survivors served slowly.
+        let service = ServiceProfile::static_response(&Device::cpu());
+        let server = SimTorchServe::new(TorchServeProfile::default(), service);
+        let result = SimLoadGen::run(
+            server,
+            &workload(100_000),
+            LoadConfig::scaled_rampup(1_000, 20),
+        );
+        assert!(result.errors > 100, "errors {}", result.errors);
+        let tail = result.tail_summary(5);
+        assert!(
+            tail.p90 > Duration::from_millis(20),
+            "survivors should be slow: {:?}",
+            tail.p90
+        );
+    }
+
+    /// An overloaded Rust server with a heavy CPU model: ~57 ms service
+    /// time, no internal timeout — pending requests pile up, which is the
+    /// scenario backpressure exists for.
+    fn slow_cpu_server() -> Rc<SimRustServer> {
+        use etude_models::{ModelConfig, ModelKind};
+        let profile = ServiceProfile::build(
+            ModelKind::Gru4Rec,
+            &ModelConfig::new(1_000_000).without_weights(),
+            &Device::cpu(),
+            etude_serve::service::ExecutionKind::Jit,
+        )
+        .unwrap();
+        SimRustServer::new(profile, RustServerConfig::cpu(4))
+    }
+
+    #[test]
+    fn backpressure_limits_pending_load() {
+        // With backpressure, the generator sends far fewer requests into
+        // a saturated, non-timing-out server than the open-loop variant,
+        // and suppression is observable.
+        let with_bp = SimLoadGen::run(
+            slow_cpu_server(),
+            &workload(60_000),
+            LoadConfig {
+                backpressure: true,
+                ..LoadConfig::scaled_rampup(2_000, 10)
+            },
+        );
+        let without_bp = SimLoadGen::run(
+            slow_cpu_server(),
+            &workload(60_000),
+            LoadConfig {
+                backpressure: false,
+                ..LoadConfig::scaled_rampup(2_000, 10)
+            },
+        );
+        assert!(
+            with_bp.sent < without_bp.sent / 2,
+            "backpressure {} vs open loop {}",
+            with_bp.sent,
+            without_bp.sent
+        );
+        assert!(with_bp.suppressed > 0, "no slots were suppressed");
+    }
+
+    #[test]
+    fn ramp_is_visible_in_the_time_series() {
+        let profile = ServiceProfile::static_response(&Device::cpu());
+        let server = SimRustServer::new(profile, RustServerConfig::cpu(4));
+        let result = SimLoadGen::run(
+            server,
+            &workload(50_000),
+            LoadConfig::scaled_rampup(300, 10),
+        );
+        let rows = result.series.rows();
+        let early = rows[1].1;
+        let late = rows[8].1;
+        assert!(
+            late > 2 * early,
+            "no ramp visible: early {early}, late {late}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let profile = ServiceProfile::static_response(&Device::cpu());
+            let server = SimRustServer::new(profile, RustServerConfig::cpu(2));
+            SimLoadGen::run(server, &workload(20_000), LoadConfig::scaled_rampup(200, 5))
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.sent, b.sent);
+        assert_eq!(a.ok, b.ok);
+        assert_eq!(a.summary().p90, b.summary().p90);
+    }
+}

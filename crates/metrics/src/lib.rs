@@ -1,0 +1,22 @@
+//! # etude-metrics
+//!
+//! Measurement infrastructure for the benchmarking framework: HDR-style
+//! latency histograms ([`hdr::Histogram`]), per-tick time series matching
+//! the load generator's one-second ticks ([`timeseries::TimeSeries`]),
+//! latency summaries ([`summary::LatencySummary`]) and plain-text/CSV
+//! report rendering ([`report`]).
+//!
+//! The paper reports p90 latencies against ramping throughput (Figures 2
+//! and 4) and applies a feasibility threshold of "50 milliseconds in the
+//! 90th quantile" (Table I); every number in those artifacts flows through
+//! this crate.
+
+pub mod hdr;
+pub mod percentile;
+pub mod report;
+pub mod summary;
+pub mod timeseries;
+
+pub use hdr::Histogram;
+pub use summary::LatencySummary;
+pub use timeseries::{TickStats, TimeSeries};

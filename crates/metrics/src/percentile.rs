@@ -1,0 +1,62 @@
+//! Exact percentile computation for small sample sets.
+//!
+//! The micro-benchmark (Figure 3) sends requests serially and reports the
+//! p90 of a few hundred exact measurements — no histogram approximation
+//! needed there.
+
+use std::time::Duration;
+
+/// Exact value at quantile `q` (nearest-rank method). Returns `None` for
+/// an empty sample set.
+pub fn percentile(samples: &[f64], q: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    Some(sorted[rank - 1])
+}
+
+/// Exact duration at quantile `q`.
+pub fn percentile_duration(samples: &[Duration], q: f64) -> Option<Duration> {
+    let micros: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e6).collect();
+    percentile(&micros, q).map(|v| Duration::from_secs_f64(v / 1e6))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_semantics() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 0.90), Some(90.0));
+        assert_eq!(percentile(&xs, 0.50), Some(50.0));
+        assert_eq!(percentile(&xs, 1.0), Some(100.0));
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(percentile(&[], 0.9), None);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let xs = [5.0, 1.0, 3.0];
+        assert_eq!(percentile(&xs, 0.5), Some(3.0));
+    }
+
+    #[test]
+    fn durations_roundtrip() {
+        let ds = [
+            Duration::from_millis(10),
+            Duration::from_millis(30),
+            Duration::from_millis(20),
+        ];
+        let p = percentile_duration(&ds, 1.0).unwrap();
+        assert!((p.as_secs_f64() - 0.030).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,113 @@
+//! Latency/throughput summaries of a benchmark run.
+
+use crate::hdr::Histogram;
+use std::time::Duration;
+
+/// Aggregated outcome of a load test: latency quantiles, error counts and
+/// achieved throughput — the row format of the paper's result tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySummary {
+    /// Successful responses.
+    pub count: u64,
+    /// Failed responses (timeouts, HTTP errors, connection errors).
+    pub errors: u64,
+    /// Median latency.
+    pub p50: Duration,
+    /// 90th-percentile latency — the paper's feasibility quantile.
+    pub p90: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+    /// Maximum observed latency.
+    pub max: Duration,
+    /// Mean latency.
+    pub mean: Duration,
+    /// Achieved throughput over the measurement window (successes/s).
+    pub throughput: f64,
+}
+
+impl LatencySummary {
+    /// Builds a summary from a histogram, an error count and the wall
+    /// duration of the measurement window.
+    pub fn from_histogram(hist: &Histogram, errors: u64, window: Duration) -> LatencySummary {
+        let micros = |v: u64| Duration::from_micros(v);
+        let secs = window.as_secs_f64();
+        LatencySummary {
+            count: hist.count(),
+            errors,
+            p50: micros(hist.p50()),
+            p90: micros(hist.p90()),
+            p99: micros(hist.p99()),
+            max: micros(hist.max()),
+            mean: Duration::from_secs_f64(hist.mean() / 1e6),
+            throughput: if secs > 0.0 {
+                hist.count() as f64 / secs
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// The paper's Table I feasibility criterion: p90 within `threshold`
+    /// and an error rate below 1%.
+    pub fn meets_slo(&self, threshold: Duration) -> bool {
+        let total = self.count + self.errors;
+        if total == 0 {
+            return false;
+        }
+        let error_rate = self.errors as f64 / total as f64;
+        self.p90 <= threshold && error_rate < 0.01
+    }
+
+    /// Error rate in `[0, 1]`.
+    pub fn error_rate(&self) -> f64 {
+        let total = self.count + self.errors;
+        if total == 0 {
+            0.0
+        } else {
+            self.errors as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist_with(values: &[u64]) -> Histogram {
+        let mut h = Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    #[test]
+    fn summary_reports_quantiles_and_throughput() {
+        let h = hist_with(&(1..=1000).map(|i| i * 100).collect::<Vec<_>>());
+        let s = LatencySummary::from_histogram(&h, 5, Duration::from_secs(10));
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.errors, 5);
+        assert!((s.throughput - 100.0).abs() < 1e-9);
+        assert!(s.p90 >= s.p50);
+        assert!(s.p99 >= s.p90);
+        assert!(s.max >= s.p99);
+    }
+
+    #[test]
+    fn slo_check_uses_p90_and_error_rate() {
+        let h = hist_with(&[10_000, 20_000, 30_000]); // 10-30 ms
+        let ok = LatencySummary::from_histogram(&h, 0, Duration::from_secs(1));
+        assert!(ok.meets_slo(Duration::from_millis(50)));
+        assert!(!ok.meets_slo(Duration::from_millis(20)));
+
+        let errors = LatencySummary::from_histogram(&h, 1, Duration::from_secs(1));
+        // 1 error out of 4 = 25% error rate -> infeasible.
+        assert!(!errors.meets_slo(Duration::from_millis(50)));
+    }
+
+    #[test]
+    fn empty_run_never_meets_slo() {
+        let s = LatencySummary::from_histogram(&Histogram::new(), 0, Duration::from_secs(1));
+        assert!(!s.meets_slo(Duration::from_secs(1)));
+    }
+}

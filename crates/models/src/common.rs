@@ -1,0 +1,653 @@
+//! Building blocks shared by the ten SBR models: weight construction,
+//! session input preparation, the full-catalog decode (MIPS + top-k),
+//! attention primitives, transformer blocks and a GRU encoder.
+
+use crate::config::ModelConfig;
+use etude_tensor::kernels::BinOp;
+use etude_tensor::rng::Initializer;
+use etude_tensor::{Exec, Param, SessionInput, TRef, Tensor, TensorError};
+
+/// Creates a weight tensor: Xavier-initialised when the config
+/// materialises weights, phantom otherwise.
+pub fn weight(init: &mut Initializer, cfg: &ModelConfig, shape: &[usize]) -> Param {
+    if cfg.materialize_weights {
+        Param::new(init.xavier(shape))
+    } else {
+        Param::new(Tensor::phantom(shape))
+    }
+}
+
+/// Creates the `[C, d]` item-embedding table.
+pub fn embedding_table(init: &mut Initializer, cfg: &ModelConfig) -> Param {
+    if cfg.materialize_weights {
+        Param::new(init.embedding(cfg.catalog_size, cfg.embedding_dim))
+    } else {
+        Param::new(Tensor::phantom(&[cfg.catalog_size, cfg.embedding_dim]))
+    }
+}
+
+/// Creates a zero bias vector (phantom when weights are not materialised).
+pub fn bias(cfg: &ModelConfig, n: usize) -> Param {
+    if cfg.materialize_weights {
+        Param::new(Tensor::zeros(&[n]))
+    } else {
+        Param::new(Tensor::phantom(&[n]))
+    }
+}
+
+/// Creates a `[max_len, d]` positional-embedding table.
+pub fn positional_table(init: &mut Initializer, cfg: &ModelConfig) -> Param {
+    weight(init, cfg, &[cfg.max_session_len, cfg.embedding_dim])
+}
+
+/// Creates the additive causal attention mask `[l, l]`: `0` on and below
+/// the diagonal, `-1e9` above.
+pub fn causal_mask(cfg: &ModelConfig) -> Param {
+    let l = cfg.max_session_len;
+    if !cfg.materialize_weights {
+        return Param::new(Tensor::phantom(&[l, l]));
+    }
+    let mut m = vec![0.0f32; l * l];
+    for i in 0..l {
+        for j in (i + 1)..l {
+            m[i * l + j] = -1e9;
+        }
+    }
+    Param::new(Tensor::from_vec(m, &[l, l]).expect("shape consistent"))
+}
+
+/// Prepares the three standard model inputs from a raw session.
+///
+/// The session is truncated to its most recent `max_session_len`
+/// interactions and right-padded with item 0 (RecBole's convention).
+/// Returns `(items, mask, last_index)` dense tensors.
+pub fn prepare_session(session: &[u32], cfg: &ModelConfig) -> (Tensor, Tensor, Tensor) {
+    let l = cfg.max_session_len;
+    let tail: Vec<u32> = session
+        .iter()
+        .copied()
+        .skip(session.len().saturating_sub(l))
+        .collect();
+    let n = tail.len().min(l).max(1);
+    let mut items = vec![0u32; l];
+    let mut mask = vec![0.0f32; l];
+    for (i, &id) in tail.iter().take(l).enumerate() {
+        items[i] = id;
+        mask[i] = 1.0;
+    }
+    if tail.is_empty() {
+        mask[0] = 1.0; // an empty session behaves as a single pad click
+    }
+    let items = Tensor::from_ids(&items);
+    let mask = Tensor::from_vec(mask, &[l]).expect("shape consistent");
+    let last = Tensor::from_ids(&[(n - 1) as u32]);
+    (items, mask, last)
+}
+
+/// Registers the prepared session tensors as graph inputs.
+pub fn register_session(
+    exec: &mut Exec,
+    items: Tensor,
+    mask: Tensor,
+    last: Tensor,
+) -> Result<SessionInput, TensorError> {
+    Ok(SessionInput {
+        items: exec.input(items)?,
+        mask: exec.input(mask)?,
+        last: exec.input(last)?,
+    })
+}
+
+/// The decode stage common to every model: score the session
+/// representation `s ∈ R^d` against all `C` item embeddings and select the
+/// top `k` — the `O(C (d + log k))` maximum-inner-product search.
+pub fn decode(
+    exec: &mut Exec,
+    table: &Param,
+    s: TRef,
+    cfg: &ModelConfig,
+) -> Result<TRef, TensorError> {
+    let d = cfg.embedding_dim;
+    let table_ref = exec.param(table)?;
+    let s_col = exec.reshape(s, &[d, 1])?;
+    let scores = exec.matmul(table_ref, s_col)?; // [C, 1]
+    let scores = exec.reshape(scores, &[cfg.catalog_size])?;
+    exec.topk(scores, cfg.top_k)
+}
+
+/// Computes raw catalog scores without top-k (RepeatNet needs to mix
+/// distributions before selection).
+pub fn catalog_scores(
+    exec: &mut Exec,
+    table: &Param,
+    s: TRef,
+    cfg: &ModelConfig,
+) -> Result<TRef, TensorError> {
+    let d = cfg.embedding_dim;
+    let table_ref = exec.param(table)?;
+    let s_col = exec.reshape(s, &[d, 1])?;
+    let scores = exec.matmul(table_ref, s_col)?;
+    exec.reshape(scores, &[cfg.catalog_size])
+}
+
+/// Adds `-1e9 * (1 - mask)` to a logit vector so padded positions vanish
+/// under softmax.
+pub fn mask_logits(exec: &mut Exec, logits: TRef, mask: TRef) -> Result<TRef, TensorError> {
+    let m1 = exec.scalar(BinOp::Sub, mask, 1.0)?; // mask - 1 ∈ {-1, 0}
+    let m2 = exec.scalar(BinOp::Mul, m1, 1e9)?; // {-1e9, 0}
+    exec.add(logits, m2)
+}
+
+/// Masked attention weights: `softmax(logits + mask_bias)` over `[l]`.
+pub fn masked_softmax(exec: &mut Exec, logits: TRef, mask: TRef) -> Result<TRef, TensorError> {
+    let masked = mask_logits(exec, logits, mask)?;
+    exec.softmax(masked)
+}
+
+/// Scores `[l, d]` keys against a `[d]` query: returns `[l]` logits.
+pub fn key_query_logits(exec: &mut Exec, keys: TRef, query: TRef) -> Result<TRef, TensorError> {
+    let d = exec.tensor(query)?.shape()[0];
+    let l = exec.tensor(keys)?.shape()[0];
+    let q_col = exec.reshape(query, &[d, 1])?;
+    let s = exec.matmul(keys, q_col)?; // [l, 1]
+    exec.reshape(s, &[l])
+}
+
+/// Weighted sum of `[l, d]` values by `[l]` weights: returns `[d]`.
+pub fn weighted_sum(exec: &mut Exec, weights: TRef, values: TRef) -> Result<TRef, TensorError> {
+    let l = exec.tensor(weights)?.shape()[0];
+    let d = exec.tensor(values)?.shape()[1];
+    let w_row = exec.reshape(weights, &[1, l])?;
+    let s = exec.matmul(w_row, values)?; // [1, d]
+    exec.reshape(s, &[d])
+}
+
+/// Multiplies a `[d]` vector by a `[1]` scalar tensor (e.g. `1/len`).
+pub fn scale_by_scalar_tensor(exec: &mut Exec, v: TRef, s: TRef) -> Result<TRef, TensorError> {
+    let d = exec.tensor(v)?.shape()[0];
+    let v_col = exec.reshape(v, &[d, 1])?;
+    let scaled = exec.binary_row(BinOp::Mul, v_col, s)?;
+    exec.reshape(scaled, &[d])
+}
+
+/// Mean of the *valid* (unmasked) rows of `[l, d]`: `maskᵀ X / Σ mask`.
+pub fn masked_mean(exec: &mut Exec, x: TRef, mask: TRef) -> Result<TRef, TensorError> {
+    let sum = weighted_sum(exec, mask, x)?;
+    let l = exec.tensor(mask)?.shape()[0];
+    let mask_col = exec.reshape(mask, &[l, 1])?;
+    let count = exec.sum_rows(mask_col)?; // [1]
+    let inv = exec.unary(etude_tensor::kernels::UnOp::Recip, count)?;
+    scale_by_scalar_tensor(exec, sum, inv)
+}
+
+/// A dense layer `x W + b` for `x: [m, in]`, `w: [in, out]`, `b: [out]`.
+pub fn linear(
+    exec: &mut Exec,
+    x: TRef,
+    w: &Param,
+    b: Option<&Param>,
+) -> Result<TRef, TensorError> {
+    let w_ref = exec.param(w)?;
+    let y = exec.matmul(x, w_ref)?;
+    match b {
+        Some(b) => {
+            let b_ref = exec.param(b)?;
+            exec.binary_row(BinOp::Add, y, b_ref)
+        }
+        None => Ok(y),
+    }
+}
+
+/// A dense layer for a `[in]` vector: returns `[out]`.
+pub fn linear_vec(
+    exec: &mut Exec,
+    x: TRef,
+    w: &Param,
+    b: Option<&Param>,
+) -> Result<TRef, TensorError> {
+    let d_in = exec.tensor(x)?.shape()[0];
+    let x_row = exec.reshape(x, &[1, d_in])?;
+    let y = linear(exec, x_row, w, b)?;
+    let d_out = exec.tensor(y)?.shape()[1];
+    exec.reshape(y, &[d_out])
+}
+
+/// Weights of one multi-head self-attention block.
+#[derive(Debug, Clone)]
+pub struct AttentionWeights {
+    /// Query projection `[d, d]`.
+    pub wq: Param,
+    /// Key projection `[d, d]`.
+    pub wk: Param,
+    /// Value projection `[d, d]`.
+    pub wv: Param,
+    /// Output projection `[d, d]`.
+    pub wo: Param,
+}
+
+impl AttentionWeights {
+    /// Initialises a block for dimension `d`.
+    pub fn new(init: &mut Initializer, cfg: &ModelConfig) -> AttentionWeights {
+        let d = cfg.embedding_dim;
+        AttentionWeights {
+            wq: weight(init, cfg, &[d, d]),
+            wk: weight(init, cfg, &[d, d]),
+            wv: weight(init, cfg, &[d, d]),
+            wo: weight(init, cfg, &[d, d]),
+        }
+    }
+}
+
+/// Multi-head self-attention over `x: [l, d]` with optional causal mask
+/// and key padding mask. Head count must divide `d`; excess heads
+/// degrade to a single head.
+pub fn self_attention(
+    exec: &mut Exec,
+    x: TRef,
+    w: &AttentionWeights,
+    heads: usize,
+    causal: Option<&Param>,
+    pad_mask: Option<TRef>,
+) -> Result<TRef, TensorError> {
+    let (l, d) = {
+        let s = exec.tensor(x)?.shape();
+        (s[0], s[1])
+    };
+    let heads = if heads > 0 && d % heads == 0 { heads } else { 1 };
+    let dh = d / heads;
+    let q = linear(exec, x, &w.wq, None)?;
+    let k = linear(exec, x, &w.wk, None)?;
+    let v = linear(exec, x, &w.wv, None)?;
+    let scale = 1.0 / (dh as f32).sqrt();
+
+    let mut head_outputs: Option<TRef> = None;
+    for h in 0..heads {
+        let (s, e) = (h * dh, (h + 1) * dh);
+        let qh = exec.slice_cols(q, s, e)?;
+        let kh = exec.slice_cols(k, s, e)?;
+        let vh = exec.slice_cols(v, s, e)?;
+        let kt = exec.transpose(kh)?; // [dh, l]
+        let logits = exec.matmul(qh, kt)?; // [l, l]
+        let logits = exec.scalar(BinOp::Mul, logits, scale)?;
+        let logits = match causal {
+            Some(c) => {
+                let c_ref = exec.param(c)?;
+                exec.add(logits, c_ref)?
+            }
+            None => logits,
+        };
+        let logits = match pad_mask {
+            Some(m) => {
+                // Bias out padded *keys* (columns).
+                let m1 = exec.scalar(BinOp::Sub, m, 1.0)?;
+                let m2 = exec.scalar(BinOp::Mul, m1, 1e9)?;
+                exec.binary_row(BinOp::Add, logits, m2)?
+            }
+            None => logits,
+        };
+        let attn = exec.softmax(logits)?; // [l, l]
+        let oh = exec.matmul(attn, vh)?; // [l, dh]
+        head_outputs = Some(match head_outputs {
+            Some(acc) => exec.concat(acc, oh)?,
+            None => oh,
+        });
+    }
+    let concat = head_outputs.expect("at least one head");
+    let _ = l;
+    linear(exec, concat, &w.wo, None)
+}
+
+/// Weights of one position-wise feed-forward block.
+#[derive(Debug, Clone)]
+pub struct FfnWeights {
+    /// Expansion `[d, 4d]`.
+    pub w1: Param,
+    /// Contraction `[4d, d]`.
+    pub w2: Param,
+    /// Expansion bias `[4d]`.
+    pub b1: Param,
+    /// Contraction bias `[d]`.
+    pub b2: Param,
+}
+
+impl FfnWeights {
+    /// Initialises a block for dimension `d` with a 4x inner width.
+    pub fn new(init: &mut Initializer, cfg: &ModelConfig) -> FfnWeights {
+        let d = cfg.embedding_dim;
+        FfnWeights {
+            w1: weight(init, cfg, &[d, 4 * d]),
+            w2: weight(init, cfg, &[4 * d, d]),
+            b1: bias(cfg, 4 * d),
+            b2: bias(cfg, d),
+        }
+    }
+}
+
+/// `gelu(x W1 + b1) W2 + b2`.
+pub fn feed_forward(exec: &mut Exec, x: TRef, w: &FfnWeights) -> Result<TRef, TensorError> {
+    let h = linear(exec, x, &w.w1, Some(&w.b1))?;
+    let h = exec.gelu(h)?;
+    linear(exec, h, &w.w2, Some(&w.b2))
+}
+
+/// Weights of one layer-norm (affine) over dimension `d`.
+#[derive(Debug, Clone)]
+pub struct LayerNormWeights {
+    /// Scale `[d]`, initialised to ones.
+    pub gamma: Param,
+    /// Shift `[d]`, initialised to zeros.
+    pub beta: Param,
+}
+
+impl LayerNormWeights {
+    /// Identity-initialised layer norm.
+    pub fn new(cfg: &ModelConfig, n: usize) -> LayerNormWeights {
+        if cfg.materialize_weights {
+            LayerNormWeights {
+                gamma: Param::new(Tensor::full(&[n], 1.0)),
+                beta: Param::new(Tensor::zeros(&[n])),
+            }
+        } else {
+            LayerNormWeights {
+                gamma: Param::new(Tensor::phantom(&[n])),
+                beta: Param::new(Tensor::phantom(&[n])),
+            }
+        }
+    }
+}
+
+/// Applies layer normalisation with these weights.
+pub fn layer_norm(exec: &mut Exec, x: TRef, w: &LayerNormWeights) -> Result<TRef, TensorError> {
+    let g = exec.param(&w.gamma)?;
+    let b = exec.param(&w.beta)?;
+    exec.layernorm(x, g, b)
+}
+
+/// A full pre-norm transformer block: attention + residual, FFN + residual.
+#[derive(Debug, Clone)]
+pub struct TransformerBlock {
+    /// Self-attention weights.
+    pub attn: AttentionWeights,
+    /// Feed-forward weights.
+    pub ffn: FfnWeights,
+    /// Norm before attention.
+    pub ln1: LayerNormWeights,
+    /// Norm before FFN.
+    pub ln2: LayerNormWeights,
+}
+
+impl TransformerBlock {
+    /// Initialises one block.
+    pub fn new(init: &mut Initializer, cfg: &ModelConfig) -> TransformerBlock {
+        TransformerBlock {
+            attn: AttentionWeights::new(init, cfg),
+            ffn: FfnWeights::new(init, cfg),
+            ln1: LayerNormWeights::new(cfg, cfg.embedding_dim),
+            ln2: LayerNormWeights::new(cfg, cfg.embedding_dim),
+        }
+    }
+
+    /// Applies the block to `x: [l, d]`.
+    pub fn forward(
+        &self,
+        exec: &mut Exec,
+        x: TRef,
+        heads: usize,
+        causal: Option<&Param>,
+        pad_mask: Option<TRef>,
+    ) -> Result<TRef, TensorError> {
+        let n = layer_norm(exec, x, &self.ln1)?;
+        let a = self_attention(exec, n, &self.attn, heads, causal, pad_mask)?;
+        let x = exec.add(x, a)?;
+        let n = layer_norm(exec, x, &self.ln2)?;
+        let f = feed_forward(exec, n, &self.ffn)?;
+        exec.add(x, f)
+    }
+}
+
+/// Weights of a single-layer GRU.
+#[derive(Debug, Clone)]
+pub struct GruWeights {
+    /// Input-to-hidden `[3h, in]`.
+    pub w_ih: Param,
+    /// Hidden-to-hidden `[3h, h]`.
+    pub w_hh: Param,
+    /// Input bias `[3h]`.
+    pub b_ih: Param,
+    /// Hidden bias `[3h]`.
+    pub b_hh: Param,
+}
+
+impl GruWeights {
+    /// Initialises GRU weights for `input -> hidden`.
+    pub fn new(init: &mut Initializer, cfg: &ModelConfig, input: usize, hidden: usize) -> Self {
+        GruWeights {
+            w_ih: weight(init, cfg, &[3 * hidden, input]),
+            w_hh: weight(init, cfg, &[3 * hidden, hidden]),
+            b_ih: bias(cfg, 3 * hidden),
+            b_hh: bias(cfg, 3 * hidden),
+        }
+    }
+}
+
+/// Runs a GRU over the rows of `x: [l, in]`, returning all hidden states
+/// stacked as `[l, h]`.
+///
+/// The loop is static over the padded length — exactly what `torch.nn.GRU`
+/// does on a padded batch — so the trace is shape-stable.
+pub fn gru_sequence(
+    exec: &mut Exec,
+    x: TRef,
+    w: &GruWeights,
+    hidden: usize,
+) -> Result<TRef, TensorError> {
+    let (l, d_in) = {
+        let s = exec.tensor(x)?.shape();
+        (s[0], s[1])
+    };
+    let w_ih = exec.param(&w.w_ih)?;
+    let w_hh = exec.param(&w.w_hh)?;
+    let b_ih = exec.param(&w.b_ih)?;
+    let b_hh = exec.param(&w.b_hh)?;
+    let zero = Param::new(Tensor::zeros(&[hidden]));
+    let mut h = exec.param(&zero)?;
+    let mut states: Option<TRef> = None;
+    for t in 0..l {
+        let xt = exec.slice_rows(x, t, t + 1)?; // [1, in]
+        let xt = exec.reshape(xt, &[d_in])?;
+        h = exec.gru_cell(xt, h, w_ih, w_hh, b_ih, b_hh)?;
+        let h_flat = exec.reshape(h, &[hidden])?;
+        states = Some(match states {
+            Some(acc) => exec.concat(acc, h_flat)?,
+            None => h_flat,
+        });
+    }
+    let all = states.expect("l >= 1");
+    exec.reshape(all, &[l, hidden])
+}
+
+/// Gathers the hidden state at the last valid position: `[l, h]` + last
+/// index tensor -> `[h]`.
+pub fn gather_last(exec: &mut Exec, states: TRef, last: TRef) -> Result<TRef, TensorError> {
+    exec.gather_row(states, last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etude_tensor::{Device, ExecMode};
+
+    fn cfg() -> ModelConfig {
+        ModelConfig::new(100).with_max_session_len(6).with_seed(3)
+    }
+
+    fn real_exec() -> Exec {
+        Exec::new(ExecMode::Real, Device::cpu())
+    }
+
+    #[test]
+    fn prepare_session_pads_and_masks() {
+        let c = cfg();
+        let (items, mask, last) = prepare_session(&[5, 9], &c);
+        assert_eq!(items.to_ids().unwrap(), vec![5, 9, 0, 0, 0, 0]);
+        assert_eq!(mask.as_slice().unwrap(), &[1.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(last.to_ids().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn prepare_session_truncates_to_most_recent() {
+        let c = cfg();
+        let session: Vec<u32> = (1..=10).collect();
+        let (items, mask, last) = prepare_session(&session, &c);
+        assert_eq!(items.to_ids().unwrap(), vec![5, 6, 7, 8, 9, 10]);
+        assert!(mask.as_slice().unwrap().iter().all(|&m| m == 1.0));
+        assert_eq!(last.to_ids().unwrap(), vec![5]);
+    }
+
+    #[test]
+    fn prepare_empty_session_is_well_formed() {
+        let c = cfg();
+        let (items, mask, last) = prepare_session(&[], &c);
+        assert_eq!(items.to_ids().unwrap()[0], 0);
+        assert_eq!(mask.as_slice().unwrap()[0], 1.0);
+        assert_eq!(last.to_ids().unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn decode_returns_topk_over_catalog() {
+        // Orthogonal (one-hot) embeddings make the expected ranking exact:
+        // querying with e_5 must rank item 5 first.
+        let c = ModelConfig::new(8).with_embedding_dim(8).with_top_k(3);
+        let mut table_data = vec![0.0f32; 64];
+        for i in 0..8 {
+            table_data[i * 8 + i] = 1.0;
+        }
+        let table = Param::new(Tensor::from_vec(table_data, &[8, 8]).unwrap());
+        let mut e = real_exec();
+        let mut q = vec![0.0f32; 8];
+        q[5] = 1.0;
+        let q = e.input(Tensor::from_vec(q, &[8]).unwrap()).unwrap();
+        let out = decode(&mut e, &table, q, &c).unwrap();
+        let t = e.tensor(out).unwrap();
+        assert_eq!(t.shape(), &[2, 3]); // [ids ; scores] x top_k
+        let ids = t.to_ids().unwrap();
+        assert_eq!(ids[0], 5); // row 0 holds the bit-cast item ids
+    }
+
+    #[test]
+    fn masked_softmax_zeroes_padding() {
+        let mut e = real_exec();
+        let logits = e
+            .input(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap())
+            .unwrap();
+        let mask = e
+            .input(Tensor::from_vec(vec![1.0, 1.0, 0.0], &[3]).unwrap())
+            .unwrap();
+        let w = masked_softmax(&mut e, logits, mask).unwrap();
+        let v = e.tensor(w).unwrap().as_slice().unwrap().to_vec();
+        assert!(v[2] < 1e-6);
+        assert!((v[0] + v[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn masked_mean_ignores_padded_rows() {
+        let mut e = real_exec();
+        let x = e
+            .input(Tensor::from_vec(vec![2.0, 4.0, 6.0, 8.0, 99.0, 99.0], &[3, 2]).unwrap())
+            .unwrap();
+        let mask = e
+            .input(Tensor::from_vec(vec![1.0, 1.0, 0.0], &[3]).unwrap())
+            .unwrap();
+        let m = masked_mean(&mut e, x, mask).unwrap();
+        assert_eq!(e.tensor(m).unwrap().as_slice().unwrap(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn weighted_sum_blends_rows() {
+        let mut e = real_exec();
+        let w = e
+            .input(Tensor::from_vec(vec![0.25, 0.75], &[2]).unwrap())
+            .unwrap();
+        let v = e
+            .input(Tensor::from_vec(vec![0.0, 4.0, 8.0, 0.0], &[2, 2]).unwrap())
+            .unwrap();
+        let s = weighted_sum(&mut e, w, v).unwrap();
+        assert_eq!(e.tensor(s).unwrap().as_slice().unwrap(), &[6.0, 1.0]);
+    }
+
+    #[test]
+    fn gru_sequence_shapes_and_padding_stability() {
+        let c = cfg();
+        let mut init = Initializer::new(9);
+        let w = GruWeights::new(&mut init, &c, c.embedding_dim, c.hidden_size);
+        let mut e = real_exec();
+        let x = e
+            .input(Tensor::zeros(&[c.max_session_len, c.embedding_dim]))
+            .unwrap();
+        let states = gru_sequence(&mut e, x, &w, c.hidden_size).unwrap();
+        assert_eq!(
+            e.tensor(states).unwrap().shape(),
+            &[c.max_session_len, c.hidden_size]
+        );
+    }
+
+    #[test]
+    fn self_attention_preserves_shape_and_heads_partition() {
+        let c = cfg().with_embedding_dim(8);
+        let mut init = Initializer::new(5);
+        let w = AttentionWeights::new(&mut init, &c);
+        for heads in [1usize, 2, 4] {
+            let mut e = real_exec();
+            let x = e
+                .input(Tensor::full(&[c.max_session_len, 8], 0.1))
+                .unwrap();
+            let y = self_attention(&mut e, x, &w, heads, None, None).unwrap();
+            assert_eq!(e.tensor(y).unwrap().shape(), &[c.max_session_len, 8]);
+        }
+    }
+
+    #[test]
+    fn causal_mask_blocks_future_positions() {
+        let c = cfg().with_embedding_dim(4);
+        let mask = causal_mask(&c);
+        let m = mask.value().as_slice().unwrap();
+        let l = c.max_session_len;
+        assert_eq!(m[1], -1e9); // position 0 cannot see position 1
+        assert_eq!(m[l], 0.0); // position 1 sees position 0
+        assert_eq!(m[l + 1], 0.0); // diagonal visible
+    }
+
+    #[test]
+    fn transformer_block_runs_end_to_end() {
+        let c = cfg().with_embedding_dim(8);
+        let mut init = Initializer::new(4);
+        let block = TransformerBlock::new(&mut init, &c);
+        let causal = causal_mask(&c);
+        let mut e = real_exec();
+        let x = e
+            .input(Tensor::full(&[c.max_session_len, 8], 0.2))
+            .unwrap();
+        let mask = e
+            .input(
+                Tensor::from_vec(vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0], &[c.max_session_len])
+                    .unwrap(),
+            )
+            .unwrap();
+        let y = block.forward(&mut e, x, 2, Some(&causal), Some(mask)).unwrap();
+        let out = e.tensor(y).unwrap();
+        assert_eq!(out.shape(), &[c.max_session_len, 8]);
+        assert!(out.as_slice().unwrap().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn linear_vec_round_trips_shapes() {
+        let c = cfg();
+        let mut init = Initializer::new(2);
+        let w = weight(&mut init, &c, &[c.embedding_dim, 5]);
+        let b = bias(&c, 5);
+        let mut e = real_exec();
+        let x = e.input(Tensor::zeros(&[c.embedding_dim])).unwrap();
+        let y = linear_vec(&mut e, x, &w, Some(&b)).unwrap();
+        assert_eq!(e.tensor(y).unwrap().shape(), &[5]);
+    }
+}

@@ -1,0 +1,124 @@
+//! CORE (Hou et al., SIGIR 2022): consistent representation space.
+//!
+//! CORE never projects the session out of the item-embedding space: a
+//! transformer computes *weights* over the session positions, and the
+//! session representation is the weighted sum of the original item
+//! embeddings (the "representation-consistent encoder", CORE-trm), scored
+//! against the catalog with a temperature.
+
+use crate::common::{
+    self, catalog_scores, linear, masked_softmax, positional_table, weight, weighted_sum,
+    TransformerBlock,
+};
+use crate::config::ModelConfig;
+use crate::traits::SbrModel;
+use etude_tensor::kernels::BinOp;
+use etude_tensor::rng::Initializer;
+use etude_tensor::{Exec, Param, SessionInput, TRef, TensorError};
+
+/// The CORE model (transformer weighting variant).
+pub struct Core {
+    cfg: ModelConfig,
+    embedding: Param,
+    positions: Param,
+    blocks: Vec<TransformerBlock>,
+    /// Weight head `[d, 1]` producing per-position logits.
+    alpha_head: Param,
+    /// Softmax temperature of the decode (CORE uses 0.07).
+    temperature: f32,
+}
+
+impl Core {
+    /// Builds the model with randomly initialised weights.
+    pub fn new(cfg: ModelConfig) -> Core {
+        let mut init = Initializer::new(cfg.seed).child("core");
+        let blocks = (0..cfg.num_layers)
+            .map(|_| TransformerBlock::new(&mut init, &cfg))
+            .collect();
+        Core {
+            embedding: common::embedding_table(&mut init, &cfg),
+            positions: positional_table(&mut init, &cfg),
+            blocks,
+            alpha_head: weight(&mut init, &cfg, &[cfg.embedding_dim, 1]),
+            temperature: 0.07,
+            cfg,
+        }
+    }
+}
+
+impl SbrModel for Core {
+    fn name(&self) -> &'static str {
+        "core"
+    }
+
+    fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    fn forward(&self, exec: &mut Exec, input: SessionInput) -> Result<TRef, TensorError> {
+        let l = self.cfg.max_session_len;
+        let table = exec.param(&self.embedding)?;
+        let emb = exec.embedding(table, input.items)?; // [l, d] — kept pristine
+        let pos = exec.param(&self.positions)?;
+        let mut x = exec.add(emb, pos)?;
+        for block in &self.blocks {
+            x = block.forward(exec, x, self.cfg.num_heads, None, Some(input.mask))?;
+        }
+        // Per-position weights from the transformer output.
+        let logits = linear(exec, x, &self.alpha_head, None)?; // [l, 1]
+        let logits = exec.reshape(logits, &[l])?;
+        let alpha = masked_softmax(exec, logits, input.mask)?;
+        // Representation-consistent: weights applied to the *original*
+        // embeddings, never leaving the item space.
+        let s = weighted_sum(exec, alpha, emb)?; // [d]
+        let scores = catalog_scores(exec, &self.embedding, s, &self.cfg)?;
+        let scores = exec.scalar(BinOp::Div, scores, self.temperature)?;
+        exec.topk(scores, self.cfg.top_k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::recommend_eager;
+    use etude_tensor::Device;
+
+    fn model() -> Core {
+        Core::new(
+            ModelConfig::new(64)
+                .with_max_session_len(5)
+                .with_embedding_dim(8)
+                .with_seed(8),
+        )
+    }
+
+    #[test]
+    fn recommends_k_items() {
+        let m = model();
+        let r = recommend_eager(&m, &Device::cpu(), &[1, 2, 3]).unwrap();
+        assert_eq!(r.items.len(), m.cfg.top_k);
+    }
+
+    #[test]
+    fn consistent_space_favours_session_items() {
+        // With the representation being a convex combination of session
+        // item embeddings, at least one session item should rank highly.
+        let m = model();
+        let session = [10u32, 20, 30];
+        let r = recommend_eager(&m, &Device::cpu(), &session).unwrap();
+        let top: Vec<u32> = r.items.iter().take(10).copied().collect();
+        assert!(
+            session.iter().any(|s| top.contains(s)),
+            "none of {session:?} in top-10 {top:?}"
+        );
+    }
+
+    #[test]
+    fn temperature_rescales_scores() {
+        let m = model();
+        let r = recommend_eager(&m, &Device::cpu(), &[4]).unwrap();
+        // Scores are divided by 0.07, so magnitudes are large relative to
+        // raw inner products of unit-ish embeddings.
+        assert!(r.scores[0].abs() > 0.05);
+    }
+}

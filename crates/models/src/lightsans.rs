@@ -1,0 +1,220 @@
+//! LightSANs (Fan et al., SIGIR 2021): low-rank decomposed self-attention.
+//!
+//! Instead of the `[l, l]` attention of a vanilla transformer, LightSANs
+//! pools keys and values onto `k_interests` latent interests
+//! (`[l, k]`-shaped attention), plus a decoupled position encoding.
+//!
+//! **Quirk (paper, Section III-B):** the RecBole implementation "cannot be
+//! JIT-optimised by PyTorch due to dynamic code paths". With
+//! [`ModelConfig::recbole_quirks`] enabled, this reproduction inspects a
+//! runtime scalar (the pooled interest intensity) to pick between two
+//! execution branches, which poisons tracing exactly the same way. The
+//! repaired variant (`recbole_quirks = false`) always takes the static
+//! branch and traces cleanly.
+
+use crate::common::{
+    self, decode, gather_last, linear, positional_table, weight, FfnWeights, LayerNormWeights,
+};
+use crate::config::ModelConfig;
+use crate::traits::SbrModel;
+use etude_tensor::kernels::BinOp;
+use etude_tensor::rng::Initializer;
+use etude_tensor::{Exec, Param, SessionInput, TRef, TensorError};
+
+/// Number of latent interests the keys/values are pooled onto.
+const K_INTERESTS: usize = 4;
+
+/// The LightSANs model.
+pub struct LightSans {
+    cfg: ModelConfig,
+    embedding: Param,
+    positions: Param,
+    layers: Vec<LightSansLayer>,
+    final_ln: LayerNormWeights,
+}
+
+struct LightSansLayer {
+    wq: Param,
+    wk: Param,
+    wv: Param,
+    /// Low-rank interest pooling `[d, K_INTERESTS]`.
+    pool: Param,
+    wo: Param,
+    ffn: FfnWeights,
+    ln1: LayerNormWeights,
+    ln2: LayerNormWeights,
+}
+
+impl LightSansLayer {
+    fn new(init: &mut Initializer, cfg: &ModelConfig) -> LightSansLayer {
+        let d = cfg.embedding_dim;
+        LightSansLayer {
+            wq: weight(init, cfg, &[d, d]),
+            wk: weight(init, cfg, &[d, d]),
+            wv: weight(init, cfg, &[d, d]),
+            pool: weight(init, cfg, &[d, K_INTERESTS]),
+            wo: weight(init, cfg, &[d, d]),
+            ffn: FfnWeights::new(init, cfg),
+            ln1: LayerNormWeights::new(cfg, d),
+            ln2: LayerNormWeights::new(cfg, d),
+        }
+    }
+
+    /// Low-rank attention: queries attend over `K_INTERESTS` pooled
+    /// interests instead of all `l` positions — `O(l·k·d)` not `O(l²·d)`.
+    fn forward(
+        &self,
+        exec: &mut Exec,
+        x: TRef,
+        cfg: &ModelConfig,
+    ) -> Result<TRef, TensorError> {
+        let d = cfg.embedding_dim;
+        let n = common::layer_norm(exec, x, &self.ln1)?;
+        let q = linear(exec, n, &self.wq, None)?; // [l, d]
+        let k = linear(exec, n, &self.wk, None)?; // [l, d]
+        let v = linear(exec, n, &self.wv, None)?; // [l, d]
+
+        // Interest pooling: P = softmax_rows((K · pool)^T) ∈ [k, l].
+        let affinity = linear(exec, k, &self.pool, None)?; // [l, k]
+        let affinity_t = exec.transpose(affinity)?; // [k, l]
+        let pool_w = exec.softmax(affinity_t)?; // [k, l] row-softmax over l
+        let k_pooled = exec.matmul(pool_w, k)?; // [k, d]
+        let v_pooled = exec.matmul(pool_w, v)?; // [k, d]
+
+        // Attention of queries over the pooled interests.
+        let k_t = exec.transpose(k_pooled)?; // [d, k]
+        let logits = exec.matmul(q, k_t)?; // [l, k]
+        let logits = exec.scalar(BinOp::Mul, logits, 1.0 / (d as f32).sqrt())?;
+        let attn = exec.softmax(logits)?;
+        let ctx = exec.matmul(attn, v_pooled)?; // [l, d]
+        let ctx = linear(exec, ctx, &self.wo, None)?;
+        let x = exec.add(x, ctx)?;
+        let n = common::layer_norm(exec, x, &self.ln2)?;
+        let f = common::feed_forward(exec, n, &self.ffn)?;
+        exec.add(x, f)
+    }
+}
+
+impl LightSans {
+    /// Builds the model with randomly initialised weights.
+    pub fn new(cfg: ModelConfig) -> LightSans {
+        let mut init = Initializer::new(cfg.seed).child("lightsans");
+        let layers = (0..cfg.num_layers)
+            .map(|_| LightSansLayer::new(&mut init, &cfg))
+            .collect();
+        LightSans {
+            embedding: common::embedding_table(&mut init, &cfg),
+            positions: positional_table(&mut init, &cfg),
+            layers,
+            final_ln: LayerNormWeights::new(&cfg, cfg.embedding_dim),
+            cfg,
+        }
+    }
+}
+
+impl SbrModel for LightSans {
+    fn name(&self) -> &'static str {
+        "lightsans"
+    }
+
+    fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    fn forward(&self, exec: &mut Exec, input: SessionInput) -> Result<TRef, TensorError> {
+        let table = exec.param(&self.embedding)?;
+        let x = exec.embedding(table, input.items)?;
+        let pos = exec.param(&self.positions)?;
+        let mut x = exec.add(x, pos)?;
+        for layer in &self.layers {
+            if self.cfg.recbole_quirks {
+                // The RecBole implementation branches on runtime data
+                // inside the forward pass. Reading a tensor element is
+                // data-dependent control flow: it works eagerly but
+                // fails tracing with `DynamicControlFlow`, matching the
+                // paper's JIT failure for LightSANs.
+                let probe = exec.sum_rows(x)?;
+                let intensity = exec.item(probe, 0)?;
+                x = if intensity.abs() < f32::MAX {
+                    layer.forward(exec, x, &self.cfg)?
+                } else {
+                    // Unreachable fallback branch kept for fidelity: the
+                    // dynamic check is the point, not the alternative.
+                    common::layer_norm(exec, x, &self.final_ln)?
+                };
+            } else {
+                x = layer.forward(exec, x, &self.cfg)?;
+            }
+        }
+        let x = common::layer_norm(exec, x, &self.final_ln)?;
+        let s = gather_last(exec, x, input.last)?;
+        decode(exec, &self.embedding, s, &self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{compile, recommend_eager};
+    use etude_tensor::{Device, JitError};
+
+    fn cfg() -> ModelConfig {
+        ModelConfig::new(64)
+            .with_max_session_len(6)
+            .with_embedding_dim(8)
+            .with_seed(12)
+    }
+
+    #[test]
+    fn recommends_k_items_eagerly_despite_quirk() {
+        let m = LightSans::new(cfg());
+        let r = recommend_eager(&m, &Device::cpu(), &[1, 2, 3]).unwrap();
+        assert_eq!(r.items.len(), m.cfg.top_k);
+    }
+
+    #[test]
+    fn quirky_variant_refuses_jit() {
+        let m = LightSans::new(cfg());
+        match compile(&m, Default::default()) {
+            Err(JitError::DynamicControlFlow(_)) => {}
+            other => panic!("expected DynamicControlFlow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fixed_variant_compiles_and_matches_eager() {
+        let m = LightSans::new(cfg().with_quirks(false));
+        let compiled = compile(&m, Default::default()).unwrap();
+        let eager = recommend_eager(&m, &Device::cpu(), &[4, 5]).unwrap();
+        let jit = crate::traits::recommend_compiled(&m, &compiled, &[4, 5]).unwrap();
+        assert_eq!(eager.items, jit.items);
+    }
+
+    #[test]
+    fn low_rank_attention_is_cheaper_than_full_attention() {
+        // LightSANs' selling point: [l,k] attention instead of [l,l].
+        let ls = LightSans::new(cfg().with_quirks(false).with_max_session_len(50));
+        let sas = crate::sasrec::SasRec::new(
+            ModelConfig::new(64)
+                .with_max_session_len(50)
+                .with_embedding_dim(8)
+                .with_seed(12),
+        );
+        let cl = crate::traits::forward_cost(
+            &ls,
+            &Device::cpu(),
+            etude_tensor::ExecMode::Real,
+            20,
+        )
+        .unwrap();
+        let cs = crate::traits::forward_cost(
+            &sas,
+            &Device::cpu(),
+            etude_tensor::ExecMode::Real,
+            20,
+        )
+        .unwrap();
+        // Compare encoder flops by subtracting the (identical) decode.
+        assert!(cl.flops < cs.flops);
+    }
+}

@@ -1,0 +1,212 @@
+//! RepeatNet (Ren et al., AAAI 2019): repeat-aware recommendation with an
+//! encoder-decoder architecture and a repeat/explore mode switch.
+//!
+//! A GRU encodes the session; a small gate predicts whether the user will
+//! *repeat* (click an item already in the session) or *explore* (a new
+//! item). The repeat decoder scores session positions; the explore decoder
+//! scores the full catalog; the final distribution mixes both.
+//!
+//! **Quirk (paper, Section III-C):** the RecBole implementation "contains
+//! expensive tensor multiplications of very sparse matrices which are
+//! implemented with dense operations and representations". With
+//! [`ModelConfig::recbole_quirks`] enabled, the repeat distribution is
+//! mapped onto the catalog through a *dense one-hot `[l, C]` matrix
+//! product* plus full-catalog mixing passes — `O(l·C)` traffic per
+//! request. The repaired variant scatter-adds the `l` repeat scores
+//! directly (`O(C)` once) before top-k.
+
+use crate::common::{
+    self, catalog_scores, gather_last, gru_sequence, linear, linear_vec, masked_softmax, weight,
+    weighted_sum, GruWeights,
+};
+use crate::config::ModelConfig;
+use crate::traits::SbrModel;
+use etude_tensor::kernels::BinOp;
+use etude_tensor::rng::Initializer;
+use etude_tensor::{Exec, Param, SessionInput, TRef, TensorError};
+
+/// The RepeatNet model.
+pub struct RepeatNet {
+    cfg: ModelConfig,
+    embedding: Param,
+    gru: GruWeights,
+    /// Repeat-attention projections.
+    rep_w1: Param,
+    rep_w2: Param,
+    rep_v: Param,
+    /// Explore-attention projections.
+    exp_w1: Param,
+    exp_w2: Param,
+    exp_v: Param,
+    /// Mode gate `[2d, 2]` over [repeat, explore].
+    mode: Param,
+}
+
+impl RepeatNet {
+    /// Builds the model with randomly initialised weights.
+    pub fn new(cfg: ModelConfig) -> RepeatNet {
+        let mut init = Initializer::new(cfg.seed).child("repeatnet");
+        let d = cfg.embedding_dim;
+        let h = cfg.hidden_size;
+        RepeatNet {
+            embedding: common::embedding_table(&mut init, &cfg),
+            gru: GruWeights::new(&mut init, &cfg, d, h),
+            rep_w1: weight(&mut init, &cfg, &[h, h]),
+            rep_w2: weight(&mut init, &cfg, &[h, h]),
+            rep_v: weight(&mut init, &cfg, &[h, 1]),
+            exp_w1: weight(&mut init, &cfg, &[h, h]),
+            exp_w2: weight(&mut init, &cfg, &[h, h]),
+            exp_v: weight(&mut init, &cfg, &[h, 1]),
+            mode: weight(&mut init, &cfg, &[2 * h, 2]),
+            cfg,
+        }
+    }
+
+    /// Additive attention producing `[l]` weights over hidden states.
+    #[allow(clippy::too_many_arguments)]
+    fn attention(
+        &self,
+        exec: &mut Exec,
+        hs: TRef,
+        h_last: TRef,
+        mask: TRef,
+        w1: &Param,
+        w2: &Param,
+        v: &Param,
+    ) -> Result<TRef, TensorError> {
+        let l = self.cfg.max_session_len;
+        let q = linear_vec(exec, h_last, w1, None)?;
+        let keys = linear(exec, hs, w2, None)?;
+        let shifted = exec.binary_row(BinOp::Add, keys, q)?;
+        let act = exec.tanh(shifted)?;
+        let v_ref = exec.param(v)?;
+        let e = exec.matmul(act, v_ref)?;
+        let e = exec.reshape(e, &[l])?;
+        masked_softmax(exec, e, mask)
+    }
+}
+
+impl SbrModel for RepeatNet {
+    fn name(&self) -> &'static str {
+        "repeatnet"
+    }
+
+    fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    fn forward(&self, exec: &mut Exec, input: SessionInput) -> Result<TRef, TensorError> {
+        let c = self.cfg.catalog_size;
+        let table = exec.param(&self.embedding)?;
+        let x = exec.embedding(table, input.items)?;
+        let hs = gru_sequence(exec, x, &self.gru, self.cfg.hidden_size)?;
+        let h_last = gather_last(exec, hs, input.last)?;
+
+        // Repeat decoder: a distribution over session positions.
+        let rep_alpha = self.attention(
+            exec, hs, h_last, input.mask, &self.rep_w1, &self.rep_w2, &self.rep_v,
+        )?; // [l]
+
+        // Explore decoder: context vector -> full catalog scores.
+        let exp_alpha = self.attention(
+            exec, hs, h_last, input.mask, &self.exp_w1, &self.exp_w2, &self.exp_v,
+        )?;
+        let c_ex = weighted_sum(exec, exp_alpha, hs)?; // [h]
+        let explore_scores = catalog_scores(exec, &self.embedding, c_ex, &self.cfg)?; // [C]
+        let explore_probs = exec.softmax(explore_scores)?; // [C]
+
+        // Mode gate P(repeat), P(explore) from [c_ex ; h_last].
+        let gate_in = exec.concat(c_ex, h_last)?; // [2h]
+        let gate_logits = linear_vec(exec, gate_in, &self.mode, None)?; // [2]
+        let gate = exec.softmax(gate_logits)?; // [2]
+        let gate_row = exec.reshape(gate, &[1, 2])?;
+        let p_repeat = exec.slice_cols(gate_row, 0, 1)?; // [1, 1]
+        let p_repeat = exec.reshape(p_repeat, &[1])?;
+        let p_explore = exec.slice_cols(gate_row, 1, 2)?;
+        let p_explore = exec.reshape(p_explore, &[1])?;
+
+        let final_scores = if self.cfg.recbole_quirks {
+            // RecBole path: materialise the sparse position->item map as a
+            // dense [l, C] one-hot matrix and mix with full-catalog dense
+            // arithmetic. O(l*C) memory traffic per request.
+            let l = self.cfg.max_session_len;
+            let onehot = exec.one_hot_rows(input.items, c)?; // [l, C] dense
+            let alpha_row = exec.reshape(rep_alpha, &[1, l])?;
+            let repeat_dense = exec.matmul(alpha_row, onehot)?; // [1, C]
+            let repeat_dense = exec.reshape(repeat_dense, &[c])?;
+            let rep_scaled = common::scale_by_scalar_tensor(exec, repeat_dense, p_repeat)?;
+            let exp_scaled = common::scale_by_scalar_tensor(exec, explore_probs, p_explore)?;
+            exec.add(rep_scaled, exp_scaled)?
+        } else {
+            // Repaired path: scatter the l repeat scores straight into the
+            // catalog vector (one O(C) write) and fold the explore gate
+            // into the scores before a single mixing add.
+            let rep_scaled_l = common::scale_by_scalar_tensor(exec, rep_alpha, p_repeat)?;
+            let repeat_sparse = exec.scatter_add_dense(input.items, rep_scaled_l, c)?; // [C]
+            let exp_scaled = common::scale_by_scalar_tensor(exec, explore_probs, p_explore)?;
+            exec.add(repeat_sparse, exp_scaled)?
+        };
+        exec.topk(final_scores, self.cfg.top_k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{forward_cost, recommend_eager};
+    use etude_tensor::{Device, ExecMode};
+
+    fn cfg() -> ModelConfig {
+        ModelConfig::new(120).with_max_session_len(6).with_seed(17)
+    }
+
+    #[test]
+    fn recommends_k_items() {
+        let m = RepeatNet::new(cfg());
+        let r = recommend_eager(&m, &Device::cpu(), &[4, 9, 4]).unwrap();
+        assert_eq!(r.items.len(), m.cfg.top_k);
+    }
+
+    #[test]
+    fn repeat_mechanism_boosts_session_items() {
+        // The mixed distribution includes mass scattered onto session
+        // items; with softmaxed explore probs (≈1/C each) a session item
+        // receiving repeat mass should appear in the top-k.
+        let m = RepeatNet::new(cfg());
+        let session = [42u32, 17, 99];
+        let r = recommend_eager(&m, &Device::cpu(), &session).unwrap();
+        assert!(
+            session.iter().any(|s| r.items.contains(s)),
+            "no session item in {:?}",
+            r.items
+        );
+    }
+
+    #[test]
+    fn quirky_path_moves_catalog_scale_more_bytes() {
+        // At realistic catalog scale the dense [l, C] one-hot product
+        // dominates traffic; measured in cost-only mode so no multi-GB
+        // buffers are allocated.
+        let big = ModelConfig::new(1_000_000).without_weights().with_seed(17);
+        let quirky = RepeatNet::new(big.clone());
+        let fixed = RepeatNet::new(big.with_quirks(false));
+        let cq = forward_cost(&quirky, &Device::cpu(), ExecMode::CostOnly, 4).unwrap();
+        let cf = forward_cost(&fixed, &Device::cpu(), ExecMode::CostOnly, 4).unwrap();
+        assert!(
+            cq.bytes > 2.0 * cf.bytes,
+            "quirk {} vs fixed {}",
+            cq.bytes,
+            cf.bytes
+        );
+    }
+
+    #[test]
+    fn quirky_and_fixed_agree_on_rankings() {
+        // The repair must not change semantics, only cost.
+        let quirky = RepeatNet::new(cfg());
+        let fixed = RepeatNet::new(cfg().with_quirks(false));
+        let rq = recommend_eager(&quirky, &Device::cpu(), &[3, 7, 11]).unwrap();
+        let rf = recommend_eager(&fixed, &Device::cpu(), &[3, 7, 11]).unwrap();
+        assert_eq!(rq.items, rf.items);
+    }
+}

@@ -1,0 +1,385 @@
+//! Model weight serialisation.
+//!
+//! The paper's inference server "can deploy serialised PyTorch models
+//! from Google storage buckets". This module provides the equivalent for
+//! this runtime: a compact binary container for a model's configuration
+//! and weight tensors, written and parsed without external dependencies.
+//!
+//! ## Format (`ETUD` v1, little-endian)
+//!
+//! ```text
+//! magic  "ETUD"            4 bytes
+//! version u32              currently 1
+//! model name               u32 length + utf-8 bytes
+//! config                   7 x u64 (catalog, max_len, top_k, d, hidden,
+//!                          layers, heads) + u8 quirks + u64 seed
+//! tensor count u32
+//! per tensor: name (u32 + bytes), rank u32, dims (u64 each),
+//!             data (f32 little-endian)
+//! ```
+//!
+//! Weights are keyed by name, so loading checks completeness and shapes.
+
+use crate::config::ModelConfig;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"ETUD";
+const VERSION: u32 = 1;
+
+/// Errors from reading a serialised model.
+#[derive(Debug)]
+pub enum SerdesError {
+    /// Transport failure.
+    Io(io::Error),
+    /// Not an `ETUD` container or an unsupported version.
+    BadFormat(&'static str),
+}
+
+impl fmt::Display for SerdesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerdesError::Io(e) => write!(f, "io error: {e}"),
+            SerdesError::BadFormat(why) => write!(f, "bad model file: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SerdesError {}
+
+impl From<io::Error> for SerdesError {
+    fn from(e: io::Error) -> Self {
+        SerdesError::Io(e)
+    }
+}
+
+/// A serialised model: configuration plus named weight tensors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelBundle {
+    /// Model kind name (e.g. `"gru4rec"`).
+    pub model: String,
+    /// The configuration the weights were created for.
+    pub config: ModelConfig,
+    /// Named weights: `(shape, row-major data)`.
+    pub tensors: BTreeMap<String, (Vec<usize>, Vec<f32>)>,
+}
+
+impl ModelBundle {
+    /// Creates an empty bundle for a model/config pair.
+    pub fn new(model: &str, config: ModelConfig) -> ModelBundle {
+        ModelBundle {
+            model: model.to_string(),
+            config,
+            tensors: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a named tensor.
+    pub fn add(&mut self, name: &str, shape: &[usize], data: Vec<f32>) {
+        self.tensors
+            .insert(name.to_string(), (shape.to_vec(), data));
+    }
+
+    /// Total serialised payload size in bytes (approximate container
+    /// size; what a pod downloads from the bucket).
+    pub fn payload_bytes(&self) -> u64 {
+        self.tensors
+            .values()
+            .map(|(_, d)| 4 * d.len() as u64)
+            .sum::<u64>()
+    }
+
+    /// Writes the container to any sink.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        write_string(w, &self.model)?;
+        let c = &self.config;
+        for v in [
+            c.catalog_size as u64,
+            c.max_session_len as u64,
+            c.top_k as u64,
+            c.embedding_dim as u64,
+            c.hidden_size as u64,
+            c.num_layers as u64,
+            c.num_heads as u64,
+        ] {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        w.write_all(&[u8::from(c.recbole_quirks)])?;
+        w.write_all(&c.seed.to_le_bytes())?;
+        w.write_all(&(self.tensors.len() as u32).to_le_bytes())?;
+        for (name, (shape, data)) in &self.tensors {
+            write_string(w, name)?;
+            w.write_all(&(shape.len() as u32).to_le_bytes())?;
+            for &d in shape {
+                w.write_all(&(d as u64).to_le_bytes())?;
+            }
+            for &x in data {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a container from any source.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<ModelBundle, SerdesError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(SerdesError::BadFormat("magic mismatch"));
+        }
+        if read_u32(r)? != VERSION {
+            return Err(SerdesError::BadFormat("unsupported version"));
+        }
+        let model = read_string(r)?;
+        let catalog_size = read_u64(r)? as usize;
+        let max_session_len = read_u64(r)? as usize;
+        let top_k = read_u64(r)? as usize;
+        let embedding_dim = read_u64(r)? as usize;
+        let hidden_size = read_u64(r)? as usize;
+        let num_layers = read_u64(r)? as usize;
+        let num_heads = read_u64(r)? as usize;
+        let mut flag = [0u8; 1];
+        r.read_exact(&mut flag)?;
+        let mut seed_bytes = [0u8; 8];
+        r.read_exact(&mut seed_bytes)?;
+        let config = ModelConfig {
+            catalog_size,
+            max_session_len,
+            top_k,
+            embedding_dim,
+            hidden_size,
+            num_layers,
+            num_heads,
+            recbole_quirks: flag[0] != 0,
+            materialize_weights: true,
+            seed: u64::from_le_bytes(seed_bytes),
+        };
+        let count = read_u32(r)? as usize;
+        if count > 100_000 {
+            return Err(SerdesError::BadFormat("implausible tensor count"));
+        }
+        let mut tensors = BTreeMap::new();
+        for _ in 0..count {
+            let name = read_string(r)?;
+            let rank = read_u32(r)? as usize;
+            if rank > 8 {
+                return Err(SerdesError::BadFormat("implausible tensor rank"));
+            }
+            let mut shape = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                shape.push(read_u64(r)? as usize);
+            }
+            let n: usize = shape.iter().product();
+            if n > 2_000_000_000 {
+                return Err(SerdesError::BadFormat("implausible tensor size"));
+            }
+            let mut raw = vec![0u8; 4 * n];
+            r.read_exact(&mut raw)?;
+            let data = raw
+                .chunks_exact(4)
+                .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                .collect();
+            tensors.insert(name, (shape, data));
+        }
+        Ok(ModelBundle {
+            model,
+            config,
+            tensors,
+        })
+    }
+
+    /// Writes the container to a file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut file = io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_to(&mut file)
+    }
+
+    /// Reads a container from a file.
+    pub fn load(path: &Path) -> Result<ModelBundle, SerdesError> {
+        let mut file = io::BufReader::new(std::fs::File::open(path)?);
+        Self::read_from(&mut file)
+    }
+}
+
+/// Exports a model as a deployable bundle.
+///
+/// Weight initialisation is deterministic in `(kind, config)`, so the
+/// bundle carries the configuration plus the item-embedding table (the
+/// artifact whose size dominates what a pod downloads); loading
+/// reconstructs the model and verifies the stored table bit-for-bit.
+pub fn export_model(kind: crate::ModelKind, cfg: &ModelConfig) -> ModelBundle {
+    use etude_tensor::rng::Initializer;
+    let mut bundle = ModelBundle::new(kind.name(), cfg.clone());
+    if cfg.materialize_weights {
+        let mut init = Initializer::new(cfg.seed).child(kind.name());
+        let table = crate::common::embedding_table(&mut init, cfg);
+        let data = table.value().as_slice().expect("dense table").to_vec();
+        bundle.add("item_embedding", table.shape(), data);
+    }
+    bundle
+}
+
+/// Reconstructs a model from a bundle, verifying identity: the model kind
+/// must be known and the stored embedding table must match the weights
+/// the configuration regenerates.
+pub fn load_model(bundle: &ModelBundle) -> Result<Box<dyn crate::SbrModel>, SerdesError> {
+    use etude_tensor::rng::Initializer;
+    let kind = crate::ModelKind::parse(&bundle.model)
+        .ok_or(SerdesError::BadFormat("unknown model kind"))?;
+    let model = kind.build(&bundle.config);
+    if bundle.config.materialize_weights {
+        let (shape, data) = bundle
+            .tensors
+            .get("item_embedding")
+            .ok_or(SerdesError::BadFormat("missing item_embedding tensor"))?;
+        let mut init = Initializer::new(bundle.config.seed).child(kind.name());
+        let expected = crate::common::embedding_table(&mut init, &bundle.config);
+        if shape != expected.shape()
+            || expected.value().as_slice().map_err(|_| {
+                SerdesError::BadFormat("config demands weights but table is phantom")
+            })? != data.as_slice()
+        {
+            return Err(SerdesError::BadFormat("embedding table mismatch"));
+        }
+    }
+    Ok(model)
+}
+
+fn write_string<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    w.write_all(&(s.len() as u32).to_le_bytes())?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, SerdesError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, SerdesError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_string<R: Read>(r: &mut R) -> Result<String, SerdesError> {
+    let len = read_u32(r)? as usize;
+    if len > 4096 {
+        return Err(SerdesError::BadFormat("implausible string length"));
+    }
+    let mut bytes = vec![0u8; len];
+    r.read_exact(&mut bytes)?;
+    String::from_utf8(bytes).map_err(|_| SerdesError::BadFormat("non-utf8 string"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bundle() -> ModelBundle {
+        let cfg = ModelConfig::new(1_000).with_max_session_len(12).with_seed(9);
+        let mut b = ModelBundle::new("gru4rec", cfg);
+        b.add("embedding", &[4, 3], vec![0.5; 12]);
+        b.add("w_ih", &[6], vec![1.0, -1.0, 2.0, -2.0, 0.0, 3.5]);
+        b
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let bundle = sample_bundle();
+        let mut buf = Vec::new();
+        bundle.write_to(&mut buf).unwrap();
+        let loaded = ModelBundle::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded, bundle);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("etude_serdes_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.etud");
+        let bundle = sample_bundle();
+        bundle.save(&path).unwrap();
+        let loaded = ModelBundle::load(&path).unwrap();
+        assert_eq!(loaded, bundle);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected() {
+        let mut buf = Vec::new();
+        sample_bundle().write_to(&mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(
+            ModelBundle::read_from(&mut buf.as_slice()),
+            Err(SerdesError::BadFormat(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_files_error_cleanly() {
+        let mut buf = Vec::new();
+        sample_bundle().write_to(&mut buf).unwrap();
+        for cut in [3usize, 10, buf.len() / 2, buf.len() - 1] {
+            assert!(ModelBundle::read_from(&mut buf[..cut].as_ref()).is_err());
+        }
+    }
+
+    #[test]
+    fn payload_bytes_counts_weights() {
+        let bundle = sample_bundle();
+        assert_eq!(bundle.payload_bytes(), 4 * (12 + 6));
+    }
+
+    #[test]
+    fn export_load_roundtrip_preserves_recommendations() {
+        use crate::traits::recommend_eager;
+        use etude_tensor::Device;
+        let cfg = ModelConfig::new(300).with_max_session_len(8).with_seed(31);
+        let original = crate::ModelKind::Narm.build(&cfg);
+        let bundle = export_model(crate::ModelKind::Narm, &cfg);
+        // Through bytes, like a storage-bucket download.
+        let mut buf = Vec::new();
+        bundle.write_to(&mut buf).unwrap();
+        let loaded_bundle = ModelBundle::read_from(&mut buf.as_slice()).unwrap();
+        let loaded = load_model(&loaded_bundle).unwrap();
+        let a = recommend_eager(original.as_ref(), &Device::cpu(), &[5, 9, 2]).unwrap();
+        let b = recommend_eager(loaded.as_ref(), &Device::cpu(), &[5, 9, 2]).unwrap();
+        assert_eq!(a.items, b.items);
+        assert_eq!(a.scores, b.scores);
+    }
+
+    #[test]
+    fn tampered_bundles_are_rejected_on_load() {
+        let cfg = ModelConfig::new(100).with_max_session_len(6).with_seed(2);
+        let mut bundle = export_model(crate::ModelKind::Stamp, &cfg);
+        if let Some((_, data)) = bundle.tensors.get_mut("item_embedding") {
+            data[0] += 1.0; // corrupt one weight
+        }
+        assert!(matches!(
+            load_model(&bundle),
+            Err(SerdesError::BadFormat("embedding table mismatch"))
+        ));
+    }
+
+    #[test]
+    fn unknown_model_kinds_are_rejected() {
+        let cfg = ModelConfig::new(50).without_weights();
+        let bundle = ModelBundle::new("bert4rec", cfg);
+        assert!(matches!(
+            load_model(&bundle),
+            Err(SerdesError::BadFormat("unknown model kind"))
+        ));
+    }
+
+    #[test]
+    fn export_payload_matches_table_size() {
+        let cfg = ModelConfig::new(1_000).with_seed(3);
+        let bundle = export_model(crate::ModelKind::Core, &cfg);
+        assert_eq!(bundle.payload_bytes(), cfg.embedding_table_bytes());
+    }
+}

@@ -1,0 +1,145 @@
+//! SINE (Tan et al., WSDM 2021): sparse-interest network.
+//!
+//! A prototype bank of latent "interests" is maintained; for each session
+//! the model activates its top interests, pools the session separately
+//! per activated interest, and aggregates the per-interest vectors into
+//! the final representation. The interest activation is itself a top-k
+//! selection — a rare case of top-k *inside* the encoder.
+
+use crate::common::{
+    self, catalog_scores, key_query_logits, linear_vec, masked_softmax, weight, weighted_sum,
+};
+use crate::config::ModelConfig;
+use crate::traits::SbrModel;
+use etude_tensor::rng::Initializer;
+use etude_tensor::{Exec, Param, SessionInput, TRef, TensorError};
+
+/// Size of the latent prototype bank.
+const PROTOTYPES: usize = 16;
+/// Number of interests activated per session.
+const ACTIVE_INTERESTS: usize = 4;
+
+/// The SINE model.
+pub struct Sine {
+    cfg: ModelConfig,
+    embedding: Param,
+    /// Prototype bank `[PROTOTYPES, d]`.
+    prototypes: Param,
+    /// Self-attention pooling vector `[d, 1]` for the session summary.
+    pool: Param,
+    /// Aggregation projection `[d, d]`.
+    agg: Param,
+}
+
+impl Sine {
+    /// Builds the model with randomly initialised weights.
+    pub fn new(cfg: ModelConfig) -> Sine {
+        let mut init = Initializer::new(cfg.seed).child("sine");
+        let d = cfg.embedding_dim;
+        Sine {
+            embedding: common::embedding_table(&mut init, &cfg),
+            prototypes: weight(&mut init, &cfg, &[PROTOTYPES, d]),
+            pool: weight(&mut init, &cfg, &[d, 1]),
+            agg: weight(&mut init, &cfg, &[d, d]),
+            cfg,
+        }
+    }
+}
+
+impl SbrModel for Sine {
+    fn name(&self) -> &'static str {
+        "sine"
+    }
+
+    fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    fn forward(&self, exec: &mut Exec, input: SessionInput) -> Result<TRef, TensorError> {
+        let l = self.cfg.max_session_len;
+        let d = self.cfg.embedding_dim;
+        let table = exec.param(&self.embedding)?;
+        let x = exec.embedding(table, input.items)?; // [l, d]
+
+        // Session summary z via attention pooling.
+        let pool = exec.param(&self.pool)?;
+        let logits = exec.matmul(x, pool)?; // [l, 1]
+        let logits = exec.reshape(logits, &[l])?;
+        let alpha = masked_softmax(exec, logits, input.mask)?;
+        let z = weighted_sum(exec, alpha, x)?; // [d]
+
+        // Sparse interest activation: top interests by prototype affinity.
+        let protos = exec.param(&self.prototypes)?;
+        let affinity = key_query_logits(exec, protos, z)?; // [PROTOTYPES]
+        let active = exec.topk(affinity, ACTIVE_INTERESTS)?; // [2, k]
+        let active_ids = exec.slice_rows(active, 0, 1)?; // [1, k] bit-cast ids
+        let active_ids = exec.reshape(active_ids, &[ACTIVE_INTERESTS])?;
+
+        // Per-interest pooling of the session, then aggregation.
+        let selected = exec.embedding(protos, active_ids)?; // [k, d] gather prototypes
+        let mut interest_vecs: Option<TRef> = None;
+        for i in 0..ACTIVE_INTERESTS {
+            let p = exec.slice_rows(selected, i, i + 1)?; // [1, d]
+            let p = exec.reshape(p, &[d])?;
+            let e = key_query_logits(exec, x, p)?; // [l]
+            let w = masked_softmax(exec, e, input.mask)?;
+            let v = weighted_sum(exec, w, x)?; // [d]
+            let v_row = exec.reshape(v, &[1, d])?;
+            interest_vecs = Some(match interest_vecs {
+                Some(acc) => exec.concat(acc, v_row)?, // accumulate columns
+                None => v_row,
+            });
+        }
+        // interest_vecs: [1, k*d] -> [k, d]
+        let stacked = exec.reshape(interest_vecs.expect("k >= 1"), &[ACTIVE_INTERESTS, d])?;
+
+        // Aggregate per-interest vectors weighted by their match with z.
+        let beta_logits = key_query_logits(exec, stacked, z)?; // [k]
+        let beta = exec.softmax(beta_logits)?;
+        let merged = weighted_sum(exec, beta, stacked)?; // [d]
+        let s = linear_vec(exec, merged, &self.agg, None)?;
+        let scores = catalog_scores(exec, &self.embedding, s, &self.cfg)?;
+        exec.topk(scores, self.cfg.top_k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{compile, recommend_compiled, recommend_eager};
+    use etude_tensor::Device;
+
+    fn model() -> Sine {
+        Sine::new(
+            ModelConfig::new(90)
+                .with_max_session_len(6)
+                .with_seed(13),
+        )
+    }
+
+    #[test]
+    fn recommends_k_items() {
+        let m = model();
+        let r = recommend_eager(&m, &Device::cpu(), &[1, 2, 3]).unwrap();
+        assert_eq!(r.items.len(), m.cfg.top_k);
+    }
+
+    #[test]
+    fn interest_selection_is_traceable() {
+        // The mid-graph top-k is a tensor op, not host control flow, so
+        // SINE JIT-compiles (it is not one of the four flagged models).
+        let m = model();
+        let compiled = compile(&m, Default::default()).unwrap();
+        let eager = recommend_eager(&m, &Device::cpu(), &[7, 8]).unwrap();
+        let jit = recommend_compiled(&m, &compiled, &[7, 8]).unwrap();
+        assert_eq!(eager.items, jit.items);
+    }
+
+    #[test]
+    fn different_sessions_activate_different_scores() {
+        let m = model();
+        let a = recommend_eager(&m, &Device::cpu(), &[1, 2]).unwrap();
+        let b = recommend_eager(&m, &Device::cpu(), &[80, 81]).unwrap();
+        assert_ne!(a.scores, b.scores);
+    }
+}

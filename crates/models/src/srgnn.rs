@@ -1,0 +1,221 @@
+//! SR-GNN (Wu et al., AAAI 2019): session graphs with gated GNNs.
+//!
+//! The session is converted into a directed graph over its interactions;
+//! a gated graph neural network propagates item states along incoming and
+//! outgoing edges, and an attention readout combines long-term preference
+//! with the current interest (the last click).
+//!
+//! **Quirk (paper, Section III-C):** the RecBole implementation constructs
+//! the adjacency matrices "with NumPy operations in their inference
+//! functions which require repeated data transfers between CPU and GPU at
+//! inference time". With [`ModelConfig::recbole_quirks`] enabled, the
+//! [`Exec::session_graph`] ops are marked host-side, charging two PCIe
+//! round-trips per request on GPU devices. The repaired variant builds the
+//! graph on-device.
+
+use crate::common::{
+    self, catalog_scores, gather_last, linear, linear_vec, masked_softmax,
+    weight, weighted_sum,
+};
+use crate::config::ModelConfig;
+use crate::traits::SbrModel;
+use etude_tensor::kernels::{BinOp, UnOp};
+use etude_tensor::rng::Initializer;
+use etude_tensor::{Exec, Param, SessionInput, TRef, TensorError};
+
+/// Weights of the gated graph network and readout shared by SR-GNN and
+/// GC-SAN.
+pub struct GgnnWeights {
+    /// Edge projections `[d, d]` for incoming/outgoing messages.
+    pub w_in: Param,
+    pub w_out: Param,
+    /// Gate projections `[2d, d]` (messages) and `[d, d]` (state).
+    pub wz_a: Param,
+    pub wz_h: Param,
+    pub wr_a: Param,
+    pub wr_h: Param,
+    pub wh_a: Param,
+    pub wh_h: Param,
+}
+
+impl GgnnWeights {
+    /// Initialises GGNN weights for hidden size `d`.
+    pub fn new(init: &mut Initializer, cfg: &ModelConfig) -> GgnnWeights {
+        let d = cfg.embedding_dim;
+        GgnnWeights {
+            w_in: weight(init, cfg, &[d, d]),
+            w_out: weight(init, cfg, &[d, d]),
+            wz_a: weight(init, cfg, &[2 * d, d]),
+            wz_h: weight(init, cfg, &[d, d]),
+            wr_a: weight(init, cfg, &[2 * d, d]),
+            wr_h: weight(init, cfg, &[d, d]),
+            wh_a: weight(init, cfg, &[2 * d, d]),
+            wh_h: weight(init, cfg, &[d, d]),
+        }
+    }
+
+    /// One gated propagation step over the session graph.
+    ///
+    /// `a = [A_in H W_in ; A_out H W_out]`, then a GRU-style gate updates
+    /// the node states `h`.
+    pub fn step(
+        &self,
+        exec: &mut Exec,
+        h: TRef,
+        a_in: TRef,
+        a_out: TRef,
+    ) -> Result<TRef, TensorError> {
+        let m_in0 = linear(exec, h, &self.w_in, None)?; // [l, d]
+        let m_in = exec.matmul(a_in, m_in0)?; // [l, d]
+        let m_out0 = linear(exec, h, &self.w_out, None)?;
+        let m_out = exec.matmul(a_out, m_out0)?;
+        let a = exec.concat(m_in, m_out)?; // [l, 2d]
+
+        let z0 = linear(exec, a, &self.wz_a, None)?;
+        let z1 = linear(exec, h, &self.wz_h, None)?;
+        let z = exec.add(z0, z1)?;
+        let z = exec.unary(UnOp::Sigmoid, z)?;
+
+        let r0 = linear(exec, a, &self.wr_a, None)?;
+        let r1 = linear(exec, h, &self.wr_h, None)?;
+        let r = exec.add(r0, r1)?;
+        let r = exec.unary(UnOp::Sigmoid, r)?;
+
+        let gated = exec.mul(r, h)?;
+        let n0 = linear(exec, a, &self.wh_a, None)?;
+        let n1 = linear(exec, gated, &self.wh_h, None)?;
+        let n = exec.add(n0, n1)?;
+        let n = exec.tanh(n)?;
+
+        // h' = (1 - z) * h + z * n
+        let one_minus_z = exec.scalar(BinOp::Sub, z, 1.0)?; // z - 1
+        let one_minus_z = exec.scalar(BinOp::Mul, one_minus_z, -1.0)?; // 1 - z
+        let keep = exec.mul(one_minus_z, h)?;
+        let update = exec.mul(z, n)?;
+        exec.add(keep, update)
+    }
+}
+
+/// Builds the in/out adjacency matrices, marked host-side when the
+/// RecBole quirk is enabled.
+pub fn session_adjacency(
+    exec: &mut Exec,
+    input: SessionInput,
+    quirky: bool,
+) -> Result<(TRef, TRef), TensorError> {
+    let a_in = exec.session_graph(input.items, input.mask, false, quirky)?;
+    let a_out = exec.session_graph(input.items, input.mask, true, quirky)?;
+    Ok((a_in, a_out))
+}
+
+/// The SR-GNN model.
+pub struct SrGnn {
+    cfg: ModelConfig,
+    embedding: Param,
+    ggnn: GgnnWeights,
+    /// Readout attention: `q = W1 h_last`, `K = H W2`, `e = v^T sigmoid(...)`.
+    w1: Param,
+    w2: Param,
+    v: Param,
+    /// Hybrid combine `[2d, d]`.
+    w3: Param,
+}
+
+impl SrGnn {
+    /// Builds the model with randomly initialised weights.
+    pub fn new(cfg: ModelConfig) -> SrGnn {
+        let mut init = Initializer::new(cfg.seed).child("srgnn");
+        let d = cfg.embedding_dim;
+        SrGnn {
+            embedding: common::embedding_table(&mut init, &cfg),
+            ggnn: GgnnWeights::new(&mut init, &cfg),
+            w1: weight(&mut init, &cfg, &[d, d]),
+            w2: weight(&mut init, &cfg, &[d, d]),
+            v: weight(&mut init, &cfg, &[d, 1]),
+            w3: weight(&mut init, &cfg, &[2 * d, d]),
+            cfg,
+        }
+    }
+}
+
+impl SbrModel for SrGnn {
+    fn name(&self) -> &'static str {
+        "srgnn"
+    }
+
+    fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    fn forward(&self, exec: &mut Exec, input: SessionInput) -> Result<TRef, TensorError> {
+        let l = self.cfg.max_session_len;
+        let table = exec.param(&self.embedding)?;
+        let mut h = exec.embedding(table, input.items)?; // [l, d]
+        let (a_in, a_out) = session_adjacency(exec, input, self.cfg.recbole_quirks)?;
+        for _ in 0..self.cfg.num_layers {
+            h = self.ggnn.step(exec, h, a_in, a_out)?;
+        }
+
+        // Attention readout: long-term preference s_g.
+        let h_last = gather_last(exec, h, input.last)?; // [d]
+        let q = linear_vec(exec, h_last, &self.w1, None)?;
+        let keys = linear(exec, h, &self.w2, None)?;
+        let shifted = exec.binary_row(BinOp::Add, keys, q)?;
+        let act = exec.unary(UnOp::Sigmoid, shifted)?;
+        let v = exec.param(&self.v)?;
+        let e = exec.matmul(act, v)?; // [l, 1]
+        let e = exec.reshape(e, &[l])?;
+        let alpha = masked_softmax(exec, e, input.mask)?;
+        let s_g = weighted_sum(exec, alpha, h)?;
+
+        // Hybrid: combine global preference with current interest.
+        let hybrid = exec.concat(s_g, h_last)?; // [2d]
+        let s = linear_vec(exec, hybrid, &self.w3, None)?;
+        let scores = catalog_scores(exec, &self.embedding, s, &self.cfg)?;
+        exec.topk(scores, self.cfg.top_k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{forward_cost, recommend_eager};
+    use etude_tensor::{Device, ExecMode};
+
+    fn cfg() -> ModelConfig {
+        ModelConfig::new(70).with_max_session_len(6).with_seed(21)
+    }
+
+    #[test]
+    fn recommends_k_items() {
+        let m = SrGnn::new(cfg());
+        let r = recommend_eager(&m, &Device::cpu(), &[1, 2, 3, 2]).unwrap();
+        assert_eq!(r.items.len(), m.cfg.top_k);
+    }
+
+    #[test]
+    fn quirk_forces_host_transfers_on_gpu() {
+        let quirky = SrGnn::new(cfg());
+        let fixed = SrGnn::new(cfg().with_quirks(false));
+        let cq = forward_cost(&quirky, &Device::t4(), ExecMode::Real, 4).unwrap();
+        let cf = forward_cost(&fixed, &Device::t4(), ExecMode::Real, 4).unwrap();
+        assert!(cq.transfers >= 4, "expected >=2 transfers per adjacency");
+        assert_eq!(cf.transfers, 0);
+    }
+
+    #[test]
+    fn graph_structure_affects_encoding() {
+        let m = SrGnn::new(cfg());
+        // Same multiset of items, different transition structure.
+        let a = recommend_eager(&m, &Device::cpu(), &[1, 2, 3]).unwrap();
+        let b = recommend_eager(&m, &Device::cpu(), &[3, 2, 1]).unwrap();
+        assert_ne!(a.scores, b.scores);
+    }
+
+    #[test]
+    fn repeated_items_are_handled() {
+        let m = SrGnn::new(cfg());
+        let r = recommend_eager(&m, &Device::cpu(), &[5, 5, 5, 5]).unwrap();
+        assert!(r.scores.iter().all(|s| s.is_finite()));
+    }
+}

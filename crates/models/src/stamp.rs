@@ -1,0 +1,130 @@
+//! STAMP (Liu et al., KDD 2018): short-term attention/memory priority.
+//!
+//! The session is summarised by an attention over item embeddings driven
+//! by both the last click (`x_t`, short-term) and the session mean (`m_s`,
+//! memory). Two small MLPs produce `h_s` and `h_t`, whose Hadamard product
+//! scores the catalog.
+
+use crate::common::{
+    self, catalog_scores, gather_last, linear, linear_vec, mask_logits, masked_mean, weight,
+    weighted_sum,
+};
+use crate::config::ModelConfig;
+use crate::traits::SbrModel;
+use etude_tensor::kernels::{BinOp, UnOp};
+use etude_tensor::rng::Initializer;
+use etude_tensor::{Exec, Param, SessionInput, TRef, TensorError};
+
+/// The STAMP model.
+pub struct Stamp {
+    cfg: ModelConfig,
+    embedding: Param,
+    /// Attention projections `[d, d]` for items, last click and mean.
+    w1: Param,
+    w2: Param,
+    w3: Param,
+    /// Attention bias `[d]`.
+    ba: Param,
+    /// Attention energy vector `[d, 1]`.
+    w0: Param,
+    /// Output MLPs `[d, d]`.
+    mlp_a: Param,
+    mlp_b: Param,
+}
+
+impl Stamp {
+    /// Builds the model with randomly initialised weights.
+    pub fn new(cfg: ModelConfig) -> Stamp {
+        let mut init = Initializer::new(cfg.seed).child("stamp");
+        let d = cfg.embedding_dim;
+        Stamp {
+            embedding: common::embedding_table(&mut init, &cfg),
+            w1: weight(&mut init, &cfg, &[d, d]),
+            w2: weight(&mut init, &cfg, &[d, d]),
+            w3: weight(&mut init, &cfg, &[d, d]),
+            ba: common::bias(&cfg, d),
+            w0: weight(&mut init, &cfg, &[d, 1]),
+            mlp_a: weight(&mut init, &cfg, &[d, d]),
+            mlp_b: weight(&mut init, &cfg, &[d, d]),
+            cfg,
+        }
+    }
+}
+
+impl SbrModel for Stamp {
+    fn name(&self) -> &'static str {
+        "stamp"
+    }
+
+    fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    fn forward(&self, exec: &mut Exec, input: SessionInput) -> Result<TRef, TensorError> {
+        let l = self.cfg.max_session_len;
+        let table = exec.param(&self.embedding)?;
+        let x = exec.embedding(table, input.items)?; // [l, d]
+        let x_t = gather_last(exec, x, input.last)?; // [d] last click
+        let m_s = masked_mean(exec, x, input.mask)?; // [d] session memory
+
+        // Attention: a_i = W0^T sigmoid(W1 e_i + W2 x_t + W3 m_s + b_a).
+        let items_proj = linear(exec, x, &self.w1, None)?; // [l, d]
+        let q_t = linear_vec(exec, x_t, &self.w2, None)?; // [d]
+        let q_s = linear_vec(exec, m_s, &self.w3, None)?; // [d]
+        let q = exec.add(q_t, q_s)?;
+        let ba = exec.param(&self.ba)?;
+        let q = exec.add(q, ba)?;
+        let shifted = exec.binary_row(BinOp::Add, items_proj, q)?;
+        let act = exec.unary(UnOp::Sigmoid, shifted)?;
+        let w0 = exec.param(&self.w0)?;
+        let e = exec.matmul(act, w0)?; // [l, 1]
+        let e = exec.reshape(e, &[l])?;
+        // STAMP uses unnormalised attention (no softmax) in the original
+        // formulation; padding must still be excluded.
+        let e = mask_logits(exec, e, input.mask)?;
+        let alpha = exec.softmax(e)?;
+        let m_a = weighted_sum(exec, alpha, x)?; // [d]
+
+        let h_s0 = linear_vec(exec, m_a, &self.mlp_a, None)?;
+        let h_s = exec.tanh(h_s0)?;
+        let h_t0 = linear_vec(exec, x_t, &self.mlp_b, None)?;
+        let h_t = exec.tanh(h_t0)?;
+        let s = exec.mul(h_s, h_t)?; // [d]
+        let scores = catalog_scores(exec, &self.embedding, s, &self.cfg)?;
+        exec.topk(scores, self.cfg.top_k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::recommend_eager;
+    use etude_tensor::Device;
+
+    fn model() -> Stamp {
+        Stamp::new(ModelConfig::new(80).with_max_session_len(6).with_seed(5))
+    }
+
+    #[test]
+    fn recommends_k_items() {
+        let m = model();
+        let r = recommend_eager(&m, &Device::cpu(), &[7, 8, 9]).unwrap();
+        assert_eq!(r.items.len(), m.cfg.top_k);
+    }
+
+    #[test]
+    fn short_term_priority_last_click_changes_output() {
+        let m = model();
+        let a = recommend_eager(&m, &Device::cpu(), &[10, 11, 12]).unwrap();
+        let b = recommend_eager(&m, &Device::cpu(), &[10, 11, 70]).unwrap();
+        assert_ne!(a.scores, b.scores);
+    }
+
+    #[test]
+    fn single_click_sessions_are_supported() {
+        let m = model();
+        let r = recommend_eager(&m, &Device::cpu(), &[3]).unwrap();
+        assert_eq!(r.items.len(), m.cfg.top_k);
+        assert!(r.scores.iter().all(|s| s.is_finite()));
+    }
+}

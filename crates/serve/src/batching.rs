@@ -1,0 +1,177 @@
+//! A `batched-fn`-style request batcher for the real server.
+//!
+//! The paper's Rust server uses the `batched-fn` crate to gather
+//! concurrent requests into GPU batches: requests accumulate in a buffer
+//! of up to 1,024 entries which is flushed every two milliseconds. This
+//! is the same mechanism on a crossbeam channel: handler threads submit
+//! work and block on a per-request response channel; a dedicated batcher
+//! thread drains the queue on size or deadline and hands whole batches to
+//! the batch handler.
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of the batcher (paper defaults: 1,024 / 2 ms).
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Maximum requests fused into one batch.
+    pub max_batch: usize,
+    /// Maximum time a request waits for co-batched peers.
+    pub flush_every: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 1024,
+            flush_every: Duration::from_millis(2),
+        }
+    }
+}
+
+struct Job<T, R> {
+    input: T,
+    respond: Sender<R>,
+}
+
+/// A handle submitting work into the batcher.
+pub struct Batcher<T, R> {
+    submit: Sender<Job<T, R>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl<T: Send + 'static, R: Send + 'static> Batcher<T, R> {
+    /// Spawns the batcher thread around a batch handler. The handler
+    /// receives whole batches and returns one result per input, in order.
+    pub fn spawn<F>(config: BatchConfig, handler: F) -> Batcher<T, R>
+    where
+        F: Fn(Vec<T>) -> Vec<R> + Send + 'static,
+    {
+        let (tx, rx) = bounded::<Job<T, R>>(config.max_batch * 4);
+        let worker = std::thread::Builder::new()
+            .name("etude-batcher".into())
+            .spawn(move || run_batcher(rx, config, handler))
+            .expect("spawn batcher thread");
+        Batcher {
+            submit: tx,
+            worker: Some(worker),
+        }
+    }
+
+    /// Submits one input and blocks until its result arrives.
+    /// Returns `None` if the batcher has shut down.
+    pub fn call(&self, input: T) -> Option<R> {
+        let (tx, rx) = bounded(1);
+        self.submit
+            .send(Job { input, respond: tx })
+            .ok()?;
+        rx.recv().ok()
+    }
+}
+
+impl<T, R> Drop for Batcher<T, R> {
+    fn drop(&mut self) {
+        // Closing the channel stops the worker loop.
+        let (empty_tx, _) = bounded(0);
+        let _ = std::mem::replace(&mut self.submit, empty_tx);
+        if let Some(handle) = self.worker.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn run_batcher<T, R, F>(rx: Receiver<Job<T, R>>, config: BatchConfig, handler: F)
+where
+    F: Fn(Vec<T>) -> Vec<R>,
+{
+    loop {
+        // Block for the first job of a batch.
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => return, // channel closed
+        };
+        let mut jobs = vec![first];
+        let deadline = Instant::now() + config.flush_every;
+        // Gather until full or the flush deadline passes.
+        while jobs.len() < config.max_batch {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match rx.recv_timeout(remaining) {
+                Ok(job) => jobs.push(job),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        let mut inputs = Vec::with_capacity(jobs.len());
+        let mut responders = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            inputs.push(job.input);
+            responders.push(job.respond);
+        }
+        let results = handler(inputs);
+        debug_assert_eq!(results.len(), responders.len());
+        for (respond, result) in responders.into_iter().zip(results) {
+            let _ = respond.send(result);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn single_calls_round_trip() {
+        let b: Batcher<u32, u32> = Batcher::spawn(BatchConfig::default(), |xs| {
+            xs.into_iter().map(|x| x * 2).collect()
+        });
+        assert_eq!(b.call(21), Some(42));
+    }
+
+    #[test]
+    fn concurrent_calls_are_batched() {
+        let max_seen = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&max_seen);
+        let b: Arc<Batcher<u32, u32>> = Arc::new(Batcher::spawn(
+            BatchConfig {
+                max_batch: 64,
+                flush_every: Duration::from_millis(5),
+            },
+            move |xs| {
+                seen.fetch_max(xs.len(), Ordering::SeqCst);
+                xs
+            },
+        ));
+        let mut handles = Vec::new();
+        for i in 0..32 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || b.call(i).unwrap()));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(
+            max_seen.load(Ordering::SeqCst) > 1,
+            "no batch larger than one was formed"
+        );
+    }
+
+    #[test]
+    fn full_batches_flush_immediately() {
+        let b: Batcher<u32, u32> = Batcher::spawn(
+            BatchConfig {
+                max_batch: 1,
+                flush_every: Duration::from_secs(10), // must not matter
+            },
+            |xs| xs,
+        );
+        let start = Instant::now();
+        assert_eq!(b.call(7), Some(7));
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,141 @@
+//! A blocking keep-alive HTTP client.
+//!
+//! Used by the load generator's real-time mode and the integration tests
+//! (the paper's load generator uses Apache HttpComponents' async client;
+//! our real-time driver multiplexes many of these blocking connections
+//! across threads instead).
+
+use crate::http::{self, Request, Response};
+use bytes::BytesMut;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server's bytes did not parse.
+    Protocol(http::HttpError),
+    /// No response within the configured timeout.
+    Timeout,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Timeout => write!(f, "request timed out"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A persistent connection to one server.
+pub struct HttpClient {
+    stream: TcpStream,
+    buf: BytesMut,
+    timeout: Duration,
+}
+
+impl HttpClient {
+    /// Connects with a default 5 s timeout.
+    pub fn connect(addr: SocketAddr) -> Result<HttpClient, ClientError> {
+        Self::connect_with_timeout(addr, Duration::from_secs(5))
+    }
+
+    /// Connects with an explicit request timeout.
+    pub fn connect_with_timeout(
+        addr: SocketAddr,
+        timeout: Duration,
+    ) -> Result<HttpClient, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(ClientError::Io)?;
+        stream.set_nodelay(true).map_err(ClientError::Io)?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(ClientError::Io)?;
+        Ok(HttpClient {
+            stream,
+            buf: BytesMut::with_capacity(4096),
+            timeout,
+        })
+    }
+
+    /// Changes the per-request timeout.
+    pub fn set_timeout(&mut self, timeout: Duration) -> Result<(), ClientError> {
+        self.timeout = timeout;
+        self.stream
+            .set_read_timeout(Some(timeout))
+            .map_err(ClientError::Io)
+    }
+
+    /// Sends a request and blocks for its response.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.stream
+            .write_all(&req.encode())
+            .map_err(ClientError::Io)?;
+        let mut chunk = [0u8; 4096];
+        loop {
+            match http::parse_response(&mut self.buf) {
+                Ok(resp) => return Ok(resp),
+                Err(http::HttpError::Incomplete) => {}
+                Err(e) => return Err(ClientError::Protocol(e)),
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(ClientError::Io(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "server closed connection",
+                    )))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Err(ClientError::Timeout)
+                }
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Method;
+    use crate::rustserver::{start, Handler, ServerConfig};
+    use std::sync::Arc;
+
+    fn slow_handler(delay: Duration) -> Handler {
+        Arc::new(move |req| {
+            if req.method == Method::Get && req.path == "/slow" {
+                std::thread::sleep(delay);
+            }
+            crate::http::Response::ok("done")
+        })
+    }
+
+    #[test]
+    fn timeouts_are_reported() {
+        let server = start(ServerConfig::default(), slow_handler(Duration::from_millis(300))).unwrap();
+        let mut client =
+            HttpClient::connect_with_timeout(server.addr(), Duration::from_millis(30)).unwrap();
+        match client.request(&Request::get("/slow")) {
+            Err(ClientError::Timeout) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn fast_requests_succeed_within_timeout() {
+        let server = start(ServerConfig::default(), slow_handler(Duration::ZERO)).unwrap();
+        let mut client =
+            HttpClient::connect_with_timeout(server.addr(), Duration::from_secs(1)).unwrap();
+        let resp = client.request(&Request::get("/fast")).unwrap();
+        assert_eq!(resp.status, 200);
+        server.shutdown();
+    }
+}

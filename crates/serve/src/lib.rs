@@ -1,0 +1,34 @@
+//! # etude-serve
+//!
+//! Inference serving for ETUDE. The paper's central systems finding is
+//! that the *serving layer* dominates feasibility: the open-source
+//! TorchServe server fails at 1,000 req/s even for empty responses, while
+//! a light-weight Rust server (Actix + tch-rs + request batching) serves
+//! the same load at ~1 ms p90 (Figure 2).
+//!
+//! This crate contains both sides of that comparison:
+//!
+//! * [`http`] — a from-scratch HTTP/1.1 parser/writer,
+//! * [`rustserver`] — a real, thread-pooled HTTP inference server on
+//!   `std::net` (the reproduction of the paper's Actix server), usable
+//!   over real sockets in integration tests and examples,
+//! * [`client`] — a blocking keep-alive HTTP client for the load
+//!   generator's real-time mode,
+//! * [`batching`] — the `batched-fn`-style request batcher (buffer up to
+//!   1,024 requests, flush every 2 ms) used for GPU inference,
+//! * [`service`] — [`service::ServiceProfile`], the bridge between model
+//!   costs and service times,
+//! * [`simserver`] — the same two server architectures as queueing models
+//!   under the [`etude_simnet`] virtual clock: [`simserver::SimRustServer`]
+//!   and [`simserver::SimTorchServe`] (frontend dispatch, Python worker
+//!   overhead, GIL-style serialisation, 100 ms internal timeout).
+
+pub mod batching;
+pub mod client;
+pub mod http;
+pub mod rustserver;
+pub mod service;
+pub mod simserver;
+
+pub use service::{ServiceProfile, TorchServeProfile};
+pub use simserver::{RespondFn, ServeError, SimService};

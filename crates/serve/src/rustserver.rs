@@ -1,0 +1,594 @@
+//! The real Rust inference server — the reproduction of the paper's
+//! Actix-based serving engine.
+//!
+//! Architecture: an accept thread feeds connections to a fixed pool of
+//! handler threads over a crossbeam channel; each handler thread owns its
+//! connections (keep-alive, pipelining-safe) and serves three routes:
+//!
+//! * `GET /ping` — readiness probe (Kubernetes-style),
+//! * `GET /static` — the empty-response infrastructure test (Figure 2),
+//! * `POST /predictions` — session in, top-k recommendations out, with
+//!   the pure inference duration reported via the
+//!   `x-inference-duration-micros` response header (the paper's server
+//!   "communicates metrics like the inference duration via HTTP response
+//!   headers").
+
+use crate::http::{self, Method, Request, Response};
+use bytes::BytesMut;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use etude_models::{traits, SbrModel};
+use etude_tensor::{CompiledGraph, Device, JitOptions};
+use parking_lot::Mutex;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A request handler: route table entry.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Handler threads (the paper's server exposes the worker-thread
+    /// count as a tunable).
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { workers: 4 }
+    }
+}
+
+/// A running server; dropping the handle shuts it down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+    requests_served: Arc<AtomicU64>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests served so far.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// Stops the server and joins its threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.worker_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if !self.shutdown.load(Ordering::SeqCst) {
+            self.stop();
+        }
+    }
+}
+
+/// Starts a server with the given route handler on an OS-assigned port.
+pub fn start(config: ServerConfig, handler: Handler) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let requests_served = Arc::new(AtomicU64::new(0));
+    let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = unbounded();
+
+    let mut worker_threads = Vec::new();
+    for i in 0..config.workers.max(1) {
+        let rx = rx.clone();
+        let handler = Arc::clone(&handler);
+        let shutdown = Arc::clone(&shutdown);
+        let served = Arc::clone(&requests_served);
+        worker_threads.push(
+            std::thread::Builder::new()
+                .name(format!("etude-worker-{i}"))
+                .spawn(move || worker_loop(rx, handler, shutdown, served))
+                .expect("spawn worker"),
+        );
+    }
+
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept_thread = std::thread::Builder::new()
+        .name("etude-accept".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(s) => {
+                        let _ = s.set_nodelay(true);
+                        if tx.send(s).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+        })
+        .expect("spawn accept loop");
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        accept_thread: Some(accept_thread),
+        worker_threads,
+        requests_served,
+    })
+}
+
+struct Conn {
+    stream: TcpStream,
+    buf: BytesMut,
+}
+
+enum PollOutcome {
+    /// Connection alive; flag reports whether any request was served.
+    Alive(bool),
+    /// Connection finished (EOF or error).
+    Closed,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> std::io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        Ok(Conn {
+            stream,
+            buf: BytesMut::with_capacity(4096),
+        })
+    }
+
+    /// Reads available bytes and serves every complete request.
+    fn poll(&mut self, handler: &Handler, served: &AtomicU64) -> PollOutcome {
+        let mut chunk = [0u8; 4096];
+        let mut progressed = false;
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return PollOutcome::Closed,
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    // Cap per-connection buffering: a peer streaming bytes
+                    // that never complete a request must not grow memory
+                    // without bound.
+                    if self.buf.len() > 2 * http::MAX_BODY_BYTES {
+                        return PollOutcome::Closed;
+                    }
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return PollOutcome::Closed,
+            }
+        }
+        loop {
+            match http::parse_request(&mut self.buf) {
+                Ok(req) => {
+                    let resp = handler(&req);
+                    served.fetch_add(1, Ordering::Relaxed);
+                    if write_all_blocking(&mut self.stream, &resp.encode()).is_err() {
+                        return PollOutcome::Closed;
+                    }
+                    progressed = true;
+                }
+                Err(http::HttpError::Incomplete) => break,
+                Err(http::HttpError::Malformed(_)) => {
+                    let _ = write_all_blocking(
+                        &mut self.stream,
+                        &Response::error(500, "bad request").encode(),
+                    );
+                    return PollOutcome::Closed;
+                }
+            }
+        }
+        PollOutcome::Alive(progressed)
+    }
+}
+
+/// Writes a full buffer on a non-blocking socket, retrying briefly on
+/// `WouldBlock`. The retry budget is bounded: a client that stops reading
+/// its socket must cost at most ~one second, not wedge the reactor worker
+/// (and every other connection it owns) forever.
+fn write_all_blocking(stream: &mut TcpStream, mut data: &[u8]) -> std::io::Result<()> {
+    let deadline = Instant::now() + Duration::from_secs(1);
+    while !data.is_empty() {
+        match stream.write(data) {
+            Ok(0) => return Err(std::io::Error::new(ErrorKind::WriteZero, "write zero")),
+            Ok(n) => data = &data[n..],
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(std::io::Error::new(
+                        ErrorKind::TimedOut,
+                        "peer not draining its socket",
+                    ));
+                }
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// A reactor-style worker: owns many connections at once (as Actix's
+/// per-core event loops do), polling each in turn.
+fn worker_loop(
+    rx: Receiver<TcpStream>,
+    handler: Handler,
+    shutdown: Arc<AtomicBool>,
+    served: Arc<AtomicU64>,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut disconnected = false;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Accept newly assigned connections without blocking.
+        loop {
+            match rx.try_recv() {
+                Ok(stream) => {
+                    if let Ok(conn) = Conn::new(stream) {
+                        conns.push(conn);
+                    }
+                }
+                Err(crossbeam::channel::TryRecvError::Empty) => break,
+                Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        if disconnected && conns.is_empty() {
+            return;
+        }
+        let mut progressed = false;
+        conns.retain_mut(|conn| match conn.poll(&handler, &served) {
+            PollOutcome::Alive(p) => {
+                progressed |= p;
+                true
+            }
+            PollOutcome::Closed => false,
+        });
+        if !progressed {
+            // Idle: block briefly for a new connection instead of spinning.
+            match rx.recv_timeout(Duration::from_micros(500)) {
+                Ok(stream) => {
+                    if let Ok(conn) = Conn::new(stream) {
+                        conns.push(conn);
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    disconnected = true;
+                }
+            }
+        }
+    }
+}
+
+/// Builds the model-serving route table of the paper's inference server.
+///
+/// When `jit` is set the model is traced and compiled at deployment time
+/// (models with dynamic control flow fall back to eager execution, as
+/// `torch.jit` would).
+pub fn model_routes(model: Arc<dyn SbrModel>, device: Device, jit: bool) -> Handler {
+    let compiled: Option<Arc<CompiledGraph>> = if jit {
+        traits::compile(model.as_ref(), JitOptions::default())
+            .ok()
+            .map(Arc::new)
+    } else {
+        None
+    };
+    let catalog_size = model.config().catalog_size;
+    // Compiled-graph execution is not thread-safe per graph value cache?
+    // It is: Graph::run is &self and allocates its own value buffers, so
+    // only the recommendation assembly needs care. The mutex below guards
+    // nothing but keeps request ordering deterministic in tests with a
+    // single worker; inference itself runs outside it.
+    let stats = Arc::new(Mutex::new(()));
+    Arc::new(move |req: &Request| -> Response {
+        match (req.method, req.path.as_str()) {
+            (Method::Get, "/ping") => Response::ok("pong"),
+            (Method::Get, "/static") => Response::ok("ok"),
+            (Method::Post, "/predictions") => {
+                let items = match http::decode_session(&req.body) {
+                    Ok(items) => items,
+                    Err(_) => return Response::error(400, "malformed session"),
+                };
+                // Reject out-of-catalog ids at the boundary: a clean 400
+                // instead of an inference failure deep in the kernels.
+                if let Some(&bad) = items.iter().find(|&&i| i as usize >= catalog_size) {
+                    return Response::error(400, &format!("item id {bad} out of catalog"));
+                }
+                let start = Instant::now();
+                let rec = match &compiled {
+                    Some(graph) => traits::recommend_compiled(model.as_ref(), graph, &items),
+                    None => traits::recommend_eager(model.as_ref(), &device, &items),
+                };
+                let inference = start.elapsed();
+                let _guard = stats.lock();
+                match rec {
+                    Ok(rec) => {
+                        let body = http::encode_recommendations(&rec.items, &rec.scores);
+                        Response::ok(body).with_header(
+                            "x-inference-duration-micros",
+                            inference.as_micros().to_string(),
+                        )
+                    }
+                    Err(_) => Response::error(500, "inference failed"),
+                }
+            }
+            _ => Response::error(404, "no such route"),
+        }
+    })
+}
+
+/// Builds the model-serving routes with the `batched-fn`-style request
+/// batcher in front of inference — the configuration the paper uses for
+/// GPU deployments (buffer up to 1,024 requests, flush every 2 ms).
+///
+/// Handler threads submit sessions into the [`crate::batching::Batcher`]
+/// and block on their individual results; a dedicated batcher thread
+/// drains whole batches through the (JIT-compiled when possible) model.
+/// On this CPU-only substrate batch items execute sequentially inside the
+/// batcher thread — the batching *mechanics* (queueing, flush deadline,
+/// per-request response channels) are exactly the deployed structure.
+pub fn model_routes_batched(
+    model: Arc<dyn SbrModel>,
+    device: Device,
+    jit: bool,
+    config: crate::batching::BatchConfig,
+) -> Handler {
+    use crate::batching::Batcher;
+    use etude_models::Recommendation;
+
+    let compiled: Option<Arc<CompiledGraph>> = if jit {
+        traits::compile(model.as_ref(), JitOptions::default())
+            .ok()
+            .map(Arc::new)
+    } else {
+        None
+    };
+    let catalog_size = model.config().catalog_size;
+    let infer_model = Arc::clone(&model);
+    let infer_device = device.clone();
+    let batcher: Arc<Batcher<Vec<u32>, Result<Recommendation, String>>> = Arc::new(
+        Batcher::spawn(config, move |sessions: Vec<Vec<u32>>| {
+            sessions
+                .into_iter()
+                .map(|items| {
+                    let rec = match &compiled {
+                        Some(graph) => {
+                            traits::recommend_compiled(infer_model.as_ref(), graph, &items)
+                        }
+                        None => {
+                            traits::recommend_eager(infer_model.as_ref(), &infer_device, &items)
+                        }
+                    };
+                    rec.map_err(|e| e.to_string())
+                })
+                .collect()
+        }),
+    );
+
+    Arc::new(move |req: &Request| -> Response {
+        match (req.method, req.path.as_str()) {
+            (Method::Get, "/ping") => Response::ok("pong"),
+            (Method::Get, "/static") => Response::ok("ok"),
+            (Method::Post, "/predictions") => {
+                let items = match http::decode_session(&req.body) {
+                    Ok(items) => items,
+                    Err(_) => return Response::error(400, "malformed session"),
+                };
+                if let Some(&bad) = items.iter().find(|&&i| i as usize >= catalog_size) {
+                    return Response::error(400, &format!("item id {bad} out of catalog"));
+                }
+                let start = Instant::now();
+                match batcher.call(items) {
+                    Some(Ok(rec)) => {
+                        let body = http::encode_recommendations(&rec.items, &rec.scores);
+                        Response::ok(body).with_header(
+                            "x-inference-duration-micros",
+                            start.elapsed().as_micros().to_string(),
+                        )
+                    }
+                    Some(Err(_)) => Response::error(500, "inference failed"),
+                    None => Response::error(503, "batcher unavailable"),
+                }
+            }
+            _ => Response::error(404, "no such route"),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+    use etude_models::{ModelConfig, ModelKind};
+
+    fn static_handler() -> Handler {
+        Arc::new(|req: &Request| match (req.method, req.path.as_str()) {
+            (Method::Get, "/static") => Response::ok("ok"),
+            (Method::Get, "/ping") => Response::ok("pong"),
+            _ => Response::error(404, "nope"),
+        })
+    }
+
+    #[test]
+    fn serves_static_content_over_real_sockets() {
+        let server = start(ServerConfig::default(), static_handler()).unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let resp = client.request(&Request::get("/static")).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(&resp.body[..], b"ok");
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_reuses_the_connection() {
+        let server = start(ServerConfig::default(), static_handler()).unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        for _ in 0..50 {
+            let resp = client.request(&Request::get("/ping")).unwrap();
+            assert_eq!(resp.status, 200);
+        }
+        assert_eq!(server.requests_served(), 50);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_routes_return_404() {
+        let server = start(ServerConfig::default(), static_handler()).unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let resp = client.request(&Request::get("/missing")).unwrap();
+        assert_eq!(resp.status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn model_route_returns_recommendations_and_metrics_header() {
+        let cfg = ModelConfig::new(500).with_max_session_len(8).with_seed(5);
+        let model: Arc<dyn SbrModel> = Arc::from(ModelKind::Core.build(&cfg));
+        let handler = model_routes(model, Device::cpu(), true);
+        let server = start(ServerConfig::default(), handler).unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let resp = client
+            .request(&Request::post("/predictions", "1,2,3"))
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.headers.contains_key("x-inference-duration-micros"));
+        let body = std::str::from_utf8(&resp.body).unwrap();
+        let items: Vec<&str> = body.split(',').collect();
+        assert_eq!(items.len(), cfg.top_k);
+        assert!(items[0].contains(':'));
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_sessions_get_400() {
+        let cfg = ModelConfig::new(100).with_max_session_len(4);
+        let model: Arc<dyn SbrModel> = Arc::from(ModelKind::Stamp.build(&cfg));
+        let handler = model_routes(model, Device::cpu(), false);
+        let server = start(ServerConfig::default(), handler).unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let resp = client
+            .request(&Request::post("/predictions", "1,oops,3"))
+            .unwrap();
+        assert_eq!(resp.status, 400);
+        // Out-of-catalog ids are rejected at the boundary, too — they
+        // must never reach (and crash) the embedding kernel.
+        let resp = client
+            .request(&Request::post("/predictions", "99999999"))
+            .unwrap();
+        assert_eq!(resp.status, 400);
+        assert!(std::str::from_utf8(&resp.body).unwrap().contains("out of catalog"));
+        // And the connection/worker survives to serve the next request.
+        let resp = client.request(&Request::post("/predictions", "1,2")).unwrap();
+        assert_eq!(resp.status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn batched_model_route_serves_identical_results() {
+        let cfg = ModelConfig::new(400).with_max_session_len(8).with_seed(6);
+        let model: Arc<dyn SbrModel> = Arc::from(ModelKind::Narm.build(&cfg));
+        let plain = model_routes(Arc::clone(&model), Device::cpu(), true);
+        let batched = model_routes_batched(
+            model,
+            Device::cpu(),
+            true,
+            crate::batching::BatchConfig {
+                max_batch: 8,
+                flush_every: Duration::from_millis(2),
+            },
+        );
+        let plain_server = start(ServerConfig::default(), plain).unwrap();
+        let batched_server = start(ServerConfig::default(), batched).unwrap();
+        let mut c1 = HttpClient::connect(plain_server.addr()).unwrap();
+        let mut c2 = HttpClient::connect(batched_server.addr()).unwrap();
+        for session in ["1,2,3", "7", "9,9,9,9", "300,2"] {
+            let a = c1.request(&Request::post("/predictions", session)).unwrap();
+            let b = c2.request(&Request::post("/predictions", session)).unwrap();
+            assert_eq!(a.status, 200);
+            assert_eq!(b.status, 200);
+            assert_eq!(a.body, b.body, "session {session}");
+        }
+        plain_server.shutdown();
+        batched_server.shutdown();
+    }
+
+    #[test]
+    fn batched_route_survives_concurrent_load() {
+        let cfg = ModelConfig::new(300).with_max_session_len(8).with_seed(8);
+        let model: Arc<dyn SbrModel> = Arc::from(ModelKind::Stamp.build(&cfg));
+        let handler = model_routes_batched(
+            model,
+            Device::cpu(),
+            true,
+            crate::batching::BatchConfig::default(),
+        );
+        let server = Arc::new(start(ServerConfig { workers: 4 }, handler).unwrap());
+        let addr = server.addr();
+        let mut threads = Vec::new();
+        for t in 0..6 {
+            threads.push(std::thread::spawn(move || {
+                let mut client = HttpClient::connect(addr).unwrap();
+                for i in 0..25u32 {
+                    let body = format!("{},{}", t * 10 + 1, i % 300);
+                    let resp = client.request(&Request::post("/predictions", body)).unwrap();
+                    assert_eq!(resp.status, 200);
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(server.requests_served(), 150);
+    }
+
+    #[test]
+    fn concurrent_clients_are_served() {
+        let server = Arc::new(start(ServerConfig { workers: 4 }, static_handler()).unwrap());
+        let addr = server.addr();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            handles.push(std::thread::spawn(move || {
+                let mut client = HttpClient::connect(addr).unwrap();
+                for _ in 0..20 {
+                    let resp = client.request(&Request::get("/static")).unwrap();
+                    assert_eq!(resp.status, 200);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.requests_served(), 160);
+    }
+}

@@ -1,0 +1,472 @@
+//! Queueing models of the two server architectures under virtual time.
+//!
+//! [`SimRustServer`] models the paper's Actix-based Rust server: a small
+//! accept/handler overhead, a worker pool for CPU inference, and a
+//! `batched-fn`-style batcher in front of GPU devices (buffer up to
+//! `max_batch`, flush every 2 ms, exclusive device execution).
+//!
+//! [`SimTorchServe`] models TorchServe's architecture: a serialized
+//! frontend dispatch stage, a small pool of Python worker processes with
+//! per-request interpreter/IPC overhead, and the internal 100 ms timeout
+//! that turns backlog into HTTP errors — the mechanism behind Figure 2's
+//! error avalanche.
+
+use crate::service::{ServiceProfile, TorchServeProfile};
+use etude_simnet::{shared, Shared, Sim, SimTime};
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// Failure modes a simulated request can hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The server's internal timeout expired before processing finished.
+    Timeout,
+    /// The server shed load (queue overflow).
+    Overloaded,
+}
+
+/// A successful simulated response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimResponse {
+    /// Pure model-inference duration (the paper's response-header metric).
+    pub inference: Duration,
+    /// Size of the batch this request was served in (1 without batching).
+    pub batch_size: usize,
+}
+
+/// Response callback delivered through the simulation.
+pub type RespondFn = Box<dyn FnOnce(&mut Sim, Result<SimResponse, ServeError>)>;
+
+/// Anything that can accept simulated requests.
+pub trait SimService {
+    /// Submits a request; the service must eventually invoke `respond`.
+    fn submit(self: Rc<Self>, sim: &mut Sim, respond: RespondFn);
+}
+
+// ---------------------------------------------------------------------
+// Rust server
+// ---------------------------------------------------------------------
+
+/// Configuration of the simulated Rust inference server.
+#[derive(Debug, Clone)]
+pub struct RustServerConfig {
+    /// Concurrent inference workers (CPU threads, or streams feeding one
+    /// GPU batcher).
+    pub workers: usize,
+    /// Enable the request batcher (GPU deployments).
+    pub batching: bool,
+    /// Largest batch the batcher fuses (paper: 1,024).
+    pub max_batch: usize,
+    /// Batcher flush interval (paper: 2 ms).
+    pub flush_every: Duration,
+}
+
+impl RustServerConfig {
+    /// CPU deployment: a worker pool, no batching.
+    pub fn cpu(workers: usize) -> RustServerConfig {
+        RustServerConfig {
+            workers: workers.max(1),
+            batching: false,
+            max_batch: 1,
+            flush_every: Duration::ZERO,
+        }
+    }
+
+    /// GPU deployment: request batching as in the paper's setup.
+    pub fn gpu() -> RustServerConfig {
+        RustServerConfig {
+            workers: 1, // one exclusive device behind the batcher
+            batching: true,
+            max_batch: 1024,
+            flush_every: Duration::from_millis(2),
+        }
+    }
+}
+
+struct PendingRequest {
+    respond: RespondFn,
+}
+
+struct RustServerState {
+    profile: ServiceProfile,
+    config: RustServerConfig,
+    queue: VecDeque<PendingRequest>,
+    busy_workers: usize,
+    flush_scheduled: bool,
+    served: u64,
+    batches: u64,
+}
+
+/// The simulated Rust (Actix-style) inference server.
+pub struct SimRustServer {
+    state: Shared<RustServerState>,
+}
+
+impl SimRustServer {
+    /// Creates a server for a service profile.
+    pub fn new(profile: ServiceProfile, config: RustServerConfig) -> Rc<SimRustServer> {
+        Rc::new(SimRustServer {
+            state: shared(RustServerState {
+                profile,
+                config,
+                queue: VecDeque::new(),
+                busy_workers: 0,
+                flush_scheduled: false,
+                served: 0,
+                batches: 0,
+            }),
+        })
+    }
+
+    /// Requests served so far.
+    pub fn served(&self) -> u64 {
+        self.state.borrow().served
+    }
+
+    /// Batches executed so far (equals `served` without batching).
+    pub fn batches(&self) -> u64 {
+        self.state.borrow().batches
+    }
+
+    /// Mean batch size over the run.
+    pub fn mean_batch_size(&self) -> f64 {
+        let s = self.state.borrow();
+        if s.batches == 0 {
+            0.0
+        } else {
+            s.served as f64 / s.batches as f64
+        }
+    }
+
+    fn try_dispatch(self: &Rc<Self>, sim: &mut Sim) {
+        let (should_flush, delay) = {
+            let s = self.state.borrow();
+            if s.queue.is_empty() || s.busy_workers >= s.config.workers {
+                return;
+            }
+            if !s.config.batching {
+                (true, Duration::ZERO)
+            } else if s.queue.len() >= s.config.max_batch {
+                // A full batch goes immediately.
+                (true, Duration::ZERO)
+            } else if !s.flush_scheduled {
+                // Otherwise wait for the flush interval to gather load.
+                (false, s.config.flush_every)
+            } else {
+                return;
+            }
+        };
+        if should_flush {
+            self.execute_batch(sim);
+        } else {
+            self.state.borrow_mut().flush_scheduled = true;
+            let server = Rc::clone(self);
+            sim.schedule_in(delay, move |s| {
+                server.state.borrow_mut().flush_scheduled = false;
+                server.execute_batch(s);
+            });
+        }
+    }
+
+    fn execute_batch(self: &Rc<Self>, sim: &mut Sim) {
+        let (batch, service_time, inference) = {
+            let mut s = self.state.borrow_mut();
+            if s.queue.is_empty() || s.busy_workers >= s.config.workers {
+                return;
+            }
+            let take = if s.config.batching {
+                s.config.max_batch.min(s.queue.len())
+            } else {
+                1
+            };
+            let batch: Vec<PendingRequest> = s.queue.drain(..take).collect();
+            let inference = s.profile.batch_latency(batch.len());
+            let service = inference + s.profile.handler_overhead * batch.len() as u32;
+            s.busy_workers += 1;
+            s.served += batch.len() as u64;
+            s.batches += 1;
+            (batch, service, inference)
+        };
+        let server = Rc::clone(self);
+        let batch_size = batch.len();
+        sim.schedule_in(service_time, move |s| {
+            for req in batch {
+                (req.respond)(
+                    s,
+                    Ok(SimResponse {
+                        inference,
+                        batch_size,
+                    }),
+                );
+            }
+            server.state.borrow_mut().busy_workers -= 1;
+            server.try_dispatch(s);
+        });
+    }
+}
+
+impl SimService for SimRustServer {
+    fn submit(self: Rc<Self>, sim: &mut Sim, respond: RespondFn) {
+        self.state
+            .borrow_mut()
+            .queue
+            .push_back(PendingRequest { respond });
+        self.try_dispatch(sim);
+    }
+}
+
+// ---------------------------------------------------------------------
+// TorchServe baseline
+// ---------------------------------------------------------------------
+
+struct TorchRequest {
+    enqueued_at: SimTime,
+    respond: RespondFn,
+}
+
+struct TorchServeState {
+    profile: TorchServeProfile,
+    service: ServiceProfile,
+    frontend_busy: bool,
+    frontend_queue: VecDeque<TorchRequest>,
+    worker_queue: VecDeque<TorchRequest>,
+    busy_workers: usize,
+    served: u64,
+    timeouts: u64,
+}
+
+/// The simulated TorchServe baseline.
+pub struct SimTorchServe {
+    state: Shared<TorchServeState>,
+}
+
+impl SimTorchServe {
+    /// Creates a TorchServe instance serving `service` (use a static
+    /// profile for the paper's "empty model" infrastructure test).
+    pub fn new(profile: TorchServeProfile, service: ServiceProfile) -> Rc<SimTorchServe> {
+        Rc::new(SimTorchServe {
+            state: shared(TorchServeState {
+                profile,
+                service,
+                frontend_busy: false,
+                frontend_queue: VecDeque::new(),
+                worker_queue: VecDeque::new(),
+                busy_workers: 0,
+                served: 0,
+                timeouts: 0,
+            }),
+        })
+    }
+
+    /// Successfully served requests.
+    pub fn served(&self) -> u64 {
+        self.state.borrow().served
+    }
+
+    /// Requests failed by the internal timeout.
+    pub fn timeouts(&self) -> u64 {
+        self.state.borrow().timeouts
+    }
+
+    /// The frontend dispatches one request at a time (serialized).
+    fn pump_frontend(self: &Rc<Self>, sim: &mut Sim) {
+        let overhead = {
+            let mut s = self.state.borrow_mut();
+            if s.frontend_busy || s.frontend_queue.is_empty() {
+                return;
+            }
+            s.frontend_busy = true;
+            s.profile.frontend_overhead
+        };
+        let server = Rc::clone(self);
+        sim.schedule_in(overhead, move |s| {
+            {
+                let mut st = server.state.borrow_mut();
+                st.frontend_busy = false;
+                if let Some(req) = st.frontend_queue.pop_front() {
+                    st.worker_queue.push_back(req);
+                }
+            }
+            server.pump_workers(s);
+            server.pump_frontend(s);
+        });
+    }
+
+    fn pump_workers(self: &Rc<Self>, sim: &mut Sim) {
+        loop {
+            let now = sim.now();
+            let next = {
+                let mut s = self.state.borrow_mut();
+                if s.busy_workers >= s.profile.workers {
+                    return;
+                }
+                let Some(req) = s.worker_queue.pop_front() else {
+                    return;
+                };
+                // The internal timeout fires when a request is picked up
+                // after its deadline — TorchServe answers it with an HTTP
+                // error without running the handler.
+                if now.since(req.enqueued_at) > s.profile.timeout {
+                    s.timeouts += 1;
+                    Some((req, None))
+                } else {
+                    let service = s.profile.worker_overhead + s.service.batch_latency(1);
+                    s.busy_workers += 1;
+                    Some((req, Some(service)))
+                }
+            };
+            match next {
+                Some((req, None)) => {
+                    // Timed out: fail immediately, keep draining.
+                    (req.respond)(sim, Err(ServeError::Timeout));
+                }
+                Some((req, Some(service))) => {
+                    let server = Rc::clone(self);
+                    let inference = {
+                        let s = self.state.borrow();
+                        s.service.batch_latency(1)
+                    };
+                    sim.schedule_in(service, move |s| {
+                        {
+                            let mut st = server.state.borrow_mut();
+                            st.busy_workers -= 1;
+                            st.served += 1;
+                        }
+                        (req.respond)(
+                            s,
+                            Ok(SimResponse {
+                                inference,
+                                batch_size: 1,
+                            }),
+                        );
+                        server.pump_workers(s);
+                    });
+                }
+                None => return,
+            }
+        }
+    }
+}
+
+impl SimService for SimTorchServe {
+    fn submit(self: Rc<Self>, sim: &mut Sim, respond: RespondFn) {
+        {
+            let mut s = self.state.borrow_mut();
+            let now = sim.now();
+            s.frontend_queue.push_back(TorchRequest {
+                enqueued_at: now,
+                respond,
+            });
+        }
+        self.pump_frontend(sim);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etude_tensor::Device;
+
+    fn drive<S: SimService + 'static>(
+        server: Rc<S>,
+        rps: u64,
+        seconds: u64,
+    ) -> (Vec<Duration>, u64) {
+        let mut sim = Sim::new();
+        let latencies = shared(Vec::<Duration>::new());
+        let errors = shared(0u64);
+        let gap = Duration::from_nanos(1_000_000_000 / rps.max(1));
+        let total = rps * seconds;
+        for i in 0..total {
+            let server = Rc::clone(&server);
+            let latencies = Rc::clone(&latencies);
+            let errors = Rc::clone(&errors);
+            sim.schedule_at(SimTime::ZERO.after(gap * i as u32), move |s| {
+                let sent = s.now();
+                let latencies = Rc::clone(&latencies);
+                let errors = Rc::clone(&errors);
+                server.submit(
+                    s,
+                    Box::new(move |s2, result| match result {
+                        Ok(_) => latencies.borrow_mut().push(s2.now().since(sent)),
+                        Err(_) => *errors.borrow_mut() += 1,
+                    }),
+                );
+            });
+        }
+        sim.run_to_completion();
+        let l = latencies.borrow().clone();
+        let e = *errors.borrow();
+        (l, e)
+    }
+
+    #[test]
+    fn rust_server_handles_1000_rps_static_with_low_latency() {
+        // Figure 2, Rust side: ~1 ms p90, zero errors at 1,000 req/s.
+        let profile = ServiceProfile::static_response(&Device::cpu());
+        let server = SimRustServer::new(profile, RustServerConfig::cpu(4));
+        let (latencies, errors) = drive(server, 1_000, 5);
+        assert_eq!(errors, 0);
+        assert_eq!(latencies.len(), 5_000);
+        let p90 = etude_metrics::percentile::percentile_duration(&latencies, 0.9).unwrap();
+        assert!(p90 < Duration::from_millis(2), "p90 {p90:?}");
+    }
+
+    #[test]
+    fn torchserve_collapses_at_1000_rps_static() {
+        // Figure 2, TorchServe side: HTTP errors and 100-200 ms p90 on
+        // *empty* responses.
+        let service = ServiceProfile::static_response(&Device::cpu());
+        let server = SimTorchServe::new(TorchServeProfile::default(), service);
+        let (latencies, errors) = drive(Rc::clone(&server), 1_000, 5);
+        assert!(errors > 500, "only {errors} errors");
+        if !latencies.is_empty() {
+            let p90 = etude_metrics::percentile::percentile_duration(&latencies, 0.9).unwrap();
+            assert!(
+                p90 > Duration::from_millis(50),
+                "successful requests should be slow under backlog: {p90:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn torchserve_is_fine_at_low_rates() {
+        let service = ServiceProfile::static_response(&Device::cpu());
+        let server = SimTorchServe::new(TorchServeProfile::default(), service);
+        let (latencies, errors) = drive(Rc::clone(&server), 100, 5);
+        assert_eq!(errors, 0);
+        let p90 = etude_metrics::percentile::percentile_duration(&latencies, 0.9).unwrap();
+        assert!(p90 < Duration::from_millis(10), "p90 {p90:?}");
+    }
+
+    #[test]
+    fn batching_server_fuses_requests() {
+        use etude_models::{ModelConfig, ModelKind};
+        let profile = ServiceProfile::build(
+            ModelKind::SasRec,
+            &ModelConfig::new(100_000).without_weights(),
+            &Device::t4(),
+            crate::service::ExecutionKind::Jit,
+        )
+        .unwrap();
+        let server = SimRustServer::new(profile, RustServerConfig::gpu());
+        let (latencies, errors) = drive(Rc::clone(&server), 2_000, 3);
+        assert_eq!(errors, 0);
+        assert!(!latencies.is_empty());
+        assert!(
+            server.mean_batch_size() > 1.5,
+            "batching never engaged: {}",
+            server.mean_batch_size()
+        );
+    }
+
+    #[test]
+    fn unbatched_server_serves_fifo_one_by_one() {
+        let profile = ServiceProfile::static_response(&Device::cpu());
+        let server = SimRustServer::new(profile, RustServerConfig::cpu(1));
+        let (latencies, _) = drive(Rc::clone(&server), 100, 2);
+        assert_eq!(server.batches(), server.served());
+        assert_eq!(latencies.len() as u64, server.served());
+    }
+}

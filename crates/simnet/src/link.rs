@@ -1,0 +1,100 @@
+//! Simulated network links.
+//!
+//! In the paper's setup the load generator and the inference server run on
+//! separate Kubernetes nodes connected through a ClusterIP service;
+//! request and response each cross the pod network. A [`Link`] models that
+//! hop as a base latency plus light log-normal-ish jitter.
+
+use crate::{Sim, SimTime};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// A one-way network link with jittered delivery latency.
+#[derive(Debug)]
+pub struct Link {
+    base: Duration,
+    jitter: Duration,
+    rng: SmallRng,
+}
+
+impl Link {
+    /// Creates a link with `base` latency and up to `jitter` extra delay.
+    pub fn new(base: Duration, jitter: Duration, seed: u64) -> Link {
+        Link {
+            base,
+            jitter,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// An intra-cluster pod-to-pod link (~150 µs ± 100 µs), the same
+    /// order as GKE's east-west latency.
+    pub fn cluster(seed: u64) -> Link {
+        Link::new(Duration::from_micros(150), Duration::from_micros(100), seed)
+    }
+
+    /// Samples a delivery latency.
+    pub fn sample(&mut self) -> Duration {
+        if self.jitter.is_zero() {
+            return self.base;
+        }
+        // Squaring a uniform sample skews the jitter towards small values
+        // while keeping an occasional slow packet, loosely log-normal.
+        let u: f64 = self.rng.gen::<f64>();
+        self.base + Duration::from_secs_f64(self.jitter.as_secs_f64() * u * u)
+    }
+
+    /// Schedules `event` for delivery across the link.
+    pub fn deliver<F: FnOnce(&mut Sim) + 'static>(&mut self, sim: &mut Sim, event: F) {
+        let delay = self.sample();
+        sim.schedule_in(delay, event);
+    }
+
+    /// Delivery time for an event sent now.
+    pub fn delivery_time(&mut self, now: SimTime) -> SimTime {
+        now.after(self.sample())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_bounded_by_base_and_jitter() {
+        let mut link = Link::new(Duration::from_micros(100), Duration::from_micros(50), 1);
+        for _ in 0..1000 {
+            let d = link.sample();
+            assert!(d >= Duration::from_micros(100));
+            assert!(d <= Duration::from_micros(150));
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_deterministic() {
+        let mut link = Link::new(Duration::from_micros(200), Duration::ZERO, 2);
+        assert_eq!(link.sample(), Duration::from_micros(200));
+    }
+
+    #[test]
+    fn deliver_schedules_after_latency() {
+        let mut sim = Sim::new();
+        let mut link = Link::new(Duration::from_millis(1), Duration::ZERO, 3);
+        let arrived = crate::shared(None::<Duration>);
+        let a = std::rc::Rc::clone(&arrived);
+        link.deliver(&mut sim, move |s| {
+            *a.borrow_mut() = Some(s.now().as_duration());
+        });
+        sim.run_to_completion();
+        assert_eq!(*arrived.borrow(), Some(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn jitter_varies_between_samples() {
+        let mut link = Link::cluster(4);
+        let samples: Vec<Duration> = (0..50).map(|_| link.sample()).collect();
+        let distinct: std::collections::HashSet<Duration> = samples.iter().copied().collect();
+        assert!(distinct.len() > 10);
+    }
+}

@@ -1,0 +1,331 @@
+//! Dense and phantom tensors.
+//!
+//! A [`Tensor`] is an n-dimensional, row-major array of `f32`. Its storage
+//! is either [`Storage::Dense`] (a real buffer) or [`Storage::Phantom`]
+//! (shape-only). Phantom tensors flow through every kernel without data
+//! movement, which is what lets the cost model benchmark catalogs of tens
+//! of millions of items without allocating their embedding tables.
+
+use std::fmt;
+
+/// Errors produced by tensor construction and kernel shape checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The element count implied by the shape does not match the data length.
+    ShapeDataMismatch { shape: Vec<usize>, data_len: usize },
+    /// Two operands have incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        op: &'static str,
+        lhs: Vec<usize>,
+        rhs: Vec<usize>,
+    },
+    /// The operation requires a different rank than the operand has.
+    RankMismatch {
+        op: &'static str,
+        expected: usize,
+        got: usize,
+    },
+    /// An index is out of bounds for the tensor it addresses.
+    IndexOutOfBounds { index: usize, bound: usize },
+    /// A dense value was required but the tensor is phantom (cost-only).
+    PhantomData { op: &'static str },
+    /// A tensor reference does not exist in the execution arena.
+    InvalidRef { index: usize },
+    /// Tracing encountered an operation that cannot be captured.
+    NotTraceable { op: &'static str },
+    /// Generic invalid-argument error with a static description.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { shape, data_len } => write!(
+                f,
+                "shape {shape:?} implies {} elements but data has {data_len}",
+                shape.iter().product::<usize>()
+            ),
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::RankMismatch { op, expected, got } => {
+                write!(f, "{op}: expected rank {expected}, got {got}")
+            }
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds ({bound})")
+            }
+            TensorError::PhantomData { op } => {
+                write!(f, "{op}: dense data required but tensor is phantom")
+            }
+            TensorError::InvalidRef { index } => write!(f, "invalid tensor ref {index}"),
+            TensorError::NotTraceable { op } => {
+                write!(f, "{op}: operation cannot be captured into a graph")
+            }
+            TensorError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Tensor storage: real data or shape-only.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Storage {
+    /// A materialised, row-major buffer.
+    Dense(Vec<f32>),
+    /// No data; only the shape is tracked. Produced by cost-only execution.
+    Phantom,
+}
+
+/// An n-dimensional, row-major array of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    storage: Storage,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// Creates a dense tensor from a flat buffer and a shape.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self, TensorError> {
+        let n: usize = shape.iter().product();
+        if n != data.len() {
+            return Err(TensorError::ShapeDataMismatch {
+                shape: shape.to_vec(),
+                data_len: data.len(),
+            });
+        }
+        Ok(Tensor {
+            storage: Storage::Dense(data),
+            shape: shape.to_vec(),
+        })
+    }
+
+    /// Creates a dense tensor filled with zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        Tensor {
+            storage: Storage::Dense(vec![0.0; n]),
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Creates a dense tensor filled with a constant.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let n: usize = shape.iter().product();
+        Tensor {
+            storage: Storage::Dense(vec![value; n]),
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Creates a phantom (shape-only) tensor.
+    pub fn phantom(shape: &[usize]) -> Self {
+        Tensor {
+            storage: Storage::Phantom,
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Creates a dense rank-1 tensor holding bit-cast item ids.
+    pub fn from_ids(ids: &[u32]) -> Self {
+        Tensor {
+            storage: Storage::Dense(ids.iter().map(|&i| crate::id_to_f32(i)).collect()),
+            shape: vec![ids.len()],
+        }
+    }
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// Whether the tensor holds zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Whether the tensor is phantom (shape-only).
+    #[inline]
+    pub fn is_phantom(&self) -> bool {
+        matches!(self.storage, Storage::Phantom)
+    }
+
+    /// Borrows the dense buffer, failing on phantom tensors.
+    pub fn as_slice(&self) -> Result<&[f32], TensorError> {
+        match &self.storage {
+            Storage::Dense(v) => Ok(v),
+            Storage::Phantom => Err(TensorError::PhantomData { op: "as_slice" }),
+        }
+    }
+
+    /// Mutably borrows the dense buffer, failing on phantom tensors.
+    pub fn as_slice_mut(&mut self) -> Result<&mut [f32], TensorError> {
+        match &mut self.storage {
+            Storage::Dense(v) => Ok(v),
+            Storage::Phantom => Err(TensorError::PhantomData { op: "as_slice_mut" }),
+        }
+    }
+
+    /// Consumes the tensor and returns its dense buffer.
+    pub fn into_vec(self) -> Result<Vec<f32>, TensorError> {
+        match self.storage {
+            Storage::Dense(v) => Ok(v),
+            Storage::Phantom => Err(TensorError::PhantomData { op: "into_vec" }),
+        }
+    }
+
+    /// Reads a single element of a rank-1 or flattened tensor.
+    pub fn get(&self, index: usize) -> Result<f32, TensorError> {
+        let data = self.as_slice()?;
+        data.get(index)
+            .copied()
+            .ok_or(TensorError::IndexOutOfBounds {
+                index,
+                bound: data.len(),
+            })
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    pub fn reshape(mut self, shape: &[usize]) -> Result<Self, TensorError> {
+        let n: usize = shape.iter().product();
+        if n != self.len() {
+            return Err(TensorError::ShapeDataMismatch {
+                shape: shape.to_vec(),
+                data_len: self.len(),
+            });
+        }
+        self.shape = shape.to_vec();
+        Ok(self)
+    }
+
+    /// Returns the two dimensions of a rank-2 tensor.
+    pub fn dims2(&self, op: &'static str) -> Result<(usize, usize), TensorError> {
+        if self.shape.len() != 2 {
+            return Err(TensorError::RankMismatch {
+                op,
+                expected: 2,
+                got: self.shape.len(),
+            });
+        }
+        Ok((self.shape[0], self.shape[1]))
+    }
+
+    /// Returns the single dimension of a rank-1 tensor.
+    pub fn dims1(&self, op: &'static str) -> Result<usize, TensorError> {
+        if self.shape.len() != 1 {
+            return Err(TensorError::RankMismatch {
+                op,
+                expected: 1,
+                got: self.shape.len(),
+            });
+        }
+        Ok(self.shape[0])
+    }
+
+    /// Interprets the buffer as bit-cast item ids (see [`crate::f32_to_id`]).
+    pub fn to_ids(&self) -> Result<Vec<u32>, TensorError> {
+        Ok(self.as_slice()?.iter().map(|&x| crate::f32_to_id(x)).collect())
+    }
+
+    /// Maximum absolute difference to another tensor of the same shape.
+    ///
+    /// Used pervasively in tests to compare eager and compiled outputs.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32, TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "max_abs_diff",
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        let a = self.as_slice()?;
+        let b = other.as_slice()?;
+        Ok(a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_shape() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[2]).is_ok());
+        assert!(matches!(
+            Tensor::from_vec(vec![1.0, 2.0], &[3]),
+            Err(TensorError::ShapeDataMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor::zeros(&[2, 3]);
+        assert_eq!(z.len(), 6);
+        assert!(z.as_slice().unwrap().iter().all(|&x| x == 0.0));
+        let f = Tensor::full(&[4], 2.5);
+        assert!(f.as_slice().unwrap().iter().all(|&x| x == 2.5));
+    }
+
+    #[test]
+    fn phantom_rejects_data_access() {
+        let p = Tensor::phantom(&[3, 3]);
+        assert!(p.is_phantom());
+        assert_eq!(p.len(), 9);
+        assert!(matches!(
+            p.as_slice(),
+            Err(TensorError::PhantomData { .. })
+        ));
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap();
+        let t = t.reshape(&[2, 2]).unwrap();
+        assert_eq!(t.shape(), &[2, 2]);
+        assert_eq!(t.as_slice().unwrap(), &[1.0, 2.0, 3.0, 4.0]);
+        assert!(t.clone().reshape(&[3]).is_err());
+    }
+
+    #[test]
+    fn ids_roundtrip_through_tensor() {
+        let ids = vec![0u32, 7, 16_777_217, 19_999_999];
+        let t = Tensor::from_ids(&ids);
+        assert_eq!(t.to_ids().unwrap(), ids);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_divergence() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![1.0, 2.5], &[2]).unwrap();
+        assert!((a.max_abs_diff(&b).unwrap() - 0.5).abs() < 1e-6);
+        let c = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        assert!(a.max_abs_diff(&c).is_err());
+    }
+
+    #[test]
+    fn dims_accessors_enforce_rank() {
+        let m = Tensor::zeros(&[2, 3]);
+        assert_eq!(m.dims2("t").unwrap(), (2, 3));
+        assert!(m.dims1("t").is_err());
+        let v = Tensor::zeros(&[5]);
+        assert_eq!(v.dims1("t").unwrap(), 5);
+        assert!(v.dims2("t").is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! Top-k selection over catalog score vectors.
+//!
+//! Every SBR model ends inference with a maximum-inner-product search: the
+//! session representation is scored against all `C` catalog items and the
+//! `k` best are returned. This module provides the `O(C log k)` bounded
+//! min-heap selection used by the [`crate::exec::Exec::topk`] operation.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A `(score, index)` candidate ordered for a min-heap by score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Candidate {
+    score: f32,
+    index: u32,
+}
+
+impl Eq for Candidate {}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering turns std's max-heap into a min-heap on score;
+        // ties broken by index so the result is fully deterministic.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.index.cmp(&other.index))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Returns the indices and scores of the `k` largest entries of `scores`,
+/// in descending score order. Ties are broken towards the lower index.
+pub fn topk(scores: &[f32], k: usize) -> (Vec<u32>, Vec<f32>) {
+    let k = k.min(scores.len());
+    if k == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let mut heap: BinaryHeap<Candidate> = BinaryHeap::with_capacity(k + 1);
+    for (i, &s) in scores.iter().enumerate() {
+        // NaN scores sort below everything, keeping heap order total.
+        let s = if s.is_nan() { f32::NEG_INFINITY } else { s };
+        let c = Candidate {
+            score: s,
+            index: i as u32,
+        };
+        if heap.len() < k {
+            heap.push(c);
+        } else if let Some(min) = heap.peek() {
+            // Replace the current minimum if strictly better, or equal with
+            // a smaller index (deterministic tie-break).
+            let better = s > min.score || (s == min.score && c.index < min.index);
+            if better {
+                heap.pop();
+                heap.push(c);
+            }
+        }
+    }
+    let mut items: Vec<Candidate> = heap.into_vec();
+    items.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| a.index.cmp(&b.index))
+    });
+    let indices = items.iter().map(|c| c.index).collect();
+    let scores = items.iter().map(|c| c.score).collect();
+    (indices, scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_largest_in_order() {
+        let scores = [0.1, 0.9, 0.5, 0.7, 0.3];
+        let (idx, val) = topk(&scores, 3);
+        assert_eq!(idx, vec![1, 3, 2]);
+        assert_eq!(val, vec![0.9, 0.7, 0.5]);
+    }
+
+    #[test]
+    fn k_larger_than_input_returns_all_sorted() {
+        let scores = [2.0, 1.0, 3.0];
+        let (idx, val) = topk(&scores, 10);
+        assert_eq!(idx, vec![2, 0, 1]);
+        assert_eq!(val, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let (idx, val) = topk(&[1.0, 2.0], 0);
+        assert!(idx.is_empty() && val.is_empty());
+    }
+
+    #[test]
+    fn ties_break_towards_lower_index() {
+        let scores = [1.0, 1.0, 1.0, 1.0];
+        let (idx, _) = topk(&scores, 2);
+        assert_eq!(idx, vec![0, 1]);
+    }
+
+    #[test]
+    fn matches_full_sort_on_random_input() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..200);
+            let k = rng.gen_range(1..=n);
+            let scores: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let (idx, val) = topk(&scores, k);
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| {
+                scores[b]
+                    .partial_cmp(&scores[a])
+                    .unwrap()
+                    .then_with(|| a.cmp(&b))
+            });
+            let expect_idx: Vec<u32> = order[..k].iter().map(|&i| i as u32).collect();
+            assert_eq!(idx, expect_idx);
+            for (v, &i) in val.iter().zip(&idx) {
+                assert_eq!(*v, scores[i as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn handles_nan_without_panicking() {
+        let scores = [0.5, f32::NAN, 0.9];
+        let (idx, _) = topk(&scores, 2);
+        assert_eq!(idx.len(), 2);
+        assert!(idx.contains(&2));
+    }
+}

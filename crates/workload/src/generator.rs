@@ -1,0 +1,245 @@
+//! Algorithm 1: synthetic workload generation from marginal statistics.
+//!
+//! ```text
+//! function GENERATE_SYNTHETIC_SESSIONS(C, N, alpha_l, alpha_c)
+//!   I <- sample C click counts from power law with exponent alpha_c
+//!   while n < N:
+//!     s <- s + 1
+//!     l <- sample session length from power law with exponent alpha_l
+//!     n <- n + l
+//!     for 0 to l:
+//!       t <- t + 1
+//!       i <- sample item id from the empirical CDF of I
+//!       Q <- Q ∪ (s, i, t)
+//! ```
+//!
+//! The implementation offers a batch form ([`SyntheticWorkload::generate`])
+//! and a streaming iterator ([`SyntheticWorkload::clicks`]) for the load
+//! generator, which must not hold multi-minute workloads in memory.
+
+use crate::ecdf::Ecdf;
+use crate::powerlaw::PowerLaw;
+use crate::session::{Click, SessionLog};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Marginal statistics driving Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadConfig {
+    /// Catalog size `C`.
+    pub catalog_size: usize,
+    /// Exponent of the session-length power law (`alpha_l`).
+    pub alpha_length: f64,
+    /// Exponent of the click-count power law (`alpha_c`).
+    pub alpha_clicks: f64,
+    /// Maximum session length (sessions are truncated here; bol.com-style
+    /// logs rarely exceed a few hundred interactions).
+    pub max_session_len: usize,
+    /// RNG seed for reproducible workloads.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// Marginals estimated from the bol.com click log as reported in the
+    /// Serenade line of work: session lengths are heavily skewed towards
+    /// one or two clicks; item popularity has a heavy Zipf-like tail.
+    pub fn bolcom_like(catalog_size: usize) -> WorkloadConfig {
+        WorkloadConfig {
+            catalog_size,
+            alpha_length: 2.0,
+            alpha_clicks: 1.8,
+            max_session_len: 200,
+            seed: 20240101,
+        }
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A prepared synthetic workload: the per-item click-count CDF is built
+/// once (Algorithm 1, line 7) and reused for any number of sessions.
+#[derive(Debug, Clone)]
+pub struct SyntheticWorkload {
+    config: WorkloadConfig,
+    item_cdf: Ecdf,
+    length_dist: PowerLaw,
+}
+
+impl SyntheticWorkload {
+    /// Builds the workload: samples `C` click counts and prepares the CDF.
+    pub fn new(config: WorkloadConfig) -> SyntheticWorkload {
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let count_dist = PowerLaw::new(config.alpha_clicks, 1.0, 1e7);
+        let weights = (0..config.catalog_size).map(|_| count_dist.sample(&mut rng) as f64);
+        let item_cdf = Ecdf::from_weights(weights);
+        let length_dist = PowerLaw::new(
+            config.alpha_length,
+            1.0,
+            config.max_session_len.max(2) as f64,
+        );
+        SyntheticWorkload {
+            config,
+            item_cdf,
+            length_dist,
+        }
+    }
+
+    /// The configuration this workload was built from.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// The empirical item-popularity CDF.
+    pub fn item_cdf(&self) -> &Ecdf {
+        &self.item_cdf
+    }
+
+    /// Generates at least `n` clicks as a batch (Algorithm 1 verbatim).
+    /// Generation stops at the next session boundary so replayed sessions
+    /// are always whole.
+    pub fn generate(&self, n: u64) -> SessionLog {
+        let mut clicks = Vec::with_capacity(n as usize + self.config.max_session_len);
+        let mut stream = self.clicks(self.config.seed ^ 0x9e37_79b9);
+        loop {
+            let c = stream.next().expect("stream is infinite");
+            clicks.push(c);
+            if clicks.len() as u64 >= n && stream.at_session_boundary() {
+                break;
+            }
+        }
+        SessionLog::new(clicks)
+    }
+
+    /// An infinite streaming click iterator with its own RNG stream.
+    pub fn clicks(&self, stream_seed: u64) -> ClickStream<'_> {
+        ClickStream {
+            workload: self,
+            rng: SmallRng::seed_from_u64(stream_seed),
+            session: 0,
+            t: 0,
+            remaining_in_session: 0,
+        }
+    }
+}
+
+/// Infinite iterator over synthetic clicks (Algorithm 1's inner loops).
+pub struct ClickStream<'a> {
+    workload: &'a SyntheticWorkload,
+    rng: SmallRng,
+    session: u64,
+    t: u64,
+    remaining_in_session: usize,
+}
+
+impl<'a> ClickStream<'a> {
+    /// Whether the next click starts a new session.
+    pub fn at_session_boundary(&self) -> bool {
+        self.remaining_in_session == 0
+    }
+}
+
+impl<'a> Iterator for ClickStream<'a> {
+    type Item = Click;
+
+    fn next(&mut self) -> Option<Click> {
+        if self.remaining_in_session == 0 {
+            self.session += 1; // line 9: s <- s + 1
+            let l = self.workload.length_dist.sample(&mut self.rng) as usize; // line 10
+            self.remaining_in_session = l.clamp(1, self.workload.config.max_session_len);
+        }
+        self.t += 1; // line 13
+        self.remaining_in_session -= 1;
+        let item = self.workload.item_cdf.sample(&mut self.rng); // line 14
+        Some(Click {
+            session: self.session,
+            item,
+            t: self.t,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::powerlaw::fit_exponent;
+
+    fn config() -> WorkloadConfig {
+        WorkloadConfig {
+            catalog_size: 5_000,
+            alpha_length: 2.0,
+            alpha_clicks: 1.8,
+            max_session_len: 50,
+            seed: 77,
+        }
+    }
+
+    #[test]
+    fn generates_at_least_n_clicks_with_whole_sessions() {
+        let w = SyntheticWorkload::new(config());
+        let log = w.generate(10_000);
+        assert!(log.len() >= 10_000);
+        log.check_invariants(5_000).unwrap();
+    }
+
+    #[test]
+    fn session_length_marginal_is_recovered() {
+        let w = SyntheticWorkload::new(config());
+        let log = w.generate(200_000);
+        let lengths = log.session_lengths();
+        // Tail fit from x_min = 5; truncation at max_session_len biases
+        // the estimate slightly low, hence the widened tolerance.
+        let est = fit_exponent(&lengths, 5).expect("enough sessions");
+        assert!(
+            (est - config().alpha_length).abs() < 0.35,
+            "estimated alpha_l = {est}"
+        );
+    }
+
+    #[test]
+    fn click_count_marginal_is_heavy_tailed() {
+        let w = SyntheticWorkload::new(config());
+        let log = w.generate(100_000);
+        let counts = log.item_click_counts(5_000);
+        // Top 1% of items should attract a disproportionate click share.
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = sorted.iter().sum();
+        let top1pct: u64 = sorted.iter().take(50).sum();
+        assert!(
+            top1pct as f64 > 0.10 * total as f64,
+            "top-1% share {}",
+            top1pct as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_independent() {
+        let w = SyntheticWorkload::new(config());
+        let a: Vec<Click> = w.clicks(1).take(100).collect();
+        let b: Vec<Click> = w.clicks(1).take(100).collect();
+        let c: Vec<Click> = w.clicks(2).take(100).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stream_t_and_sessions_are_monotone() {
+        let w = SyntheticWorkload::new(config());
+        let clicks: Vec<Click> = w.clicks(3).take(5_000).collect();
+        SessionLog::new(clicks).check_invariants(5_000).unwrap();
+    }
+
+    #[test]
+    fn sessions_respect_max_length() {
+        let mut cfg = config();
+        cfg.max_session_len = 5;
+        cfg.alpha_length = 1.2; // heavy tail would exceed the cap often
+        let w = SyntheticWorkload::new(cfg);
+        let log = w.generate(5_000);
+        assert!(log.session_lengths().iter().all(|&l| l <= 5));
+    }
+}

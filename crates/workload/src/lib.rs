@@ -1,0 +1,35 @@
+//! # etude-workload
+//!
+//! Synthetic click-workload generation for ETUDE (paper, Section II,
+//! Algorithm 1). A core design goal of the framework is load testing
+//! *without replaying sensitive real click data*: users provide only two
+//! marginal statistics of their click log — the power-law exponent
+//! `alpha_l` of the session-length distribution and the exponent
+//! `alpha_c` of the item click-count distribution — and the generator
+//! produces synthetic sessions preserving those marginals.
+//!
+//! The crate contains:
+//!
+//! * [`powerlaw`] — discrete bounded power-law sampling and maximum
+//!   likelihood exponent estimation,
+//! * [`ecdf`] — empirical CDFs with `O(log C)` inverse-transform sampling,
+//! * [`generator`] — Algorithm 1 itself, in batch and streaming forms
+//!   (the paper reports >1M clicks/second on one core at `C = 10^7`;
+//!   `cargo bench -p etude-bench --bench workload_gen` reproduces this),
+//! * [`stats`] — fitting the two exponents from a raw click log,
+//! * [`reallog`] — a generative stand-in for the proprietary bol.com
+//!   click log, used to reproduce the real-vs-synthetic validation
+//!   experiment,
+//! * [`session`] — click/session types and invariant helpers.
+
+pub mod ecdf;
+pub mod generator;
+pub mod powerlaw;
+pub mod reallog;
+pub mod session;
+pub mod stats;
+
+pub use ecdf::Ecdf;
+pub use generator::{SyntheticWorkload, WorkloadConfig};
+pub use session::{Click, SessionLog};
+pub use stats::LogStatistics;

@@ -1,0 +1,182 @@
+//! Click and session types shared across the workload pipeline.
+
+/// A single click: session `s`, item `i`, logical timestamp `t`
+/// (Algorithm 1's `(s, i, t)` tuples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Click {
+    /// Session identifier (1-based, monotonically increasing).
+    pub session: u64,
+    /// Clicked item id (`< C`).
+    pub item: u32,
+    /// Global click counter (unique, monotonically increasing).
+    pub t: u64,
+}
+
+/// A click log grouped by session, in arrival order.
+#[derive(Debug, Clone, Default)]
+pub struct SessionLog {
+    clicks: Vec<Click>,
+}
+
+impl SessionLog {
+    /// Wraps a click vector (assumed to be in generation order).
+    pub fn new(clicks: Vec<Click>) -> SessionLog {
+        SessionLog { clicks }
+    }
+
+    /// All clicks in order.
+    pub fn clicks(&self) -> &[Click] {
+        &self.clicks
+    }
+
+    /// Total click count.
+    pub fn len(&self) -> usize {
+        self.clicks.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.clicks.is_empty()
+    }
+
+    /// Number of distinct sessions.
+    pub fn session_count(&self) -> usize {
+        let mut n = 0;
+        let mut last = None;
+        for c in &self.clicks {
+            if last != Some(c.session) {
+                n += 1;
+                last = Some(c.session);
+            }
+        }
+        n
+    }
+
+    /// Iterates sessions as item-id slices (clicks of one session are
+    /// contiguous in a well-formed log).
+    pub fn sessions(&self) -> impl Iterator<Item = (u64, Vec<u32>)> + '_ {
+        SessionIter {
+            clicks: &self.clicks,
+            pos: 0,
+        }
+    }
+
+    /// Session length histogram (index = length, value = count).
+    pub fn session_lengths(&self) -> Vec<u64> {
+        self.sessions().map(|(_, items)| items.len() as u64).collect()
+    }
+
+    /// Per-item click counts over a catalog of size `c`.
+    pub fn item_click_counts(&self, c: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; c];
+        for click in &self.clicks {
+            if (click.item as usize) < c {
+                counts[click.item as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Checks the structural invariants of Algorithm 1's output:
+    /// session ids contiguous and non-decreasing, `t` strictly increasing,
+    /// all items below `c`. Returns the first violated invariant.
+    pub fn check_invariants(&self, c: usize) -> Result<(), &'static str> {
+        let mut last_session = 0u64;
+        let mut last_t = 0u64;
+        for click in &self.clicks {
+            if click.session < last_session {
+                return Err("session ids must be non-decreasing");
+            }
+            if click.session > last_session + 1 {
+                return Err("session ids must be contiguous");
+            }
+            if click.t <= last_t && last_t != 0 {
+                return Err("click timestamps must strictly increase");
+            }
+            if click.item as usize >= c {
+                return Err("item id outside catalog");
+            }
+            last_session = click.session;
+            last_t = click.t;
+        }
+        Ok(())
+    }
+}
+
+struct SessionIter<'a> {
+    clicks: &'a [Click],
+    pos: usize,
+}
+
+impl<'a> Iterator for SessionIter<'a> {
+    type Item = (u64, Vec<u32>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.clicks.len() {
+            return None;
+        }
+        let sid = self.clicks[self.pos].session;
+        let mut items = Vec::new();
+        while self.pos < self.clicks.len() && self.clicks[self.pos].session == sid {
+            items.push(self.clicks[self.pos].item);
+            self.pos += 1;
+        }
+        Some((sid, items))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log() -> SessionLog {
+        SessionLog::new(vec![
+            Click { session: 1, item: 5, t: 1 },
+            Click { session: 1, item: 6, t: 2 },
+            Click { session: 2, item: 5, t: 3 },
+        ])
+    }
+
+    #[test]
+    fn groups_sessions_in_order() {
+        let sessions: Vec<_> = log().sessions().collect();
+        assert_eq!(sessions.len(), 2);
+        assert_eq!(sessions[0], (1, vec![5, 6]));
+        assert_eq!(sessions[1], (2, vec![5]));
+    }
+
+    #[test]
+    fn counts_items_and_sessions() {
+        let l = log();
+        assert_eq!(l.session_count(), 2);
+        let counts = l.item_click_counts(10);
+        assert_eq!(counts[5], 2);
+        assert_eq!(counts[6], 1);
+    }
+
+    #[test]
+    fn invariants_hold_for_well_formed_logs() {
+        assert!(log().check_invariants(10).is_ok());
+    }
+
+    #[test]
+    fn invariants_catch_violations() {
+        let bad_item = SessionLog::new(vec![Click { session: 1, item: 99, t: 1 }]);
+        assert!(bad_item.check_invariants(10).is_err());
+        let bad_t = SessionLog::new(vec![
+            Click { session: 1, item: 1, t: 5 },
+            Click { session: 1, item: 1, t: 5 },
+        ]);
+        assert!(bad_t.check_invariants(10).is_err());
+        let gap = SessionLog::new(vec![
+            Click { session: 1, item: 1, t: 1 },
+            Click { session: 3, item: 1, t: 2 },
+        ]);
+        assert!(gap.check_invariants(10).is_err());
+    }
+
+    #[test]
+    fn session_lengths_histogram() {
+        assert_eq!(log().session_lengths(), vec![2, 1]);
+    }
+}

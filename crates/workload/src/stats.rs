@@ -1,0 +1,134 @@
+//! Fitting the two marginal statistics from a raw click log.
+//!
+//! ETUDE's workflow (paper, Section II): "These statistics can be
+//! estimated once from a real click log and reused for experiments
+//! later." [`LogStatistics::estimate`] performs that estimation —
+//! maximum-likelihood power-law fits of the session-length and
+//! click-count distributions — and converts directly into a
+//! [`WorkloadConfig`] for Algorithm 1.
+
+use crate::generator::WorkloadConfig;
+use crate::powerlaw::fit_exponent;
+use crate::session::SessionLog;
+
+/// Tail fit: prefers `x_min = 5` (low discretisation bias) when at least
+/// 500 samples reach the tail, falling back to smaller thresholds for
+/// small logs.
+fn fit_tail(samples: &[u64]) -> Option<f64> {
+    for x_min in [5u64, 3, 2, 1] {
+        let n_tail = samples.iter().filter(|&&x| x >= x_min).count();
+        if n_tail >= 500 || x_min == 1 {
+            if let Some(a) = fit_exponent(samples, x_min) {
+                return Some(a);
+            }
+        }
+    }
+    None
+}
+
+/// Marginal statistics estimated from a click log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogStatistics {
+    /// MLE exponent of the session-length distribution.
+    pub alpha_length: f64,
+    /// MLE exponent of the per-item click-count distribution.
+    pub alpha_clicks: f64,
+    /// Number of sessions observed.
+    pub sessions: usize,
+    /// Number of clicks observed.
+    pub clicks: usize,
+    /// Longest session observed.
+    pub max_session_len: usize,
+}
+
+impl LogStatistics {
+    /// Estimates the statistics from a log over a catalog of size `c`.
+    ///
+    /// Returns `None` when the log is too small for a meaningful fit
+    /// (fewer than two sessions or no repeated items).
+    pub fn estimate(log: &SessionLog, catalog_size: usize) -> Option<LogStatistics> {
+        let lengths = log.session_lengths();
+        let alpha_length = fit_tail(&lengths)?;
+        let counts: Vec<u64> = log
+            .item_click_counts(catalog_size)
+            .into_iter()
+            .filter(|&c| c > 0)
+            .collect();
+        let alpha_clicks = fit_tail(&counts)?;
+        Some(LogStatistics {
+            alpha_length,
+            alpha_clicks,
+            sessions: lengths.len(),
+            clicks: log.len(),
+            max_session_len: lengths.iter().copied().max().unwrap_or(0) as usize,
+        })
+    }
+
+    /// Converts into a generator configuration for catalog size `c`.
+    pub fn to_workload_config(&self, catalog_size: usize, seed: u64) -> WorkloadConfig {
+        WorkloadConfig {
+            catalog_size,
+            alpha_length: self.alpha_length,
+            alpha_clicks: self.alpha_clicks,
+            max_session_len: self.max_session_len.max(2),
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::SyntheticWorkload;
+
+    #[test]
+    fn roundtrip_recovers_generator_exponents() {
+        // Generate with known exponents, estimate, and compare — the
+        // self-consistency check behind the paper's claim that the two
+        // marginals suffice.
+        let cfg = WorkloadConfig {
+            catalog_size: 2_000,
+            alpha_length: 2.2,
+            alpha_clicks: 1.9,
+            max_session_len: 60,
+            seed: 123,
+        };
+        let w = SyntheticWorkload::new(cfg);
+        let log = w.generate(150_000);
+        let stats = LogStatistics::estimate(&log, 2_000).expect("log large enough");
+        assert!(
+            (stats.alpha_length - 2.2).abs() < 0.3,
+            "alpha_l {}",
+            stats.alpha_length
+        );
+        // Click-count marginal passes through the popularity CDF, so the
+        // recovered exponent is close but not exact.
+        assert!(
+            stats.alpha_clicks > 1.2 && stats.alpha_clicks < 2.8,
+            "alpha_c {}",
+            stats.alpha_clicks
+        );
+    }
+
+    #[test]
+    fn too_small_logs_are_rejected() {
+        let log = SessionLog::new(vec![]);
+        assert!(LogStatistics::estimate(&log, 100).is_none());
+    }
+
+    #[test]
+    fn config_conversion_preserves_fields() {
+        let stats = LogStatistics {
+            alpha_length: 2.0,
+            alpha_clicks: 1.7,
+            sessions: 10,
+            clicks: 25,
+            max_session_len: 40,
+        };
+        let cfg = stats.to_workload_config(5_000, 9);
+        assert_eq!(cfg.catalog_size, 5_000);
+        assert_eq!(cfg.max_session_len, 40);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.alpha_length, 2.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Automatic deployment planning (the paper's Section IV future work:
+//! "the automatic choice of appropriate instance types for declaratively
+//! specified workloads").
+//!
+//! ```text
+//! cargo run --release --example auto_planner
+//! ```
+//!
+//! Declares a workload, lets the planner search the instance catalog and
+//! replica counts, and prints the recommendation with the full audit
+//! trail: which options were pruned analytically (model too big, capacity
+//! too low) and which failed the simulated SLO verification.
+
+use etude::cluster::InstanceType;
+use etude::core::planner::{plan_deployment, Rejection};
+use etude::core::ExperimentSpec;
+use etude::metrics::report::{fmt_cost, fmt_duration};
+use etude::models::ModelKind;
+use std::time::Duration;
+
+fn main() {
+    // A mid-size fashion platform: one million items, 500 req/s.
+    let spec = ExperimentSpec::new(ModelKind::SasRec, 1_000_000, InstanceType::CpuE2)
+        .with_target_rps(500)
+        .with_ramp(Duration::from_secs(30));
+
+    println!(
+        "planning a deployment for {} @ {} items, {} req/s, p90 <= {:?}\n",
+        spec.model.name(),
+        spec.catalog_size,
+        spec.target_rps,
+        spec.latency_slo
+    );
+
+    let plan = plan_deployment(&spec, 6);
+
+    match plan.recommendation() {
+        Some(best) => println!(
+            "RECOMMENDATION: {} x{} for {}/month\n",
+            best.instance.name(),
+            best.replicas,
+            fmt_cost(best.monthly_cost)
+        ),
+        None => println!("RECOMMENDATION: none — no evaluated option meets the constraints\n"),
+    }
+
+    println!("viable alternatives (cheapest first):");
+    for c in &plan.viable {
+        println!(
+            "  {} x{}  {}/month",
+            c.instance.name(),
+            c.replicas,
+            fmt_cost(c.monthly_cost)
+        );
+    }
+
+    println!("\nrejected options and why:");
+    for c in &plan.rejected {
+        let reason = match &c.rejection {
+            Some(Rejection::ModelDoesNotFit) => "model does not fit device memory".to_string(),
+            Some(Rejection::InsufficientCapacity { estimated_rps }) => {
+                format!("analytic capacity only {estimated_rps:.0} req/s")
+            }
+            Some(Rejection::MissedSlo { p90 }) => {
+                format!("simulated p90 {} breaches the SLO", fmt_duration(*p90))
+            }
+            None => "unknown".to_string(),
+        };
+        println!(
+            "  {} x{}  ({}/month): {}",
+            c.instance.name(),
+            c.replicas,
+            fmt_cost(c.monthly_cost),
+            reason
+        );
+    }
+}

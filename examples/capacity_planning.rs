@@ -1,0 +1,76 @@
+//! Capacity planning for a growing e-Commerce platform.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+//!
+//! The scenario from the paper's introduction: a retail group (think
+//! Ahold Delhaize's nineteen brands) runs the same recommender on
+//! platforms of very different sizes, and every brand needs its own
+//! deployment decision. This example sweeps a model across the five
+//! Table I scenarios and prints the cheapest feasible deployment per
+//! scenario — the exact decision ETUDE automates.
+
+use etude::cluster::InstanceType;
+use etude::core::analysis::{cheapest_deployment, scan_deployments};
+use etude::core::Scenario;
+use etude::metrics::report::{fmt_cost, fmt_duration, Table};
+use etude::models::ModelKind;
+use std::time::Duration;
+
+fn main() {
+    let model = ModelKind::SasRec;
+    let ramp = Duration::from_secs(30);
+    println!("capacity planning for {} across the five use cases\n", model.name());
+
+    let mut table = Table::new([
+        "scenario", "catalog", "target_rps", "cheapest_option", "p90", "cost/month",
+    ]);
+    for scenario in Scenario::ALL {
+        let verdicts = scan_deployments(&scenario, model, ramp, true);
+        match cheapest_deployment(&verdicts) {
+            Some(best) => {
+                table.row([
+                    scenario.name.to_string(),
+                    scenario.catalog_size.to_string(),
+                    scenario.target_rps.to_string(),
+                    format!("{} x{}", best.instance.name(), best.replicas),
+                    fmt_duration(best.p90),
+                    fmt_cost(best.monthly_cost),
+                ]);
+            }
+            None => {
+                table.row([
+                    scenario.name.to_string(),
+                    scenario.catalog_size.to_string(),
+                    scenario.target_rps.to_string(),
+                    "none feasible".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                ]);
+            }
+        }
+    }
+    println!("{}", table.render());
+
+    // The paper's headline cost observation: for the e-Commerce scenario
+    // it is significantly cheaper to scale out T4s than to buy A100s.
+    let verdicts = scan_deployments(&Scenario::ECOMMERCE, model, ramp, true);
+    let t4 = verdicts
+        .iter()
+        .find(|v| v.instance == InstanceType::GpuT4 && v.feasible);
+    let a100 = verdicts
+        .iter()
+        .find(|v| v.instance == InstanceType::GpuA100 && v.feasible);
+    if let (Some(t4), Some(a100)) = (t4, a100) {
+        println!(
+            "e-Commerce cost comparison: {} GPU-T4 instances for {} vs {} GPU-A100 for {} — \
+             scale-out wins by {}",
+            t4.replicas,
+            fmt_cost(t4.monthly_cost),
+            a100.replicas,
+            fmt_cost(a100.monthly_cost),
+            fmt_cost(a100.monthly_cost - t4.monthly_cost),
+        );
+    }
+}

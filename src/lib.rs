@@ -1,0 +1,10 @@
+//! Facade crate re-exporting the full ETUDE reproduction workspace.
+pub use etude_cluster as cluster;
+pub use etude_core as core;
+pub use etude_loadgen as loadgen;
+pub use etude_metrics as metrics;
+pub use etude_models as models;
+pub use etude_serve as serve;
+pub use etude_simnet as simnet;
+pub use etude_tensor as tensor;
+pub use etude_workload as workload;

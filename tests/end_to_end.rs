@@ -1,0 +1,165 @@
+//! Cross-crate integration tests: the full ETUDE pipeline exercised
+//! end-to-end, both in simulation and over real sockets.
+
+use etude::cluster::InstanceType;
+use etude::core::{run_experiment, ExecutionMode, ExperimentSpec};
+use etude::loadgen::driver::RealLoadGen;
+use etude::loadgen::LoadConfig;
+use etude::models::{ModelConfig, ModelKind, SbrModel};
+use etude::serve::rustserver::{model_routes, start, ServerConfig};
+use etude::tensor::Device;
+use etude::workload::{SyntheticWorkload, WorkloadConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn small_spec(model: ModelKind, instance: InstanceType) -> ExperimentSpec {
+    ExperimentSpec::new(model, 50_000, instance)
+        .with_target_rps(200)
+        .with_ramp(Duration::from_secs(12))
+}
+
+#[test]
+fn simulated_pipeline_runs_for_every_model() {
+    for model in ModelKind::ALL {
+        let result = run_experiment(&small_spec(model, InstanceType::CpuE2));
+        assert!(result.load.sent > 500, "{}: sent {}", model.name(), result.load.sent);
+        assert_eq!(result.load.errors, 0, "{}", model.name());
+        assert!(result.feasible, "{}: p90 {:?}", model.name(), result.p90());
+    }
+}
+
+#[test]
+fn experiment_results_are_deterministic() {
+    let spec = small_spec(ModelKind::Narm, InstanceType::GpuT4);
+    let a = run_experiment(&spec);
+    let b = run_experiment(&spec);
+    assert_eq!(a.load.sent, b.load.sent);
+    assert_eq!(a.load.ok, b.load.ok);
+    assert_eq!(a.p90(), b.p90());
+    assert_eq!(a.feasible, b.feasible);
+}
+
+#[test]
+fn different_seeds_change_the_workload_but_not_the_verdict() {
+    let spec = small_spec(ModelKind::Stamp, InstanceType::CpuE2);
+    let a = run_experiment(&spec.clone().with_seed(1));
+    let b = run_experiment(&spec.with_seed(2));
+    // Same deployment, same target: the feasibility verdict must agree
+    // even though the sampled sessions differ.
+    assert_eq!(a.feasible, b.feasible);
+}
+
+#[test]
+fn eager_execution_is_never_cheaper_than_jit_end_to_end() {
+    let jit = run_experiment(
+        &small_spec(ModelKind::Core, InstanceType::CpuE2).with_execution(ExecutionMode::Jit),
+    );
+    let eager = run_experiment(
+        &small_spec(ModelKind::Core, InstanceType::CpuE2).with_execution(ExecutionMode::Eager),
+    );
+    assert!(jit.p90() <= eager.p90() + Duration::from_micros(100));
+}
+
+#[test]
+fn real_server_and_real_loadgen_serve_a_real_model() {
+    // The non-simulated path: actual TCP, actual HTTP, actual inference.
+    let cfg = ModelConfig::new(5_000).with_max_session_len(16).with_seed(5);
+    let model: Arc<dyn SbrModel> = Arc::from(ModelKind::Core.build(&cfg));
+    let handler = model_routes(model, Device::cpu(), true);
+    let server = start(ServerConfig { workers: 3 }, handler).unwrap();
+
+    let workload = SyntheticWorkload::new(WorkloadConfig::bolcom_like(5_000));
+    let log = workload.generate(5_000);
+    let result = RealLoadGen::run(
+        server.addr(),
+        &log,
+        LoadConfig {
+            target_rps: 150,
+            ramp: Duration::from_secs(2),
+            duration: Duration::from_secs(3),
+            backpressure: true,
+            seed: 1,
+        },
+        6,
+    )
+    .unwrap();
+    assert!(result.ok > 100, "ok {}", result.ok);
+    assert_eq!(result.errors, 0);
+    assert!(
+        result.summary().p90 < Duration::from_millis(100),
+        "{:?}",
+        result.summary().p90
+    );
+    server.shutdown();
+}
+
+#[test]
+fn real_and_simulated_servers_agree_on_feasibility_direction() {
+    // The simulated rust server and the real one must agree that a small
+    // catalog at modest rate is comfortably feasible — the consistency
+    // anchor between the two stacks.
+    let sim = run_experiment(&small_spec(ModelKind::Stamp, InstanceType::CpuE2));
+    assert!(sim.feasible);
+
+    // The real half runs this machine's actual kernels: unoptimised dev
+    // builds are ~20x slower, so the catalog and the latency bar adapt.
+    let (catalog, slo) = if cfg!(debug_assertions) {
+        (10_000usize, Duration::from_millis(200))
+    } else {
+        (50_000usize, Duration::from_millis(50))
+    };
+    let cfg = ModelConfig::new(catalog).with_max_session_len(16).with_seed(5);
+    let model: Arc<dyn SbrModel> = Arc::from(ModelKind::Stamp.build(&cfg));
+    let handler = model_routes(model, Device::cpu(), true);
+    let server = start(ServerConfig { workers: 3 }, handler).unwrap();
+    let workload = SyntheticWorkload::new(WorkloadConfig::bolcom_like(catalog));
+    let log = workload.generate(2_000);
+    let result = RealLoadGen::run(
+        server.addr(),
+        &log,
+        LoadConfig {
+            target_rps: 100,
+            ramp: Duration::from_secs(2),
+            duration: Duration::from_secs(3),
+            backpressure: true,
+            seed: 1,
+        },
+        4,
+    )
+    .unwrap();
+    assert!(
+        result.summary().meets_slo(slo),
+        "p90 {:?}",
+        result.summary().p90
+    );
+    server.shutdown();
+}
+
+#[test]
+fn infeasible_scenarios_fail_loudly_not_silently() {
+    // A CPU instance cannot serve ten million items at 1,000 req/s; the
+    // result must say so rather than report an empty success.
+    let spec = ExperimentSpec::new(ModelKind::Gru4Rec, 10_000_000, InstanceType::CpuE2)
+        .with_target_rps(1_000)
+        .with_ramp(Duration::from_secs(10));
+    let result = run_experiment(&spec);
+    assert!(!result.feasible);
+}
+
+#[test]
+fn quirky_models_lose_feasibility_where_fixed_ones_keep_it() {
+    // RepeatNet on a T4 at one million items and 600 req/s: the dense
+    // decode quirk pushes it over the edge; repaired it fits.
+    let spec = ExperimentSpec::new(ModelKind::RepeatNet, 1_000_000, InstanceType::GpuT4)
+        .with_target_rps(330)
+        .with_ramp(Duration::from_secs(12));
+    let quirky = run_experiment(&spec.clone().with_quirks(true));
+    let fixed = run_experiment(&spec.with_quirks(false));
+    assert!(
+        fixed.p90() < quirky.p90(),
+        "fixed {:?} vs quirky {:?}",
+        fixed.p90(),
+        quirky.p90()
+    );
+    assert!(fixed.feasible);
+}

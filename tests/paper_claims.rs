@@ -1,0 +1,203 @@
+//! The paper's headline claims, encoded as executable (scaled-down)
+//! end-to-end tests. Each test cites the claim it checks.
+
+use etude::cluster::InstanceType;
+use etude::core::analysis::{cheapest_deployment, scan_deployments};
+use etude::core::{run_serial_microbenchmark, ExperimentSpec, Scenario};
+use etude::loadgen::{LoadConfig, SimLoadGen};
+use etude::models::ModelKind;
+use etude::serve::simserver::{RustServerConfig, SimRustServer, SimTorchServe};
+use etude::serve::{ServiceProfile, TorchServeProfile};
+use etude::tensor::Device;
+use etude::workload::{LogStatistics, SyntheticWorkload, WorkloadConfig};
+use std::time::Duration;
+
+const RAMP: Duration = Duration::from_secs(12);
+
+/// "TorchServe already fails at handling 'empty' requests efficiently"
+/// while "our Actix-based inference server easily handles the load with a
+/// p90 latency of around one millisecond ... and does not throw any HTTP
+/// errors." (Figure 2.)
+#[test]
+fn claim_torchserve_fails_the_infrastructure_test() {
+    let log = SyntheticWorkload::new(WorkloadConfig::bolcom_like(10_000)).generate(15_000);
+    let config = LoadConfig::scaled_rampup(1_000, 15);
+
+    let ts = SimLoadGen::run(
+        SimTorchServe::new(
+            TorchServeProfile::default(),
+            ServiceProfile::static_response(&Device::cpu()),
+        ),
+        &log,
+        config.clone(),
+    );
+    let rust = SimLoadGen::run(
+        SimRustServer::new(
+            ServiceProfile::static_response(&Device::cpu()),
+            RustServerConfig::cpu(2),
+        ),
+        &log,
+        config,
+    );
+    assert!(ts.errors > 50, "torchserve errors: {}", ts.errors);
+    let ts_p90 = ts.tail_summary(4).p90;
+    assert!(
+        ts_p90 >= Duration::from_millis(50) && ts_p90 <= Duration::from_millis(400),
+        "torchserve p90 {ts_p90:?}"
+    );
+    assert_eq!(rust.errors, 0);
+    assert!(rust.summary().p90 <= Duration::from_millis(2));
+}
+
+/// "We observe a linear scalability of the prediction latency with the
+/// catalog size." (Figure 3.)
+#[test]
+fn claim_latency_scales_linearly_with_catalog() {
+    // CORE is representative; the full ten-model sweep runs in
+    // `fig3_micro`.
+    let p90_at = |c: usize| {
+        run_serial_microbenchmark(
+            &ExperimentSpec::new(ModelKind::Core, c, InstanceType::CpuE2),
+            60,
+        )
+        .p90
+        .as_secs_f64()
+    };
+    let l5 = p90_at(100_000);
+    let l6 = p90_at(1_000_000);
+    let l7 = p90_at(10_000_000);
+    let r1 = l6 / l5;
+    let r2 = l7 / l6;
+    assert!((5.0..=25.0).contains(&r1), "1e5 -> 1e6 ratio {r1:.1}");
+    assert!((5.0..=25.0).contains(&r2), "1e6 -> 1e7 ratio {r2:.1}");
+}
+
+/// "Starting from catalogs with one million items, the prediction latency
+/// of the GPU is more than an order of magnitude lower than the latencies
+/// achieved with CPUs only (and the CPU already requires more than 50ms
+/// per prediction for catalogs with one million items)." (Section III-B.)
+#[test]
+fn claim_gpu_order_of_magnitude_at_one_million() {
+    for model in [ModelKind::Gru4Rec, ModelKind::Core, ModelKind::Stamp] {
+        let cpu = run_serial_microbenchmark(
+            &ExperimentSpec::new(model, 1_000_000, InstanceType::CpuE2),
+            60,
+        );
+        let gpu = run_serial_microbenchmark(
+            &ExperimentSpec::new(model, 1_000_000, InstanceType::GpuT4),
+            60,
+        );
+        assert!(cpu.p90 > Duration::from_millis(45), "{}: {:?}", model.name(), cpu.p90);
+        assert!(
+            cpu.p90.as_secs_f64() > 10.0 * gpu.p90.as_secs_f64(),
+            "{}: cpu {:?} gpu {:?}",
+            model.name(),
+            cpu.p90,
+            gpu.p90
+        );
+    }
+}
+
+/// "Catalog sizes of 10,000 and 100,000 can be handled well with CPU
+/// instances only" and "both grocery shopping scenarios can be handled
+/// very cost-efficiently with a single CPU machine for $108 per month".
+/// (Section III-C / Table I.)
+#[test]
+fn claim_groceries_run_on_one_cpu_machine() {
+    for scenario in [Scenario::GROCERIES_SMALL, Scenario::GROCERIES_LARGE] {
+        let verdicts = scan_deployments(&scenario, ModelKind::Gru4Rec, RAMP, true);
+        let best = cheapest_deployment(&verdicts).expect("feasible option exists");
+        assert_eq!(best.instance, InstanceType::CpuE2, "{}", scenario.name);
+        assert_eq!(best.replicas, 1, "{}", scenario.name);
+        assert!((best.monthly_cost - 108.09).abs() < 0.01);
+    }
+}
+
+/// "The platform scenario with a large catalog of 20 million items can
+/// only be efficiently handled with three high-end GPU-A100 instances at
+/// the high cost of $6,026 per month." (Section III-C.)
+#[test]
+fn claim_platform_needs_three_a100s() {
+    let verdicts = scan_deployments(&Scenario::PLATFORM, ModelKind::Stamp, RAMP, true);
+    let best = cheapest_deployment(&verdicts).expect("A100s can serve it");
+    assert_eq!(best.instance, InstanceType::GpuA100);
+    assert_eq!(best.replicas, 3);
+    assert!((best.monthly_cost - 6_026.40).abs() < 0.01);
+    for v in &verdicts {
+        if v.instance != InstanceType::GpuA100 {
+            assert!(!v.feasible, "{:?} x{} must fail", v.instance, v.replicas);
+        }
+    }
+}
+
+/// "For the general e-Commerce scenario, it is significantly cheaper to
+/// deploy five GPU-T4 instances ($1,343) than to leverage two more
+/// powerful GPU-A100 instances (for $4,017)." (Section III-C; our
+/// calibrated reproduction lands on six T4s — same conclusion.)
+#[test]
+fn claim_t4_scale_out_beats_a100s_for_ecommerce() {
+    let verdicts = scan_deployments(&Scenario::ECOMMERCE, ModelKind::Sine, RAMP, true);
+    let t4 = verdicts
+        .iter()
+        .find(|v| v.instance == InstanceType::GpuT4 && v.feasible)
+        .expect("T4 scale-out feasible");
+    let a100 = verdicts
+        .iter()
+        .find(|v| v.instance == InstanceType::GpuA100 && v.feasible)
+        .expect("A100 option feasible");
+    assert!(t4.replicas >= 5, "T4 needs several replicas, got {}", t4.replicas);
+    assert_eq!(a100.replicas, 2);
+    assert!(t4.monthly_cost < a100.monthly_cost);
+}
+
+/// "This algorithm is fast enough for online generation (our
+/// implementation is able to generate over one million clicks per second
+/// on a single core for a catalog size C of ten million items)."
+/// (Section II.)
+#[test]
+fn claim_workload_generation_exceeds_one_million_clicks_per_second() {
+    let workload = SyntheticWorkload::new(WorkloadConfig::bolcom_like(10_000_000));
+    let n = 500_000usize;
+    let start = std::time::Instant::now();
+    let total: u64 = workload.clicks(1).take(n).map(|c| c.item as u64).sum();
+    let elapsed = start.elapsed();
+    assert!(total > 0);
+    let rate = n as f64 / elapsed.as_secs_f64();
+    assert!(rate > 1_000_000.0, "only {rate:.0} clicks/s");
+}
+
+/// "We find that the achieved latencies resemble each other closely."
+/// (Section III-A, real-log vs synthetic validation.)
+#[test]
+fn claim_synthetic_workload_matches_real_log_latencies() {
+    use etude::workload::reallog::{generate_real_log, RealLogConfig};
+    let catalog = 50_000;
+    let real = generate_real_log(
+        &RealLogConfig {
+            catalog_size: catalog,
+            ..Default::default()
+        },
+        6_000,
+    );
+    let stats = LogStatistics::estimate(&real, catalog).unwrap();
+    let synth = SyntheticWorkload::new(stats.to_workload_config(catalog, 3)).generate(6_000);
+
+    let run = |log: &etude::workload::SessionLog| {
+        let profile = ServiceProfile::build(
+            ModelKind::Core,
+            &etude::models::ModelConfig::new(catalog).without_weights(),
+            &Device::cpu(),
+            etude::serve::service::ExecutionKind::Jit,
+        )
+        .unwrap();
+        let server = SimRustServer::new(profile, RustServerConfig::cpu(5));
+        SimLoadGen::run(server, log, LoadConfig::scaled_rampup(300, 10))
+            .summary()
+            .p90
+            .as_secs_f64()
+    };
+    let real_p90 = run(&real);
+    let synth_p90 = run(&synth);
+    let gap = (real_p90 - synth_p90).abs() / real_p90;
+    assert!(gap < 0.15, "p90 gap {:.1}%", gap * 100.0);
+}

@@ -1,0 +1,200 @@
+//! Cross-crate property-based tests (proptest): invariants of the tensor
+//! runtime, the JIT, the workload generator and the metrics pipeline
+//! under randomised inputs.
+
+use etude::metrics::Histogram;
+use etude::models::{traits, ModelConfig, ModelKind};
+use etude::tensor::kernels::{BinOp, UnOp};
+use etude::tensor::{Device, Exec, ExecMode, Param, Tensor};
+use etude::workload::{SessionLog, SyntheticWorkload, WorkloadConfig};
+use proptest::prelude::*;
+
+fn tensor_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn softmax_rows_always_sum_to_one(data in tensor_strategy(24)) {
+        let mut exec = Exec::new(ExecMode::Real, Device::cpu());
+        let x = exec.input(Tensor::from_vec(data, &[4, 6]).unwrap()).unwrap();
+        let y = exec.softmax(x).unwrap();
+        let out = exec.tensor(y).unwrap().as_slice().unwrap();
+        for row in out.chunks(6) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|v| *v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn topk_returns_sorted_members_of_input(data in tensor_strategy(50), k in 1usize..20) {
+        let mut exec = Exec::new(ExecMode::Real, Device::cpu());
+        let x = exec.input(Tensor::from_vec(data.clone(), &[50]).unwrap()).unwrap();
+        let t = exec.topk(x, k).unwrap();
+        let out = exec.tensor(t).unwrap();
+        let ids = &out.as_slice().unwrap()[..k];
+        let scores = &out.as_slice().unwrap()[k..];
+        // Scores descend and each belongs to its claimed index.
+        for w in scores.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        for (idf, score) in ids.iter().zip(scores) {
+            let idx = etude::tensor::f32_to_id(*idf) as usize;
+            prop_assert!(idx < 50);
+            prop_assert_eq!(*score, data[idx]);
+        }
+    }
+
+    #[test]
+    fn elementwise_identities_hold(data in tensor_strategy(16)) {
+        let mut exec = Exec::new(ExecMode::Real, Device::cpu());
+        let x = exec.input(Tensor::from_vec(data.clone(), &[16]).unwrap()).unwrap();
+        // x + 0 == x ; x * 1 == x ; relu(relu(x)) == relu(x)
+        let plus_zero = exec.scalar(BinOp::Add, x, 0.0).unwrap();
+        let times_one = exec.scalar(BinOp::Mul, x, 1.0).unwrap();
+        let r1 = exec.unary(UnOp::Relu, x).unwrap();
+        let r2 = exec.unary(UnOp::Relu, r1).unwrap();
+        let orig = exec.tensor(x).unwrap().clone();
+        prop_assert!(exec.tensor(plus_zero).unwrap().max_abs_diff(&orig).unwrap() < 1e-6);
+        prop_assert!(exec.tensor(times_one).unwrap().max_abs_diff(&orig).unwrap() < 1e-6);
+        let r1t = exec.tensor(r1).unwrap().clone();
+        prop_assert!(exec.tensor(r2).unwrap().max_abs_diff(&r1t).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_identity_is_identity(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let mut eye = vec![0.0f32; cols * cols];
+        for i in 0..cols {
+            eye[i * cols + i] = 1.0;
+        }
+        let mut exec = Exec::new(ExecMode::Real, Device::cpu());
+        let x = exec.input(Tensor::from_vec(data.clone(), &[rows, cols]).unwrap()).unwrap();
+        let id = exec.param(&Param::new(Tensor::from_vec(eye, &[cols, cols]).unwrap())).unwrap();
+        let y = exec.matmul(x, id).unwrap();
+        let expected = Tensor::from_vec(data, &[rows, cols]).unwrap();
+        prop_assert!(exec.tensor(y).unwrap().max_abs_diff(&expected).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bounded(
+        values in proptest::collection::vec(1u64..10_000_000, 1..300),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let quantiles = [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let mut last = 0;
+        for &q in &quantiles {
+            let v = h.value_at_quantile(q);
+            prop_assert!(v >= last, "quantiles must be monotone");
+            last = v;
+        }
+        let max = *values.iter().max().unwrap();
+        let min = *values.iter().min().unwrap();
+        prop_assert_eq!(h.value_at_quantile(1.0), max);
+        prop_assert!(h.value_at_quantile(0.0) >= min.min(h.min()));
+    }
+
+    #[test]
+    fn workload_invariants_hold_for_any_exponents(
+        alpha_l in 1.2f64..3.5,
+        alpha_c in 1.2f64..3.5,
+        seed in 0u64..500,
+    ) {
+        let cfg = WorkloadConfig {
+            catalog_size: 500,
+            alpha_length: alpha_l,
+            alpha_clicks: alpha_c,
+            max_session_len: 40,
+            seed,
+        };
+        let log = SyntheticWorkload::new(cfg).generate(2_000);
+        prop_assert!(log.len() >= 2_000);
+        prop_assert!(log.check_invariants(500).is_ok());
+        prop_assert!(log.session_lengths().iter().all(|&l| (1..=40).contains(&l)));
+    }
+
+    #[test]
+    fn session_replay_never_violates_per_session_order(seed in 0u64..200) {
+        use etude::loadgen::SessionReplayer;
+        let cfg = WorkloadConfig {
+            catalog_size: 200,
+            alpha_length: 1.6,
+            alpha_clicks: 2.0,
+            max_session_len: 12,
+            seed,
+        };
+        let log: SessionLog = SyntheticWorkload::new(cfg).generate(300);
+        let mut replayer = SessionReplayer::new(&log);
+        let mut in_flight: Vec<u64> = Vec::new();
+        let mut prefixes: std::collections::HashMap<u64, usize> = Default::default();
+        // Alternate sends and acks pseudo-randomly; prefixes must grow by
+        // exactly one per dispatch and never overlap in flight.
+        let mut rng_state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        loop {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let send = rng_state % 3 != 0;
+            if send {
+                match replayer.next_request() {
+                    Some(req) => {
+                        prop_assert!(!in_flight.contains(&req.session));
+                        let prev = prefixes.insert(req.session, req.items.len());
+                        prop_assert_eq!(req.items.len(), prev.unwrap_or(0) + 1);
+                        in_flight.push(req.session);
+                    }
+                    None if in_flight.is_empty() && replayer.is_drained() => break,
+                    None => {
+                        // Nothing dispatchable: ack something.
+                        if let Some(s) = in_flight.pop() {
+                            if let Some(req) = replayer.acknowledge(s) {
+                                prop_assert!(!in_flight.contains(&req.session));
+                                let prev = prefixes.insert(req.session, req.items.len());
+                                prop_assert_eq!(req.items.len(), prev.unwrap_or(0) + 1);
+                                in_flight.push(req.session);
+                            }
+                        }
+                    }
+                }
+            } else if let Some(s) = in_flight.pop() {
+                if let Some(req) = replayer.acknowledge(s) {
+                    prop_assert!(!in_flight.contains(&req.session));
+                    let prev = prefixes.insert(req.session, req.items.len());
+                    prop_assert_eq!(req.items.len(), prev.unwrap_or(0) + 1);
+                    in_flight.push(req.session);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn jit_equals_eager_for_random_sessions(
+        session in proptest::collection::vec(0u32..300, 1..10),
+        kind_idx in 0usize..10,
+    ) {
+        let kind = ModelKind::ALL[kind_idx];
+        let cfg = ModelConfig::new(300).with_max_session_len(10).with_seed(77);
+        let model = kind.build(&cfg);
+        let eager = traits::recommend_eager(model.as_ref(), &Device::cpu(), &session).unwrap();
+        match traits::compile(model.as_ref(), Default::default()) {
+            Ok(compiled) => {
+                let jit = traits::recommend_compiled(model.as_ref(), &compiled, &session).unwrap();
+                prop_assert_eq!(eager.items, jit.items, "{} diverged", kind.name());
+            }
+            Err(_) => {
+                // Only quirky LightSANs may refuse.
+                prop_assert_eq!(kind, ModelKind::LightSans);
+            }
+        }
+    }
+}
