@@ -37,7 +37,9 @@ fn pass_variants() -> Vec<(&'static str, JitOptions)> {
 fn bench_compile_time(c: &mut Criterion) {
     let mut group = c.benchmark_group("jit_compile");
     group.sample_size(10);
-    let cfg = ModelConfig::new(10_000).with_max_session_len(20).with_seed(1);
+    let cfg = ModelConfig::new(10_000)
+        .with_max_session_len(20)
+        .with_seed(1);
     let model = ModelKind::SasRec.build(&cfg);
     for (name, options) in pass_variants() {
         group.bench_function(BenchmarkId::new("sasrec", name), |b| {
@@ -53,7 +55,9 @@ fn bench_compile_time(c: &mut Criterion) {
 fn bench_execution_by_pass(c: &mut Criterion) {
     let mut group = c.benchmark_group("jit_exec_by_pass");
     group.sample_size(20);
-    let cfg = ModelConfig::new(10_000).with_max_session_len(20).with_seed(1);
+    let cfg = ModelConfig::new(10_000)
+        .with_max_session_len(20)
+        .with_seed(1);
     let session: Vec<u32> = (1..=10).collect();
     for kind in [ModelKind::SasRec, ModelKind::Stamp] {
         let model = kind.build(&cfg);

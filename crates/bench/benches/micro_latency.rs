@@ -19,7 +19,9 @@ fn bench_eager(c: &mut Criterion) {
         ModelKind::Stamp,
     ] {
         for &catalog in &[1_000usize, 10_000] {
-            let cfg = ModelConfig::new(catalog).with_max_session_len(20).with_seed(1);
+            let cfg = ModelConfig::new(catalog)
+                .with_max_session_len(20)
+                .with_seed(1);
             let model = kind.build(&cfg);
             let session: Vec<u32> = (1..=8).collect();
             group.bench_with_input(
@@ -27,9 +29,8 @@ fn bench_eager(c: &mut Criterion) {
                 &model,
                 |b, model| {
                     b.iter(|| {
-                        let rec =
-                            traits::recommend_eager(model.as_ref(), &Device::cpu(), &session)
-                                .expect("forward");
+                        let rec = traits::recommend_eager(model.as_ref(), &Device::cpu(), &session)
+                            .expect("forward");
                         criterion::black_box(rec.items[0])
                     });
                 },
@@ -43,7 +44,9 @@ fn bench_compiled(c: &mut Criterion) {
     let mut group = c.benchmark_group("jit_forward");
     group.sample_size(20);
     for kind in [ModelKind::Core, ModelKind::SasRec, ModelKind::Stamp] {
-        let cfg = ModelConfig::new(10_000).with_max_session_len(20).with_seed(1);
+        let cfg = ModelConfig::new(10_000)
+            .with_max_session_len(20)
+            .with_seed(1);
         let model = kind.build(&cfg);
         let compiled = traits::compile(model.as_ref(), Default::default()).expect("jit");
         let session: Vec<u32> = (1..=8).collect();

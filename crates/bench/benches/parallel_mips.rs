@@ -1,0 +1,152 @@
+//! **parallel_mips** — Sharded catalog-scan MIPS benchmark.
+//!
+//! Sweeps catalog size C ∈ {10^4, 10^5, 10^6} against shard counts
+//! {1, 2, 4, 8} for the two halves of the maximum-inner-product search
+//! that dominates SBR inference (Section III of the paper):
+//!
+//! * `score` — the GEMV scoring every catalog row against the session
+//!   embedding (via the pool-backed [`etude_models::retrieval::ExactIndex`]),
+//! * `topk` — the sharded bounded-heap selection
+//!   ([`etude_tensor::topk::topk_sharded`]), bit-identical to serial.
+//!
+//! The shard axis is swept explicitly so the scaling shape is measurable
+//! even on single-core CI machines (where extra shards must cost ~nothing:
+//! they run inline). The worker-thread count is process-wide — set it with
+//! `ETUDE_THREADS=N cargo bench -p etude-bench --bench parallel_mips`.
+//!
+//! Besides the usual console report, a machine-readable summary is
+//! written to `results/BENCH_parallel_mips.json`.
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use etude_models::retrieval::{ExactIndex, SearchScratch};
+use etude_tensor::pool;
+use etude_tensor::topk::{topk, topk_sharded};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+const CATALOGS: [usize; 3] = [10_000, 100_000, 1_000_000];
+const SHARDS: [usize; 4] = [1, 2, 4, 8];
+const K: usize = 21;
+
+fn random_vec(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+/// Embedding width heuristic used across the repo: d = ceil(C^(1/4)).
+fn dim_for(catalog: usize) -> usize {
+    (catalog as f64).powf(0.25).ceil() as usize
+}
+
+fn bench_sharded_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_mips/topk");
+    group.sample_size(10);
+    for &catalog in &CATALOGS {
+        let scores = random_vec(catalog, 3);
+        group.throughput(Throughput::Elements(catalog as u64));
+        for &shards in &SHARDS {
+            group.bench_with_input(
+                BenchmarkId::new(format!("C{catalog}"), format!("shards{shards}")),
+                &scores,
+                |b, scores| {
+                    b.iter(|| criterion::black_box(topk_sharded(scores, K, shards).0[0]));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_full_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_mips/search");
+    group.sample_size(10);
+    for &catalog in &CATALOGS {
+        let d = dim_for(catalog);
+        let index = ExactIndex::new(random_vec(catalog * d, 1), catalog, d);
+        let query = random_vec(d, 2);
+        let mut scratch = SearchScratch::default();
+        let mut ids = Vec::new();
+        let mut vals = Vec::new();
+        group.throughput(Throughput::Bytes((catalog * d * 4) as u64));
+        group.bench_with_input(BenchmarkId::new("C", catalog), &(), |b, _| {
+            b.iter(|| {
+                index.search_into(&query, K, &mut scratch, &mut ids, &mut vals);
+                criterion::black_box(ids[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_topk, bench_full_search);
+
+/// Median wall-clock nanoseconds of `f` over `samples` timed runs.
+fn median_ns<F: FnMut()>(samples: usize, mut f: F) -> u128 {
+    f(); // warm-up
+    let mut times: Vec<u128> = (0..samples.max(3))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Re-measures every sweep cell briefly and writes the JSON artifact the
+/// results pipeline consumes.
+fn write_summary() {
+    let threads = pool::current_threads();
+    let mut cells = String::new();
+    for &catalog in &CATALOGS {
+        let d = dim_for(catalog);
+        let scores = random_vec(catalog, 3);
+        let serial_ns = median_ns(5, || {
+            criterion::black_box(topk(&scores, K).0[0]);
+        });
+        for &shards in &SHARDS {
+            let ns = median_ns(5, || {
+                criterion::black_box(topk_sharded(&scores, K, shards).0[0]);
+            });
+            if !cells.is_empty() {
+                cells.push_str(",\n");
+            }
+            cells.push_str(&format!(
+                "    {{\"kernel\": \"topk\", \"catalog\": {catalog}, \"k\": {K}, \
+                 \"shards\": {shards}, \"median_ns\": {ns}, \"serial_ns\": {serial_ns}}}"
+            ));
+        }
+        let index = ExactIndex::new(random_vec(catalog * d, 1), catalog, d);
+        let query = random_vec(d, 2);
+        let mut scratch = SearchScratch::default();
+        let (mut ids, mut vals) = (Vec::new(), Vec::new());
+        let ns = median_ns(5, || {
+            index.search_into(&query, K, &mut scratch, &mut ids, &mut vals);
+            criterion::black_box(ids[0]);
+        });
+        cells.push_str(&format!(
+            ",\n    {{\"kernel\": \"exact_search\", \"catalog\": {catalog}, \"d\": {d}, \
+             \"k\": {K}, \"shards\": \"auto\", \"median_ns\": {ns}}}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_mips\",\n  \"cpu_threads\": {threads},\n  \
+         \"cells\": [\n{cells}\n  ]\n}}\n"
+    );
+    // Benches run with the package as cwd; the shared results directory
+    // lives at the workspace root.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let path = dir.join("BENCH_parallel_mips.json");
+    match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, &json)) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
+}
+
+fn main() {
+    println!("intra-op kernel threads: {}", pool::current_threads());
+    benches();
+    write_summary();
+}

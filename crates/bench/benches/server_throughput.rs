@@ -41,7 +41,9 @@ fn bench_model_requests(c: &mut Criterion) {
     use etude_serve::rustserver::model_routes;
     use etude_tensor::Device;
 
-    let cfg = ModelConfig::new(10_000).with_max_session_len(20).with_seed(1);
+    let cfg = ModelConfig::new(10_000)
+        .with_max_session_len(20)
+        .with_seed(1);
     let model: Arc<dyn SbrModel> = Arc::from(ModelKind::Core.build(&cfg));
     let handler = model_routes(model, Device::cpu(), true);
     let server = start(ServerConfig { workers: 2 }, handler).expect("server");

@@ -65,12 +65,19 @@ fn bench_softmax_and_gru(c: &mut Criterion) {
     let mut hout = vec![0.0f32; hidden];
     group.bench_function("gru_cell_64", |b| {
         b.iter(|| {
-            kernels::gru_cell(&xv, &h, &w_ih, &w_hh, &b_ih, &b_hh, &mut hout, hidden, input);
+            kernels::gru_cell(
+                &xv, &h, &w_ih, &w_hh, &b_ih, &b_hh, &mut hout, hidden, input,
+            );
             criterion::black_box(hout[0])
         });
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_decode_gemv, bench_topk, bench_softmax_and_gru);
+criterion_group!(
+    benches,
+    bench_decode_gemv,
+    bench_topk,
+    bench_softmax_and_gru
+);
 criterion_main!(benches);

@@ -80,7 +80,11 @@ fn main() {
     );
     println!(
         "  [{}] open loop floods the server with more requests ({} vs {})",
-        if ol.1.sent as f64 > 1.2 * bp.1.sent as f64 { "ok" } else { "!!" },
+        if ol.1.sent as f64 > 1.2 * bp.1.sent as f64 {
+            "ok"
+        } else {
+            "!!"
+        },
         ol.1.sent,
         bp.1.sent
     );

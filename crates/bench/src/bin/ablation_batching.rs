@@ -46,8 +46,11 @@ fn main() {
         let config = LoadConfig::scaled_rampup(target, opts.ramp_secs);
 
         let batched_server = SimRustServer::new(profile(), RustServerConfig::gpu());
-        let batched =
-            SimLoadGen::run(std::rc::Rc::clone(&batched_server) as _, &log, config.clone());
+        let batched = SimLoadGen::run(
+            std::rc::Rc::clone(&batched_server) as _,
+            &log,
+            config.clone(),
+        );
 
         let unbatched_server = SimRustServer::new(
             profile(),

@@ -33,8 +33,7 @@ fn main() {
 
     for model in ModelKind::WITH_IMPLEMENTATION_ERRORS {
         for instance in [InstanceType::CpuE2, InstanceType::GpuT4] {
-            let quirky_spec =
-                ExperimentSpec::new(model, catalog, instance).with_quirks(true);
+            let quirky_spec = ExperimentSpec::new(model, catalog, instance).with_quirks(true);
             let fixed_spec = ExperimentSpec::new(model, catalog, instance).with_quirks(false);
             let quirky = run_serial_microbenchmark(&quirky_spec, 100);
             let fixed = run_serial_microbenchmark(&fixed_spec, 100);
@@ -48,7 +47,9 @@ fn main() {
                 instance,
                 1,
             );
-            improvements.push((model, instance, quirky.p90, fixed.p90, quirky_cap, fixed_cap));
+            improvements.push((
+                model, instance, quirky.p90, fixed.p90, quirky_cap, fixed_cap,
+            ));
             table.row([
                 model.name().to_string(),
                 instance.name().to_string(),
@@ -95,26 +96,28 @@ fn main() {
         .filter(|(m, i, ..)| {
             matches!(m, ModelKind::SrGnn | ModelKind::GcSan) && *i == InstanceType::CpuE2
         })
-        .all(|(_, _, q, f, ..)| {
-            (q.as_secs_f64() - f.as_secs_f64()).abs() < 0.05 * q.as_secs_f64()
-        });
+        .all(|(_, _, q, f, ..)| (q.as_secs_f64() - f.as_secs_f64()).abs() < 0.05 * q.as_secs_f64());
     check(
         "the same fix is a no-op on CPUs (data already lives on the host)",
         gnn_cpu_unaffected,
     );
 
     // LightSANs: the quirk is about JIT, visible as eager-vs-jit gap.
-    let ls_quirky = ExperimentSpec::new(ModelKind::LightSans, catalog, InstanceType::CpuE2)
-        .with_quirks(true);
-    let ls_fixed = ExperimentSpec::new(ModelKind::LightSans, catalog, InstanceType::CpuE2)
-        .with_quirks(false);
+    let ls_quirky =
+        ExperimentSpec::new(ModelKind::LightSans, catalog, InstanceType::CpuE2).with_quirks(true);
+    let ls_fixed =
+        ExperimentSpec::new(ModelKind::LightSans, catalog, InstanceType::CpuE2).with_quirks(false);
     let quirky_jitable = etude_models::traits::compile(
-        ModelKind::LightSans.build(&ls_quirky.model_config()).as_ref(),
+        ModelKind::LightSans
+            .build(&ls_quirky.model_config())
+            .as_ref(),
         Default::default(),
     )
     .is_ok();
     let fixed_jitable = etude_models::traits::compile(
-        ModelKind::LightSans.build(&ls_fixed.model_config()).as_ref(),
+        ModelKind::LightSans
+            .build(&ls_fixed.model_config())
+            .as_ref(),
         Default::default(),
     )
     .is_ok();

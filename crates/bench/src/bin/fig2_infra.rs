@@ -40,7 +40,14 @@ fn main() {
     let rust_result = SimLoadGen::run(rust, &log, config);
 
     let mut series = Table::new([
-        "tick", "target_rps", "ts_ok", "ts_err", "ts_p90", "rust_ok", "rust_err", "rust_p90",
+        "tick",
+        "target_rps",
+        "ts_ok",
+        "ts_err",
+        "ts_p90",
+        "rust_ok",
+        "rust_err",
+        "rust_p90",
     ]);
     let ts_rows = ts_result.series.rows();
     let rust_rows = rust_result.series.rows();
@@ -80,7 +87,11 @@ fn main() {
     println!("paper shape checks:");
     println!(
         "  [{}] torchserve returns a large number of HTTP errors ({})",
-        if ts.errors > opts.ramp_secs * 5 { "ok" } else { "!!" },
+        if ts.errors > opts.ramp_secs * 5 {
+            "ok"
+        } else {
+            "!!"
+        },
         ts.errors
     );
     println!(

@@ -19,7 +19,9 @@ const CATALOGS: [usize; 4] = [10_000, 100_000, 1_000_000, 10_000_000];
 
 fn main() {
     let opts = HarnessOptions::from_args();
-    println!("== Figure 3: micro-benchmark (serial requests, p90 prediction latency) ==\n");
+    let threads = opts.apply_threads();
+    println!("== Figure 3: micro-benchmark (serial requests, p90 prediction latency) ==");
+    println!("   intra-op kernel threads: {threads}\n");
 
     let requests = 200;
     let mut table = Table::new([
@@ -47,8 +49,7 @@ fn main() {
             .into_iter()
             .enumerate()
             {
-                let spec = ExperimentSpec::new(model, catalog, instance)
-                    .with_execution(execution);
+                let spec = ExperimentSpec::new(model, catalog, instance).with_execution(execution);
                 let result = run_serial_microbenchmark(&spec, requests);
                 p90s[i] = result.p90;
                 cells.push(fmt_duration(result.p90));
@@ -73,8 +74,10 @@ fn main() {
     // the same flattening is visible at the left edge of the paper's plot.
     let mut linear_ok = true;
     for model in ModelKind::ALL {
-        let per_model: Vec<&(ModelKind, usize, Duration, Duration)> =
-            jit_cells.iter().filter(|c| c.0 == model && c.1 >= 100_000).collect();
+        let per_model: Vec<&(ModelKind, usize, Duration, Duration)> = jit_cells
+            .iter()
+            .filter(|c| c.0 == model && c.1 >= 100_000)
+            .collect();
         for w in per_model.windows(2) {
             let ratio = w[1].2.as_secs_f64() / w[0].2.as_secs_f64().max(1e-12);
             if !(5.0..=25.0).contains(&ratio) {
@@ -82,7 +85,10 @@ fn main() {
             }
         }
     }
-    println!("  [{}] CPU latency scales ~linearly with catalog size", ok(linear_ok));
+    println!(
+        "  [{}] CPU latency scales ~linearly with catalog size",
+        ok(linear_ok)
+    );
 
     // GPU >= 10x faster at C >= 1e6.
     let gpu_wins = jit_cells
@@ -99,7 +105,10 @@ fn main() {
         .iter()
         .filter(|c| c.1 == 1_000_000)
         .all(|c| c.2 > Duration::from_millis(45));
-    println!("  [{}] CPU needs >50ms per prediction at one million items", ok(cpu_slow));
+    println!(
+        "  [{}] CPU needs >50ms per prediction at one million items",
+        ok(cpu_slow)
+    );
 
     // CPU on par with or better than GPU at C = 1e4 for several models.
     let competitive = jit_cells

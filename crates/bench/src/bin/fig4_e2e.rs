@@ -27,7 +27,13 @@ fn main() {
     let instances = InstanceType::ALL;
 
     let mut summary = Table::new([
-        "scenario", "instance", "model", "target_rps", "achieved_rps", "p90", "errors",
+        "scenario",
+        "instance",
+        "model",
+        "target_rps",
+        "achieved_rps",
+        "p90",
+        "errors",
         "feasible",
     ]);
     let mut cells: Vec<(Scenario, InstanceType, ModelKind, ExperimentResult)> = Vec::new();
@@ -35,8 +41,7 @@ fn main() {
     for scenario in scenarios {
         for instance in instances {
             for model in ModelKind::ALL {
-                let spec: ExperimentSpec =
-                    scenario.spec(model, instance).with_ramp(opts.ramp());
+                let spec: ExperimentSpec = scenario.spec(model, instance).with_ramp(opts.ramp());
                 let result = median_of(
                     opts.repetitions,
                     |rep| run_experiment(&spec.clone().with_seed(42 + rep as u64)),

@@ -78,14 +78,26 @@ fn main() {
 
     measure(&exact, "exact-f32".into());
     measure(&quant, "int8".into());
-    measure(&ivf_fast, format!("ivf nprobe=8 ({:.0}% scanned)", 100.0 * ivf_fast.scan_fraction()));
+    measure(
+        &ivf_fast,
+        format!(
+            "ivf nprobe=8 ({:.0}% scanned)",
+            100.0 * ivf_fast.scan_fraction()
+        ),
+    );
     measure(
         &ivf_balanced,
-        format!("ivf nprobe=32 ({:.0}% scanned)", 100.0 * ivf_balanced.scan_fraction()),
+        format!(
+            "ivf nprobe=32 ({:.0}% scanned)",
+            100.0 * ivf_balanced.scan_fraction()
+        ),
     );
     measure(
         &ivf_accurate,
-        format!("ivf nprobe=96 ({:.0}% scanned)", 100.0 * ivf_accurate.scan_fraction()),
+        format!(
+            "ivf nprobe=96 ({:.0}% scanned)",
+            100.0 * ivf_accurate.scan_fraction()
+        ),
     );
     opts.emit("futurework_tradeoffs", &table_out);
 
@@ -95,7 +107,10 @@ fn main() {
     let quant_row = &rows[1];
     let ivf8 = &rows[2];
     let ivf96 = &rows[4];
-    check("exact search has recall 1.0", (exact_row.1 - 1.0).abs() < 1e-9);
+    check(
+        "exact search has recall 1.0",
+        (exact_row.1 - 1.0).abs() < 1e-9,
+    );
     check(
         "int8 quantisation keeps recall above 0.85",
         quant_row.1 > 0.85,
@@ -108,5 +123,8 @@ fn main() {
         "aggressive IVF is much faster than the exact scan",
         ivf8.2.as_secs_f64() < 0.5 * exact_row.2.as_secs_f64(),
     );
-    check("accurate IVF approaches exact recall (>0.95)", ivf96.1 > 0.95);
+    check(
+        "accurate IVF approaches exact recall (>0.95)",
+        ivf96.1 > 0.95,
+    );
 }

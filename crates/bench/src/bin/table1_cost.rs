@@ -20,8 +20,18 @@ fn main() {
     println!("== Table I: cost-efficient deployment options (p90 <= 50ms) ==\n");
 
     let mut table = Table::new([
-        "scenario", "catalog", "rps", "option", "amount", "cost/month", "core", "gru4rec",
-        "narm", "sasrec", "sine", "stamp",
+        "scenario",
+        "catalog",
+        "rps",
+        "option",
+        "amount",
+        "cost/month",
+        "core",
+        "gru4rec",
+        "narm",
+        "sasrec",
+        "sine",
+        "stamp",
     ]);
 
     for scenario in Scenario::ALL {
@@ -67,7 +77,11 @@ fn main() {
             let cost = etude_cluster::InstanceType::parse(instance)
                 .map(|i| i.monthly_cost() * replicas as f64)
                 .unwrap_or(0.0);
-            let marker = if (cost - cheapest_cost).abs() < 0.01 { "*" } else { "" };
+            let marker = if (cost - cheapest_cost).abs() < 0.01 {
+                "*"
+            } else {
+                ""
+            };
             let mut row = vec![
                 scenario.name.to_string(),
                 scenario.catalog_size.to_string(),
@@ -142,5 +156,8 @@ fn shape_checks(opts: &HarnessOptions) {
     let a100_works = platform
         .iter()
         .any(|v| v.feasible && v.instance == InstanceType::GpuA100);
-    check("platform (20M items) requires GPU-A100s", only_a100 && a100_works);
+    check(
+        "platform (20M items) requires GPU-A100s",
+        only_a100 && a100_works,
+    );
 }

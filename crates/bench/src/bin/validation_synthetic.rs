@@ -59,12 +59,18 @@ fn main() {
         )
         .expect("profile");
         let server = SimRustServer::new(profile, RustServerConfig::cpu(5));
-        SimLoadGen::run(server, log, LoadConfig::scaled_rampup(target_rps, opts.ramp_secs))
+        SimLoadGen::run(
+            server,
+            log,
+            LoadConfig::scaled_rampup(target_rps, opts.ramp_secs),
+        )
     };
     let real_result = run(&real_log);
     let synth_result = run(&synth_log);
 
-    let mut table = Table::new(["workload", "requests", "p50", "p90", "p99", "mean", "errors"]);
+    let mut table = Table::new([
+        "workload", "requests", "p50", "p90", "p99", "mean", "errors",
+    ]);
     let mut row = |name: &str, s: &LatencySummary| {
         table.row([
             name.to_string(),

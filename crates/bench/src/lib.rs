@@ -35,6 +35,9 @@ pub struct HarnessOptions {
     pub results_dir: PathBuf,
     /// Repetitions per configuration (paper: 3, keeping the median).
     pub repetitions: usize,
+    /// Intra-op kernel threads requested with `--threads N` (`None`
+    /// keeps `ETUDE_THREADS` / detected parallelism).
+    pub threads: Option<usize>,
 }
 
 impl Default for HarnessOptions {
@@ -43,6 +46,7 @@ impl Default for HarnessOptions {
             ramp_secs: 60,
             results_dir: PathBuf::from("results"),
             repetitions: 3,
+            threads: None,
         }
     }
 }
@@ -77,6 +81,10 @@ impl HarnessOptions {
                         opts.results_dir = PathBuf::from(dir);
                     }
                 }
+                "--threads" => {
+                    i += 1;
+                    opts.threads = args.get(i).and_then(|v| v.parse().ok());
+                }
                 other => {
                     eprintln!("ignoring unknown argument: {other}");
                 }
@@ -89,6 +97,15 @@ impl HarnessOptions {
     /// The ramp duration as a [`std::time::Duration`].
     pub fn ramp(&self) -> std::time::Duration {
         std::time::Duration::from_secs(self.ramp_secs)
+    }
+
+    /// Applies `--threads` to the process-wide intra-op pool and returns
+    /// the width real kernels will run at.
+    pub fn apply_threads(&self) -> usize {
+        match self.threads {
+            Some(n) => etude_tensor::pool::configure_threads(n),
+            None => etude_tensor::pool::current_threads(),
+        }
     }
 
     /// Prints a table and writes its CSV artifact.
@@ -112,7 +129,11 @@ where
     K: Fn(&T) -> f64,
 {
     let mut runs: Vec<T> = (0..repetitions.max(1)).map(&mut f).collect();
-    runs.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap_or(std::cmp::Ordering::Equal));
+    runs.sort_by(|a, b| {
+        key(a)
+            .partial_cmp(&key(b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mid = runs.len() / 2;
     runs.swap_remove(mid)
 }

@@ -18,8 +18,11 @@ pub enum InstanceType {
 
 impl InstanceType {
     /// The three instance types used in the paper's evaluation.
-    pub const ALL: [InstanceType; 3] =
-        [InstanceType::CpuE2, InstanceType::GpuT4, InstanceType::GpuA100];
+    pub const ALL: [InstanceType; 3] = [
+        InstanceType::CpuE2,
+        InstanceType::GpuT4,
+        InstanceType::GpuA100,
+    ];
 
     /// Display name matching the paper's tables.
     pub fn name(&self) -> &'static str {

@@ -153,10 +153,9 @@ mod tests {
             .filter(|c| c.instance == InstanceType::CpuE2)
             .collect();
         assert!(!cpu_rejections.is_empty());
-        assert!(cpu_rejections.iter().all(|c| matches!(
-            c.rejection,
-            Some(Rejection::InsufficientCapacity { .. })
-        )));
+        assert!(cpu_rejections
+            .iter()
+            .all(|c| matches!(c.rejection, Some(Rejection::InsufficientCapacity { .. }))));
         let rec = plan.recommendation().expect("a GPU plan exists");
         assert!(rec.instance.has_gpu());
     }

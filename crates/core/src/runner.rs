@@ -105,15 +105,16 @@ pub struct SerialResult {
     pub mean: Duration,
     /// Samples taken.
     pub samples: usize,
+    /// Intra-op CPU threads the host kernel pool runs at. The analytic
+    /// device model is calibrated at one thread, so reports carry the
+    /// pool width to keep runs comparable.
+    pub cpu_threads: usize,
 }
 
 /// Runs the Figure 3 micro-benchmark for one (model, device, execution)
 /// cell: requests are sent "in a serial manner (one request after
 /// another, waiting for model responses)".
-pub fn run_serial_microbenchmark(
-    spec: &ExperimentSpec,
-    requests: usize,
-) -> SerialResult {
+pub fn run_serial_microbenchmark(spec: &ExperimentSpec, requests: usize) -> SerialResult {
     let profile = service_profile(spec);
     let device: Device = spec.instance.device();
     let mut link = Link::cluster(spec.seed);
@@ -134,6 +135,7 @@ pub fn run_serial_microbenchmark(
         p90,
         mean,
         samples: samples.len(),
+        cpu_threads: etude_tensor::pool::current_threads(),
     }
 }
 
@@ -154,7 +156,12 @@ mod tests {
         // Table I row 1: the small groceries scenario runs on one CPU
         // machine.
         let result = run_experiment(&fast_spec());
-        assert!(result.feasible, "p90 {:?}, tp {:.1}", result.p90(), result.throughput());
+        assert!(
+            result.feasible,
+            "p90 {:?}, tp {:.1}",
+            result.p90(),
+            result.throughput()
+        );
         assert!((result.monthly_cost - 108.09).abs() < 1e-9);
     }
 
@@ -175,7 +182,12 @@ mod tests {
             .with_target_rps(500)
             .with_ramp(Duration::from_secs(15));
         let result = run_experiment(&spec);
-        assert!(result.feasible, "p90 {:?}, tp {:.1}", result.p90(), result.throughput());
+        assert!(
+            result.feasible,
+            "p90 {:?}, tp {:.1}",
+            result.p90(),
+            result.throughput()
+        );
     }
 
     #[test]
@@ -211,12 +223,9 @@ mod tests {
     fn jit_is_never_slower_serially() {
         for instance in [InstanceType::CpuE2, InstanceType::GpuT4] {
             let base = ExperimentSpec::new(ModelKind::Narm, 100_000, instance);
-            let eager = run_serial_microbenchmark(
-                &base.clone().with_execution(ExecutionMode::Eager),
-                30,
-            );
-            let jit =
-                run_serial_microbenchmark(&base.with_execution(ExecutionMode::Jit), 30);
+            let eager =
+                run_serial_microbenchmark(&base.clone().with_execution(ExecutionMode::Eager), 30);
+            let jit = run_serial_microbenchmark(&base.with_execution(ExecutionMode::Jit), 30);
             assert!(
                 jit.p90 <= eager.p90 + Duration::from_micros(50),
                 "{instance:?}: jit {:?} > eager {:?}",

@@ -73,8 +73,7 @@ impl Scenario {
 
     /// A spec for running `model` in this scenario on `instance`.
     pub fn spec(&self, model: ModelKind, instance: InstanceType) -> ExperimentSpec {
-        ExperimentSpec::new(model, self.catalog_size, instance)
-            .with_target_rps(self.target_rps)
+        ExperimentSpec::new(model, self.catalog_size, instance).with_target_rps(self.target_rps)
     }
 }
 

@@ -174,8 +174,8 @@ mod tests {
 
     #[test]
     fn label_is_informative() {
-        let spec = ExperimentSpec::new(ModelKind::Stamp, 10_000, InstanceType::CpuE2)
-            .with_replicas(3);
+        let spec =
+            ExperimentSpec::new(ModelKind::Stamp, 10_000, InstanceType::CpuE2).with_replicas(3);
         assert_eq!(spec.label(), "stamp@10000/CPU x3");
     }
 }

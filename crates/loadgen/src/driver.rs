@@ -68,11 +68,10 @@ impl RealLoadGen {
             let done = done_tx.clone();
             let state = Arc::clone(&state);
             senders.push(std::thread::spawn(move || {
-                let client =
-                    match HttpClient::connect_with_timeout(addr, Duration::from_secs(2)) {
-                        Ok(c) => c,
-                        Err(_) => return,
-                    };
+                let client = match HttpClient::connect_with_timeout(addr, Duration::from_secs(2)) {
+                    Ok(c) => c,
+                    Err(_) => return,
+                };
                 let mut client = Some(client);
                 while let Ok((session, items)) = rx.recv() {
                     let sent_at = Instant::now();
@@ -255,7 +254,11 @@ mod tests {
         assert!(result.ok > 100, "ok {}", result.ok);
         assert_eq!(result.errors, 0);
         let summary = result.summary();
-        assert!(summary.p90 < Duration::from_millis(100), "{:?}", summary.p90);
+        assert!(
+            summary.p90 < Duration::from_millis(100),
+            "{:?}",
+            summary.p90
+        );
         server.shutdown();
     }
 }

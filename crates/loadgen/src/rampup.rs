@@ -53,6 +53,9 @@ mod tests {
 
     #[test]
     fn zero_target_is_zero() {
-        assert_eq!(timeprop_rampup(0, Duration::from_secs(1), Duration::ZERO), 0);
+        assert_eq!(
+            timeprop_rampup(0, Duration::from_secs(1), Duration::ZERO),
+            0
+        );
     }
 }

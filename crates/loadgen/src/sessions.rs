@@ -111,10 +111,26 @@ mod tests {
 
     fn log() -> SessionLog {
         SessionLog::new(vec![
-            Click { session: 1, item: 10, t: 1 },
-            Click { session: 2, item: 20, t: 2 },
-            Click { session: 1, item: 11, t: 3 },
-            Click { session: 1, item: 12, t: 4 },
+            Click {
+                session: 1,
+                item: 10,
+                t: 1,
+            },
+            Click {
+                session: 2,
+                item: 20,
+                t: 2,
+            },
+            Click {
+                session: 1,
+                item: 11,
+                t: 3,
+            },
+            Click {
+                session: 1,
+                item: 12,
+                t: 4,
+            },
         ])
     }
 
@@ -141,7 +157,7 @@ mod tests {
         let mut r = SessionReplayer::new(&log());
         let _a = r.next_request().unwrap(); // session 1 click 1
         let _b = r.next_request().unwrap(); // session 2 click 1
-        // No response for session 1 yet: clicks 11, 12 must never appear.
+                                            // No response for session 1 yet: clicks 11, 12 must never appear.
         assert!(r.next_request().is_none());
         assert!(r.next_request().is_none());
         // After the ack, exactly the next click is released.
@@ -153,7 +169,11 @@ mod tests {
     fn independent_sessions_interleave_freely() {
         let mut clicks = Vec::new();
         for s in 1..=5u64 {
-            clicks.push(Click { session: s, item: s as u32, t: s });
+            clicks.push(Click {
+                session: s,
+                item: s as u32,
+                t: s,
+            });
         }
         let mut r = SessionReplayer::new(&SessionLog::new(clicks));
         for _ in 0..5 {

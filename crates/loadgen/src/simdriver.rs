@@ -109,7 +109,9 @@ impl GenState {
 
 impl GenState {
     fn next_request(&mut self) -> Option<ReplayRequest> {
-        self.ready.pop_front().or_else(|| self.replayer.next_request())
+        self.ready
+            .pop_front()
+            .or_else(|| self.replayer.next_request())
     }
 }
 

@@ -181,12 +181,7 @@ pub fn masked_mean(exec: &mut Exec, x: TRef, mask: TRef) -> Result<TRef, TensorE
 }
 
 /// A dense layer `x W + b` for `x: [m, in]`, `w: [in, out]`, `b: [out]`.
-pub fn linear(
-    exec: &mut Exec,
-    x: TRef,
-    w: &Param,
-    b: Option<&Param>,
-) -> Result<TRef, TensorError> {
+pub fn linear(exec: &mut Exec, x: TRef, w: &Param, b: Option<&Param>) -> Result<TRef, TensorError> {
     let w_ref = exec.param(w)?;
     let y = exec.matmul(x, w_ref)?;
     match b {
@@ -253,7 +248,11 @@ pub fn self_attention(
         let s = exec.tensor(x)?.shape();
         (s[0], s[1])
     };
-    let heads = if heads > 0 && d % heads == 0 { heads } else { 1 };
+    let heads = if heads > 0 && d % heads == 0 {
+        heads
+    } else {
+        1
+    };
     let dh = d / heads;
     let q = linear(exec, x, &w.wq, None)?;
     let k = linear(exec, x, &w.wk, None)?;
@@ -598,9 +597,7 @@ mod tests {
         let w = AttentionWeights::new(&mut init, &c);
         for heads in [1usize, 2, 4] {
             let mut e = real_exec();
-            let x = e
-                .input(Tensor::full(&[c.max_session_len, 8], 0.1))
-                .unwrap();
+            let x = e.input(Tensor::full(&[c.max_session_len, 8], 0.1)).unwrap();
             let y = self_attention(&mut e, x, &w, heads, None, None).unwrap();
             assert_eq!(e.tensor(y).unwrap().shape(), &[c.max_session_len, 8]);
         }
@@ -624,16 +621,15 @@ mod tests {
         let block = TransformerBlock::new(&mut init, &c);
         let causal = causal_mask(&c);
         let mut e = real_exec();
-        let x = e
-            .input(Tensor::full(&[c.max_session_len, 8], 0.2))
-            .unwrap();
+        let x = e.input(Tensor::full(&[c.max_session_len, 8], 0.2)).unwrap();
         let mask = e
             .input(
-                Tensor::from_vec(vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0], &[c.max_session_len])
-                    .unwrap(),
+                Tensor::from_vec(vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0], &[c.max_session_len]).unwrap(),
             )
             .unwrap();
-        let y = block.forward(&mut e, x, 2, Some(&causal), Some(mask)).unwrap();
+        let y = block
+            .forward(&mut e, x, 2, Some(&causal), Some(mask))
+            .unwrap();
         let out = e.tensor(y).unwrap();
         assert_eq!(out.shape(), &[c.max_session_len, 8]);
         assert!(out.as_slice().unwrap().iter().all(|v| v.is_finite()));

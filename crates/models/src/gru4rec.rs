@@ -29,7 +29,11 @@ impl Gru4Rec {
         let embedding = embedding_table(&mut init, &cfg);
         let mut layers = Vec::with_capacity(cfg.num_layers);
         for i in 0..cfg.num_layers {
-            let input = if i == 0 { cfg.embedding_dim } else { cfg.hidden_size };
+            let input = if i == 0 {
+                cfg.embedding_dim
+            } else {
+                cfg.hidden_size
+            };
             layers.push(GruWeights::new(&mut init, &cfg, input, cfg.hidden_size));
         }
         let dense = weight(&mut init, &cfg, &[cfg.hidden_size, cfg.embedding_dim]);
@@ -101,13 +105,9 @@ mod tests {
                 .with_num_layers(2)
                 .with_seed(1),
         );
-        let c1 = crate::traits::forward_cost(
-            &base,
-            &Device::cpu(),
-            etude_tensor::ExecMode::Real,
-            3,
-        )
-        .unwrap();
+        let c1 =
+            crate::traits::forward_cost(&base, &Device::cpu(), etude_tensor::ExecMode::Real, 3)
+                .unwrap();
         let c2 =
             crate::traits::forward_cost(&deep, &Device::cpu(), etude_tensor::ExecMode::Real, 3)
                 .unwrap();

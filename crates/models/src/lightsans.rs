@@ -62,12 +62,7 @@ impl LightSansLayer {
 
     /// Low-rank attention: queries attend over `K_INTERESTS` pooled
     /// interests instead of all `l` positions — `O(l·k·d)` not `O(l²·d)`.
-    fn forward(
-        &self,
-        exec: &mut Exec,
-        x: TRef,
-        cfg: &ModelConfig,
-    ) -> Result<TRef, TensorError> {
+    fn forward(&self, exec: &mut Exec, x: TRef, cfg: &ModelConfig) -> Result<TRef, TensorError> {
         let d = cfg.embedding_dim;
         let n = common::layer_norm(exec, x, &self.ln1)?;
         let q = linear(exec, n, &self.wq, None)?; // [l, d]
@@ -200,20 +195,11 @@ mod tests {
                 .with_embedding_dim(8)
                 .with_seed(12),
         );
-        let cl = crate::traits::forward_cost(
-            &ls,
-            &Device::cpu(),
-            etude_tensor::ExecMode::Real,
-            20,
-        )
-        .unwrap();
-        let cs = crate::traits::forward_cost(
-            &sas,
-            &Device::cpu(),
-            etude_tensor::ExecMode::Real,
-            20,
-        )
-        .unwrap();
+        let cl = crate::traits::forward_cost(&ls, &Device::cpu(), etude_tensor::ExecMode::Real, 20)
+            .unwrap();
+        let cs =
+            crate::traits::forward_cost(&sas, &Device::cpu(), etude_tensor::ExecMode::Real, 20)
+                .unwrap();
         // Compare encoder flops by subtracting the (identical) decode.
         assert!(cl.flops < cs.flops);
     }

@@ -3,8 +3,8 @@
 //! local summary — combined through a bilinear decode.
 
 use crate::common::{
-    self, catalog_scores, gather_last, gru_sequence, linear, masked_softmax,
-    weight, weighted_sum, GruWeights,
+    self, catalog_scores, gather_last, gru_sequence, linear, masked_softmax, weight, weighted_sum,
+    GruWeights,
 };
 use crate::config::ModelConfig;
 use crate::traits::SbrModel;

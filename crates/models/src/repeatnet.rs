@@ -104,12 +104,24 @@ impl SbrModel for RepeatNet {
 
         // Repeat decoder: a distribution over session positions.
         let rep_alpha = self.attention(
-            exec, hs, h_last, input.mask, &self.rep_w1, &self.rep_w2, &self.rep_v,
+            exec,
+            hs,
+            h_last,
+            input.mask,
+            &self.rep_w1,
+            &self.rep_w2,
+            &self.rep_v,
         )?; // [l]
 
         // Explore decoder: context vector -> full catalog scores.
         let exp_alpha = self.attention(
-            exec, hs, h_last, input.mask, &self.exp_w1, &self.exp_w2, &self.exp_v,
+            exec,
+            hs,
+            h_last,
+            input.mask,
+            &self.exp_w1,
+            &self.exp_w2,
+            &self.exp_v,
         )?;
         let c_ex = weighted_sum(exec, exp_alpha, hs)?; // [h]
         let explore_scores = catalog_scores(exec, &self.embedding, c_ex, &self.cfg)?; // [C]

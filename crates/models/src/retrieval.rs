@@ -20,9 +20,11 @@
 //! of the trade-off.
 
 use etude_tensor::cost::CostSpec;
-use etude_tensor::topk::topk;
+use etude_tensor::pool;
+use etude_tensor::topk::{topk, topk_into, TopkScratch};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
 
 /// A maximum-inner-product index over `C` item embeddings.
 pub trait MipsIndex {
@@ -37,6 +39,28 @@ pub trait MipsIndex {
 
     /// Short name for reports.
     fn name(&self) -> &'static str;
+}
+
+/// Reusable per-request buffers for index searches: the `C`-sized score
+/// vector, the quantised query and the top-k selection state. Holding
+/// one of these across calls makes [`ExactIndex::search_into`] /
+/// [`QuantizedIndex::search_into`] allocation-free in steady state.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    scores: Vec<f32>,
+    q8: Vec<i32>,
+    topk: TopkScratch,
+}
+
+thread_local! {
+    /// Per-thread scratch backing the allocating [`MipsIndex::search`]
+    /// entry points, so server handler threads reuse their buffers
+    /// without coordination.
+    static SCRATCH: RefCell<SearchScratch> = RefCell::new(SearchScratch::default());
+}
+
+fn with_thread_scratch<R>(f: impl FnOnce(&mut SearchScratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
 }
 
 /// The exhaustive f32 scan used by the paper's models.
@@ -54,17 +78,45 @@ impl ExactIndex {
         ExactIndex { table, c, d }
     }
 
-    fn scores(&self, query: &[f32]) -> Vec<f32> {
-        self.table
-            .chunks_exact(self.d)
-            .map(|row| etude_tensor::kernels::dot(row, query))
-            .collect()
+    /// Scores every catalog row into `out` (length `c`), sharding large
+    /// catalogs over the intra-op pool. Per-shard results are the same
+    /// dot products at the same offsets, so the output is bit-identical
+    /// for any pool width.
+    fn scores_into(&self, query: &[f32], out: &mut [f32]) {
+        let d = self.d;
+        let table = &self.table;
+        pool::parallel_rows(out, self.c, 1, |rows, chunk| {
+            for (i, s) in chunk.iter_mut().enumerate() {
+                let r = rows.start + i;
+                *s = etude_tensor::kernels::dot(&table[r * d..(r + 1) * d], query);
+            }
+        });
+    }
+
+    /// [`MipsIndex::search`] without per-request allocation: scores land
+    /// in `scratch`, results in the (cleared) output vectors. All
+    /// buffers only grow to the catalog size once and are then reused.
+    pub fn search_into(
+        &self,
+        query: &[f32],
+        k: usize,
+        scratch: &mut SearchScratch,
+        out_ids: &mut Vec<u32>,
+        out_scores: &mut Vec<f32>,
+    ) {
+        scratch.scores.clear();
+        scratch.scores.resize(self.c, 0.0);
+        self.scores_into(query, &mut scratch.scores);
+        topk_into(&scratch.scores, k, &mut scratch.topk, out_ids, out_scores);
     }
 }
 
 impl MipsIndex for ExactIndex {
     fn search(&self, query: &[f32], k: usize) -> (Vec<u32>, Vec<f32>) {
-        topk(&self.scores(query), k)
+        let mut ids = Vec::with_capacity(k);
+        let mut scores = Vec::with_capacity(k);
+        with_thread_scratch(|scratch| self.search_into(query, k, scratch, &mut ids, &mut scores));
+        (ids, scores)
     }
 
     fn cost_spec(&self) -> CostSpec {
@@ -113,23 +165,50 @@ impl QuantizedIndex {
         }
         QuantizedIndex { data, scales, c, d }
     }
+
+    /// Allocation-free int8 search into reusable buffers; the int8 row
+    /// scan shards over the intra-op pool exactly like
+    /// [`ExactIndex::search_into`].
+    pub fn search_into(
+        &self,
+        query: &[f32],
+        k: usize,
+        scratch: &mut SearchScratch,
+        out_ids: &mut Vec<u32>,
+        out_scores: &mut Vec<f32>,
+    ) {
+        // Quantise the query once (symmetric, per-tensor).
+        let qmax = query.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let qscale = if qmax > 0.0 { qmax / 127.0 } else { 1.0 };
+        let SearchScratch { scores, q8, topk } = scratch;
+        q8.clear();
+        q8.extend(
+            query
+                .iter()
+                .map(|&x| (x / qscale).round().clamp(-127.0, 127.0) as i32),
+        );
+        scores.clear();
+        scores.resize(self.c, 0.0);
+        let (data, scales, d) = (&self.data, &self.scales, self.d);
+        let q8: &[i32] = q8;
+        pool::parallel_rows(scores, self.c, 1, |rows, chunk| {
+            for (i, s) in chunk.iter_mut().enumerate() {
+                let r = rows.start + i;
+                let row = &data[r * d..(r + 1) * d];
+                let acc: i32 = row.iter().zip(q8).map(|(&a, &b)| a as i32 * b).sum();
+                *s = acc as f32 * scales[r] * qscale;
+            }
+        });
+        topk_into(scores, k, topk, out_ids, out_scores);
+    }
 }
 
 impl MipsIndex for QuantizedIndex {
     fn search(&self, query: &[f32], k: usize) -> (Vec<u32>, Vec<f32>) {
-        // Quantise the query once (symmetric, per-tensor).
-        let qmax = query.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
-        let qscale = if qmax > 0.0 { qmax / 127.0 } else { 1.0 };
-        let q8: Vec<i32> = query
-            .iter()
-            .map(|&x| (x / qscale).round().clamp(-127.0, 127.0) as i32)
-            .collect();
-        let mut scores = Vec::with_capacity(self.c);
-        for (row, &scale) in self.data.chunks_exact(self.d).zip(&self.scales) {
-            let acc: i32 = row.iter().zip(&q8).map(|(&a, &b)| a as i32 * b).sum();
-            scores.push(acc as f32 * scale * qscale);
-        }
-        topk(&scores, k)
+        let mut ids = Vec::with_capacity(k);
+        let mut scores = Vec::with_capacity(k);
+        with_thread_scratch(|scratch| self.search_into(query, k, scratch, &mut ids, &mut scores));
+        (ids, scores)
     }
 
     fn cost_spec(&self) -> CostSpec {
@@ -189,11 +268,7 @@ impl IvfIndex {
                 let mut best = 0usize;
                 let mut best_dist = f32::INFINITY;
                 for (j, cent) in centroids.chunks_exact(d).enumerate() {
-                    let dist: f32 = row
-                        .iter()
-                        .zip(cent)
-                        .map(|(a, b)| (a - b) * (a - b))
-                        .sum();
+                    let dist: f32 = row.iter().zip(cent).map(|(a, b)| (a - b) * (a - b)).sum();
                     if dist < best_dist {
                         best_dist = dist;
                         best = j;
@@ -365,7 +440,10 @@ mod tests {
         };
         let low = recall_for(2);
         let high = recall_for(32);
-        assert!(high > low, "recall must grow with nprobe: {low:.3} vs {high:.3}");
+        assert!(
+            high > low,
+            "recall must grow with nprobe: {low:.3} vs {high:.3}"
+        );
         assert!(high > 0.9, "nprobe=32/64 recall {high:.3}");
     }
 
@@ -404,6 +482,46 @@ mod tests {
         assert_eq!(exact.search(&q, 1).0[0], target as u32);
         assert_eq!(quant.search(&q, 1).0[0], target as u32);
         assert_eq!(ivf.search(&q, 1).0[0], target as u32);
+    }
+
+    #[test]
+    fn search_into_matches_search_and_reuses_buffers() {
+        let (c, d, k) = (3_000, 16, 21);
+        let table = random_table(c, d, 9);
+        let exact = ExactIndex::new(table.clone(), c, d);
+        let quant = QuantizedIndex::from_f32(&table, c, d);
+        let mut scratch = SearchScratch::default();
+        let mut ids = Vec::new();
+        let mut scores = Vec::new();
+        for s in 0..5 {
+            let q = random_query(d, 300 + s);
+            exact.search_into(&q, k, &mut scratch, &mut ids, &mut scores);
+            let (eids, escores) = exact.search(&q, k);
+            assert_eq!(ids, eids);
+            assert_eq!(scores, escores);
+            quant.search_into(&q, k, &mut scratch, &mut ids, &mut scores);
+            let (qids, qscores) = quant.search(&q, k);
+            assert_eq!(ids, qids);
+            assert_eq!(scores, qscores);
+        }
+    }
+
+    #[test]
+    fn exact_scores_match_plain_dot_products() {
+        // The sharded scoring path must reproduce the serial per-row dot
+        // exactly (same kernel over the same rows).
+        let (c, d) = (1_500, 24);
+        let table = random_table(c, d, 10);
+        let exact = ExactIndex::new(table.clone(), c, d);
+        let q = random_query(d, 11);
+        let mut out = vec![0.0f32; c];
+        exact.scores_into(&q, &mut out);
+        for (i, &s) in out.iter().enumerate() {
+            assert_eq!(
+                s,
+                etude_tensor::kernels::dot(&table[i * d..(i + 1) * d], &q)
+            );
+        }
     }
 
     #[test]

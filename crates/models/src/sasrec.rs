@@ -1,9 +1,7 @@
 //! SASRec (Kang & McAuley, ICDM 2018): a causal transformer over the
 //! session, taking the representation at the last valid position.
 
-use crate::common::{
-    self, causal_mask, decode, gather_last, positional_table, TransformerBlock,
-};
+use crate::common::{self, causal_mask, decode, gather_last, positional_table, TransformerBlock};
 use crate::config::ModelConfig;
 use crate::traits::SbrModel;
 use etude_tensor::rng::Initializer;

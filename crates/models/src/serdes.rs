@@ -281,7 +281,9 @@ mod tests {
     use super::*;
 
     fn sample_bundle() -> ModelBundle {
-        let cfg = ModelConfig::new(1_000).with_max_session_len(12).with_seed(9);
+        let cfg = ModelConfig::new(1_000)
+            .with_max_session_len(12)
+            .with_seed(9);
         let mut b = ModelBundle::new("gru4rec", cfg);
         b.add("embedding", &[4, 3], vec![0.5; 12]);
         b.add("w_ih", &[6], vec![1.0, -1.0, 2.0, -2.0, 0.0, 3.5]);

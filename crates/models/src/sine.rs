@@ -110,11 +110,7 @@ mod tests {
     use etude_tensor::Device;
 
     fn model() -> Sine {
-        Sine::new(
-            ModelConfig::new(90)
-                .with_max_session_len(6)
-                .with_seed(13),
-        )
+        Sine::new(ModelConfig::new(90).with_max_session_len(6).with_seed(13))
     }
 
     #[test]

@@ -14,8 +14,7 @@
 //! graph on-device.
 
 use crate::common::{
-    self, catalog_scores, gather_last, linear, linear_vec, masked_softmax,
-    weight, weighted_sum,
+    self, catalog_scores, gather_last, linear, linear_vec, masked_softmax, weight, weighted_sum,
 };
 use crate::config::ModelConfig;
 use crate::traits::SbrModel;

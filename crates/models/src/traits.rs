@@ -239,7 +239,10 @@ mod tests {
         for kind in ModelKind::WITH_IMPLEMENTATION_ERRORS {
             assert!(!ModelKind::TABLE1.contains(&kind));
         }
-        assert_eq!(ModelKind::TABLE1.len() + ModelKind::WITH_IMPLEMENTATION_ERRORS.len(), 10);
+        assert_eq!(
+            ModelKind::TABLE1.len() + ModelKind::WITH_IMPLEMENTATION_ERRORS.len(),
+            10
+        );
     }
 
     #[test]

@@ -121,7 +121,12 @@ fn compiled_models_match_eager_outputs() {
         let eager = traits::recommend_eager(model.as_ref(), &Device::cpu(), &session).unwrap();
         let compiled = traits::compile(model.as_ref(), JitOptions::default()).unwrap();
         let jit = traits::recommend_compiled(model.as_ref(), &compiled, &session).unwrap();
-        assert_eq!(eager.items, jit.items, "{}: JIT changed outputs", kind.name());
+        assert_eq!(
+            eager.items,
+            jit.items,
+            "{}: JIT changed outputs",
+            kind.name()
+        );
     }
 }
 

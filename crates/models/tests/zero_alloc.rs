@@ -1,0 +1,75 @@
+//! Verifies the steady-state zero-allocation guarantee of the scratch
+//! based index search paths: after warm-up, `search_into` must not touch
+//! the heap at all. A counting global allocator makes the claim
+//! checkable rather than aspirational.
+//!
+//! The whole check lives in a single `#[test]` so no concurrently
+//! running test pollutes the process-wide allocation counter.
+
+use etude_models::retrieval::{ExactIndex, QuantizedIndex, SearchScratch};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_search_into_does_not_allocate() {
+    let (c, d, k) = (4_096, 16, 21);
+    let mut rng = SmallRng::seed_from_u64(42);
+    let table: Vec<f32> = (0..c * d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let query: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let exact = ExactIndex::new(table.clone(), c, d);
+    let quant = QuantizedIndex::from_f32(&table, c, d);
+
+    let mut scratch = SearchScratch::default();
+    let mut ids = Vec::new();
+    let mut scores = Vec::new();
+
+    // Warm-up: buffers grow to their steady-state capacity here.
+    for _ in 0..3 {
+        exact.search_into(&query, k, &mut scratch, &mut ids, &mut scores);
+        quant.search_into(&query, k, &mut scratch, &mut ids, &mut scores);
+    }
+    let expected_ids = ids.clone();
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..100 {
+        exact.search_into(&query, k, &mut scratch, &mut ids, &mut scores);
+        quant.search_into(&query, k, &mut scratch, &mut ids, &mut scores);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state search_into allocated {} times over 200 searches",
+        after - before
+    );
+    assert_eq!(
+        ids, expected_ids,
+        "results must stay identical across reuse"
+    );
+    assert_eq!(ids.len(), k);
+}

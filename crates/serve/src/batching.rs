@@ -63,9 +63,7 @@ impl<T: Send + 'static, R: Send + 'static> Batcher<T, R> {
     /// Returns `None` if the batcher has shut down.
     pub fn call(&self, input: T) -> Option<R> {
         let (tx, rx) = bounded(1);
-        self.submit
-            .send(Job { input, respond: tx })
-            .ok()?;
+        self.submit.send(Job { input, respond: tx }).ok()?;
         rx.recv().ok()
     }
 }

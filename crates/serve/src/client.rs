@@ -119,7 +119,11 @@ mod tests {
 
     #[test]
     fn timeouts_are_reported() {
-        let server = start(ServerConfig::default(), slow_handler(Duration::from_millis(300))).unwrap();
+        let server = start(
+            ServerConfig::default(),
+            slow_handler(Duration::from_millis(300)),
+        )
+        .unwrap();
         let mut client =
             HttpClient::connect_with_timeout(server.addr(), Duration::from_millis(30)).unwrap();
         match client.request(&Request::get("/slow")) {

@@ -320,7 +320,10 @@ mod tests {
         let parsed = parse_response(&mut buf).unwrap();
         assert_eq!(parsed.status, 200);
         assert_eq!(
-            parsed.headers.get("x-inference-duration-micros").map(String::as_str),
+            parsed
+                .headers
+                .get("x-inference-duration-micros")
+                .map(String::as_str),
             Some("42")
         );
         assert_eq!(&parsed.body[..], b"5:0.9");

@@ -91,6 +91,11 @@ impl Drop for ServerHandle {
 
 /// Starts a server with the given route handler on an OS-assigned port.
 pub fn start(config: ServerConfig, handler: Handler) -> std::io::Result<ServerHandle> {
+    // Build the process-wide intra-op kernel pool before the first
+    // request arrives: handler threads share this one pool (instead of
+    // each racing to create it under load), so the first prediction
+    // does not pay the thread-spawn cost.
+    etude_tensor::pool::global();
     let listener = TcpListener::bind(("127.0.0.1", 0))?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -377,8 +382,8 @@ pub fn model_routes_batched(
     let catalog_size = model.config().catalog_size;
     let infer_model = Arc::clone(&model);
     let infer_device = device.clone();
-    let batcher: Arc<Batcher<Vec<u32>, Result<Recommendation, String>>> = Arc::new(
-        Batcher::spawn(config, move |sessions: Vec<Vec<u32>>| {
+    let batcher: Arc<Batcher<Vec<u32>, Result<Recommendation, String>>> =
+        Arc::new(Batcher::spawn(config, move |sessions: Vec<Vec<u32>>| {
             sessions
                 .into_iter()
                 .map(|items| {
@@ -393,8 +398,7 @@ pub fn model_routes_batched(
                     rec.map_err(|e| e.to_string())
                 })
                 .collect()
-        }),
-    );
+        }));
 
     Arc::new(move |req: &Request| -> Response {
         match (req.method, req.path.as_str()) {
@@ -507,9 +511,13 @@ mod tests {
             .request(&Request::post("/predictions", "99999999"))
             .unwrap();
         assert_eq!(resp.status, 400);
-        assert!(std::str::from_utf8(&resp.body).unwrap().contains("out of catalog"));
+        assert!(std::str::from_utf8(&resp.body)
+            .unwrap()
+            .contains("out of catalog"));
         // And the connection/worker survives to serve the next request.
-        let resp = client.request(&Request::post("/predictions", "1,2")).unwrap();
+        let resp = client
+            .request(&Request::post("/predictions", "1,2"))
+            .unwrap();
         assert_eq!(resp.status, 200);
         server.shutdown();
     }
@@ -561,7 +569,9 @@ mod tests {
                 let mut client = HttpClient::connect(addr).unwrap();
                 for i in 0..25u32 {
                     let body = format!("{},{}", t * 10 + 1, i % 300);
-                    let resp = client.request(&Request::post("/predictions", body)).unwrap();
+                    let resp = client
+                        .request(&Request::post("/predictions", body))
+                        .unwrap();
                     assert_eq!(resp.status, 200);
                 }
             }));

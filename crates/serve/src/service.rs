@@ -97,7 +97,9 @@ impl ServiceProfile {
         if self.execution == ExecutionKind::Static {
             return Duration::ZERO;
         }
-        self.device.profile().latency(&self.cost.at_batch(batch.max(1)))
+        self.device
+            .profile()
+            .latency(&self.cost.at_batch(batch.max(1)))
     }
 
     /// Single-request inference latency (batch of one).
@@ -226,9 +228,8 @@ mod tests {
         let cpu = Device::cpu();
         let jit =
             ServiceProfile::build(ModelKind::LightSans, &cfg(), &cpu, ExecutionKind::Jit).unwrap();
-        let eager =
-            ServiceProfile::build(ModelKind::LightSans, &cfg(), &cpu, ExecutionKind::Eager)
-                .unwrap();
+        let eager = ServiceProfile::build(ModelKind::LightSans, &cfg(), &cpu, ExecutionKind::Eager)
+            .unwrap();
         assert_eq!(jit.inference_latency(), eager.inference_latency());
     }
 

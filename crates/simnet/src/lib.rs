@@ -34,7 +34,10 @@ impl SimTime {
 
     /// Adds a duration.
     pub fn after(self, d: Duration) -> SimTime {
-        SimTime(self.0.saturating_add(d.as_nanos().min(u128::from(u64::MAX)) as u64))
+        SimTime(
+            self.0
+                .saturating_add(d.as_nanos().min(u128::from(u64::MAX)) as u64),
+        )
     }
 
     /// Elapsed duration since an earlier instant.
@@ -189,7 +192,8 @@ mod tests {
         for &delay in &[30u64, 10, 20] {
             let log = Rc::clone(&log);
             sim.schedule_in(Duration::from_millis(delay), move |s| {
-                log.borrow_mut().push(s.now().as_duration().as_millis() as u64);
+                log.borrow_mut()
+                    .push(s.now().as_duration().as_millis() as u64);
             });
         }
         sim.run_to_completion();

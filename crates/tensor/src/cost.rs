@@ -163,12 +163,24 @@ pub struct CostTracker {
     total: Cost,
     spec: CostSpec,
     ops: u64,
+    cpu_threads: usize,
 }
 
 impl CostTracker {
-    /// Creates an empty tracker.
+    /// Creates an empty tracker stamped with the intra-op pool width the
+    /// host kernels run at (the analytic cost model itself is
+    /// thread-agnostic; the stamp travels into result records so runs at
+    /// different `ETUDE_THREADS` are distinguishable).
     pub fn new() -> Self {
-        Self::default()
+        CostTracker {
+            cpu_threads: crate::pool::current_threads(),
+            ..Self::default()
+        }
+    }
+
+    /// Intra-op CPU threads recorded for this run.
+    pub fn cpu_threads(&self) -> usize {
+        self.cpu_threads
     }
 
     /// Records one operation at batch size one.
@@ -193,9 +205,12 @@ impl CostTracker {
         self.ops
     }
 
-    /// Resets the tracker to empty.
+    /// Resets the tracker to empty (keeping the thread stamp).
     pub fn reset(&mut self) {
-        *self = Self::default();
+        *self = CostTracker {
+            cpu_threads: self.cpu_threads,
+            ..Self::default()
+        };
     }
 }
 

@@ -241,7 +241,10 @@ mod tests {
         let mut cost = mips_cost(10_000, 10);
         cost.launches = 40;
         let r = cpu.latency(&cost).as_secs_f64() / t4.latency(&cost).as_secs_f64();
-        assert!(r < 10.0, "small-catalog speedup should collapse, got {r:.1}x");
+        assert!(
+            r < 10.0,
+            "small-catalog speedup should collapse, got {r:.1}x"
+        );
     }
 
     #[test]

@@ -35,6 +35,16 @@ pub enum ExecMode {
     Trace,
 }
 
+/// Tunables for an [`Exec`] context.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptions {
+    /// Intra-op parallelism request for the process-wide kernel pool
+    /// (`None` keeps `ETUDE_THREADS` / detected parallelism). The pool
+    /// is built once per process: the first context to run a kernel
+    /// freezes the width, later requests are ignored.
+    pub intra_op_threads: Option<usize>,
+}
+
 /// Handle to a tensor inside an [`Exec`] arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TRef(usize);
@@ -71,6 +81,14 @@ pub struct Exec {
 }
 
 impl Exec {
+    /// Creates an execution context with explicit [`ExecOptions`].
+    pub fn with_options(mode: ExecMode, device: Device, options: ExecOptions) -> Exec {
+        if let Some(threads) = options.intra_op_threads {
+            crate::pool::configure_threads(threads);
+        }
+        Exec::new(mode, device)
+    }
+
     /// Creates an execution context.
     pub fn new(mode: ExecMode, device: Device) -> Exec {
         Exec {
@@ -175,8 +193,10 @@ impl Exec {
         match self.mode {
             ExecMode::Real | ExecMode::CostOnly => {
                 self.tracker.record(cost);
-                let inputs: Vec<&Tensor> =
-                    operands.iter().map(|&r| self.arena[r.0].tensor.as_ref()).collect();
+                let inputs: Vec<&Tensor> = operands
+                    .iter()
+                    .map(|&r| self.arena[r.0].tensor.as_ref())
+                    .collect();
                 let out = if self.mode == ExecMode::CostOnly {
                     Tensor::phantom(&out_shape)
                 } else {
@@ -488,9 +508,7 @@ mod tests {
     #[test]
     fn item_reads_in_real_mode_only() {
         let mut r = ctx(ExecMode::Real);
-        let x = r
-            .input(Tensor::from_vec(vec![7.0], &[1]).unwrap())
-            .unwrap();
+        let x = r.input(Tensor::from_vec(vec![7.0], &[1]).unwrap()).unwrap();
         assert_eq!(r.item(x, 0).unwrap(), 7.0);
 
         let mut c = ctx(ExecMode::CostOnly);

@@ -605,14 +605,30 @@ pub fn eval(kind: &OpKind, inputs: &[&Tensor], out_shape: &[usize]) -> Result<Te
             let (m, k) = inputs[0].dims2("matmul")?;
             let (_, n) = inputs[1].dims2("matmul")?;
             let mut out = vec![0.0; m * n];
-            kernels::matmul(inputs[0].as_slice()?, inputs[1].as_slice()?, &mut out, m, k, n);
+            let (a, b) = (inputs[0].as_slice()?, inputs[1].as_slice()?);
+            // Row-shard large left operands (the [C,d] x [d,1] MIPS
+            // shape) over the intra-op pool; rows are independent, so
+            // per-shard kernel calls are bit-identical to one serial call.
+            crate::pool::parallel_rows(&mut out, m, n, |rows, chunk| {
+                kernels::matmul(&a[rows.start * k..rows.end * k], b, chunk, rows.len(), k, n);
+            });
             Tensor::from_vec(out, &[m, n])?
         }
         OpKind::MatMulBT => {
             let (m, k) = inputs[0].dims2("matmul_bt")?;
             let (n, _) = inputs[1].dims2("matmul_bt")?;
             let mut out = vec![0.0; m * n];
-            kernels::matmul_bt(inputs[0].as_slice()?, inputs[1].as_slice()?, &mut out, m, k, n);
+            let (a, bt) = (inputs[0].as_slice()?, inputs[1].as_slice()?);
+            crate::pool::parallel_rows(&mut out, m, n, |rows, chunk| {
+                kernels::matmul_bt(
+                    &a[rows.start * k..rows.end * k],
+                    bt,
+                    chunk,
+                    rows.len(),
+                    k,
+                    n,
+                );
+            });
             Tensor::from_vec(out, &[m, n])?
         }
         OpKind::Binary(op) => {
@@ -663,7 +679,10 @@ pub fn eval(kind: &OpKind, inputs: &[&Tensor], out_shape: &[usize]) -> Result<Te
             for &idf in inputs[1].as_slice()? {
                 let id = crate::f32_to_id(idf) as usize;
                 if id >= c {
-                    return Err(TensorError::IndexOutOfBounds { index: id, bound: c });
+                    return Err(TensorError::IndexOutOfBounds {
+                        index: id,
+                        bound: c,
+                    });
                 }
             }
             let mut out = vec![0.0; l * d];
@@ -721,13 +740,16 @@ pub fn eval(kind: &OpKind, inputs: &[&Tensor], out_shape: &[usize]) -> Result<Te
             let (l, d) = inputs[0].dims2("gather_row")?;
             let idx = crate::f32_to_id(inputs[1].get(0)?) as usize;
             if idx >= l {
-                return Err(TensorError::IndexOutOfBounds { index: idx, bound: l });
+                return Err(TensorError::IndexOutOfBounds {
+                    index: idx,
+                    bound: l,
+                });
             }
             let row = inputs[0].as_slice()?[idx * d..(idx + 1) * d].to_vec();
             Tensor::from_vec(row, out_shape)?
         }
         OpKind::TopK { k } => {
-            let (idx, scores) = topk::topk(inputs[0].as_slice()?, *k);
+            let (idx, scores) = topk::topk_auto(inputs[0].as_slice()?, *k);
             let kk = idx.len();
             let mut out = Vec::with_capacity(2 * kk);
             out.extend(idx.iter().map(|&i| crate::id_to_f32(i)));
@@ -896,10 +918,13 @@ impl Graph {
                     let operand_arcs: Vec<&Arc<Tensor>> = node
                         .inputs
                         .iter()
-                        .map(|&i| values[i].as_ref().ok_or(TensorError::InvalidRef { index: i }))
+                        .map(|&i| {
+                            values[i]
+                                .as_ref()
+                                .ok_or(TensorError::InvalidRef { index: i })
+                        })
                         .collect::<Result<_, _>>()?;
-                    let operands: Vec<&Tensor> =
-                        operand_arcs.iter().map(|a| a.as_ref()).collect();
+                    let operands: Vec<&Tensor> = operand_arcs.iter().map(|a| a.as_ref()).collect();
                     cost += node.cost.at_batch(1);
                     Arc::new(eval(kind, &operands, &node.shape)?)
                 }
@@ -995,11 +1020,8 @@ mod tests {
         g.consts.insert(1, w.shared());
         g.nodes
             .push(op_node(OpKind::MatMul, vec![0, 1], &[&[1, 2], &[2, 2]]));
-        g.nodes.push(op_node(
-            OpKind::Unary(UnOp::Sigmoid),
-            vec![2],
-            &[&[1, 2]],
-        ));
+        g.nodes
+            .push(op_node(OpKind::Unary(UnOp::Sigmoid), vec![2], &[&[1, 2]]));
         g.n_inputs = 1;
         g.output = 3;
         let x = Tensor::from_vec(vec![0.0, 100.0], &[1, 2]).unwrap();
@@ -1014,11 +1036,8 @@ mod tests {
     fn graph_phantom_inputs_produce_phantom_output_with_cost() {
         let mut g = Graph::default();
         g.nodes.push(leaf(OpKind::Input(0), &[4]));
-        g.nodes.push(op_node(
-            OpKind::Unary(UnOp::Relu),
-            vec![0],
-            &[&[4]],
-        ));
+        g.nodes
+            .push(op_node(OpKind::Unary(UnOp::Relu), vec![0], &[&[4]]));
         g.n_inputs = 1;
         g.output = 1;
         let (y, cost) = g.run(&[Tensor::phantom(&[4])]).unwrap();

@@ -147,7 +147,10 @@ pub fn compile(graph: Graph, options: JitOptions) -> Result<CompiledGraph, JitEr
 }
 
 fn node_shapes<'a>(g: &'a Graph, inputs: &[NodeId]) -> Vec<&'a [usize]> {
-    inputs.iter().map(|&i| g.nodes[i].shape.as_slice()).collect()
+    inputs
+        .iter()
+        .map(|&i| g.nodes[i].shape.as_slice())
+        .collect()
 }
 
 fn recost(g: &Graph, kind: &OpKind, inputs: &[NodeId], shape: &[usize]) -> CostSpec {
@@ -176,11 +179,8 @@ fn const_fold(mut g: Graph) -> Result<Graph, JitError> {
                 if !node.inputs.iter().all(|i| values.contains_key(i)) {
                     continue;
                 }
-                let operand_arcs: Vec<Arc<Tensor>> = node
-                    .inputs
-                    .iter()
-                    .map(|i| Arc::clone(&values[i]))
-                    .collect();
+                let operand_arcs: Vec<Arc<Tensor>> =
+                    node.inputs.iter().map(|i| Arc::clone(&values[i])).collect();
                 let operands: Vec<&Tensor> = operand_arcs.iter().map(|a| a.as_ref()).collect();
                 let folded = crate::graph::eval(kind, &operands, &node.shape)?;
                 let param = Param::new(folded);
@@ -212,9 +212,7 @@ fn pre_transpose(mut g: Graph) -> Result<Graph, JitError> {
         // Only transpose weights that feed solely matmuls; a shared weight
         // consumed elsewhere keeps its original layout and we skip it.
         let shared_elsewhere = g.nodes.iter().enumerate().any(|(j, n)| {
-            j != id
-                && n.inputs.contains(&rhs)
-                && !(n.kind == OpKind::MatMul && n.inputs[1] == rhs)
+            j != id && n.inputs.contains(&rhs) && !(n.kind == OpKind::MatMul && n.inputs[1] == rhs)
         });
         if shared_elsewhere {
             continue;
@@ -324,9 +322,11 @@ fn fuse_elementwise(g: Graph) -> Result<Graph, JitError> {
             let (seed, mut steps, operands) = match &head_node.kind {
                 OpKind::Binary(op) => (Some(*op), Vec::new(), head_node.inputs.clone()),
                 OpKind::Unary(u) => (None, vec![FusedStep::Unary(*u)], head_node.inputs.clone()),
-                OpKind::BinaryScalar(op, s) => {
-                    (None, vec![FusedStep::Scalar(*op, *s)], head_node.inputs.clone())
-                }
+                OpKind::BinaryScalar(op, s) => (
+                    None,
+                    vec![FusedStep::Scalar(*op, *s)],
+                    head_node.inputs.clone(),
+                ),
                 _ => unreachable!("chain heads are elementwise"),
             };
             for &link in &chain[1..] {
@@ -342,8 +342,10 @@ fn fuse_elementwise(g: Graph) -> Result<Graph, JitError> {
                 .collect::<Result<_, _>>()?;
             let kind = OpKind::Fused { seed, steps };
             let shape = node.shape.clone();
-            let shapes: Vec<&[usize]> =
-                inputs.iter().map(|&i| new_nodes[i].shape.as_slice()).collect();
+            let shapes: Vec<&[usize]> = inputs
+                .iter()
+                .map(|&i| new_nodes[i].shape.as_slice())
+                .collect();
             let const_flags: Vec<bool> = inputs
                 .iter()
                 .map(|&i| matches!(new_nodes[i].kind, OpKind::Const(_)))
@@ -407,7 +409,11 @@ fn dce(g: Graph) -> Graph {
         }
         let new_id = new_nodes.len();
         let mut n = node.clone();
-        n.inputs = n.inputs.iter().map(|&i| remap[i].expect("live inputs")).collect();
+        n.inputs = n
+            .inputs
+            .iter()
+            .map(|&i| remap[i].expect("live inputs"))
+            .collect();
         if let OpKind::Const(_) = n.kind {
             new_consts.insert(new_id, Arc::clone(&g.consts[&id]));
         }
@@ -547,6 +553,9 @@ mod tests {
         let t4 = crate::device::DeviceProfile::gpu_t4();
         let l1 = c.latency(&t4, 1).as_secs_f64();
         let l64 = c.latency(&t4, 64).as_secs_f64();
-        assert!(l64 < 64.0 * l1 * 0.25, "batching should amortise: {l1} vs {l64}");
+        assert!(
+            l64 < 64.0 * l1 * 0.25,
+            "batching should amortise: {l1} vs {l64}"
+        );
     }
 }

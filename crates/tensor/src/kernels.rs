@@ -7,23 +7,53 @@
 //! JIT fusion, CPU vs accelerator rooflines), not hand-tuned BLAS.
 //! Shape checking happens in the callers; kernels assume consistent sizes.
 
+/// Shared 8-wide multi-accumulator reduction behind [`dot`] and
+/// [`matmul`]. `fetch(p)` supplies the `p`-th right-hand element, so the
+/// contiguous (`matmul_bt`, [`dot`]) and column-strided (`matmul`) cases
+/// inline to the same accumulation *order* — every matmul variant
+/// produces bit-identical sums, and the independent accumulator lanes
+/// keep the loop free of a serial FP dependency chain so the
+/// autovectorizer can use full SIMD width.
+#[inline(always)]
+fn dot_gather(a: &[f32], fetch: impl Fn(usize) -> f32) -> f32 {
+    let len = a.len();
+    let mut acc = [0.0f32; 8];
+    let mut p = 0;
+    while p + 8 <= len {
+        acc[0] += a[p] * fetch(p);
+        acc[1] += a[p + 1] * fetch(p + 1);
+        acc[2] += a[p + 2] * fetch(p + 2);
+        acc[3] += a[p + 3] * fetch(p + 3);
+        acc[4] += a[p + 4] * fetch(p + 4);
+        acc[5] += a[p + 5] * fetch(p + 5);
+        acc[6] += a[p + 6] * fetch(p + 6);
+        acc[7] += a[p + 7] * fetch(p + 7);
+        p += 8;
+    }
+    let mut tail = 0.0f32;
+    while p < len {
+        tail += a[p] * fetch(p);
+        p += 1;
+    }
+    let lo = (acc[0] + acc[4]) + (acc[1] + acc[5]);
+    let hi = (acc[2] + acc[6]) + (acc[3] + acc[7]);
+    (lo + hi) + tail
+}
+
 /// `out[m*n] = a[m*k] * b[k*n]` (row-major).
+///
+/// Each output element is an independent [`dot_gather`] over a row of
+/// `a` and a (strided) column of `b`; for `n == 1` — the full-catalog
+/// MIPS shape `[C,d] x [d,1]` — the column is contiguous and this is a
+/// plain vectorised dot per catalog row.
 pub fn matmul(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
-    out.fill(0.0);
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[p * n..(p + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
+        for j in 0..n {
+            out[i * n + j] = dot_gather(arow, |p| b[p * n + j]);
         }
     }
 }
@@ -48,7 +78,8 @@ pub fn matmul_bt(a: &[f32], b_t: &[f32], out: &mut [f32], m: usize, k: usize, n:
 /// Dot product of two equally sized slices.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    debug_assert_eq!(a.len(), b.len());
+    dot_gather(a, |p| b[p])
 }
 
 /// `out[n*m] = a^T` for `a: [m, n]`.
@@ -446,7 +477,11 @@ mod tests {
 
     #[test]
     fn scatter_add_accumulates_duplicates() {
-        let ids = [crate::id_to_f32(1), crate::id_to_f32(1), crate::id_to_f32(3)];
+        let ids = [
+            crate::id_to_f32(1),
+            crate::id_to_f32(1),
+            crate::id_to_f32(3),
+        ];
         let vals = [0.5, 0.25, 1.0];
         let mut out = vec![9.0; 5];
         scatter_add_dense(&ids, &vals, &mut out);

@@ -41,13 +41,14 @@ pub mod graph;
 pub mod jit;
 pub mod kernels;
 pub mod param;
+pub mod pool;
 pub mod rng;
 pub mod tensor;
 pub mod topk;
 
 pub use cost::{Cost, CostSpec};
 pub use device::{Device, DeviceKind, DeviceProfile};
-pub use exec::{Exec, ExecMode, SessionInput, TRef};
+pub use exec::{Exec, ExecMode, ExecOptions, SessionInput, TRef};
 pub use graph::{Graph, NodeId, OpKind};
 pub use jit::{CompiledGraph, JitError, JitOptions};
 pub use param::{Param, ParamId};

@@ -1,0 +1,490 @@
+//! Persistent intra-op worker pool for sharded kernels.
+//!
+//! The full-catalog MIPS (`E·s` followed by top-k) is the latency
+//! bottleneck of every SBR model, and it is embarrassingly parallel over
+//! catalog rows. This module provides the process-wide, long-lived
+//! thread pool those kernels shard onto:
+//!
+//! * workers are spawned **once** (first use) and parked on a crossbeam
+//!   channel between requests — no per-request thread creation,
+//! * work is dispatched as *scoped shard jobs*: the caller's borrowed
+//!   closure runs on worker threads while the caller blocks (and itself
+//!   executes shards), so no `'static` bound and no per-shard boxing,
+//! * steady-state dispatch performs **no heap allocation**: the wake
+//!   channel's ring buffer and the shared task slot are reused across
+//!   requests.
+//!
+//! Sizing: `ETUDE_THREADS` (environment) takes precedence, then
+//! [`configure_threads`] (e.g. from `ExecOptions`), then
+//! `std::thread::available_parallelism`. A pool of one thread degrades
+//! to plain serial execution with zero synchronisation.
+//!
+//! Shard *counts* are chosen by the callers independently of worker
+//! count, so sharded kernels are testable for bit-identical results on
+//! any machine, including single-core CI.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Inputs smaller than this many rows/elements never shard: below it the
+/// dispatch overhead dwarfs the win and the serial kernel is fastest
+/// (`C = 10^4` catalogs intentionally stay on this path).
+pub const PAR_THRESHOLD: usize = 32_768;
+
+/// Minimum rows/elements per shard once an op does parallelise; caps the
+/// shard count for mid-sized inputs so shards stay cache-friendly.
+pub const MIN_SHARD: usize = 8_192;
+
+/// Upper bound on pool size; a guard against absurd `ETUDE_THREADS`.
+const MAX_THREADS: usize = 256;
+
+type ShardFn<'a> = &'a (dyn Fn(usize) + Sync);
+
+/// The current parallel section, shared between the submitting thread
+/// and the workers. `job` is a lifetime-erased borrow of the caller's
+/// closure; the submitter clears it before `run_shards` returns, and
+/// blocks until `completed == shards`, so workers never observe a
+/// dangling closure.
+struct TaskState {
+    job: Option<ShardFn<'static>>,
+    next_shard: usize,
+    shards: usize,
+    completed: usize,
+    panicked: bool,
+}
+
+struct Shared {
+    state: Mutex<TaskState>,
+    done: Condvar,
+}
+
+/// Wake-up token delivered to parked workers.
+enum Wake {
+    Work,
+    Shutdown,
+}
+
+/// A long-lived pool of `threads - 1` workers plus the submitting
+/// thread itself.
+pub struct ThreadPool {
+    shared: std::sync::Arc<Shared>,
+    wake_tx: Sender<Wake>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+    /// Serialises parallel sections: a second thread arriving while one
+    /// is in flight falls back to inline serial execution instead of
+    /// queueing (handler threads already provide request parallelism).
+    submit: Mutex<()>,
+}
+
+impl ThreadPool {
+    /// Builds a pool that executes shard jobs on `threads` threads in
+    /// total (the submitter counts as one; `threads <= 1` spawns no
+    /// workers and runs everything inline).
+    pub fn new(threads: usize) -> ThreadPool {
+        let threads = threads.clamp(1, MAX_THREADS);
+        let shared = std::sync::Arc::new(Shared {
+            state: Mutex::new(TaskState {
+                job: None,
+                next_shard: 0,
+                shards: 0,
+                completed: 0,
+                panicked: false,
+            }),
+            done: Condvar::new(),
+        });
+        // Unbounded so dispatch never blocks on stale wake tokens; the
+        // queue stays bounded in practice (one token per worker per
+        // section, drained before the next section completes).
+        let (wake_tx, wake_rx) = unbounded::<Wake>();
+        let mut workers = Vec::new();
+        for i in 0..threads - 1 {
+            let shared = std::sync::Arc::clone(&shared);
+            let rx: Receiver<Wake> = wake_rx.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("etude-intraop-{i}"))
+                    .spawn(move || worker_loop(rx, shared))
+                    .expect("spawn intra-op worker"),
+            );
+        }
+        ThreadPool {
+            shared,
+            wake_tx,
+            workers,
+            threads,
+            submit: Mutex::new(()),
+        }
+    }
+
+    /// Total threads participating in parallel sections (workers + the
+    /// submitting thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `job(shard)` for every `shard in 0..shards`, distributing
+    /// shards over the pool; returns when all shards completed.
+    ///
+    /// The caller participates, so a one-thread pool is plain serial
+    /// execution. Nested or concurrent calls degrade to inline serial
+    /// execution rather than deadlocking. A panicking shard poisons the
+    /// section: remaining shards still run (results are never observed),
+    /// and the panic is re-raised on the calling thread.
+    pub fn run_shards(&self, shards: usize, job: &(dyn Fn(usize) + Sync)) {
+        if shards <= 1 || self.threads <= 1 {
+            for s in 0..shards {
+                job(s);
+            }
+            return;
+        }
+        let Ok(_submit) = self.submit.try_lock() else {
+            // Another parallel section is in flight (or this is a nested
+            // call from inside one): run inline.
+            for s in 0..shards {
+                job(s);
+            }
+            return;
+        };
+
+        // Erase the borrow lifetime so the shared slot can hold it. The
+        // wait loop below keeps the referent alive until every shard is
+        // done.
+        let job_static: ShardFn<'static> = unsafe { std::mem::transmute(job) };
+        {
+            let mut st = self.shared.state.lock().expect("pool state");
+            st.job = Some(job_static);
+            st.next_shard = 0;
+            st.shards = shards;
+            st.completed = 0;
+            st.panicked = false;
+        }
+        let wakes = (self.threads - 1).min(shards - 1);
+        for _ in 0..wakes {
+            let _ = self.wake_tx.send(Wake::Work);
+        }
+
+        run_claimed_shards(&self.shared);
+
+        let mut st = self.shared.state.lock().expect("pool state");
+        while st.completed < st.shards {
+            st = self.shared.done.wait(st).expect("pool state");
+        }
+        st.job = None;
+        let panicked = st.panicked;
+        drop(st);
+        if panicked {
+            panic!("a shard job panicked inside pool::run_shards");
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        for _ in 0..self.workers.len() {
+            let _ = self.wake_tx.send(Wake::Shutdown);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Claims and executes shards of the current section until none remain.
+fn run_claimed_shards(shared: &Shared) {
+    loop {
+        let (job, shard) = {
+            let mut st = shared.state.lock().expect("pool state");
+            let Some(job) = st.job else { return };
+            if st.next_shard >= st.shards {
+                return;
+            }
+            let shard = st.next_shard;
+            st.next_shard += 1;
+            (job, shard)
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| job(shard)));
+        let mut st = shared.state.lock().expect("pool state");
+        st.completed += 1;
+        if result.is_err() {
+            st.panicked = true;
+        }
+        if st.completed >= st.shards {
+            shared.done.notify_all();
+        }
+    }
+}
+
+fn worker_loop(rx: Receiver<Wake>, shared: std::sync::Arc<Shared>) {
+    loop {
+        match rx.recv() {
+            Ok(Wake::Work) => run_claimed_shards(&shared),
+            Ok(Wake::Shutdown) | Err(_) => return,
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Process-wide pool.
+// ----------------------------------------------------------------------
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+/// Requests a pool size before first use (e.g. from
+/// `ExecOptions::intra_op_threads`). `ETUDE_THREADS` still wins.
+/// Returns the size the global pool will have (or already has — the
+/// pool is built once and never resized).
+pub fn configure_threads(threads: usize) -> usize {
+    CONFIGURED.store(threads.clamp(1, MAX_THREADS), Ordering::SeqCst);
+    match GLOBAL.get() {
+        Some(pool) => pool.threads(),
+        None => resolve_threads(),
+    }
+}
+
+fn resolve_threads() -> usize {
+    if let Ok(v) = std::env::var("ETUDE_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n.min(MAX_THREADS);
+            }
+        }
+    }
+    let configured = CONFIGURED.load(Ordering::SeqCst);
+    if configured >= 1 {
+        return configured;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_THREADS)
+}
+
+/// The process-wide pool, created on first use.
+pub fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| ThreadPool::new(resolve_threads()))
+}
+
+/// Threads the global pool (would) run with, without forcing creation.
+pub fn current_threads() -> usize {
+    match GLOBAL.get() {
+        Some(pool) => pool.threads(),
+        None => resolve_threads(),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Sharding helpers.
+// ----------------------------------------------------------------------
+
+/// Splits `0..n` into `parts` near-equal contiguous ranges (the first
+/// `n % parts` ranges are one longer). Empty ranges never occur for
+/// `parts <= n`.
+pub fn shard_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Shard count for an op over `n` rows/elements on `threads` threads:
+/// `1` (serial) below [`PAR_THRESHOLD`], otherwise at most one shard per
+/// thread with at least [`MIN_SHARD`] rows each.
+pub fn shard_count(n: usize, threads: usize) -> usize {
+    if n < PAR_THRESHOLD || threads <= 1 {
+        1
+    } else {
+        threads.min(n / MIN_SHARD).max(1)
+    }
+}
+
+/// Raw base pointer that may cross threads; soundness comes from the
+/// disjointness of the per-shard ranges derived from it. The pointer is
+/// only reachable through [`SendPtr::get`], so closures capture the
+/// `Sync` wrapper rather than the raw pointer field.
+pub(crate) struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    pub(crate) fn new(ptr: *mut T) -> SendPtr<T> {
+        SendPtr(ptr)
+    }
+
+    pub(crate) fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Fills `out` (logically `rows x width`, row-major) by running
+/// `fill(row_range, chunk)` over row shards of the global pool, where
+/// `chunk` is exactly the rows of `row_range`. Runs serially (one call
+/// covering everything) when `rows` is under [`PAR_THRESHOLD`] or the
+/// pool has one thread.
+pub fn parallel_rows<F>(out: &mut [f32], rows: usize, width: usize, fill: F)
+where
+    F: Fn(Range<usize>, &mut [f32]) + Sync,
+{
+    assert_eq!(out.len(), rows * width, "output/shape mismatch");
+    let pool = global();
+    let parts = shard_count(rows, pool.threads());
+    if parts <= 1 {
+        fill(0..rows, out);
+        return;
+    }
+    let ranges = shard_ranges(rows, parts);
+    let base = SendPtr::new(out.as_mut_ptr());
+    pool.run_shards(parts, &|shard| {
+        let range = ranges[shard].clone();
+        // Disjoint row ranges make the aliasing sound.
+        let chunk = unsafe {
+            std::slice::from_raw_parts_mut(base.get().add(range.start * width), range.len() * width)
+        };
+        fill(range, chunk);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let hits = AtomicU32::new(0);
+        pool.run_shards(5, &|_s| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn all_shards_run_exactly_once() {
+        let pool = ThreadPool::new(4);
+        for shards in [1usize, 2, 3, 7, 16, 33] {
+            let hits: Vec<AtomicU32> = (0..shards).map(|_| AtomicU32::new(0)).collect();
+            pool.run_shards(shards, &|s| {
+                hits[s].fetch_add(1, Ordering::SeqCst);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_sections() {
+        let pool = ThreadPool::new(3);
+        let total = AtomicU32::new(0);
+        for _ in 0..200 {
+            pool.run_shards(6, &|_| {
+                total.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 1200);
+    }
+
+    #[test]
+    fn borrowed_state_is_visible_and_mutable_via_shards() {
+        let pool = ThreadPool::new(4);
+        let mut out = vec![0.0f32; 100];
+        let ranges = shard_ranges(out.len(), 4);
+        {
+            let base = SendPtr::new(out.as_mut_ptr());
+            let ranges = &ranges;
+            pool.run_shards(4, &|s| {
+                let r = ranges[s].clone();
+                let chunk =
+                    unsafe { std::slice::from_raw_parts_mut(base.get().add(r.start), r.len()) };
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = (r.start + i) as f32;
+                }
+            });
+        }
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as f32);
+        }
+    }
+
+    #[test]
+    fn shard_panics_propagate_to_the_caller() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_shards(4, &|s| {
+                if s == 2 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool survives a panicked section.
+        let ok = AtomicU32::new(0);
+        pool.run_shards(3, &|_| {
+            ok.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ok.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn shard_ranges_cover_without_overlap() {
+        for n in [0usize, 1, 7, 100, 1001] {
+            for parts in [1usize, 2, 3, 8] {
+                let ranges = shard_ranges(n, parts);
+                let mut covered = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, covered);
+                    covered = r.end;
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_keeps_small_inputs_serial() {
+        assert_eq!(shard_count(10_000, 8), 1);
+        assert_eq!(shard_count(PAR_THRESHOLD, 8), 4);
+        assert_eq!(shard_count(1_000_000, 8), 8);
+        assert_eq!(shard_count(1_000_000, 1), 1);
+    }
+
+    #[test]
+    fn nested_sections_run_inline_without_deadlock() {
+        let pool = ThreadPool::new(2);
+        let inner_hits = AtomicU32::new(0);
+        pool.run_shards(2, &|_outer| {
+            pool.run_shards(3, &|_inner| {
+                inner_hits.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(inner_hits.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn parallel_rows_fills_every_row() {
+        let rows = PAR_THRESHOLD + 100;
+        let mut out = vec![0.0f32; rows * 2];
+        parallel_rows(&mut out, rows, 2, |range, chunk| {
+            for (i, row) in chunk.chunks_exact_mut(2).enumerate() {
+                let r = (range.start + i) as f32;
+                row[0] = r;
+                row[1] = -r;
+            }
+        });
+        for (i, row) in out.chunks_exact(2).enumerate() {
+            assert_eq!(row[0], i as f32);
+            assert_eq!(row[1], -(i as f32));
+        }
+    }
+}

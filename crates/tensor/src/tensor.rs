@@ -238,7 +238,11 @@ impl Tensor {
 
     /// Interprets the buffer as bit-cast item ids (see [`crate::f32_to_id`]).
     pub fn to_ids(&self) -> Result<Vec<u32>, TensorError> {
-        Ok(self.as_slice()?.iter().map(|&x| crate::f32_to_id(x)).collect())
+        Ok(self
+            .as_slice()?
+            .iter()
+            .map(|&x| crate::f32_to_id(x))
+            .collect())
     }
 
     /// Maximum absolute difference to another tensor of the same shape.
@@ -288,10 +292,7 @@ mod tests {
         let p = Tensor::phantom(&[3, 3]);
         assert!(p.is_phantom());
         assert_eq!(p.len(), 9);
-        assert!(matches!(
-            p.as_slice(),
-            Err(TensorError::PhantomData { .. })
-        ));
+        assert!(matches!(p.as_slice(), Err(TensorError::PhantomData { .. })));
     }
 
     #[test]

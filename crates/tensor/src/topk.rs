@@ -3,7 +3,19 @@
 //! Every SBR model ends inference with a maximum-inner-product search: the
 //! session representation is scored against all `C` catalog items and the
 //! `k` best are returned. This module provides the `O(C log k)` bounded
-//! min-heap selection used by the [`crate::exec::Exec::topk`] operation.
+//! min-heap selection used by the [`crate::exec::Exec::topk`] operation,
+//! in three flavours sharing one selection core:
+//!
+//! * [`topk`] — serial reference implementation,
+//! * [`topk_sharded`] — per-shard heaps merged with the same
+//!   deterministic tie-break, **bit-identical** to [`topk`] for every
+//!   shard count (the union of per-shard top-k is a superset of the
+//!   global top-k, and the merge comparator equals the serial one),
+//! * [`topk_into`] — allocation-free variant writing into reusable
+//!   buffers ([`TopkScratch`]), the steady-state serving path.
+//!
+//! [`topk_auto`] picks serial or sharded based on input size and the
+//! global [`crate::pool`] width.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -35,20 +47,42 @@ impl PartialOrd for Candidate {
     }
 }
 
-/// Returns the indices and scores of the `k` largest entries of `scores`,
-/// in descending score order. Ties are broken towards the lower index.
-pub fn topk(scores: &[f32], k: usize) -> (Vec<u32>, Vec<f32>) {
+/// Never selected: worst possible score with the largest index, used to
+/// pad per-shard candidate slots in the sharded merge.
+const SENTINEL: Candidate = Candidate {
+    score: f32::NEG_INFINITY,
+    index: u32::MAX,
+};
+
+/// Descending result order: score desc, index asc. Total because NaN
+/// scores are mapped to `NEG_INFINITY` at selection time.
+#[inline]
+fn result_order(a: &Candidate, b: &Candidate) -> Ordering {
+    b.score
+        .partial_cmp(&a.score)
+        .unwrap_or(Ordering::Equal)
+        .then_with(|| a.index.cmp(&b.index))
+}
+
+/// Core bounded-heap selection of the `k` best entries of `scores`,
+/// reported with indices offset by `base`. Results land **unsorted** in
+/// `buf` (cleared first); `buf`'s capacity is reused, so a warm buffer
+/// makes this allocation-free.
+fn select_candidates_into(scores: &[f32], base: u32, k: usize, buf: &mut Vec<Candidate>) {
+    buf.clear();
     let k = k.min(scores.len());
     if k == 0 {
-        return (Vec::new(), Vec::new());
+        return;
     }
-    let mut heap: BinaryHeap<Candidate> = BinaryHeap::with_capacity(k + 1);
+    buf.reserve(k + 1);
+    // Moving the buffer through BinaryHeap keeps its allocation.
+    let mut heap = BinaryHeap::from(std::mem::take(buf));
     for (i, &s) in scores.iter().enumerate() {
         // NaN scores sort below everything, keeping heap order total.
         let s = if s.is_nan() { f32::NEG_INFINITY } else { s };
         let c = Candidate {
             score: s,
-            index: i as u32,
+            index: base + i as u32,
         };
         if heap.len() < k {
             heap.push(c);
@@ -62,16 +96,95 @@ pub fn topk(scores: &[f32], k: usize) -> (Vec<u32>, Vec<f32>) {
             }
         }
     }
-    let mut items: Vec<Candidate> = heap.into_vec();
-    items.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| a.index.cmp(&b.index))
-    });
+    *buf = heap.into_vec();
+}
+
+fn unzip_candidates(items: &[Candidate]) -> (Vec<u32>, Vec<f32>) {
     let indices = items.iter().map(|c| c.index).collect();
     let scores = items.iter().map(|c| c.score).collect();
     (indices, scores)
+}
+
+/// Returns the indices and scores of the `k` largest entries of `scores`,
+/// in descending score order. Ties are broken towards the lower index.
+pub fn topk(scores: &[f32], k: usize) -> (Vec<u32>, Vec<f32>) {
+    let mut items = Vec::new();
+    select_candidates_into(scores, 0, k, &mut items);
+    items.sort_unstable_by(result_order);
+    unzip_candidates(&items)
+}
+
+/// Sharded [`topk`]: splits `scores` into `shards` contiguous ranges,
+/// selects each range's `k` best on the global [`crate::pool`], then
+/// merges with the serial comparator. Bit-identical to [`topk`] for any
+/// `shards >= 1`.
+pub fn topk_sharded(scores: &[f32], k: usize, shards: usize) -> (Vec<u32>, Vec<f32>) {
+    let k = k.min(scores.len());
+    if k == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let shards = shards.clamp(1, scores.len());
+    if shards == 1 {
+        return topk(scores, k);
+    }
+    let mut partials = vec![SENTINEL; shards * k];
+    fill_partials(scores, k, shards, &mut partials);
+    partials.sort_unstable_by(result_order);
+    partials.truncate(k);
+    unzip_candidates(&partials)
+}
+
+/// Runs per-shard selection into `partials` (length `shards * k`,
+/// sentinel-padded) on the global pool.
+fn fill_partials(scores: &[f32], k: usize, shards: usize, partials: &mut [Candidate]) {
+    debug_assert_eq!(partials.len(), shards * k);
+    let ranges = crate::pool::shard_ranges(scores.len(), shards);
+    let base = crate::pool::SendPtr::new(partials.as_mut_ptr());
+    crate::pool::global().run_shards(shards, &|shard| {
+        let range = ranges[shard].clone();
+        // Each shard owns partials[shard*k .. (shard+1)*k]: disjoint.
+        let slot = unsafe { std::slice::from_raw_parts_mut(base.get().add(shard * k), k) };
+        let mut found = Vec::with_capacity(k + 1);
+        select_candidates_into(&scores[range.clone()], range.start as u32, k, &mut found);
+        slot[..found.len()].copy_from_slice(&found);
+        slot[found.len()..].fill(SENTINEL);
+    });
+}
+
+/// Serial-or-sharded [`topk`] based on input size and pool width; the
+/// decision thresholds live in [`crate::pool::shard_count`].
+pub fn topk_auto(scores: &[f32], k: usize) -> (Vec<u32>, Vec<f32>) {
+    let shards = crate::pool::shard_count(scores.len(), crate::pool::current_threads());
+    if shards <= 1 {
+        topk(scores, k)
+    } else {
+        topk_sharded(scores, k, shards)
+    }
+}
+
+/// Reusable selection state for [`topk_into`]: holds the candidate heap
+/// buffer so steady-state selection performs no heap allocation.
+#[derive(Debug, Default)]
+pub struct TopkScratch {
+    candidates: Vec<Candidate>,
+}
+
+/// Allocation-free [`topk`]: selects serially using `scratch`'s reused
+/// buffers and writes the results into `out_indices` / `out_scores`
+/// (cleared first). Output is bit-identical to [`topk`].
+pub fn topk_into(
+    scores: &[f32],
+    k: usize,
+    scratch: &mut TopkScratch,
+    out_indices: &mut Vec<u32>,
+    out_scores: &mut Vec<f32>,
+) {
+    out_indices.clear();
+    out_scores.clear();
+    select_candidates_into(scores, 0, k, &mut scratch.candidates);
+    scratch.candidates.sort_unstable_by(result_order);
+    out_indices.extend(scratch.candidates.iter().map(|c| c.index));
+    out_scores.extend(scratch.candidates.iter().map(|c| c.score));
 }
 
 #[cfg(test)]
@@ -137,5 +250,59 @@ mod tests {
         let (idx, _) = topk(&scores, 2);
         assert_eq!(idx.len(), 2);
         assert!(idx.contains(&2));
+    }
+
+    #[test]
+    fn sharded_matches_serial_for_every_shard_count() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let n = rng.gen_range(1..500);
+            let k = rng.gen_range(1..30);
+            let scores: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let serial = topk(&scores, k);
+            for shards in 1..=8 {
+                assert_eq!(
+                    topk_sharded(&scores, k, shards),
+                    serial,
+                    "n={n} k={k} shards={shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_handles_ties_and_nan_identically() {
+        let mut scores = vec![1.0f32; 100];
+        scores[37] = f32::NAN;
+        scores[61] = 2.0;
+        for shards in 1..=6 {
+            assert_eq!(topk_sharded(&scores, 5, shards), topk(&scores, 5));
+        }
+    }
+
+    #[test]
+    fn into_variant_matches_and_reuses_buffers() {
+        let scores: Vec<f32> = (0..300).map(|i| ((i * 37) % 101) as f32).collect();
+        let mut scratch = TopkScratch::default();
+        let mut idx = Vec::new();
+        let mut val = Vec::new();
+        for _ in 0..3 {
+            topk_into(&scores, 21, &mut scratch, &mut idx, &mut val);
+            let (eidx, eval) = topk(&scores, 21);
+            assert_eq!(idx, eidx);
+            assert_eq!(val, eval);
+        }
+    }
+
+    #[test]
+    fn auto_routes_large_inputs_through_shards() {
+        // Above the parallel threshold the auto path must still be
+        // bit-identical to the serial reference.
+        let n = crate::pool::PAR_THRESHOLD * 2;
+        let scores: Vec<f32> = (0..n)
+            .map(|i| ((i * 2_654_435_761) % 1_000_003) as f32)
+            .collect();
+        assert_eq!(topk_auto(&scores, 21), topk(&scores, 21));
     }
 }

@@ -37,7 +37,9 @@ fn random_program(exec: &mut Exec, input: Tensor, seed: u64, steps: usize) -> TR
         let choice = rng.gen_range(0..8);
         let y = match choice {
             0 => {
-                let w = exec.param(&weights[rng.gen_range(0..weights.len())]).unwrap();
+                let w = exec
+                    .param(&weights[rng.gen_range(0..weights.len())])
+                    .unwrap();
                 exec.matmul(x, w).unwrap()
             }
             1 => {

@@ -25,7 +25,11 @@ impl PowerLaw {
     pub fn new(alpha: f64, min: f64, max: f64) -> PowerLaw {
         let min = min.max(1.0);
         let max = max.max(min + 1.0);
-        let alpha = if (alpha - 1.0).abs() < 1e-9 { 1.000001 } else { alpha };
+        let alpha = if (alpha - 1.0).abs() < 1e-9 {
+            1.000001
+        } else {
+            alpha
+        };
         PowerLaw { alpha, min, max }
     }
 
@@ -46,8 +50,7 @@ impl PowerLaw {
     /// [`fit_exponent`] — which assumes each integer represents the bin
     /// `[x - 0.5, x + 0.5)` — nearly unbiased.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
-        (self.sample_f64(rng).round() as u64)
-            .clamp(self.min.ceil() as u64, self.max.floor() as u64)
+        (self.sample_f64(rng).round() as u64).clamp(self.min.ceil() as u64, self.max.floor() as u64)
     }
 }
 
@@ -111,10 +114,7 @@ mod tests {
             let mut rng = SmallRng::seed_from_u64(3);
             let samples: Vec<u64> = (0..200_000).map(|_| pl.sample(&mut rng)).collect();
             let est = fit_exponent(&samples, 5).expect("enough samples");
-            assert!(
-                (est - alpha).abs() < 0.2,
-                "alpha {alpha}: estimated {est}"
-            );
+            assert!((est - alpha).abs() < 0.2, "alpha {alpha}: estimated {est}");
         }
     }
 

@@ -63,7 +63,9 @@ impl SessionLog {
 
     /// Session length histogram (index = length, value = count).
     pub fn session_lengths(&self) -> Vec<u64> {
-        self.sessions().map(|(_, items)| items.len() as u64).collect()
+        self.sessions()
+            .map(|(_, items)| items.len() as u64)
+            .collect()
     }
 
     /// Per-item click counts over a catalog of size `c`.
@@ -131,9 +133,21 @@ mod tests {
 
     fn log() -> SessionLog {
         SessionLog::new(vec![
-            Click { session: 1, item: 5, t: 1 },
-            Click { session: 1, item: 6, t: 2 },
-            Click { session: 2, item: 5, t: 3 },
+            Click {
+                session: 1,
+                item: 5,
+                t: 1,
+            },
+            Click {
+                session: 1,
+                item: 6,
+                t: 2,
+            },
+            Click {
+                session: 2,
+                item: 5,
+                t: 3,
+            },
         ])
     }
 
@@ -161,16 +175,36 @@ mod tests {
 
     #[test]
     fn invariants_catch_violations() {
-        let bad_item = SessionLog::new(vec![Click { session: 1, item: 99, t: 1 }]);
+        let bad_item = SessionLog::new(vec![Click {
+            session: 1,
+            item: 99,
+            t: 1,
+        }]);
         assert!(bad_item.check_invariants(10).is_err());
         let bad_t = SessionLog::new(vec![
-            Click { session: 1, item: 1, t: 5 },
-            Click { session: 1, item: 1, t: 5 },
+            Click {
+                session: 1,
+                item: 1,
+                t: 5,
+            },
+            Click {
+                session: 1,
+                item: 1,
+                t: 5,
+            },
         ]);
         assert!(bad_t.check_invariants(10).is_err());
         let gap = SessionLog::new(vec![
-            Click { session: 1, item: 1, t: 1 },
-            Click { session: 3, item: 1, t: 2 },
+            Click {
+                session: 1,
+                item: 1,
+                t: 1,
+            },
+            Click {
+                session: 3,
+                item: 1,
+                t: 2,
+            },
         ]);
         assert!(gap.check_invariants(10).is_err());
     }

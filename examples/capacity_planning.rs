@@ -21,10 +21,18 @@ use std::time::Duration;
 fn main() {
     let model = ModelKind::SasRec;
     let ramp = Duration::from_secs(30);
-    println!("capacity planning for {} across the five use cases\n", model.name());
+    println!(
+        "capacity planning for {} across the five use cases\n",
+        model.name()
+    );
 
     let mut table = Table::new([
-        "scenario", "catalog", "target_rps", "cheapest_option", "p90", "cost/month",
+        "scenario",
+        "catalog",
+        "target_rps",
+        "cheapest_option",
+        "p90",
+        "cost/month",
     ]);
     for scenario in Scenario::ALL {
         let verdicts = scan_deployments(&scenario, model, ramp, true);

@@ -23,7 +23,9 @@ use std::time::Duration;
 fn main() {
     // Deploy: a STAMP model over a 20,000-item catalog, JIT-compiled at
     // deployment time, served by four worker threads.
-    let cfg = ModelConfig::new(20_000).with_max_session_len(30).with_seed(7);
+    let cfg = ModelConfig::new(20_000)
+        .with_max_session_len(30)
+        .with_seed(7);
     let model: Arc<dyn SbrModel> = Arc::from(ModelKind::Stamp.build(&cfg));
     let handler = model_routes(model, Device::cpu(), true);
     let server = start(ServerConfig { workers: 4 }, handler).expect("server starts");
@@ -47,11 +49,17 @@ fn main() {
         backpressure: true,
         seed: 3,
     };
-    println!("ramping to {} req/s over {:?}...\n", config.target_rps, config.ramp);
+    println!(
+        "ramping to {} req/s over {:?}...\n",
+        config.target_rps, config.ramp
+    );
     let result = RealLoadGen::run(server.addr(), &log, config, 8).expect("load test");
 
     let summary = result.summary();
-    println!("sent {} requests: {} ok, {} errors", result.sent, result.ok, result.errors);
+    println!(
+        "sent {} requests: {} ok, {} errors",
+        result.sent, result.ok, result.errors
+    );
     println!("  p50  {}", fmt_duration(summary.p50));
     println!("  p90  {}", fmt_duration(summary.p90));
     println!("  p99  {}", fmt_duration(summary.p99));

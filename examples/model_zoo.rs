@@ -15,7 +15,9 @@ use etude::models::{traits, ModelConfig, ModelKind};
 use etude::tensor::{Device, ExecMode, JitError};
 
 fn main() {
-    let cfg = ModelConfig::new(1_000).with_max_session_len(12).with_seed(2024);
+    let cfg = ModelConfig::new(1_000)
+        .with_max_session_len(12)
+        .with_seed(2024);
     let session = [17u32, 4, 256, 4, 99];
     println!(
         "catalog: {} items, embedding dim {} (the paper's C^(1/4) heuristic)\n",
@@ -23,12 +25,17 @@ fn main() {
     );
 
     let mut table = Table::new([
-        "model", "family", "top-3 items", "ops/forward", "GFLOP-equiv", "JIT",
+        "model",
+        "family",
+        "top-3 items",
+        "ops/forward",
+        "GFLOP-equiv",
+        "JIT",
     ]);
     for kind in ModelKind::ALL {
         let model = kind.build(&cfg);
-        let rec = traits::recommend_eager(model.as_ref(), &Device::cpu(), &session)
-            .expect("inference");
+        let rec =
+            traits::recommend_eager(model.as_ref(), &Device::cpu(), &session).expect("inference");
         let cost = traits::forward_cost(model.as_ref(), &Device::cpu(), ExecMode::Real, 5)
             .expect("cost probe");
         let jit = match traits::compile(model.as_ref(), Default::default()) {

@@ -9,8 +9,8 @@
 //! under a 50 ms p90 SLO — and on what hardware. This is the end-to-end
 //! ETUDE workflow: declare the experiment, run it, read the verdict.
 
-use etude::core::{run_experiment, ExperimentSpec};
 use etude::cluster::InstanceType;
+use etude::core::{run_experiment, ExperimentSpec};
 use etude::metrics::report::{fmt_cost, fmt_duration};
 use etude::models::ModelKind;
 use std::time::Duration;
@@ -39,7 +39,11 @@ fn main() {
             fmt_duration(result.p90()),
             result.throughput(),
             fmt_cost(result.monthly_cost),
-            if result.feasible { "FEASIBLE" } else { "infeasible" },
+            if result.feasible {
+                "FEASIBLE"
+            } else {
+                "infeasible"
+            },
         );
     }
 

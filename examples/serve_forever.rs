@@ -23,7 +23,9 @@ fn main() {
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(10_000);
-    let cfg = ModelConfig::new(catalog).with_max_session_len(30).with_seed(1);
+    let cfg = ModelConfig::new(catalog)
+        .with_max_session_len(30)
+        .with_seed(1);
     let model: Arc<dyn SbrModel> = Arc::from(ModelKind::Core.build(&cfg));
     let handler = model_routes(model, Device::cpu(), true);
     let server = start(ServerConfig { workers: 4 }, handler).expect("server starts");

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full verification gate: build, tests, formatting, lints.
+# Run from anywhere; operates on the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
+else
+    echo "==> cargo fmt unavailable, skipping"
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "==> cargo clippy unavailable, skipping"
+fi
+
+echo "verify: OK"

@@ -1,0 +1,358 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API this workspace's benches
+//! use — `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, `Throughput`, `BenchmarkId`,
+//! `black_box` and the `criterion_group!`/`criterion_main!` macros — as
+//! a compact wall-clock harness: short warm-up to size iteration
+//! batches, then a fixed number of timed samples reported as
+//! `[min median max]`. Statistical machinery (outlier analysis, HTML
+//! reports) is intentionally absent; timings are real.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group, rendered as `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Work-per-iteration hint used to report a rate next to the time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Measures one benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until ~10 ms have elapsed to estimate the
+        // per-iteration cost (at least one run).
+        let warmup_budget = Duration::from_millis(10);
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        loop {
+            black_box(routine());
+            warmup_iters += 1;
+            if warmup_start.elapsed() >= warmup_budget {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+
+        // Size each sample so all samples fit the measurement budget.
+        let samples = self.sample_size.max(2);
+        let budget = self.measurement_time.as_secs_f64() / samples as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        self.samples.clear();
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed / iters_per_sample as u32);
+        }
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{label:<50} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let min = sorted[0];
+        let med = sorted[sorted.len() / 2];
+        let max = sorted[sorted.len() - 1];
+        let mut line = format!(
+            "{label:<50} time: [{} {} {}]",
+            fmt_duration(min),
+            fmt_duration(med),
+            fmt_duration(max)
+        );
+        if let Some(t) = throughput {
+            let secs = med.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  thrpt: {:.3} Melem/s", n as f64 / secs / 1e6));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(
+                        "  thrpt: {:.3} MiB/s",
+                        n as f64 / secs / (1 << 20) as f64
+                    ));
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Benchmark registry entry point, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // cargo bench passes its own flags (`--bench`, the bench name);
+        // the first free-standing argument is a substring filter, like
+        // real criterion.
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                filter = Some(arg);
+                break;
+            }
+        }
+        Criterion {
+            filter,
+            default_sample_size: 10,
+            default_measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (already done in `default`).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Criterion {
+        let sample_size = self.default_sample_size;
+        let measurement_time = self.default_measurement_time;
+        let label = id.into().id;
+        self.run_one(&label, sample_size, measurement_time, None, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &self,
+        label: &str,
+        sample_size: usize,
+        measurement_time: Duration,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size,
+            measurement_time,
+        };
+        f(&mut bencher);
+        bencher.report(label, throughput);
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = Some(t);
+        self
+    }
+
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run_one(
+            &label,
+            self.sample_size
+                .unwrap_or(self.criterion.default_sample_size),
+            self.measurement_time
+                .unwrap_or(self.criterion.default_measurement_time),
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (reports are printed as benchmarks run).
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion {
+            filter: None,
+            default_sample_size: 3,
+            default_measurement_time: Duration::from_millis(5),
+        };
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion {
+            filter: Some("other".into()),
+            default_sample_size: 3,
+            default_measurement_time: Duration::from_millis(5),
+        };
+        let mut ran = false;
+        let mut group = c.benchmark_group("grp");
+        group.bench_function("this_one", |b| {
+            ran = true;
+            b.iter(|| black_box(1));
+        });
+        group.finish();
+        assert!(!ran);
+    }
+
+    #[test]
+    fn benchmark_ids_render_as_name_slash_param() {
+        assert_eq!(BenchmarkId::new("dot", 1024).id, "dot/1024");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+
+    #[test]
+    fn durations_format_with_sensible_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

@@ -1,0 +1,348 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the `channel` module the workspace uses: clonable MPMC
+//! [`channel::Sender`]/[`channel::Receiver`] pairs from
+//! [`channel::bounded`] and [`channel::unbounded`], with blocking,
+//! non-blocking and timed receives and disconnect semantics matching
+//! crossbeam (receives fail once all senders are gone *and* the queue is
+//! drained; sends fail once all receivers are gone).
+
+pub mod channel {
+    //! MPMC channels on a `Mutex<VecDeque>` + two `Condvar`s.
+
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] on a drained, closed channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty but senders remain.
+        Empty,
+        /// The channel is empty and every sender has been dropped.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the timeout.
+        Timeout,
+        /// The channel is empty and every sender has been dropped.
+        Disconnected,
+    }
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        /// `usize::MAX` for unbounded channels.
+        capacity: usize,
+        not_empty: Condvar,
+        not_full: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// The sending half of a channel. Clonable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel. Clonable.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates a channel holding at most `cap` queued messages.
+    ///
+    /// `bounded(0)` is treated as a capacity-1 channel rather than a
+    /// true rendezvous channel; the workspace only uses zero-capacity
+    /// channels as immediately disconnected placeholders.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(cap.max(1))
+    }
+
+    /// Creates a channel with no capacity limit.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(usize::MAX)
+    }
+
+    fn with_capacity<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            capacity,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            match self.queue.lock() {
+                Ok(g) => g,
+                Err(poison) => poison.into_inner(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while the channel is full. Fails only
+        /// when every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let shared = &*self.shared;
+            let mut queue = shared.lock();
+            loop {
+                if shared.receivers.load(Ordering::Acquire) == 0 {
+                    return Err(SendError(value));
+                }
+                if queue.len() < shared.capacity {
+                    queue.push_back(value);
+                    drop(queue);
+                    shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                queue = match shared.not_full.wait(queue) {
+                    Ok(g) => g,
+                    Err(poison) => poison.into_inner(),
+                };
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives a message, blocking until one arrives or every
+        /// sender is dropped and the queue is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let shared = &*self.shared;
+            let mut queue = shared.lock();
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    shared.not_full.notify_one();
+                    return Ok(value);
+                }
+                if shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                queue = match shared.not_empty.wait(queue) {
+                    Ok(g) => g,
+                    Err(poison) => poison.into_inner(),
+                };
+            }
+        }
+
+        /// Receives a message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let shared = &*self.shared;
+            let mut queue = shared.lock();
+            if let Some(value) = queue.pop_front() {
+                drop(queue);
+                shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if shared.senders.load(Ordering::Acquire) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Receives a message, giving up after `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let shared = &*self.shared;
+            let deadline = Instant::now() + timeout;
+            let mut queue = shared.lock();
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    shared.not_full.notify_one();
+                    return Ok(value);
+                }
+                if shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, result) = match shared.not_empty.wait_timeout(queue, remaining) {
+                    Ok(pair) => pair,
+                    Err(poison) => {
+                        let pair = poison.into_inner();
+                        (pair.0, pair.1)
+                    }
+                };
+                queue = guard;
+                if result.timed_out() && queue.is_empty() {
+                    if shared.senders.load(Ordering::Acquire) == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.lock().len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.shared.lock().is_empty()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.shared.senders.fetch_add(1, Ordering::AcqRel);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Wake receivers blocked on an empty queue so they see
+                // the disconnect.
+                let _guard = self.shared.lock();
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.shared.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Wake senders blocked on a full queue so they see the
+                // disconnect.
+                let _guard = self.shared.lock();
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn round_trips_in_order() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn recv_fails_after_all_senders_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            tx.send(9).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(9));
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn send_fails_after_all_receivers_drop() {
+            let (tx, rx) = bounded(4);
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+        }
+
+        #[test]
+        fn try_recv_distinguishes_empty_from_closed() {
+            let (tx, rx) = unbounded::<u32>();
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn recv_timeout_times_out() {
+            let (_tx, rx) = unbounded::<u32>();
+            let err = rx.recv_timeout(Duration::from_millis(10));
+            assert_eq!(err, Err(RecvTimeoutError::Timeout));
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_a_recv_frees_space() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let t = std::thread::spawn(move || tx.send(2).is_ok());
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            assert!(t.join().unwrap());
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn mpmc_delivery_covers_all_messages() {
+            let (tx, rx) = bounded(8);
+            let mut consumers = Vec::new();
+            for _ in 0..4 {
+                let rx = rx.clone();
+                consumers.push(std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                }));
+            }
+            drop(rx);
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let mut all: Vec<u32> = consumers
+                .into_iter()
+                .flat_map(|c| c.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..100).collect::<Vec<_>>());
+        }
+    }
+}

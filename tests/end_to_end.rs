@@ -22,7 +22,12 @@ fn small_spec(model: ModelKind, instance: InstanceType) -> ExperimentSpec {
 fn simulated_pipeline_runs_for_every_model() {
     for model in ModelKind::ALL {
         let result = run_experiment(&small_spec(model, InstanceType::CpuE2));
-        assert!(result.load.sent > 500, "{}: sent {}", model.name(), result.load.sent);
+        assert!(
+            result.load.sent > 500,
+            "{}: sent {}",
+            model.name(),
+            result.load.sent
+        );
         assert_eq!(result.load.errors, 0, "{}", model.name());
         assert!(result.feasible, "{}: p90 {:?}", model.name(), result.p90());
     }
@@ -63,7 +68,9 @@ fn eager_execution_is_never_cheaper_than_jit_end_to_end() {
 #[test]
 fn real_server_and_real_loadgen_serve_a_real_model() {
     // The non-simulated path: actual TCP, actual HTTP, actual inference.
-    let cfg = ModelConfig::new(5_000).with_max_session_len(16).with_seed(5);
+    let cfg = ModelConfig::new(5_000)
+        .with_max_session_len(16)
+        .with_seed(5);
     let model: Arc<dyn SbrModel> = Arc::from(ModelKind::Core.build(&cfg));
     let handler = model_routes(model, Device::cpu(), true);
     let server = start(ServerConfig { workers: 3 }, handler).unwrap();
@@ -108,7 +115,9 @@ fn real_and_simulated_servers_agree_on_feasibility_direction() {
     } else {
         (50_000usize, Duration::from_millis(50))
     };
-    let cfg = ModelConfig::new(catalog).with_max_session_len(16).with_seed(5);
+    let cfg = ModelConfig::new(catalog)
+        .with_max_session_len(16)
+        .with_seed(5);
     let model: Arc<dyn SbrModel> = Arc::from(ModelKind::Stamp.build(&cfg));
     let handler = model_routes(model, Device::cpu(), true);
     let server = start(ServerConfig { workers: 3 }, handler).unwrap();

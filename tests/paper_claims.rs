@@ -87,7 +87,12 @@ fn claim_gpu_order_of_magnitude_at_one_million() {
             &ExperimentSpec::new(model, 1_000_000, InstanceType::GpuT4),
             60,
         );
-        assert!(cpu.p90 > Duration::from_millis(45), "{}: {:?}", model.name(), cpu.p90);
+        assert!(
+            cpu.p90 > Duration::from_millis(45),
+            "{}: {:?}",
+            model.name(),
+            cpu.p90
+        );
         assert!(
             cpu.p90.as_secs_f64() > 10.0 * gpu.p90.as_secs_f64(),
             "{}: cpu {:?} gpu {:?}",
@@ -145,7 +150,11 @@ fn claim_t4_scale_out_beats_a100s_for_ecommerce() {
         .iter()
         .find(|v| v.instance == InstanceType::GpuA100 && v.feasible)
         .expect("A100 option feasible");
-    assert!(t4.replicas >= 5, "T4 needs several replicas, got {}", t4.replicas);
+    assert!(
+        t4.replicas >= 5,
+        "T4 needs several replicas, got {}",
+        t4.replicas
+    );
     assert_eq!(a100.replicas, 2);
     assert!(t4.monthly_cost < a100.monthly_cost);
 }
