@@ -2,8 +2,8 @@
 //! quantisation and approximate nearest-neighbor search.
 //!
 //! The paper closes by proposing "techniques to trade-off prediction
-//! quality with inference latency, such as model quantisation [36] or
-//! approximate nearest neighbor search [37]". This binary implements the
+//! quality with inference latency, such as model quantisation \[36\] or
+//! approximate nearest neighbor search \[37\]". This binary implements the
 //! study: the decode stage (the dominant cost) is swapped between the
 //! exhaustive f32 scan, an int8-quantised scan, and an IVF ANN index at
 //! several probe depths; recall@21 against the exact ranking is measured

@@ -121,7 +121,7 @@ impl HarnessOptions {
 
 /// Runs `f` `repetitions` times and returns the median result by `key`.
 ///
-/// The paper executes "each configuration three times and ignore[s] the
+/// The paper executes "each configuration three times and ignore\[s\] the
 /// runs with the lowest and highest latencies" — i.e. keeps the median.
 pub fn median_of<T, F, K>(repetitions: usize, mut f: F, key: K) -> T
 where

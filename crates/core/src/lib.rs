@@ -36,6 +36,6 @@ pub mod spec;
 pub use analysis::{cheapest_deployment, estimate_capacity, FeasibilityVerdict};
 pub use planner::{plan_deployment, DeploymentPlan};
 pub use results::ExperimentResult;
-pub use runner::{run_experiment, run_serial_microbenchmark, SerialResult};
+pub use runner::{run_experiment, run_serial_microbenchmark, SerialBreakdown, SerialResult};
 pub use scenario::Scenario;
 pub use spec::{ExecutionMode, ExperimentSpec};

@@ -86,6 +86,7 @@ mod tests {
             ok: rps * ticks,
             errors: 0,
             suppressed: 0,
+            server_stages: None,
         }
     }
 

@@ -54,6 +54,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
             ok: 0,
             errors: 0,
             suppressed: 0,
+            server_stages: None,
         };
         return ExperimentResult::evaluate(spec, monthly_cost, empty, 1);
     }
@@ -89,6 +90,27 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
     ExperimentResult::evaluate(spec, monthly_cost, load, hold_secs as usize)
 }
 
+/// Analytic decomposition of the serial path's mean latency — the
+/// simulated counterpart of a live server's `/stats` stage breakdown
+/// (the analytic model has no queueing by construction, so there is no
+/// queue component).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SerialBreakdown {
+    /// Model compute at batch size one.
+    pub inference: Duration,
+    /// Fixed handler overhead (parse, top-k envelope, serialization).
+    pub overhead: Duration,
+    /// Mean two-hop network time.
+    pub network: Duration,
+}
+
+impl SerialBreakdown {
+    /// Sum of all components; equals the mean end-to-end latency.
+    pub fn total(&self) -> Duration {
+        self.inference + self.overhead + self.network
+    }
+}
+
 /// Result of the serial micro-benchmark (Figure 3): one request at a
 /// time, no queueing, p90 of the end-to-end prediction latency.
 #[derive(Debug, Clone)]
@@ -109,6 +131,8 @@ pub struct SerialResult {
     /// device model is calibrated at one thread, so reports carry the
     /// pool width to keep runs comparable.
     pub cpu_threads: usize,
+    /// Where the mean latency goes (compute vs overhead vs network).
+    pub breakdown: SerialBreakdown,
 }
 
 /// Runs the Figure 3 micro-benchmark for one (model, device, execution)
@@ -120,14 +144,21 @@ pub fn run_serial_microbenchmark(spec: &ExperimentSpec, requests: usize) -> Seri
     let mut link = Link::cluster(spec.seed);
     let mut samples = Vec::with_capacity(requests);
     let per_request = profile.batch_latency(1) + profile.handler_overhead;
+    let mut rtt_total = Duration::ZERO;
     for _ in 0..requests.max(1) {
         // Serial requests see the raw service time plus two network hops;
         // there is no queueing by construction.
         let rtt = link.sample() + link.sample();
+        rtt_total += rtt;
         samples.push(per_request + rtt);
     }
     let p90 = percentile_duration(&samples, 0.9).unwrap_or_default();
     let mean = samples.iter().sum::<Duration>() / samples.len().max(1) as u32;
+    let breakdown = SerialBreakdown {
+        inference: profile.batch_latency(1),
+        overhead: profile.handler_overhead,
+        network: rtt_total / samples.len().max(1) as u32,
+    };
     SerialResult {
         model: spec.model.name().to_string(),
         device: device.name(),
@@ -136,6 +167,7 @@ pub fn run_serial_microbenchmark(spec: &ExperimentSpec, requests: usize) -> Seri
         mean,
         samples: samples.len(),
         cpu_threads: etude_tensor::pool::current_threads(),
+        breakdown,
     }
 }
 
@@ -217,6 +249,25 @@ mod tests {
             cpu.p90,
             gpu.p90
         );
+    }
+
+    #[test]
+    fn serial_breakdown_components_tile_the_mean() {
+        let result = run_serial_microbenchmark(
+            &ExperimentSpec::new(ModelKind::Core, 50_000, InstanceType::CpuE2),
+            40,
+        );
+        let sum = result.breakdown.total();
+        let gap = sum.abs_diff(result.mean);
+        // Duration division rounds to nanoseconds twice (mean and mean
+        // rtt), so allow a hair of slack.
+        assert!(
+            gap <= Duration::from_nanos(2),
+            "sum {sum:?} mean {:?}",
+            result.mean
+        );
+        assert!(result.breakdown.inference > Duration::ZERO);
+        assert!(result.breakdown.network > Duration::ZERO);
     }
 
     #[test]

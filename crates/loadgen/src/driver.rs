@@ -164,6 +164,11 @@ impl RealLoadGen {
             record_outcome(&state, &outcome, &mut replayer, &mut ready);
         }
 
+        // Pull the server's own stage breakdown, if it exposes one. Any
+        // failure (no /stats route, connection refused, malformed body)
+        // degrades to `None` — scraping must never fail the run itself.
+        let server_stages = scrape_server_stats(addr);
+
         let state = Arc::try_unwrap(state).unwrap_or_else(|_| panic!("threads joined"));
         Ok(LoadTestResult {
             series: state.series.into_inner(),
@@ -171,8 +176,19 @@ impl RealLoadGen {
             ok: state.ok.load(Ordering::Relaxed),
             errors: state.errors.load(Ordering::Relaxed),
             suppressed,
+            server_stages,
         })
     }
+}
+
+/// Fetches and parses the server's `/stats` JSON document.
+fn scrape_server_stats(addr: SocketAddr) -> Option<etude_obs::StatsSnapshot> {
+    let mut client = HttpClient::connect_with_timeout(addr, Duration::from_secs(2)).ok()?;
+    let resp = client.request(&Request::get("/stats")).ok()?;
+    if resp.status != 200 {
+        return None;
+    }
+    etude_obs::parse_stats_json(std::str::from_utf8(&resp.body).ok()?)
 }
 
 fn drain_outcomes(
@@ -259,6 +275,61 @@ mod tests {
             "{:?}",
             summary.p90
         );
+        // The echo handler has no /stats route, so no server breakdown.
+        assert!(result.server_stages.is_none());
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_stage_breakdown_is_scraped_from_observed_servers() {
+        use etude_models::{ModelConfig, ModelKind, SbrModel};
+        use etude_serve::rustserver::model_routes;
+        use etude_tensor::Device;
+
+        let cfg = ModelConfig::new(200).with_max_session_len(8).with_seed(3);
+        let model: StdArc<dyn SbrModel> = StdArc::from(ModelKind::Core.build(&cfg));
+        let handler = model_routes(model, Device::cpu(), true);
+        let server = start(ServerConfig { workers: 2 }, handler).unwrap();
+        let log = SyntheticWorkload::new(WorkloadConfig {
+            catalog_size: 200,
+            alpha_length: 2.0,
+            alpha_clicks: 1.8,
+            max_session_len: 8,
+            seed: 2,
+        })
+        .generate(500);
+        let result = RealLoadGen::run(
+            server.addr(),
+            &log,
+            LoadConfig {
+                target_rps: 50,
+                ramp: Duration::from_secs(1),
+                duration: Duration::from_secs(2),
+                backpressure: true,
+                seed: 2,
+            },
+            2,
+        )
+        .unwrap();
+        assert!(result.ok > 10, "ok {}", result.ok);
+        let stages = result
+            .server_stages
+            .as_ref()
+            .expect("observed server exposes /stats");
+        // Every 200 the client saw left a total span server-side; a
+        // client-side timeout could leave a span without an ok, so the
+        // bounds are [ok, sent] rather than exact.
+        assert!(
+            stages.requests >= result.ok && stages.requests <= result.sent,
+            "server saw {} requests, client ok={} sent={}",
+            stages.requests,
+            result.ok,
+            result.sent
+        );
+        for name in ["parse", "inference", "topk", "serialize", "total"] {
+            let stage = stages.stage(name).unwrap_or_else(|| panic!("{name}"));
+            assert_eq!(stage.count, stages.requests, "stage {name}");
+        }
         server.shutdown();
     }
 }

@@ -72,6 +72,10 @@ pub struct LoadTestResult {
     pub errors: u64,
     /// Send slots skipped by backpressure (never sent).
     pub suppressed: u64,
+    /// The server's own stage-latency breakdown, scraped from `/stats`
+    /// at end of run. `None` when the server exposes no stats endpoint
+    /// (or in virtual-time runs, which have no server process).
+    pub server_stages: Option<etude_obs::StatsSnapshot>,
 }
 
 impl LoadTestResult {
@@ -132,6 +136,7 @@ impl LoadGenHandle {
             ok: state.ok,
             errors: state.errors,
             suppressed: state.suppressed,
+            server_stages: None,
         }
     }
 }

@@ -1,0 +1,104 @@
+//! Edge-case coverage for the HDR histogram and the summary built on it.
+//!
+//! The observability subsystem (`etude-obs`) aggregates every stage span
+//! into these histograms, so their behaviour at the extremes — empty,
+//! one sample, values past the top bucket, merging across threads — is
+//! part of the `/stats` contract.
+
+use etude_metrics::hdr::Histogram;
+use etude_metrics::LatencySummary;
+use std::time::Duration;
+
+#[test]
+fn empty_histogram_quantiles_are_all_zero() {
+    let h = Histogram::new();
+    for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(h.value_at_quantile(q), 0, "q={q}");
+    }
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), 0);
+    assert_eq!(h.count(), 0);
+}
+
+#[test]
+fn single_sample_summary_reports_that_sample_everywhere() {
+    let mut h = Histogram::new();
+    h.record(1_500); // 1.5 ms
+    let s = LatencySummary::from_histogram(&h, 0, Duration::from_secs(1));
+    assert_eq!(s.count, 1);
+    // Every quantile of a one-sample distribution is the sample itself
+    // (up to bucket resolution, and the extremes are exact).
+    assert_eq!(s.max, Duration::from_micros(1_500));
+    assert_eq!(s.p99, s.max, "p99 clamps to the observed max");
+    assert!(s.p50 <= s.max && s.p50 >= Duration::from_micros(1_450));
+    assert_eq!(s.mean, Duration::from_micros(1_500));
+    assert!((s.throughput - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn values_past_the_top_bucket_saturate_without_losing_count() {
+    let mut h = Histogram::new();
+    // The bucket array covers ~2^32 µs; these all land in (or clamp to)
+    // the last slot but must still be counted and keep max() exact.
+    for v in [u64::MAX, u64::MAX - 1, 1 << 40, 1 << 50] {
+        h.record(v);
+    }
+    h.record(10);
+    assert_eq!(h.count(), 5);
+    assert_eq!(h.max(), u64::MAX, "max is tracked exactly, not bucketed");
+    assert_eq!(h.min(), 10);
+    assert_eq!(h.value_at_quantile(1.0), u64::MAX);
+    // Saturated values may collapse to one bucket, but quantiles stay
+    // monotone and within the observed range.
+    let p50 = h.value_at_quantile(0.5);
+    let p99 = h.value_at_quantile(0.99);
+    assert!(p50 <= p99);
+    assert!(p50 >= 10, "quantiles stay within the observed range");
+}
+
+#[test]
+fn merge_is_equivalent_to_recording_the_concatenation() {
+    // The recorder merges per-thread histograms; the result must be
+    // indistinguishable from one histogram that saw every value.
+    let left: Vec<u64> = (1..=500).map(|i| i * 7).collect();
+    let right: Vec<u64> = (1..=300).map(|i| i * 13 + 100_000).collect();
+
+    let mut a = Histogram::new();
+    for &v in &left {
+        a.record(v);
+    }
+    let mut b = Histogram::new();
+    for &v in &right {
+        b.record(v);
+    }
+    a.merge(&b);
+
+    let mut concat = Histogram::new();
+    for &v in left.iter().chain(&right) {
+        concat.record(v);
+    }
+
+    assert_eq!(a.count(), concat.count());
+    assert_eq!(a.min(), concat.min());
+    assert_eq!(a.max(), concat.max());
+    assert!((a.mean() - concat.mean()).abs() < 1e-9);
+    for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+        assert_eq!(a.value_at_quantile(q), concat.value_at_quantile(q), "q={q}");
+    }
+}
+
+#[test]
+fn merging_an_empty_histogram_changes_nothing() {
+    let mut a = Histogram::new();
+    a.record(42);
+    let before = (a.count(), a.min(), a.max(), a.p90());
+    a.merge(&Histogram::new());
+    assert_eq!(before, (a.count(), a.min(), a.max(), a.p90()));
+
+    // And the symmetric case: empty absorbing non-empty.
+    let mut empty = Histogram::new();
+    empty.merge(&a);
+    assert_eq!(empty.count(), 1);
+    assert_eq!(empty.min(), 42);
+    assert_eq!(empty.max(), 42);
+}

@@ -49,4 +49,4 @@ pub mod stamp;
 pub mod traits;
 
 pub use config::ModelConfig;
-pub use traits::{ModelKind, Recommendation, SbrModel};
+pub use traits::{ModelKind, Recommendation, SbrModel, StageTimings};

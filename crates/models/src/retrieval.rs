@@ -1,6 +1,6 @@
 //! Catalog retrieval strategies — the paper's future-work item on
 //! trading "prediction quality with inference latency, such as model
-//! quantisation [36] or approximate nearest neighbor search [37]"
+//! quantisation \[36\] or approximate nearest neighbor search \[37\]"
 //! (Section IV).
 //!
 //! All SBR models end in a maximum-inner-product search over the catalog;

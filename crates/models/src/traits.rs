@@ -70,6 +70,51 @@ pub fn recommend_eager(
     Recommendation::from_output(exec.tensor(out)?)
 }
 
+/// Wall-time decomposition of one forward pass into the serving
+/// pipeline's model-side stages.
+///
+/// The top-k selection over the catalogue executes *inside* the forward
+/// graph (it is a `TopK` op), yet the paper reports it as its own
+/// pipeline stage — this struct carries the split out of the tensor
+/// layer's [`etude_tensor::OpTimes`] accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Forward-pass time excluding top-k selection.
+    pub inference: std::time::Duration,
+    /// Time spent selecting the top-k items over the catalogue.
+    pub topk: std::time::Duration,
+}
+
+impl StageTimings {
+    fn from_op_times(wall: std::time::Duration, ops: etude_tensor::OpTimes) -> StageTimings {
+        // Attribute non-op overhead (session prep, arena bookkeeping) to
+        // inference so the two components tile the measured wall time.
+        StageTimings {
+            inference: wall.saturating_sub(ops.topk),
+            topk: ops.topk,
+        }
+    }
+}
+
+/// Like [`recommend_eager`], but also returns the inference/top-k wall
+/// time split for stage-level observability.
+pub fn recommend_eager_timed(
+    model: &dyn SbrModel,
+    device: &Device,
+    session: &[u32],
+) -> Result<(Recommendation, StageTimings), TensorError> {
+    let cfg = model.config();
+    let (items, mask, last) = prepare_session(session, cfg);
+    let start = std::time::Instant::now();
+    let mut exec = Exec::new(ExecMode::Real, device.clone());
+    exec.enable_op_timing();
+    let input = register_session(&mut exec, items, mask, last)?;
+    let out = model.forward(&mut exec, input)?;
+    let rec = Recommendation::from_output(exec.tensor(out)?)?;
+    let timings = StageTimings::from_op_times(start.elapsed(), exec.op_times().unwrap_or_default());
+    Ok((rec, timings))
+}
+
 /// Measures the total operation cost of one forward pass.
 ///
 /// `session_len` controls only the *content* of the inputs; the padded
@@ -119,6 +164,20 @@ pub fn recommend_compiled(
     let (items, mask, last) = prepare_session(session, model.config());
     let (out, _) = compiled.run(&[items, mask, last])?;
     Recommendation::from_output(&out)
+}
+
+/// Like [`recommend_compiled`], but also returns the inference/top-k
+/// wall time split for stage-level observability.
+pub fn recommend_compiled_timed(
+    model: &dyn SbrModel,
+    compiled: &CompiledGraph,
+    session: &[u32],
+) -> Result<(Recommendation, StageTimings), TensorError> {
+    let start = std::time::Instant::now();
+    let (items, mask, last) = prepare_session(session, model.config());
+    let (out, _, ops) = compiled.run_timed(&[items, mask, last])?;
+    let rec = Recommendation::from_output(&out)?;
+    Ok((rec, StageTimings::from_op_times(start.elapsed(), ops)))
 }
 
 /// The ten SBR models of the paper.
@@ -256,5 +315,37 @@ mod tests {
     fn recommendation_rejects_bad_shapes() {
         let t = Tensor::zeros(&[3, 5]);
         assert!(Recommendation::from_output(&t).is_err());
+    }
+
+    fn tiny_model() -> Box<dyn SbrModel> {
+        let cfg = ModelConfig::new(1_000)
+            .with_max_session_len(16)
+            .with_top_k(5);
+        ModelKind::Stamp.build(&cfg)
+    }
+
+    #[test]
+    fn timed_eager_matches_untimed_and_tiles_wall_time() {
+        let model = tiny_model();
+        let device = Device::cpu();
+        let session = [3u32, 9, 42];
+        let plain = recommend_eager(model.as_ref(), &device, &session).unwrap();
+        let (timed, stages) = recommend_eager_timed(model.as_ref(), &device, &session).unwrap();
+        assert_eq!(plain.items, timed.items, "timing must not change results");
+        assert!(stages.inference > std::time::Duration::ZERO);
+        assert!(stages.topk > std::time::Duration::ZERO, "topk op was timed");
+    }
+
+    #[test]
+    fn timed_compiled_matches_untimed() {
+        let model = tiny_model();
+        let compiled = compile(model.as_ref(), JitOptions::default()).unwrap();
+        let session = [7u32, 1];
+        let plain = recommend_compiled(model.as_ref(), &compiled, &session).unwrap();
+        let (timed, stages) =
+            recommend_compiled_timed(model.as_ref(), &compiled, &session).unwrap();
+        assert_eq!(plain.items, timed.items);
+        assert!(stages.topk > std::time::Duration::ZERO);
+        assert!(stages.inference + stages.topk > std::time::Duration::ZERO);
     }
 }

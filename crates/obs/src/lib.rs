@@ -1,0 +1,40 @@
+//! # etude-obs
+//!
+//! Server-side request tracing and stage-latency observability.
+//!
+//! ETUDE's whole point is *measuring* inference latency, but a load
+//! generator only sees the end-to-end round trip: queue wait, batch
+//! formation, model compute, top-k retrieval and serialization are
+//! indistinguishable from the outside. This crate records where the
+//! milliseconds go *inside* the server, cheaply enough to stay on in
+//! production-style runs:
+//!
+//! * [`span::Stage`] — the fixed request pipeline stages
+//!   (parse → queue → inference → top-k → serialize, plus the
+//!   server-observed total),
+//! * [`ring::SpanRing`] — a fixed-capacity, lock-free (atomic-cursor)
+//!   ring buffer of POD [`span::SpanRecord`]s with per-slot seqlocks;
+//!   one ring per writing thread, so the hot path takes no locks and
+//!   performs no allocation,
+//! * [`recorder::Recorder`] — the per-server registry of thread rings,
+//!   hands out RAII [`recorder::SpanGuard`]s and aggregates ring
+//!   contents into per-stage [`etude_metrics::hdr::Histogram`]s,
+//! * [`stats`] — snapshot aggregation plus rendering to the Prometheus
+//!   text exposition format (`/metrics`) and a JSON document (`/stats`),
+//!   and the matching parser the load generator uses to merge
+//!   server-side breakdowns into its client-side reports.
+//!
+//! The overhead budget is enforced by tests: recording a span in steady
+//! state performs zero heap allocations (a counting global allocator
+//! proves it) and costs two `Instant::now()` calls plus a handful of
+//! relaxed atomic stores.
+
+pub mod recorder;
+pub mod ring;
+pub mod span;
+pub mod stats;
+
+pub use recorder::{Recorder, SpanGuard};
+pub use ring::SpanRing;
+pub use span::{request_id_hash, SpanRecord, Stage};
+pub use stats::{parse_stats_json, StageStats, StatsSnapshot};

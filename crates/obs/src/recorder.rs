@@ -1,0 +1,300 @@
+//! The per-server span recorder: thread-ring registry, RAII span guards
+//! and aggregation into per-stage histograms.
+
+use crate::ring::{SpanRing, DEFAULT_CAPACITY};
+use crate::span::{SpanRecord, Stage};
+use crate::stats::{StageStats, StatsSnapshot};
+use etude_metrics::hdr::Histogram;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Each thread's rings, keyed by recorder id. Tiny (one entry per
+    /// live recorder this thread has written to), scanned linearly.
+    static THREAD_RINGS: RefCell<Vec<(u64, Arc<SpanRing>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Cumulative aggregation state, folded from the rings on demand.
+struct Aggregate {
+    stages: [Histogram; Stage::ALL.len()],
+    dropped: u64,
+    /// Raw records retained for per-request joins (tests, the
+    /// latency-breakdown bench). Only populated while retention is on.
+    retained: Vec<SpanRecord>,
+}
+
+/// Records server-side stage spans into per-thread rings and aggregates
+/// them into per-stage HDR histograms.
+///
+/// One recorder per server. Recording is lock-free and allocation-free
+/// in steady state (the first span a thread records registers its ring,
+/// which allocates once); aggregation ([`Recorder::snapshot`]) takes a
+/// lock but runs off the request path, driven by `/metrics`, `/stats`
+/// or an end-of-run scrape.
+pub struct Recorder {
+    id: u64,
+    ring_capacity: usize,
+    rings: Mutex<Vec<Arc<SpanRing>>>,
+    agg: Mutex<Aggregate>,
+    retain: AtomicBool,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// Creates a recorder with the default per-thread ring capacity.
+    pub fn new() -> Recorder {
+        Recorder::with_ring_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Creates a recorder with an explicit per-thread ring capacity.
+    pub fn with_ring_capacity(ring_capacity: usize) -> Recorder {
+        Recorder {
+            id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+            ring_capacity,
+            rings: Mutex::new(Vec::new()),
+            agg: Mutex::new(Aggregate {
+                stages: std::array::from_fn(|_| Histogram::new()),
+                dropped: 0,
+                retained: Vec::new(),
+            }),
+            retain: AtomicBool::new(false),
+        }
+    }
+
+    /// Turns raw-record retention on or off. While on, every record that
+    /// reaches aggregation is also kept verbatim for [`Recorder::take_records`].
+    pub fn set_record_retention(&self, on: bool) {
+        self.retain.store(on, Ordering::Relaxed);
+    }
+
+    /// Records one finished span.
+    pub fn record(&self, request_id: u64, stage: Stage, duration_nanos: u64) {
+        self.with_ring(|ring| {
+            ring.push(SpanRecord {
+                request_id,
+                stage,
+                duration_nanos,
+            })
+        });
+    }
+
+    /// Starts a span; the guard records it when dropped (or finished).
+    pub fn span(&self, request_id: u64, stage: Stage) -> SpanGuard<'_> {
+        SpanGuard {
+            recorder: self,
+            request_id,
+            stage,
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Runs `f` with this thread's ring, registering one on first use.
+    fn with_ring<R>(&self, f: impl FnOnce(&SpanRing) -> R) -> R {
+        THREAD_RINGS.with(|cell| {
+            let mut rings = cell.borrow_mut();
+            if let Some((_, ring)) = rings.iter().find(|(id, _)| *id == self.id) {
+                return f(ring);
+            }
+            // Cold path: first span from this thread. Drop rings of dead
+            // recorders (we hold their last Arc), then register.
+            rings.retain(|(_, ring)| Arc::strong_count(ring) > 1);
+            let ring = Arc::new(SpanRing::new(self.ring_capacity));
+            self.rings.lock().push(Arc::clone(&ring));
+            rings.push((self.id, Arc::clone(&ring)));
+            f(&ring)
+        })
+    }
+
+    /// Folds all ring contents into the cumulative aggregate.
+    fn fold(&self) {
+        let rings: Vec<Arc<SpanRing>> = self.rings.lock().clone();
+        let mut agg = self.agg.lock();
+        let retain = self.retain.load(Ordering::Relaxed);
+        for ring in rings {
+            let agg = &mut *agg;
+            agg.dropped += ring.drain(|record| {
+                agg.stages[record.stage as u8 as usize].record(record.duration_micros());
+                if retain {
+                    agg.retained.push(record);
+                }
+            });
+        }
+    }
+
+    /// Aggregates everything recorded so far into per-stage statistics.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        self.fold();
+        let agg = self.agg.lock();
+        let stages = Stage::ALL
+            .iter()
+            .filter_map(|&stage| {
+                let h = &agg.stages[stage as u8 as usize];
+                if h.is_empty() {
+                    return None;
+                }
+                Some(StageStats {
+                    stage: stage.name().to_string(),
+                    count: h.count(),
+                    mean_us: h.mean(),
+                    p50_us: h.p50(),
+                    p90_us: h.p90(),
+                    p99_us: h.p99(),
+                    max_us: h.max(),
+                })
+            })
+            .collect();
+        StatsSnapshot {
+            requests: agg.stages[Stage::Total as u8 as usize].count(),
+            dropped: agg.dropped,
+            stages,
+        }
+    }
+
+    /// Drains and returns the raw records retained since retention was
+    /// enabled (folding the rings first).
+    pub fn take_records(&self) -> Vec<SpanRecord> {
+        self.fold();
+        std::mem::take(&mut self.agg.lock().retained)
+    }
+}
+
+/// RAII guard measuring one stage; records on drop.
+pub struct SpanGuard<'a> {
+    recorder: &'a Recorder,
+    request_id: u64,
+    stage: Stage,
+    start: Instant,
+    armed: bool,
+}
+
+impl SpanGuard<'_> {
+    /// Ends the span now (instead of at scope exit).
+    pub fn finish(mut self) {
+        self.record_now();
+    }
+
+    /// Abandons the span without recording it.
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+
+    fn record_now(&mut self) {
+        if self.armed {
+            self.armed = false;
+            let nanos = self.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            self.recorder.record(self.request_id, self.stage, nanos);
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.record_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn recorded_spans_show_up_in_the_snapshot() {
+        let r = Recorder::new();
+        r.record(1, Stage::Parse, 5_000);
+        r.record(1, Stage::Inference, 250_000);
+        r.record(1, Stage::Total, 260_000);
+        let snap = r.snapshot();
+        assert_eq!(snap.requests, 1);
+        assert_eq!(snap.dropped, 0);
+        let parse = snap.stage("parse").unwrap();
+        assert_eq!(parse.count, 1);
+        assert_eq!(parse.p50_us, 5);
+        assert!(snap.stage("queue").is_none(), "unrecorded stages omitted");
+    }
+
+    #[test]
+    fn snapshots_are_cumulative_across_folds() {
+        let r = Recorder::new();
+        r.record(1, Stage::Total, 1_000);
+        assert_eq!(r.snapshot().requests, 1);
+        r.record(2, Stage::Total, 1_000);
+        assert_eq!(r.snapshot().requests, 2);
+    }
+
+    #[test]
+    fn guards_record_elapsed_time() {
+        let r = Recorder::new();
+        {
+            let _g = r.span(7, Stage::Inference);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let snap = r.snapshot();
+        let inf = snap.stage("inference").unwrap();
+        assert!(inf.max_us >= 1_000, "slept 2ms, saw {}us", inf.max_us);
+    }
+
+    #[test]
+    fn cancelled_guards_record_nothing() {
+        let r = Recorder::new();
+        r.span(1, Stage::Parse).cancel();
+        assert!(r.snapshot().stages.is_empty());
+    }
+
+    #[test]
+    fn spans_from_many_threads_merge() {
+        let r = Arc::new(Recorder::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let r = Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    r.record(t * 1_000 + i, Stage::Total, 1_000_000 * (t + 1));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.requests, 400);
+        let total = snap.stage("total").unwrap();
+        assert_eq!(total.max_us, 4_000, "4ms recorded by the slowest thread");
+    }
+
+    #[test]
+    fn retention_keeps_raw_records_for_joins() {
+        let r = Recorder::new();
+        r.set_record_retention(true);
+        r.record(9, Stage::Parse, 100);
+        r.record(9, Stage::Total, 300);
+        let records = r.take_records();
+        assert_eq!(records.len(), 2);
+        assert!(records.iter().all(|rec| rec.request_id == 9));
+        assert!(r.take_records().is_empty(), "take drains");
+        // The aggregate still saw them.
+        assert_eq!(r.snapshot().requests, 1);
+    }
+
+    #[test]
+    fn two_recorders_on_one_thread_stay_separate() {
+        let a = Recorder::new();
+        let b = Recorder::new();
+        a.record(1, Stage::Total, 10);
+        b.record(2, Stage::Total, 20);
+        b.record(3, Stage::Total, 30);
+        assert_eq!(a.snapshot().requests, 1);
+        assert_eq!(b.snapshot().requests, 2);
+    }
+}

@@ -1,0 +1,143 @@
+//! Stage identifiers and the POD span record stored in the rings.
+
+/// A stage of the server-side request pipeline.
+///
+/// The order mirrors the life of a `/predictions` request through
+/// `etude-serve`: the HTTP body is parsed, the session possibly waits in
+/// the batcher queue, the model computes scores, top-k retrieval ranks
+/// them, and the response is serialized. [`Stage::Total`] spans the whole
+/// handler so per-request stage sums can be validated against the
+/// server-observed total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Stage {
+    /// HTTP body decoding and session validation.
+    Parse = 0,
+    /// Batcher queue + batch-formation wait (zero on the unbatched route):
+    /// everything between submitting to the batcher and having this
+    /// request's own compute done that is *not* its own compute.
+    Queue = 1,
+    /// Model forward pass (scores over the catalog), excluding top-k.
+    Inference = 2,
+    /// Top-k retrieval over the score vector.
+    TopK = 3,
+    /// Response body encoding and header assembly.
+    Serialize = 4,
+    /// Handler entry to response ready — the server-observed total.
+    Total = 5,
+}
+
+impl Stage {
+    /// All stages, pipeline order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Parse,
+        Stage::Queue,
+        Stage::Inference,
+        Stage::TopK,
+        Stage::Serialize,
+        Stage::Total,
+    ];
+
+    /// The stages that tile [`Stage::Total`] (everything except `Total`).
+    pub const COMPONENTS: [Stage; 5] = [
+        Stage::Parse,
+        Stage::Queue,
+        Stage::Inference,
+        Stage::TopK,
+        Stage::Serialize,
+    ];
+
+    /// Stable lowercase label (used in `/metrics` and `/stats`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Queue => "queue",
+            Stage::Inference => "inference",
+            Stage::TopK => "topk",
+            Stage::Serialize => "serialize",
+            Stage::Total => "total",
+        }
+    }
+
+    /// Parses a stage label.
+    pub fn parse(name: &str) -> Option<Stage> {
+        Stage::ALL.iter().copied().find(|s| s.name() == name)
+    }
+
+    /// Decodes the `repr(u8)` discriminant.
+    pub fn from_u8(v: u8) -> Option<Stage> {
+        Stage::ALL.get(v as usize).copied()
+    }
+}
+
+/// One recorded span: a POD value, 24 bytes of payload.
+///
+/// Durations are stored in nanoseconds (a `u64` holds ~584 years) so that
+/// sub-microsecond stages like parsing remain visible; aggregation
+/// converts to microseconds for the HDR histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Request correlation id (FNV-1a hash of the `X-Request-Id` header).
+    pub request_id: u64,
+    /// Which pipeline stage this span measured.
+    pub stage: Stage,
+    /// Stage duration in nanoseconds.
+    pub duration_nanos: u64,
+}
+
+impl SpanRecord {
+    /// Stage duration in whole microseconds (for histogram recording).
+    pub fn duration_micros(&self) -> u64 {
+        self.duration_nanos / 1_000
+    }
+}
+
+/// Hashes an `X-Request-Id` header value to the `u64` correlation id used
+/// in span records (FNV-1a; stable, allocation-free, good enough to make
+/// collisions between concurrent in-flight requests negligible).
+pub fn request_id_hash(id: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in id.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_roundtrip() {
+        for stage in Stage::ALL {
+            assert_eq!(Stage::parse(stage.name()), Some(stage));
+            assert_eq!(Stage::from_u8(stage as u8), Some(stage));
+        }
+        assert_eq!(Stage::parse("warp"), None);
+        assert_eq!(Stage::from_u8(250), None);
+    }
+
+    #[test]
+    fn components_exclude_total() {
+        assert!(!Stage::COMPONENTS.contains(&Stage::Total));
+        assert_eq!(Stage::COMPONENTS.len() + 1, Stage::ALL.len());
+    }
+
+    #[test]
+    fn request_id_hash_is_stable_and_spreads() {
+        assert_eq!(request_id_hash("a"), request_id_hash("a"));
+        assert_ne!(request_id_hash("a"), request_id_hash("b"));
+        assert_ne!(request_id_hash("req-1"), request_id_hash("req-2"));
+    }
+
+    #[test]
+    fn micros_truncate_nanos() {
+        let r = SpanRecord {
+            request_id: 1,
+            stage: Stage::Parse,
+            duration_nanos: 1_999,
+        };
+        assert_eq!(r.duration_micros(), 1);
+    }
+}

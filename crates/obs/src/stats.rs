@@ -1,0 +1,253 @@
+//! Aggregated stage statistics and their wire formats.
+//!
+//! One snapshot, two renderings: the Prometheus text exposition format
+//! served at `/metrics` (scrapeable by standard tooling) and a compact
+//! JSON document served at `/stats`. The JSON side also has a parser so
+//! the load generator can pull a server's breakdown at end of run and
+//! merge it into client-side reports — both ends share this module, so
+//! the format cannot drift.
+
+/// Aggregated latency statistics of one pipeline stage (microseconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageStats {
+    /// Stage label (see [`crate::span::Stage::name`]).
+    pub stage: String,
+    /// Spans recorded for this stage.
+    pub count: u64,
+    /// Mean duration.
+    pub mean_us: f64,
+    /// Median duration.
+    pub p50_us: u64,
+    /// 90th-percentile duration (the paper's headline quantile).
+    pub p90_us: u64,
+    /// 99th-percentile duration.
+    pub p99_us: u64,
+    /// Largest observed duration.
+    pub max_us: u64,
+}
+
+/// A full aggregation snapshot: per-stage stats plus bookkeeping.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsSnapshot {
+    /// Requests with a recorded `total` span.
+    pub requests: u64,
+    /// Span records lost to ring lapping (0 in healthy runs).
+    pub dropped: u64,
+    /// Stats per stage that recorded at least one span, pipeline order.
+    pub stages: Vec<StageStats>,
+}
+
+impl StatsSnapshot {
+    /// Looks up one stage's stats by label.
+    pub fn stage(&self, name: &str) -> Option<&StageStats> {
+        self.stages.iter().find(|s| s.stage == name)
+    }
+
+    /// Renders the Prometheus text exposition format (`/metrics`).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str(
+            "# HELP etude_stage_latency_microseconds Server-side stage latency quantiles.\n\
+             # TYPE etude_stage_latency_microseconds summary\n",
+        );
+        for s in &self.stages {
+            for (q, v) in [("0.5", s.p50_us), ("0.9", s.p90_us), ("0.99", s.p99_us)] {
+                out.push_str(&format!(
+                    "etude_stage_latency_microseconds{{stage=\"{}\",quantile=\"{q}\"}} {v}\n",
+                    s.stage
+                ));
+            }
+            out.push_str(&format!(
+                "etude_stage_latency_microseconds_sum{{stage=\"{}\"}} {:.0}\n",
+                s.stage,
+                s.mean_us * s.count as f64
+            ));
+            out.push_str(&format!(
+                "etude_stage_latency_microseconds_count{{stage=\"{}\"}} {}\n",
+                s.stage, s.count
+            ));
+        }
+        out.push_str(
+            "# HELP etude_requests_total Requests with a recorded total span.\n\
+             # TYPE etude_requests_total counter\n",
+        );
+        out.push_str(&format!("etude_requests_total {}\n", self.requests));
+        out.push_str(
+            "# HELP etude_spans_dropped_total Span records overwritten before aggregation.\n\
+             # TYPE etude_spans_dropped_total counter\n",
+        );
+        out.push_str(&format!("etude_spans_dropped_total {}\n", self.dropped));
+        out
+    }
+
+    /// Renders an aligned text table of the stage breakdown, for
+    /// end-of-run reports (the load generator prints this when it has
+    /// scraped a server's `/stats`).
+    pub fn render_table(&self) -> String {
+        let mut table = etude_metrics::report::Table::new([
+            "stage", "count", "mean_us", "p50_us", "p90_us", "p99_us", "max_us",
+        ]);
+        for s in &self.stages {
+            table.row([
+                s.stage.clone(),
+                s.count.to_string(),
+                format!("{:.1}", s.mean_us),
+                s.p50_us.to_string(),
+                s.p90_us.to_string(),
+                s.p99_us.to_string(),
+                s.max_us.to_string(),
+            ]);
+        }
+        table.render()
+    }
+
+    /// Renders the JSON document served at `/stats`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str(&format!(
+            "{{\n  \"requests\": {},\n  \"dropped\": {},\n  \"stages\": [",
+            self.requests, self.dropped
+        ));
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"stage\": \"{}\", \"count\": {}, \"mean_us\": {:.3}, \
+                 \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+                s.stage, s.count, s.mean_us, s.p50_us, s.p90_us, s.p99_us, s.max_us
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Extracts `"key": <value>` from a flat JSON object fragment.
+fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = obj.find(&needle)? + needle.len();
+    let rest = obj[at..].trim_start();
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn num_field<T: std::str::FromStr>(obj: &str, key: &str) -> Option<T> {
+    field(obj, key)?.parse().ok()
+}
+
+fn str_field(obj: &str, key: &str) -> Option<String> {
+    Some(field(obj, key)?.trim_matches('"').to_string())
+}
+
+/// Parses a document produced by [`StatsSnapshot::render_json`].
+///
+/// Not a general JSON parser — just the inverse of our own renderer,
+/// tolerant of whitespace differences. Returns `None` on anything that
+/// does not look like a `/stats` document.
+pub fn parse_stats_json(body: &str) -> Option<StatsSnapshot> {
+    let requests = num_field(body, "requests")?;
+    let dropped = num_field(body, "dropped")?;
+    let stages_at = body.find("\"stages\"")?;
+    let mut stages = Vec::new();
+    let mut rest = &body[stages_at..];
+    while let Some(open) = rest.find('{') {
+        let close = rest[open..].find('}')? + open;
+        let obj = &rest[open..=close];
+        stages.push(StageStats {
+            stage: str_field(obj, "stage")?,
+            count: num_field(obj, "count")?,
+            mean_us: num_field(obj, "mean_us")?,
+            p50_us: num_field(obj, "p50_us")?,
+            p90_us: num_field(obj, "p90_us")?,
+            p99_us: num_field(obj, "p99_us")?,
+            max_us: num_field(obj, "max_us")?,
+        });
+        rest = &rest[close + 1..];
+    }
+    Some(StatsSnapshot {
+        requests,
+        dropped,
+        stages,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StatsSnapshot {
+        StatsSnapshot {
+            requests: 42,
+            dropped: 1,
+            stages: vec![
+                StageStats {
+                    stage: "parse".into(),
+                    count: 42,
+                    mean_us: 3.25,
+                    p50_us: 3,
+                    p90_us: 5,
+                    p99_us: 9,
+                    max_us: 12,
+                },
+                StageStats {
+                    stage: "total".into(),
+                    count: 42,
+                    mean_us: 210.0,
+                    p50_us: 200,
+                    p90_us: 280,
+                    p99_us: 310,
+                    max_us: 333,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_parser() {
+        let snap = sample();
+        let parsed = parse_stats_json(&snap.render_json()).unwrap();
+        assert_eq!(parsed.requests, snap.requests);
+        assert_eq!(parsed.dropped, snap.dropped);
+        assert_eq!(parsed.stages.len(), 2);
+        assert_eq!(parsed.stage("parse").unwrap().p90_us, 5);
+        assert!((parsed.stage("parse").unwrap().mean_us - 3.25).abs() < 1e-9);
+        assert_eq!(parsed.stage("total").unwrap().max_us, 333);
+    }
+
+    #[test]
+    fn empty_snapshot_renders_and_parses() {
+        let snap = StatsSnapshot::default();
+        let parsed = parse_stats_json(&snap.render_json()).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn prometheus_format_has_quantiles_counts_and_counters() {
+        let text = sample().render_prometheus();
+        assert!(text.contains("# TYPE etude_stage_latency_microseconds summary"));
+        assert!(
+            text.contains("etude_stage_latency_microseconds{stage=\"parse\",quantile=\"0.9\"} 5")
+        );
+        assert!(text.contains("etude_stage_latency_microseconds_count{stage=\"total\"} 42"));
+        assert!(text.contains("etude_requests_total 42"));
+        assert!(text.contains("etude_spans_dropped_total 1"));
+        // sum = mean * count (136.5 here), rendered as an integer
+        assert!(text.contains("etude_stage_latency_microseconds_sum{stage=\"parse\"} 136"));
+    }
+
+    #[test]
+    fn table_lists_every_stage() {
+        let text = sample().render_table();
+        assert!(text.contains("stage"));
+        assert!(text.contains("parse"));
+        assert!(text.contains("total"));
+        assert_eq!(text.lines().count(), 4, "header, rule, two stages");
+    }
+
+    #[test]
+    fn garbage_does_not_parse() {
+        assert!(parse_stats_json("hello").is_none());
+        assert!(parse_stats_json("{}").is_none());
+    }
+}

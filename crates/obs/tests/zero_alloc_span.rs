@@ -1,0 +1,82 @@
+//! Proves the overhead budget of the span hot path: after the first span
+//! registers a thread's ring, recording performs **zero** heap
+//! allocations. A counting global allocator makes the claim checkable
+//! rather than aspirational (same technique as the models crate's
+//! `zero_alloc` retrieval test).
+//!
+//! Allocations are counted **per thread** — a process-wide count would
+//! also bill allocations made concurrently by the libtest harness thread
+//! to the hot path and flake under load.
+
+use etude_obs::{Recorder, Stage};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    // const-initialised so reading it never allocates (a lazy initialiser
+    // would recurse into the allocator).
+    static THREAD_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn thread_allocations() -> u64 {
+    THREAD_ALLOCATIONS.with(|c| c.get())
+}
+
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // try_with: TLS may be unavailable during thread teardown.
+        let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_span_recording_does_not_allocate() {
+    let recorder = Recorder::new();
+
+    // Warm-up: the first span registers this thread's ring (one-time
+    // allocation, off the steady-state path by design).
+    for i in 0..3 {
+        recorder.record(i, Stage::Parse, 100);
+        let guard = recorder.span(i, Stage::Inference);
+        guard.finish();
+    }
+
+    let before = thread_allocations();
+    for i in 0..10_000u64 {
+        recorder.record(i, Stage::Parse, 120);
+        recorder.record(i, Stage::Queue, 2_000);
+        let g = recorder.span(i, Stage::Inference);
+        g.finish();
+        recorder.record(i, Stage::TopK, 800);
+        recorder.record(i, Stage::Serialize, 60);
+        recorder.record(i, Stage::Total, 3_500);
+    }
+    let after = thread_allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state span recording allocated {} times over 60,000 spans",
+        after - before
+    );
+
+    // Everything recorded above must be visible to aggregation (the ring
+    // lapped — that is fine and accounted, not silently lost).
+    let snap = recorder.snapshot();
+    let counted: u64 = snap.stages.iter().map(|s| s.count).sum();
+    assert_eq!(counted + snap.dropped, 60_006, "60,000 + 6 warm-up spans");
+}

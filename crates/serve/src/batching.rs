@@ -8,7 +8,7 @@
 //! thread drains the queue on size or deadline and hands whole batches to
 //! the batch handler.
 
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -19,6 +19,11 @@ pub struct BatchConfig {
     pub max_batch: usize,
     /// Maximum time a request waits for co-batched peers.
     pub flush_every: Duration,
+    /// Maximum requests queued ahead of the batcher. When the queue is
+    /// full, [`Batcher::try_call`] sheds load with
+    /// [`CallError::Overloaded`] instead of letting latency grow without
+    /// bound (and with it, the memory holding the queue).
+    pub max_queue: usize,
 }
 
 impl Default for BatchConfig {
@@ -26,8 +31,27 @@ impl Default for BatchConfig {
         BatchConfig {
             max_batch: 1024,
             flush_every: Duration::from_millis(2),
+            max_queue: 4096,
         }
     }
+}
+
+impl BatchConfig {
+    /// Sets the queue bound.
+    pub fn with_max_queue(mut self, max_queue: usize) -> Self {
+        self.max_queue = max_queue;
+        self
+    }
+}
+
+/// Why a [`Batcher::try_call`] failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallError {
+    /// The submission queue is full; the caller should shed the request
+    /// (HTTP 503) rather than wait.
+    Overloaded,
+    /// The batcher thread has shut down.
+    Closed,
 }
 
 struct Job<T, R> {
@@ -48,7 +72,7 @@ impl<T: Send + 'static, R: Send + 'static> Batcher<T, R> {
     where
         F: Fn(Vec<T>) -> Vec<R> + Send + 'static,
     {
-        let (tx, rx) = bounded::<Job<T, R>>(config.max_batch * 4);
+        let (tx, rx) = bounded::<Job<T, R>>(config.max_queue.max(1));
         let worker = std::thread::Builder::new()
             .name("etude-batcher".into())
             .spawn(move || run_batcher(rx, config, handler))
@@ -59,12 +83,32 @@ impl<T: Send + 'static, R: Send + 'static> Batcher<T, R> {
         }
     }
 
-    /// Submits one input and blocks until its result arrives.
-    /// Returns `None` if the batcher has shut down.
+    /// Submits one input and blocks until its result arrives (waiting for
+    /// queue space if necessary). Returns `None` if the batcher has shut
+    /// down.
     pub fn call(&self, input: T) -> Option<R> {
         let (tx, rx) = bounded(1);
         self.submit.send(Job { input, respond: tx }).ok()?;
         rx.recv().ok()
+    }
+
+    /// Submits one input without waiting for queue space: a full queue
+    /// fails fast with [`CallError::Overloaded`] so the server can shed
+    /// load instead of stacking up latency. On success, blocks until the
+    /// result arrives, like [`Batcher::call`].
+    pub fn try_call(&self, input: T) -> Result<R, CallError> {
+        let (tx, rx) = bounded(1);
+        match self.submit.try_send(Job { input, respond: tx }) {
+            Ok(()) => rx.recv().map_err(|_| CallError::Closed),
+            Err(TrySendError::Full(_)) => Err(CallError::Overloaded),
+            Err(TrySendError::Disconnected(_)) => Err(CallError::Closed),
+        }
+    }
+
+    /// Requests currently queued ahead of the batcher (a point-in-time
+    /// gauge; the batcher drains concurrently).
+    pub fn queue_depth(&self) -> usize {
+        self.submit.len()
     }
 }
 
@@ -139,6 +183,7 @@ mod tests {
             BatchConfig {
                 max_batch: 64,
                 flush_every: Duration::from_millis(5),
+                ..BatchConfig::default()
             },
             move |xs| {
                 seen.fetch_max(xs.len(), Ordering::SeqCst);
@@ -160,11 +205,69 @@ mod tests {
     }
 
     #[test]
+    fn try_call_sheds_load_when_the_queue_is_full() {
+        // Gate the handler so the batcher thread blocks mid-batch while
+        // the test fills the queue behind it.
+        let gate = Arc::new(parking_lot::Mutex::new(()));
+        let held = gate.lock();
+        let handler_gate = Arc::clone(&gate);
+        let b: Arc<Batcher<u32, u32>> = Arc::new(Batcher::spawn(
+            BatchConfig {
+                max_batch: 1,
+                flush_every: Duration::from_micros(1),
+                max_queue: 2,
+            },
+            move |xs| {
+                let _open = handler_gate.lock();
+                xs
+            },
+        ));
+        // First call is consumed by the batcher thread, which then blocks
+        // on the gate; park it in a helper thread since call() waits for
+        // its response.
+        let blocked = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || b.call(1))
+        };
+        // Wait for the batcher to pick the first job up, then fill the
+        // two queue slots behind it.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while b.queue_depth() > 0 {
+            assert!(Instant::now() < deadline, "batcher never started");
+            std::thread::yield_now();
+        }
+        let mut waiters = Vec::new();
+        for i in [2u32, 3] {
+            let caller = Arc::clone(&b);
+            waiters.push(std::thread::spawn(move || caller.call(i)));
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while b.queue_depth() < i as usize - 1 {
+                assert!(Instant::now() < deadline, "job {i} never queued");
+                std::thread::yield_now();
+            }
+        }
+        assert_eq!(b.try_call(4), Err(CallError::Overloaded));
+        // Releasing the gate drains the queue; the shed request was never
+        // enqueued, everything else completes.
+        drop(held);
+        assert_eq!(blocked.join().unwrap(), Some(1));
+        let mut drained: Vec<u32> = waiters
+            .into_iter()
+            .map(|w| w.join().unwrap().unwrap())
+            .collect();
+        drained.sort_unstable();
+        assert_eq!(drained, [2, 3]);
+        // Out of overload: try_call succeeds again.
+        assert_eq!(b.try_call(9), Ok(9));
+    }
+
+    #[test]
     fn full_batches_flush_immediately() {
         let b: Batcher<u32, u32> = Batcher::spawn(
             BatchConfig {
                 max_batch: 1,
                 flush_every: Duration::from_secs(10), // must not matter
+                ..BatchConfig::default()
             },
             |xs| xs,
         );

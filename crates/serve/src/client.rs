@@ -9,7 +9,11 @@ use crate::http::{self, Request, Response};
 use bytes::BytesMut;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Process-wide counter for generated request ids.
+static NEXT_AUTO_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -73,7 +77,24 @@ impl HttpClient {
     }
 
     /// Sends a request and blocks for its response.
+    ///
+    /// Requests without an `x-request-id` header get a generated one
+    /// (`auto-<local port>-<n>`) so server-side stage spans can always be
+    /// correlated per request; the server echoes the id back.
     pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        if req.headers.contains_key("x-request-id") {
+            return self.send(req);
+        }
+        let port = self.stream.local_addr().map(|a| a.port()).unwrap_or(0);
+        let n = NEXT_AUTO_REQUEST_ID.fetch_add(1, Ordering::Relaxed);
+        let mut tagged = req.clone();
+        tagged
+            .headers
+            .insert("x-request-id".into(), format!("auto-{port}-{n}"));
+        self.send(&tagged)
+    }
+
+    fn send(&mut self, req: &Request) -> Result<Response, ClientError> {
         self.stream
             .write_all(&req.encode())
             .map_err(ClientError::Io)?;
@@ -130,6 +151,28 @@ mod tests {
             Err(ClientError::Timeout) => {}
             other => panic!("expected timeout, got {other:?}"),
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn missing_request_ids_are_generated_and_unique() {
+        // Echo the request id back so the test can see what went on the
+        // wire.
+        let handler: Handler = Arc::new(|req| {
+            let id = req.headers.get("x-request-id").cloned().unwrap_or_default();
+            crate::http::Response::ok(id)
+        });
+        let server = start(ServerConfig::default(), handler).unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let a = client.request(&Request::get("/")).unwrap();
+        let b = client.request(&Request::get("/")).unwrap();
+        assert!(a.body.starts_with(b"auto-"), "{:?}", a.body);
+        assert_ne!(a.body, b.body, "ids must be unique per request");
+        // An explicit id is passed through untouched.
+        let mut req = Request::get("/");
+        req.headers.insert("x-request-id".into(), "mine".into());
+        let c = client.request(&req).unwrap();
+        assert_eq!(&c.body[..], b"mine");
         server.shutdown();
     }
 

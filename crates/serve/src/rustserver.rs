@@ -3,7 +3,7 @@
 //!
 //! Architecture: an accept thread feeds connections to a fixed pool of
 //! handler threads over a crossbeam channel; each handler thread owns its
-//! connections (keep-alive, pipelining-safe) and serves three routes:
+//! connections (keep-alive, pipelining-safe) and serves five routes:
 //!
 //! * `GET /ping` — readiness probe (Kubernetes-style),
 //! * `GET /static` — the empty-response infrastructure test (Figure 2),
@@ -11,14 +11,22 @@
 //!   the pure inference duration reported via the
 //!   `x-inference-duration-micros` response header (the paper's server
 //!   "communicates metrics like the inference duration via HTTP response
-//!   headers").
+//!   headers"),
+//! * `GET /metrics` — Prometheus text exposition of per-stage latency
+//!   summaries (parse → queue → inference → top-k → serialize),
+//! * `GET /stats` — the same aggregation as JSON, scraped by the load
+//!   generator at end of run.
+//!
+//! Every prediction is traced into an [`etude_obs::Recorder`] keyed by
+//! the client's `X-Request-Id` (echoed back on responses; hashed to a
+//! compact correlation id for the span records).
 
 use crate::http::{self, Method, Request, Response};
 use bytes::BytesMut;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use etude_models::{traits, SbrModel};
+use etude_obs::{request_id_hash, Recorder, Stage};
 use etude_tensor::{CompiledGraph, Device, JitOptions};
-use parking_lot::Mutex;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -296,12 +304,85 @@ fn worker_loop(
     }
 }
 
+/// Process-local fallback ids for requests that carry no `x-request-id`.
+static FALLBACK_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Correlation id of a request: the FNV hash of the client's
+/// `x-request-id`, or a process-local counter when the client sent none.
+/// Also returns the header value so responses can echo it.
+fn correlation_id(req: &Request) -> (u64, Option<&str>) {
+    match req.headers.get("x-request-id") {
+        Some(id) => (request_id_hash(id), Some(id.as_str())),
+        None => (FALLBACK_REQUEST_ID.fetch_add(1, Ordering::Relaxed), None),
+    }
+}
+
+/// Echoes the client's request id back, when it sent one.
+fn echo_request_id(resp: Response, id: Option<&str>) -> Response {
+    match id {
+        Some(id) => resp.with_header("x-request-id", id.to_string()),
+        None => resp,
+    }
+}
+
+fn nanos(d: Duration) -> u64 {
+    d.as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// Routes every server flavour shares: readiness, the static
+/// infrastructure test and the two observability endpoints.
+fn shared_routes(req: &Request, recorder: &Recorder) -> Option<Response> {
+    match (req.method, req.path.as_str()) {
+        (Method::Get, "/ping") => Some(Response::ok("pong")),
+        (Method::Get, "/static") => Some(Response::ok("ok")),
+        (Method::Get, "/metrics") => Some(
+            Response::ok(recorder.snapshot().render_prometheus())
+                .with_header("content-type", "text/plain; version=0.0.4".to_string()),
+        ),
+        (Method::Get, "/stats") => Some(
+            Response::ok(recorder.snapshot().render_json())
+                .with_header("content-type", "application/json".to_string()),
+        ),
+        _ => None,
+    }
+}
+
+/// Parses and validates a prediction request body.
+fn parse_prediction(body: &[u8], catalog_size: usize) -> Result<Vec<u32>, Response> {
+    let items = match http::decode_session(body) {
+        Ok(items) => items,
+        Err(_) => return Err(Response::error(400, "malformed session")),
+    };
+    // Reject out-of-catalog ids at the boundary: a clean 400 instead of
+    // an inference failure deep in the kernels.
+    if let Some(&bad) = items.iter().find(|&&i| i as usize >= catalog_size) {
+        return Err(Response::error(
+            400,
+            &format!("item id {bad} out of catalog"),
+        ));
+    }
+    Ok(items)
+}
+
 /// Builds the model-serving route table of the paper's inference server.
 ///
 /// When `jit` is set the model is traced and compiled at deployment time
 /// (models with dynamic control flow fall back to eager execution, as
-/// `torch.jit` would).
+/// `torch.jit` would). Stage spans land in a private recorder; use
+/// [`model_routes_observed`] to keep a handle on it.
 pub fn model_routes(model: Arc<dyn SbrModel>, device: Device, jit: bool) -> Handler {
+    model_routes_observed(model, device, jit, Arc::new(Recorder::new()))
+}
+
+/// [`model_routes`] with an externally owned span recorder, so callers
+/// (tests, benchmarks) can aggregate stage latencies in-process instead
+/// of scraping `/stats`.
+pub fn model_routes_observed(
+    model: Arc<dyn SbrModel>,
+    device: Device,
+    jit: bool,
+    recorder: Arc<Recorder>,
+) -> Handler {
     let compiled: Option<Arc<CompiledGraph>> = if jit {
         traits::compile(model.as_ref(), JitOptions::default())
             .ok()
@@ -310,48 +391,65 @@ pub fn model_routes(model: Arc<dyn SbrModel>, device: Device, jit: bool) -> Hand
         None
     };
     let catalog_size = model.config().catalog_size;
-    // Compiled-graph execution is not thread-safe per graph value cache?
-    // It is: Graph::run is &self and allocates its own value buffers, so
-    // only the recommendation assembly needs care. The mutex below guards
-    // nothing but keeps request ordering deterministic in tests with a
-    // single worker; inference itself runs outside it.
-    let stats = Arc::new(Mutex::new(()));
     Arc::new(move |req: &Request| -> Response {
+        if let Some(resp) = shared_routes(req, &recorder) {
+            return resp;
+        }
         match (req.method, req.path.as_str()) {
-            (Method::Get, "/ping") => Response::ok("pong"),
-            (Method::Get, "/static") => Response::ok("ok"),
             (Method::Post, "/predictions") => {
-                let items = match http::decode_session(&req.body) {
+                let t_total = Instant::now();
+                let (rid, echo) = correlation_id(req);
+                let t_parse = Instant::now();
+                let items = match parse_prediction(&req.body, catalog_size) {
                     Ok(items) => items,
-                    Err(_) => return Response::error(400, "malformed session"),
+                    Err(resp) => return echo_request_id(resp, echo),
                 };
-                // Reject out-of-catalog ids at the boundary: a clean 400
-                // instead of an inference failure deep in the kernels.
-                if let Some(&bad) = items.iter().find(|&&i| i as usize >= catalog_size) {
-                    return Response::error(400, &format!("item id {bad} out of catalog"));
-                }
-                let start = Instant::now();
-                let rec = match &compiled {
-                    Some(graph) => traits::recommend_compiled(model.as_ref(), graph, &items),
-                    None => traits::recommend_eager(model.as_ref(), &device, &items),
+                let parse = t_parse.elapsed();
+                let timed = match &compiled {
+                    Some(graph) => traits::recommend_compiled_timed(model.as_ref(), graph, &items),
+                    None => traits::recommend_eager_timed(model.as_ref(), &device, &items),
                 };
-                let inference = start.elapsed();
-                let _guard = stats.lock();
-                match rec {
-                    Ok(rec) => {
+                match timed {
+                    Ok((rec, st)) => {
+                        let t_ser = Instant::now();
                         let body = http::encode_recommendations(&rec.items, &rec.scores);
-                        Response::ok(body).with_header(
-                            "x-inference-duration-micros",
-                            inference.as_micros().to_string(),
-                        )
+                        let resp = echo_request_id(
+                            Response::ok(body).with_header(
+                                "x-inference-duration-micros",
+                                (st.inference + st.topk).as_micros().to_string(),
+                            ),
+                            echo,
+                        );
+                        let serialize = t_ser.elapsed();
+                        // Take the total before the records: the first
+                        // record on a thread registers its ring, which
+                        // must not be billed to this request.
+                        let total = t_total.elapsed();
+                        recorder.record(rid, Stage::Parse, nanos(parse));
+                        recorder.record(rid, Stage::Inference, nanos(st.inference));
+                        recorder.record(rid, Stage::TopK, nanos(st.topk));
+                        recorder.record(rid, Stage::Serialize, nanos(serialize));
+                        recorder.record(rid, Stage::Total, nanos(total));
+                        resp
                     }
-                    Err(_) => Response::error(500, "inference failed"),
+                    Err(_) => echo_request_id(Response::error(500, "inference failed"), echo),
                 }
             }
             _ => Response::error(404, "no such route"),
         }
     })
 }
+
+/// One batched inference result: the recommendation plus the measured
+/// inference/top-k wall-time split, so the handler thread can derive its
+/// queue wait (submit-to-response minus actual compute).
+struct BatchReply {
+    rec: Result<etude_models::Recommendation, String>,
+    inference: Duration,
+    topk: Duration,
+}
+
+type PredictionBatcher = crate::batching::Batcher<Vec<u32>, BatchReply>;
 
 /// Builds the model-serving routes with the `batched-fn`-style request
 /// batcher in front of inference — the configuration the paper uses for
@@ -363,14 +461,28 @@ pub fn model_routes(model: Arc<dyn SbrModel>, device: Device, jit: bool) -> Hand
 /// On this CPU-only substrate batch items execute sequentially inside the
 /// batcher thread — the batching *mechanics* (queueing, flush deadline,
 /// per-request response channels) are exactly the deployed structure.
+///
+/// The batcher queue is bounded ([`crate::batching::BatchConfig::max_queue`]);
+/// when it fills, requests are shed with `503 Service Unavailable` and a
+/// `Retry-After` header instead of queueing unboundedly.
 pub fn model_routes_batched(
     model: Arc<dyn SbrModel>,
     device: Device,
     jit: bool,
     config: crate::batching::BatchConfig,
 ) -> Handler {
+    model_routes_batched_observed(model, device, jit, config, Arc::new(Recorder::new()))
+}
+
+/// [`model_routes_batched`] with an externally owned span recorder.
+pub fn model_routes_batched_observed(
+    model: Arc<dyn SbrModel>,
+    device: Device,
+    jit: bool,
+    config: crate::batching::BatchConfig,
+    recorder: Arc<Recorder>,
+) -> Handler {
     use crate::batching::Batcher;
-    use etude_models::Recommendation;
 
     let compiled: Option<Arc<CompiledGraph>> = if jit {
         traits::compile(model.as_ref(), JitOptions::default())
@@ -382,47 +494,107 @@ pub fn model_routes_batched(
     let catalog_size = model.config().catalog_size;
     let infer_model = Arc::clone(&model);
     let infer_device = device.clone();
-    let batcher: Arc<Batcher<Vec<u32>, Result<Recommendation, String>>> =
+    let batcher: Arc<PredictionBatcher> =
         Arc::new(Batcher::spawn(config, move |sessions: Vec<Vec<u32>>| {
             sessions
                 .into_iter()
                 .map(|items| {
-                    let rec = match &compiled {
+                    let timed = match &compiled {
                         Some(graph) => {
-                            traits::recommend_compiled(infer_model.as_ref(), graph, &items)
+                            traits::recommend_compiled_timed(infer_model.as_ref(), graph, &items)
                         }
-                        None => {
-                            traits::recommend_eager(infer_model.as_ref(), &infer_device, &items)
-                        }
+                        None => traits::recommend_eager_timed(
+                            infer_model.as_ref(),
+                            &infer_device,
+                            &items,
+                        ),
                     };
-                    rec.map_err(|e| e.to_string())
+                    match timed {
+                        Ok((rec, st)) => BatchReply {
+                            rec: Ok(rec),
+                            inference: st.inference,
+                            topk: st.topk,
+                        },
+                        Err(e) => BatchReply {
+                            rec: Err(e.to_string()),
+                            inference: Duration::ZERO,
+                            topk: Duration::ZERO,
+                        },
+                    }
                 })
                 .collect()
         }));
+    batched_routes(batcher, catalog_size, recorder)
+}
+
+/// The route table around a prediction batcher. Factored out of
+/// [`model_routes_batched_observed`] so tests can drive a batcher whose
+/// batch closure they control (e.g. gated, to force overload).
+fn batched_routes(
+    batcher: Arc<PredictionBatcher>,
+    catalog_size: usize,
+    recorder: Arc<Recorder>,
+) -> Handler {
+    use crate::batching::CallError;
 
     Arc::new(move |req: &Request| -> Response {
+        if let Some(resp) = shared_routes(req, &recorder) {
+            return resp;
+        }
         match (req.method, req.path.as_str()) {
-            (Method::Get, "/ping") => Response::ok("pong"),
-            (Method::Get, "/static") => Response::ok("ok"),
             (Method::Post, "/predictions") => {
-                let items = match http::decode_session(&req.body) {
+                let t_total = Instant::now();
+                let (rid, echo) = correlation_id(req);
+                let t_parse = Instant::now();
+                let items = match parse_prediction(&req.body, catalog_size) {
                     Ok(items) => items,
-                    Err(_) => return Response::error(400, "malformed session"),
+                    Err(resp) => return echo_request_id(resp, echo),
                 };
-                if let Some(&bad) = items.iter().find(|&&i| i as usize >= catalog_size) {
-                    return Response::error(400, &format!("item id {bad} out of catalog"));
-                }
-                let start = Instant::now();
-                match batcher.call(items) {
-                    Some(Ok(rec)) => {
+                let parse = t_parse.elapsed();
+                let t_call = Instant::now();
+                match batcher.try_call(items) {
+                    Ok(BatchReply {
+                        rec: Ok(rec),
+                        inference,
+                        topk,
+                    }) => {
+                        // Everything between submit and response that was
+                        // not compute is batch-queue wait (sitting in the
+                        // channel plus the flush deadline).
+                        let queue = t_call.elapsed().saturating_sub(inference + topk);
+                        let t_ser = Instant::now();
                         let body = http::encode_recommendations(&rec.items, &rec.scores);
-                        Response::ok(body).with_header(
-                            "x-inference-duration-micros",
-                            start.elapsed().as_micros().to_string(),
-                        )
+                        let resp = echo_request_id(
+                            Response::ok(body).with_header(
+                                "x-inference-duration-micros",
+                                (inference + topk).as_micros().to_string(),
+                            ),
+                            echo,
+                        );
+                        let serialize = t_ser.elapsed();
+                        // Take the total before the records: the first
+                        // record on a thread registers its ring, which
+                        // must not be billed to this request.
+                        let total = t_total.elapsed();
+                        recorder.record(rid, Stage::Parse, nanos(parse));
+                        recorder.record(rid, Stage::Queue, nanos(queue));
+                        recorder.record(rid, Stage::Inference, nanos(inference));
+                        recorder.record(rid, Stage::TopK, nanos(topk));
+                        recorder.record(rid, Stage::Serialize, nanos(serialize));
+                        recorder.record(rid, Stage::Total, nanos(total));
+                        resp
                     }
-                    Some(Err(_)) => Response::error(500, "inference failed"),
-                    None => Response::error(503, "batcher unavailable"),
+                    Ok(BatchReply { rec: Err(_), .. }) => {
+                        echo_request_id(Response::error(500, "inference failed"), echo)
+                    }
+                    Err(CallError::Overloaded) => echo_request_id(
+                        Response::error(503, "server overloaded, retry later")
+                            .with_header("retry-after", "1".to_string()),
+                        echo,
+                    ),
+                    Err(CallError::Closed) => {
+                        echo_request_id(Response::error(503, "batcher unavailable"), echo)
+                    }
                 }
             }
             _ => Response::error(404, "no such route"),
@@ -534,6 +706,7 @@ mod tests {
             crate::batching::BatchConfig {
                 max_batch: 8,
                 flush_every: Duration::from_millis(2),
+                ..Default::default()
             },
         );
         let plain_server = start(ServerConfig::default(), plain).unwrap();
@@ -580,6 +753,217 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(server.requests_served(), 150);
+    }
+
+    #[test]
+    fn request_ids_are_echoed_on_responses() {
+        let cfg = ModelConfig::new(200).with_max_session_len(4).with_seed(3);
+        let model: Arc<dyn SbrModel> = Arc::from(ModelKind::Stamp.build(&cfg));
+        let server = start(
+            ServerConfig::default(),
+            model_routes(model, Device::cpu(), false),
+        )
+        .unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let mut req = Request::post("/predictions", "1,2");
+        req.headers
+            .insert("x-request-id".into(), "req-abc-123".into());
+        let resp = client.request(&req).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.headers.get("x-request-id").map(String::as_str),
+            Some("req-abc-123")
+        );
+        // Without an explicit header the client generates one and the
+        // server echoes it back.
+        let resp = client
+            .request(&Request::post("/predictions", "1,2"))
+            .unwrap();
+        assert!(
+            resp.headers
+                .get("x-request-id")
+                .is_some_and(|id| id.starts_with("auto-")),
+            "expected generated id, got {:?}",
+            resp.headers.get("x-request-id")
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_and_stats_endpoints_aggregate_stage_latencies() {
+        let cfg = ModelConfig::new(300).with_max_session_len(8).with_seed(4);
+        let model: Arc<dyn SbrModel> = Arc::from(ModelKind::Core.build(&cfg));
+        let handler = model_routes(model, Device::cpu(), true);
+        let server = start(ServerConfig::default(), handler).unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        for i in 0..5 {
+            let resp = client
+                .request(&Request::post(
+                    "/predictions",
+                    format!("{},{}", i + 1, i + 2),
+                ))
+                .unwrap();
+            assert_eq!(resp.status, 200);
+        }
+
+        let stats = client.request(&Request::get("/stats")).unwrap();
+        assert_eq!(stats.status, 200);
+        assert_eq!(
+            stats.headers.get("content-type").map(String::as_str),
+            Some("application/json")
+        );
+        let snap = etude_obs::parse_stats_json(std::str::from_utf8(&stats.body).unwrap()).unwrap();
+        assert_eq!(snap.requests, 5);
+        assert_eq!(snap.dropped, 0);
+        for stage in ["parse", "inference", "topk", "serialize", "total"] {
+            let s = snap
+                .stage(stage)
+                .unwrap_or_else(|| panic!("missing {stage}"));
+            assert_eq!(s.count, 5, "stage {stage}");
+        }
+        assert!(snap.stage("queue").is_none(), "plain route has no queue");
+
+        let metrics = client.request(&Request::get("/metrics")).unwrap();
+        assert_eq!(metrics.status, 200);
+        let text = std::str::from_utf8(&metrics.body).unwrap();
+        assert!(text.contains("# TYPE etude_stage_latency_microseconds summary"));
+        assert!(
+            text.contains("etude_stage_latency_microseconds{stage=\"inference\",quantile=\"0.9\"}")
+        );
+        assert!(text.contains("etude_requests_total 5"));
+        server.shutdown();
+    }
+
+    /// The tentpole acceptance check: on the batched server, the
+    /// recorded component stages must tile each request's total within
+    /// 10%.
+    #[test]
+    fn stage_components_tile_the_total_within_ten_percent() {
+        let cfg = ModelConfig::new(400).with_max_session_len(8).with_seed(11);
+        let model: Arc<dyn SbrModel> = Arc::from(ModelKind::Core.build(&cfg));
+        let recorder = Arc::new(Recorder::new());
+        recorder.set_record_retention(true);
+        let handler = model_routes_batched_observed(
+            model,
+            Device::cpu(),
+            true,
+            crate::batching::BatchConfig::default(),
+            Arc::clone(&recorder),
+        );
+        let server = start(ServerConfig::default(), handler).unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let n = 20u32;
+        for i in 0..n {
+            let mut req = Request::post("/predictions", format!("{},{}", i % 400, (i * 7) % 400));
+            req.headers
+                .insert("x-request-id".into(), format!("tile-{i}"));
+            let resp = client.request(&req).unwrap();
+            assert_eq!(resp.status, 200);
+        }
+        let records = recorder.take_records();
+        let mut checked = 0;
+        for i in 0..n {
+            let rid = request_id_hash(&format!("tile-{i}"));
+            let of = |stage: Stage| {
+                records
+                    .iter()
+                    .find(|r| r.request_id == rid && r.stage == stage)
+                    .map(|r| r.duration_nanos)
+                    .unwrap_or_else(|| panic!("request {i} missing {}", stage.name()))
+            };
+            let total = of(Stage::Total);
+            let sum = Stage::COMPONENTS.iter().map(|&s| of(s)).sum::<u64>();
+            let gap = total.abs_diff(sum);
+            assert!(
+                gap * 10 <= total,
+                "request {i}: components {sum}ns vs total {total}ns (gap {gap}ns > 10%)"
+            );
+            checked += 1;
+        }
+        assert_eq!(checked, n);
+        server.shutdown();
+    }
+
+    /// Drives the batched server into overload (gated batcher, full
+    /// queue) and back out: shed requests get `503` + `Retry-After`,
+    /// recovery restores `200`s.
+    #[test]
+    fn overloaded_batched_server_sheds_load_and_recovers() {
+        use crate::batching::{BatchConfig, Batcher};
+
+        let gate = Arc::new(parking_lot::Mutex::new(()));
+        let held = gate.lock();
+        let handler_gate = Arc::clone(&gate);
+        let entered = Arc::new(AtomicU64::new(0));
+        let entered_in_closure = Arc::clone(&entered);
+        let batcher: Arc<PredictionBatcher> = Arc::new(Batcher::spawn(
+            BatchConfig {
+                max_batch: 1,
+                flush_every: Duration::from_micros(1),
+                max_queue: 1,
+            },
+            move |sessions: Vec<Vec<u32>>| {
+                entered_in_closure.fetch_add(1, Ordering::SeqCst);
+                let _open = handler_gate.lock();
+                sessions
+                    .into_iter()
+                    .map(|_| BatchReply {
+                        rec: Ok(etude_models::Recommendation {
+                            items: vec![1],
+                            scores: vec![1.0],
+                        }),
+                        inference: Duration::from_micros(10),
+                        topk: Duration::from_micros(5),
+                    })
+                    .collect()
+            },
+        ));
+        let probe = Arc::clone(&batcher);
+        let handler = batched_routes(batcher, 100, Arc::new(Recorder::new()));
+        let server = start(ServerConfig { workers: 4 }, handler).unwrap();
+        let addr = server.addr();
+
+        let spawn_request = move || {
+            std::thread::spawn(move || {
+                let mut client =
+                    HttpClient::connect_with_timeout(addr, Duration::from_secs(30)).unwrap();
+                client
+                    .request(&Request::post("/predictions", "1"))
+                    .unwrap()
+                    .status
+            })
+        };
+        let deadline = Instant::now() + Duration::from_secs(10);
+        // First in-flight request: consumed by the batcher thread, which
+        // is now held inside the gated closure.
+        let mut blocked = vec![spawn_request()];
+        while entered.load(Ordering::SeqCst) == 0 {
+            assert!(Instant::now() < deadline, "batcher never started");
+            std::thread::yield_now();
+        }
+        // Second in-flight request: fills the single queue slot.
+        blocked.push(spawn_request());
+        while probe.queue_depth() < 1 {
+            assert!(Instant::now() < deadline, "queue never filled");
+            std::thread::yield_now();
+        }
+        // Queue full: the next request is shed immediately.
+        let mut client = HttpClient::connect(addr).unwrap();
+        let resp = client.request(&Request::post("/predictions", "2")).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(
+            resp.headers.get("retry-after").map(String::as_str),
+            Some("1")
+        );
+
+        // Out of overload: release the gate, let the queue drain.
+        drop(held);
+        for b in blocked {
+            assert_eq!(b.join().unwrap(), 200);
+        }
+        let resp = client.request(&Request::post("/predictions", "3")).unwrap();
+        assert_eq!(resp.status, 200);
+        server.shutdown();
     }
 
     #[test]

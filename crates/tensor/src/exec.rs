@@ -17,7 +17,7 @@
 
 use crate::cost::CostTracker;
 use crate::device::Device;
-use crate::graph::{self, Graph, Node, OpKind};
+use crate::graph::{self, Graph, Node, OpKind, OpTimes};
 use crate::kernels::{BinOp, UnOp};
 use crate::param::{Param, ParamId};
 use crate::tensor::{Tensor, TensorError};
@@ -78,6 +78,8 @@ pub struct Exec {
     consts: HashMap<usize, Arc<Tensor>>,
     const_cache: HashMap<ParamId, TRef>,
     n_inputs: usize,
+    // Per-op wall-time accounting, off unless enabled (Real mode only).
+    op_times: Option<OpTimes>,
 }
 
 impl Exec {
@@ -100,7 +102,21 @@ impl Exec {
             consts: HashMap::new(),
             const_cache: HashMap::new(),
             n_inputs: 0,
+            op_times: None,
         }
+    }
+
+    /// Turns on per-op wall-time accounting ([`Exec::op_times`]). Only
+    /// meaningful in [`ExecMode::Real`]; the other modes never execute
+    /// kernels, so their buckets stay zero.
+    pub fn enable_op_timing(&mut self) {
+        self.op_times = Some(OpTimes::default());
+    }
+
+    /// Accumulated per-op wall time since [`Exec::enable_op_timing`], or
+    /// `None` if timing was never enabled.
+    pub fn op_times(&self) -> Option<OpTimes> {
+        self.op_times
     }
 
     /// The execution mode.
@@ -197,11 +213,15 @@ impl Exec {
                     .iter()
                     .map(|&r| self.arena[r.0].tensor.as_ref())
                     .collect();
+                let timed_start = self.op_times.is_some().then(std::time::Instant::now);
                 let out = if self.mode == ExecMode::CostOnly {
                     Tensor::phantom(&out_shape)
                 } else {
                     graph::eval(&kind, &inputs, &out_shape)?
                 };
+                if let (Some(start), Some(times)) = (timed_start, self.op_times.as_mut()) {
+                    times.add(&kind, start.elapsed());
+                }
                 Ok(self.push_entry(Arc::new(out), false))
             }
             ExecMode::Trace => {

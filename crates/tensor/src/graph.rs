@@ -892,6 +892,26 @@ impl Graph {
     ///
     /// Returns the output tensor and the realised cost at batch size one.
     pub fn run(&self, inputs: &[Tensor]) -> Result<(Tensor, Cost), TensorError> {
+        self.run_inner(inputs, None)
+    }
+
+    /// Executes the graph while timing each op, bucketed into top-k vs
+    /// everything else (see [`OpTimes`]).
+    ///
+    /// Timing adds two `Instant` reads per op — negligible next to the
+    /// ops themselves, but kept off [`Graph::run`] so the default path
+    /// pays nothing.
+    pub fn run_timed(&self, inputs: &[Tensor]) -> Result<(Tensor, Cost, OpTimes), TensorError> {
+        let mut times = OpTimes::default();
+        let (out, cost) = self.run_inner(inputs, Some(&mut times))?;
+        Ok((out, cost, times))
+    }
+
+    fn run_inner(
+        &self,
+        inputs: &[Tensor],
+        mut times: Option<&mut OpTimes>,
+    ) -> Result<(Tensor, Cost), TensorError> {
         let mut values: Vec<Option<Arc<Tensor>>> = vec![None; self.nodes.len()];
         let mut cost = Cost::ZERO;
         for (id, node) in self.nodes.iter().enumerate() {
@@ -926,7 +946,15 @@ impl Graph {
                         .collect::<Result<_, _>>()?;
                     let operands: Vec<&Tensor> = operand_arcs.iter().map(|a| a.as_ref()).collect();
                     cost += node.cost.at_batch(1);
-                    Arc::new(eval(kind, &operands, &node.shape)?)
+                    match times.as_deref_mut() {
+                        Some(t) => {
+                            let start = std::time::Instant::now();
+                            let out = eval(kind, &operands, &node.shape)?;
+                            t.add(kind, start.elapsed());
+                            Arc::new(out)
+                        }
+                        None => Arc::new(eval(kind, &operands, &node.shape)?),
+                    }
                 }
             };
             values[id] = Some(value);
@@ -935,6 +963,41 @@ impl Graph {
             .take()
             .ok_or(TensorError::InvalidRef { index: self.output })?;
         Ok((Arc::try_unwrap(out).unwrap_or_else(|a| (*a).clone()), cost))
+    }
+}
+
+/// Wall time spent executing graph ops, split into the top-k selection
+/// over the catalogue versus the rest of the forward pass.
+///
+/// The serving layer needs this split because top-k runs *inside* the
+/// forward graph (it is an [`OpKind::TopK`] node), yet the paper reports
+/// it as its own pipeline stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpTimes {
+    /// Time spent in `TopK` ops.
+    pub topk: std::time::Duration,
+    /// Time spent in every other op.
+    pub other: std::time::Duration,
+}
+
+impl OpTimes {
+    /// Attributes one op's elapsed time to the right bucket.
+    pub fn add(&mut self, kind: &OpKind, elapsed: std::time::Duration) {
+        match kind {
+            OpKind::TopK { .. } => self.topk += elapsed,
+            _ => self.other += elapsed,
+        }
+    }
+
+    /// Sum of both buckets.
+    pub fn total(&self) -> std::time::Duration {
+        self.topk + self.other
+    }
+
+    /// Accumulates another measurement into this one.
+    pub fn merge(&mut self, other: &OpTimes) {
+        self.topk += other.topk;
+        self.other += other.other;
     }
 }
 

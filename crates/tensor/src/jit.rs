@@ -121,6 +121,15 @@ impl CompiledGraph {
         self.graph.run(inputs)
     }
 
+    /// Executes the compiled graph with per-op timing (see
+    /// [`Graph::run_timed`]).
+    pub fn run_timed(
+        &self,
+        inputs: &[Tensor],
+    ) -> Result<(Tensor, Cost, crate::graph::OpTimes), TensorError> {
+        self.graph.run_timed(inputs)
+    }
+
     /// Latency of a forward pass over `batch` fused requests on `device`.
     pub fn latency(&self, device: &DeviceProfile, batch: usize) -> Duration {
         device.latency(&self.cost.at_batch(batch))

@@ -42,7 +42,7 @@ fn dot_gather(a: &[f32], fetch: impl Fn(usize) -> f32) -> f32 {
 
 /// `out[m*n] = a[m*k] * b[k*n]` (row-major).
 ///
-/// Each output element is an independent [`dot_gather`] over a row of
+/// Each output element is an independent `dot_gather` over a row of
 /// `a` and a (strided) column of `b`; for `n == 1` — the full-catalog
 /// MIPS shape `[C,d] x [d,1]` — the column is contiguous and this is a
 /// plain vectorised dot per catalog row.

@@ -11,6 +11,8 @@
 //! ```text
 //! curl http://127.0.0.1:<port>/ping
 //! curl -d '1,2,3' http://127.0.0.1:<port>/predictions
+//! curl http://127.0.0.1:<port>/stats      # per-stage latency breakdown (JSON)
+//! curl http://127.0.0.1:<port>/metrics    # Prometheus text format
 //! ```
 
 use etude::models::{ModelConfig, ModelKind, SbrModel};
@@ -30,7 +32,7 @@ fn main() {
     let handler = model_routes(model, Device::cpu(), true);
     let server = start(ServerConfig { workers: 4 }, handler).expect("server starts");
     println!(
-        "serving {} items on http://{} (GET /ping, GET /static, POST /predictions)",
+        "serving {} items on http://{} (GET /ping, /static, /stats, /metrics; POST /predictions)",
         catalog,
         server.addr()
     );

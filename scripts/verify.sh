@@ -10,6 +10,12 @@ cargo build --release
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> latency_breakdown --smoke (live observability loop)"
+cargo run --release -q -p etude-bench --bin latency_breakdown -- --smoke
+
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q --workspace
+
 if cargo fmt --version >/dev/null 2>&1; then
     echo "==> cargo fmt --check"
     cargo fmt --all -- --check

@@ -23,6 +23,15 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; the message is handed back.
+        Full(T),
+        /// Every receiver has been dropped; the message is handed back.
+        Disconnected(T),
+    }
+
     /// Error returned by [`Receiver::try_recv`].
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub enum TryRecvError {
@@ -122,6 +131,33 @@ pub mod channel {
                     Err(poison) => poison.into_inner(),
                 };
             }
+        }
+
+        /// Sends `value` without blocking: fails with [`TrySendError::Full`]
+        /// when the channel is at capacity instead of waiting for space.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let shared = &*self.shared;
+            let mut queue = shared.lock();
+            if shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if queue.len() >= shared.capacity {
+                return Err(TrySendError::Full(value));
+            }
+            queue.push_back(value);
+            drop(queue);
+            shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.lock().len()
+        }
+
+        /// Whether no messages are currently queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
@@ -305,6 +341,17 @@ pub mod channel {
             let (_tx, rx) = unbounded::<u32>();
             let err = rx.recv_timeout(Duration::from_millis(10));
             assert_eq!(err, Err(RecvTimeoutError::Timeout));
+        }
+
+        #[test]
+        fn try_send_reports_full_and_disconnected() {
+            let (tx, rx) = bounded(1);
+            assert_eq!(tx.try_send(1), Ok(()));
+            assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(tx.try_send(3), Ok(()));
+            drop(rx);
+            assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
         }
 
         #[test]

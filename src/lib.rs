@@ -4,6 +4,7 @@ pub use etude_core as core;
 pub use etude_loadgen as loadgen;
 pub use etude_metrics as metrics;
 pub use etude_models as models;
+pub use etude_obs as obs;
 pub use etude_serve as serve;
 pub use etude_simnet as simnet;
 pub use etude_tensor as tensor;
