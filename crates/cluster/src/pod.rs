@@ -8,6 +8,7 @@
 //! it onto the device, then flips to `Ready`; its readiness probe
 //! reports the phase, and traffic before readiness is refused.
 
+use etude_faults::{FaultInjector, FaultKind};
 use etude_serve::simserver::{RespondFn, ServeError, SimService};
 use etude_simnet::{shared, Shared, Sim, SimTime};
 use std::rc::Rc;
@@ -20,6 +21,9 @@ pub enum PodPhase {
     Starting,
     /// Readiness probe passing; traffic may be routed here.
     Ready,
+    /// Crashed (fault injection): down until the crash window ends,
+    /// then restarts through `Starting` again.
+    Crashed,
 }
 
 struct PodState {
@@ -57,14 +61,56 @@ impl Pod {
     }
 
     /// Schedules the startup sequence; the pod becomes ready after its
-    /// startup time.
+    /// startup time (unless a crash intervened — a crashed pod only
+    /// comes back through its own restart sequence).
     pub fn start(self: &Rc<Self>, sim: &mut Sim) -> SimTime {
         let ready_at = sim.now().after(self.startup);
         let state = Rc::clone(&self.state_rc());
         sim.schedule_at(ready_at, move |_| {
-            state.borrow_mut().phase = PodPhase::Ready;
+            let mut s = state.borrow_mut();
+            if s.phase == PodPhase::Starting {
+                s.phase = PodPhase::Ready;
+            }
         });
         ready_at
+    }
+
+    /// Schedules every [`FaultKind::Crash`] window of the injector's
+    /// plan onto this pod: the pod drops to `Crashed` at the window
+    /// start (refusing traffic) and begins a *full* restart — container
+    /// startup plus model download, gated by the readiness probe — when
+    /// the window ends. Plan times are relative to virtual time zero.
+    pub fn schedule_crashes(self: &Rc<Self>, sim: &mut Sim, injector: &FaultInjector) {
+        let crashes: Vec<(Duration, Duration)> = injector
+            .plan()
+            .windows
+            .iter()
+            .filter(|w| matches!(w.kind, FaultKind::Crash))
+            .map(|w| (w.from, w.until))
+            .collect();
+        for (from, until) in crashes {
+            let state = self.state_rc();
+            let inj = injector.clone();
+            sim.schedule_at(SimTime::ZERO.after(from), move |_| {
+                let mut s = state.borrow_mut();
+                if s.phase != PodPhase::Crashed {
+                    inj.note_crash();
+                }
+                s.phase = PodPhase::Crashed;
+            });
+            let state = self.state_rc();
+            let startup = self.startup;
+            sim.schedule_at(SimTime::ZERO.after(until), move |sim| {
+                state.borrow_mut().phase = PodPhase::Starting;
+                let state = Rc::clone(&state);
+                sim.schedule_in(startup, move |_| {
+                    let mut s = state.borrow_mut();
+                    if s.phase == PodPhase::Starting {
+                        s.phase = PodPhase::Ready;
+                    }
+                });
+            });
+        }
     }
 
     fn state_rc(&self) -> Shared<PodState> {
@@ -153,6 +199,62 @@ mod tests {
         );
         sim.run_to_completion();
         assert_eq!(*outcome.borrow(), Some(true));
+        assert_eq!(pod.refused(), 1);
+    }
+
+    #[test]
+    fn crash_windows_take_the_pod_down_and_restart_it() {
+        use etude_faults::FaultPlan;
+
+        let mut sim = Sim::new();
+        let pod = pod_with_bytes(0); // 8 s startup
+        pod.start(&mut sim);
+        // Crash from t=20s to t=25s; the pod restarts at 25s and needs
+        // its full 8 s startup again, so readiness returns at 33s.
+        let injector = FaultInjector::new(FaultPlan::seeded(1).with_window(
+            Duration::from_secs(20),
+            Duration::from_secs(25),
+            FaultKind::Crash,
+        ));
+        pod.schedule_crashes(&mut sim, &injector);
+        let at = |s: u64| SimTime::ZERO.after(Duration::from_secs(s));
+        sim.run_until(at(10));
+        assert_eq!(pod.phase(), PodPhase::Ready, "up before the crash");
+        sim.run_until(at(21));
+        assert_eq!(pod.phase(), PodPhase::Crashed, "down inside the window");
+        sim.run_until(at(26));
+        assert_eq!(pod.phase(), PodPhase::Starting, "restarting after it");
+        sim.run_until(at(34));
+        assert_eq!(pod.phase(), PodPhase::Ready, "restart completed");
+        assert_eq!(injector.counters().crashes(), 1);
+    }
+
+    #[test]
+    fn crashed_pods_refuse_traffic() {
+        use etude_faults::FaultPlan;
+
+        let mut sim = Sim::new();
+        let pod = pod_with_bytes(0);
+        pod.start(&mut sim);
+        let injector = FaultInjector::new(FaultPlan::seeded(2).with_window(
+            Duration::from_secs(15),
+            Duration::from_secs(60),
+            FaultKind::Crash,
+        ));
+        pod.schedule_crashes(&mut sim, &injector);
+        let outcome = etude_simnet::shared(None);
+        let o = Rc::clone(&outcome);
+        let pod2 = Rc::clone(&pod);
+        sim.schedule_in(Duration::from_secs(20), move |s| {
+            pod2.submit(
+                s,
+                Box::new(move |_, result| {
+                    *o.borrow_mut() = Some(result.is_err());
+                }),
+            );
+        });
+        sim.run_until(SimTime::ZERO.after(Duration::from_secs(30)));
+        assert_eq!(*outcome.borrow(), Some(true), "crashed pod refused");
         assert_eq!(pod.refused(), 1);
     }
 

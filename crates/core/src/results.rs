@@ -86,6 +86,8 @@ mod tests {
             ok: rps * ticks,
             errors: 0,
             suppressed: 0,
+            retries: 0,
+            degraded: 0,
             server_stages: None,
         }
     }

@@ -5,16 +5,21 @@
 use crate::results::ExperimentResult;
 use crate::spec::{ExecutionMode, ExperimentSpec};
 use etude_cluster::{Deployment, DeploymentSpec};
+use etude_faults::FaultInjector;
 use etude_loadgen::{LoadConfig, LoadTestResult, SimLoadGen};
 use etude_metrics::percentile::percentile_duration;
 use etude_metrics::TimeSeries;
 use etude_serve::service::ExecutionKind;
 use etude_serve::ServiceProfile;
-use etude_simnet::link::Link;
-use etude_simnet::Sim;
+use etude_simnet::link::{FaultyLink, Link};
+use etude_simnet::{Sim, SimTime};
 use etude_tensor::Device;
 use etude_workload::SyntheticWorkload;
 use std::time::Duration;
+
+/// How long the serial micro-benchmark waits on a lost request before
+/// writing it off (same horizon as the load drivers' client timeout).
+const SERIAL_CLIENT_TIMEOUT: Duration = Duration::from_secs(2);
 
 fn execution_kind(mode: ExecutionMode) -> ExecutionKind {
     match mode {
@@ -54,6 +59,8 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
             ok: 0,
             errors: 0,
             suppressed: 0,
+            retries: 0,
+            degraded: 0,
             server_stages: None,
         };
         return ExperimentResult::evaluate(spec, monthly_cost, empty, 1);
@@ -72,6 +79,13 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
 
     let mut sim = Sim::new();
     let deployment = Deployment::create(&mut sim, deployment_spec, &profile);
+    // The spec's fault schedule covers both layers: crash windows take
+    // pods down (relative to virtual time zero), everything else rides
+    // on the client-server network path.
+    let injector = FaultInjector::new(spec.faults.clone());
+    for pod in deployment.pods() {
+        pod.schedule_crashes(&mut sim, &injector);
+    }
     // The runner starts the load generator only once every readiness
     // probe passes (Section II, "Benchmark execution").
     sim.run_until(deployment.ready_at());
@@ -83,7 +97,14 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         backpressure: true,
         seed: spec.seed,
     };
-    let handle = SimLoadGen::schedule(&mut sim, deployment.service(), &log, load_config, start);
+    let handle = SimLoadGen::schedule_with_faults(
+        &mut sim,
+        deployment.service(),
+        &log,
+        load_config,
+        start,
+        injector,
+    );
     sim.run_to_completion();
     let load = handle.collect();
 
@@ -133,6 +154,10 @@ pub struct SerialResult {
     pub cpu_threads: usize,
     /// Where the mean latency goes (compute vs overhead vs network).
     pub breakdown: SerialBreakdown,
+    /// Requests lost to fault windows (drops/partitions); each held the
+    /// serial loop for the client timeout and produced no sample. Zero
+    /// under a calm plan.
+    pub lost: usize,
 }
 
 /// Runs the Figure 3 micro-benchmark for one (model, device, execution)
@@ -141,16 +166,37 @@ pub struct SerialResult {
 pub fn run_serial_microbenchmark(spec: &ExperimentSpec, requests: usize) -> SerialResult {
     let profile = service_profile(spec);
     let device: Device = spec.instance.device();
-    let mut link = Link::cluster(spec.seed);
+    let mut link = FaultyLink::new(
+        Link::cluster(spec.seed),
+        FaultInjector::new(spec.faults.clone()),
+    );
     let mut samples = Vec::with_capacity(requests);
     let per_request = profile.batch_latency(1) + profile.handler_overhead;
     let mut rtt_total = Duration::ZERO;
-    for _ in 0..requests.max(1) {
+    // The serial loop's own virtual clock: requests run back to back, so
+    // fault windows are evaluated against the accumulated latency.
+    let mut elapsed = Duration::ZERO;
+    let mut lost = 0usize;
+    for i in 0..requests.max(1) as u64 {
         // Serial requests see the raw service time plus two network hops;
-        // there is no queueing by construction.
-        let rtt = link.sample() + link.sample();
+        // there is no queueing by construction. Either hop can lose the
+        // request to a fault window — the loop then idles out the client
+        // timeout and moves on.
+        let now = SimTime::ZERO.after(elapsed);
+        let out = link.sample(now, 2 * i);
+        let back = match out {
+            Some(_) => link.sample(now, 2 * i + 1),
+            None => None,
+        };
+        let (Some(out), Some(back)) = (out, back) else {
+            lost += 1;
+            elapsed += SERIAL_CLIENT_TIMEOUT;
+            continue;
+        };
+        let rtt = out + back;
         rtt_total += rtt;
         samples.push(per_request + rtt);
+        elapsed += per_request + rtt;
     }
     let p90 = percentile_duration(&samples, 0.9).unwrap_or_default();
     let mean = samples.iter().sum::<Duration>() / samples.len().max(1) as u32;
@@ -168,6 +214,7 @@ pub fn run_serial_microbenchmark(spec: &ExperimentSpec, requests: usize) -> Seri
         samples: samples.len(),
         cpu_threads: etude_tensor::pool::current_threads(),
         breakdown,
+        lost,
     }
 }
 
@@ -268,6 +315,56 @@ mod tests {
         );
         assert!(result.breakdown.inference > Duration::ZERO);
         assert!(result.breakdown.network > Duration::ZERO);
+    }
+
+    #[test]
+    fn serial_microbenchmark_loses_requests_to_partitions() {
+        use etude_faults::{FaultKind, FaultPlan};
+
+        // A partition over the first two (virtual) seconds swallows the
+        // first request; the 2 s timeout then carries the clock past the
+        // window and the rest go through.
+        let plan = FaultPlan::seeded(3).with_window(
+            Duration::ZERO,
+            Duration::from_secs(2),
+            FaultKind::Partition,
+        );
+        let spec =
+            ExperimentSpec::new(ModelKind::Core, 10_000, InstanceType::CpuE2).with_faults(plan);
+        let result = run_serial_microbenchmark(&spec, 30);
+        assert!(result.lost >= 1, "partition lost nothing");
+        assert_eq!(result.lost + result.samples, 30);
+
+        let calm = run_serial_microbenchmark(
+            &ExperimentSpec::new(ModelKind::Core, 10_000, InstanceType::CpuE2),
+            30,
+        );
+        assert_eq!(calm.lost, 0);
+        assert_eq!(calm.samples, 30);
+    }
+
+    #[test]
+    fn experiments_surface_fault_windows_as_errors() {
+        use etude_faults::{FaultKind, FaultPlan};
+
+        // Drops mid-ramp turn into client-side errors; the same seeded
+        // spec reproduces the same counts.
+        let faulty = || {
+            let plan = FaultPlan::seeded(5).with_window(
+                Duration::from_secs(20),
+                Duration::from_secs(24),
+                FaultKind::Drop { prob: 0.3 },
+            );
+            run_experiment(&fast_spec().with_faults(plan))
+        };
+        let a = faulty();
+        assert!(a.load.errors > 0, "drops should surface as errors");
+        let b = faulty();
+        assert_eq!(a.load.errors, b.load.errors, "seeded faults replay");
+        assert_eq!(a.load.ok, b.load.ok);
+
+        let calm = run_experiment(&fast_spec());
+        assert_eq!(calm.load.errors, 0);
     }
 
     #[test]

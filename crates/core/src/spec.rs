@@ -6,6 +6,7 @@
 //! the target throughput to which the load generator should ramp up."
 
 use etude_cluster::InstanceType;
+use etude_faults::FaultPlan;
 use etude_models::{ModelConfig, ModelKind};
 use etude_workload::WorkloadConfig;
 use std::time::Duration;
@@ -48,6 +49,10 @@ pub struct ExperimentSpec {
     /// Master seed: workload, jitter and weight initialisation derive
     /// from it.
     pub seed: u64,
+    /// Fault schedule injected into the run (network drops/spikes, pod
+    /// crashes). Calm by default: no faults, bit-identical to specs that
+    /// predate fault injection.
+    pub faults: FaultPlan,
 }
 
 impl ExperimentSpec {
@@ -67,6 +72,7 @@ impl ExperimentSpec {
             execution: ExecutionMode::Jit,
             recbole_quirks: true,
             seed: 42,
+            faults: FaultPlan::calm(),
         }
     }
 
@@ -103,6 +109,12 @@ impl ExperimentSpec {
     /// Overrides the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Injects a fault schedule into the run.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -156,6 +168,22 @@ mod tests {
         assert_eq!(spec.target_rps, 1_000);
         assert!(spec.recbole_quirks);
         assert_eq!(spec.execution, ExecutionMode::Jit);
+        assert!(spec.faults.is_calm(), "no faults unless asked for");
+    }
+
+    #[test]
+    fn fault_plans_attach_to_specs() {
+        use etude_faults::FaultKind;
+
+        let plan = FaultPlan::seeded(9).with_window(
+            Duration::from_secs(1),
+            Duration::from_secs(2),
+            FaultKind::Partition,
+        );
+        let spec =
+            ExperimentSpec::new(ModelKind::Core, 10_000, InstanceType::CpuE2).with_faults(plan);
+        assert!(!spec.faults.is_calm());
+        assert_eq!(spec.faults.windows.len(), 1);
     }
 
     #[test]

@@ -11,8 +11,9 @@ use crate::rampup::timeprop_rampup;
 use crate::sessions::SessionReplayer;
 use crate::simdriver::{LoadConfig, LoadTestResult};
 use crossbeam::channel::{bounded, Receiver, Sender};
+use etude_faults::RetryPolicy;
 use etude_metrics::TimeSeries;
-use etude_serve::client::{ClientError, HttpClient};
+use etude_serve::client::{ClientError, HttpClient, ResilientClient};
 use etude_serve::http::{self, Request};
 use parking_lot::Mutex;
 use std::net::SocketAddr;
@@ -23,10 +24,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Per-request wall-clock budget in resilient mode: every retry of a
+/// request fits inside this window, mirroring the plain driver's 2 s
+/// socket timeout so both modes write a request off on the same horizon.
+const REQUEST_BUDGET: Duration = Duration::from_secs(2);
+
 struct Outcome {
     session: u64,
     sent_at: Instant,
     ok: bool,
+    retries: u64,
+    degraded: bool,
 }
 
 struct SharedState {
@@ -34,6 +42,8 @@ struct SharedState {
     sent: AtomicU64,
     ok: AtomicU64,
     errors: AtomicU64,
+    retries: AtomicU64,
+    degraded: AtomicU64,
     series: Mutex<TimeSeries>,
     start: Instant,
 }
@@ -50,59 +60,54 @@ impl RealLoadGen {
         config: LoadConfig,
         connections: usize,
     ) -> std::io::Result<LoadTestResult> {
+        Self::run_inner(addr, log, config, connections, None)
+    }
+
+    /// Like [`RealLoadGen::run`], but each sender thread drives a
+    /// [`ResilientClient`]: transient failures (5xx, timeouts, resets)
+    /// are retried under `policy` within a per-request budget, and the
+    /// result reports retries spent and degraded responses seen.
+    pub fn run_resilient(
+        addr: SocketAddr,
+        log: &etude_workload::SessionLog,
+        config: LoadConfig,
+        connections: usize,
+        policy: RetryPolicy,
+    ) -> std::io::Result<LoadTestResult> {
+        Self::run_inner(addr, log, config, connections, Some(policy))
+    }
+
+    fn run_inner(
+        addr: SocketAddr,
+        log: &etude_workload::SessionLog,
+        config: LoadConfig,
+        connections: usize,
+        policy: Option<RetryPolicy>,
+    ) -> std::io::Result<LoadTestResult> {
         let state = Arc::new(SharedState {
             pending: AtomicU64::new(0),
             sent: AtomicU64::new(0),
             ok: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
             series: Mutex::new(TimeSeries::new()),
             start: Instant::now(),
         });
         let (job_tx, job_rx): (Sender<Job>, Receiver<Job>) = bounded(connections.max(1) * 4);
         let (done_tx, done_rx): (Sender<Outcome>, Receiver<Outcome>) = bounded(4096);
 
-        // Sender threads: each owns one keep-alive connection.
+        // Sender threads: each owns one connection — a plain keep-alive
+        // client, or a retrying resilient client when a policy is given.
         let mut senders = Vec::new();
         for _ in 0..connections.max(1) {
             let rx = job_rx.clone();
             let done = done_tx.clone();
-            let state = Arc::clone(&state);
-            senders.push(std::thread::spawn(move || {
-                let client = match HttpClient::connect_with_timeout(addr, Duration::from_secs(2)) {
-                    Ok(c) => c,
-                    Err(_) => return,
-                };
-                let mut client = Some(client);
-                while let Ok((session, items)) = rx.recv() {
-                    let sent_at = Instant::now();
-                    // A timed-out keep-alive connection is desynchronised
-                    // (its late response would answer the wrong request),
-                    // so transport failures drop the connection and the
-                    // next job starts on a fresh one — or fails cleanly
-                    // when the server is unreachable.
-                    if client.is_none() {
-                        client =
-                            HttpClient::connect_with_timeout(addr, Duration::from_secs(2)).ok();
-                    }
-                    let ok = match client.as_mut() {
-                        Some(c) => {
-                            let body = http::encode_session(&items);
-                            let result = c.request(&Request::post("/predictions", body));
-                            let ok = matches!(&result, Ok(resp) if resp.status == 200);
-                            if let Err(ClientError::Timeout | ClientError::Io(_)) = result {
-                                client = None;
-                            }
-                            ok
-                        }
-                        None => false,
-                    };
-                    let _ = done.send(Outcome {
-                        session,
-                        sent_at,
-                        ok,
-                    });
-                    let _ = &state;
-                }
+            let policy = policy.clone();
+            let seed = config.seed;
+            senders.push(std::thread::spawn(move || match policy {
+                Some(policy) => sender_resilient(addr, rx, done, policy, seed),
+                None => sender_plain(addr, rx, done),
             }));
         }
         drop(done_tx);
@@ -176,8 +181,84 @@ impl RealLoadGen {
             ok: state.ok.load(Ordering::Relaxed),
             errors: state.errors.load(Ordering::Relaxed),
             suppressed,
+            retries: state.retries.load(Ordering::Relaxed),
+            degraded: state.degraded.load(Ordering::Relaxed),
             server_stages,
         })
+    }
+}
+
+/// The classic sender loop: one keep-alive connection, no retries.
+fn sender_plain(addr: SocketAddr, rx: Receiver<Job>, done: Sender<Outcome>) {
+    let client = match HttpClient::connect_with_timeout(addr, Duration::from_secs(2)) {
+        Ok(c) => c,
+        Err(_) => return,
+    };
+    let mut client = Some(client);
+    while let Ok((session, items)) = rx.recv() {
+        let sent_at = Instant::now();
+        // A timed-out keep-alive connection is desynchronised (its late
+        // response would answer the wrong request), so transport failures
+        // drop the connection and the next job starts on a fresh one —
+        // or fails cleanly when the server is unreachable.
+        if client.is_none() {
+            client = HttpClient::connect_with_timeout(addr, Duration::from_secs(2)).ok();
+        }
+        let ok = match client.as_mut() {
+            Some(c) => {
+                let body = http::encode_session(&items);
+                let result = c.request(&Request::post("/predictions", body));
+                let ok = matches!(&result, Ok(resp) if resp.status == 200);
+                if let Err(ClientError::Timeout | ClientError::Io(_)) = result {
+                    client = None;
+                }
+                ok
+            }
+            None => false,
+        };
+        let _ = done.send(Outcome {
+            session,
+            sent_at,
+            ok,
+            retries: 0,
+            degraded: false,
+        });
+    }
+}
+
+/// The resilient sender loop: retries under the policy, within
+/// [`REQUEST_BUDGET`] per request.
+fn sender_resilient(
+    addr: SocketAddr,
+    rx: Receiver<Job>,
+    done: Sender<Outcome>,
+    policy: RetryPolicy,
+    seed: u64,
+) {
+    // Every thread shares the client seed: a request's retry schedule is
+    // keyed by `seed ^ hash(request id)`, so it does not depend on which
+    // thread happened to pick the job up.
+    let mut client = ResilientClient::new(addr, policy, seed).with_attempt_timeout(REQUEST_BUDGET);
+    while let Ok((session, items)) = rx.recv() {
+        let sent_at = Instant::now();
+        let body = http::encode_session(&items);
+        let mut req = Request::post("/predictions", body);
+        // Deterministic id: a session replays its prefixes in growing
+        // order, so (session, prefix length) names the request uniquely.
+        req.headers
+            .insert("x-request-id".into(), format!("{session}-{}", items.len()));
+        let before = client.total_retries();
+        let (ok, degraded) = match client.request_within(&req, REQUEST_BUDGET) {
+            Ok(out) => (out.response.status == 200, out.degraded),
+            Err(_) => (false, false),
+        };
+        let _ = done.send(Outcome {
+            session,
+            sent_at,
+            ok,
+            retries: client.total_retries() - before,
+            degraded,
+        });
     }
 }
 
@@ -209,6 +290,10 @@ fn record_outcome(
     ready: &mut std::collections::VecDeque<crate::sessions::ReplayRequest>,
 ) {
     state.pending.fetch_sub(1, Ordering::Relaxed);
+    state.retries.fetch_add(outcome.retries, Ordering::Relaxed);
+    if outcome.degraded {
+        state.degraded.fetch_add(1, Ordering::Relaxed);
+    }
     let latency = outcome.sent_at.elapsed();
     let tick = state.start.elapsed().as_secs();
     let mut series = state.series.lock();
@@ -277,6 +362,53 @@ mod tests {
         );
         // The echo handler has no /stats route, so no server breakdown.
         assert!(result.server_stages.is_none());
+        server.shutdown();
+    }
+
+    #[test]
+    fn resilient_mode_retries_transient_errors_away() {
+        let calls = StdArc::new(AtomicU64::new(0));
+        let seen = StdArc::clone(&calls);
+        let handler: Handler = StdArc::new(move |req: &http::Request| {
+            if req.method == Method::Post && req.path == "/predictions" {
+                // Every fourth arrival fails; its retry lands on a
+                // different count and goes through.
+                if seen.fetch_add(1, Ordering::Relaxed).is_multiple_of(4) {
+                    Response::error(500, "transient")
+                } else {
+                    Response::ok("1:0.5")
+                }
+            } else {
+                Response::error(404, "nope")
+            }
+        });
+        let server = start(ServerConfig { workers: 2 }, handler).unwrap();
+        let log = SyntheticWorkload::new(WorkloadConfig {
+            catalog_size: 100,
+            alpha_length: 2.0,
+            alpha_clicks: 1.8,
+            max_session_len: 20,
+            seed: 3,
+        })
+        .generate(1_000);
+        let result = RealLoadGen::run_resilient(
+            server.addr(),
+            &log,
+            LoadConfig {
+                target_rps: 100,
+                ramp: Duration::from_secs(1),
+                duration: Duration::from_secs(2),
+                backpressure: true,
+                seed: 3,
+            },
+            4,
+            RetryPolicy::default_chaos(),
+        )
+        .unwrap();
+        assert!(result.ok > 50, "ok {}", result.ok);
+        assert_eq!(result.errors, 0, "retries absorb the transient 500s");
+        assert!(result.retries > 0, "some requests must have retried");
+        assert_eq!(result.degraded, 0);
         server.shutdown();
     }
 

@@ -25,6 +25,7 @@ pub mod rampup;
 pub mod sessions;
 pub mod simdriver;
 
+pub use driver::RealLoadGen;
 pub use rampup::timeprop_rampup;
 pub use sessions::SessionReplayer;
 pub use simdriver::{LoadConfig, LoadTestResult, SimLoadGen};

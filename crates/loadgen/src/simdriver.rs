@@ -8,14 +8,20 @@
 
 use crate::rampup::timeprop_rampup;
 use crate::sessions::{ReplayRequest, SessionReplayer};
+use etude_faults::FaultInjector;
 use etude_metrics::{LatencySummary, TimeSeries};
 use etude_serve::simserver::{RespondFn, SimService};
-use etude_simnet::link::Link;
+use etude_simnet::link::{FaultyLink, Link};
 use etude_simnet::{shared, Shared, Sim, SimTime};
 use etude_workload::SessionLog;
 use std::collections::VecDeque;
 use std::rc::Rc;
 use std::time::Duration;
+
+/// How long the simulated client waits for a response before writing a
+/// request off as failed (matches the real driver's 2 s socket timeout).
+/// A message lost to a drop/partition window costs exactly this.
+const SIM_CLIENT_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// Load-generation parameters (Algorithm 2's `r` and `d`).
 #[derive(Debug, Clone)]
@@ -72,6 +78,11 @@ pub struct LoadTestResult {
     pub errors: u64,
     /// Send slots skipped by backpressure (never sent).
     pub suppressed: u64,
+    /// Retries spent by the resilient client (0 when retries are off —
+    /// always 0 in virtual-time runs, whose client does not retry).
+    pub retries: u64,
+    /// Responses served from the server's degraded fallback path.
+    pub degraded: u64,
     /// The server's own stage-latency breakdown, scraped from `/stats`
     /// at end of run. `None` when the server exposes no stats endpoint
     /// (or in virtual-time runs, which have no server process).
@@ -99,9 +110,12 @@ struct GenState {
     errors: u64,
     suppressed: u64,
     series: TimeSeries,
-    link: Link,
+    link: FaultyLink,
     config: LoadConfig,
     start: SimTime,
+    /// Correlation ids for fault draws: one per message, monotonically
+    /// assigned so a seeded fault schedule replays identically.
+    next_msg_id: u64,
 }
 
 impl GenState {
@@ -136,6 +150,8 @@ impl LoadGenHandle {
             ok: state.ok,
             errors: state.errors,
             suppressed: state.suppressed,
+            retries: 0,
+            degraded: 0,
             server_stages: None,
         }
     }
@@ -154,6 +170,22 @@ impl SimLoadGen {
         config: LoadConfig,
         start: SimTime,
     ) -> LoadGenHandle {
+        Self::schedule_with_faults(sim, service, log, config, start, FaultInjector::calm())
+    }
+
+    /// [`SimLoadGen::schedule`] with the client-server network under a
+    /// fault injector: latency-spike windows stretch deliveries, drop and
+    /// partition windows lose messages (the client times out after
+    /// 2 s of virtual time and counts an error). Clone the injector
+    /// before passing it to keep a handle on its shared fault counters.
+    pub fn schedule_with_faults(
+        sim: &mut Sim,
+        service: Rc<dyn SimService>,
+        log: &SessionLog,
+        config: LoadConfig,
+        start: SimTime,
+        injector: FaultInjector,
+    ) -> LoadGenHandle {
         let state = shared(GenState {
             replayer: SessionReplayer::new(log),
             ready: VecDeque::new(),
@@ -163,9 +195,10 @@ impl SimLoadGen {
             errors: 0,
             suppressed: 0,
             series: TimeSeries::new(),
-            link: Link::cluster(config.seed),
+            link: FaultyLink::new(Link::cluster(config.seed), injector),
             config: config.clone(),
             start,
+            next_msg_id: 0,
         });
 
         // Schedule the tick loop (Algorithm 2, line 3).
@@ -197,6 +230,20 @@ impl SimLoadGen {
     ) -> LoadTestResult {
         let mut sim = Sim::new();
         let handle = Self::schedule(&mut sim, service, log, config, SimTime::ZERO);
+        sim.run_to_completion();
+        handle.collect()
+    }
+
+    /// [`SimLoadGen::run`] with a fault injector on the network path.
+    pub fn run_with_faults(
+        service: Rc<dyn SimService>,
+        log: &SessionLog,
+        config: LoadConfig,
+        injector: FaultInjector,
+    ) -> LoadTestResult {
+        let mut sim = Sim::new();
+        let handle =
+            Self::schedule_with_faults(&mut sim, service, log, config, SimTime::ZERO, injector);
         sim.run_to_completion();
         handle.collect()
     }
@@ -260,25 +307,47 @@ fn dispatch_one(
     service: &Rc<dyn SimService>,
     _tick_end: SimTime,
 ) {
-    let (request, out_delay, back_delay) = {
+    let sent_at = sim.now();
+    let (request, legs) = {
         let mut st = state.borrow_mut();
         let Some(req) = st.next_request() else {
             return; // click log drained
         };
         st.pending += 1;
         st.sent += 1;
-        let tick = st.tick_of(sim.now());
+        let tick = st.tick_of(sent_at);
         st.series.record_sent(tick);
-        (req, st.link.sample(), st.link.sample())
+        // Both legs' fault draws are keyed on the message id, so a
+        // seeded schedule replays bit-identically; the response leg is
+        // only drawn when the request leg survives (one drop per loss).
+        let id = st.next_msg_id;
+        st.next_msg_id += 1;
+        let out = st.link.sample(sent_at, 2 * id);
+        let back = match out {
+            Some(_) => st.link.sample(sent_at, 2 * id + 1),
+            None => None,
+        };
+        (req, out.map(|o| (o, back)))
     };
-    let sent_at = sim.now();
     let session = request.session;
+    let Some((out_delay, back_delay)) = legs else {
+        // Request leg dropped: the server never hears it, the client
+        // holds its pending slot until the timeout and counts an error.
+        fail_at_timeout(sim, state, sent_at, session);
+        return;
+    };
     let state2 = Rc::clone(state);
     let service2 = Rc::clone(service);
     // Request crosses the pod network, is served, and the response
     // crosses back; only then does the pending counter decrease.
     sim.schedule_in(out_delay, move |s| {
         let respond: RespondFn = Box::new(move |s2, result| {
+            let Some(back_delay) = back_delay else {
+                // Response leg dropped: the server did the work, but the
+                // client never sees the answer and times out.
+                fail_at_timeout(s2, &state2, sent_at, session);
+                return;
+            };
             let state3 = Rc::clone(&state2);
             s2.schedule_in(back_delay, move |s3| {
                 let mut st = state3.borrow_mut();
@@ -300,6 +369,26 @@ fn dispatch_one(
             });
         });
         Rc::clone(&service2).submit(s, respond);
+    });
+}
+
+/// Resolves a lost message as a client-side timeout error: the pending
+/// slot stays occupied until `sent_at + SIM_CLIENT_TIMEOUT` (so
+/// backpressure sees the stuck request, as it would in real time), then
+/// the error is recorded and the session released for its next click.
+fn fail_at_timeout(sim: &mut Sim, state: &Shared<GenState>, sent_at: SimTime, session: u64) {
+    let deadline = sent_at.after(SIM_CLIENT_TIMEOUT);
+    let wait = deadline.since(sim.now());
+    let state = Rc::clone(state);
+    sim.schedule_in(wait, move |s| {
+        let mut st = state.borrow_mut();
+        st.pending = st.pending.saturating_sub(1);
+        let tick = st.tick_of(s.now());
+        st.errors += 1;
+        st.series.record_error(tick);
+        if let Some(released) = st.replayer.acknowledge(session) {
+            st.ready.push_back(released);
+        }
     });
 }
 
@@ -422,6 +511,45 @@ mod tests {
             late > 2 * early,
             "no ramp visible: early {early}, late {late}"
         );
+    }
+
+    #[test]
+    fn fault_windows_surface_as_deterministic_errors() {
+        use etude_faults::{FaultKind, FaultPlan};
+
+        let run = || {
+            let profile = ServiceProfile::static_response(&Device::cpu());
+            let server = SimRustServer::new(profile, RustServerConfig::cpu(2));
+            let plan = FaultPlan::seeded(11).with_window(
+                Duration::from_secs(2),
+                Duration::from_secs(4),
+                FaultKind::Drop { prob: 0.5 },
+            );
+            let injector = FaultInjector::new(plan);
+            let result = SimLoadGen::run_with_faults(
+                server,
+                &workload(20_000),
+                LoadConfig::scaled_rampup(200, 6),
+                injector.clone(),
+            );
+            (result, injector)
+        };
+        let (a, ia) = run();
+        let (b, ib) = run();
+        assert!(
+            a.errors > 10,
+            "drops should surface as errors: {}",
+            a.errors
+        );
+        assert_eq!(
+            a.errors,
+            ia.counters().drops(),
+            "one error per lost message"
+        );
+        assert_eq!(a.sent, b.sent);
+        assert_eq!(a.ok, b.ok);
+        assert_eq!(a.errors, b.errors);
+        assert_eq!(ia.counters().drops(), ib.counters().drops());
     }
 
     #[test]

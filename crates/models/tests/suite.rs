@@ -8,6 +8,45 @@ fn small_cfg() -> ModelConfig {
     ModelConfig::new(200).with_max_session_len(8).with_seed(11)
 }
 
+/// Golden-output regression: every model's exact recommendation for a
+/// fixed seed/session is pinned in `tests/golden/<model>.txt`. Scores are
+/// rendered with `f32`'s shortest round-trip `Display`, so any numeric
+/// drift — a reordered reduction, a changed initialiser, an "equivalent"
+/// refactor — fails this test. Regenerate fixtures deliberately with
+/// `ETUDE_BLESS_GOLDEN=1 cargo test -p etude-models --test suite golden`.
+#[test]
+fn outputs_match_golden_fixtures() {
+    let cfg = small_cfg();
+    let session = [3u32, 5, 7, 11];
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let bless = std::env::var_os("ETUDE_BLESS_GOLDEN").is_some();
+    for kind in ModelKind::ALL {
+        let model = kind.build(&cfg);
+        let rec = traits::recommend_eager(model.as_ref(), &Device::cpu(), &session).unwrap();
+        let rendered: String = rec
+            .items
+            .iter()
+            .zip(&rec.scores)
+            .map(|(item, score)| format!("{item}:{score}\n"))
+            .collect();
+        let path = dir.join(format!("{}.txt", kind.name()));
+        if bless {
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(&path, &rendered).unwrap();
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: missing golden fixture {path:?}: {e}", kind.name()));
+        assert_eq!(
+            rendered,
+            golden,
+            "{}: output drifted from {path:?} — if the change is intended, \
+             re-bless with ETUDE_BLESS_GOLDEN=1",
+            kind.name()
+        );
+    }
+}
+
 #[test]
 fn all_ten_models_build_and_recommend() {
     let cfg = small_cfg();

@@ -42,6 +42,12 @@ pub struct Recorder {
     rings: Mutex<Vec<Arc<SpanRing>>>,
     agg: Mutex<Aggregate>,
     retain: AtomicBool,
+    // Resilience counters: cheap atomics bumped on the request path,
+    // folded into every snapshot (and from there into /stats and
+    // /metrics).
+    shed: AtomicU64,
+    degraded: AtomicU64,
+    faults: AtomicU64,
 }
 
 impl Default for Recorder {
@@ -68,7 +74,35 @@ impl Recorder {
                 retained: Vec::new(),
             }),
             retain: AtomicBool::new(false),
+            shed: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
         }
+    }
+
+    /// Counts one request shed with a 503 because the queue was full.
+    pub fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request answered from the degraded fallback path.
+    pub fn note_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one server-side injected fault firing.
+    pub fn note_fault(&self) {
+        self.faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests shed so far.
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Degraded responses served so far.
+    pub fn degraded_count(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
     }
 
     /// Turns raw-record retention on or off. While on, every record that
@@ -157,6 +191,9 @@ impl Recorder {
         StatsSnapshot {
             requests: agg.stages[Stage::Total as u8 as usize].count(),
             dropped: agg.dropped,
+            shed: self.shed.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            faults: self.faults.load(Ordering::Relaxed),
             stages,
         }
     }
@@ -285,6 +322,21 @@ mod tests {
         assert!(r.take_records().is_empty(), "take drains");
         // The aggregate still saw them.
         assert_eq!(r.snapshot().requests, 1);
+    }
+
+    #[test]
+    fn resilience_counters_flow_into_snapshots() {
+        let r = Recorder::new();
+        r.note_shed();
+        r.note_shed();
+        r.note_degraded();
+        r.note_fault();
+        let snap = r.snapshot();
+        assert_eq!(snap.shed, 2);
+        assert_eq!(snap.degraded, 1);
+        assert_eq!(snap.faults, 1);
+        assert_eq!(r.shed_count(), 2);
+        assert_eq!(r.degraded_count(), 1);
     }
 
     #[test]

@@ -33,6 +33,13 @@ pub struct StatsSnapshot {
     pub requests: u64,
     /// Span records lost to ring lapping (0 in healthy runs).
     pub dropped: u64,
+    /// Requests shed with a 503 because the batch queue was full.
+    pub shed: u64,
+    /// Requests answered from the degraded (popularity-fallback) path.
+    pub degraded: u64,
+    /// Server-side injected faults fired (slow-downs, error responses,
+    /// connection resets). 0 outside chaos runs.
+    pub faults: u64,
     /// Stats per stage that recorded at least one span, pipeline order.
     pub stages: Vec<StageStats>,
 }
@@ -77,6 +84,24 @@ impl StatsSnapshot {
              # TYPE etude_spans_dropped_total counter\n",
         );
         out.push_str(&format!("etude_spans_dropped_total {}\n", self.dropped));
+        out.push_str(
+            "# HELP etude_requests_shed_total Requests shed with a 503 under overload.\n\
+             # TYPE etude_requests_shed_total counter\n",
+        );
+        out.push_str(&format!("etude_requests_shed_total {}\n", self.shed));
+        out.push_str(
+            "# HELP etude_requests_degraded_total Requests answered from the degraded fallback path.\n\
+             # TYPE etude_requests_degraded_total counter\n",
+        );
+        out.push_str(&format!(
+            "etude_requests_degraded_total {}\n",
+            self.degraded
+        ));
+        out.push_str(
+            "# HELP etude_faults_injected_total Server-side injected faults fired.\n\
+             # TYPE etude_faults_injected_total counter\n",
+        );
+        out.push_str(&format!("etude_faults_injected_total {}\n", self.faults));
         out
     }
 
@@ -105,8 +130,9 @@ impl StatsSnapshot {
     pub fn render_json(&self) -> String {
         let mut out = String::with_capacity(512);
         out.push_str(&format!(
-            "{{\n  \"requests\": {},\n  \"dropped\": {},\n  \"stages\": [",
-            self.requests, self.dropped
+            "{{\n  \"requests\": {},\n  \"dropped\": {},\n  \"shed\": {},\n  \
+             \"degraded\": {},\n  \"faults\": {},\n  \"stages\": [",
+            self.requests, self.dropped, self.shed, self.degraded, self.faults
         ));
         for (i, s) in self.stages.iter().enumerate() {
             if i > 0 {
@@ -148,6 +174,11 @@ fn str_field(obj: &str, key: &str) -> Option<String> {
 pub fn parse_stats_json(body: &str) -> Option<StatsSnapshot> {
     let requests = num_field(body, "requests")?;
     let dropped = num_field(body, "dropped")?;
+    // Counters added after the v1 format default to 0 so documents from
+    // older servers still parse.
+    let shed = num_field(body, "shed").unwrap_or(0);
+    let degraded = num_field(body, "degraded").unwrap_or(0);
+    let faults = num_field(body, "faults").unwrap_or(0);
     let stages_at = body.find("\"stages\"")?;
     let mut stages = Vec::new();
     let mut rest = &body[stages_at..];
@@ -168,6 +199,9 @@ pub fn parse_stats_json(body: &str) -> Option<StatsSnapshot> {
     Some(StatsSnapshot {
         requests,
         dropped,
+        shed,
+        degraded,
+        faults,
         stages,
     })
 }
@@ -180,6 +214,9 @@ mod tests {
         StatsSnapshot {
             requests: 42,
             dropped: 1,
+            shed: 7,
+            degraded: 3,
+            faults: 2,
             stages: vec![
                 StageStats {
                     stage: "parse".into(),
@@ -209,6 +246,9 @@ mod tests {
         let parsed = parse_stats_json(&snap.render_json()).unwrap();
         assert_eq!(parsed.requests, snap.requests);
         assert_eq!(parsed.dropped, snap.dropped);
+        assert_eq!(parsed.shed, 7);
+        assert_eq!(parsed.degraded, 3);
+        assert_eq!(parsed.faults, 2);
         assert_eq!(parsed.stages.len(), 2);
         assert_eq!(parsed.stage("parse").unwrap().p90_us, 5);
         assert!((parsed.stage("parse").unwrap().mean_us - 3.25).abs() < 1e-9);
@@ -249,5 +289,24 @@ mod tests {
     fn garbage_does_not_parse() {
         assert!(parse_stats_json("hello").is_none());
         assert!(parse_stats_json("{}").is_none());
+    }
+
+    #[test]
+    fn v1_documents_without_counters_still_parse() {
+        // A document from before shed/degraded/faults existed.
+        let old = "{\n  \"requests\": 5,\n  \"dropped\": 0,\n  \"stages\": [\n  ]\n}\n";
+        let parsed = parse_stats_json(old).unwrap();
+        assert_eq!(parsed.requests, 5);
+        assert_eq!(parsed.shed, 0);
+        assert_eq!(parsed.degraded, 0);
+        assert_eq!(parsed.faults, 0);
+    }
+
+    #[test]
+    fn prometheus_format_exposes_resilience_counters() {
+        let text = sample().render_prometheus();
+        assert!(text.contains("etude_requests_shed_total 7"));
+        assert!(text.contains("etude_requests_degraded_total 3"));
+        assert!(text.contains("etude_faults_injected_total 2"));
     }
 }

@@ -9,8 +9,9 @@
 //! the batch handler.
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use etude_faults::Deadline;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration of the batcher (paper defaults: 1,024 / 2 ms).
 #[derive(Debug, Clone)]
@@ -134,14 +135,13 @@ where
             Err(_) => return, // channel closed
         };
         let mut jobs = vec![first];
-        let deadline = Instant::now() + config.flush_every;
+        let deadline = Deadline::after(config.flush_every);
         // Gather until full or the flush deadline passes.
         while jobs.len() < config.max_batch {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
+            if deadline.expired() {
                 break;
             }
-            match rx.recv_timeout(remaining) {
+            match rx.recv_timeout(deadline.remaining()) {
                 Ok(job) => jobs.push(job),
                 Err(RecvTimeoutError::Timeout) => break,
                 Err(RecvTimeoutError::Disconnected) => break,
@@ -166,6 +166,7 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
+    use std::time::Instant;
 
     #[test]
     fn single_calls_round_trip() {

@@ -7,6 +7,8 @@
 
 use crate::http::{self, Request, Response};
 use bytes::BytesMut;
+use etude_faults::{Backoff, Deadline, RetryPolicy};
+use etude_obs::request_id_hash;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -122,6 +124,162 @@ impl HttpClient {
     }
 }
 
+/// The outcome of a resilient request: the final response plus how hard
+/// the client had to work for it.
+#[derive(Debug)]
+pub struct ResilientResponse {
+    /// The response that ended the retry loop (2xx/4xx, or the last 5xx
+    /// when the budget ran out).
+    pub response: Response,
+    /// Retries spent on this request (0 = first attempt succeeded).
+    pub retries: u32,
+    /// Whether the response came from the server's degraded
+    /// (popularity-fallback) path.
+    pub degraded: bool,
+}
+
+/// A retrying HTTP client: [`HttpClient`] plus a per-request deadline
+/// budget, bounded exponential backoff with seeded jitter, and
+/// `Retry-After` honoring.
+///
+/// Retryable outcomes are transport errors (the connection is reopened),
+/// timeouts, truncated/unparseable responses (mid-response resets) and
+/// 5xx statuses; 2xx/4xx end the loop immediately. Backoff jitter is
+/// drawn from a per-request RNG seeded by `client seed ^ request-id
+/// hash`, so a rerun with the same seed and ids retries on a
+/// bit-identical schedule.
+pub struct ResilientClient {
+    addr: SocketAddr,
+    conn: Option<HttpClient>,
+    policy: RetryPolicy,
+    attempt_timeout: Duration,
+    seed: u64,
+    total_retries: u64,
+    reconnects: u64,
+}
+
+impl ResilientClient {
+    /// Creates a client for `addr`. Nothing is connected until the first
+    /// request (and reconnection after failures is automatic).
+    pub fn new(addr: SocketAddr, policy: RetryPolicy, seed: u64) -> ResilientClient {
+        ResilientClient {
+            addr,
+            conn: None,
+            policy,
+            attempt_timeout: Duration::from_secs(5),
+            seed,
+            total_retries: 0,
+            reconnects: 0,
+        }
+    }
+
+    /// Overrides the per-attempt timeout (default 5 s). Each attempt is
+    /// additionally clamped to what is left of the request budget.
+    pub fn with_attempt_timeout(mut self, timeout: Duration) -> Self {
+        self.attempt_timeout = timeout;
+        self
+    }
+
+    /// Retries spent across every request on this client.
+    pub fn total_retries(&self) -> u64 {
+        self.total_retries
+    }
+
+    /// Connections opened: the initial connect plus every reopen after a
+    /// transport failure.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Sends `req`, retrying under `budget`. The request must carry an
+    /// `x-request-id` header (the retry schedule is keyed by it); one is
+    /// generated when missing, like [`HttpClient::request`].
+    pub fn request_within(
+        &mut self,
+        req: &Request,
+        budget: Duration,
+    ) -> Result<ResilientResponse, ClientError> {
+        let mut tagged;
+        let req = if req.headers.contains_key("x-request-id") {
+            req
+        } else {
+            tagged = req.clone();
+            let n = NEXT_AUTO_REQUEST_ID.fetch_add(1, Ordering::Relaxed);
+            tagged
+                .headers
+                .insert("x-request-id".into(), format!("auto-r-{n}"));
+            &tagged
+        };
+        let rid = req.headers.get("x-request-id").expect("tagged above");
+        let deadline = Deadline::after(budget);
+        let mut backoff = Backoff::new(self.policy.clone(), self.seed ^ request_id_hash(rid));
+        let mut retries = 0u32;
+        loop {
+            let outcome = self.attempt(req, &deadline);
+            let (retry_after, last_err) = match outcome {
+                Ok(resp) if resp.status < 500 => {
+                    let degraded = resp
+                        .headers
+                        .contains_key(crate::rustserver::DEGRADED_HEADER);
+                    return Ok(ResilientResponse {
+                        response: resp,
+                        retries,
+                        degraded,
+                    });
+                }
+                Ok(resp) => {
+                    // 5xx: retryable; the server may name its own pause.
+                    let after = resp
+                        .headers
+                        .get("retry-after")
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .map(Duration::from_secs);
+                    (after, Err(resp))
+                }
+                Err(e) => {
+                    // Transport failure: the connection state is unknown
+                    // (a response could still be in flight), start fresh.
+                    self.conn = None;
+                    (None, Ok(e))
+                }
+            };
+            let Some(mut delay) = backoff.next_delay_within(&deadline) else {
+                // Budget exhausted: surface the terminal outcome.
+                return match last_err {
+                    Err(resp) => Ok(ResilientResponse {
+                        response: resp,
+                        retries,
+                        degraded: false,
+                    }),
+                    Ok(e) => Err(e),
+                };
+            };
+            if let Some(after) = retry_after {
+                delay = delay.max(deadline.clamp(after));
+            }
+            std::thread::sleep(delay);
+            retries += 1;
+            self.total_retries += 1;
+        }
+    }
+
+    /// One attempt: (re)connect if needed and send, with the read
+    /// timeout clamped to the remaining budget.
+    fn attempt(&mut self, req: &Request, deadline: &Deadline) -> Result<Response, ClientError> {
+        let timeout = deadline.clamp(self.attempt_timeout);
+        if timeout.is_zero() {
+            return Err(ClientError::Timeout);
+        }
+        if self.conn.is_none() {
+            self.reconnects += 1;
+            self.conn = Some(HttpClient::connect_with_timeout(self.addr, timeout)?);
+        }
+        let conn = self.conn.as_mut().expect("connected above");
+        conn.set_timeout(timeout)?;
+        conn.request(req)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +331,116 @@ mod tests {
         req.headers.insert("x-request-id".into(), "mine".into());
         let c = client.request(&req).unwrap();
         assert_eq!(&c.body[..], b"mine");
+        server.shutdown();
+    }
+
+    #[test]
+    fn resilient_client_retries_transient_errors_to_success() {
+        use std::sync::atomic::AtomicU64;
+
+        let calls = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&calls);
+        let handler: Handler = Arc::new(move |_| {
+            if seen.fetch_add(1, Ordering::SeqCst) < 2 {
+                crate::http::Response::error(500, "transient")
+            } else {
+                crate::http::Response::ok("finally")
+            }
+        });
+        let server = start(ServerConfig::default(), handler).unwrap();
+        let policy = RetryPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(4),
+            max_retries: 5,
+            jitter: 0.5,
+        };
+        let mut client = ResilientClient::new(server.addr(), policy, 7);
+        let out = client
+            .request_within(&Request::get("/flaky"), Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(out.response.status, 200);
+        assert_eq!(out.retries, 2, "two 500s before the 200");
+        assert!(!out.degraded);
+        assert_eq!(client.total_retries(), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn resilient_client_gives_up_inside_the_budget() {
+        let handler: Handler = Arc::new(|_| crate::http::Response::error(500, "always"));
+        let server = start(ServerConfig::default(), handler).unwrap();
+        let policy = RetryPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+            max_retries: 3,
+            jitter: 0.0,
+        };
+        let mut client = ResilientClient::new(server.addr(), policy, 1);
+        let started = std::time::Instant::now();
+        let out = client
+            .request_within(&Request::get("/dead"), Duration::from_millis(500))
+            .unwrap();
+        assert_eq!(out.response.status, 500, "terminal 5xx is surfaced");
+        assert_eq!(out.retries, 3, "full retry budget spent");
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "bounded by budget, not hung"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn resilient_client_reconnects_through_connection_resets() {
+        use crate::rustserver::RESET_MARKER;
+        use std::sync::atomic::AtomicU64;
+
+        let calls = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&calls);
+        let handler: Handler = Arc::new(move |_| {
+            let resp = crate::http::Response::ok("payload");
+            if seen.fetch_add(1, Ordering::SeqCst) < 2 {
+                resp.with_header(RESET_MARKER, "1".to_string())
+            } else {
+                resp
+            }
+        });
+        let server = start(ServerConfig::default(), handler).unwrap();
+        let policy = RetryPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(4),
+            max_retries: 6,
+            jitter: 0.5,
+        };
+        let mut client = ResilientClient::new(server.addr(), policy, 11)
+            .with_attempt_timeout(Duration::from_millis(200));
+        let out = client
+            .request_within(&Request::get("/resetting"), Duration::from_secs(10))
+            .unwrap();
+        assert_eq!(out.response.status, 200);
+        assert_eq!(out.retries, 2, "two resets before the clean response");
+        assert!(
+            client.reconnects() >= 3,
+            "initial connect plus one reopen per reset, got {}",
+            client.reconnects()
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn resilient_client_flags_degraded_responses() {
+        use crate::rustserver::DEGRADED_HEADER;
+
+        let handler: Handler = Arc::new(|_| {
+            crate::http::Response::ok("0:1,1:0.5").with_header(DEGRADED_HEADER, "1".to_string())
+        });
+        let server = start(ServerConfig::default(), handler).unwrap();
+        let mut client = ResilientClient::new(server.addr(), RetryPolicy::none(), 0);
+        let out = client
+            .request_within(&Request::get("/degraded"), Duration::from_secs(1))
+            .unwrap();
+        assert_eq!(out.response.status, 200);
+        assert!(out.degraded);
+        assert_eq!(out.retries, 0);
         server.shutdown();
     }
 

@@ -30,5 +30,7 @@ pub mod rustserver;
 pub mod service;
 pub mod simserver;
 
+pub use client::{ClientError, HttpClient, ResilientClient, ResilientResponse};
+pub use rustserver::{inject_faults, DegradationPolicy, DEGRADED_HEADER, RESET_MARKER};
 pub use service::{ServiceProfile, TorchServeProfile};
 pub use simserver::{RespondFn, ServeError, SimService};

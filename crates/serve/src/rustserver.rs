@@ -24,6 +24,7 @@
 use crate::http::{self, Method, Request, Response};
 use bytes::BytesMut;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use etude_faults::{Deadline, FaultInjector};
 use etude_models::{traits, SbrModel};
 use etude_obs::{request_id_hash, Recorder, Stage};
 use etude_tensor::{CompiledGraph, Device, JitOptions};
@@ -33,6 +34,23 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Internal marker header: a handler that wants the connection reset
+/// mid-response (chaos injection) tags its response with this; the
+/// connection poll loop strips it, writes a partial response and closes.
+/// Never sent on the wire.
+pub const RESET_MARKER: &str = "x-etude-inject-reset";
+
+/// Response header flagging a degraded (popularity-fallback) response.
+pub const DEGRADED_HEADER: &str = "x-degraded";
+
+/// How long a write may stall on a peer that stopped draining its socket
+/// before the connection is abandoned.
+const WRITE_STALL_BUDGET: Duration = Duration::from_secs(1);
+
+/// How long an idle reactor worker blocks for a new connection before
+/// re-polling the ones it owns.
+const IDLE_ACCEPT_POLL: Duration = Duration::from_micros(500);
 
 /// A request handler: route table entry.
 pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
@@ -200,9 +218,18 @@ impl Conn {
         loop {
             match http::parse_request(&mut self.buf) {
                 Ok(req) => {
-                    let resp = handler(&req);
+                    let mut resp = handler(&req);
                     served.fetch_add(1, Ordering::Relaxed);
-                    if write_all_blocking(&mut self.stream, &resp.encode()).is_err() {
+                    // Chaos injection: a response tagged with the reset
+                    // marker is truncated halfway through and the
+                    // connection torn down, as a crashing peer would.
+                    let inject_reset = resp.headers.remove(RESET_MARKER).is_some();
+                    let encoded = resp.encode();
+                    if inject_reset {
+                        let _ = write_all_blocking(&mut self.stream, &encoded[..encoded.len() / 2]);
+                        return PollOutcome::Closed;
+                    }
+                    if write_all_blocking(&mut self.stream, &encoded).is_err() {
                         return PollOutcome::Closed;
                     }
                     progressed = true;
@@ -223,22 +250,22 @@ impl Conn {
 
 /// Writes a full buffer on a non-blocking socket, retrying briefly on
 /// `WouldBlock`. The retry budget is bounded: a client that stops reading
-/// its socket must cost at most ~one second, not wedge the reactor worker
-/// (and every other connection it owns) forever.
+/// its socket must cost at most [`WRITE_STALL_BUDGET`], not wedge the
+/// reactor worker (and every other connection it owns) forever.
 fn write_all_blocking(stream: &mut TcpStream, mut data: &[u8]) -> std::io::Result<()> {
-    let deadline = Instant::now() + Duration::from_secs(1);
+    let deadline = Deadline::after(WRITE_STALL_BUDGET);
     while !data.is_empty() {
         match stream.write(data) {
             Ok(0) => return Err(std::io::Error::new(ErrorKind::WriteZero, "write zero")),
             Ok(n) => data = &data[n..],
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                if Instant::now() >= deadline {
+                if deadline.expired() {
                     return Err(std::io::Error::new(
                         ErrorKind::TimedOut,
                         "peer not draining its socket",
                     ));
                 }
-                std::thread::sleep(Duration::from_micros(50));
+                std::thread::sleep(deadline.clamp(Duration::from_micros(50)));
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
@@ -289,7 +316,7 @@ fn worker_loop(
         });
         if !progressed {
             // Idle: block briefly for a new connection instead of spinning.
-            match rx.recv_timeout(Duration::from_micros(500)) {
+            match rx.recv_timeout(IDLE_ACCEPT_POLL) {
                 Ok(stream) => {
                     if let Ok(conn) = Conn::new(stream) {
                         conns.push(conn);
@@ -440,6 +467,147 @@ pub fn model_routes_observed(
     })
 }
 
+/// Wraps a route table with deterministic server-side fault injection.
+///
+/// Prediction requests consult the [`FaultInjector`] at three points:
+/// an active slow-down window stalls the handler, an error-response
+/// window answers with the configured status instead of serving, and a
+/// connection-reset window tags the response with [`RESET_MARKER`] so
+/// the connection poll loop truncates it mid-write. All decisions are
+/// pure functions of the plan seed and the request id, so two runs of
+/// the same seeded plan inject bit-identical faults. Fired faults are
+/// counted on the recorder (surfaced as `faults` in `/stats`).
+///
+/// Non-prediction routes (`/ping`, `/stats`, `/metrics`, `/static`)
+/// pass through untouched so probes and scrapes survive chaos runs.
+pub fn inject_faults(inner: Handler, injector: FaultInjector, recorder: Arc<Recorder>) -> Handler {
+    Arc::new(move |req: &Request| -> Response {
+        if !(req.method == Method::Post && req.path == "/predictions") {
+            return inner(req);
+        }
+        let (rid, echo) = correlation_id(req);
+        let elapsed = injector.elapsed();
+        let stall = injector.slowdown(elapsed);
+        if !stall.is_zero() {
+            recorder.note_fault();
+            std::thread::sleep(stall);
+        }
+        if let Some(status) = injector.error_response(elapsed, rid) {
+            recorder.note_fault();
+            return echo_request_id(Response::error(status, "injected fault"), echo);
+        }
+        let resp = inner(req);
+        if injector.resets_connection(elapsed, rid) {
+            recorder.note_fault();
+            return resp.with_header(RESET_MARKER, "1".to_string());
+        }
+        resp
+    })
+}
+
+/// Graceful-degradation policy for the batched server.
+///
+/// Under sustained overload the server stops 503-ing and falls back to a
+/// precomputed popularity top-k response: a cheap, always-available
+/// answer that keeps the endpoint useful while the batcher catches up.
+#[derive(Debug, Clone)]
+pub struct DegradationPolicy {
+    /// Consecutive queue-full sheds before entering degraded mode (the
+    /// shed that crosses the threshold is already served degraded).
+    pub enter_after: u64,
+    /// Consecutive successful batcher submissions before returning to
+    /// normal service.
+    pub exit_after: u64,
+    /// Recommendations in the fallback response.
+    pub top_k: usize,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        DegradationPolicy {
+            enter_after: 8,
+            exit_after: 32,
+            top_k: 21,
+        }
+    }
+}
+
+/// The degradation state machine plus its precomputed fallback response.
+///
+/// Transitions: `Normal -> Degraded` after `enter_after` *consecutive*
+/// queue-full sheds (any success resets the streak); `Degraded -> Normal`
+/// after `exit_after` consecutive successful batcher submissions (any
+/// overload resets that streak). In degraded mode overloaded requests get
+/// the popularity fallback as `200` + [`DEGRADED_HEADER`] instead of 503.
+struct Degradation {
+    policy: DegradationPolicy,
+    /// Pre-encoded popularity top-k body, built once at route setup —
+    /// the degraded path must not cost inference.
+    fallback_body: String,
+    degraded: AtomicBool,
+    consecutive_sheds: AtomicU64,
+    consecutive_ok: AtomicU64,
+}
+
+impl Degradation {
+    fn new(policy: DegradationPolicy, catalog_size: usize) -> Degradation {
+        let fallback_body = popularity_fallback(catalog_size, policy.top_k);
+        Degradation {
+            policy,
+            fallback_body,
+            degraded: AtomicBool::new(false),
+            consecutive_sheds: AtomicU64::new(0),
+            consecutive_ok: AtomicU64::new(0),
+        }
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// A batcher submission succeeded: any shed streak ends, and in
+    /// degraded mode a long enough success streak restores normal
+    /// service.
+    fn note_success(&self) {
+        self.consecutive_sheds.store(0, Ordering::Relaxed);
+        if self.is_degraded() {
+            let oks = self.consecutive_ok.fetch_add(1, Ordering::Relaxed) + 1;
+            if oks >= self.policy.exit_after {
+                self.degraded.store(false, Ordering::Relaxed);
+                self.consecutive_ok.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The queue was full. Returns `true` when the request should be
+    /// served from the fallback (degraded mode), `false` to shed it.
+    fn note_overload(&self) -> bool {
+        if self.is_degraded() {
+            self.consecutive_ok.store(0, Ordering::Relaxed);
+            return true;
+        }
+        let sheds = self.consecutive_sheds.fetch_add(1, Ordering::Relaxed) + 1;
+        if sheds >= self.policy.enter_after {
+            self.degraded.store(true, Ordering::Relaxed);
+            self.consecutive_sheds.store(0, Ordering::Relaxed);
+            self.consecutive_ok.store(0, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+}
+
+/// The degraded-mode response body: the catalog's popularity top-k (the
+/// head of the item distribution — our synthetic workloads put the mass
+/// on the lowest ids), scored by reciprocal rank. Stands in for the
+/// popularity cache a production recommender keeps warm.
+fn popularity_fallback(catalog_size: usize, top_k: usize) -> String {
+    let k = top_k.min(catalog_size).max(1);
+    let items: Vec<u32> = (0..k as u32).collect();
+    let scores: Vec<f32> = (0..k).map(|rank| 1.0 / (rank as f32 + 1.0)).collect();
+    http::encode_recommendations(&items, &scores)
+}
+
 /// One batched inference result: the recommendation plus the measured
 /// inference/top-k wall-time split, so the handler thread can derive its
 /// queue wait (submit-to-response minus actual compute).
@@ -481,6 +649,20 @@ pub fn model_routes_batched_observed(
     jit: bool,
     config: crate::batching::BatchConfig,
     recorder: Arc<Recorder>,
+) -> Handler {
+    model_routes_batched_resilient(model, device, jit, config, recorder, None)
+}
+
+/// [`model_routes_batched_observed`] with graceful degradation: under
+/// sustained overload (per `policy`) the server serves the popularity
+/// fallback instead of 503-ing. `policy: None` keeps pure shedding.
+pub fn model_routes_batched_resilient(
+    model: Arc<dyn SbrModel>,
+    device: Device,
+    jit: bool,
+    config: crate::batching::BatchConfig,
+    recorder: Arc<Recorder>,
+    policy: Option<DegradationPolicy>,
 ) -> Handler {
     use crate::batching::Batcher;
 
@@ -524,7 +706,8 @@ pub fn model_routes_batched_observed(
                 })
                 .collect()
         }));
-    batched_routes(batcher, catalog_size, recorder)
+    let degradation = policy.map(|p| Arc::new(Degradation::new(p, catalog_size)));
+    batched_routes(batcher, catalog_size, recorder, degradation)
 }
 
 /// The route table around a prediction batcher. Factored out of
@@ -534,6 +717,7 @@ fn batched_routes(
     batcher: Arc<PredictionBatcher>,
     catalog_size: usize,
     recorder: Arc<Recorder>,
+    degradation: Option<Arc<Degradation>>,
 ) -> Handler {
     use crate::batching::CallError;
 
@@ -558,6 +742,9 @@ fn batched_routes(
                         inference,
                         topk,
                     }) => {
+                        if let Some(d) = &degradation {
+                            d.note_success();
+                        }
                         // Everything between submit and response that was
                         // not compute is batch-queue wait (sitting in the
                         // channel plus the flush deadline).
@@ -585,13 +772,30 @@ fn batched_routes(
                         resp
                     }
                     Ok(BatchReply { rec: Err(_), .. }) => {
+                        // The batcher submission itself succeeded.
+                        if let Some(d) = &degradation {
+                            d.note_success();
+                        }
                         echo_request_id(Response::error(500, "inference failed"), echo)
                     }
-                    Err(CallError::Overloaded) => echo_request_id(
-                        Response::error(503, "server overloaded, retry later")
-                            .with_header("retry-after", "1".to_string()),
-                        echo,
-                    ),
+                    Err(CallError::Overloaded) => {
+                        if let Some(d) = &degradation {
+                            if d.note_overload() {
+                                recorder.note_degraded();
+                                return echo_request_id(
+                                    Response::ok(d.fallback_body.clone())
+                                        .with_header(DEGRADED_HEADER, "1".to_string()),
+                                    echo,
+                                );
+                            }
+                        }
+                        recorder.note_shed();
+                        echo_request_id(
+                            Response::error(503, "server overloaded, retry later")
+                                .with_header("retry-after", "1".to_string()),
+                            echo,
+                        )
+                    }
                     Err(CallError::Closed) => {
                         echo_request_id(Response::error(503, "batcher unavailable"), echo)
                     }
@@ -605,7 +809,7 @@ fn batched_routes(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::client::HttpClient;
+    use crate::client::{ClientError, HttpClient};
     use etude_models::{ModelConfig, ModelKind};
 
     fn static_handler() -> Handler {
@@ -919,7 +1123,7 @@ mod tests {
             },
         ));
         let probe = Arc::clone(&batcher);
-        let handler = batched_routes(batcher, 100, Arc::new(Recorder::new()));
+        let handler = batched_routes(batcher, 100, Arc::new(Recorder::new()), None);
         let server = start(ServerConfig { workers: 4 }, handler).unwrap();
         let addr = server.addr();
 
@@ -964,6 +1168,228 @@ mod tests {
         let resp = client.request(&Request::post("/predictions", "3")).unwrap();
         assert_eq!(resp.status, 200);
         server.shutdown();
+    }
+
+    #[test]
+    fn degradation_state_machine_enters_and_exits() {
+        let d = Degradation::new(
+            DegradationPolicy {
+                enter_after: 3,
+                exit_after: 2,
+                top_k: 5,
+            },
+            100,
+        );
+        assert!(!d.is_degraded());
+        assert!(!d.note_overload(), "shed 1: still normal");
+        assert!(!d.note_overload(), "shed 2: still normal");
+        assert!(d.note_overload(), "shed 3 crosses the threshold");
+        assert!(d.is_degraded());
+        assert!(d.note_overload(), "degraded overloads keep falling back");
+        d.note_success();
+        assert!(d.is_degraded(), "one success is not enough");
+        d.note_success();
+        assert!(!d.is_degraded(), "two consecutive successes restore");
+        // A success mid-streak resets the shed counter.
+        assert!(!d.note_overload());
+        assert!(!d.note_overload());
+        d.note_success();
+        assert!(!d.note_overload(), "streak was broken; count restarts");
+        assert!(!d.note_overload());
+        assert!(d.note_overload());
+    }
+
+    #[test]
+    fn popularity_fallback_is_well_formed_and_ranked() {
+        let body = popularity_fallback(100, 5);
+        let pairs: Vec<(u32, f32)> = body
+            .split(',')
+            .map(|p| {
+                let (id, score) = p.split_once(':').unwrap();
+                (id.parse().unwrap(), score.parse().unwrap())
+            })
+            .collect();
+        assert_eq!(pairs.len(), 5);
+        assert!(pairs.windows(2).all(|w| w[0].1 >= w[1].1), "scores sorted");
+        assert!(pairs.iter().all(|&(id, _)| (id as usize) < 100));
+        // Tiny catalogs clamp k instead of inventing items.
+        assert_eq!(popularity_fallback(2, 21).split(',').count(), 2);
+    }
+
+    /// Degraded mode over real sockets: saturate the gated batcher until
+    /// the server flips to the popularity fallback, then release the gate
+    /// and watch it recover to full service.
+    #[test]
+    fn sustained_overload_degrades_gracefully_and_recovers() {
+        use crate::batching::{BatchConfig, Batcher};
+
+        let gate = Arc::new(parking_lot::Mutex::new(()));
+        let held = gate.lock();
+        let handler_gate = Arc::clone(&gate);
+        let entered = Arc::new(AtomicU64::new(0));
+        let entered_in_closure = Arc::clone(&entered);
+        let batcher: Arc<PredictionBatcher> = Arc::new(Batcher::spawn(
+            BatchConfig {
+                max_batch: 1,
+                flush_every: Duration::from_micros(1),
+                max_queue: 1,
+            },
+            move |sessions: Vec<Vec<u32>>| {
+                entered_in_closure.fetch_add(1, Ordering::SeqCst);
+                let _open = handler_gate.lock();
+                sessions
+                    .into_iter()
+                    .map(|_| BatchReply {
+                        rec: Ok(etude_models::Recommendation {
+                            items: vec![1],
+                            scores: vec![1.0],
+                        }),
+                        inference: Duration::from_micros(10),
+                        topk: Duration::from_micros(5),
+                    })
+                    .collect()
+            },
+        ));
+        let probe = Arc::clone(&batcher);
+        let recorder = Arc::new(Recorder::new());
+        let degradation = Arc::new(Degradation::new(
+            DegradationPolicy {
+                enter_after: 2,
+                exit_after: 1,
+                top_k: 4,
+            },
+            100,
+        ));
+        let handler = batched_routes(batcher, 100, Arc::clone(&recorder), Some(degradation));
+        let server = start(ServerConfig { workers: 4 }, handler).unwrap();
+        let addr = server.addr();
+
+        let spawn_request = move || {
+            std::thread::spawn(move || {
+                let mut client =
+                    HttpClient::connect_with_timeout(addr, Duration::from_secs(30)).unwrap();
+                client
+                    .request(&Request::post("/predictions", "1"))
+                    .unwrap()
+                    .status
+            })
+        };
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut blocked = vec![spawn_request()];
+        while entered.load(Ordering::SeqCst) == 0 {
+            assert!(Instant::now() < deadline, "batcher never started");
+            std::thread::yield_now();
+        }
+        blocked.push(spawn_request());
+        while probe.queue_depth() < 1 {
+            assert!(Instant::now() < deadline, "queue never filled");
+            std::thread::yield_now();
+        }
+        // Queue full. First overload: still a 503 shed (below threshold).
+        let mut client = HttpClient::connect(addr).unwrap();
+        let resp = client.request(&Request::post("/predictions", "2")).unwrap();
+        assert_eq!(resp.status, 503);
+        // Second consecutive overload crosses the threshold: degraded
+        // 200 with the fallback body, flagged via the header.
+        let resp = client.request(&Request::post("/predictions", "3")).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.headers.get(DEGRADED_HEADER).map(String::as_str),
+            Some("1")
+        );
+        let body = std::str::from_utf8(&resp.body).unwrap();
+        assert_eq!(body.split(',').count(), 4, "policy top_k");
+        assert!(body.split(',').all(|p| p.contains(':')), "well-formed");
+        // Still degraded: the next overload also falls back.
+        let resp = client.request(&Request::post("/predictions", "4")).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.headers.get(DEGRADED_HEADER).map(String::as_str),
+            Some("1")
+        );
+
+        // Recovery: release the gate, drain the queue.
+        drop(held);
+        for b in blocked {
+            assert_eq!(b.join().unwrap(), 200);
+        }
+        // exit_after = 1: one successful submission restores normal
+        // service (and normal responses carry no degraded flag).
+        let resp = client.request(&Request::post("/predictions", "5")).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(!resp.headers.contains_key(DEGRADED_HEADER));
+
+        // The counters made it into /stats.
+        let stats = client.request(&Request::get("/stats")).unwrap();
+        let snap = etude_obs::parse_stats_json(std::str::from_utf8(&stats.body).unwrap()).unwrap();
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.degraded, 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn reset_tagged_responses_tear_the_connection_down() {
+        let handler: Handler = Arc::new(|req: &Request| match (req.method, req.path.as_str()) {
+            (Method::Get, "/reset") => Response::ok("you will never read all of this body")
+                .with_header(RESET_MARKER, "1".to_string()),
+            _ => Response::ok("fine"),
+        });
+        let server = start(ServerConfig::default(), handler).unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let resp = client.request(&Request::get("/ok")).unwrap();
+        assert_eq!(resp.status, 200);
+        // The tagged response arrives truncated; the client sees a dead
+        // connection, not a parsed response — and the marker never
+        // reaches the wire.
+        match client.request(&Request::get("/reset")) {
+            Ok(resp) => panic!("expected a reset, parsed {:?}", resp.status),
+            Err(ClientError::Io(_) | ClientError::Protocol(_) | ClientError::Timeout) => {}
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn injected_faults_hit_predictions_but_spare_probes() {
+        use etude_faults::{FaultKind, FaultPlan};
+
+        let inner: Handler = Arc::new(|req: &Request| match (req.method, req.path.as_str()) {
+            (Method::Post, "/predictions") => Response::ok("1:0.5"),
+            (Method::Get, "/ping") => Response::ok("pong"),
+            _ => Response::error(404, "no"),
+        });
+        let recorder = Arc::new(Recorder::new());
+        let plan = FaultPlan::seeded(21).with_window(
+            Duration::ZERO,
+            Duration::from_secs(3600),
+            FaultKind::ErrorResponse {
+                prob: 1.0,
+                status: 502,
+            },
+        );
+        let handler = inject_faults(inner, FaultInjector::new(plan), Arc::clone(&recorder));
+        let resp = handler(&Request::post("/predictions", "1,2"));
+        assert_eq!(resp.status, 502);
+        assert_eq!(&resp.body[..], b"injected fault");
+        let resp = handler(&Request::get("/ping"));
+        assert_eq!(resp.status, 200, "probes bypass injection");
+        assert_eq!(recorder.snapshot().faults, 1);
+    }
+
+    #[test]
+    fn injected_resets_tag_the_response_with_the_marker() {
+        use etude_faults::{FaultKind, FaultPlan};
+
+        let inner: Handler = Arc::new(|_: &Request| Response::ok("1:0.5"));
+        let recorder = Arc::new(Recorder::new());
+        let plan = FaultPlan::seeded(4).with_window(
+            Duration::ZERO,
+            Duration::from_secs(3600),
+            FaultKind::ConnReset { prob: 1.0 },
+        );
+        let handler = inject_faults(inner, FaultInjector::new(plan), Arc::clone(&recorder));
+        let resp = handler(&Request::post("/predictions", "7"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.headers.contains_key(RESET_MARKER));
     }
 
     #[test]

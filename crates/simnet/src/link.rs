@@ -6,6 +6,7 @@
 //! hop as a base latency plus light log-normal-ish jitter.
 
 use crate::{Sim, SimTime};
+use etude_faults::FaultInjector;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::time::Duration;
@@ -57,6 +58,50 @@ impl Link {
     }
 }
 
+/// A [`Link`] under a [`FaultPlan`](etude_faults::FaultPlan): latency
+/// spikes stretch deliveries, drop/partition windows lose messages.
+///
+/// Fault windows are evaluated against *virtual* time (the simulation
+/// clock), and drop decisions are keyed by the message's correlation id,
+/// so a seeded schedule replays bit-identically across runs.
+#[derive(Debug)]
+pub struct FaultyLink {
+    link: Link,
+    injector: FaultInjector,
+}
+
+impl FaultyLink {
+    /// Wraps a link with a fault injector.
+    pub fn new(link: Link, injector: FaultInjector) -> FaultyLink {
+        FaultyLink { link, injector }
+    }
+
+    /// A faultless wrapper: behaves exactly like the inner link.
+    pub fn calm(link: Link) -> FaultyLink {
+        FaultyLink::new(link, FaultInjector::calm())
+    }
+
+    /// The injector (for counters and plan inspection).
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// Samples the delivery latency of message `id` sent at virtual time
+    /// `now`, or `None` when a drop/partition window loses it.
+    pub fn sample(&mut self, now: SimTime, id: u64) -> Option<Duration> {
+        let elapsed = now.as_duration();
+        if self.injector.drops_message(elapsed, id) {
+            return None;
+        }
+        Some(self.link.sample() + self.injector.latency_extra(elapsed))
+    }
+
+    /// Delivery time for message `id` sent at `now`; `None` = dropped.
+    pub fn delivery_time(&mut self, now: SimTime, id: u64) -> Option<SimTime> {
+        self.sample(now, id).map(|d| now.after(d))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +141,81 @@ mod tests {
         let samples: Vec<Duration> = (0..50).map(|_| link.sample()).collect();
         let distinct: std::collections::HashSet<Duration> = samples.iter().copied().collect();
         assert!(distinct.len() > 10);
+    }
+
+    #[test]
+    fn calm_faulty_link_matches_the_bare_link() {
+        let mut bare = Link::new(Duration::from_micros(100), Duration::ZERO, 5);
+        let mut faulty = FaultyLink::calm(Link::new(Duration::from_micros(100), Duration::ZERO, 5));
+        for id in 0..20 {
+            assert_eq!(
+                faulty.sample(SimTime::ZERO.after(Duration::from_millis(id)), id),
+                Some(bare.sample())
+            );
+        }
+    }
+
+    #[test]
+    fn spikes_and_partitions_follow_the_virtual_clock() {
+        use etude_faults::{FaultKind, FaultPlan};
+
+        let plan = FaultPlan::seeded(8)
+            .with_window(
+                Duration::from_secs(1),
+                Duration::from_secs(2),
+                FaultKind::LatencySpike { extra_us: 900 },
+            )
+            .with_window(
+                Duration::from_secs(3),
+                Duration::from_secs(4),
+                FaultKind::Partition,
+            );
+        let mut link = FaultyLink::new(
+            Link::new(Duration::from_micros(100), Duration::ZERO, 1),
+            FaultInjector::new(plan),
+        );
+        let at = |s| SimTime::ZERO.after(Duration::from_secs(s));
+        assert_eq!(link.sample(at(0), 1), Some(Duration::from_micros(100)));
+        assert_eq!(
+            link.sample(at(1), 2),
+            Some(Duration::from_micros(1_000)),
+            "spike window adds 900us"
+        );
+        assert_eq!(link.sample(at(3), 3), None, "partition loses the message");
+        assert_eq!(link.delivery_time(at(3), 4), None);
+        assert_eq!(
+            link.sample(at(5), 5),
+            Some(Duration::from_micros(100)),
+            "back to normal after the windows"
+        );
+        assert_eq!(link.injector().counters().drops(), 2);
+        assert_eq!(link.injector().counters().spikes(), 1);
+    }
+
+    #[test]
+    fn seeded_drop_schedules_replay_bit_identically() {
+        use etude_faults::{FaultKind, FaultPlan};
+
+        let build = || {
+            FaultyLink::new(
+                Link::cluster(9),
+                FaultInjector::new(FaultPlan::seeded(33).with_window(
+                    Duration::ZERO,
+                    Duration::from_secs(10),
+                    FaultKind::Drop { prob: 0.4 },
+                )),
+            )
+        };
+        let mut a = build();
+        let mut b = build();
+        for id in 0..500u64 {
+            let at = SimTime::ZERO.after(Duration::from_millis(id * 7));
+            assert_eq!(a.sample(at, id).is_none(), b.sample(at, id).is_none());
+        }
+        assert_eq!(
+            a.injector().counters().drops(),
+            b.injector().counters().drops()
+        );
+        assert!(a.injector().counters().drops() > 100, "p=0.4 over 500");
     }
 }

@@ -1,8 +1,17 @@
 #!/usr/bin/env bash
 # Full verification gate: build, tests, formatting, lints.
 # Run from anywhere; operates on the workspace root.
+# Pass --chaos to add the seeded fault-injection smoke stage.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+CHAOS=0
+for arg in "$@"; do
+    case "$arg" in
+        --chaos) CHAOS=1 ;;
+        *) echo "unknown flag: $arg" >&2; exit 2 ;;
+    esac
+done
 
 echo "==> cargo build --release"
 cargo build --release
@@ -12,6 +21,13 @@ cargo test -q --workspace
 
 echo "==> latency_breakdown --smoke (live observability loop)"
 cargo run --release -q -p etude-bench --bin latency_breakdown -- --smoke
+
+if [ "$CHAOS" = "1" ]; then
+    echo "==> ablation_faults --smoke (seeded 2 s fault-injection run)"
+    cargo run --release -q -p etude-bench --bin ablation_faults -- --smoke
+    echo "==> chaos integration tests (live server + resilient client)"
+    cargo test -q -p etude-loadgen --test chaos
+fi
 
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q --workspace

@@ -2,7 +2,9 @@
 //!
 //! Supports the subset of proptest this workspace uses: the
 //! `proptest! { #![proptest_config(...)] #[test] fn case(x in strategy) {...} }`
-//! macro, numeric range strategies, `proptest::collection::vec`, and the
+//! macro, numeric range strategies, `any::<T>()` for integers,
+//! `Strategy::prop_map`, tuple strategies, `prop_oneof!`,
+//! `proptest::collection::vec`, and the
 //! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!` macros. Cases are
 //! generated from a deterministic per-test seed (FNV of the test name ×
 //! case index), so failures reproduce exactly on re-run. Shrinking is
@@ -80,6 +82,103 @@ pub mod strategy {
 
         /// Generates one value.
         fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f` (proptest's `prop_map`,
+        /// without shrinking).
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { strategy: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        strategy: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn new_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.strategy.new_value(rng))
+        }
+    }
+
+    /// Full-range strategy for a type, returned by [`any()`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    /// `any::<T>()`: every value of `T` is equally likely.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy,
+    {
+        Any(core::marker::PhantomData)
+    }
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (S0 0, S1 1)
+        (S0 0, S1 1, S2 2)
+        (S0 0, S1 1, S2 2, S3 3)
+    }
+
+    /// A boxed generator closure — one `prop_oneof!` alternative.
+    pub type UnionArm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+    /// A uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<UnionArm<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given generators; must be non-empty.
+        pub fn new(options: Vec<UnionArm<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "empty prop_oneof!");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let pick = (rng.next_u64() % self.options.len() as u64) as usize;
+            (self.options[pick])(rng)
+        }
     }
 
     /// A strategy that always yields a clone of a fixed value.
@@ -205,9 +304,9 @@ pub mod collection {
 pub mod prelude {
     //! Single-import surface mirroring `proptest::prelude`.
 
-    pub use crate::strategy::{Just, Strategy};
+    pub use crate::strategy::{any, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 
 /// Defines deterministic randomised tests.
@@ -231,9 +330,11 @@ macro_rules! proptest {
 #[macro_export]
 macro_rules! __proptest_impl {
     (($config:expr); $(
+        $(#[doc = $doc:expr])*
         #[test]
         fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
     )*) => {$(
+        $(#[doc = $doc])*
         #[test]
         fn $name() {
             let __config = $config;
@@ -250,6 +351,24 @@ macro_rules! __proptest_impl {
             }
         }
     )*};
+}
+
+/// Uniform choice between strategies (real proptest also accepts
+/// weighted arms; this shim supports the unweighted form only).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $({
+                let __s = $strat;
+                ::std::boxed::Box::new(
+                    move |__rng: &mut $crate::test_runner::TestRng| {
+                        $crate::strategy::Strategy::new_value(&__s, __rng)
+                    },
+                ) as ::std::boxed::Box<dyn Fn(&mut $crate::test_runner::TestRng) -> _>
+            }),+
+        ])
+    };
 }
 
 /// `assert!` that reports the failing property.
@@ -323,11 +442,24 @@ mod tests {
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
 
+        /// Doc comments inside the macro block are accepted.
         #[test]
         fn the_macro_itself_runs_cases(x in 0u32..100, xs in crate::collection::vec(0i32..5, 1..6)) {
             prop_assert!(x < 100);
             prop_assert!(!xs.is_empty() && xs.len() < 6);
             prop_assert_eq!(xs.len(), xs.iter().filter(|v| **v < 5).count());
+        }
+
+        #[test]
+        fn combinators_compose(
+            seed in any::<u64>(),
+            pair in (0u32..10, (0.0f64..=1.0).prop_map(|p| p * 2.0)),
+            label in prop_oneof![Just("a"), Just("b"), (0u32..5).prop_map(|_| "c")],
+        ) {
+            let _ = seed;
+            prop_assert!(pair.0 < 10);
+            prop_assert!((0.0..=2.0).contains(&pair.1));
+            prop_assert!(["a", "b", "c"].contains(&label));
         }
     }
 }

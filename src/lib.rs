@@ -1,6 +1,7 @@
 //! Facade crate re-exporting the full ETUDE reproduction workspace.
 pub use etude_cluster as cluster;
 pub use etude_core as core;
+pub use etude_faults as faults;
 pub use etude_loadgen as loadgen;
 pub use etude_metrics as metrics;
 pub use etude_models as models;
