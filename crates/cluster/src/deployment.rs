@@ -60,14 +60,14 @@ impl Deployment {
     pub fn create(sim: &mut Sim, spec: DeploymentSpec, profile: &ServiceProfile) -> Deployment {
         let mut pods = Vec::with_capacity(spec.replicas);
         let mut ready_at = sim.now();
-        for _ in 0..spec.replicas {
+        for replica in 0..spec.replicas {
             let server_config = if spec.instance.has_gpu() {
                 RustServerConfig::gpu()
             } else {
                 RustServerConfig::cpu(spec.instance.vcpus())
             };
             let server = SimRustServer::new(profile.clone(), server_config);
-            let pod = Pod::new(server, spec.model_bytes);
+            let pod = Pod::new_with_id(server, spec.model_bytes, replica as u32);
             ready_at = ready_at.max(pod.start(sim));
             pods.push(pod);
         }
@@ -172,6 +172,26 @@ mod tests {
             large.ready_at().since(small.ready_at()) > Duration::from_secs(10),
             "5 GB of model weights should add noticeable startup time"
         );
+    }
+
+    #[test]
+    fn replicas_carry_distinct_ids() {
+        let mut sim = Sim::new();
+        let profile = ServiceProfile::static_response(&Device::cpu());
+        let d = Deployment::create(
+            &mut sim,
+            DeploymentSpec {
+                instance: InstanceType::CpuE2,
+                replicas: 4,
+                model_bytes: 0,
+            },
+            &profile,
+        );
+        let ids: Vec<u32> = d.pods().iter().map(|p| p.id()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        let summaries = d.service().pod_summaries();
+        assert_eq!(summaries.len(), 4);
+        assert!(summaries.iter().all(|s| s.served == 0 && s.refused == 0));
     }
 
     #[test]

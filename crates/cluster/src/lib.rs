@@ -19,5 +19,5 @@ pub mod service;
 
 pub use deployment::{Deployment, DeploymentSpec};
 pub use instances::InstanceType;
-pub use pod::{Pod, PodPhase};
+pub use pod::{Pod, PodLoadStats, PodPhase};
 pub use service::ClusterIpService;

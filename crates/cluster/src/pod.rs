@@ -9,6 +9,7 @@
 //! reports the phase, and traffic before readiness is refused.
 
 use etude_faults::{FaultInjector, FaultKind};
+use etude_metrics::hdr::Histogram;
 use etude_serve::simserver::{RespondFn, ServeError, SimService};
 use etude_simnet::{shared, Shared, Sim, SimTime};
 use std::rc::Rc;
@@ -29,13 +30,33 @@ pub enum PodPhase {
 struct PodState {
     phase: PodPhase,
     refused: u64,
+    served: u64,
+    latency: Histogram,
 }
 
 /// A pod wrapping an inference server with startup/readiness semantics.
 pub struct Pod {
+    id: u32,
     state: Shared<PodState>,
     server: Rc<dyn SimService>,
     startup: Duration,
+}
+
+/// One pod's load counters, as the fleet view reports them: how much
+/// traffic the replica absorbed and how its pod-local service time
+/// (queueing + compute, network excluded) distributed. Mirrors what a
+/// live pod's `/stats` endpoint exposes, so per-replica skew is
+/// observable in simulated deployments too.
+#[derive(Debug, Clone)]
+pub struct PodLoadStats {
+    /// Replica index within the deployment.
+    pub id: u32,
+    /// Requests served successfully.
+    pub served: u64,
+    /// Requests refused while not ready.
+    pub refused: u64,
+    /// Pod-local service time distribution in microseconds.
+    pub latency: Histogram,
 }
 
 /// Bandwidth of pulling a serialised model from the storage bucket
@@ -49,15 +70,29 @@ impl Pod {
     /// Creates a pod around a server; `model_bytes` drives the
     /// download/load portion of startup time.
     pub fn new(server: Rc<dyn SimService>, model_bytes: u64) -> Rc<Pod> {
+        Pod::new_with_id(server, model_bytes, 0)
+    }
+
+    /// Creates a pod carrying its replica index, so fleet views can
+    /// attribute load to the right backend.
+    pub fn new_with_id(server: Rc<dyn SimService>, model_bytes: u64, id: u32) -> Rc<Pod> {
         let download = Duration::from_secs_f64(model_bytes as f64 / DOWNLOAD_BANDWIDTH);
         Rc::new(Pod {
+            id,
             state: shared(PodState {
                 phase: PodPhase::Starting,
                 refused: 0,
+                served: 0,
+                latency: Histogram::new(),
             }),
             server,
             startup: BASE_STARTUP + download,
         })
+    }
+
+    /// The pod's replica index.
+    pub fn id(&self) -> u32 {
+        self.id
     }
 
     /// Schedules the startup sequence; the pod becomes ready after its
@@ -136,6 +171,22 @@ impl Pod {
     pub fn refused(&self) -> u64 {
         self.state.borrow().refused
     }
+
+    /// Requests served successfully.
+    pub fn served(&self) -> u64 {
+        self.state.borrow().served
+    }
+
+    /// A snapshot of the pod's load counters.
+    pub fn load_stats(&self) -> PodLoadStats {
+        let s = self.state.borrow();
+        PodLoadStats {
+            id: self.id,
+            served: s.served,
+            refused: s.refused,
+            latency: s.latency.clone(),
+        }
+    }
 }
 
 impl SimService for Pod {
@@ -145,7 +196,21 @@ impl SimService for Pod {
             respond(sim, Err(ServeError::Overloaded));
             return;
         }
-        Rc::clone(&self.server).submit(sim, respond);
+        // Wrap the continuation so the pod observes its own service
+        // time: submit to respond is queueing plus compute on this
+        // replica (the wire is the caller's problem).
+        let state = self.state_rc();
+        let submitted = sim.now();
+        let wrapped: RespondFn = Box::new(move |s, result| {
+            if result.is_ok() {
+                let mut st = state.borrow_mut();
+                st.served += 1;
+                st.latency
+                    .record(s.now().since(submitted).as_micros() as u64);
+            }
+            respond(s, result);
+        });
+        Rc::clone(&self.server).submit(sim, wrapped);
     }
 }
 

@@ -6,7 +6,7 @@
 //! behaviour, and it is what makes the "scale out with N cheaper
 //! machines" rows of Table I work.
 
-use crate::pod::Pod;
+use crate::pod::{Pod, PodLoadStats};
 use etude_serve::simserver::{RespondFn, ServeError, SimService};
 use etude_simnet::{shared, Shared, Sim};
 use std::rc::Rc;
@@ -40,6 +40,12 @@ impl ClusterIpService {
     /// experiment runner waits for before starting the load generator.
     pub fn all_ready(&self) -> bool {
         self.pods.iter().all(|p| p.is_ready())
+    }
+
+    /// Per-pod load counters, in replica order — the simulated
+    /// counterpart of scraping every backend's `/stats`.
+    pub fn pod_summaries(&self) -> Vec<PodLoadStats> {
+        self.pods.iter().map(|p| p.load_stats()).collect()
     }
 
     /// Picks the next ready backend round-robin.
@@ -80,13 +86,13 @@ mod tests {
     fn make_pods(n: usize) -> (Vec<Rc<Pod>>, Vec<Rc<SimRustServer>>) {
         let mut pods = Vec::new();
         let mut servers = Vec::new();
-        for _ in 0..n {
+        for id in 0..n {
             let server = SimRustServer::new(
                 ServiceProfile::static_response(&Device::cpu()),
                 RustServerConfig::cpu(1),
             );
             servers.push(Rc::clone(&server));
-            pods.push(Pod::new(server, 0));
+            pods.push(Pod::new_with_id(server, 0, id as u32));
         }
         (pods, servers)
     }
@@ -107,6 +113,16 @@ mod tests {
         sim.run_to_completion();
         for s in &servers {
             assert_eq!(s.served(), 3, "uneven round robin");
+        }
+        // The pods tally the same traffic the servers saw, each under
+        // its own id, with a latency sample per served request.
+        let summaries = service.pod_summaries();
+        assert_eq!(summaries.len(), 3);
+        for (idx, s) in summaries.iter().enumerate() {
+            assert_eq!(s.id as usize, idx);
+            assert_eq!(s.served, 3);
+            assert_eq!(s.refused, 0);
+            assert_eq!(s.latency.count(), 3);
         }
     }
 

@@ -89,6 +89,9 @@ mod tests {
             retries: 0,
             degraded: 0,
             server_stages: None,
+            corrected: etude_metrics::hdr::Histogram::new(),
+            attribution: Vec::new(),
+            slo: None,
         }
     }
 

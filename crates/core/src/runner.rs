@@ -7,8 +7,10 @@ use crate::spec::{ExecutionMode, ExperimentSpec};
 use etude_cluster::{Deployment, DeploymentSpec};
 use etude_faults::FaultInjector;
 use etude_loadgen::{LoadConfig, LoadTestResult, SimLoadGen};
+use etude_metrics::hdr::Histogram;
 use etude_metrics::percentile::percentile_duration;
 use etude_metrics::TimeSeries;
+use etude_obs::{SloMonitor, SloPolicy};
 use etude_serve::service::ExecutionKind;
 use etude_serve::ServiceProfile;
 use etude_simnet::link::{FaultyLink, Link};
@@ -62,6 +64,9 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
             retries: 0,
             degraded: 0,
             server_stages: None,
+            corrected: Histogram::new(),
+            attribution: Vec::new(),
+            slo: None,
         };
         return ExperimentResult::evaluate(spec, monthly_cost, empty, 1);
     }
@@ -106,7 +111,12 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         injector,
     );
     sim.run_to_completion();
-    let load = handle.collect();
+    let mut load = handle.collect();
+    // Multi-window burn-rate evaluation over the whole run: the report
+    // says *when* the SLO first caught fire and *which* stage (compute,
+    // queue, network, faults) dominated that window.
+    let monitor = SloMonitor::new(SloPolicy::from_target(spec.latency_slo));
+    load.slo = Some(monitor.evaluate(&load.series, &load.attribution));
 
     ExperimentResult::evaluate(spec, monthly_cost, load, hold_secs as usize)
 }

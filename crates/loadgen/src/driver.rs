@@ -12,14 +12,19 @@ use crate::sessions::SessionReplayer;
 use crate::simdriver::{LoadConfig, LoadTestResult};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use etude_faults::RetryPolicy;
+use etude_metrics::hdr::Histogram;
 use etude_metrics::TimeSeries;
+use etude_obs::ClientSpan;
 use etude_serve::client::{ClientError, HttpClient, ResilientClient};
 use etude_serve::http::{self, Request};
 use parking_lot::Mutex;
 use std::net::SocketAddr;
 
-/// Channel payload: `(session id, session-prefix item ids)`.
-type Job = (u64, Vec<u32>);
+/// Channel payload: `(session id, session-prefix item ids, intended
+/// send time)` — the intended time is when the generator *scheduled*
+/// the request, before any channel or sender-thread delay, so the
+/// corrected latency series can measure from it.
+type Job = (u64, Vec<u32>, Instant);
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -31,10 +36,12 @@ const REQUEST_BUDGET: Duration = Duration::from_secs(2);
 
 struct Outcome {
     session: u64,
+    intended: Instant,
     sent_at: Instant,
     ok: bool,
     retries: u64,
     degraded: bool,
+    span: Option<ClientSpan>,
 }
 
 struct SharedState {
@@ -45,6 +52,8 @@ struct SharedState {
     retries: AtomicU64,
     degraded: AtomicU64,
     series: Mutex<TimeSeries>,
+    corrected: Mutex<Histogram>,
+    spans: Mutex<Vec<ClientSpan>>,
     start: Instant,
 }
 
@@ -60,7 +69,7 @@ impl RealLoadGen {
         config: LoadConfig,
         connections: usize,
     ) -> std::io::Result<LoadTestResult> {
-        Self::run_inner(addr, log, config, connections, None)
+        Ok(Self::run_inner(addr, log, config, connections, None, false)?.0)
     }
 
     /// Like [`RealLoadGen::run`], but each sender thread drives a
@@ -74,7 +83,23 @@ impl RealLoadGen {
         connections: usize,
         policy: RetryPolicy,
     ) -> std::io::Result<LoadTestResult> {
-        Self::run_inner(addr, log, config, connections, Some(policy))
+        Ok(Self::run_inner(addr, log, config, connections, Some(policy), false)?.0)
+    }
+
+    /// [`RealLoadGen::run_resilient`] with distributed tracing: every
+    /// request carries an `x-trace-ctx` header (retries as sibling
+    /// attempt spans), and the returned [`ClientSpan`]s — one per
+    /// request, timed against a shared epoch — feed
+    /// [`etude_obs::TraceCollector`] together with the pods' retained
+    /// span records to reassemble full request trees.
+    pub fn run_traced(
+        addr: SocketAddr,
+        log: &etude_workload::SessionLog,
+        config: LoadConfig,
+        connections: usize,
+        policy: RetryPolicy,
+    ) -> std::io::Result<(LoadTestResult, Vec<ClientSpan>)> {
+        Self::run_inner(addr, log, config, connections, Some(policy), true)
     }
 
     fn run_inner(
@@ -83,7 +108,8 @@ impl RealLoadGen {
         config: LoadConfig,
         connections: usize,
         policy: Option<RetryPolicy>,
-    ) -> std::io::Result<LoadTestResult> {
+        traced: bool,
+    ) -> std::io::Result<(LoadTestResult, Vec<ClientSpan>)> {
         let state = Arc::new(SharedState {
             pending: AtomicU64::new(0),
             sent: AtomicU64::new(0),
@@ -92,6 +118,8 @@ impl RealLoadGen {
             retries: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
             series: Mutex::new(TimeSeries::new()),
+            corrected: Mutex::new(Histogram::new()),
+            spans: Mutex::new(Vec::new()),
             start: Instant::now(),
         });
         let (job_tx, job_rx): (Sender<Job>, Receiver<Job>) = bounded(connections.max(1) * 4);
@@ -99,6 +127,9 @@ impl RealLoadGen {
 
         // Sender threads: each owns one connection — a plain keep-alive
         // client, or a retrying resilient client when a policy is given.
+        // In traced mode every thread times its spans against the same
+        // epoch (the run start), so spans from different threads nest.
+        let epoch = traced.then_some(state.start);
         let mut senders = Vec::new();
         for _ in 0..connections.max(1) {
             let rx = job_rx.clone();
@@ -106,7 +137,7 @@ impl RealLoadGen {
             let policy = policy.clone();
             let seed = config.seed;
             senders.push(std::thread::spawn(move || match policy {
-                Some(policy) => sender_resilient(addr, rx, done, policy, seed),
+                Some(policy) => sender_resilient(addr, rx, done, policy, seed, epoch),
                 None => sender_plain(addr, rx, done),
             }));
         }
@@ -145,7 +176,13 @@ impl RealLoadGen {
                     state.pending.fetch_add(1, Ordering::Relaxed);
                     state.sent.fetch_add(1, Ordering::Relaxed);
                     state.series.lock().record_sent(tick);
-                    if job_tx.send((req.session, req.items)).is_err() {
+                    // The intended send time is *now*, at scheduling:
+                    // any channel wait or sender-thread backlog after
+                    // this point is latency the user would see.
+                    if job_tx
+                        .send((req.session, req.items, Instant::now()))
+                        .is_err()
+                    {
                         break;
                     }
                 }
@@ -166,7 +203,7 @@ impl RealLoadGen {
         }
         // Drain remaining outcomes.
         while let Ok(outcome) = done_rx.recv_timeout(Duration::from_millis(200)) {
-            record_outcome(&state, &outcome, &mut replayer, &mut ready);
+            record_outcome(&state, outcome, &mut replayer, &mut ready);
         }
 
         // Pull the server's own stage breakdown, if it exposes one. Any
@@ -175,7 +212,7 @@ impl RealLoadGen {
         let server_stages = scrape_server_stats(addr);
 
         let state = Arc::try_unwrap(state).unwrap_or_else(|_| panic!("threads joined"));
-        Ok(LoadTestResult {
+        let result = LoadTestResult {
             series: state.series.into_inner(),
             sent: state.sent.load(Ordering::Relaxed),
             ok: state.ok.load(Ordering::Relaxed),
@@ -184,7 +221,13 @@ impl RealLoadGen {
             retries: state.retries.load(Ordering::Relaxed),
             degraded: state.degraded.load(Ordering::Relaxed),
             server_stages,
-        })
+            corrected: state.corrected.into_inner(),
+            // The real-time driver cannot see inside the server per
+            // request, so it carries no per-tick stage attribution.
+            attribution: Vec::new(),
+            slo: None,
+        };
+        Ok((result, state.spans.into_inner()))
     }
 }
 
@@ -195,7 +238,7 @@ fn sender_plain(addr: SocketAddr, rx: Receiver<Job>, done: Sender<Outcome>) {
         Err(_) => return,
     };
     let mut client = Some(client);
-    while let Ok((session, items)) = rx.recv() {
+    while let Ok((session, items, intended)) = rx.recv() {
         let sent_at = Instant::now();
         // A timed-out keep-alive connection is desynchronised (its late
         // response would answer the wrong request), so transport failures
@@ -218,28 +261,32 @@ fn sender_plain(addr: SocketAddr, rx: Receiver<Job>, done: Sender<Outcome>) {
         };
         let _ = done.send(Outcome {
             session,
+            intended,
             sent_at,
             ok,
             retries: 0,
             degraded: false,
+            span: None,
         });
     }
 }
 
 /// The resilient sender loop: retries under the policy, within
-/// [`REQUEST_BUDGET`] per request.
+/// [`REQUEST_BUDGET`] per request. With an `epoch`, every request is
+/// traced and its [`ClientSpan`] rides back on the outcome.
 fn sender_resilient(
     addr: SocketAddr,
     rx: Receiver<Job>,
     done: Sender<Outcome>,
     policy: RetryPolicy,
     seed: u64,
+    epoch: Option<Instant>,
 ) {
     // Every thread shares the client seed: a request's retry schedule is
     // keyed by `seed ^ hash(request id)`, so it does not depend on which
     // thread happened to pick the job up.
     let mut client = ResilientClient::new(addr, policy, seed).with_attempt_timeout(REQUEST_BUDGET);
-    while let Ok((session, items)) = rx.recv() {
+    while let Ok((session, items, intended)) = rx.recv() {
         let sent_at = Instant::now();
         let body = http::encode_session(&items);
         let mut req = Request::post("/predictions", body);
@@ -248,16 +295,25 @@ fn sender_resilient(
         req.headers
             .insert("x-request-id".into(), format!("{session}-{}", items.len()));
         let before = client.total_retries();
-        let (ok, degraded) = match client.request_within(&req, REQUEST_BUDGET) {
+        let (result, span) = match epoch {
+            Some(epoch) => {
+                let (r, s) = client.request_traced(&req, REQUEST_BUDGET, epoch);
+                (r, Some(s))
+            }
+            None => (client.request_within(&req, REQUEST_BUDGET), None),
+        };
+        let (ok, degraded) = match result {
             Ok(out) => (out.response.status == 200, out.degraded),
             Err(_) => (false, false),
         };
         let _ = done.send(Outcome {
             session,
+            intended,
             sent_at,
             ok,
             retries: client.total_retries() - before,
             degraded,
+            span,
         });
     }
 }
@@ -279,13 +335,13 @@ fn drain_outcomes(
     ready: &mut std::collections::VecDeque<crate::sessions::ReplayRequest>,
 ) {
     while let Ok(outcome) = rx.try_recv() {
-        record_outcome(state, &outcome, replayer, ready);
+        record_outcome(state, outcome, replayer, ready);
     }
 }
 
 fn record_outcome(
     state: &SharedState,
-    outcome: &Outcome,
+    outcome: Outcome,
     replayer: &mut SessionReplayer,
     ready: &mut std::collections::VecDeque<crate::sessions::ReplayRequest>,
 ) {
@@ -300,11 +356,21 @@ fn record_outcome(
     if outcome.ok {
         state.ok.fetch_add(1, Ordering::Relaxed);
         series.record_ok(tick, latency);
+        // The corrected histogram measures from the intended send time:
+        // it includes whatever the generator's own machinery (channel,
+        // busy sender threads) added before the request hit the wire.
+        state
+            .corrected
+            .lock()
+            .record(outcome.intended.elapsed().as_micros() as u64);
     } else {
         state.errors.fetch_add(1, Ordering::Relaxed);
         series.record_error(tick);
     }
     drop(series);
+    if let Some(span) = outcome.span {
+        state.spans.lock().push(span);
+    }
     if let Some(released) = replayer.acknowledge(outcome.session) {
         ready.push_back(released);
     }

@@ -9,7 +9,9 @@
 use crate::rampup::timeprop_rampup;
 use crate::sessions::{ReplayRequest, SessionReplayer};
 use etude_faults::FaultInjector;
+use etude_metrics::hdr::Histogram;
 use etude_metrics::{LatencySummary, TimeSeries};
+use etude_obs::{SloReport, TickAttribution};
 use etude_serve::simserver::{RespondFn, SimService};
 use etude_simnet::link::{FaultyLink, Link};
 use etude_simnet::{shared, Shared, Sim, SimTime};
@@ -87,6 +89,21 @@ pub struct LoadTestResult {
     /// at end of run. `None` when the server exposes no stats endpoint
     /// (or in virtual-time runs, which have no server process).
     pub server_stages: Option<etude_obs::StatsSnapshot>,
+    /// Coordinated-omission-corrected latency: each success measured
+    /// from its *intended* send time (the slot's position on the ideal
+    /// even-spread schedule), not from when the generator actually got
+    /// around to sending it. Under backpressure the two diverge — the
+    /// per-tick series understates user-visible latency because delayed
+    /// sends hide queueing time (see DESIGN.md §10 for the caveat).
+    pub corrected: Histogram,
+    /// Per-tick latency attribution (compute vs queue vs network, plus
+    /// fault-injected errors) — the input the SLO monitor uses to name
+    /// a violation's cause. Empty in real-time runs, which cannot see
+    /// inside the server per request.
+    pub attribution: Vec<TickAttribution>,
+    /// SLO burn-rate evaluation, attached by the capacity runner when a
+    /// latency target is in force. `None` for plain load tests.
+    pub slo: Option<SloReport>,
 }
 
 impl LoadTestResult {
@@ -110,6 +127,8 @@ struct GenState {
     errors: u64,
     suppressed: u64,
     series: TimeSeries,
+    corrected: Histogram,
+    attribution: Vec<TickAttribution>,
     link: FaultyLink,
     config: LoadConfig,
     start: SimTime,
@@ -122,6 +141,21 @@ impl GenState {
     /// Tick index relative to the load test's start.
     fn tick_of(&self, now: SimTime) -> u64 {
         now.since(self.start).as_secs()
+    }
+
+    /// The attribution slot for `tick`, growing the (tick-indexed) table
+    /// on demand — completions can land past the configured duration
+    /// (a timeout fires up to 2 s after the last send).
+    fn attr_mut(&mut self, tick: u64) -> &mut TickAttribution {
+        let idx = tick as usize;
+        while self.attribution.len() <= idx {
+            let t = self.attribution.len() as u64;
+            self.attribution.push(TickAttribution {
+                tick: t,
+                ..TickAttribution::default()
+            });
+        }
+        &mut self.attribution[idx]
     }
 }
 
@@ -153,6 +187,9 @@ impl LoadGenHandle {
             retries: 0,
             degraded: 0,
             server_stages: None,
+            corrected: state.corrected,
+            attribution: state.attribution,
+            slo: None,
         }
     }
 }
@@ -195,6 +232,8 @@ impl SimLoadGen {
             errors: 0,
             suppressed: 0,
             series: TimeSeries::new(),
+            corrected: Histogram::new(),
+            attribution: Vec::new(),
             link: FaultyLink::new(Link::cluster(config.seed), injector),
             config: config.clone(),
             start,
@@ -287,7 +326,17 @@ fn send_slot(
         return;
     }
 
-    dispatch_one(sim, &state, &service, tick_end);
+    // The slot's *intended* send time on the ideal even-spread schedule:
+    // slot i of a rate-r tick belongs at tick_start + i/r. The actual
+    // dispatch may run late (backpressure waits, earlier slow slots);
+    // measuring from the intended time is the coordinated-omission
+    // correction.
+    let tick_start = tick_end
+        .as_duration()
+        .saturating_sub(Duration::from_secs(1));
+    let intended =
+        SimTime::ZERO.after(tick_start + Duration::from_secs_f64(i as f64 / rate as f64));
+    dispatch_one(sim, &state, &service, intended);
 
     // Line 16: spread remaining requests evenly across the tick.
     let remaining = tick_end.since(sim.now());
@@ -301,11 +350,16 @@ fn send_slot(
 }
 
 /// Sends a single request (Algorithm 2 line 14: SCHEDULE_REQUEST_ASYNC).
+///
+/// `intended` is the slot's position on the ideal send schedule: the
+/// corrected latency histogram measures completions from it, so delays
+/// the generator itself introduced (backpressure, late slots) count
+/// against the service rather than silently vanishing.
 fn dispatch_one(
     sim: &mut Sim,
     state: &Shared<GenState>,
     service: &Rc<dyn SimService>,
-    _tick_end: SimTime,
+    intended: SimTime,
 ) {
     let sent_at = sim.now();
     let (request, legs) = {
@@ -354,9 +408,22 @@ fn dispatch_one(
                 st.pending = st.pending.saturating_sub(1);
                 let tick = st.tick_of(s3.now());
                 match result {
-                    Ok(_) => {
+                    Ok(resp) => {
                         st.ok += 1;
-                        st.series.record_ok(tick, s3.now().since(sent_at));
+                        let total = s3.now().since(sent_at);
+                        st.series.record_ok(tick, total);
+                        st.corrected
+                            .record(s3.now().since(intended).as_micros() as u64);
+                        // Attribute the round trip: wire time is the two
+                        // sampled legs, compute is what the server
+                        // reports, everything left over waited in a
+                        // queue somewhere (dispatch, batcher, worker).
+                        let network = out_delay + back_delay;
+                        let queue = total.saturating_sub(resp.inference + network);
+                        let attr = st.attr_mut(tick);
+                        attr.compute_us += resp.inference.as_micros() as u64;
+                        attr.network_us += network.as_micros() as u64;
+                        attr.queue_us += queue.as_micros() as u64;
                     }
                     Err(_) => {
                         st.errors += 1;
@@ -386,6 +453,9 @@ fn fail_at_timeout(sim: &mut Sim, state: &Shared<GenState>, sent_at: SimTime, se
         let tick = st.tick_of(s.now());
         st.errors += 1;
         st.series.record_error(tick);
+        // Lost messages are the network fault injector's doing — count
+        // them so the SLO monitor can attribute a burn to faults.
+        st.attr_mut(tick).fault_errors += 1;
         if let Some(released) = st.replayer.acknowledge(session) {
             st.ready.push_back(released);
         }

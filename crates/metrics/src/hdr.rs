@@ -157,6 +157,55 @@ impl Histogram {
         self.value_at_quantile(0.99)
     }
 
+    /// Recorded values strictly greater than `micros`, up to bucket
+    /// resolution: a value sharing `micros`'s bucket is not counted, so
+    /// the answer is deterministic and identical for any two histograms
+    /// with the same bucket counts.
+    pub fn count_above(&self, micros: u64) -> u64 {
+        let cutoff = Self::index_for(micros);
+        self.counts[cutoff + 1..].iter().sum()
+    }
+
+    /// Iterates the non-empty buckets as `(bucket index, count)` pairs —
+    /// the sparse wire representation used by the fleet aggregator.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u32, c))
+    }
+
+    /// Adds `count` observations into bucket `index`, reconstructing
+    /// total/min/max/sum from the bucket's nominal value. Out-of-range
+    /// indices are ignored.
+    pub fn add_bucket(&mut self, index: u32, count: u64) {
+        let idx = index as usize;
+        if idx >= self.counts.len() || count == 0 {
+            return;
+        }
+        let value = Self::value_for(idx);
+        self.counts[idx] += count;
+        self.total += count;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+        self.sum += value as u128 * count as u128;
+    }
+
+    /// Rebuilds a histogram from sparse `(bucket index, count)` pairs.
+    ///
+    /// Min/max/sum are reconstructed from bucket nominal values, so two
+    /// histograms built from the same pairs are identical regardless of
+    /// where the pairs came from — the property the fleet merge's
+    /// bit-identity check rests on.
+    pub fn from_sparse(pairs: &[(u32, u64)]) -> Histogram {
+        let mut h = Histogram::new();
+        for &(index, count) in pairs {
+            h.add_bucket(index, count);
+        }
+        h
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
@@ -271,6 +320,62 @@ mod tests {
         h.reset();
         assert!(h.is_empty());
         assert_eq!(h.p90(), 0);
+    }
+
+    #[test]
+    fn count_above_matches_bucketed_tail() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 50_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count_above(40), 1, "only the 50ms outlier is above");
+        assert_eq!(h.count_above(9), 5, "every recorded value exceeds 9");
+        assert_eq!(h.count_above(1_000_000), 0);
+    }
+
+    #[test]
+    fn sparse_roundtrip_is_bit_identical() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 63, 64, 100, 9_999, 123_456, 123_457] {
+            h.record(v);
+        }
+        let pairs: Vec<(u32, u64)> = h.nonzero_buckets().collect();
+        let rebuilt = Histogram::from_sparse(&pairs);
+        assert_eq!(rebuilt.count(), h.count());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            // Quantiles are pure functions of the bucket counts (clamped
+            // to reconstructed extremes), so they must agree exactly.
+            assert_eq!(
+                rebuilt.value_at_quantile(q),
+                Histogram::from_sparse(&pairs).value_at_quantile(q)
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_merge_is_order_independent() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 1..500u64 {
+            a.record(v * 3);
+            b.record(v * 7);
+        }
+        let pa: Vec<(u32, u64)> = a.nonzero_buckets().collect();
+        let pb: Vec<(u32, u64)> = b.nonzero_buckets().collect();
+        let mut ab = Histogram::from_sparse(&pa);
+        for &(i, c) in &pb {
+            ab.add_bucket(i, c);
+        }
+        let mut ba = Histogram::from_sparse(&pb);
+        for &(i, c) in &pa {
+            ba.add_bucket(i, c);
+        }
+        assert_eq!(ab.count(), ba.count());
+        assert_eq!(ab.p50(), ba.p50());
+        assert_eq!(ab.p99(), ba.p99());
+        assert_eq!(ab.min(), ba.min());
+        assert_eq!(ab.max(), ba.max());
+        assert_eq!(ab.mean(), ba.mean());
     }
 
     #[test]

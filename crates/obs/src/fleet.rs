@@ -1,0 +1,406 @@
+//! Fleet-level aggregation of per-pod `/stats` snapshots.
+//!
+//! A fleet view answers two questions a single pod cannot: *is the
+//! fleet healthy as a whole* (merged per-stage histograms, summed
+//! counters) and *are the replicas even* (per-pod p50/p99 skew, queue
+//! depths). Merging happens on the exact sparse histogram buckets each
+//! pod ships in its snapshot ([`crate::stats::StageCounts`]), so the
+//! merged histogram is **bit-identical** to folding the pods' own
+//! histograms together, in any scrape order — an acceptance criterion,
+//! verified end-to-end by `etude-serve`'s fleet test.
+
+use crate::stats::{parse_stats_json, StageCounts, StatsSnapshot};
+use crate::Stage;
+use etude_metrics::hdr::Histogram;
+
+/// Per-pod quantile spread for one stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSkew {
+    /// Stage label.
+    pub stage: String,
+    /// Smallest per-pod median.
+    pub p50_min_us: u64,
+    /// Largest per-pod median.
+    pub p50_max_us: u64,
+    /// Smallest per-pod p99.
+    pub p99_min_us: u64,
+    /// Largest per-pod p99.
+    pub p99_max_us: u64,
+}
+
+/// A scrape of the whole fleet.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetSnapshot {
+    /// One snapshot per reachable pod.
+    pub pods: Vec<StatsSnapshot>,
+    /// Pods whose `/stats` could not be scraped.
+    pub unreachable: usize,
+}
+
+impl FleetSnapshot {
+    /// Wraps scraped snapshots.
+    pub fn new(pods: Vec<StatsSnapshot>, unreachable: usize) -> FleetSnapshot {
+        FleetSnapshot { pods, unreachable }
+    }
+
+    /// Sum of a counter over the fleet.
+    fn sum(&self, f: impl Fn(&StatsSnapshot) -> u64) -> u64 {
+        self.pods.iter().map(f).sum()
+    }
+
+    /// Merges one stage's histogram across every pod from the exact
+    /// sparse buckets. `None` when no pod recorded the stage.
+    pub fn merged_stage(&self, stage: &str) -> Option<Histogram> {
+        let mut h = Histogram::new();
+        let mut seen = false;
+        for pod in &self.pods {
+            if let Some(counts) = pod.hist.iter().find(|c| c.stage == stage) {
+                seen = true;
+                for &(index, count) in &counts.counts {
+                    h.add_bucket(index, count);
+                }
+            }
+        }
+        seen.then_some(h)
+    }
+
+    /// The merged sparse buckets per stage, pipeline order — the same
+    /// shape a single pod ships, so fleet output can be re-verified
+    /// against per-pod scrapes token by token.
+    pub fn merged_counts(&self) -> Vec<StageCounts> {
+        Stage::ALL
+            .iter()
+            .filter_map(|&stage| {
+                let h = self.merged_stage(stage.name())?;
+                Some(StageCounts {
+                    stage: stage.name().to_string(),
+                    counts: h.nonzero_buckets().collect(),
+                })
+            })
+            .collect()
+    }
+
+    /// Per-pod quantile spread for every stage at least two pods
+    /// recorded (skew of a single replica is meaningless).
+    pub fn skew(&self) -> Vec<StageSkew> {
+        Stage::ALL
+            .iter()
+            .filter_map(|&stage| {
+                let per_pod: Vec<(u64, u64)> = self
+                    .pods
+                    .iter()
+                    .filter_map(|p| p.stage(stage.name()).map(|s| (s.p50_us, s.p99_us)))
+                    .collect();
+                if per_pod.len() < 2 {
+                    return None;
+                }
+                Some(StageSkew {
+                    stage: stage.name().to_string(),
+                    p50_min_us: per_pod.iter().map(|x| x.0).min().unwrap_or(0),
+                    p50_max_us: per_pod.iter().map(|x| x.0).max().unwrap_or(0),
+                    p99_min_us: per_pod.iter().map(|x| x.1).min().unwrap_or(0),
+                    p99_max_us: per_pod.iter().map(|x| x.1).max().unwrap_or(0),
+                })
+            })
+            .collect()
+    }
+
+    /// Renders the `/fleet` JSON document: fleet totals, merged
+    /// per-stage quantiles *and* their exact sparse buckets, per-stage
+    /// skew, and a per-pod summary table.
+    pub fn render_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str(&format!(
+            "{{\n  \"pods\": {},\n  \"unreachable\": {},\n  \"requests\": {},\n  \
+             \"shed\": {},\n  \"degraded\": {},\n  \"faults\": {},\n",
+            self.pods.len(),
+            self.unreachable,
+            self.sum(|p| p.requests),
+            self.sum(|p| p.shed),
+            self.sum(|p| p.degraded),
+            self.sum(|p| p.faults),
+        ));
+        out.push_str("  \"skew\": [");
+        for (i, s) in self.skew().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"stage\": \"{}\", \"p50_min_us\": {}, \"p50_max_us\": {}, \
+                 \"p99_min_us\": {}, \"p99_max_us\": {}}}",
+                s.stage, s.p50_min_us, s.p50_max_us, s.p99_min_us, s.p99_max_us
+            ));
+        }
+        out.push_str("\n  ],\n  \"merged\": [");
+        for (i, counts) in self.merged_counts().iter().enumerate() {
+            let h = counts.to_histogram();
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"stage\": \"{}\", \"count\": {}, \"p50_us\": {}, \
+                 \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}, \"counts\": \"{}\"}}",
+                counts.stage,
+                h.count(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.max(),
+                counts.encode_counts()
+            ));
+        }
+        out.push_str("\n  ],\n  \"per_pod\": [");
+        for (i, p) in self.pods.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let (p50, p99) = p
+                .stage("total")
+                .map(|s| (s.p50_us, s.p99_us))
+                .unwrap_or((0, 0));
+            out.push_str(&format!(
+                "\n    {{\"pod\": {}, \"requests\": {}, \"queue_depth\": {}, \
+                 \"shed\": {}, \"degraded\": {}, \"faults\": {}, \
+                 \"p50_us\": {p50}, \"p99_us\": {p99}}}",
+                p.pod.map(i64::from).unwrap_or(-1),
+                p.requests,
+                p.queue_depth,
+                p.shed,
+                p.degraded,
+                p.faults,
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Renders the fleet view in the Prometheus text exposition format
+    /// (`/fleet/metrics`): merged quantiles plus per-pod gauges, all
+    /// labelled so per-replica skew graphs directly.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str(
+            "# HELP etude_fleet_pods Pods reached by the last fleet scrape.\n\
+             # TYPE etude_fleet_pods gauge\n",
+        );
+        out.push_str(&format!("etude_fleet_pods {}\n", self.pods.len()));
+        out.push_str(
+            "# HELP etude_fleet_unreachable Pods that failed the last fleet scrape.\n\
+             # TYPE etude_fleet_unreachable gauge\n",
+        );
+        out.push_str(&format!("etude_fleet_unreachable {}\n", self.unreachable));
+        out.push_str(
+            "# HELP etude_fleet_requests_total Requests served across the fleet.\n\
+             # TYPE etude_fleet_requests_total counter\n",
+        );
+        out.push_str(&format!(
+            "etude_fleet_requests_total {}\n",
+            self.sum(|p| p.requests)
+        ));
+        out.push_str(
+            "# HELP etude_fleet_stage_latency_microseconds Merged fleet stage quantiles.\n\
+             # TYPE etude_fleet_stage_latency_microseconds summary\n",
+        );
+        for counts in self.merged_counts() {
+            let h = counts.to_histogram();
+            for (q, v) in [("0.5", h.p50()), ("0.9", h.p90()), ("0.99", h.p99())] {
+                out.push_str(&format!(
+                    "etude_fleet_stage_latency_microseconds{{stage=\"{}\",quantile=\"{q}\"}} {v}\n",
+                    counts.stage
+                ));
+            }
+            out.push_str(&format!(
+                "etude_fleet_stage_latency_microseconds_count{{stage=\"{}\"}} {}\n",
+                counts.stage,
+                h.count()
+            ));
+        }
+        out.push_str(
+            "# HELP etude_pod_requests_total Requests served per pod.\n\
+             # TYPE etude_pod_requests_total counter\n\
+             # HELP etude_pod_queue_depth Batcher queue depth per pod.\n\
+             # TYPE etude_pod_queue_depth gauge\n\
+             # HELP etude_pod_latency_p99_microseconds Per-pod total-stage p99.\n\
+             # TYPE etude_pod_latency_p99_microseconds gauge\n",
+        );
+        for (i, p) in self.pods.iter().enumerate() {
+            let pod = p.pod.map(i64::from).unwrap_or(i as i64);
+            out.push_str(&format!(
+                "etude_pod_requests_total{{pod=\"{pod}\"}} {}\n",
+                p.requests
+            ));
+            out.push_str(&format!(
+                "etude_pod_queue_depth{{pod=\"{pod}\"}} {}\n",
+                p.queue_depth
+            ));
+            if let Some(total) = p.stage("total") {
+                out.push_str(&format!(
+                    "etude_pod_latency_p99_microseconds{{pod=\"{pod}\"}} {}\n",
+                    total.p99_us
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// The merged section of a `/fleet` JSON document, parsed back into
+/// sparse stage counts — what verification harnesses compare against
+/// their own per-pod merge.
+pub fn parse_fleet_merged(body: &str) -> Option<Vec<StageCounts>> {
+    let at = body.find("\"merged\"")?;
+    let rest = &body[at..];
+    // Merged entries are flat objects; the array ends at the first `]`.
+    let end = rest.find(']')?;
+    let mut scan = &rest[..end];
+    let mut merged = Vec::new();
+    while let Some(open) = scan.find('{') {
+        let close = scan[open..].find('}')? + open;
+        let obj = &scan[open..=close];
+        merged.push(StageCounts {
+            stage: crate::stats::str_field(obj, "stage")?,
+            counts: StageCounts::decode_counts(&crate::stats::str_field(obj, "counts")?),
+        });
+        scan = &scan[close + 1..];
+    }
+    Some(merged)
+}
+
+/// Parses the `per_pod` section of a `/fleet` JSON document into
+/// `(pod, requests, queue_depth)` rows.
+pub fn parse_fleet_pods(body: &str) -> Option<Vec<(i64, u64, u64)>> {
+    let at = body.find("\"per_pod\"")?;
+    let rest = &body[at..];
+    let end = rest.find(']')?;
+    let mut scan = &rest[..end];
+    let mut rows = Vec::new();
+    while let Some(open) = scan.find('{') {
+        let close = scan[open..].find('}')? + open;
+        let obj = &scan[open..=close];
+        rows.push((
+            crate::stats::num_field(obj, "pod")?,
+            crate::stats::num_field(obj, "requests")?,
+            crate::stats::num_field(obj, "queue_depth")?,
+        ));
+        scan = &scan[close + 1..];
+    }
+    Some(rows)
+}
+
+/// Builds a fleet snapshot from raw `/stats` bodies; unparseable or
+/// missing bodies count as unreachable.
+pub fn fleet_from_bodies<'a>(bodies: impl IntoIterator<Item = Option<&'a str>>) -> FleetSnapshot {
+    let mut pods = Vec::new();
+    let mut unreachable = 0;
+    for body in bodies {
+        match body.and_then(parse_stats_json) {
+            Some(snap) => pods.push(snap),
+            None => unreachable += 1,
+        }
+    }
+    FleetSnapshot::new(pods, unreachable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::StageStats;
+
+    fn pod_snapshot(pod: u32, values: &[u64]) -> StatsSnapshot {
+        let mut h = Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        StatsSnapshot {
+            requests: values.len() as u64,
+            pod: Some(pod),
+            queue_depth: u64::from(pod),
+            hist: vec![StageCounts {
+                stage: "total".into(),
+                counts: h.nonzero_buckets().collect(),
+            }],
+            stages: vec![StageStats {
+                stage: "total".into(),
+                count: h.count(),
+                mean_us: h.mean(),
+                p50_us: h.p50(),
+                p90_us: h.p90(),
+                p99_us: h.p99(),
+                max_us: h.max(),
+            }],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn merged_histogram_is_bit_identical_to_local_merge() {
+        let a = [100, 120, 130, 5_000];
+        let b = [90, 110, 400];
+        let fleet = FleetSnapshot::new(vec![pod_snapshot(0, &a), pod_snapshot(1, &b)], 0);
+        let merged = fleet.merged_stage("total").unwrap();
+        // The local reference merge works from the same wire-carried
+        // sparse buckets — reconstruct each pod, then fold.
+        let mut local = fleet.pods[0].hist[0].to_histogram();
+        local.merge(&fleet.pods[1].hist[0].to_histogram());
+        assert_eq!(merged.count(), local.count());
+        assert_eq!(merged.p50(), local.p50());
+        assert_eq!(merged.p99(), local.p99());
+        assert_eq!(merged.max(), local.max());
+        assert_eq!(merged.min(), local.min());
+        // Scrape order must not matter.
+        let swapped = FleetSnapshot::new(vec![pod_snapshot(1, &b), pod_snapshot(0, &a)], 0);
+        assert_eq!(
+            swapped.merged_counts(),
+            fleet.merged_counts(),
+            "merge is order-independent"
+        );
+    }
+
+    #[test]
+    fn skew_spans_the_pod_extremes() {
+        let fleet = FleetSnapshot::new(
+            vec![
+                pod_snapshot(0, &[100, 100, 100]),
+                pod_snapshot(1, &[900, 900, 900]),
+            ],
+            0,
+        );
+        let skew = fleet.skew();
+        assert_eq!(skew.len(), 1);
+        assert_eq!(skew[0].stage, "total");
+        assert!(skew[0].p50_min_us <= 101 && skew[0].p50_max_us >= 899);
+    }
+
+    #[test]
+    fn fleet_json_roundtrips_merged_counts() {
+        let fleet = FleetSnapshot::new(vec![pod_snapshot(0, &[50, 60]), pod_snapshot(1, &[70])], 1);
+        let json = fleet.render_json();
+        assert!(json.contains("\"unreachable\": 1"));
+        let merged = parse_fleet_merged(&json).unwrap();
+        assert_eq!(merged, fleet.merged_counts());
+        let rows = parse_fleet_pods(&json).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], (0, 2, 0));
+        assert_eq!(rows[1], (1, 1, 1));
+    }
+
+    #[test]
+    fn prometheus_exposes_fleet_and_pod_series() {
+        let fleet = FleetSnapshot::new(vec![pod_snapshot(0, &[100]), pod_snapshot(3, &[200])], 0);
+        let text = fleet.render_prometheus();
+        assert!(text.contains("etude_fleet_pods 2"));
+        assert!(text.contains("etude_fleet_requests_total 2"));
+        assert!(text
+            .contains("etude_fleet_stage_latency_microseconds{stage=\"total\",quantile=\"0.99\"}"));
+        assert!(text.contains("etude_pod_requests_total{pod=\"3\"} 1"));
+        assert!(text.contains("etude_pod_queue_depth{pod=\"0\"} 0"));
+    }
+
+    #[test]
+    fn unparseable_bodies_count_as_unreachable() {
+        let good = pod_snapshot(0, &[10]).render_json();
+        let fleet = fleet_from_bodies([Some(good.as_str()), Some("garbage"), None]);
+        assert_eq!(fleet.pods.len(), 1);
+        assert_eq!(fleet.unreachable, 2);
+    }
+}

@@ -29,12 +29,31 @@
 //! proves it) and costs two `Instant::now()` calls plus a handful of
 //! relaxed atomic stores.
 
+//! PR 4 extends the single-server story to a fleet:
+//!
+//! * [`trace`] — `x-trace-ctx` propagation, pod span retention and the
+//!   post-run collector that exports Chrome `trace_event` JSON,
+//! * [`window`] — rolling fixed-bucket per-stage histograms (constant
+//!   memory, zero steady-state allocation),
+//! * [`fleet`] — merging per-pod `/stats` snapshots into bit-identical
+//!   fleet histograms, skew views and Prometheus series,
+//! * [`slo`] — a multi-window multi-burn-rate SLO evaluator reporting
+//!   when an SLO first fell over and why.
+
+pub mod fleet;
 pub mod recorder;
 pub mod ring;
+pub mod slo;
 pub mod span;
 pub mod stats;
+pub mod trace;
+pub mod window;
 
+pub use fleet::{FleetSnapshot, StageSkew};
 pub use recorder::{Recorder, SpanGuard};
 pub use ring::SpanRing;
+pub use slo::{SloCause, SloMonitor, SloPolicy, SloReport, SloViolation, TickAttribution};
 pub use span::{request_id_hash, SpanRecord, Stage};
-pub use stats::{parse_stats_json, StageStats, StatsSnapshot};
+pub use stats::{parse_stats_json, StageCounts, StageStats, StatsSnapshot};
+pub use trace::{ClientAttempt, ClientSpan, PodSpanRecord, TraceCollector, TraceCtx, TRACE_HEADER};
+pub use window::{WindowConfig, WindowSnapshot};

@@ -3,7 +3,9 @@
 
 use crate::ring::{SpanRing, DEFAULT_CAPACITY};
 use crate::span::{SpanRecord, Stage};
-use crate::stats::{StageStats, StatsSnapshot};
+use crate::stats::{StageCounts, StageStats, StatsSnapshot};
+use crate::trace::{span_hash, PodSpanRecord, TraceCtx};
+use crate::window::{StageWindows, WindowConfig};
 use etude_metrics::hdr::Histogram;
 use parking_lot::Mutex;
 use std::cell::RefCell;
@@ -26,6 +28,13 @@ struct Aggregate {
     /// Raw records retained for per-request joins (tests, the
     /// latency-breakdown bench). Only populated while retention is on.
     retained: Vec<SpanRecord>,
+    /// Rolling time-window view fed by the same fold pass.
+    windows: StageWindows,
+    /// Counter values at the last fold, so deltas can be attributed to
+    /// the window bucket they happened in.
+    last_shed: u64,
+    last_degraded: u64,
+    last_faults: u64,
 }
 
 /// Records server-side stage spans into per-thread rings and aggregates
@@ -48,6 +57,16 @@ pub struct Recorder {
     shed: AtomicU64,
     degraded: AtomicU64,
     faults: AtomicU64,
+    /// Pod identity in a fleet; `None` on standalone servers.
+    pod: Option<u32>,
+    /// Construction time: window buckets are numbered from here.
+    epoch: Instant,
+    /// Batcher queue depth gauge, updated by the serving layer.
+    queue_depth: AtomicU64,
+    /// While on, traced requests also append [`PodSpanRecord`]s for the
+    /// post-run trace collector. Off (and allocation-free) by default.
+    trace_retain: AtomicBool,
+    traces: Mutex<Vec<PodSpanRecord>>,
 }
 
 impl Default for Recorder {
@@ -72,12 +91,51 @@ impl Recorder {
                 stages: std::array::from_fn(|_| Histogram::new()),
                 dropped: 0,
                 retained: Vec::new(),
+                windows: StageWindows::new(WindowConfig::default()),
+                last_shed: 0,
+                last_degraded: 0,
+                last_faults: 0,
             }),
             retain: AtomicBool::new(false),
             shed: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
             faults: AtomicU64::new(0),
+            pod: None,
+            epoch: Instant::now(),
+            queue_depth: AtomicU64::new(0),
+            trace_retain: AtomicBool::new(false),
+            traces: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Creates a recorder carrying a fleet pod id (stamped into every
+    /// snapshot and every retained trace span).
+    pub fn with_pod(pod: u32) -> Recorder {
+        let mut r = Recorder::new();
+        r.pod = Some(pod);
+        r
+    }
+
+    /// Replaces the rolling-window shape (default: 8 × 1 s buckets).
+    /// Builder-style; call before the recorder starts receiving spans.
+    pub fn with_window_config(self, config: WindowConfig) -> Recorder {
+        self.agg.lock().windows = StageWindows::new(config);
+        self
+    }
+
+    /// This recorder's pod id, when it has one.
+    pub fn pod(&self) -> Option<u32> {
+        self.pod
+    }
+
+    /// Updates the batcher queue depth gauge.
+    pub fn set_queue_depth(&self, depth: u64) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// The last reported batcher queue depth.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
     }
 
     /// Counts one request shed with a 503 because the queue was full.
@@ -109,6 +167,42 @@ impl Recorder {
     /// reaches aggregation is also kept verbatim for [`Recorder::take_records`].
     pub fn set_record_retention(&self, on: bool) {
         self.retain.store(on, Ordering::Relaxed);
+    }
+
+    /// Turns trace-span retention on or off. While on, the serving
+    /// layer appends a [`PodSpanRecord`] per traced stage via
+    /// [`Recorder::note_pod_stage`]; off (the default), traced requests
+    /// cost one relaxed load and nothing else.
+    pub fn set_trace_retention(&self, on: bool) {
+        self.trace_retain.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether trace-span retention is currently on.
+    pub fn trace_retention_on(&self) -> bool {
+        self.trace_retain.load(Ordering::Relaxed)
+    }
+
+    /// Retains one pod-side stage span under the propagated context
+    /// `ctx` (no-op unless trace retention is on). The span's own id is
+    /// derived deterministically from `(trace, parent, stage)`, so
+    /// collectors can re-derive it.
+    pub fn note_pod_stage(&self, ctx: &TraceCtx, stage: Stage, duration_nanos: u64) {
+        if !self.trace_retention_on() {
+            return;
+        }
+        self.traces.lock().push(PodSpanRecord {
+            trace_id: ctx.trace_id,
+            parent_span: ctx.span_id,
+            span_id: span_hash(ctx.trace_id, ctx.span_id, stage as u8 as u64),
+            pod: self.pod.unwrap_or(0),
+            stage,
+            duration_nanos,
+        });
+    }
+
+    /// Drains the retained trace spans for post-run assembly.
+    pub fn take_traces(&self) -> Vec<PodSpanRecord> {
+        std::mem::take(&mut *self.traces.lock())
     }
 
     /// Records one finished span.
@@ -150,20 +244,54 @@ impl Recorder {
         })
     }
 
-    /// Folds all ring contents into the cumulative aggregate.
+    /// Folds all ring contents into the cumulative aggregate and the
+    /// rolling window.
+    ///
+    /// Samples are attributed to the window bucket of *fold* time, not
+    /// of span completion — an acceptable skew of at most one fold
+    /// interval, bought deliberately: attributing at completion would
+    /// need a timestamp in every 24-byte span record. Allocation-free
+    /// while retention is off: the rings are iterated under their lock
+    /// (no registry clone) and both histogram layers record in place.
     fn fold(&self) {
-        let rings: Vec<Arc<SpanRing>> = self.rings.lock().clone();
+        let rings = self.rings.lock();
         let mut agg = self.agg.lock();
         let retain = self.retain.load(Ordering::Relaxed);
-        for ring in rings {
+        let bucket = agg.windows.bucket_index(self.epoch.elapsed());
+        for ring in rings.iter() {
             let agg = &mut *agg;
             agg.dropped += ring.drain(|record| {
-                agg.stages[record.stage as u8 as usize].record(record.duration_micros());
+                let micros = record.duration_micros();
+                agg.stages[record.stage as u8 as usize].record(micros);
+                agg.windows.record(bucket, record.stage, micros);
                 if retain {
                     agg.retained.push(record);
                 }
             });
         }
+        // Attribute resilience-counter increments since the last fold
+        // to the current bucket.
+        let shed = self.shed.load(Ordering::Relaxed);
+        let degraded = self.degraded.load(Ordering::Relaxed);
+        let faults = self.faults.load(Ordering::Relaxed);
+        let (d_shed, d_degraded, d_faults) = (
+            shed - agg.last_shed,
+            degraded - agg.last_degraded,
+            faults - agg.last_faults,
+        );
+        agg.windows
+            .add_counters(bucket, d_shed, d_degraded, d_faults);
+        agg.last_shed = shed;
+        agg.last_degraded = degraded;
+        agg.last_faults = faults;
+    }
+
+    /// Drains the rings into the aggregate and window now, without
+    /// building a snapshot. Allocation-free; callable from the serving
+    /// layer's idle moments so window buckets stay current between
+    /// scrapes.
+    pub fn sync(&self) {
+        self.fold();
     }
 
     /// Aggregates everything recorded so far into per-stage statistics.
@@ -188,12 +316,30 @@ impl Recorder {
                 })
             })
             .collect();
+        let hist = Stage::ALL
+            .iter()
+            .filter_map(|&stage| {
+                let h = &agg.stages[stage as u8 as usize];
+                if h.is_empty() {
+                    return None;
+                }
+                Some(StageCounts {
+                    stage: stage.name().to_string(),
+                    counts: h.nonzero_buckets().collect(),
+                })
+            })
+            .collect();
+        let current = agg.windows.bucket_index(self.epoch.elapsed());
         StatsSnapshot {
             requests: agg.stages[Stage::Total as u8 as usize].count(),
             dropped: agg.dropped,
             shed: self.shed.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
             faults: self.faults.load(Ordering::Relaxed),
+            pod: self.pod,
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            window: Some(agg.windows.snapshot(current)),
+            hist,
             stages,
         }
     }
@@ -337,6 +483,65 @@ mod tests {
         assert_eq!(snap.faults, 1);
         assert_eq!(r.shed_count(), 2);
         assert_eq!(r.degraded_count(), 1);
+    }
+
+    #[test]
+    fn snapshots_carry_pod_queue_window_and_hist() {
+        let r = Recorder::with_pod(3);
+        r.set_queue_depth(17);
+        r.record(1, Stage::Inference, 2_000_000);
+        r.record(1, Stage::Total, 2_500_000);
+        let snap = r.snapshot();
+        assert_eq!(snap.pod, Some(3));
+        assert_eq!(snap.queue_depth, 17);
+        let window = snap.window.as_ref().expect("window always present");
+        assert_eq!(window.buckets.len(), 1, "everything in the first bucket");
+        assert_eq!(window.buckets[0].requests, 1);
+        assert_eq!(window.buckets[0].lat.len(), 2);
+        // The sparse buckets reconstruct the cumulative histogram up to
+        // bucket resolution (exact extremes are not on the wire).
+        let total = snap.hist.iter().find(|h| h.stage == "total").unwrap();
+        let rebuilt = total.to_histogram();
+        assert_eq!(rebuilt.count(), 1);
+        let p50 = snap.stage("total").unwrap().p50_us;
+        assert!(
+            p50.abs_diff(rebuilt.p50()) * 32 <= p50,
+            "bucket-resolution agreement: {p50} vs {}",
+            rebuilt.p50()
+        );
+    }
+
+    #[test]
+    fn counter_deltas_land_in_window_buckets() {
+        let r = Recorder::new();
+        r.note_shed();
+        r.note_fault();
+        r.sync();
+        r.note_shed();
+        let snap = r.snapshot();
+        let window = snap.window.unwrap();
+        let shed: u64 = window.buckets.iter().map(|b| b.shed).sum();
+        let faults: u64 = window.buckets.iter().map(|b| b.faults).sum();
+        assert_eq!(shed, 2, "both folds attribute their delta");
+        assert_eq!(faults, 1);
+    }
+
+    #[test]
+    fn trace_retention_keeps_pod_spans() {
+        use crate::trace::TraceCtx;
+        let r = Recorder::with_pod(5);
+        let ctx = TraceCtx::root(99).child(1234);
+        r.note_pod_stage(&ctx, Stage::Inference, 1_000);
+        assert!(r.take_traces().is_empty(), "retention off by default");
+        r.set_trace_retention(true);
+        r.note_pod_stage(&ctx, Stage::Inference, 1_000);
+        r.note_pod_stage(&ctx, Stage::Total, 1_500);
+        let traces = r.take_traces();
+        assert_eq!(traces.len(), 2);
+        assert!(traces.iter().all(|t| t.pod == 5 && t.trace_id == 99));
+        assert!(traces.iter().all(|t| t.parent_span == ctx.span_id));
+        assert_ne!(traces[0].span_id, traces[1].span_id);
+        assert!(r.take_traces().is_empty(), "take drains");
     }
 
     #[test]

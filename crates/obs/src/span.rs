@@ -25,17 +25,23 @@ pub enum Stage {
     Serialize = 4,
     /// Handler entry to response ready — the server-observed total.
     Total = 5,
+    /// Time spent on the wire between client and server (both hops).
+    /// Never recorded by a server's own pipeline — it exists for the
+    /// distributed-trace view, where link delays (simulated or inferred
+    /// from `client attempt − pod total`) become explicit hops.
+    Network = 6,
 }
 
 impl Stage {
     /// All stages, pipeline order.
-    pub const ALL: [Stage; 6] = [
+    pub const ALL: [Stage; 7] = [
         Stage::Parse,
         Stage::Queue,
         Stage::Inference,
         Stage::TopK,
         Stage::Serialize,
         Stage::Total,
+        Stage::Network,
     ];
 
     /// The stages that tile [`Stage::Total`] (everything except `Total`).
@@ -56,6 +62,7 @@ impl Stage {
             Stage::TopK => "topk",
             Stage::Serialize => "serialize",
             Stage::Total => "total",
+            Stage::Network => "network",
         }
     }
 
@@ -119,9 +126,10 @@ mod tests {
     }
 
     #[test]
-    fn components_exclude_total() {
+    fn components_exclude_total_and_network() {
         assert!(!Stage::COMPONENTS.contains(&Stage::Total));
-        assert_eq!(Stage::COMPONENTS.len() + 1, Stage::ALL.len());
+        assert!(!Stage::COMPONENTS.contains(&Stage::Network));
+        assert_eq!(Stage::COMPONENTS.len() + 2, Stage::ALL.len());
     }
 
     #[test]

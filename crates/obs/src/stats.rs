@@ -7,6 +7,9 @@
 //! merge it into client-side reports — both ends share this module, so
 //! the format cannot drift.
 
+use crate::window::{WindowBucket, WindowSnapshot};
+use etude_metrics::hdr::Histogram;
+
 /// Aggregated latency statistics of one pipeline stage (microseconds).
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageStats {
@@ -26,6 +29,48 @@ pub struct StageStats {
     pub max_us: u64,
 }
 
+/// Exact sparse per-stage histogram contents: the nonzero HDR bucket
+/// `(index, count)` pairs. Carrying raw buckets over the wire is what
+/// makes fleet aggregation *bit-identical* to merging local histograms
+/// — quantiles reconstructed from the pairs are exactly those the pod
+/// itself would compute.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageCounts {
+    /// Stage label.
+    pub stage: String,
+    /// Nonzero bucket pairs, ascending index.
+    pub counts: Vec<(u32, u64)>,
+}
+
+impl StageCounts {
+    /// Encodes the pairs as `index:count` tokens — a flat string keeps
+    /// the JSON nesting-free for the hand-rolled parser.
+    pub fn encode_counts(&self) -> String {
+        self.counts
+            .iter()
+            .map(|(i, c)| format!("{i}:{c}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Decodes [`StageCounts::encode_counts`] output (bad tokens
+    /// skipped).
+    pub fn decode_counts(encoded: &str) -> Vec<(u32, u64)> {
+        encoded
+            .split_whitespace()
+            .filter_map(|token| {
+                let (i, c) = token.split_once(':')?;
+                Some((i.parse().ok()?, c.parse().ok()?))
+            })
+            .collect()
+    }
+
+    /// Reconstructs the full histogram from the sparse pairs.
+    pub fn to_histogram(&self) -> Histogram {
+        Histogram::from_sparse(&self.counts)
+    }
+}
+
 /// A full aggregation snapshot: per-stage stats plus bookkeeping.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct StatsSnapshot {
@@ -40,6 +85,14 @@ pub struct StatsSnapshot {
     /// Server-side injected faults fired (slow-downs, error responses,
     /// connection resets). 0 outside chaos runs.
     pub faults: u64,
+    /// Pod identity in a fleet (absent on standalone servers).
+    pub pod: Option<u32>,
+    /// Batcher queue depth at snapshot time (0 on unbatched servers).
+    pub queue_depth: u64,
+    /// Rolling time-window view (absent on pre-window servers).
+    pub window: Option<WindowSnapshot>,
+    /// Exact sparse histogram buckets per non-empty stage.
+    pub hist: Vec<StageCounts>,
     /// Stats per stage that recorded at least one span, pipeline order.
     pub stages: Vec<StageStats>,
 }
@@ -102,6 +155,11 @@ impl StatsSnapshot {
              # TYPE etude_faults_injected_total counter\n",
         );
         out.push_str(&format!("etude_faults_injected_total {}\n", self.faults));
+        out.push_str(
+            "# HELP etude_queue_depth Batcher queue depth at scrape time.\n\
+             # TYPE etude_queue_depth gauge\n",
+        );
+        out.push_str(&format!("etude_queue_depth {}\n", self.queue_depth));
         out
     }
 
@@ -127,13 +185,57 @@ impl StatsSnapshot {
     }
 
     /// Renders the JSON document served at `/stats`.
+    ///
+    /// Field order matters to the hand-rolled parser: top-level scalars
+    /// come first (the parser takes the *first* occurrence of each
+    /// key), then the nested `window`/`hist` sections, and `stages`
+    /// last (the parser scans every `{...}` after the `"stages"` key as
+    /// a stage object).
     pub fn render_json(&self) -> String {
-        let mut out = String::with_capacity(512);
+        let mut out = String::with_capacity(1024);
         out.push_str(&format!(
             "{{\n  \"requests\": {},\n  \"dropped\": {},\n  \"shed\": {},\n  \
-             \"degraded\": {},\n  \"faults\": {},\n  \"stages\": [",
+             \"degraded\": {},\n  \"faults\": {},\n",
             self.requests, self.dropped, self.shed, self.degraded, self.faults
         ));
+        if let Some(pod) = self.pod {
+            out.push_str(&format!("  \"pod\": {pod},\n"));
+        }
+        out.push_str(&format!("  \"queue_depth\": {},\n", self.queue_depth));
+        if let Some(w) = &self.window {
+            out.push_str(&format!(
+                "  \"window\": {{\"bucket_millis\": {}, \"buckets\": [",
+                w.bucket_millis
+            ));
+            for (i, b) in w.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n    {{\"index\": {}, \"requests\": {}, \"shed\": {}, \
+                     \"degraded\": {}, \"faults\": {}, \"lat\": \"{}\"}}",
+                    b.index,
+                    b.requests,
+                    b.shed,
+                    b.degraded,
+                    b.faults,
+                    b.encode_lat()
+                ));
+            }
+            out.push_str("\n  ]},\n");
+        }
+        out.push_str("  \"hist\": [");
+        for (i, h) in self.hist.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"stage\": \"{}\", \"counts\": \"{}\"}}",
+                h.stage,
+                h.encode_counts()
+            ));
+        }
+        out.push_str("\n  ],\n  \"stages\": [");
         for (i, s) in self.stages.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -150,7 +252,7 @@ impl StatsSnapshot {
 }
 
 /// Extracts `"key": <value>` from a flat JSON object fragment.
-fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+pub(crate) fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
     let needle = format!("\"{key}\":");
     let at = obj.find(&needle)? + needle.len();
     let rest = obj[at..].trim_start();
@@ -158,11 +260,11 @@ fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
     Some(rest[..end].trim())
 }
 
-fn num_field<T: std::str::FromStr>(obj: &str, key: &str) -> Option<T> {
+pub(crate) fn num_field<T: std::str::FromStr>(obj: &str, key: &str) -> Option<T> {
     field(obj, key)?.parse().ok()
 }
 
-fn str_field(obj: &str, key: &str) -> Option<String> {
+pub(crate) fn str_field(obj: &str, key: &str) -> Option<String> {
     Some(field(obj, key)?.trim_matches('"').to_string())
 }
 
@@ -175,10 +277,57 @@ pub fn parse_stats_json(body: &str) -> Option<StatsSnapshot> {
     let requests = num_field(body, "requests")?;
     let dropped = num_field(body, "dropped")?;
     // Counters added after the v1 format default to 0 so documents from
-    // older servers still parse.
+    // older servers still parse; `pod`/`window` stay absent.
     let shed = num_field(body, "shed").unwrap_or(0);
     let degraded = num_field(body, "degraded").unwrap_or(0);
     let faults = num_field(body, "faults").unwrap_or(0);
+    let pod = num_field(body, "pod");
+    let queue_depth = num_field(body, "queue_depth").unwrap_or(0);
+    let window = match body.find("\"window\"") {
+        None => None,
+        Some(at) => {
+            let rest = &body[at..];
+            let bucket_millis = num_field(rest, "bucket_millis")?;
+            let bstart = rest.find("\"buckets\"")?;
+            // Bucket objects are flat (their stage list is an encoded
+            // string), so the first `]` closes the array.
+            let bend = rest[bstart..].find(']')? + bstart;
+            let mut buckets = Vec::new();
+            let mut scan = &rest[bstart..bend];
+            while let Some(open) = scan.find('{') {
+                let close = scan[open..].find('}')? + open;
+                let obj = &scan[open..=close];
+                buckets.push(WindowBucket {
+                    index: num_field(obj, "index")?,
+                    requests: num_field(obj, "requests")?,
+                    shed: num_field(obj, "shed")?,
+                    degraded: num_field(obj, "degraded")?,
+                    faults: num_field(obj, "faults")?,
+                    lat: WindowBucket::decode_lat(&str_field(obj, "lat")?),
+                });
+                scan = &scan[close + 1..];
+            }
+            Some(WindowSnapshot {
+                bucket_millis,
+                buckets,
+            })
+        }
+    };
+    let mut hist = Vec::new();
+    if let Some(at) = body.find("\"hist\"") {
+        let rest = &body[at..];
+        let end = rest.find(']')?;
+        let mut scan = &rest[..end];
+        while let Some(open) = scan.find('{') {
+            let close = scan[open..].find('}')? + open;
+            let obj = &scan[open..=close];
+            hist.push(StageCounts {
+                stage: str_field(obj, "stage")?,
+                counts: StageCounts::decode_counts(&str_field(obj, "counts")?),
+            });
+            scan = &scan[close + 1..];
+        }
+    }
     let stages_at = body.find("\"stages\"")?;
     let mut stages = Vec::new();
     let mut rest = &body[stages_at..];
@@ -202,6 +351,10 @@ pub fn parse_stats_json(body: &str) -> Option<StatsSnapshot> {
         shed,
         degraded,
         faults,
+        pod,
+        queue_depth,
+        window,
+        hist,
         stages,
     })
 }
@@ -217,6 +370,39 @@ mod tests {
             shed: 7,
             degraded: 3,
             faults: 2,
+            pod: Some(4),
+            queue_depth: 6,
+            window: Some(WindowSnapshot {
+                bucket_millis: 1_000,
+                buckets: vec![
+                    WindowBucket {
+                        index: 10,
+                        requests: 20,
+                        shed: 1,
+                        degraded: 0,
+                        faults: 0,
+                        lat: WindowBucket::decode_lat("parse:20:3:9 total:20:200:310"),
+                    },
+                    WindowBucket {
+                        index: 11,
+                        requests: 22,
+                        shed: 0,
+                        degraded: 2,
+                        faults: 1,
+                        lat: WindowBucket::decode_lat("total:22:190:320"),
+                    },
+                ],
+            }),
+            hist: vec![
+                StageCounts {
+                    stage: "parse".into(),
+                    counts: vec![(3, 30), (5, 12)],
+                },
+                StageCounts {
+                    stage: "total".into(),
+                    counts: vec![(200, 40), (210, 2)],
+                },
+            ],
             stages: vec![
                 StageStats {
                     stage: "parse".into(),
@@ -253,6 +439,60 @@ mod tests {
         assert_eq!(parsed.stage("parse").unwrap().p90_us, 5);
         assert!((parsed.stage("parse").unwrap().mean_us - 3.25).abs() < 1e-9);
         assert_eq!(parsed.stage("total").unwrap().max_us, 333);
+        assert_eq!(parsed.pod, Some(4));
+        assert_eq!(parsed.queue_depth, 6);
+        let window = parsed.window.as_ref().unwrap();
+        assert_eq!(window.bucket_millis, 1_000);
+        assert_eq!(window.buckets.len(), 2);
+        assert_eq!(window.buckets[0].lat[0].stage, "parse");
+        assert_eq!(window.buckets[1].faults, 1);
+        assert_eq!(parsed.hist.len(), 2);
+        assert_eq!(parsed.hist[0].counts, vec![(3, 30), (5, 12)]);
+    }
+
+    /// The satellite round-trip requirement: render → parse → render is
+    /// a fixpoint, byte for byte, covering the resilience counters and
+    /// every windowed field.
+    #[test]
+    fn render_parse_render_is_a_fixpoint() {
+        for snap in [sample(), StatsSnapshot::default()] {
+            let first = snap.render_json();
+            let parsed = parse_stats_json(&first).unwrap();
+            assert_eq!(parsed, snap);
+            assert_eq!(parsed.render_json(), first);
+        }
+    }
+
+    #[test]
+    fn hist_counts_reconstruct_the_exact_histogram() {
+        let mut h = Histogram::new();
+        for v in [10, 10, 300, 50_000] {
+            h.record(v);
+        }
+        let counts = StageCounts {
+            stage: "total".into(),
+            counts: h.nonzero_buckets().collect(),
+        };
+        let back = parse_stats_json(
+            &StatsSnapshot {
+                hist: vec![counts],
+                ..Default::default()
+            }
+            .render_json(),
+        )
+        .unwrap();
+        // The wire carries bucket counts, not exact extremes: the
+        // reconstruction must be bit-identical to any other
+        // sparse-built histogram over the same pairs (which is what
+        // fleet merging compares).
+        let pairs: Vec<(u32, u64)> = h.nonzero_buckets().collect();
+        let canon = Histogram::from_sparse(&pairs);
+        let rebuilt = back.hist[0].to_histogram();
+        assert_eq!(rebuilt.count(), canon.count());
+        assert_eq!(rebuilt.p50(), canon.p50());
+        assert_eq!(rebuilt.p99(), canon.p99());
+        assert_eq!(rebuilt.max(), canon.max());
+        assert_eq!(rebuilt.count(), h.count());
     }
 
     #[test]
@@ -308,5 +548,6 @@ mod tests {
         assert!(text.contains("etude_requests_shed_total 7"));
         assert!(text.contains("etude_requests_degraded_total 3"));
         assert!(text.contains("etude_faults_injected_total 2"));
+        assert!(text.contains("etude_queue_depth 6"));
     }
 }

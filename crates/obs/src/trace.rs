@@ -1,0 +1,520 @@
+//! Trace-context propagation and post-run trace assembly.
+//!
+//! A W3C-`traceparent`-style header (`x-trace-ctx`) carries a
+//! `(trace-id, parent-span-id, hop-count)` triple from the load
+//! generator through the resilient client (each retry is a new child
+//! span) to the pod that serves the request. Pods append their stage
+//! spans — tagged with pod id and the parent span id from the header —
+//! to their recorder, and a post-run [`TraceCollector`] joins the
+//! client-side attempt spans with the pod-side stage spans into full
+//! request trees, exportable as Chrome `trace_event` JSON
+//! (`chrome://tracing` / Perfetto).
+//!
+//! Clock synchronisation is deliberately avoided: pods only record
+//! *durations*. The collector nests each pod's stages inside the client
+//! attempt that carried them and synthesises the two network legs as
+//! `(attempt duration − pod total) / 2` each way, so the exported
+//! timeline is consistent by construction even across hosts.
+
+use crate::span::Stage;
+
+/// Header name carrying the trace context (lowercase, like all our
+/// header handling).
+pub const TRACE_HEADER: &str = "x-trace-ctx";
+
+/// Mixes a parent span id and a child index into a new span id.
+///
+/// FNV-1a over the three words: stable across processes (no
+/// `DefaultHasher` randomness), collision-free enough for the span
+/// counts of a load test, and cheap.
+pub fn span_hash(trace_id: u64, parent_span: u64, index: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for word in [trace_id, parent_span, index] {
+        for b in word.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// The propagated trace context: who this request is, and which span
+/// spawned this hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Whole-request identity (stable across retries).
+    pub trace_id: u64,
+    /// Span id of the sender — the parent of whatever the receiver
+    /// records.
+    pub span_id: u64,
+    /// Hops this context has crossed (client=0, incremented per
+    /// forward), a cheap loop guard and a depth marker for collectors.
+    pub hop: u8,
+}
+
+impl TraceCtx {
+    /// A fresh root context for a new request.
+    pub fn root(trace_id: u64) -> TraceCtx {
+        TraceCtx {
+            trace_id,
+            span_id: span_hash(trace_id, 0, 0),
+            hop: 0,
+        }
+    }
+
+    /// The context to propagate from a child span of this one.
+    pub fn child(&self, span_id: u64) -> TraceCtx {
+        TraceCtx {
+            trace_id: self.trace_id,
+            span_id,
+            hop: self.hop.saturating_add(1),
+        }
+    }
+
+    /// Renders the header value: `<trace-id>-<span-id>-<hop>`, ids as
+    /// zero-padded hex like W3C `traceparent`.
+    pub fn encode(&self) -> String {
+        format!("{:016x}-{:016x}-{}", self.trace_id, self.span_id, self.hop)
+    }
+
+    /// Parses a header value produced by [`TraceCtx::encode`]. Returns
+    /// `None` on malformed input (requests without a valid context are
+    /// simply not traced — never an error).
+    pub fn parse(value: &str) -> Option<TraceCtx> {
+        let mut parts = value.trim().splitn(3, '-');
+        let trace_id = u64::from_str_radix(parts.next()?, 16).ok()?;
+        let span_id = u64::from_str_radix(parts.next()?, 16).ok()?;
+        let hop = parts.next()?.parse::<u8>().ok()?;
+        Some(TraceCtx {
+            trace_id,
+            span_id,
+            hop,
+        })
+    }
+}
+
+/// One pod-side stage span, tagged for post-run assembly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PodSpanRecord {
+    /// Trace this span belongs to.
+    pub trace_id: u64,
+    /// Span id of the client attempt (or upstream hop) that carried the
+    /// request to this pod.
+    pub parent_span: u64,
+    /// This span's own id.
+    pub span_id: u64,
+    /// Pod that recorded the span.
+    pub pod: u32,
+    /// Pipeline stage measured.
+    pub stage: Stage,
+    /// Stage duration in nanoseconds.
+    pub duration_nanos: u64,
+}
+
+/// One client-side attempt (initial try or retry) of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientAttempt {
+    /// This attempt's span id (the pod sees it as its parent).
+    pub span_id: u64,
+    /// Attempt start, nanoseconds since the load test epoch.
+    pub start_nanos: u64,
+    /// Attempt duration in nanoseconds.
+    pub duration_nanos: u64,
+    /// HTTP status of the attempt, `None` on transport errors/timeouts.
+    pub status: Option<u16>,
+}
+
+/// The client's view of one whole request: the root span plus every
+/// attempt made under it (retries are siblings).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientSpan {
+    /// Trace identity (FNV hash of the `x-request-id`).
+    pub trace_id: u64,
+    /// Root span id.
+    pub span_id: u64,
+    /// Request start, nanoseconds since the load test epoch.
+    pub start_nanos: u64,
+    /// End-to-end duration including every retry and backoff pause.
+    pub duration_nanos: u64,
+    /// Whether the request ultimately succeeded (2xx/4xx terminal).
+    pub ok: bool,
+    /// Attempts in order; the last one produced the terminal outcome.
+    pub attempts: Vec<ClientAttempt>,
+}
+
+/// One attempt joined with the pod work it triggered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttemptNode {
+    /// The client-side attempt span.
+    pub attempt: ClientAttempt,
+    /// Pod that served it, when pod spans were matched.
+    pub pod: Option<u32>,
+    /// Synthesised request-leg network time (nanoseconds).
+    pub net_out_nanos: u64,
+    /// Synthesised response-leg network time (nanoseconds).
+    pub net_back_nanos: u64,
+    /// The pod's `total` span duration (0 when unmatched).
+    pub pod_total_nanos: u64,
+    /// Pod component stages in pipeline order (stage, nanoseconds).
+    pub stages: Vec<(Stage, u64)>,
+}
+
+/// One fully assembled request tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceTree {
+    /// The client root span.
+    pub client: ClientSpan,
+    /// Attempts joined with pod spans.
+    pub attempts: Vec<AttemptNode>,
+}
+
+impl TraceTree {
+    /// A tree is *complete* when the client saw a success and the
+    /// successful attempt resolves to pod-side work: a `total` span plus
+    /// at least the parse and inference stages. This is the acceptance
+    /// metric for chaos runs — retried-through faults must still yield
+    /// whole trees.
+    pub fn is_complete(&self) -> bool {
+        self.client.ok
+            && self.attempts.iter().any(|a| {
+                matches!(a.attempt.status, Some(s) if s < 500)
+                    && a.pod_total_nanos > 0
+                    && a.stages.iter().any(|(s, _)| *s == Stage::Parse)
+                    && a.stages.iter().any(|(s, _)| *s == Stage::Inference)
+            })
+    }
+}
+
+/// Joins client spans with pod spans into request trees and exports
+/// them.
+#[derive(Debug, Default)]
+pub struct TraceCollector {
+    trees: Vec<TraceTree>,
+}
+
+impl TraceCollector {
+    /// Assembles request trees: pod spans are matched to the client
+    /// attempt whose span id they name as parent.
+    pub fn assemble(clients: &[ClientSpan], pods: &[PodSpanRecord]) -> TraceCollector {
+        use std::collections::HashMap;
+        let mut by_parent: HashMap<u64, Vec<&PodSpanRecord>> = HashMap::new();
+        for rec in pods {
+            by_parent.entry(rec.parent_span).or_default().push(rec);
+        }
+        let trees = clients
+            .iter()
+            .map(|client| {
+                let attempts = client
+                    .attempts
+                    .iter()
+                    .map(|&attempt| {
+                        let mut node = AttemptNode {
+                            attempt,
+                            pod: None,
+                            net_out_nanos: 0,
+                            net_back_nanos: 0,
+                            pod_total_nanos: 0,
+                            stages: Vec::new(),
+                        };
+                        if let Some(recs) = by_parent.get(&attempt.span_id) {
+                            for rec in recs {
+                                node.pod = Some(rec.pod);
+                                if rec.stage == Stage::Total {
+                                    node.pod_total_nanos = rec.duration_nanos;
+                                } else {
+                                    node.stages.push((rec.stage, rec.duration_nanos));
+                                }
+                            }
+                            node.stages.sort_by_key(|(s, _)| *s as u8);
+                            // No synchronised clocks: the wire time is
+                            // what the attempt took beyond the pod's own
+                            // total, split evenly across the two legs.
+                            let wire = attempt.duration_nanos.saturating_sub(node.pod_total_nanos);
+                            node.net_out_nanos = wire / 2;
+                            node.net_back_nanos = wire - node.net_out_nanos;
+                        }
+                        node
+                    })
+                    .collect();
+                TraceTree {
+                    client: client.clone(),
+                    attempts,
+                }
+            })
+            .collect();
+        TraceCollector { trees }
+    }
+
+    /// The assembled trees.
+    pub fn trees(&self) -> &[TraceTree] {
+        &self.trees
+    }
+
+    /// Fraction of client-*successful* requests whose tree is complete
+    /// (1.0 when no request succeeded — nothing to be incomplete).
+    pub fn complete_fraction(&self) -> f64 {
+        let ok: Vec<&TraceTree> = self.trees.iter().filter(|t| t.client.ok).collect();
+        if ok.is_empty() {
+            return 1.0;
+        }
+        ok.iter().filter(|t| t.is_complete()).count() as f64 / ok.len() as f64
+    }
+
+    /// Exports Chrome `trace_event` JSON: load it in `chrome://tracing`
+    /// or Perfetto. Client spans live in process 0, each pod in process
+    /// `pod + 1`; every trace gets its own thread row so retries render
+    /// as siblings on one line.
+    pub fn to_chrome_json(&self) -> String {
+        let us = |nanos: u64| nanos as f64 / 1_000.0;
+        let mut out = String::with_capacity(4096 + self.trees.len() * 512);
+        out.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+        let mut first = true;
+        let mut push = |out: &mut String, ev: String| {
+            if !std::mem::take(&mut first) {
+                out.push_str(",\n");
+            }
+            out.push_str(&ev);
+        };
+        push(
+            &mut out,
+            "{\"ph\": \"M\", \"pid\": 0, \"name\": \"process_name\", \
+             \"args\": {\"name\": \"client (loadgen)\"}}"
+                .to_string(),
+        );
+        let mut pods: Vec<u32> = self
+            .trees
+            .iter()
+            .flat_map(|t| t.attempts.iter().filter_map(|a| a.pod))
+            .collect();
+        pods.sort_unstable();
+        pods.dedup();
+        for pod in &pods {
+            push(
+                &mut out,
+                format!(
+                    "{{\"ph\": \"M\", \"pid\": {}, \"name\": \"process_name\", \
+                     \"args\": {{\"name\": \"pod {pod}\"}}}}",
+                    pod + 1
+                ),
+            );
+        }
+        for (row, tree) in self.trees.iter().enumerate() {
+            let c = &tree.client;
+            push(
+                &mut out,
+                format!(
+                    "{{\"ph\": \"X\", \"name\": \"request\", \"cat\": \"client\", \
+                     \"pid\": 0, \"tid\": {row}, \"ts\": {:.3}, \"dur\": {:.3}, \
+                     \"args\": {{\"trace\": \"{:016x}\", \"ok\": {}, \"attempts\": {}}}}}",
+                    us(c.start_nanos),
+                    us(c.duration_nanos),
+                    c.trace_id,
+                    c.ok,
+                    c.attempts.len()
+                ),
+            );
+            for (k, node) in tree.attempts.iter().enumerate() {
+                let a = &node.attempt;
+                let status = a
+                    .status
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| "\"transport-error\"".to_string());
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"ph\": \"X\", \"name\": \"attempt {k}\", \"cat\": \"client\", \
+                         \"pid\": 0, \"tid\": {row}, \"ts\": {:.3}, \"dur\": {:.3}, \
+                         \"args\": {{\"status\": {status}}}}}",
+                        us(a.start_nanos),
+                        us(a.duration_nanos),
+                    ),
+                );
+                let Some(pod) = node.pod else { continue };
+                // Two synthesised network hops bracketing the pod work.
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"ph\": \"X\", \"name\": \"network (out)\", \"cat\": \"network\", \
+                         \"pid\": 0, \"tid\": {row}, \"ts\": {:.3}, \"dur\": {:.3}}}",
+                        us(a.start_nanos),
+                        us(node.net_out_nanos),
+                    ),
+                );
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"ph\": \"X\", \"name\": \"network (back)\", \"cat\": \"network\", \
+                         \"pid\": 0, \"tid\": {row}, \"ts\": {:.3}, \"dur\": {:.3}}}",
+                        us(a.start_nanos + a.duration_nanos - node.net_back_nanos),
+                        us(node.net_back_nanos),
+                    ),
+                );
+                let pod_start = a.start_nanos + node.net_out_nanos;
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"ph\": \"X\", \"name\": \"total\", \"cat\": \"pod\", \
+                         \"pid\": {}, \"tid\": {row}, \"ts\": {:.3}, \"dur\": {:.3}}}",
+                        pod + 1,
+                        us(pod_start),
+                        us(node.pod_total_nanos),
+                    ),
+                );
+                // Component stages laid out cumulatively in pipeline
+                // order inside the pod total.
+                let mut at = pod_start;
+                for &(stage, nanos) in &node.stages {
+                    push(
+                        &mut out,
+                        format!(
+                            "{{\"ph\": \"X\", \"name\": \"{}\", \"cat\": \"pod\", \
+                             \"pid\": {}, \"tid\": {row}, \"ts\": {:.3}, \"dur\": {:.3}}}",
+                            stage.name(),
+                            pod + 1,
+                            us(at),
+                            us(nanos),
+                        ),
+                    );
+                    at += nanos;
+                }
+            }
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_roundtrips_through_the_header_value() {
+        let ctx = TraceCtx {
+            trace_id: 0xdead_beef_0123_4567,
+            span_id: 42,
+            hop: 3,
+        };
+        assert_eq!(TraceCtx::parse(&ctx.encode()), Some(ctx));
+        assert_eq!(ctx.encode().len(), 16 + 1 + 16 + 1 + 1);
+    }
+
+    #[test]
+    fn malformed_contexts_do_not_parse() {
+        for bad in ["", "xyz", "12-34", "12-34-999", "12-zz-0", "--"] {
+            assert_eq!(TraceCtx::parse(bad), None, "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn child_contexts_advance_the_hop_count() {
+        let root = TraceCtx::root(9);
+        assert_eq!(root.hop, 0);
+        let child = root.child(span_hash(9, root.span_id, 1));
+        assert_eq!(child.hop, 1);
+        assert_eq!(child.trace_id, 9);
+        assert_ne!(child.span_id, root.span_id);
+    }
+
+    #[test]
+    fn span_hash_spreads_and_is_stable() {
+        assert_eq!(span_hash(1, 2, 3), span_hash(1, 2, 3));
+        assert_ne!(span_hash(1, 2, 3), span_hash(1, 2, 4));
+        assert_ne!(span_hash(1, 2, 3), span_hash(1, 3, 3));
+    }
+
+    fn sample_tree() -> (Vec<ClientSpan>, Vec<PodSpanRecord>) {
+        let trace_id = 77;
+        let root = span_hash(trace_id, 0, 0);
+        let a0 = span_hash(trace_id, root, 0);
+        let a1 = span_hash(trace_id, root, 1);
+        let client = ClientSpan {
+            trace_id,
+            span_id: root,
+            start_nanos: 1_000,
+            duration_nanos: 9_000,
+            ok: true,
+            attempts: vec![
+                ClientAttempt {
+                    span_id: a0,
+                    start_nanos: 1_000,
+                    duration_nanos: 2_000,
+                    status: Some(500),
+                },
+                ClientAttempt {
+                    span_id: a1,
+                    start_nanos: 6_000,
+                    duration_nanos: 4_000,
+                    status: Some(200),
+                },
+            ],
+        };
+        let pod = |stage, nanos| PodSpanRecord {
+            trace_id,
+            parent_span: a1,
+            span_id: span_hash(trace_id, a1, stage as u64),
+            pod: 2,
+            stage,
+            duration_nanos: nanos,
+        };
+        let pods = vec![
+            pod(Stage::Parse, 100),
+            pod(Stage::Inference, 2_500),
+            pod(Stage::TopK, 200),
+            pod(Stage::Serialize, 100),
+            pod(Stage::Total, 3_000),
+        ];
+        (vec![client], pods)
+    }
+
+    #[test]
+    fn assembly_joins_pod_spans_to_the_right_attempt() {
+        let (clients, pods) = sample_tree();
+        let collector = TraceCollector::assemble(&clients, &pods);
+        let tree = &collector.trees()[0];
+        assert!(tree.is_complete());
+        assert_eq!(collector.complete_fraction(), 1.0);
+        // First attempt (the 500) matched no pod spans.
+        assert_eq!(tree.attempts[0].pod, None);
+        let served = &tree.attempts[1];
+        assert_eq!(served.pod, Some(2));
+        assert_eq!(served.pod_total_nanos, 3_000);
+        assert_eq!(served.stages.len(), 4);
+        // 4000ns attempt − 3000ns pod = 1000ns wire, split 500/500.
+        assert_eq!(served.net_out_nanos, 500);
+        assert_eq!(served.net_back_nanos, 500);
+    }
+
+    #[test]
+    fn incomplete_trees_are_counted() {
+        let (clients, _) = sample_tree();
+        // No pod spans at all: the ok request cannot resolve.
+        let collector = TraceCollector::assemble(&clients, &[]);
+        assert_eq!(collector.complete_fraction(), 0.0);
+        assert!(!collector.trees()[0].is_complete());
+        // No successful requests → vacuously complete.
+        let mut failed = clients;
+        failed[0].ok = false;
+        let collector = TraceCollector::assemble(&failed, &[]);
+        assert_eq!(collector.complete_fraction(), 1.0);
+    }
+
+    #[test]
+    fn chrome_export_is_wellformed_and_nested() {
+        let (clients, pods) = sample_tree();
+        let json = TraceCollector::assemble(&clients, &pods).to_chrome_json();
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"pod 2\""));
+        assert!(json.contains("\"attempt 1\""));
+        assert!(json.contains("\"network (out)\""));
+        assert!(json.contains("\"inference\""));
+        // Balanced braces/brackets — good enough without a JSON parser.
+        let depth = json.chars().fold(0i64, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
+    }
+}

@@ -1,0 +1,349 @@
+//! Rolling time-window stage metrics: N fixed-duration buckets of
+//! per-stage HDR histograms, constant memory, zero steady-state
+//! allocation.
+//!
+//! The cumulative aggregate answers "what happened since boot"; fleet
+//! debugging needs "what happened in the last few seconds, second by
+//! second" — a crashed pod or a fault window is invisible in a
+//! since-boot histogram but obvious in a bucketed one. Every structure
+//! here is preallocated at construction: rotation *resets histograms in
+//! place* (the counting-allocator test covers this path), so recording
+//! into windows costs the same as recording into the cumulative
+//! aggregate.
+//!
+//! Buckets are indexed by absolute bucket number since the recorder's
+//! epoch (`elapsed / bucket_duration`), and a slot is lazily reclaimed
+//! when a newer bucket number maps onto it — a pod idle for longer than
+//! the whole window simply presents stale slots, which snapshots filter
+//! by recency.
+
+use crate::span::Stage;
+use etude_metrics::hdr::Histogram;
+use std::time::Duration;
+
+/// Shape of the rolling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Duration of one bucket.
+    pub bucket: Duration,
+    /// Number of buckets retained (the window spans `bucket × buckets`).
+    pub buckets: usize,
+}
+
+impl Default for WindowConfig {
+    /// Eight one-second buckets — matches the load generator's tick
+    /// resolution with enough depth for a short burn-rate window.
+    fn default() -> WindowConfig {
+        WindowConfig {
+            bucket: Duration::from_secs(1),
+            buckets: 8,
+        }
+    }
+}
+
+/// A slot never written to carries this marker index.
+const EMPTY: u64 = u64::MAX;
+
+struct Slot {
+    /// Absolute bucket number currently stored here (`EMPTY` = unused).
+    index: u64,
+    stages: [Histogram; Stage::ALL.len()],
+    requests: u64,
+    shed: u64,
+    degraded: u64,
+    faults: u64,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            index: EMPTY,
+            stages: std::array::from_fn(|_| Histogram::new()),
+            requests: 0,
+            shed: 0,
+            degraded: 0,
+            faults: 0,
+        }
+    }
+
+    /// Reuses this slot for a new bucket, in place (no allocation).
+    fn reset_for(&mut self, index: u64) {
+        self.index = index;
+        for h in &mut self.stages {
+            h.reset();
+        }
+        self.requests = 0;
+        self.shed = 0;
+        self.degraded = 0;
+        self.faults = 0;
+    }
+}
+
+/// The rolling window: a fixed ring of per-bucket stage histograms.
+pub struct StageWindows {
+    config: WindowConfig,
+    slots: Vec<Slot>,
+}
+
+impl StageWindows {
+    /// Preallocates the full ring.
+    pub fn new(config: WindowConfig) -> StageWindows {
+        let buckets = config.buckets.max(2);
+        StageWindows {
+            config: WindowConfig {
+                bucket: config.bucket.max(Duration::from_millis(1)),
+                buckets,
+            },
+            slots: (0..buckets).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    /// The (possibly clamped) configuration in effect.
+    pub fn config(&self) -> WindowConfig {
+        self.config
+    }
+
+    /// Maps elapsed-since-epoch to an absolute bucket number.
+    pub fn bucket_index(&self, elapsed: Duration) -> u64 {
+        (elapsed.as_nanos() / self.config.bucket.as_nanos().max(1)) as u64
+    }
+
+    fn slot_for(&mut self, index: u64) -> &mut Slot {
+        let at = (index % self.slots.len() as u64) as usize;
+        let slot = &mut self.slots[at];
+        if slot.index != index {
+            slot.reset_for(index);
+        }
+        slot
+    }
+
+    /// Records one stage sample into bucket `index`. `total` samples
+    /// also count a request for the bucket.
+    pub fn record(&mut self, index: u64, stage: Stage, micros: u64) {
+        let slot = self.slot_for(index);
+        slot.stages[stage as u8 as usize].record(micros);
+        if stage == Stage::Total {
+            slot.requests += 1;
+        }
+    }
+
+    /// Adds counter deltas (shed/degraded/faults since the last fold)
+    /// to bucket `index`.
+    pub fn add_counters(&mut self, index: u64, shed: u64, degraded: u64, faults: u64) {
+        if shed == 0 && degraded == 0 && faults == 0 {
+            return;
+        }
+        let slot = self.slot_for(index);
+        slot.shed += shed;
+        slot.degraded += degraded;
+        slot.faults += faults;
+    }
+
+    /// Snapshots the buckets still inside the window ending at
+    /// `current` (inclusive), oldest first.
+    pub fn snapshot(&self, current: u64) -> WindowSnapshot {
+        let oldest = (current + 1).saturating_sub(self.slots.len() as u64);
+        let mut buckets: Vec<WindowBucket> = self
+            .slots
+            .iter()
+            .filter(|s| s.index != EMPTY && s.index >= oldest && s.index <= current)
+            .map(|s| WindowBucket {
+                index: s.index,
+                requests: s.requests,
+                shed: s.shed,
+                degraded: s.degraded,
+                faults: s.faults,
+                lat: Stage::ALL
+                    .iter()
+                    .filter_map(|&stage| {
+                        let h = &s.stages[stage as u8 as usize];
+                        if h.is_empty() {
+                            return None;
+                        }
+                        Some(WindowStage {
+                            stage: stage.name().to_string(),
+                            count: h.count(),
+                            p50_us: h.p50(),
+                            p99_us: h.p99(),
+                        })
+                    })
+                    .collect(),
+            })
+            .collect();
+        buckets.sort_by_key(|b| b.index);
+        WindowSnapshot {
+            bucket_millis: self.config.bucket.as_millis() as u64,
+            buckets,
+        }
+    }
+}
+
+/// Per-stage quantiles of one bucket (wire form).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowStage {
+    /// Stage label.
+    pub stage: String,
+    /// Samples in the bucket.
+    pub count: u64,
+    /// Median within the bucket.
+    pub p50_us: u64,
+    /// 99th percentile within the bucket.
+    pub p99_us: u64,
+}
+
+/// One rolled-up bucket (wire form).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WindowBucket {
+    /// Absolute bucket number since the recorder's epoch.
+    pub index: u64,
+    /// Requests completing in the bucket.
+    pub requests: u64,
+    /// Requests shed in the bucket.
+    pub shed: u64,
+    /// Degraded responses in the bucket.
+    pub degraded: u64,
+    /// Injected faults firing in the bucket.
+    pub faults: u64,
+    /// Stage quantiles (non-empty stages only, pipeline order).
+    pub lat: Vec<WindowStage>,
+}
+
+impl WindowBucket {
+    /// Encodes the stage list as `stage:count:p50:p99` tokens — a flat
+    /// string keeps the `/stats` JSON free of nested objects (the
+    /// hand-rolled parser stays simple).
+    pub fn encode_lat(&self) -> String {
+        self.lat
+            .iter()
+            .map(|s| format!("{}:{}:{}:{}", s.stage, s.count, s.p50_us, s.p99_us))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Decodes [`WindowBucket::encode_lat`] output (bad tokens skipped).
+    pub fn decode_lat(encoded: &str) -> Vec<WindowStage> {
+        encoded
+            .split_whitespace()
+            .filter_map(|token| {
+                let mut parts = token.split(':');
+                Some(WindowStage {
+                    stage: parts.next()?.to_string(),
+                    count: parts.next()?.parse().ok()?,
+                    p50_us: parts.next()?.parse().ok()?,
+                    p99_us: parts.next()?.parse().ok()?,
+                })
+            })
+            .collect()
+    }
+}
+
+/// A point-in-time view of the whole window.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WindowSnapshot {
+    /// Bucket duration in milliseconds.
+    pub bucket_millis: u64,
+    /// Live buckets, oldest first.
+    pub buckets: Vec<WindowBucket>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn windows(buckets: usize) -> StageWindows {
+        StageWindows::new(WindowConfig {
+            bucket: Duration::from_secs(1),
+            buckets,
+        })
+    }
+
+    #[test]
+    fn samples_land_in_their_bucket() {
+        let mut w = windows(4);
+        w.record(0, Stage::Total, 100);
+        w.record(0, Stage::Inference, 80);
+        w.record(2, Stage::Total, 300);
+        let snap = w.snapshot(2);
+        assert_eq!(snap.buckets.len(), 2);
+        assert_eq!(snap.buckets[0].index, 0);
+        assert_eq!(snap.buckets[0].requests, 1);
+        assert_eq!(snap.buckets[1].index, 2);
+        let total = &snap.buckets[1].lat[0];
+        assert_eq!(total.stage, "total");
+        assert_eq!(total.p50_us, 300);
+    }
+
+    #[test]
+    fn old_buckets_rotate_out() {
+        let mut w = windows(3);
+        for i in 0..6 {
+            w.record(i, Stage::Total, 10 * (i + 1));
+        }
+        let snap = w.snapshot(5);
+        let indices: Vec<u64> = snap.buckets.iter().map(|b| b.index).collect();
+        assert_eq!(indices, vec![3, 4, 5], "only the last 3 buckets survive");
+    }
+
+    #[test]
+    fn stale_slots_are_filtered_from_snapshots() {
+        let mut w = windows(4);
+        w.record(0, Stage::Total, 10);
+        // A long idle gap: bucket 0's slot was never reused but is far
+        // outside the window ending at 100.
+        let snap = w.snapshot(100);
+        assert!(snap.buckets.is_empty());
+    }
+
+    #[test]
+    fn counters_attach_to_buckets() {
+        let mut w = windows(4);
+        w.add_counters(1, 2, 1, 3);
+        w.add_counters(1, 1, 0, 0);
+        let snap = w.snapshot(1);
+        assert_eq!(snap.buckets.len(), 1);
+        assert_eq!(snap.buckets[0].shed, 3);
+        assert_eq!(snap.buckets[0].degraded, 1);
+        assert_eq!(snap.buckets[0].faults, 3);
+    }
+
+    #[test]
+    fn bucket_index_uses_the_configured_duration() {
+        let w = StageWindows::new(WindowConfig {
+            bucket: Duration::from_millis(250),
+            buckets: 8,
+        });
+        assert_eq!(w.bucket_index(Duration::from_millis(0)), 0);
+        assert_eq!(w.bucket_index(Duration::from_millis(249)), 0);
+        assert_eq!(w.bucket_index(Duration::from_millis(1_000)), 4);
+    }
+
+    #[test]
+    fn lat_encoding_roundtrips() {
+        let bucket = WindowBucket {
+            index: 5,
+            requests: 10,
+            shed: 0,
+            degraded: 0,
+            faults: 0,
+            lat: vec![
+                WindowStage {
+                    stage: "inference".into(),
+                    count: 10,
+                    p50_us: 420,
+                    p99_us: 990,
+                },
+                WindowStage {
+                    stage: "total".into(),
+                    count: 10,
+                    p50_us: 500,
+                    p99_us: 1_200,
+                },
+            ],
+        };
+        let encoded = bucket.encode_lat();
+        assert_eq!(encoded, "inference:10:420:990 total:10:500:1200");
+        assert_eq!(WindowBucket::decode_lat(&encoded), bucket.lat);
+        assert!(WindowBucket::decode_lat("").is_empty());
+        assert!(WindowBucket::decode_lat("garbage").is_empty());
+    }
+}

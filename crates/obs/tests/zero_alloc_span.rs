@@ -8,9 +8,10 @@
 //! also bill allocations made concurrently by the libtest harness thread
 //! to the hot path and flake under load.
 
-use etude_obs::{Recorder, Stage};
+use etude_obs::{Recorder, Stage, WindowConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
+use std::time::Duration;
 
 thread_local! {
     // const-initialised so reading it never allocates (a lazy initialiser
@@ -46,7 +47,13 @@ static ALLOCATOR: CountingAllocator = CountingAllocator;
 
 #[test]
 fn steady_state_span_recording_does_not_allocate() {
-    let recorder = Recorder::new();
+    // Sub-millisecond buckets so the timed loop crosses many window
+    // rotations: the zero-allocation guarantee must hold through the
+    // window path (in-place histogram resets), not just the rings.
+    let recorder = Recorder::new().with_window_config(WindowConfig {
+        bucket: Duration::from_millis(1),
+        buckets: 4,
+    });
 
     // Warm-up: the first span registers this thread's ring (one-time
     // allocation, off the steady-state path by design).
@@ -55,6 +62,7 @@ fn steady_state_span_recording_does_not_allocate() {
         let guard = recorder.span(i, Stage::Inference);
         guard.finish();
     }
+    recorder.sync();
 
     let before = thread_allocations();
     for i in 0..10_000u64 {
@@ -65,6 +73,11 @@ fn steady_state_span_recording_does_not_allocate() {
         recorder.record(i, Stage::TopK, 800);
         recorder.record(i, Stage::Serialize, 60);
         recorder.record(i, Stage::Total, 3_500);
+        if i % 64 == 0 {
+            // Drain into the cumulative aggregate and the rolling
+            // window, rotating buckets as wall time advances.
+            recorder.sync();
+        }
     }
     let after = thread_allocations();
     assert_eq!(

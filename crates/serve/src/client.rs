@@ -8,14 +8,44 @@
 use crate::http::{self, Request, Response};
 use bytes::BytesMut;
 use etude_faults::{Backoff, Deadline, RetryPolicy};
-use etude_obs::request_id_hash;
+use etude_obs::trace::span_hash;
+use etude_obs::{request_id_hash, ClientAttempt, ClientSpan, TraceCtx, TRACE_HEADER};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Process-wide counter for generated request ids.
 static NEXT_AUTO_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Upper bound on a server-suggested `Retry-After` pause. A production
+/// server naming an hour-plus pause is either misconfigured or being
+/// spoofed; honoring it verbatim would park the client forever (the
+/// request deadline clamps it further, but the clamp keeps the
+/// arithmetic sane even under absurd header values).
+const MAX_RETRY_AFTER_SECS: u64 = 3600;
+
+/// Parses a `Retry-After` header value defensively.
+///
+/// Accepts only whole non-negative seconds, tolerating surrounding
+/// whitespace. Anything else — empty strings, fractional or negative
+/// numbers, HTTP-dates, values that overflow `u64` — yields `None` (the
+/// client falls back to its own backoff schedule). Parseable but absurd
+/// values are clamped to [`MAX_RETRY_AFTER_SECS`].
+fn parse_retry_after(value: &str) -> Option<Duration> {
+    let trimmed = value.trim();
+    // All-digits, explicitly: u64's own parser accepts a leading `+`,
+    // which no server emits on purpose.
+    if trimmed.is_empty() || !trimmed.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let secs: u64 = trimmed.parse().ok()?;
+    Some(Duration::from_secs(secs.min(MAX_RETRY_AFTER_SECS)))
+}
+
+fn nanos_since(epoch: Instant) -> u64 {
+    epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -199,6 +229,32 @@ impl ResilientClient {
         req: &Request,
         budget: Duration,
     ) -> Result<ResilientResponse, ClientError> {
+        self.request_impl(req, budget, None).0
+    }
+
+    /// [`Self::request_within`] with distributed tracing: every attempt
+    /// carries an [`TRACE_HEADER`] context (trace id = the request-id
+    /// hash; each retry is a fresh child span, so retries show up as
+    /// sibling attempts in the assembled trace tree), and the returned
+    /// [`ClientSpan`] records the whole retry loop with per-attempt
+    /// timings relative to `epoch` (the run's start instant — all spans
+    /// of one run must share it).
+    pub fn request_traced(
+        &mut self,
+        req: &Request,
+        budget: Duration,
+        epoch: Instant,
+    ) -> (Result<ResilientResponse, ClientError>, ClientSpan) {
+        let (out, span) = self.request_impl(req, budget, Some(epoch));
+        (out, span.expect("tracing was requested"))
+    }
+
+    fn request_impl(
+        &mut self,
+        req: &Request,
+        budget: Duration,
+        epoch: Option<Instant>,
+    ) -> (Result<ResilientResponse, ClientError>, Option<ClientSpan>) {
         let mut tagged;
         let req = if req.headers.contains_key("x-request-id") {
             req
@@ -211,17 +267,59 @@ impl ResilientClient {
             &tagged
         };
         let rid = req.headers.get("x-request-id").expect("tagged above");
+        let trace_id = request_id_hash(rid);
+        let root = TraceCtx::root(trace_id);
+        let mut span = epoch.map(|e| ClientSpan {
+            trace_id,
+            span_id: root.span_id,
+            start_nanos: nanos_since(e),
+            duration_nanos: 0,
+            ok: false,
+            attempts: Vec::new(),
+        });
         let deadline = Deadline::after(budget);
-        let mut backoff = Backoff::new(self.policy.clone(), self.seed ^ request_id_hash(rid));
+        let mut backoff = Backoff::new(self.policy.clone(), self.seed ^ trace_id);
         let mut retries = 0u32;
-        loop {
-            let outcome = self.attempt(req, &deadline);
+        let mut attempt_index = 0u64;
+        let result = loop {
+            let outcome = match epoch {
+                Some(e) => {
+                    // Each attempt is its own span: the pod's stage
+                    // records parent to it, so retries reassemble as
+                    // sibling subtrees rather than one merged blob.
+                    let attempt_span = span_hash(trace_id, root.span_id, attempt_index);
+                    let ctx = TraceCtx {
+                        trace_id,
+                        span_id: attempt_span,
+                        hop: 1,
+                    };
+                    let mut traced = req.clone();
+                    traced.headers.insert(TRACE_HEADER.into(), ctx.encode());
+                    let start = nanos_since(e);
+                    let out = self.attempt(&traced, &deadline);
+                    let status = match &out {
+                        Ok(resp) => Some(resp.status),
+                        Err(_) => None,
+                    };
+                    if let Some(s) = span.as_mut() {
+                        s.attempts.push(ClientAttempt {
+                            span_id: attempt_span,
+                            start_nanos: start,
+                            duration_nanos: nanos_since(e).saturating_sub(start),
+                            status,
+                        });
+                    }
+                    out
+                }
+                None => self.attempt(req, &deadline),
+            };
+            attempt_index += 1;
             let (retry_after, last_err) = match outcome {
                 Ok(resp) if resp.status < 500 => {
                     let degraded = resp
                         .headers
                         .contains_key(crate::rustserver::DEGRADED_HEADER);
-                    return Ok(ResilientResponse {
+                    break Ok(ResilientResponse {
                         response: resp,
                         retries,
                         degraded,
@@ -232,8 +330,7 @@ impl ResilientClient {
                     let after = resp
                         .headers
                         .get("retry-after")
-                        .and_then(|v| v.parse::<u64>().ok())
-                        .map(Duration::from_secs);
+                        .and_then(|v| parse_retry_after(v));
                     (after, Err(resp))
                 }
                 Err(e) => {
@@ -245,7 +342,7 @@ impl ResilientClient {
             };
             let Some(mut delay) = backoff.next_delay_within(&deadline) else {
                 // Budget exhausted: surface the terminal outcome.
-                return match last_err {
+                break match last_err {
                     Err(resp) => Ok(ResilientResponse {
                         response: resp,
                         retries,
@@ -260,7 +357,12 @@ impl ResilientClient {
             std::thread::sleep(delay);
             retries += 1;
             self.total_retries += 1;
+        };
+        if let (Some(e), Some(s)) = (epoch, span.as_mut()) {
+            s.duration_nanos = nanos_since(e).saturating_sub(s.start_nanos);
+            s.ok = matches!(&result, Ok(r) if r.response.status < 500);
         }
+        (result, span)
     }
 
     /// One attempt: (re)connect if needed and send, with the read
@@ -441,6 +543,207 @@ mod tests {
         assert_eq!(out.response.status, 200);
         assert!(out.degraded);
         assert_eq!(out.retries, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn retry_after_parsing_tolerates_hostile_values() {
+        // Plain seconds, with or without surrounding whitespace.
+        assert_eq!(parse_retry_after("1"), Some(Duration::from_secs(1)));
+        assert_eq!(parse_retry_after(" 1 "), Some(Duration::from_secs(1)));
+        assert_eq!(parse_retry_after("\t30\t"), Some(Duration::from_secs(30)));
+        assert_eq!(parse_retry_after("0"), Some(Duration::ZERO));
+        // Absurd-but-parseable values clamp instead of parking the
+        // client for a week.
+        assert_eq!(
+            parse_retry_after("604800"),
+            Some(Duration::from_secs(MAX_RETRY_AFTER_SECS))
+        );
+        assert_eq!(
+            parse_retry_after("18446744073709551615"),
+            Some(Duration::from_secs(MAX_RETRY_AFTER_SECS))
+        );
+        // Everything unparseable falls back to client backoff.
+        assert_eq!(parse_retry_after(""), None);
+        assert_eq!(parse_retry_after("   "), None);
+        assert_eq!(parse_retry_after("soon"), None);
+        assert_eq!(parse_retry_after("1.5"), None);
+        assert_eq!(parse_retry_after("-2"), None);
+        assert_eq!(parse_retry_after("+3"), None, "signs are not seconds");
+        assert_eq!(
+            parse_retry_after("99999999999999999999999"),
+            None,
+            "overflow"
+        );
+        assert_eq!(parse_retry_after("Wed, 21 Oct 2015 07:28:00 GMT"), None);
+    }
+
+    #[test]
+    fn garbage_retry_after_falls_back_to_client_backoff() {
+        use std::sync::atomic::AtomicU64;
+
+        // Unparseable Retry-After values must not derail the retry loop:
+        // the client converges on its own backoff schedule.
+        let calls = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&calls);
+        let handler: Handler = Arc::new(move |_| match seen.fetch_add(1, Ordering::SeqCst) {
+            0 => crate::http::Response::error(503, "busy")
+                .with_header("retry-after", "garbage".to_string()),
+            1 => crate::http::Response::error(503, "busy")
+                .with_header("retry-after", "Wed, 21 Oct 2015 07:28:00 GMT".to_string()),
+            _ => crate::http::Response::ok("done"),
+        });
+        let server = start(ServerConfig::default(), handler).unwrap();
+        let policy = RetryPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(4),
+            max_retries: 5,
+            jitter: 0.0,
+        };
+        let mut client = ResilientClient::new(server.addr(), policy, 3);
+        let out = client
+            .request_within(&Request::get("/busy"), Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(out.response.status, 200);
+        assert_eq!(out.retries, 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn absurd_retry_after_is_clamped_to_the_deadline_budget() {
+        // A server demanding a 999999999-second pause: the wait is
+        // clamped to what is left of the request budget, so the call
+        // returns (with the terminal outcome) instead of parking the
+        // client for three decades.
+        let handler: Handler = Arc::new(|_| {
+            crate::http::Response::error(503, "busy")
+                .with_header("retry-after", "999999999".to_string())
+        });
+        let server = start(ServerConfig::default(), handler).unwrap();
+        let policy = RetryPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(4),
+            max_retries: 5,
+            jitter: 0.0,
+        };
+        let mut client = ResilientClient::new(server.addr(), policy, 3);
+        let started = std::time::Instant::now();
+        let out = client.request_within(&Request::get("/busy"), Duration::from_millis(300));
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "clamped to the deadline, not the header value"
+        );
+        // Budget exhausted mid-loop: either the last 5xx or a timeout on
+        // the final zero-budget attempt — never a hang.
+        match out {
+            Ok(resp) => assert_eq!(resp.response.status, 503),
+            Err(ClientError::Timeout) => {}
+            Err(other) => panic!("unexpected terminal error: {other}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn traced_requests_record_retries_as_sibling_attempts() {
+        use parking_lot::Mutex;
+        use std::sync::atomic::AtomicU64;
+
+        // 500 twice, then succeed — while capturing the trace contexts
+        // that actually crossed the wire.
+        let calls = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&calls);
+        let wire_ctxs: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let wire = Arc::clone(&wire_ctxs);
+        let handler: Handler = Arc::new(move |req| {
+            if let Some(ctx) = req.headers.get(TRACE_HEADER) {
+                wire.lock().push(ctx.clone());
+            }
+            if seen.fetch_add(1, Ordering::SeqCst) < 2 {
+                crate::http::Response::error(500, "transient")
+            } else {
+                crate::http::Response::ok("finally")
+            }
+        });
+        let server = start(ServerConfig::default(), handler).unwrap();
+        let policy = RetryPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(4),
+            max_retries: 5,
+            jitter: 0.5,
+        };
+        let mut client = ResilientClient::new(server.addr(), policy, 7);
+        let epoch = Instant::now();
+        let mut req = Request::get("/flaky");
+        req.headers.insert("x-request-id".into(), "traced-1".into());
+        let (out, span) = client.request_traced(&req, Duration::from_secs(5), epoch);
+        let out = out.unwrap();
+        assert_eq!(out.response.status, 200);
+        assert_eq!(out.retries, 2);
+
+        // The span reconstructs the whole retry loop.
+        assert_eq!(span.trace_id, request_id_hash("traced-1"));
+        assert!(span.ok);
+        assert_eq!(span.attempts.len(), 3, "two failures + the success");
+        assert_eq!(span.attempts[0].status, Some(500));
+        assert_eq!(span.attempts[1].status, Some(500));
+        assert_eq!(span.attempts[2].status, Some(200));
+        // Attempts are distinct sibling spans of the request root...
+        let root = TraceCtx::root(span.trace_id);
+        assert_eq!(span.span_id, root.span_id);
+        for (k, a) in span.attempts.iter().enumerate() {
+            assert_eq!(a.span_id, span_hash(span.trace_id, root.span_id, k as u64));
+            assert!(a.start_nanos >= span.start_nanos);
+            assert!(
+                a.start_nanos + a.duration_nanos <= span.start_nanos + span.duration_nanos,
+                "attempt {k} exceeds the enclosing span"
+            );
+        }
+        // ...and exactly those contexts crossed the wire, in order.
+        let on_wire = wire_ctxs.lock();
+        assert_eq!(on_wire.len(), 3);
+        for (k, enc) in on_wire.iter().enumerate() {
+            let ctx = TraceCtx::parse(enc).expect("well-formed header");
+            assert_eq!(ctx.trace_id, span.trace_id);
+            assert_eq!(ctx.span_id, span.attempts[k].span_id);
+            assert_eq!(ctx.hop, 1);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn traced_transport_failures_have_status_none() {
+        use crate::rustserver::RESET_MARKER;
+        use std::sync::atomic::AtomicU64;
+
+        let calls = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&calls);
+        let handler: Handler = Arc::new(move |_| {
+            let resp = crate::http::Response::ok("payload");
+            if seen.fetch_add(1, Ordering::SeqCst) < 1 {
+                resp.with_header(RESET_MARKER, "1".to_string())
+            } else {
+                resp
+            }
+        });
+        let server = start(ServerConfig::default(), handler).unwrap();
+        let policy = RetryPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(4),
+            max_retries: 4,
+            jitter: 0.0,
+        };
+        let mut client = ResilientClient::new(server.addr(), policy, 13)
+            .with_attempt_timeout(Duration::from_millis(200));
+        let (out, span) = client.request_traced(
+            &Request::get("/reset"),
+            Duration::from_secs(5),
+            Instant::now(),
+        );
+        assert_eq!(out.unwrap().response.status, 200);
+        assert_eq!(span.attempts.len(), 2);
+        assert_eq!(span.attempts[0].status, None, "reset mid-response");
+        assert_eq!(span.attempts[1].status, Some(200));
+        assert!(span.ok);
         server.shutdown();
     }
 

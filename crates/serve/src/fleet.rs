@@ -1,0 +1,74 @@
+//! The fleet aggregation endpoint.
+//!
+//! A deployment of N server pods exposes N separate `/stats` documents;
+//! operators (and the benchmark harness) want *one* view: merged
+//! per-stage latency histograms, per-replica skew, and per-pod health
+//! counters. This module provides that view as a route table for a
+//! standalone aggregator server:
+//!
+//! * `GET /fleet` — scrape every peer's `/stats`, merge, render the
+//!   [`etude_obs::FleetSnapshot`] JSON document,
+//! * `GET /fleet/metrics` — the same snapshot as Prometheus text,
+//! * `GET /ping` — aggregator readiness.
+//!
+//! Scraping happens on request (pull model, like Prometheus federation):
+//! the aggregator holds no state between scrapes, so a fresh `/fleet`
+//! is always a consistent point-in-time merge. Peers that fail to answer
+//! within [`SCRAPE_TIMEOUT`] are counted as `unreachable` rather than
+//! failing the whole view — a half-dead fleet is exactly when you need
+//! the endpoint most.
+//!
+//! The merge itself happens at bucket resolution on the wire-carried
+//! sparse histogram counts, which makes it *bit-identical* regardless of
+//! scrape order or which process performs it (see
+//! [`etude_obs::fleet::FleetSnapshot::merged_stage`]).
+
+use crate::client::HttpClient;
+use crate::http::{Method, Request, Response};
+use crate::rustserver::Handler;
+use etude_obs::fleet::fleet_from_bodies;
+use etude_obs::FleetSnapshot;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long one peer scrape may take before the pod is declared
+/// unreachable for this snapshot. Short: `/stats` is a memory read on
+/// the pod's side, so a slow answer means a sick pod, and the fleet
+/// view must not block behind it.
+pub const SCRAPE_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Scrapes one peer's `/stats`, yielding the raw JSON body.
+fn scrape_one(addr: SocketAddr) -> Option<String> {
+    let mut client = HttpClient::connect_with_timeout(addr, SCRAPE_TIMEOUT).ok()?;
+    let resp = client.request(&Request::get("/stats")).ok()?;
+    if resp.status != 200 {
+        return None;
+    }
+    String::from_utf8(resp.body.to_vec()).ok()
+}
+
+/// Scrapes every peer and assembles the fleet snapshot. Unreachable or
+/// unparseable peers are counted, not fatal.
+pub fn scrape_fleet(peers: &[SocketAddr]) -> FleetSnapshot {
+    let bodies: Vec<Option<String>> = peers.iter().map(|&addr| scrape_one(addr)).collect();
+    fleet_from_bodies(bodies.iter().map(|b| b.as_deref()))
+}
+
+/// Builds the aggregator route table over a fixed peer set (pod
+/// addresses are deployment-time configuration, exactly like a
+/// Prometheus static scrape config).
+pub fn fleet_routes(peers: Vec<SocketAddr>) -> Handler {
+    Arc::new(move |req: &Request| -> Response {
+        match (req.method, req.path.as_str()) {
+            (Method::Get, "/ping") => Response::ok("pong"),
+            (Method::Get, "/fleet") => Response::ok(scrape_fleet(&peers).render_json())
+                .with_header("content-type", "application/json".to_string()),
+            (Method::Get, "/fleet/metrics") => {
+                Response::ok(scrape_fleet(&peers).render_prometheus())
+                    .with_header("content-type", "text/plain; version=0.0.4".to_string())
+            }
+            _ => Response::error(404, "no such route"),
+        }
+    })
+}

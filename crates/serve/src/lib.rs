@@ -16,6 +16,9 @@
 //!   generator's real-time mode,
 //! * [`batching`] — the `batched-fn`-style request batcher (buffer up to
 //!   1,024 requests, flush every 2 ms) used for GPU inference,
+//! * [`fleet`] — the fleet aggregation endpoint: scrape every pod's
+//!   `/stats`, merge bit-identically, serve `/fleet` (JSON) and
+//!   `/fleet/metrics` (Prometheus),
 //! * [`service`] — [`service::ServiceProfile`], the bridge between model
 //!   costs and service times,
 //! * [`simserver`] — the same two server architectures as queueing models
@@ -25,12 +28,14 @@
 
 pub mod batching;
 pub mod client;
+pub mod fleet;
 pub mod http;
 pub mod rustserver;
 pub mod service;
 pub mod simserver;
 
 pub use client::{ClientError, HttpClient, ResilientClient, ResilientResponse};
+pub use fleet::{fleet_routes, scrape_fleet};
 pub use rustserver::{inject_faults, DegradationPolicy, DEGRADED_HEADER, RESET_MARKER};
 pub use service::{ServiceProfile, TorchServeProfile};
 pub use simserver::{RespondFn, ServeError, SimService};

@@ -26,7 +26,7 @@ use bytes::BytesMut;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use etude_faults::{Deadline, FaultInjector};
 use etude_models::{traits, SbrModel};
-use etude_obs::{request_id_hash, Recorder, Stage};
+use etude_obs::{request_id_hash, Recorder, Stage, TraceCtx, TRACE_HEADER};
 use etude_tensor::{CompiledGraph, Device, JitOptions};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -356,6 +356,35 @@ fn nanos(d: Duration) -> u64 {
     d.as_nanos().min(u128::from(u64::MAX)) as u64
 }
 
+/// The propagated trace context, when the client sent one (malformed
+/// headers are treated as absent — tracing must never fail a request).
+fn trace_ctx(req: &Request) -> Option<TraceCtx> {
+    req.headers
+        .get(TRACE_HEADER)
+        .and_then(|v| TraceCtx::parse(v))
+}
+
+/// Retains the request's stage durations as pod-side trace spans (a
+/// no-op unless the recorder has trace retention on) and echoes the
+/// context back one hop deeper so clients can confirm propagation.
+fn note_trace(
+    recorder: &Recorder,
+    ctx: Option<TraceCtx>,
+    resp: Response,
+    stages: &[(Stage, u64)],
+) -> Response {
+    let Some(ctx) = ctx else { return resp };
+    for &(stage, nanos) in stages {
+        recorder.note_pod_stage(&ctx, stage, nanos);
+    }
+    let echo = ctx.child(etude_obs::trace::span_hash(
+        ctx.trace_id,
+        ctx.span_id,
+        Stage::Total as u8 as u64,
+    ));
+    resp.with_header(TRACE_HEADER, echo.encode())
+}
+
 /// Routes every server flavour shares: readiness, the static
 /// infrastructure test and the two observability endpoints.
 fn shared_routes(req: &Request, recorder: &Recorder) -> Option<Response> {
@@ -457,7 +486,18 @@ pub fn model_routes_observed(
                         recorder.record(rid, Stage::TopK, nanos(st.topk));
                         recorder.record(rid, Stage::Serialize, nanos(serialize));
                         recorder.record(rid, Stage::Total, nanos(total));
-                        resp
+                        note_trace(
+                            &recorder,
+                            trace_ctx(req),
+                            resp,
+                            &[
+                                (Stage::Parse, nanos(parse)),
+                                (Stage::Inference, nanos(st.inference)),
+                                (Stage::TopK, nanos(st.topk)),
+                                (Stage::Serialize, nanos(serialize)),
+                                (Stage::Total, nanos(total)),
+                            ],
+                        )
                     }
                     Err(_) => echo_request_id(Response::error(500, "inference failed"), echo),
                 }
@@ -736,6 +776,9 @@ fn batched_routes(
                 };
                 let parse = t_parse.elapsed();
                 let t_call = Instant::now();
+                // Export the batcher backlog as a gauge: the fleet view
+                // reads it off `/stats` to spot queueing pods.
+                recorder.set_queue_depth(batcher.queue_depth() as u64);
                 match batcher.try_call(items) {
                     Ok(BatchReply {
                         rec: Ok(rec),
@@ -769,7 +812,19 @@ fn batched_routes(
                         recorder.record(rid, Stage::TopK, nanos(topk));
                         recorder.record(rid, Stage::Serialize, nanos(serialize));
                         recorder.record(rid, Stage::Total, nanos(total));
-                        resp
+                        note_trace(
+                            &recorder,
+                            trace_ctx(req),
+                            resp,
+                            &[
+                                (Stage::Parse, nanos(parse)),
+                                (Stage::Queue, nanos(queue)),
+                                (Stage::Inference, nanos(inference)),
+                                (Stage::TopK, nanos(topk)),
+                                (Stage::Serialize, nanos(serialize)),
+                                (Stage::Total, nanos(total)),
+                            ],
+                        )
                     }
                     Ok(BatchReply { rec: Err(_), .. }) => {
                         // The batcher submission itself succeeded.
@@ -1390,6 +1445,53 @@ mod tests {
         let resp = handler(&Request::post("/predictions", "7"));
         assert_eq!(resp.status, 200);
         assert!(resp.headers.contains_key(RESET_MARKER));
+    }
+
+    /// Trace propagation over real sockets: a request carrying
+    /// `x-trace-ctx` leaves pod-side stage spans parented to the
+    /// client's attempt span, and the response echoes the context one
+    /// hop deeper.
+    #[test]
+    fn trace_contexts_leave_pod_spans_and_echo_back() {
+        let cfg = ModelConfig::new(300).with_max_session_len(8).with_seed(9);
+        let model: Arc<dyn SbrModel> = Arc::from(ModelKind::Stamp.build(&cfg));
+        let recorder = Arc::new(Recorder::with_pod(7));
+        recorder.set_trace_retention(true);
+        let handler = model_routes_observed(model, Device::cpu(), false, Arc::clone(&recorder));
+        let server = start(ServerConfig::default(), handler).unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+
+        let ctx = TraceCtx::root(request_id_hash("traced-req")).child(0xfeed);
+        let mut req = Request::post("/predictions", "1,2,3");
+        req.headers.insert(TRACE_HEADER.into(), ctx.encode());
+        let resp = client.request(&req).unwrap();
+        assert_eq!(resp.status, 200);
+
+        // The response carries the context one hop deeper.
+        let echoed = TraceCtx::parse(resp.headers.get(TRACE_HEADER).unwrap()).unwrap();
+        assert_eq!(echoed.trace_id, ctx.trace_id);
+        assert_eq!(echoed.hop, ctx.hop + 1);
+
+        // The pod retained one span per recorded stage, all parented to
+        // the client's attempt span and tagged with the pod id.
+        let spans = recorder.take_traces();
+        assert_eq!(spans.len(), 5, "parse/inference/topk/serialize/total");
+        for s in &spans {
+            assert_eq!(s.trace_id, ctx.trace_id);
+            assert_eq!(s.parent_span, ctx.span_id);
+            assert_eq!(s.pod, 7);
+        }
+        assert!(spans.iter().any(|s| s.stage == Stage::Total));
+        assert!(spans.iter().any(|s| s.stage == Stage::Inference));
+
+        // Untraced requests leave no trace records behind.
+        let resp = client
+            .request(&Request::post("/predictions", "4,5"))
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(!resp.headers.contains_key(TRACE_HEADER));
+        assert!(recorder.take_traces().is_empty());
+        server.shutdown();
     }
 
     #[test]

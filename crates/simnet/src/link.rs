@@ -12,11 +12,17 @@ use rand::{Rng, SeedableRng};
 use std::time::Duration;
 
 /// A one-way network link with jittered delivery latency.
+///
+/// The link keeps a cumulative tally of every sampled delay so the
+/// driver can report how much of a run's latency the wire accounts for
+/// (the `network` column of the SLO attribution) without re-sampling.
 #[derive(Debug)]
 pub struct Link {
     base: Duration,
     jitter: Duration,
     rng: SmallRng,
+    samples: u64,
+    total_delay: Duration,
 }
 
 impl Link {
@@ -26,6 +32,8 @@ impl Link {
             base,
             jitter,
             rng: SmallRng::seed_from_u64(seed),
+            samples: 0,
+            total_delay: Duration::ZERO,
         }
     }
 
@@ -37,13 +45,38 @@ impl Link {
 
     /// Samples a delivery latency.
     pub fn sample(&mut self) -> Duration {
-        if self.jitter.is_zero() {
-            return self.base;
+        let delay = if self.jitter.is_zero() {
+            self.base
+        } else {
+            // Squaring a uniform sample skews the jitter towards small
+            // values while keeping an occasional slow packet, loosely
+            // log-normal.
+            let u: f64 = self.rng.gen::<f64>();
+            self.base + Duration::from_secs_f64(self.jitter.as_secs_f64() * u * u)
+        };
+        self.samples += 1;
+        self.total_delay += delay;
+        delay
+    }
+
+    /// Number of deliveries sampled so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Sum of every sampled delay (fault-injected extra excluded: the
+    /// injector counts its own spikes).
+    pub fn total_delay(&self) -> Duration {
+        self.total_delay
+    }
+
+    /// Mean sampled delay, zero before the first sample.
+    pub fn mean_delay(&self) -> Duration {
+        if self.samples == 0 {
+            Duration::ZERO
+        } else {
+            self.total_delay / self.samples as u32
         }
-        // Squaring a uniform sample skews the jitter towards small values
-        // while keeping an occasional slow packet, loosely log-normal.
-        let u: f64 = self.rng.gen::<f64>();
-        self.base + Duration::from_secs_f64(self.jitter.as_secs_f64() * u * u)
     }
 
     /// Schedules `event` for delivery across the link.
@@ -84,6 +117,11 @@ impl FaultyLink {
     /// The injector (for counters and plan inspection).
     pub fn injector(&self) -> &FaultInjector {
         &self.injector
+    }
+
+    /// The inner link (for the delivery tally).
+    pub fn link(&self) -> &Link {
+        &self.link
     }
 
     /// Samples the delivery latency of message `id` sent at virtual time
@@ -133,6 +171,33 @@ mod tests {
         });
         sim.run_to_completion();
         assert_eq!(*arrived.borrow(), Some(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn links_tally_their_cumulative_delay() {
+        let mut link = Link::new(Duration::from_micros(200), Duration::ZERO, 7);
+        assert_eq!(link.samples(), 0);
+        assert_eq!(link.mean_delay(), Duration::ZERO);
+        for _ in 0..5 {
+            link.sample();
+        }
+        assert_eq!(link.samples(), 5);
+        assert_eq!(link.total_delay(), Duration::from_micros(1_000));
+        assert_eq!(link.mean_delay(), Duration::from_micros(200));
+
+        // With jitter the tally equals the sum of what sample() returned.
+        let mut jittered = Link::cluster(11);
+        let sum: Duration = (0..40).map(|_| jittered.sample()).sum();
+        assert_eq!(jittered.total_delay(), sum);
+        assert_eq!(jittered.samples(), 40);
+        assert!(jittered.mean_delay() >= Duration::from_micros(150));
+
+        // Dropped messages never sampled a delay, so they don't tally;
+        // the faulty wrapper exposes the inner link's counters.
+        let mut faulty = FaultyLink::calm(Link::new(Duration::from_micros(100), Duration::ZERO, 5));
+        faulty.sample(SimTime::ZERO, 1);
+        assert_eq!(faulty.link().samples(), 1);
+        assert_eq!(faulty.link().total_delay(), Duration::from_micros(100));
     }
 
     #[test]

@@ -2,13 +2,17 @@
 # Full verification gate: build, tests, formatting, lints.
 # Run from anywhere; operates on the workspace root.
 # Pass --chaos to add the seeded fault-injection smoke stage.
+# Pass --fleet to add the fleet observability smoke stage (tracing,
+# fleet aggregation, SLO timeline).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CHAOS=0
+FLEET=0
 for arg in "$@"; do
     case "$arg" in
         --chaos) CHAOS=1 ;;
+        --fleet) FLEET=1 ;;
         *) echo "unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -27,6 +31,17 @@ if [ "$CHAOS" = "1" ]; then
     cargo run --release -q -p etude-bench --bin ablation_faults -- --smoke
     echo "==> chaos integration tests (live server + resilient client)"
     cargo test -q -p etude-loadgen --test chaos
+fi
+
+if [ "$FLEET" = "1" ]; then
+    echo "==> fleet_timeline --smoke (SLO burn-rate timeline under chaos)"
+    cargo run --release -q -p etude-bench --bin fleet_timeline -- --smoke
+    echo "==> fleet aggregation tests (multi-pod /fleet over sockets)"
+    cargo test -q -p etude-serve --test fleet
+    echo "==> chaos tracing test (span trees + Chrome trace export)"
+    cargo test -q -p etude-loadgen --test tracing
+    echo "==> checking results/trace_chaos.json is a trace_event file"
+    grep -q '"traceEvents"' results/trace_chaos.json
 fi
 
 echo "==> cargo doc --no-deps (warnings are errors)"
