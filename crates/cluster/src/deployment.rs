@@ -3,14 +3,23 @@
 //! A [`Deployment`] assembles what the paper's `make run_deployed_benchmark`
 //! sets up: one inference-server pod per instance, a ClusterIP service in
 //! front, readiness gating, and the monthly cost of the whole setup.
+//!
+//! Beyond static creation the deployment is now *reconciled*:
+//! [`Deployment::scale_to`] grows or shrinks the replica set (scale-down
+//! drains before it terminates), and [`Deployment::rolling_update`]
+//! replaces every pod under surge/unavailability budgets — the two
+//! actuators the control plane's autoscaler and restart machinery drive.
 
 use crate::instances::InstanceType;
 use crate::pod::Pod;
+use crate::rollout::{run_rollout, RolloutBudget, RolloutHandle};
 use crate::service::ClusterIpService;
+use etude_control::{ControlAction, DecisionJournal, EjectionConfig};
 use etude_serve::simserver::{RustServerConfig, SimRustServer};
 use etude_serve::ServiceProfile;
-use etude_simnet::{Sim, SimTime};
+use etude_simnet::{shared, Shared, Sim, SimTime};
 use std::rc::Rc;
+use std::time::Duration;
 
 /// What to deploy.
 #[derive(Debug, Clone)]
@@ -48,39 +57,68 @@ impl DeploymentSpec {
 /// A deployed, routable model service.
 pub struct Deployment {
     spec: DeploymentSpec,
+    profile: ServiceProfile,
     service: Rc<ClusterIpService>,
-    pods: Vec<Rc<Pod>>,
     ready_at: SimTime,
+    next_id: Shared<u32>,
+    journal: Shared<DecisionJournal>,
 }
+
+/// Cadence at which a draining scale-down victim is checked for its
+/// last in-flight response.
+const DRAIN_POLL: Duration = Duration::from_millis(100);
 
 impl Deployment {
     /// Deploys `replicas` pods, each running the inference server
     /// configured for the instance class (worker pool on CPU, batcher on
     /// GPU), and schedules their startup.
     pub fn create(sim: &mut Sim, spec: DeploymentSpec, profile: &ServiceProfile) -> Deployment {
+        Deployment::build(sim, spec, profile, None, shared(DecisionJournal::new()))
+    }
+
+    /// Like [`Deployment::create`], but the service runs the control
+    /// plane's outlier-ejection loop and every control decision lands
+    /// in `journal`.
+    pub fn create_managed(
+        sim: &mut Sim,
+        spec: DeploymentSpec,
+        profile: &ServiceProfile,
+        ejection: EjectionConfig,
+        journal: Shared<DecisionJournal>,
+    ) -> Deployment {
+        Deployment::build(sim, spec, profile, Some(ejection), journal)
+    }
+
+    fn build(
+        sim: &mut Sim,
+        spec: DeploymentSpec,
+        profile: &ServiceProfile,
+        ejection: Option<EjectionConfig>,
+        journal: Shared<DecisionJournal>,
+    ) -> Deployment {
         let mut pods = Vec::with_capacity(spec.replicas);
         let mut ready_at = sim.now();
         for replica in 0..spec.replicas {
-            let server_config = if spec.instance.has_gpu() {
-                RustServerConfig::gpu()
-            } else {
-                RustServerConfig::cpu(spec.instance.vcpus())
-            };
-            let server = SimRustServer::new(profile.clone(), server_config);
-            let pod = Pod::new_with_id(server, spec.model_bytes, replica as u32);
-            ready_at = ready_at.max(pod.start(sim));
+            let pod = make_pod(sim, &spec, profile, replica as u32);
+            ready_at = ready_at.max(sim.now().after(pod.startup_duration()));
             pods.push(pod);
         }
-        let service = ClusterIpService::new(pods.clone());
+        let service = match ejection {
+            Some(config) => ClusterIpService::with_ejection(pods, config, Rc::clone(&journal)),
+            None => ClusterIpService::new(pods),
+        };
         Deployment {
+            next_id: shared(spec.replicas as u32),
             spec,
+            profile: profile.clone(),
             service,
-            pods,
             ready_at,
+            journal,
         }
     }
 
-    /// The deployment's spec.
+    /// The deployment's spec (replica count as originally deployed;
+    /// after scaling, `pods().len()` is the live count).
     pub fn spec(&self) -> &DeploymentSpec {
         &self.spec
     }
@@ -96,10 +134,140 @@ impl Deployment {
         self.ready_at
     }
 
-    /// The deployment's pods.
-    pub fn pods(&self) -> &[Rc<Pod>] {
-        &self.pods
+    /// The deployment's current pods.
+    pub fn pods(&self) -> Vec<Rc<Pod>> {
+        self.service.pods()
     }
+
+    /// Live replica count (pods behind the service, ready or not).
+    pub fn replicas(&self) -> usize {
+        self.service.backends()
+    }
+
+    /// The control-decision journal this deployment writes into.
+    pub fn journal(&self) -> Shared<DecisionJournal> {
+        Rc::clone(&self.journal)
+    }
+
+    /// Reconciles the replica set to `n`. Scale-up pods start cold
+    /// (model download + readiness gate); scale-down victims drain
+    /// before termination, newest first. The autoscaler's decision
+    /// itself is journaled by the caller — this journals the pod steps.
+    pub fn scale_to(&self, sim: &mut Sim, n: usize) {
+        let current = self.service.backends();
+        if n > current {
+            for _ in current..n {
+                let id = {
+                    let mut next = self.next_id.borrow_mut();
+                    let id = *next;
+                    *next += 1;
+                    id
+                };
+                let pod = make_pod_with_id(sim, &self.spec, &self.profile, id);
+                self.journal.borrow_mut().push(
+                    sim.now().as_duration(),
+                    ControlAction::SurgeCreate,
+                    id as i64,
+                    0,
+                );
+                self.service.add_pod(pod);
+            }
+        } else if n < current {
+            // Retire the newest pods first (Kubernetes' default victim
+            // order for scale-down is effectively youngest-first).
+            let mut pods = self.pods();
+            pods.sort_by_key(|p| p.id());
+            for pod in pods.into_iter().rev().take(current - n) {
+                pod.begin_drain();
+                self.journal.borrow_mut().push(
+                    sim.now().as_duration(),
+                    ControlAction::DrainBegin,
+                    pod.id() as i64,
+                    0,
+                );
+                watch_drain(
+                    sim,
+                    Rc::clone(&self.service),
+                    Rc::clone(&self.journal),
+                    pod,
+                    600,
+                );
+            }
+        }
+    }
+
+    /// Starts a rolling restart of every current pod under `budget`,
+    /// journaling each surge/drain/terminate step. Replacement pods run
+    /// the same profile and instance config and start cold.
+    pub fn rolling_update(&self, sim: &mut Sim, budget: RolloutBudget) -> RolloutHandle {
+        let spec = self.spec.clone();
+        let profile = self.profile.clone();
+        let next_id = Rc::clone(&self.next_id);
+        run_rollout(
+            sim,
+            self.service(),
+            self.journal(),
+            budget,
+            Box::new(move |sim| {
+                let id = {
+                    let mut next = next_id.borrow_mut();
+                    let id = *next;
+                    *next += 1;
+                    id
+                };
+                make_pod_with_id(sim, &spec, &profile, id)
+            }),
+        )
+    }
+}
+
+/// Builds and starts one pod for the deployment's instance class.
+fn make_pod(sim: &mut Sim, spec: &DeploymentSpec, profile: &ServiceProfile, id: u32) -> Rc<Pod> {
+    make_pod_with_id(sim, spec, profile, id)
+}
+
+fn make_pod_with_id(
+    sim: &mut Sim,
+    spec: &DeploymentSpec,
+    profile: &ServiceProfile,
+    id: u32,
+) -> Rc<Pod> {
+    let server_config = if spec.instance.has_gpu() {
+        RustServerConfig::gpu()
+    } else {
+        RustServerConfig::cpu(spec.instance.vcpus())
+    };
+    let server = SimRustServer::new(profile.clone(), server_config);
+    let pod = Pod::new_with_id(server, spec.model_bytes, id);
+    pod.start(sim);
+    pod
+}
+
+/// Polls a draining scale-down victim until its in-flight work is gone,
+/// then terminates it and removes it from the service. `polls_left`
+/// bounds the wait (a minute at the default cadence) so a wedged pod
+/// cannot keep the event queue alive forever.
+fn watch_drain(
+    sim: &mut Sim,
+    service: Rc<ClusterIpService>,
+    journal: Shared<DecisionJournal>,
+    pod: Rc<Pod>,
+    polls_left: u32,
+) {
+    sim.schedule_in(DRAIN_POLL, move |s| {
+        if pod.is_drained() || polls_left == 0 {
+            pod.terminate();
+            journal.borrow_mut().push(
+                s.now().as_duration(),
+                ControlAction::Terminate,
+                pod.id() as i64,
+                0,
+            );
+            service.remove_pod(pod.id());
+        } else {
+            watch_drain(s, service, journal, pod, polls_left - 1);
+        }
+    });
 }
 
 #[cfg(test)]
@@ -204,5 +372,100 @@ mod tests {
             &profile,
         );
         assert_eq!(d.pods().len(), 1);
+    }
+
+    #[test]
+    fn scale_up_adds_cold_replicas_with_fresh_ids() {
+        let mut sim = Sim::new();
+        let profile = ServiceProfile::static_response(&Device::cpu());
+        let d = Deployment::create(
+            &mut sim,
+            DeploymentSpec {
+                instance: InstanceType::CpuE2,
+                replicas: 2,
+                model_bytes: 0,
+            },
+            &profile,
+        );
+        sim.run_until(d.ready_at());
+        d.scale_to(&mut sim, 4);
+        assert_eq!(d.replicas(), 4);
+        let ids: Vec<u32> = d.pods().iter().map(|p| p.id()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        // New pods gate on readiness like any other.
+        assert_eq!(d.service().ready_backends(), 2);
+        sim.run_until(sim.now().after(Duration::from_secs(10)));
+        assert_eq!(d.service().ready_backends(), 4);
+        assert_eq!(d.journal().borrow().of(ControlAction::SurgeCreate).len(), 2);
+    }
+
+    #[test]
+    fn scale_down_drains_then_terminates_newest_first() {
+        let mut sim = Sim::new();
+        let profile = ServiceProfile::static_response(&Device::cpu());
+        let d = Deployment::create(
+            &mut sim,
+            DeploymentSpec {
+                instance: InstanceType::CpuE2,
+                replicas: 3,
+                model_bytes: 0,
+            },
+            &profile,
+        );
+        sim.run_until(d.ready_at());
+        d.scale_to(&mut sim, 2);
+        // Pod 2 drains; with no in-flight work the next poll reaps it.
+        sim.run_until(sim.now().after(Duration::from_secs(1)));
+        assert_eq!(d.replicas(), 2);
+        let ids: Vec<u32> = d.pods().iter().map(|p| p.id()).collect();
+        assert_eq!(ids, vec![0, 1], "newest pod retired first");
+        let journal = d.journal();
+        assert_eq!(journal.borrow().of(ControlAction::DrainBegin).len(), 1);
+        assert_eq!(journal.borrow().of(ControlAction::Terminate).len(), 1);
+        assert_eq!(journal.borrow().of(ControlAction::DrainBegin)[0].a, 2);
+    }
+
+    #[test]
+    fn rolling_update_replaces_every_pod_with_zero_downtime() {
+        let mut sim = Sim::new();
+        let profile = ServiceProfile::static_response(&Device::cpu());
+        let d = Deployment::create(
+            &mut sim,
+            DeploymentSpec {
+                instance: InstanceType::CpuE2,
+                replicas: 3,
+                model_bytes: 0,
+            },
+            &profile,
+        );
+        sim.run_until(d.ready_at());
+        let old_ids: Vec<u32> = d.pods().iter().map(|p| p.id()).collect();
+        let handle = d.rolling_update(&mut sim, RolloutBudget::zero_downtime());
+
+        // Watch the invariant while the rollout runs: never fewer than
+        // 3 ready pods, never more than 4 total.
+        let horizon = sim.now().after(Duration::from_secs(120));
+        while !handle.is_done() && sim.now() < horizon {
+            sim.run_until(sim.now().after(Duration::from_millis(500)));
+            assert!(
+                d.service().ready_backends() >= 3,
+                "ready set dipped below target mid-rollout"
+            );
+            assert!(d.replicas() <= 4, "surge budget exceeded");
+        }
+        assert!(handle.is_done(), "rollout completed");
+        assert_eq!(handle.replaced(), 3);
+        let new_ids: Vec<u32> = d.pods().iter().map(|p| p.id()).collect();
+        assert!(
+            new_ids.iter().all(|id| !old_ids.contains(id)),
+            "{new_ids:?}"
+        );
+        assert_eq!(d.replicas(), 3);
+        assert!(d.service().all_ready());
+        let journal = d.journal();
+        assert_eq!(journal.borrow().of(ControlAction::SurgeCreate).len(), 3);
+        assert_eq!(journal.borrow().of(ControlAction::DrainBegin).len(), 3);
+        assert_eq!(journal.borrow().of(ControlAction::Terminate).len(), 3);
+        assert_eq!(journal.borrow().of(ControlAction::RolloutDone).len(), 1);
     }
 }

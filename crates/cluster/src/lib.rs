@@ -8,16 +8,21 @@
 //!   Kubernetes-style readiness probes ("Once the model deployment is
 //!   finished (determined via Kubernetes's readiness probes) ..."),
 //! * [`service`] — a ClusterIP service: round-robin routing over ready
-//!   replicas,
+//!   replicas, with optional control-plane outlier ejection,
 //! * [`deployment`] — ties a model + instance type + replica count into a
-//!   deployable, routable unit with a monthly cost.
+//!   deployable, routable unit with a monthly cost, reconciled at runtime
+//!   via `scale_to` and `rolling_update`,
+//! * [`rollout`] — the rolling-restart reconciler: replaces pods under
+//!   maxSurge/maxUnavailable budgets with drain-before-terminate.
 
 pub mod deployment;
 pub mod instances;
 pub mod pod;
+pub mod rollout;
 pub mod service;
 
 pub use deployment::{Deployment, DeploymentSpec};
 pub use instances::InstanceType;
 pub use pod::{Pod, PodLoadStats, PodPhase};
+pub use rollout::{RolloutBudget, RolloutHandle};
 pub use service::ClusterIpService;

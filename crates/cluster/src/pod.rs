@@ -25,12 +25,18 @@ pub enum PodPhase {
     /// Crashed (fault injection): down until the crash window ends,
     /// then restarts through `Starting` again.
     Crashed,
+    /// Being replaced: readiness fails (no new connections) but
+    /// requests already accepted run to completion.
+    Draining,
+    /// Torn down; the pod never serves again.
+    Terminated,
 }
 
 struct PodState {
     phase: PodPhase,
     refused: u64,
     served: u64,
+    in_flight: u64,
     latency: Histogram,
 }
 
@@ -83,6 +89,7 @@ impl Pod {
                 phase: PodPhase::Starting,
                 refused: 0,
                 served: 0,
+                in_flight: 0,
                 latency: Histogram::new(),
             }),
             server,
@@ -167,6 +174,34 @@ impl Pod {
         self.startup
     }
 
+    /// Flips the pod to `Draining`: the readiness probe starts failing
+    /// (the service routes nothing new here) while accepted requests
+    /// run to completion. Only a live pod drains; a crashed or already
+    /// terminated one has nothing to finish.
+    pub fn begin_drain(&self) {
+        let mut s = self.state.borrow_mut();
+        if matches!(s.phase, PodPhase::Ready | PodPhase::Starting) {
+            s.phase = PodPhase::Draining;
+        }
+    }
+
+    /// Tears the pod down for good.
+    pub fn terminate(&self) {
+        self.state.borrow_mut().phase = PodPhase::Terminated;
+    }
+
+    /// Requests accepted but not yet answered.
+    pub fn in_flight(&self) -> u64 {
+        self.state.borrow().in_flight
+    }
+
+    /// Whether the pod has finished draining: no request it accepted is
+    /// still running. (Trivially true for pods that never drained.)
+    pub fn is_drained(&self) -> bool {
+        let s = self.state.borrow();
+        s.phase == PodPhase::Draining && s.in_flight == 0
+    }
+
     /// Requests refused because the pod was not ready.
     pub fn refused(&self) -> u64 {
         self.state.borrow().refused
@@ -201,16 +236,24 @@ impl SimService for Pod {
         // replica (the wire is the caller's problem).
         let state = self.state_rc();
         let submitted = sim.now();
+        state.borrow_mut().in_flight += 1;
         let wrapped: RespondFn = Box::new(move |s, result| {
-            if result.is_ok() {
+            {
                 let mut st = state.borrow_mut();
-                st.served += 1;
-                st.latency
-                    .record(s.now().since(submitted).as_micros() as u64);
+                st.in_flight -= 1;
+                if result.is_ok() {
+                    st.served += 1;
+                    st.latency
+                        .record(s.now().since(submitted).as_micros() as u64);
+                }
             }
             respond(s, result);
         });
         Rc::clone(&self.server).submit(sim, wrapped);
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.server.queue_depth()
     }
 }
 
@@ -321,6 +364,61 @@ mod tests {
         sim.run_until(SimTime::ZERO.after(Duration::from_secs(30)));
         assert_eq!(*outcome.borrow(), Some(true), "crashed pod refused");
         assert_eq!(pod.refused(), 1);
+    }
+
+    #[test]
+    fn draining_pods_refuse_new_traffic_but_finish_accepted_work() {
+        let mut sim = Sim::new();
+        let pod = pod_with_bytes(0);
+        pod.start(&mut sim);
+        sim.run_until(SimTime::ZERO.after(Duration::from_secs(10)));
+        assert!(pod.is_ready());
+
+        // Accept one request, then drain before it completes.
+        let outcome = etude_simnet::shared(None);
+        let o = Rc::clone(&outcome);
+        Rc::clone(&pod).submit(
+            &mut sim,
+            Box::new(move |_, result| {
+                *o.borrow_mut() = Some(result.is_ok());
+            }),
+        );
+        assert_eq!(pod.in_flight(), 1);
+        pod.begin_drain();
+        assert_eq!(pod.phase(), PodPhase::Draining);
+        assert!(!pod.is_ready(), "readiness fails while draining");
+        assert!(!pod.is_drained(), "one request still running");
+
+        // New traffic is refused while the accepted request completes.
+        let refused = etude_simnet::shared(None);
+        let r = Rc::clone(&refused);
+        Rc::clone(&pod).submit(
+            &mut sim,
+            Box::new(move |_, result| {
+                *r.borrow_mut() = Some(result.is_err());
+            }),
+        );
+        sim.run_to_completion();
+        assert_eq!(*outcome.borrow(), Some(true), "in-flight work finished");
+        assert_eq!(*refused.borrow(), Some(true), "new work refused");
+        assert!(pod.is_drained());
+
+        pod.terminate();
+        assert_eq!(pod.phase(), PodPhase::Terminated);
+    }
+
+    #[test]
+    fn terminated_pods_never_come_back() {
+        let mut sim = Sim::new();
+        let pod = pod_with_bytes(0);
+        pod.start(&mut sim);
+        pod.terminate();
+        sim.run_to_completion();
+        assert_eq!(
+            pod.phase(),
+            PodPhase::Terminated,
+            "startup completion must not resurrect a terminated pod"
+        );
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Zero-downtime rolling restarts under surge/unavailability budgets.
+//!
+//! [`RolloutBudget`] mirrors a Kubernetes Deployment's rolling-update
+//! strategy: at most `max_surge` pods over the desired count may exist
+//! at once, and at most `max_unavailable` of the desired count may be
+//! missing from the ready set. The [reconciler](run_rollout) replaces
+//! every pod present when the rollout begins:
+//!
+//! 1. **surge** — create replacement pods while the surge budget
+//!    allows; each starts cold (full model download + readiness gate),
+//! 2. **drain** — once enough replacements pass readiness that the
+//!    unavailability budget holds, flip one old pod to `Draining`:
+//!    readiness fails (the service routes nothing new to it) while
+//!    accepted requests finish,
+//! 3. **terminate** — a drained pod (zero in-flight requests) is torn
+//!    down and removed from the service.
+//!
+//! With `max_surge = 1, max_unavailable = 0` the ready set never dips
+//! below the desired count — the zero-downtime configuration the chaos
+//! acceptance test drives under live load. Every step is journaled, so
+//! a seeded replay reproduces the rollout decision-for-decision.
+
+use crate::pod::Pod;
+use crate::service::ClusterIpService;
+use etude_control::{ControlAction, DecisionJournal};
+use etude_simnet::{shared, Shared, Sim};
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// How far a rolling update may stray from the desired replica count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RolloutBudget {
+    /// Extra pods allowed above the desired count.
+    pub max_surge: usize,
+    /// Ready pods that may be missing from the desired count.
+    pub max_unavailable: usize,
+}
+
+impl RolloutBudget {
+    /// The zero-downtime strategy: one surge pod, no unavailability.
+    pub fn zero_downtime() -> RolloutBudget {
+        RolloutBudget {
+            max_surge: 1,
+            max_unavailable: 0,
+        }
+    }
+}
+
+/// Observable progress of a rolling update.
+pub struct RolloutHandle {
+    done: Shared<bool>,
+    replaced: Shared<usize>,
+}
+
+impl RolloutHandle {
+    /// Whether the rollout has completed.
+    pub fn is_done(&self) -> bool {
+        *self.done.borrow()
+    }
+
+    /// Pods replaced so far.
+    pub fn replaced(&self) -> usize {
+        *self.replaced.borrow()
+    }
+}
+
+/// Factory building (and starting) one replacement pod.
+pub type MakePod = Box<dyn Fn(&mut Sim) -> Rc<Pod>>;
+
+struct RolloutState {
+    service: Rc<ClusterIpService>,
+    journal: Shared<DecisionJournal>,
+    budget: RolloutBudget,
+    target: usize,
+    /// Old pods not yet draining, in replacement order.
+    pending: VecDeque<Rc<Pod>>,
+    /// Old pods draining, awaiting their last in-flight response.
+    draining: Vec<Rc<Pod>>,
+    /// Replacement pods created so far.
+    new_pods: Vec<Rc<Pod>>,
+    to_create: usize,
+    make_pod: MakePod,
+    done: Shared<bool>,
+    replaced: Shared<usize>,
+    ticks_left: u32,
+}
+
+/// Reconciler ticks before the rollout gives up (an hour of virtual
+/// time) — bounds the event queue if a replacement never turns ready.
+const MAX_TICKS: u32 = 36_000;
+
+/// Reconciler cadence. Fine enough that drains terminate promptly,
+/// coarse enough that a rollout is O(hundreds) of events.
+const TICK: Duration = Duration::from_millis(100);
+
+/// Starts a rolling update of every pod currently behind `service`;
+/// `make_pod` builds (and is responsible for starting) one replacement
+/// pod. Returns a handle the caller can poll for completion.
+pub fn run_rollout(
+    sim: &mut Sim,
+    service: Rc<ClusterIpService>,
+    journal: Shared<DecisionJournal>,
+    budget: RolloutBudget,
+    make_pod: MakePod,
+) -> RolloutHandle {
+    let old: VecDeque<Rc<Pod>> = service.pods().into();
+    let target = old.len();
+    // Kubernetes rejects a strategy where both budgets are zero (it
+    // could never make progress); normalize to the surge-by-one form.
+    let budget = if budget.max_surge == 0 && budget.max_unavailable == 0 {
+        RolloutBudget {
+            max_surge: 1,
+            max_unavailable: 0,
+        }
+    } else {
+        budget
+    };
+    let done = shared(false);
+    let replaced = shared(0usize);
+    let state = Rc::new(std::cell::RefCell::new(RolloutState {
+        service,
+        journal,
+        budget,
+        target,
+        to_create: old.len(),
+        pending: old,
+        draining: Vec::new(),
+        new_pods: Vec::new(),
+        make_pod,
+        done: Rc::clone(&done),
+        replaced: Rc::clone(&replaced),
+        ticks_left: MAX_TICKS,
+    }));
+    if target == 0 {
+        *done.borrow_mut() = true;
+    } else {
+        tick(sim, Rc::clone(&state));
+    }
+    RolloutHandle { done, replaced }
+}
+
+fn tick(sim: &mut Sim, state: Rc<std::cell::RefCell<RolloutState>>) {
+    let finished = {
+        let mut st = state.borrow_mut();
+        let now = sim.now().as_duration();
+
+        // Reap: drained pods are torn down and leave the service.
+        let draining = std::mem::take(&mut st.draining);
+        for pod in draining {
+            if pod.is_drained() {
+                pod.terminate();
+                st.journal
+                    .borrow_mut()
+                    .push(now, ControlAction::Terminate, pod.id() as i64, 0);
+                st.service.remove_pod(pod.id());
+                *st.replaced.borrow_mut() += 1;
+            } else {
+                st.draining.push(pod);
+            }
+        }
+
+        // Surge: create replacements while the budget holds.
+        while st.new_pods.len() < st.to_create
+            && st.service.backends() < st.target + st.budget.max_surge
+        {
+            let pod = (st.make_pod)(sim);
+            st.journal
+                .borrow_mut()
+                .push(now, ControlAction::SurgeCreate, pod.id() as i64, 0);
+            st.service.add_pod(Rc::clone(&pod));
+            st.new_pods.push(pod);
+        }
+
+        // Drain: retire old pods as long as the ready set stays within
+        // the unavailability budget afterwards.
+        let mut ready = st.service.ready_backends();
+        let floor = st.target.saturating_sub(st.budget.max_unavailable);
+        while let Some(pod) = st.pending.front() {
+            let is_ready = pod.is_ready();
+            // An unready old pod (e.g. crashed) blocks nothing: drain
+            // it for free. A ready one must leave `floor` ready pods
+            // behind.
+            if is_ready && ready.saturating_sub(1) < floor {
+                break;
+            }
+            let pod = st.pending.pop_front().expect("peeked");
+            pod.begin_drain();
+            st.journal
+                .borrow_mut()
+                .push(now, ControlAction::DrainBegin, pod.id() as i64, 0);
+            if is_ready {
+                ready -= 1;
+            }
+            st.draining.push(pod);
+        }
+
+        let finished = st.pending.is_empty()
+            && st.draining.is_empty()
+            && st.new_pods.len() == st.to_create
+            && st.new_pods.iter().all(|p| p.is_ready());
+        if finished {
+            st.journal.borrow_mut().push(
+                now,
+                ControlAction::RolloutDone,
+                *st.replaced.borrow() as i64,
+                0,
+            );
+            *st.done.borrow_mut() = true;
+        }
+        st.ticks_left = st.ticks_left.saturating_sub(1);
+        finished || st.ticks_left == 0
+    };
+    if !finished {
+        let state = Rc::clone(&state);
+        sim.schedule_in(TICK, move |s| tick(s, state));
+    }
+}

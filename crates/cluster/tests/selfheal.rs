@@ -1,0 +1,127 @@
+//! The chaos acceptance test for the self-healing control plane
+//! (DESIGN.md §11): a four-replica managed deployment serves a sustained
+//! load while (a) a seeded fault window drops half the client-server
+//! messages and (b) a zero-downtime rolling restart replaces every pod
+//! mid-run. The resilient (retrying) client must see **zero failed
+//! requests**, and the control plane's decision journal must replay
+//! byte-for-byte on a second run of the same seeds.
+
+use etude_cluster::{Deployment, DeploymentSpec, InstanceType, RolloutBudget};
+use etude_control::{ControlAction, DecisionJournal, EjectionConfig};
+use etude_faults::{FaultInjector, FaultKind, FaultPlan, RetryPolicy};
+use etude_loadgen::{LoadConfig, LoadTestResult, SimLoadGen};
+use etude_serve::ServiceProfile;
+use etude_simnet::{shared, Sim};
+use etude_tensor::Device;
+use etude_workload::{SyntheticWorkload, WorkloadConfig};
+use std::rc::Rc;
+use std::time::Duration;
+
+/// One full chaos run: 4 replicas, load ramping to `rps`, a 50% drop
+/// window over seconds 1–3 of the load phase, and a rolling restart
+/// kicked off 500 ms in. Returns the load-test result, the rendered
+/// journal and the number of pods the rollout replaced.
+fn chaos_run(rps: u64) -> (LoadTestResult, String, usize) {
+    let mut sim = Sim::new();
+    let profile = ServiceProfile::static_response(&Device::cpu());
+    let journal = shared(DecisionJournal::new());
+    let deployment = Rc::new(Deployment::create_managed(
+        &mut sim,
+        DeploymentSpec {
+            instance: InstanceType::CpuE2,
+            replicas: 4,
+            model_bytes: 0,
+        },
+        &profile,
+        EjectionConfig::default(),
+        Rc::clone(&journal),
+    ));
+    sim.run_until(deployment.ready_at());
+    let start = sim.now();
+
+    // The drop window is anchored to the load phase, wherever pod
+    // startup put it on the virtual clock.
+    let plan = FaultPlan::seeded(17).with_window(
+        start.as_duration() + Duration::from_secs(1),
+        start.as_duration() + Duration::from_secs(3),
+        FaultKind::Drop { prob: 0.5 },
+    );
+    let policy = RetryPolicy {
+        base: Duration::from_millis(100),
+        cap: Duration::from_secs(1),
+        max_retries: 4,
+        jitter: 0.0,
+    };
+    let log = SyntheticWorkload::new(WorkloadConfig {
+        catalog_size: 10_000,
+        alpha_length: 2.0,
+        alpha_clicks: 1.8,
+        max_session_len: 50,
+        seed: 5,
+    })
+    .generate(60_000);
+    let handle = SimLoadGen::schedule_resilient(
+        &mut sim,
+        deployment.service(),
+        &log,
+        LoadConfig::scaled_rampup(rps, 6),
+        start,
+        FaultInjector::new(plan),
+        policy,
+    );
+
+    // Rolling restart of the whole fleet, mid-load.
+    let rollout = shared(None);
+    let (d2, r2) = (Rc::clone(&deployment), Rc::clone(&rollout));
+    sim.schedule_in(Duration::from_millis(500), move |s| {
+        *r2.borrow_mut() = Some(d2.rolling_update(s, RolloutBudget::zero_downtime()));
+    });
+
+    sim.run_to_completion();
+    let result = handle.collect();
+    let rollout = rollout.borrow();
+    let rollout = rollout.as_ref().expect("rollout was scheduled");
+    assert!(rollout.is_done(), "rollout never finished");
+    let rendered = journal.borrow().render_json();
+    (result, rendered, rollout.replaced())
+}
+
+#[test]
+fn rolling_restart_under_chaos_loses_no_client_requests() {
+    let (result, journal, replaced) = chaos_run(200);
+
+    // The acceptance criterion: every client request eventually
+    // succeeded, even with half the messages dropped for two seconds
+    // and every pod replaced under zero-downtime budgets.
+    assert_eq!(
+        result.errors, 0,
+        "client-visible failures during rolling restart (sent {}, ok {}, retries {})",
+        result.sent, result.ok, result.retries
+    );
+    assert!(result.sent > 400, "load ran: sent {}", result.sent);
+    assert_eq!(result.sent, result.ok);
+    assert!(
+        result.retries > 10,
+        "the drop window should force retries: {}",
+        result.retries
+    );
+    assert_eq!(replaced, 4, "every pod replaced");
+
+    // The journal records the full rollout choreography.
+    let parsed = etude_control::parse_journal(&journal).expect("journal parses");
+    assert_eq!(parsed.of(ControlAction::SurgeCreate).len(), 4);
+    assert_eq!(parsed.of(ControlAction::DrainBegin).len(), 4);
+    assert_eq!(parsed.of(ControlAction::Terminate).len(), 4);
+    assert_eq!(parsed.of(ControlAction::RolloutDone).len(), 1);
+}
+
+#[test]
+fn chaos_journal_replays_byte_for_byte() {
+    let (a, journal_a, _) = chaos_run(150);
+    let (b, journal_b, _) = chaos_run(150);
+    assert_eq!(journal_a, journal_b, "journal must be bit-identical");
+    assert_eq!(a.sent, b.sent);
+    assert_eq!(a.ok, b.ok);
+    assert_eq!(a.retries, b.retries);
+    assert_eq!(a.corrected.p99(), b.corrected.p99());
+}

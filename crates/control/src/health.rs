@@ -1,0 +1,365 @@
+//! Passive outlier detection with ejection, a minimum-healthy floor and
+//! seeded exponential probation.
+//!
+//! The load-balancing service feeds every request outcome (and every
+//! active `/ping` probe result) into an [`OutlierDetector`]. A backend
+//! that fails persistently — a streak of consecutive failures, or a
+//! failure ratio over the window once enough samples have accrued — is
+//! *ejected* from rotation. Two rules keep ejection from making things
+//! worse:
+//!
+//! * **floor** — ejection is refused whenever it would drop the
+//!   available set below `ceil(floor_fraction * n)` backends (at least
+//!   one). A fleet-wide outage then degrades to "route to sick backends"
+//!   rather than "route to nobody".
+//! * **probation** — an ejected backend is re-admitted automatically
+//!   after `base_probation * 2^(ejections-1)` (capped), jittered by a
+//!   seeded hash so repeated offenders back off without synchronising.
+//!   Re-admission starts a clean slate; failing again immediately earns
+//!   a longer sentence.
+//!
+//! Everything is a pure function of (`seed`, call sequence, explicit
+//! `now`), so chaos runs replay bit-identically.
+
+use etude_faults::injector::unit_draw;
+use std::time::Duration;
+
+/// Ejection tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct EjectionConfig {
+    /// Consecutive failures that eject on their own.
+    pub consecutive_failures: u32,
+    /// Window failure ratio that ejects once `min_samples` accrued.
+    pub failure_ratio: f64,
+    /// Samples needed before the ratio rule applies.
+    pub min_samples: u64,
+    /// Fraction of the pool that must stay available (≥ 1 backend).
+    pub floor_fraction: f64,
+    /// First probation sentence; doubles per repeat ejection.
+    pub base_probation: Duration,
+    /// Probation cap.
+    pub max_probation: Duration,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl Default for EjectionConfig {
+    fn default() -> EjectionConfig {
+        EjectionConfig {
+            consecutive_failures: 5,
+            failure_ratio: 0.5,
+            min_samples: 20,
+            floor_fraction: 0.5,
+            base_probation: Duration::from_secs(10),
+            max_probation: Duration::from_secs(300),
+            seed: 42,
+        }
+    }
+}
+
+/// What [`OutlierDetector::record`] decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthEvent {
+    /// Nothing changed.
+    None,
+    /// The backend was ejected until the contained time.
+    Ejected(Duration),
+    /// The backend would have been ejected but the floor refused it.
+    FloorHeld,
+    /// The backend's probation elapsed; it rejoined the pool.
+    Readmitted,
+}
+
+#[derive(Debug, Clone, Default)]
+struct BackendHealth {
+    consecutive_failures: u32,
+    successes: u64,
+    failures: u64,
+    ejected: bool,
+    ejected_until: Duration,
+    ejections: u32,
+}
+
+impl BackendHealth {
+    fn reset_window(&mut self) {
+        self.consecutive_failures = 0;
+        self.successes = 0;
+        self.failures = 0;
+    }
+}
+
+/// Tracks per-backend health and decides ejection / re-admission.
+#[derive(Debug, Clone)]
+pub struct OutlierDetector {
+    config: EjectionConfig,
+    backends: Vec<BackendHealth>,
+}
+
+impl OutlierDetector {
+    /// A detector over `n` initially-healthy backends.
+    pub fn new(n: usize, config: EjectionConfig) -> OutlierDetector {
+        OutlierDetector {
+            config,
+            backends: vec![BackendHealth::default(); n],
+        }
+    }
+
+    /// Number of tracked backends.
+    pub fn len(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// True when no backends are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.backends.is_empty()
+    }
+
+    /// Grows the pool (new backends start healthy). Used when a
+    /// deployment scales up.
+    pub fn resize(&mut self, n: usize) {
+        self.backends.resize(n, BackendHealth::default());
+    }
+
+    /// The minimum number of backends that must remain available.
+    pub fn floor(&self) -> usize {
+        let n = self.backends.len();
+        if n == 0 {
+            return 0;
+        }
+        (((n as f64) * self.config.floor_fraction).ceil() as usize).clamp(1, n)
+    }
+
+    /// Whether backend `idx` may receive traffic at `now`. Serving a
+    /// request to a backend whose probation has elapsed re-admits it
+    /// with a clean window.
+    pub fn admit(&mut self, idx: usize, now: Duration) -> bool {
+        self.admit_noting_readmission(idx, now).0
+    }
+
+    /// Like [`Self::admit`], but also reports whether *this call*
+    /// re-admitted the backend (its probation just elapsed) — the
+    /// moment the service journals as a readmission.
+    pub fn admit_noting_readmission(&mut self, idx: usize, now: Duration) -> (bool, bool) {
+        let b = &mut self.backends[idx];
+        if b.ejected && now >= b.ejected_until {
+            b.ejected = false;
+            b.reset_window();
+            return (true, true);
+        }
+        (!b.ejected, false)
+    }
+
+    /// True when backend `idx` sits ejected at `now` (read-only — does
+    /// not re-admit).
+    pub fn is_ejected(&self, idx: usize, now: Duration) -> bool {
+        let b = &self.backends[idx];
+        b.ejected && now < b.ejected_until
+    }
+
+    /// Backends currently available at `now`.
+    pub fn available_count(&self, now: Duration) -> usize {
+        (0..self.backends.len())
+            .filter(|&i| !self.is_ejected(i, now))
+            .count()
+    }
+
+    /// Feeds one outcome (request or active probe) for backend `idx`.
+    pub fn record(&mut self, idx: usize, ok: bool, now: Duration) -> HealthEvent {
+        // First let any elapsed probation clear, so the floor sees the
+        // true available set.
+        let (_, readmitted) = self.admit_noting_readmission(idx, now);
+        let c = self.config;
+        let b = &mut self.backends[idx];
+        if b.ejected {
+            return HealthEvent::None;
+        }
+        let idle_event = if readmitted {
+            HealthEvent::Readmitted
+        } else {
+            HealthEvent::None
+        };
+        if ok {
+            b.consecutive_failures = 0;
+            b.successes += 1;
+            return idle_event;
+        }
+        b.consecutive_failures += 1;
+        b.failures += 1;
+        let samples = b.successes + b.failures;
+        let streak = b.consecutive_failures >= c.consecutive_failures;
+        let ratio =
+            samples >= c.min_samples && (b.failures as f64) / (samples as f64) >= c.failure_ratio;
+        if !(streak || ratio) {
+            return idle_event;
+        }
+        if self.available_count(now) <= self.floor() {
+            // Over the floor the verdict stands but the sentence is
+            // suspended; the window keeps accumulating so the backend
+            // is ejected the moment room opens up.
+            return HealthEvent::FloorHeld;
+        }
+        let b = &mut self.backends[idx];
+        b.ejections += 1;
+        let exp = b.ejections.saturating_sub(1).min(16);
+        let base = c
+            .base_probation
+            .saturating_mul(1 << exp)
+            .min(c.max_probation);
+        // Jitter in [0.75, 1.25) of the sentence, seeded per (backend,
+        // offence) so replays match and fleets do not re-admit in sync.
+        let draw = unit_draw(c.seed, idx as u64, b.ejections as u64);
+        let probation = base.mul_f64(0.75 + 0.5 * draw);
+        b.ejected = true;
+        b.ejected_until = now + probation;
+        b.reset_window();
+        HealthEvent::Ejected(b.ejected_until)
+    }
+
+    /// Times backend `idx` has been ejected over its lifetime.
+    pub fn ejections(&self, idx: usize) -> u32 {
+        self.backends[idx].ejections
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(v: u64) -> Duration {
+        Duration::from_secs(v)
+    }
+
+    fn config() -> EjectionConfig {
+        EjectionConfig {
+            consecutive_failures: 3,
+            failure_ratio: 0.5,
+            min_samples: 10,
+            floor_fraction: 0.5,
+            base_probation: secs(10),
+            max_probation: secs(100),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn streak_ejects_and_probation_readmits() {
+        let mut d = OutlierDetector::new(4, config());
+        assert_eq!(d.record(0, false, secs(0)), HealthEvent::None);
+        assert_eq!(d.record(0, false, secs(0)), HealthEvent::None);
+        let until = match d.record(0, false, secs(0)) {
+            HealthEvent::Ejected(u) => u,
+            other => panic!("expected ejection, got {other:?}"),
+        };
+        assert!(
+            until >= secs(7) && until <= secs(13),
+            "jittered ~10s: {until:?}"
+        );
+        assert!(d.is_ejected(0, secs(1)));
+        assert!(!d.admit(0, secs(1)), "still serving probation");
+        assert!(d.admit(0, until), "probation elapsed re-admits");
+        assert!(!d.is_ejected(0, until));
+    }
+
+    #[test]
+    fn success_breaks_the_streak() {
+        let mut d = OutlierDetector::new(2, config());
+        d.record(0, false, secs(0));
+        d.record(0, false, secs(0));
+        d.record(0, true, secs(0));
+        assert_eq!(d.record(0, false, secs(0)), HealthEvent::None);
+    }
+
+    #[test]
+    fn ratio_rule_needs_min_samples() {
+        let mut d = OutlierDetector::new(4, config());
+        // Alternate success/failure: never a 3-streak, ratio exactly
+        // 0.5 — ejects only once 10 samples have accrued.
+        let mut event = HealthEvent::None;
+        for i in 0..10 {
+            event = d.record(1, i % 2 == 0, secs(0));
+            if i < 9 {
+                assert_eq!(event, HealthEvent::None, "sample {i}");
+            }
+        }
+        assert!(matches!(event, HealthEvent::Ejected(_)));
+    }
+
+    #[test]
+    fn floor_refuses_the_last_ejections() {
+        let mut d = OutlierDetector::new(4, config());
+        // Floor = 2 of 4. Eject two backends, then the next two hold.
+        for idx in 0..2 {
+            for _ in 0..3 {
+                d.record(idx, false, secs(0));
+            }
+            assert!(d.is_ejected(idx, secs(1)));
+        }
+        for idx in 2..4 {
+            for _ in 0..3 {
+                let event = d.record(idx, false, secs(0));
+                assert!(!matches!(event, HealthEvent::Ejected(_)), "{event:?}");
+            }
+            assert!(!d.is_ejected(idx, secs(1)), "floor held backend {idx}");
+        }
+        assert_eq!(d.available_count(secs(1)), 2);
+        assert_eq!(d.floor(), 2);
+    }
+
+    #[test]
+    fn repeat_offenders_serve_longer_sentences() {
+        let mut d = OutlierDetector::new(8, config());
+        let mut now = secs(0);
+        let mut last = Duration::ZERO;
+        for offence in 1..=3u32 {
+            let until = loop {
+                if let HealthEvent::Ejected(u) = d.record(0, false, now) {
+                    break u;
+                }
+            };
+            let sentence = until - now;
+            assert!(
+                sentence > last.mul_f64(1.2),
+                "offence {offence}: {sentence:?} vs {last:?}"
+            );
+            last = sentence;
+            now = until;
+            assert!(d.admit(0, now));
+        }
+    }
+
+    #[test]
+    fn sentences_are_capped() {
+        let mut cfg = config();
+        cfg.max_probation = secs(30);
+        let mut d = OutlierDetector::new(4, cfg);
+        let mut now = secs(0);
+        for _ in 0..6 {
+            let until = loop {
+                if let HealthEvent::Ejected(u) = d.record(0, false, now) {
+                    break u;
+                }
+            };
+            assert!(until - now <= secs(38), "cap * 1.25 jitter");
+            now = until;
+            d.admit(0, now);
+        }
+    }
+
+    #[test]
+    fn replay_is_bit_identical() {
+        let run = || {
+            let mut d = OutlierDetector::new(4, config());
+            let mut log = Vec::new();
+            for step in 0..200u64 {
+                let idx = (step % 4) as usize;
+                let ok = step % 3 != 0;
+                if let HealthEvent::Ejected(u) = d.record(idx, ok, Duration::from_millis(step * 50))
+                {
+                    log.push((step, idx, u.as_nanos()));
+                }
+            }
+            log
+        };
+        assert_eq!(run(), run());
+    }
+}

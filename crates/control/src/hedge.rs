@@ -1,0 +1,184 @@
+//! Latency-quantile hedging trigger.
+//!
+//! A hedged request launches one backup attempt on another backend when
+//! the primary has been silent longer than the fleet's p95 — the classic
+//! tail-at-scale move: the 5% slowest requests get a second chance while
+//! the other 95% cost nothing extra. [`HedgeTrigger`] owns the latency
+//! history (an HDR histogram of completed attempts) and answers one
+//! question: *how long should the client wait before hedging right now?*
+//!
+//! Until [`HedgePolicy::min_observations`] attempts have completed the
+//! answer is "don't" — hedging off a cold histogram would fire on noise.
+
+use etude_metrics::Histogram;
+use std::time::Duration;
+
+/// Hedging tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct HedgePolicy {
+    /// Latency quantile after which the backup attempt launches.
+    pub quantile: f64,
+    /// Completed attempts required before hedging arms.
+    pub min_observations: u64,
+    /// Never hedge sooner than this (guards a degenerate histogram).
+    pub min_delay: Duration,
+    /// Never wait longer than this once armed.
+    pub max_delay: Duration,
+}
+
+impl Default for HedgePolicy {
+    fn default() -> HedgePolicy {
+        HedgePolicy {
+            quantile: 0.95,
+            min_observations: 50,
+            min_delay: Duration::from_millis(1),
+            max_delay: Duration::from_secs(1),
+        }
+    }
+}
+
+impl HedgePolicy {
+    /// A policy that always hedges after a fixed delay — for tests and
+    /// experiments where the trigger itself is not under study.
+    pub fn fixed(delay: Duration) -> HedgePolicy {
+        HedgePolicy {
+            quantile: 0.95,
+            min_observations: 0,
+            min_delay: delay,
+            max_delay: delay,
+        }
+    }
+}
+
+/// Decides the hedge delay from observed attempt latencies.
+#[derive(Debug, Clone)]
+pub struct HedgeTrigger {
+    policy: HedgePolicy,
+    hist: Histogram,
+    observations: u64,
+    hedges: u64,
+    hedge_wins: u64,
+}
+
+impl HedgeTrigger {
+    /// A cold (disarmed) trigger.
+    pub fn new(policy: HedgePolicy) -> HedgeTrigger {
+        HedgeTrigger {
+            policy,
+            hist: Histogram::new(),
+            observations: 0,
+            hedges: 0,
+            hedge_wins: 0,
+        }
+    }
+
+    /// Records one completed attempt's latency.
+    pub fn record(&mut self, latency: Duration) {
+        self.hist.record(latency.as_micros() as u64);
+        self.observations += 1;
+    }
+
+    /// The delay after which an unanswered request should hedge, or
+    /// `None` while the trigger is still cold.
+    pub fn delay(&self) -> Option<Duration> {
+        if self.observations < self.policy.min_observations {
+            return None;
+        }
+        let us = if self.policy.min_observations == 0 && self.observations == 0 {
+            0
+        } else {
+            self.hist.value_at_quantile(self.policy.quantile)
+        };
+        Some(Duration::from_micros(us).clamp(self.policy.min_delay, self.policy.max_delay))
+    }
+
+    /// Bumps the launched-hedge counter; `won` marks the backup attempt
+    /// answering first.
+    pub fn note_hedge(&mut self, won: bool) {
+        self.hedges += 1;
+        if won {
+            self.hedge_wins += 1;
+        }
+    }
+
+    /// Completed attempts observed so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// (launched, won-by-backup) hedge counts.
+    pub fn hedge_stats(&self) -> (u64, u64) {
+        (self.hedges, self.hedge_wins)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_trigger_never_hedges() {
+        let mut t = HedgeTrigger::new(HedgePolicy {
+            min_observations: 10,
+            ..HedgePolicy::default()
+        });
+        for _ in 0..9 {
+            t.record(Duration::from_millis(5));
+            assert_eq!(t.delay(), None);
+        }
+        t.record(Duration::from_millis(5));
+        assert!(t.delay().is_some(), "armed at min_observations");
+    }
+
+    #[test]
+    fn delay_tracks_the_tail_quantile() {
+        let mut t = HedgeTrigger::new(HedgePolicy {
+            quantile: 0.95,
+            min_observations: 100,
+            min_delay: Duration::from_micros(1),
+            max_delay: Duration::from_secs(10),
+        });
+        // 95 fast attempts, 5 slow ones: p95 lands at the fast/slow
+        // boundary, well below the 100ms stragglers.
+        for _ in 0..95 {
+            t.record(Duration::from_millis(2));
+        }
+        for _ in 0..5 {
+            t.record(Duration::from_millis(100));
+        }
+        let d = t.delay().unwrap();
+        assert!(d >= Duration::from_millis(2), "{d:?}");
+        assert!(d < Duration::from_millis(100), "{d:?}");
+    }
+
+    #[test]
+    fn delay_is_clamped() {
+        let mut t = HedgeTrigger::new(HedgePolicy {
+            quantile: 0.95,
+            min_observations: 1,
+            min_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(20),
+        });
+        t.record(Duration::from_micros(50));
+        assert_eq!(t.delay(), Some(Duration::from_millis(10)), "floor");
+        for _ in 0..100 {
+            t.record(Duration::from_secs(2));
+        }
+        assert_eq!(t.delay(), Some(Duration::from_millis(20)), "ceiling");
+    }
+
+    #[test]
+    fn fixed_policy_is_always_armed() {
+        let t = HedgeTrigger::new(HedgePolicy::fixed(Duration::from_millis(7)));
+        assert_eq!(t.delay(), Some(Duration::from_millis(7)));
+    }
+
+    #[test]
+    fn hedge_stats_accumulate() {
+        let mut t = HedgeTrigger::new(HedgePolicy::default());
+        t.note_hedge(true);
+        t.note_hedge(false);
+        t.note_hedge(true);
+        assert_eq!(t.hedge_stats(), (3, 2));
+    }
+}

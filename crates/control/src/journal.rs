@@ -1,0 +1,232 @@
+//! The byte-stable control-plane decision journal.
+//!
+//! Every reaction the control plane takes — a scale decision, an
+//! ejection, a rolling-update step — appends one [`JournalEntry`].
+//! The journal is the determinism contract made visible: the chaos
+//! acceptance test runs the same seeded experiment twice and compares
+//! the rendered journals *byte for byte*. To make that comparison
+//! meaningful the format is integers-only (virtual milliseconds and
+//! the two action operands) with a fixed field order — no floats, no
+//! hash-ordered maps, no timestamps from a wall clock.
+
+use std::time::Duration;
+
+/// What the control plane did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlAction {
+    /// Autoscaler added replicas (`a` = from, `b` = to).
+    ScaleUp,
+    /// Autoscaler released a replica (`a` = from, `b` = to).
+    ScaleDown,
+    /// Outlier detector ejected a backend (`a` = backend,
+    /// `b` = probation end in virtual ms).
+    Eject,
+    /// An ejected backend rejoined rotation (`a` = backend).
+    Readmit,
+    /// Rolling update created a surge pod (`a` = pod id).
+    SurgeCreate,
+    /// Rolling update began draining an old pod (`a` = pod id).
+    DrainBegin,
+    /// Rolling update terminated a drained pod (`a` = pod id).
+    Terminate,
+    /// Rolling update finished (`a` = pods replaced).
+    RolloutDone,
+}
+
+impl ControlAction {
+    /// Stable lowercase label used in the rendered journal.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ControlAction::ScaleUp => "scale-up",
+            ControlAction::ScaleDown => "scale-down",
+            ControlAction::Eject => "eject",
+            ControlAction::Readmit => "readmit",
+            ControlAction::SurgeCreate => "surge-create",
+            ControlAction::DrainBegin => "drain-begin",
+            ControlAction::Terminate => "terminate",
+            ControlAction::RolloutDone => "rollout-done",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<ControlAction> {
+        Some(match name {
+            "scale-up" => ControlAction::ScaleUp,
+            "scale-down" => ControlAction::ScaleDown,
+            "eject" => ControlAction::Eject,
+            "readmit" => ControlAction::Readmit,
+            "surge-create" => ControlAction::SurgeCreate,
+            "drain-begin" => ControlAction::DrainBegin,
+            "terminate" => ControlAction::Terminate,
+            "rollout-done" => ControlAction::RolloutDone,
+            _ => return None,
+        })
+    }
+}
+
+/// One journaled decision. `a` and `b` are action-specific operands
+/// (see [`ControlAction`]); unused operands are zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Virtual milliseconds since simulation time zero.
+    pub at_ms: u64,
+    /// What happened.
+    pub action: ControlAction,
+    /// First operand.
+    pub a: i64,
+    /// Second operand.
+    pub b: i64,
+}
+
+/// An append-only list of control decisions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DecisionJournal {
+    /// Entries in decision order.
+    pub entries: Vec<JournalEntry>,
+}
+
+impl DecisionJournal {
+    /// An empty journal.
+    pub fn new() -> DecisionJournal {
+        DecisionJournal::default()
+    }
+
+    /// Appends one decision at virtual time `at`.
+    pub fn push(&mut self, at: Duration, action: ControlAction, a: i64, b: i64) {
+        self.entries.push(JournalEntry {
+            at_ms: at.as_millis() as u64,
+            action,
+            a,
+            b,
+        });
+    }
+
+    /// Number of journaled decisions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been journaled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries of one action kind.
+    pub fn of(&self, action: ControlAction) -> Vec<&JournalEntry> {
+        self.entries.iter().filter(|e| e.action == action).collect()
+    }
+
+    /// Renders the journal as a JSON array with a fixed field order and
+    /// integer-only values; equal journals render to equal bytes.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"at_ms\": {}, \"action\": \"{}\", \"a\": {}, \"b\": {}}}",
+                e.at_ms,
+                e.action.name(),
+                e.a,
+                e.b
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Parses a journal rendered by [`DecisionJournal::render_json`].
+/// Hand-rolled like the rest of the workspace's JSON plumbing — the
+/// format is rigid enough that field order can be relied on.
+pub fn parse_journal(json: &str) -> Option<DecisionJournal> {
+    let body = json.trim().strip_prefix('[')?.strip_suffix(']')?;
+    let mut journal = DecisionJournal::new();
+    if body.trim().is_empty() {
+        return Some(journal);
+    }
+    for obj in body.split('}') {
+        let obj = obj.trim().trim_start_matches(',').trim();
+        if obj.is_empty() {
+            continue;
+        }
+        let obj = obj.strip_prefix('{')?;
+        let at_ms: u64 = field(obj, "at_ms")?.parse().ok()?;
+        let action = ControlAction::from_name(field(obj, "action")?.trim_matches('"'))?;
+        let a: i64 = field(obj, "a")?.parse().ok()?;
+        let b: i64 = field(obj, "b")?.parse().ok()?;
+        journal.entries.push(JournalEntry {
+            at_ms,
+            action,
+            a,
+            b,
+        });
+    }
+    Some(journal)
+}
+
+/// Extracts the raw value after `"key": ` up to the next comma.
+fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let rest = &obj[obj.find(&tag)? + tag.len()..];
+    let end = rest.find(',').unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn sample() -> DecisionJournal {
+        let mut j = DecisionJournal::new();
+        j.push(ms(1_000), ControlAction::ScaleUp, 2, 4);
+        j.push(ms(2_500), ControlAction::Eject, 1, 12_500);
+        j.push(ms(12_500), ControlAction::Readmit, 1, 0);
+        j.push(ms(20_000), ControlAction::DrainBegin, 0, 0);
+        j.push(ms(21_000), ControlAction::Terminate, 0, 0);
+        j.push(ms(30_000), ControlAction::ScaleDown, 4, 3);
+        j
+    }
+
+    #[test]
+    fn render_roundtrips() {
+        let j = sample();
+        let json = j.render_json();
+        let parsed = parse_journal(&json).expect("parse");
+        assert_eq!(parsed, j);
+        assert_eq!(parsed.render_json(), json, "byte-stable");
+    }
+
+    #[test]
+    fn empty_journal_roundtrips() {
+        let j = DecisionJournal::new();
+        assert_eq!(j.render_json(), "[]");
+        assert_eq!(parse_journal("[]"), Some(j));
+    }
+
+    #[test]
+    fn equal_journals_render_to_equal_bytes() {
+        assert_eq!(sample().render_json(), sample().render_json());
+    }
+
+    #[test]
+    fn of_filters_by_action() {
+        let j = sample();
+        assert_eq!(j.of(ControlAction::ScaleUp).len(), 1);
+        assert_eq!(j.of(ControlAction::Eject)[0].b, 12_500);
+        assert_eq!(j.of(ControlAction::RolloutDone).len(), 0);
+    }
+
+    #[test]
+    fn garbage_does_not_parse() {
+        assert_eq!(parse_journal("not json"), None);
+        assert_eq!(
+            parse_journal("[{\"at_ms\": 1, \"action\": \"warp\", \"a\": 0, \"b\": 0}]"),
+            None
+        );
+    }
+}

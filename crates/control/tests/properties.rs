@@ -1,0 +1,132 @@
+//! Property tests for the control-plane state machines.
+//!
+//! Two invariants the ISSUE calls out by name:
+//!
+//! * outlier ejection + probation re-admission never drops the healthy
+//!   set below the configured floor, for any outcome sequence;
+//! * circuit-breaker transitions are well-formed — the observed state
+//!   sequence only ever walks legal edges (in particular, never
+//!   closed → half-open without passing through open).
+
+use etude_control::{BreakerConfig, BreakerState, CircuitBreaker, EjectionConfig, OutlierDetector};
+use proptest::prelude::*;
+use std::time::Duration;
+
+proptest! {
+    /// Drive a random outcome stream at a random pool and watch the
+    /// available count: it must never dip below the floor, at any
+    /// intermediate time.
+    #[test]
+    fn ejection_never_breaches_the_floor(
+        n in 1usize..10,
+        floor_fraction in 0.1f64..1.0,
+        seed in 0u64..1_000,
+        ops in proptest::collection::vec((0usize..10, any::<bool>()), 0..300),
+    ) {
+        let config = EjectionConfig {
+            consecutive_failures: 2,
+            failure_ratio: 0.3,
+            min_samples: 5,
+            floor_fraction,
+            base_probation: Duration::from_secs(5),
+            max_probation: Duration::from_secs(60),
+            seed,
+        };
+        let mut detector = OutlierDetector::new(n, config);
+        let floor = detector.floor();
+        prop_assert!(floor >= 1, "floor is at least one backend");
+        prop_assert!(floor <= n);
+        for (step, (idx, ok)) in ops.into_iter().enumerate() {
+            let now = Duration::from_millis(step as u64 * 100);
+            detector.record(idx % n, ok, now);
+            prop_assert!(
+                detector.available_count(now) >= floor,
+                "floor breached at step {step}: {} < {floor}",
+                detector.available_count(now),
+            );
+        }
+    }
+
+    /// Probation always ends: however often a backend offends, it is
+    /// re-admitted once its (capped) sentence elapses.
+    #[test]
+    fn probation_always_readmits(
+        seed in 0u64..1_000,
+        offences in 1usize..8,
+    ) {
+        let config = EjectionConfig {
+            consecutive_failures: 1,
+            max_probation: Duration::from_secs(30),
+            seed,
+            ..EjectionConfig::default()
+        };
+        let mut detector = OutlierDetector::new(4, config);
+        let mut now = Duration::ZERO;
+        for _ in 0..offences {
+            detector.record(0, false, now);
+            prop_assert!(detector.is_ejected(0, now));
+            // The cap times max jitter bounds every sentence.
+            let horizon = now + Duration::from_secs(38);
+            prop_assert!(detector.admit(0, horizon), "sentence outlasted the cap");
+            now = horizon;
+        }
+    }
+
+    /// Replay a random op stream against the breaker and check every
+    /// observed transition is a legal edge of the state machine:
+    /// closed→open, open→half-open, half-open→{closed, open}.
+    #[test]
+    fn breaker_transitions_are_well_formed(
+        threshold in 1u32..6,
+        open_ms in 1u64..500,
+        // op: 0 = allow(now), 1 = record_success, 2 = record_failure
+        ops in proptest::collection::vec((0u8..3, 0u64..50), 0..400),
+    ) {
+        let mut breaker = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            open_for: Duration::from_millis(open_ms),
+            half_open_successes: 1,
+        });
+        let mut now = Duration::ZERO;
+        let mut prev = breaker.state();
+        prop_assert_eq!(prev, BreakerState::Closed, "breakers start closed");
+        for (op, advance_ms) in ops {
+            now += Duration::from_millis(advance_ms);
+            match op {
+                0 => { breaker.allow(now); }
+                1 => breaker.record_success(),
+                _ => breaker.record_failure(now, None),
+            }
+            let next = breaker.state();
+            let legal = match (prev, next) {
+                _ if prev == next => true,
+                (BreakerState::Closed, BreakerState::Open) => true,
+                (BreakerState::Open, BreakerState::HalfOpen) => true,
+                (BreakerState::HalfOpen, BreakerState::Closed) => true,
+                (BreakerState::HalfOpen, BreakerState::Open) => true,
+                _ => false,
+            };
+            prop_assert!(legal, "illegal transition {prev:?} -> {next:?}");
+            prev = next;
+        }
+    }
+
+    /// An open breaker admits nothing until its interval elapses, and
+    /// the first admission after it is exactly one half-open probe.
+    #[test]
+    fn open_breakers_reject_until_the_interval(
+        open_ms in 10u64..1_000,
+    ) {
+        let mut breaker = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            open_for: Duration::from_millis(open_ms),
+            half_open_successes: 1,
+        });
+        breaker.record_failure(Duration::ZERO, None);
+        prop_assert_eq!(breaker.state(), BreakerState::Open);
+        prop_assert!(!breaker.allow(Duration::from_millis(open_ms - 1)));
+        prop_assert!(breaker.allow(Duration::from_millis(open_ms)));
+        prop_assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        prop_assert!(!breaker.allow(Duration::from_millis(open_ms)), "one probe only");
+    }
+}

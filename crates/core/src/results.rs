@@ -1,6 +1,7 @@
 //! Experiment result records.
 
 use crate::spec::ExperimentSpec;
+use etude_control::DecisionJournal;
 use etude_loadgen::LoadTestResult;
 use etude_metrics::LatencySummary;
 use std::time::Duration;
@@ -18,6 +19,11 @@ pub struct ExperimentResult {
     pub steady: LatencySummary,
     /// Whether the deployment met the latency SLO at the target rate.
     pub feasible: bool,
+    /// Every control-plane decision the run took (scale events, drains,
+    /// ejections), in decision order. Empty for unmanaged runs. The
+    /// journal's [`DecisionJournal::render_json`] is byte-stable, so two
+    /// seeded runs of the same spec can be compared byte-for-byte.
+    pub journal: DecisionJournal,
 }
 
 impl ExperimentResult {
@@ -39,6 +45,7 @@ impl ExperimentResult {
             load,
             steady,
             feasible,
+            journal: DecisionJournal::new(),
         }
     }
 

@@ -5,6 +5,7 @@
 use crate::results::ExperimentResult;
 use crate::spec::{ExecutionMode, ExperimentSpec};
 use etude_cluster::{Deployment, DeploymentSpec};
+use etude_control::{Autoscaler, ControlAction, FleetObs};
 use etude_faults::FaultInjector;
 use etude_loadgen::{LoadConfig, LoadTestResult, SimLoadGen};
 use etude_metrics::hdr::Histogram;
@@ -14,14 +15,19 @@ use etude_obs::{SloMonitor, SloPolicy};
 use etude_serve::service::ExecutionKind;
 use etude_serve::ServiceProfile;
 use etude_simnet::link::{FaultyLink, Link};
-use etude_simnet::{Sim, SimTime};
+use etude_simnet::{shared, Shared, Sim, SimTime};
 use etude_tensor::Device;
 use etude_workload::SyntheticWorkload;
+use std::rc::Rc;
 use std::time::Duration;
 
 /// How long the serial micro-benchmark waits on a lost request before
 /// writing it off (same horizon as the load drivers' client timeout).
 const SERIAL_CLIENT_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Cadence of the autoscaler's reconcile loop (one HPA-style sync per
+/// virtual second).
+const AUTOSCALE_TICK: Duration = Duration::from_secs(1);
 
 fn execution_kind(mode: ExecutionMode) -> ExecutionKind {
     match mode {
@@ -83,7 +89,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
     let log = workload.generate(expected_requests + 1_000);
 
     let mut sim = Sim::new();
-    let deployment = Deployment::create(&mut sim, deployment_spec, &profile);
+    let deployment = Rc::new(Deployment::create(&mut sim, deployment_spec, &profile));
     // The spec's fault schedule covers both layers: crash windows take
     // pods down (relative to virtual time zero), everything else rides
     // on the client-server network path.
@@ -102,6 +108,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         backpressure: true,
         seed: spec.seed,
     };
+    let horizon = start.after(load_config.duration);
     let handle = SimLoadGen::schedule_with_faults(
         &mut sim,
         deployment.service(),
@@ -110,6 +117,10 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         start,
         injector,
     );
+    if let Some(config) = spec.autoscaler {
+        let scaler = shared(Autoscaler::new(config));
+        schedule_autoscaler(&mut sim, Rc::clone(&deployment), scaler, 0, horizon);
+    }
     sim.run_to_completion();
     let mut load = handle.collect();
     // Multi-window burn-rate evaluation over the whole run: the report
@@ -118,7 +129,61 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
     let monitor = SloMonitor::new(SloPolicy::from_target(spec.latency_slo));
     load.slo = Some(monitor.evaluate(&load.series, &load.attribution));
 
-    ExperimentResult::evaluate(spec, monthly_cost, load, hold_secs as usize)
+    let mut result = ExperimentResult::evaluate(spec, monthly_cost, load, hold_secs as usize);
+    result.journal = deployment.journal().borrow().clone();
+    result
+}
+
+/// One reconcile tick per virtual second: boil the deployment down to a
+/// [`FleetObs`], let the autoscaler decide, and actuate + journal any
+/// decision. The loop stops at `horizon` (end of load) so it cannot keep
+/// the event queue alive after the experiment.
+fn schedule_autoscaler(
+    sim: &mut Sim,
+    deployment: Rc<Deployment>,
+    scaler: Shared<Autoscaler>,
+    tick: u64,
+    horizon: SimTime,
+) {
+    sim.schedule_in(AUTOSCALE_TICK, move |s| {
+        let service = deployment.service();
+        // The latency signal is the worst replica's cumulative service
+        // p99 — the simulated stand-in for scraping every pod's /stats.
+        // Burn-rate attribution needs the whole series and stays a
+        // post-hoc concern (the SloMonitor pass below), so the live
+        // reconciler sees queue and latency pressure only.
+        let p99_us = service
+            .pod_summaries()
+            .iter()
+            .map(|p| p.latency.p99())
+            .max()
+            .unwrap_or(0);
+        let obs = FleetObs {
+            tick,
+            ready_replicas: service.ready_backends(),
+            total_replicas: deployment.replicas(),
+            queue_depth: service.queue_depth() as u64,
+            p99_us,
+            burn: 0.0,
+        };
+        if let Some(d) = scaler.borrow_mut().decide(&obs) {
+            let action = if d.to > d.from {
+                ControlAction::ScaleUp
+            } else {
+                ControlAction::ScaleDown
+            };
+            deployment.journal().borrow_mut().push(
+                s.now().as_duration(),
+                action,
+                d.from as i64,
+                d.to as i64,
+            );
+            deployment.scale_to(s, d.to);
+        }
+        if s.now() < horizon {
+            schedule_autoscaler(s, deployment, scaler, tick + 1, horizon);
+        }
+    });
 }
 
 /// Analytic decomposition of the serial path's mean latency — the
@@ -375,6 +440,45 @@ mod tests {
 
         let calm = run_experiment(&fast_spec());
         assert_eq!(calm.load.errors, 0);
+    }
+
+    #[test]
+    fn autoscaler_relieves_an_underprovisioned_deployment() {
+        use etude_control::AutoscalerConfig;
+
+        // One CPU replica cannot serve a million-item catalog at 300
+        // req/s (Section III-C); with the autoscaler on, queue pressure
+        // should grow the fleet instead of letting it drown.
+        let run = || {
+            let config = AutoscalerConfig {
+                min_replicas: 1,
+                max_replicas: 6,
+                ..AutoscalerConfig::default()
+            };
+            let spec = ExperimentSpec::new(ModelKind::Core, 1_000_000, InstanceType::CpuE2)
+                .with_target_rps(300)
+                .with_ramp(Duration::from_secs(15))
+                .with_autoscaler(config);
+            run_experiment(&spec)
+        };
+        let a = run();
+        use etude_control::ControlAction;
+        let ups = a.journal.of(ControlAction::ScaleUp).len();
+        assert!(
+            ups >= 1,
+            "pressure never scaled up: {}",
+            a.journal.render_json()
+        );
+        let creates = a.journal.of(ControlAction::SurgeCreate).len();
+        assert!(creates >= 1, "scale-up should create pods");
+
+        // The decision journal is the determinism contract: a second run
+        // of the same spec reproduces it byte-for-byte.
+        let b = run();
+        assert_eq!(a.journal.render_json(), b.journal.render_json());
+
+        // Unmanaged runs keep an empty journal (and a fixed fleet).
+        assert!(run_experiment(&fast_spec()).journal.is_empty());
     }
 
     #[test]

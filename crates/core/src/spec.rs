@@ -6,6 +6,7 @@
 //! the target throughput to which the load generator should ramp up."
 
 use etude_cluster::InstanceType;
+use etude_control::AutoscalerConfig;
 use etude_faults::FaultPlan;
 use etude_models::{ModelConfig, ModelKind};
 use etude_workload::WorkloadConfig;
@@ -53,6 +54,12 @@ pub struct ExperimentSpec {
     /// crashes). Calm by default: no faults, bit-identical to specs that
     /// predate fault injection.
     pub faults: FaultPlan,
+    /// When set, the runner reconciles the replica set once per virtual
+    /// second with the control plane's SLO-driven autoscaler, starting
+    /// from [`Self::replicas`]. `None` (the default) keeps the replica
+    /// count fixed for the whole run, as every pre-control-plane spec
+    /// did.
+    pub autoscaler: Option<AutoscalerConfig>,
 }
 
 impl ExperimentSpec {
@@ -73,6 +80,7 @@ impl ExperimentSpec {
             recbole_quirks: true,
             seed: 42,
             faults: FaultPlan::calm(),
+            autoscaler: None,
         }
     }
 
@@ -115,6 +123,12 @@ impl ExperimentSpec {
     /// Injects a fault schedule into the run.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Enables SLO-driven autoscaling for the run.
+    pub fn with_autoscaler(mut self, config: AutoscalerConfig) -> Self {
+        self.autoscaler = Some(config);
         self
     }
 

@@ -35,12 +35,26 @@ pub struct FleetSnapshot {
     pub pods: Vec<StatsSnapshot>,
     /// Pods whose `/stats` could not be scraped.
     pub unreachable: usize,
+    /// Pods a stateful scraper has declared unhealthy: several
+    /// *consecutive* failed scrapes, not just a blip in this one.
+    pub unhealthy: usize,
 }
 
 impl FleetSnapshot {
-    /// Wraps scraped snapshots.
+    /// Wraps scraped snapshots (no health verdicts — a stateless scrape
+    /// cannot tell a blip from a dead pod).
     pub fn new(pods: Vec<StatsSnapshot>, unreachable: usize) -> FleetSnapshot {
-        FleetSnapshot { pods, unreachable }
+        FleetSnapshot {
+            pods,
+            unreachable,
+            unhealthy: 0,
+        }
+    }
+
+    /// Attaches a stateful scraper's unhealthy-pod count.
+    pub fn with_unhealthy(mut self, unhealthy: usize) -> FleetSnapshot {
+        self.unhealthy = unhealthy;
+        self
     }
 
     /// Sum of a counter over the fleet.
@@ -111,10 +125,12 @@ impl FleetSnapshot {
     pub fn render_json(&self) -> String {
         let mut out = String::with_capacity(2048);
         out.push_str(&format!(
-            "{{\n  \"pods\": {},\n  \"unreachable\": {},\n  \"requests\": {},\n  \
+            "{{\n  \"pods\": {},\n  \"unreachable\": {},\n  \"unhealthy\": {},\n  \
+             \"requests\": {},\n  \
              \"shed\": {},\n  \"degraded\": {},\n  \"faults\": {},\n",
             self.pods.len(),
             self.unreachable,
+            self.unhealthy,
             self.sum(|p| p.requests),
             self.sum(|p| p.shed),
             self.sum(|p| p.degraded),
@@ -189,6 +205,11 @@ impl FleetSnapshot {
              # TYPE etude_fleet_unreachable gauge\n",
         );
         out.push_str(&format!("etude_fleet_unreachable {}\n", self.unreachable));
+        out.push_str(
+            "# HELP etude_fleet_unhealthy Pods past the consecutive-failure threshold.\n\
+             # TYPE etude_fleet_unhealthy gauge\n",
+        );
+        out.push_str(&format!("etude_fleet_unhealthy {}\n", self.unhealthy));
         out.push_str(
             "# HELP etude_fleet_requests_total Requests served across the fleet.\n\
              # TYPE etude_fleet_requests_total counter\n",
@@ -285,6 +306,19 @@ pub fn parse_fleet_pods(body: &str) -> Option<Vec<(i64, u64, u64)>> {
         scan = &scan[close + 1..];
     }
     Some(rows)
+}
+
+/// Parses the health header of a `/fleet` JSON document:
+/// `(pods, unreachable, unhealthy)`.
+pub fn parse_fleet_health(body: &str) -> Option<(u64, u64, u64)> {
+    // These fields lead the document, before any nested object can
+    // shadow their names.
+    let head = &body[..body.find('[').unwrap_or(body.len())];
+    Some((
+        crate::stats::num_field(head, "pods")?,
+        crate::stats::num_field(head, "unreachable")?,
+        crate::stats::num_field(head, "unhealthy")?,
+    ))
 }
 
 /// Builds a fleet snapshot from raw `/stats` bodies; unparseable or
@@ -394,6 +428,18 @@ mod tests {
             .contains("etude_fleet_stage_latency_microseconds{stage=\"total\",quantile=\"0.99\"}"));
         assert!(text.contains("etude_pod_requests_total{pod=\"3\"} 1"));
         assert!(text.contains("etude_pod_queue_depth{pod=\"0\"} 0"));
+    }
+
+    #[test]
+    fn unhealthy_counts_render_and_parse() {
+        let fleet = FleetSnapshot::new(vec![pod_snapshot(0, &[10])], 2).with_unhealthy(1);
+        let json = fleet.render_json();
+        assert!(json.contains("\"unhealthy\": 1"));
+        assert_eq!(parse_fleet_health(&json), Some((1, 2, 1)));
+        let text = fleet.render_prometheus();
+        assert!(text.contains("etude_fleet_unhealthy 1"));
+        // The parsers that predate the field still work.
+        assert_eq!(parse_fleet_pods(&json).map(|r| r.len()), Some(1));
     }
 
     #[test]

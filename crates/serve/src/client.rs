@@ -7,6 +7,7 @@
 
 use crate::http::{self, Request, Response};
 use bytes::BytesMut;
+use etude_control::{BreakerConfig, BreakerState, CircuitBreaker, HedgePolicy, HedgeTrigger};
 use etude_faults::{Backoff, Deadline, RetryPolicy};
 use etude_obs::trace::span_hash;
 use etude_obs::{request_id_hash, ClientAttempt, ClientSpan, TraceCtx, TRACE_HEADER};
@@ -168,38 +169,120 @@ pub struct ResilientResponse {
     pub degraded: bool,
 }
 
+/// One upstream of a [`ResilientClient`]: its address, an optional
+/// persistent connection, and an optional circuit breaker guarding it.
+struct Backend {
+    addr: SocketAddr,
+    conn: Option<HttpClient>,
+    breaker: Option<CircuitBreaker>,
+}
+
+/// What one attempt told us about a backend, fed to its breaker.
+enum Obs {
+    Success,
+    Failure(Option<Duration>),
+}
+
+/// Result of one hedge leg, sent back over the race channel. A leg that
+/// ends with a parseable response returns its connection for reuse.
+struct LegDone {
+    leg: usize,
+    start_nanos: u64,
+    duration_nanos: u64,
+    result: Result<Response, ClientError>,
+    conn: Option<HttpClient>,
+}
+
+/// Runs one hedge leg to completion on its own thread.
+fn run_leg(
+    leg: usize,
+    mut conn: HttpClient,
+    req: Request,
+    epoch: Instant,
+    tx: crossbeam::channel::Sender<LegDone>,
+) {
+    let start_nanos = nanos_since(epoch);
+    let result = conn.request(&req);
+    let duration_nanos = nanos_since(epoch).saturating_sub(start_nanos);
+    let conn = result.is_ok().then_some(conn);
+    let _ = tx.send(LegDone {
+        leg,
+        start_nanos,
+        duration_nanos,
+        result,
+        conn,
+    });
+}
+
 /// A retrying HTTP client: [`HttpClient`] plus a per-request deadline
 /// budget, bounded exponential backoff with seeded jitter, and
 /// `Retry-After` honoring.
 ///
 /// Retryable outcomes are transport errors (the connection is reopened),
 /// timeouts, truncated/unparseable responses (mid-response resets) and
-/// 5xx statuses; 2xx/4xx end the loop immediately. Backoff jitter is
-/// drawn from a per-request RNG seeded by `client seed ^ request-id
-/// hash`, so a rerun with the same seed and ids retries on a
+/// 5xx statuses; 2xx/4xx end the loop immediately. A refused connection
+/// — the signature of a pod restart window, when nothing is listening on
+/// the port yet — is retried on a short pace bounded only by the request
+/// deadline, not the retry budget, so a client riding out a rolling
+/// restart reconnects the moment the replacement pod binds. Backoff
+/// jitter is drawn from a per-request RNG seeded by `client seed ^
+/// request-id hash`, so a rerun with the same seed and ids retries on a
 /// bit-identical schedule.
+///
+/// A client may hold several backends ([`Self::new_multi`]). Failed
+/// attempts rotate to the next one, [`Self::with_breakers`] puts a
+/// circuit breaker in front of each (an open breaker takes its backend
+/// out of rotation until the open interval lapses), and
+/// [`Self::with_hedging`] arms tail-latency hedging: when the primary
+/// attempt is silent past the observed latency quantile, one backup
+/// attempt races it on the next backend and the first response wins.
 pub struct ResilientClient {
-    addr: SocketAddr,
-    conn: Option<HttpClient>,
+    backends: Vec<Backend>,
+    current: usize,
     policy: RetryPolicy,
     attempt_timeout: Duration,
     seed: u64,
     total_retries: u64,
     reconnects: u64,
+    /// Epoch for breaker clocks: breakers reason in `Duration` since
+    /// client creation, never in wall-clock instants.
+    started: Instant,
+    hedge: Option<HedgeTrigger>,
 }
+
+/// Floor on the reconnect pace while a backend's port is refusing
+/// connections (a restart window): fast enough to catch the replacement
+/// pod promptly, slow enough not to SYN-flood the host.
+const REFUSED_PACE: Duration = Duration::from_millis(10);
 
 impl ResilientClient {
     /// Creates a client for `addr`. Nothing is connected until the first
     /// request (and reconnection after failures is automatic).
     pub fn new(addr: SocketAddr, policy: RetryPolicy, seed: u64) -> ResilientClient {
+        Self::new_multi(vec![addr], policy, seed)
+    }
+
+    /// Creates a client over several equivalent backends. Attempts start
+    /// at the most recently healthy backend and rotate on failure.
+    pub fn new_multi(addrs: Vec<SocketAddr>, policy: RetryPolicy, seed: u64) -> ResilientClient {
+        assert!(!addrs.is_empty(), "a client needs at least one backend");
         ResilientClient {
-            addr,
-            conn: None,
+            backends: addrs
+                .into_iter()
+                .map(|addr| Backend {
+                    addr,
+                    conn: None,
+                    breaker: None,
+                })
+                .collect(),
+            current: 0,
             policy,
             attempt_timeout: Duration::from_secs(5),
             seed,
             total_retries: 0,
             reconnects: 0,
+            started: Instant::now(),
+            hedge: None,
         }
     }
 
@@ -210,15 +293,96 @@ impl ResilientClient {
         self
     }
 
+    /// Puts a circuit breaker in front of every backend. While a breaker
+    /// is open its backend is skipped in rotation; when every breaker is
+    /// open the client fails open and dials anyway (a guess beats a
+    /// guaranteed error).
+    pub fn with_breakers(mut self, config: BreakerConfig) -> Self {
+        for b in &mut self.backends {
+            b.breaker = Some(CircuitBreaker::new(config));
+        }
+        self
+    }
+
+    /// Arms tail-latency hedging. Only effective with two or more
+    /// backends — a hedge against the same sick backend buys nothing.
+    pub fn with_hedging(mut self, policy: HedgePolicy) -> Self {
+        self.hedge = Some(HedgeTrigger::new(policy));
+        self
+    }
+
     /// Retries spent across every request on this client.
     pub fn total_retries(&self) -> u64 {
         self.total_retries
     }
 
     /// Connections opened: the initial connect plus every reopen after a
-    /// transport failure.
+    /// transport failure (hedge legs count one each).
     pub fn reconnects(&self) -> u64 {
         self.reconnects
+    }
+
+    /// Number of configured backends.
+    pub fn backend_count(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// The breaker state of backend `idx`, when breakers are configured.
+    pub fn breaker_state(&self, idx: usize) -> Option<BreakerState> {
+        self.backends[idx].breaker.as_ref().map(|b| b.state())
+    }
+
+    /// (hedges launched, hedges won by the backup), when hedging is
+    /// armed.
+    pub fn hedge_stats(&self) -> Option<(u64, u64)> {
+        self.hedge.as_ref().map(|h| h.hedge_stats())
+    }
+
+    /// Feeds one attempt outcome to backend `idx`'s breaker, if any.
+    fn observe(&mut self, idx: usize, obs: Obs) {
+        let now = self.started.elapsed();
+        if let Some(b) = self.backends[idx].breaker.as_mut() {
+            match obs {
+                Obs::Success => b.record_success(),
+                Obs::Failure(after) => b.record_failure(now, after),
+            }
+        }
+    }
+
+    /// Picks the backend for the next attempt: the first from `current`
+    /// whose breaker admits traffic. When every breaker is open the
+    /// client fails open on `current`.
+    fn pick(&mut self, now: Duration) -> usize {
+        let n = self.backends.len();
+        for off in 0..n {
+            let idx = (self.current + off) % n;
+            let admitted = match self.backends[idx].breaker.as_mut() {
+                None => true,
+                Some(b) => b.allow(now),
+            };
+            if admitted {
+                self.current = idx;
+                return idx;
+            }
+        }
+        self.current % n
+    }
+
+    /// The hedge backup for `primary`: the next distinct backend whose
+    /// breaker admits traffic (or simply the next one, failing open).
+    fn next_allowed(&mut self, primary: usize, now: Duration) -> usize {
+        let n = self.backends.len();
+        for off in 1..n {
+            let idx = (primary + off) % n;
+            let admitted = match self.backends[idx].breaker.as_mut() {
+                None => true,
+                Some(b) => b.allow(now),
+            };
+            if admitted {
+                return idx;
+            }
+        }
+        (primary + 1) % n
     }
 
     /// Sends `req`, retrying under `budget`. The request must carry an
@@ -282,40 +446,77 @@ impl ResilientClient {
         let mut retries = 0u32;
         let mut attempt_index = 0u64;
         let result = loop {
-            let outcome = match epoch {
-                Some(e) => {
-                    // Each attempt is its own span: the pod's stage
-                    // records parent to it, so retries reassemble as
-                    // sibling subtrees rather than one merged blob.
-                    let attempt_span = span_hash(trace_id, root.span_id, attempt_index);
-                    let ctx = TraceCtx {
-                        trace_id,
-                        span_id: attempt_span,
-                        hop: 1,
-                    };
-                    let mut traced = req.clone();
-                    traced.headers.insert(TRACE_HEADER.into(), ctx.encode());
-                    let start = nanos_since(e);
-                    let out = self.attempt(&traced, &deadline);
-                    let status = match &out {
-                        Ok(resp) => Some(resp.status),
-                        Err(_) => None,
-                    };
-                    if let Some(s) = span.as_mut() {
-                        s.attempts.push(ClientAttempt {
-                            span_id: attempt_span,
-                            start_nanos: start,
-                            duration_nanos: nanos_since(e).saturating_sub(start),
-                            status,
-                        });
-                    }
-                    out
-                }
-                None => self.attempt(req, &deadline),
+            let now = self.started.elapsed();
+            let primary = self.pick(now);
+            let hedge_delay = if self.backends.len() >= 2 {
+                self.hedge.as_ref().and_then(|h| h.delay())
+            } else {
+                None
             };
-            attempt_index += 1;
+            let (outcome, winner) = match hedge_delay {
+                Some(delay) => {
+                    let backup = self.next_allowed(primary, now);
+                    self.hedged_attempt(
+                        req,
+                        &deadline,
+                        primary,
+                        backup,
+                        delay,
+                        epoch,
+                        trace_id,
+                        root.span_id,
+                        &mut attempt_index,
+                        span.as_mut(),
+                    )
+                }
+                None => {
+                    let sent = Instant::now();
+                    let out = match epoch {
+                        Some(e) => {
+                            // Each attempt is its own span: the pod's stage
+                            // records parent to it, so retries reassemble as
+                            // sibling subtrees rather than one merged blob.
+                            let attempt_span = span_hash(trace_id, root.span_id, attempt_index);
+                            let ctx = TraceCtx {
+                                trace_id,
+                                span_id: attempt_span,
+                                hop: 1,
+                            };
+                            let mut traced = req.clone();
+                            traced.headers.insert(TRACE_HEADER.into(), ctx.encode());
+                            let start = nanos_since(e);
+                            let out = self.attempt_on(primary, &traced, &deadline);
+                            let status = match &out {
+                                Ok(resp) => Some(resp.status),
+                                Err(_) => None,
+                            };
+                            if let Some(s) = span.as_mut() {
+                                s.attempts.push(ClientAttempt {
+                                    span_id: attempt_span,
+                                    start_nanos: start,
+                                    duration_nanos: nanos_since(e).saturating_sub(start),
+                                    status,
+                                });
+                            }
+                            out
+                        }
+                        None => self.attempt_on(primary, req, &deadline),
+                    };
+                    attempt_index += 1;
+                    if out.is_ok() {
+                        if let Some(h) = self.hedge.as_mut() {
+                            h.record(sent.elapsed());
+                        }
+                    }
+                    (out, primary)
+                }
+            };
             let (retry_after, last_err) = match outcome {
                 Ok(resp) if resp.status < 500 => {
+                    self.observe(winner, Obs::Success);
+                    // Stick with whoever answered: if a hedge backup won,
+                    // it becomes the preferred backend.
+                    self.current = winner;
                     let degraded = resp
                         .headers
                         .contains_key(crate::rustserver::DEGRADED_HEADER);
@@ -331,12 +532,31 @@ impl ResilientClient {
                         .headers
                         .get("retry-after")
                         .and_then(|v| parse_retry_after(v));
+                    self.observe(winner, Obs::Failure(after));
+                    self.current = (winner + 1) % self.backends.len();
                     (after, Err(resp))
                 }
                 Err(e) => {
                     // Transport failure: the connection state is unknown
                     // (a response could still be in flight), start fresh.
-                    self.conn = None;
+                    self.backends[winner].conn = None;
+                    self.observe(winner, Obs::Failure(None));
+                    self.current = (winner + 1) % self.backends.len();
+                    let refused = matches!(
+                        &e,
+                        ClientError::Io(io) if io.kind() == ErrorKind::ConnectionRefused
+                    );
+                    if refused && !deadline.expired() {
+                        // Restart window: nothing is listening on the port
+                        // yet. Pace by the deadline, not the retry budget —
+                        // refused connects return instantly, so a rolling
+                        // restart would burn `max_retries` in microseconds
+                        // and surface as a terminal error mid-restart.
+                        std::thread::sleep(deadline.clamp(self.policy.base.max(REFUSED_PACE)));
+                        retries += 1;
+                        self.total_retries += 1;
+                        continue;
+                    }
                     (None, Ok(e))
                 }
             };
@@ -365,20 +585,237 @@ impl ResilientClient {
         (result, span)
     }
 
-    /// One attempt: (re)connect if needed and send, with the read
-    /// timeout clamped to the remaining budget.
-    fn attempt(&mut self, req: &Request, deadline: &Deadline) -> Result<Response, ClientError> {
+    /// One attempt against backend `idx`: (re)connect if needed and
+    /// send, with the read timeout clamped to the remaining budget.
+    fn attempt_on(
+        &mut self,
+        idx: usize,
+        req: &Request,
+        deadline: &Deadline,
+    ) -> Result<Response, ClientError> {
         let timeout = deadline.clamp(self.attempt_timeout);
         if timeout.is_zero() {
             return Err(ClientError::Timeout);
         }
-        if self.conn.is_none() {
+        if self.backends[idx].conn.is_none() {
             self.reconnects += 1;
-            self.conn = Some(HttpClient::connect_with_timeout(self.addr, timeout)?);
+            self.backends[idx].conn = Some(HttpClient::connect_with_timeout(
+                self.backends[idx].addr,
+                timeout,
+            )?);
         }
-        let conn = self.conn.as_mut().expect("connected above");
+        let conn = self.backends[idx].conn.as_mut().expect("connected above");
         conn.set_timeout(timeout)?;
         conn.request(req)
+    }
+
+    /// Takes backend `idx`'s connection (dialling if needed) with its
+    /// read timeout set, for a hedge leg thread to own.
+    fn lease(&mut self, idx: usize, timeout: Duration) -> Result<HttpClient, ClientError> {
+        if self.backends[idx].conn.is_none() {
+            self.reconnects += 1;
+            self.backends[idx].conn = Some(HttpClient::connect_with_timeout(
+                self.backends[idx].addr,
+                timeout,
+            )?);
+        }
+        let mut conn = self.backends[idx].conn.take().expect("ensured above");
+        conn.set_timeout(timeout)?;
+        Ok(conn)
+    }
+
+    /// One hedged attempt: the primary leg races a backup leg launched
+    /// on `backup` after `delay` of silence; the first parseable
+    /// response wins and the loser's socket is shut down. Returns the
+    /// winning outcome and the backend it came from. Losing-leg breaker
+    /// outcomes are recorded here; the winner's is left to the caller
+    /// (which also parses `Retry-After` and handles rotation).
+    #[allow(clippy::too_many_arguments)]
+    fn hedged_attempt(
+        &mut self,
+        req: &Request,
+        deadline: &Deadline,
+        primary: usize,
+        backup: usize,
+        delay: Duration,
+        epoch: Option<Instant>,
+        trace_id: u64,
+        root_span: u64,
+        attempt_index: &mut u64,
+        mut span: Option<&mut ClientSpan>,
+    ) -> (Result<Response, ClientError>, usize) {
+        let timeout = deadline.clamp(self.attempt_timeout);
+        if timeout.is_zero() {
+            return (Err(ClientError::Timeout), primary);
+        }
+        let timing = epoch.unwrap_or(self.started);
+        let leg_req = |index: u64| -> (Request, u64) {
+            if epoch.is_some() {
+                let sid = span_hash(trace_id, root_span, index);
+                let mut r = req.clone();
+                r.headers.insert(
+                    TRACE_HEADER.into(),
+                    TraceCtx {
+                        trace_id,
+                        span_id: sid,
+                        hop: 1,
+                    }
+                    .encode(),
+                );
+                (r, sid)
+            } else {
+                (req.clone(), 0)
+            }
+        };
+        let (preq, pspan) = leg_req(*attempt_index);
+        let (breq, bspan) = leg_req(*attempt_index + 1);
+        *attempt_index += 1;
+
+        // The primary leg's connection is prepared on this thread (so
+        // connect failures keep their refused/reset semantics for the
+        // caller) and moved into the leg thread.
+        let pconn = match self.lease(primary, timeout) {
+            Ok(c) => c,
+            Err(e) => {
+                if let Some(s) = span.as_deref_mut() {
+                    s.attempts.push(ClientAttempt {
+                        span_id: pspan,
+                        start_nanos: nanos_since(timing),
+                        duration_nanos: 0,
+                        status: None,
+                    });
+                }
+                return (Err(e), primary);
+            }
+        };
+        let pcancel = pconn.stream.try_clone().ok();
+        let plaunch = nanos_since(timing);
+        let (tx, rx) = crossbeam::channel::bounded::<LegDone>(2);
+        {
+            let tx = tx.clone();
+            std::thread::spawn(move || run_leg(0, pconn, preq, timing, tx));
+        }
+
+        let mut launched = 1usize;
+        let mut bcancel = None;
+        let mut blaunch = 0u64;
+        let mut reports: Vec<LegDone> = Vec::new();
+        match rx.recv_timeout(deadline.clamp(delay)) {
+            Ok(done) => reports.push(done),
+            Err(_) => {
+                // The primary is past the hedge threshold: race a backup
+                // attempt against the next backend.
+                match self.lease(backup, deadline.clamp(self.attempt_timeout)) {
+                    Ok(bconn) => {
+                        bcancel = bconn.stream.try_clone().ok();
+                        blaunch = nanos_since(timing);
+                        let tx = tx.clone();
+                        std::thread::spawn(move || run_leg(1, bconn, breq, timing, tx));
+                        *attempt_index += 1;
+                        launched = 2;
+                    }
+                    Err(_) => self.observe(backup, Obs::Failure(None)),
+                }
+            }
+        }
+        // First parseable response wins; a leg that failed waits for the
+        // other. Legs carry their own read timeouts, so the grace here
+        // only covers scheduling slack.
+        while !reports.iter().any(|r| r.result.is_ok()) && reports.len() < launched {
+            match rx.recv_timeout(timeout + Duration::from_millis(250)) {
+                Ok(done) => reports.push(done),
+                Err(_) => break,
+            }
+        }
+
+        // Cancel whichever leg has not reported: shutting its socket
+        // down unblocks the leg thread immediately.
+        for (leg, cancel) in [(0usize, &pcancel), (1, &bcancel)] {
+            if leg < launched && !reports.iter().any(|r| r.leg == leg) {
+                if let Some(stream) = cancel {
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                }
+            }
+        }
+
+        // Attempts appear in the trace in launch order; a cancelled leg
+        // is an unanswered sibling attempt.
+        if let Some(s) = span {
+            let now_nanos = nanos_since(timing);
+            for leg in 0..launched {
+                let (sid, start) = if leg == 0 {
+                    (pspan, plaunch)
+                } else {
+                    (bspan, blaunch)
+                };
+                match reports.iter().find(|r| r.leg == leg) {
+                    Some(r) => s.attempts.push(ClientAttempt {
+                        span_id: sid,
+                        start_nanos: r.start_nanos,
+                        duration_nanos: r.duration_nanos,
+                        status: match &r.result {
+                            Ok(resp) => Some(resp.status),
+                            Err(_) => None,
+                        },
+                    }),
+                    None => s.attempts.push(ClientAttempt {
+                        span_id: sid,
+                        start_nanos: start,
+                        duration_nanos: now_nanos.saturating_sub(start),
+                        status: None,
+                    }),
+                }
+            }
+        }
+
+        if reports.is_empty() {
+            if launched == 2 {
+                if let Some(h) = self.hedge.as_mut() {
+                    h.note_hedge(false);
+                }
+            }
+            return (Err(ClientError::Timeout), primary);
+        }
+
+        let backend_of = |leg: usize| if leg == 0 { primary } else { backup };
+        let win = reports.iter().position(|r| r.result.is_ok()).unwrap_or(0);
+        let winner_leg = reports[win].leg;
+        let mut winner_result = None;
+        let mut winner_duration = Duration::ZERO;
+        for r in reports {
+            let idx = backend_of(r.leg);
+            // A connection that survived its leg goes back for reuse.
+            if let Some(conn) = r.conn {
+                self.backends[idx].conn = Some(conn);
+            }
+            if r.leg == winner_leg {
+                winner_duration = Duration::from_nanos(r.duration_nanos);
+                winner_result = Some(r.result);
+            } else {
+                // The losing-but-reported leg still teaches its breaker.
+                match &r.result {
+                    Ok(resp) if resp.status < 500 => self.observe(idx, Obs::Success),
+                    Ok(resp) => {
+                        let after = resp
+                            .headers
+                            .get("retry-after")
+                            .and_then(|v| parse_retry_after(v));
+                        self.observe(idx, Obs::Failure(after));
+                    }
+                    Err(_) => self.observe(idx, Obs::Failure(None)),
+                }
+            }
+        }
+        let result = winner_result.expect("winner taken from reports");
+        if let Some(h) = self.hedge.as_mut() {
+            if result.is_ok() {
+                h.record(winner_duration);
+            }
+            if launched == 2 {
+                h.note_hedge(winner_leg == 1);
+            }
+        }
+        (result, backend_of(winner_leg))
     }
 }
 
@@ -755,5 +1192,179 @@ mod tests {
         let resp = client.request(&Request::get("/fast")).unwrap();
         assert_eq!(resp.status, 200);
         server.shutdown();
+    }
+
+    /// An address that is currently refusing connections (bound, then
+    /// released).
+    fn vacant_addr() -> std::net::SocketAddr {
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        listener.local_addr().unwrap()
+    }
+
+    #[test]
+    fn connection_refused_during_a_restart_window_is_ridden_out() {
+        use crate::rustserver::start_on;
+
+        // A pod restart window: nothing listens on the port for ~300 ms,
+        // then the replacement binds. The old client burned its whole
+        // `max_retries` budget in microseconds of instant refusals and
+        // surfaced a terminal error; the refused fast-path paces on the
+        // deadline instead.
+        let addr = vacant_addr();
+        let replacement = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(300));
+            start_on(addr, ServerConfig::default(), slow_handler(Duration::ZERO)).unwrap()
+        });
+        let policy = RetryPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(4),
+            max_retries: 2, // far fewer retries than the window would need
+            jitter: 0.0,
+        };
+        let mut client = ResilientClient::new(addr, policy, 21);
+        let started = std::time::Instant::now();
+        let out = client
+            .request_within(&Request::get("/fast"), Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(out.response.status, 200);
+        assert!(
+            started.elapsed() >= Duration::from_millis(250),
+            "the client waited out the restart window"
+        );
+        assert!(
+            out.retries > 2,
+            "refused reconnects are paced by the deadline, not max_retries (2): {}",
+            out.retries
+        );
+        replacement.join().unwrap().shutdown();
+    }
+
+    #[test]
+    fn refused_connections_still_fail_once_the_deadline_expires() {
+        // Nothing ever binds: the fast-path must terminate at the
+        // deadline with a transport error, not spin forever.
+        let addr = vacant_addr();
+        let policy = RetryPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(4),
+            max_retries: 2,
+            jitter: 0.0,
+        };
+        let mut client = ResilientClient::new(addr, policy, 22);
+        let started = std::time::Instant::now();
+        let out = client.request_within(&Request::get("/gone"), Duration::from_millis(300));
+        assert!(out.is_err(), "no server ever came back");
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "bounded by the deadline"
+        );
+    }
+
+    #[test]
+    fn open_breaker_diverts_traffic_to_a_healthy_backend() {
+        use etude_control::BreakerState;
+
+        let sick: Handler = Arc::new(|_| crate::http::Response::error(500, "sick"));
+        let healthy: Handler = Arc::new(|_| crate::http::Response::ok("fine"));
+        let bad = start(ServerConfig::default(), sick).unwrap();
+        let good = start(ServerConfig::default(), healthy).unwrap();
+        let policy = RetryPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(4),
+            max_retries: 6,
+            jitter: 0.0,
+        };
+        let mut client = ResilientClient::new_multi(vec![bad.addr(), good.addr()], policy, 9)
+            .with_breakers(BreakerConfig {
+                failure_threshold: 1,
+                open_for: Duration::from_secs(60),
+                half_open_successes: 1,
+            });
+        // The first request eats one 500 from the sick backend — tripping
+        // its breaker — then fails over to the healthy one.
+        let out = client
+            .request_within(&Request::get("/a"), Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(out.response.status, 200);
+        assert_eq!(out.retries, 1, "one 500 before the failover");
+        assert_eq!(client.breaker_state(0), Some(BreakerState::Open));
+        assert_eq!(client.breaker_state(1), Some(BreakerState::Closed));
+        // While the breaker is open, requests go straight to the healthy
+        // backend without ever dialling the sick one.
+        for _ in 0..3 {
+            let out = client
+                .request_within(&Request::get("/b"), Duration::from_secs(5))
+                .unwrap();
+            assert_eq!(out.response.status, 200);
+            assert_eq!(out.retries, 0, "open breaker skipped without an attempt");
+        }
+        assert_eq!(client.breaker_state(0), Some(BreakerState::Open));
+        bad.shutdown();
+        good.shutdown();
+    }
+
+    #[test]
+    fn hedged_requests_race_a_slow_backend() {
+        let fast: Handler = Arc::new(|_| crate::http::Response::ok("quick"));
+        let slow = start(
+            ServerConfig::default(),
+            slow_handler(Duration::from_millis(400)),
+        )
+        .unwrap();
+        let good = start(ServerConfig::default(), fast).unwrap();
+        let mut client =
+            ResilientClient::new_multi(vec![slow.addr(), good.addr()], RetryPolicy::none(), 17)
+                .with_hedging(HedgePolicy::fixed(Duration::from_millis(50)));
+        let epoch = Instant::now();
+        let mut req = Request::get("/slow");
+        req.headers.insert("x-request-id".into(), "hedge-1".into());
+        let started = std::time::Instant::now();
+        let (out, span) = client.request_traced(&req, Duration::from_secs(5), epoch);
+        let out = out.unwrap();
+        assert_eq!(out.response.status, 200);
+        assert!(
+            started.elapsed() < Duration::from_millis(350),
+            "the backup answered long before the slow primary: {:?}",
+            started.elapsed()
+        );
+        assert_eq!(
+            client.hedge_stats(),
+            Some((1, 1)),
+            "one hedge, won by backup"
+        );
+        // Both legs appear as sibling attempts: the cancelled primary
+        // (no status) and the winning backup.
+        assert_eq!(span.attempts.len(), 2);
+        let root = TraceCtx::root(span.trace_id);
+        assert_eq!(
+            span.attempts[0].span_id,
+            span_hash(span.trace_id, root.span_id, 0)
+        );
+        assert_eq!(
+            span.attempts[1].span_id,
+            span_hash(span.trace_id, root.span_id, 1)
+        );
+        assert_eq!(span.attempts[0].status, None, "primary cancelled");
+        assert_eq!(span.attempts[1].status, Some(200), "backup won");
+        assert!(span.ok);
+        slow.shutdown();
+        good.shutdown();
+    }
+
+    #[test]
+    fn hedging_is_dormant_while_the_primary_is_fast() {
+        let fast: Handler = Arc::new(|_| crate::http::Response::ok("quick"));
+        let a = start(ServerConfig::default(), Arc::clone(&fast)).unwrap();
+        let b = start(ServerConfig::default(), fast).unwrap();
+        let mut client =
+            ResilientClient::new_multi(vec![a.addr(), b.addr()], RetryPolicy::none(), 19)
+                .with_hedging(HedgePolicy::fixed(Duration::from_millis(500)));
+        for _ in 0..5 {
+            let out = client
+                .request_within(&Request::get("/fast"), Duration::from_secs(2))
+                .unwrap();
+            assert_eq!(out.response.status, 200);
+        }
+        assert_eq!(client.hedge_stats(), Some((0, 0)), "no hedge ever launched");
     }
 }

@@ -55,19 +55,87 @@ pub fn scrape_fleet(peers: &[SocketAddr]) -> FleetSnapshot {
     fleet_from_bodies(bodies.iter().map(|b| b.as_deref()))
 }
 
+/// Failed scrapes in a row before a pod is declared unhealthy.
+pub const DEFAULT_UNHEALTHY_AFTER: u32 = 3;
+
+/// A stateful fleet scraper: the point-in-time merge of [`scrape_fleet`]
+/// plus a per-peer consecutive-failure count. One failed scrape is a
+/// blip (`unreachable` in that snapshot); [`Self::unhealthy_after`]
+/// failed scrapes *in a row* mark the pod `unhealthy` in every snapshot
+/// until its next good scrape, which recovers it immediately. The
+/// distinction is what an autoscaler or alert wants: page on dead pods,
+/// not on one dropped scrape.
+pub struct FleetScraper {
+    peers: Vec<SocketAddr>,
+    unhealthy_after: u32,
+    strikes: parking_lot::Mutex<Vec<u32>>,
+}
+
+impl FleetScraper {
+    /// A scraper over a fixed peer set with the default threshold.
+    pub fn new(peers: Vec<SocketAddr>) -> FleetScraper {
+        let strikes = parking_lot::Mutex::new(vec![0; peers.len()]);
+        FleetScraper {
+            peers,
+            unhealthy_after: DEFAULT_UNHEALTHY_AFTER,
+            strikes,
+        }
+    }
+
+    /// Overrides the consecutive-failure threshold (minimum 1).
+    pub fn with_unhealthy_after(mut self, n: u32) -> FleetScraper {
+        self.unhealthy_after = n.max(1);
+        self
+    }
+
+    /// The configured consecutive-failure threshold.
+    pub fn unhealthy_after(&self) -> u32 {
+        self.unhealthy_after
+    }
+
+    /// Scrapes every peer, updates the strike counts, and returns the
+    /// snapshot with its unhealthy-pod count attached.
+    pub fn scrape(&self) -> FleetSnapshot {
+        let bodies: Vec<Option<String>> = self.peers.iter().map(|&a| scrape_one(a)).collect();
+        let mut strikes = self.strikes.lock();
+        for (count, body) in strikes.iter_mut().zip(&bodies) {
+            match body {
+                Some(_) => *count = 0,
+                None => *count = count.saturating_add(1),
+            }
+        }
+        let unhealthy = strikes
+            .iter()
+            .filter(|&&c| c >= self.unhealthy_after)
+            .count();
+        drop(strikes);
+        fleet_from_bodies(bodies.iter().map(|b| b.as_deref())).with_unhealthy(unhealthy)
+    }
+
+    /// Pods currently past the unhealthy threshold (as of the last
+    /// scrape).
+    pub fn unhealthy_pods(&self) -> usize {
+        self.strikes
+            .lock()
+            .iter()
+            .filter(|&&c| c >= self.unhealthy_after)
+            .count()
+    }
+}
+
 /// Builds the aggregator route table over a fixed peer set (pod
 /// addresses are deployment-time configuration, exactly like a
-/// Prometheus static scrape config).
+/// Prometheus static scrape config). Both fleet routes share one
+/// [`FleetScraper`], so unhealthy verdicts accumulate across requests.
 pub fn fleet_routes(peers: Vec<SocketAddr>) -> Handler {
+    let scraper = Arc::new(FleetScraper::new(peers));
     Arc::new(move |req: &Request| -> Response {
         match (req.method, req.path.as_str()) {
             (Method::Get, "/ping") => Response::ok("pong"),
-            (Method::Get, "/fleet") => Response::ok(scrape_fleet(&peers).render_json())
+            (Method::Get, "/fleet") => Response::ok(scraper.scrape().render_json())
                 .with_header("content-type", "application/json".to_string()),
-            (Method::Get, "/fleet/metrics") => {
-                Response::ok(scrape_fleet(&peers).render_prometheus())
-                    .with_header("content-type", "text/plain; version=0.0.4".to_string())
-            }
+            (Method::Get, "/fleet/metrics") => Response::ok(scraper.scrape().render_prometheus())
+                .with_header("content-type", "text/plain; version=0.0.4".to_string()),
             _ => Response::error(404, "no such route"),
         }
     })

@@ -35,7 +35,7 @@ pub mod service;
 pub mod simserver;
 
 pub use client::{ClientError, HttpClient, ResilientClient, ResilientResponse};
-pub use fleet::{fleet_routes, scrape_fleet};
+pub use fleet::{fleet_routes, scrape_fleet, FleetScraper};
 pub use rustserver::{inject_faults, DegradationPolicy, DEGRADED_HEADER, RESET_MARKER};
 pub use service::{ServiceProfile, TorchServeProfile};
 pub use simserver::{RespondFn, ServeError, SimService};

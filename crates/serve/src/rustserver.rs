@@ -117,12 +117,31 @@ impl Drop for ServerHandle {
 
 /// Starts a server with the given route handler on an OS-assigned port.
 pub fn start(config: ServerConfig, handler: Handler) -> std::io::Result<ServerHandle> {
+    start_bound(TcpListener::bind(("127.0.0.1", 0))?, config, handler)
+}
+
+/// Starts a server on an explicit address. Used by restart scenarios
+/// (and their tests): a replacement server can come back on the same
+/// port its predecessor vacated, so clients holding that address
+/// reconnect instead of being re-pointed.
+pub fn start_on(
+    addr: std::net::SocketAddr,
+    config: ServerConfig,
+    handler: Handler,
+) -> std::io::Result<ServerHandle> {
+    start_bound(TcpListener::bind(addr)?, config, handler)
+}
+
+fn start_bound(
+    listener: TcpListener,
+    config: ServerConfig,
+    handler: Handler,
+) -> std::io::Result<ServerHandle> {
     // Build the process-wide intra-op kernel pool before the first
     // request arrives: handler threads share this one pool (instead of
     // each racing to create it under load), so the first prediction
     // does not pay the thread-spawn cost.
     etude_tensor::pool::global();
-    let listener = TcpListener::bind(("127.0.0.1", 0))?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let requests_served = Arc::new(AtomicU64::new(0));

@@ -42,6 +42,12 @@ pub type RespondFn = Box<dyn FnOnce(&mut Sim, Result<SimResponse, ServeError>)>;
 pub trait SimService {
     /// Submits a request; the service must eventually invoke `respond`.
     fn submit(self: Rc<Self>, sim: &mut Sim, respond: RespondFn);
+
+    /// Requests accepted but not yet answered — the signal autoscalers
+    /// watch. Services without a queue report zero.
+    fn queue_depth(&self) -> usize {
+        0
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -214,6 +220,11 @@ impl SimService for SimRustServer {
             .push_back(PendingRequest { respond });
         self.try_dispatch(sim);
     }
+
+    fn queue_depth(&self) -> usize {
+        let s = self.state.borrow();
+        s.queue.len() + s.busy_workers
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -360,6 +371,11 @@ impl SimService for SimTorchServe {
             });
         }
         self.pump_frontend(sim);
+    }
+
+    fn queue_depth(&self) -> usize {
+        let s = self.state.borrow();
+        s.frontend_queue.len() + s.worker_queue.len() + s.busy_workers
     }
 }
 

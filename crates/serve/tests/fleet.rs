@@ -128,6 +128,58 @@ fn fleet_endpoint_merges_pods_bit_identically() {
 }
 
 #[test]
+fn consecutive_scrape_failures_mark_a_pod_unhealthy_until_it_recovers() {
+    use etude_obs::parse_fleet_health;
+    use etude_serve::rustserver::start_on;
+    use etude_serve::FleetScraper;
+
+    let live = pod(7, 3);
+    let flaky = dead_addr();
+    let scraper = FleetScraper::new(vec![live.addr(), flaky]).with_unhealthy_after(2);
+
+    // One failed scrape is a blip: unreachable, but not yet unhealthy.
+    let snap = scraper.scrape();
+    assert_eq!(
+        (snap.pods.len(), snap.unreachable, snap.unhealthy),
+        (1, 1, 0)
+    );
+
+    // The second consecutive failure crosses the threshold.
+    let snap = scraper.scrape();
+    assert_eq!(snap.unhealthy, 1, "two strikes = unhealthy");
+    assert!(parse_fleet_health(&snap.render_json()).unwrap().2 == 1);
+    assert!(snap.render_prometheus().contains("etude_fleet_unhealthy 1"));
+    assert_eq!(scraper.unhealthy_pods(), 1);
+
+    // The pod comes back on its old address: one good scrape recovers it.
+    let replacement = start_on(
+        flaky,
+        ServerConfig::default(),
+        Arc::new(|req: &Request| {
+            if req.path == "/stats" {
+                etude_serve::http::Response::ok(StatsSnapshot::default().render_json())
+            } else {
+                etude_serve::http::Response::ok("pong")
+            }
+        }),
+    )
+    .unwrap();
+    let snap = scraper.scrape();
+    assert_eq!(
+        (snap.pods.len(), snap.unreachable, snap.unhealthy),
+        (2, 0, 0)
+    );
+    assert_eq!(scraper.unhealthy_pods(), 0);
+
+    // And a fresh failure starts the strike count from zero again.
+    replacement.shutdown();
+    let snap = scraper.scrape();
+    assert_eq!(snap.unhealthy, 0, "first failure after recovery is a blip");
+
+    live.shutdown();
+}
+
+#[test]
 fn fleet_endpoint_survives_a_fully_dead_fleet() {
     let agg = start(
         ServerConfig::default(),

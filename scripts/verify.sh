@@ -4,15 +4,19 @@
 # Pass --chaos to add the seeded fault-injection smoke stage.
 # Pass --fleet to add the fleet observability smoke stage (tracing,
 # fleet aggregation, SLO timeline).
+# Pass --selfheal to add the control-plane smoke stage (autoscaler
+# timeline, rolling-restart chaos acceptance, breaker/ejection props).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CHAOS=0
 FLEET=0
+SELFHEAL=0
 for arg in "$@"; do
     case "$arg" in
         --chaos) CHAOS=1 ;;
         --fleet) FLEET=1 ;;
+        --selfheal) SELFHEAL=1 ;;
         *) echo "unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -42,6 +46,17 @@ if [ "$FLEET" = "1" ]; then
     cargo test -q -p etude-loadgen --test tracing
     echo "==> checking results/trace_chaos.json is a trace_event file"
     grep -q '"traceEvents"' results/trace_chaos.json
+fi
+
+if [ "$SELFHEAL" = "1" ]; then
+    echo "==> autoscale_timeline --smoke (SLO-driven autoscaler vs fixed fleet)"
+    cargo run --release -q -p etude-bench --bin autoscale_timeline -- --smoke
+    echo "==> rolling-restart chaos acceptance (zero client-visible failures)"
+    cargo test -q -p etude-cluster --test selfheal
+    echo "==> control-plane property tests (ejection floor, breaker transitions)"
+    cargo test -q -p etude-control
+    echo "==> checking results/BENCH_autoscale.json was produced"
+    grep -q '"bench": "autoscale_timeline"' results/BENCH_autoscale.json
 fi
 
 echo "==> cargo doc --no-deps (warnings are errors)"

@@ -1,5 +1,6 @@
 //! Facade crate re-exporting the full ETUDE reproduction workspace.
 pub use etude_cluster as cluster;
+pub use etude_control as control;
 pub use etude_core as core;
 pub use etude_faults as faults;
 pub use etude_loadgen as loadgen;
