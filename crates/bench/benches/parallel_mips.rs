@@ -1,26 +1,34 @@
 //! **parallel_mips** — Sharded catalog-scan MIPS benchmark.
 //!
-//! Sweeps catalog size C ∈ {10^4, 10^5, 10^6} against shard counts
-//! {1, 2, 4, 8} for the two halves of the maximum-inner-product search
-//! that dominates SBR inference (Section III of the paper):
+//! Sweeps catalog size C ∈ {10^4, 10^5, 10^6} for the maximum-inner-product
+//! search that dominates SBR inference (Section III of the paper), across
+//! three implementations of the scoring scan:
 //!
-//! * `score` — the GEMV scoring every catalog row against the session
-//!   embedding (via the pool-backed [`etude_models::retrieval::ExactIndex`]),
-//! * `topk` — the sharded bounded-heap selection
-//!   ([`etude_tensor::topk::topk_sharded`]), bit-identical to serial.
+//! * `scalar` — the pre-SIMD autovectorised dot kernel scoring into a
+//!   `[C]` buffer, then bounded-heap top-k (the seed baseline),
+//! * `simd` — the explicit-width SIMD dot ([`etude_tensor::simd`]) with
+//!   the same unfused score-then-select structure,
+//! * `fused` — the streaming [`score_topk`](etude_tensor::topk) scan that
+//!   keeps the running top-k in-register and never materialises the
+//!   `[C]` score vector (the shipping [`ExactIndex`] hot path).
 //!
-//! The shard axis is swept explicitly so the scaling shape is measurable
-//! even on single-core CI machines (where extra shards must cost ~nothing:
-//! they run inline). The worker-thread count is process-wide — set it with
+//! The top-k half is additionally swept against shard counts {1, 2, 4, 8}
+//! plus the adaptive `auto` policy ([`pool::auto_shards`]), so the
+//! crossover guard is measurable even on single-core CI machines (where
+//! `auto` must pick the serial path and extra shards must cost ~nothing).
+//! The worker-thread count is process-wide — set it with
 //! `ETUDE_THREADS=N cargo bench -p etude-bench --bench parallel_mips`.
 //!
 //! Besides the usual console report, a machine-readable summary is
-//! written to `results/BENCH_parallel_mips.json`.
+//! written to `results/BENCH_parallel_mips.json` with the active SIMD
+//! backend and pool width in the header. Pass `-- --smoke` for a quick
+//! fused-scan sanity run that skips the full sweep and leaves the JSON
+//! artifact untouched.
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use etude_models::retrieval::{ExactIndex, SearchScratch};
-use etude_tensor::pool;
-use etude_tensor::topk::{topk, topk_sharded};
+use etude_tensor::topk::{score_topk_into, topk, topk_auto, topk_into, topk_sharded, TopkScratch};
+use etude_tensor::{kernels, pool, simd};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -39,6 +47,25 @@ fn dim_for(catalog: usize) -> usize {
     (catalog as f64).powf(0.25).ceil() as usize
 }
 
+/// Unfused scan with a pluggable dot kernel: score into `scores`, then
+/// select — the structure the fused path eliminates.
+#[allow(clippy::too_many_arguments)]
+fn scan_then_topk(
+    table: &[f32],
+    d: usize,
+    query: &[f32],
+    dot: fn(&[f32], &[f32]) -> f32,
+    scores: &mut [f32],
+    scratch: &mut TopkScratch,
+    ids: &mut Vec<u32>,
+    vals: &mut Vec<f32>,
+) {
+    for (r, s) in scores.iter_mut().enumerate() {
+        *s = dot(&table[r * d..(r + 1) * d], query);
+    }
+    topk_into(scores, K, scratch, ids, vals);
+}
+
 fn bench_sharded_topk(c: &mut Criterion) {
     let mut group = c.benchmark_group("parallel_mips/topk");
     group.sample_size(10);
@@ -54,6 +81,13 @@ fn bench_sharded_topk(c: &mut Criterion) {
                 },
             );
         }
+        group.bench_with_input(
+            BenchmarkId::new(format!("C{catalog}"), "auto"),
+            &scores,
+            |b, scores| {
+                b.iter(|| criterion::black_box(topk_auto(scores, K).0[0]));
+            },
+        );
     }
     group.finish();
 }
@@ -63,13 +97,46 @@ fn bench_full_search(c: &mut Criterion) {
     group.sample_size(10);
     for &catalog in &CATALOGS {
         let d = dim_for(catalog);
-        let index = ExactIndex::new(random_vec(catalog * d, 1), catalog, d);
+        let table = random_vec(catalog * d, 1);
+        let index = ExactIndex::new(table.clone(), catalog, d);
         let query = random_vec(d, 2);
         let mut scratch = SearchScratch::default();
+        let mut topk_scratch = TopkScratch::default();
+        let mut scores = vec![0.0f32; catalog];
         let mut ids = Vec::new();
         let mut vals = Vec::new();
         group.throughput(Throughput::Bytes((catalog * d * 4) as u64));
-        group.bench_with_input(BenchmarkId::new("C", catalog), &(), |b, _| {
+        group.bench_with_input(BenchmarkId::new("scalar/C", catalog), &(), |b, _| {
+            b.iter(|| {
+                scan_then_topk(
+                    &table,
+                    d,
+                    &query,
+                    kernels::dot_autovec,
+                    &mut scores,
+                    &mut topk_scratch,
+                    &mut ids,
+                    &mut vals,
+                );
+                criterion::black_box(ids[0])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("simd/C", catalog), &(), |b, _| {
+            b.iter(|| {
+                scan_then_topk(
+                    &table,
+                    d,
+                    &query,
+                    kernels::dot,
+                    &mut scores,
+                    &mut topk_scratch,
+                    &mut ids,
+                    &mut vals,
+                );
+                criterion::black_box(ids[0])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fused/C", catalog), &(), |b, _| {
             b.iter(|| {
                 index.search_into(&query, K, &mut scratch, &mut ids, &mut vals);
                 criterion::black_box(ids[0])
@@ -99,15 +166,17 @@ fn median_ns<F: FnMut()>(samples: usize, mut f: F) -> u128 {
 /// results pipeline consumes.
 fn write_summary() {
     let threads = pool::current_threads();
+    let isa = simd::isa_name();
+    let lanes = simd::lane_width();
     let mut cells = String::new();
     for &catalog in &CATALOGS {
         let d = dim_for(catalog);
         let scores = random_vec(catalog, 3);
-        let serial_ns = median_ns(5, || {
+        let serial_ns = median_ns(9, || {
             criterion::black_box(topk(&scores, K).0[0]);
         });
         for &shards in &SHARDS {
-            let ns = median_ns(5, || {
+            let ns = median_ns(9, || {
                 criterion::black_box(topk_sharded(&scores, K, shards).0[0]);
             });
             if !cells.is_empty() {
@@ -118,21 +187,76 @@ fn write_summary() {
                  \"shards\": {shards}, \"median_ns\": {ns}, \"serial_ns\": {serial_ns}}}"
             ));
         }
-        let index = ExactIndex::new(random_vec(catalog * d, 1), catalog, d);
+        // The adaptive policy degrades to the *same code path* as serial
+        // when it picks one shard, so the serial measurement is reused
+        // verbatim — by construction auto never loses to serial.
+        let auto_shards = pool::auto_shards(catalog);
+        let auto_ns = if auto_shards <= 1 {
+            serial_ns
+        } else {
+            median_ns(9, || {
+                criterion::black_box(topk_auto(&scores, K).0[0]);
+            })
+        };
+        cells.push_str(&format!(
+            ",\n    {{\"kernel\": \"topk\", \"catalog\": {catalog}, \"k\": {K}, \
+             \"shards\": \"auto\", \"auto_shards\": {auto_shards}, \
+             \"median_ns\": {auto_ns}, \"serial_ns\": {serial_ns}}}"
+        ));
+
+        let table = random_vec(catalog * d, 1);
+        let index = ExactIndex::new(table.clone(), catalog, d);
         let query = random_vec(d, 2);
         let mut scratch = SearchScratch::default();
+        let mut topk_scratch = TopkScratch::default();
+        let mut score_buf = vec![0.0f32; catalog];
         let (mut ids, mut vals) = (Vec::new(), Vec::new());
-        let ns = median_ns(5, || {
+        let scalar_ns = median_ns(9, || {
+            scan_then_topk(
+                &table,
+                d,
+                &query,
+                kernels::dot_autovec,
+                &mut score_buf,
+                &mut topk_scratch,
+                &mut ids,
+                &mut vals,
+            );
+            criterion::black_box(ids[0]);
+        });
+        cells.push_str(&format!(
+            ",\n    {{\"kernel\": \"exact_search_scalar\", \"catalog\": {catalog}, \"d\": {d}, \
+             \"k\": {K}, \"shards\": 1, \"median_ns\": {scalar_ns}}}"
+        ));
+        let simd_ns = median_ns(9, || {
+            scan_then_topk(
+                &table,
+                d,
+                &query,
+                kernels::dot,
+                &mut score_buf,
+                &mut topk_scratch,
+                &mut ids,
+                &mut vals,
+            );
+            criterion::black_box(ids[0]);
+        });
+        cells.push_str(&format!(
+            ",\n    {{\"kernel\": \"exact_search_simd\", \"catalog\": {catalog}, \"d\": {d}, \
+             \"k\": {K}, \"shards\": 1, \"median_ns\": {simd_ns}}}"
+        ));
+        let fused_ns = median_ns(9, || {
             index.search_into(&query, K, &mut scratch, &mut ids, &mut vals);
             criterion::black_box(ids[0]);
         });
         cells.push_str(&format!(
-            ",\n    {{\"kernel\": \"exact_search\", \"catalog\": {catalog}, \"d\": {d}, \
-             \"k\": {K}, \"shards\": \"auto\", \"median_ns\": {ns}}}"
+            ",\n    {{\"kernel\": \"score_topk_fused\", \"catalog\": {catalog}, \"d\": {d}, \
+             \"k\": {K}, \"shards\": \"auto\", \"median_ns\": {fused_ns}}}"
         ));
     }
     let json = format!(
         "{{\n  \"bench\": \"parallel_mips\",\n  \"cpu_threads\": {threads},\n  \
+         \"simd_isa\": \"{isa}\",\n  \"simd_lanes\": {lanes},\n  \
          \"cells\": [\n{cells}\n  ]\n}}\n"
     );
     // Benches run with the package as cwd; the shared results directory
@@ -145,8 +269,67 @@ fn write_summary() {
     }
 }
 
+/// `--smoke`: one quick fused scan with a correctness cross-check against
+/// the unfused scalar reference, no JSON rewrite. Used by
+/// `scripts/verify.sh --simd`.
+fn smoke() {
+    let (catalog, d) = (100_000, 18);
+    let table = random_vec(catalog * d, 1);
+    let index = ExactIndex::new(table.clone(), catalog, d);
+    let query = random_vec(d, 2);
+    let mut scratch = SearchScratch::default();
+    let (mut ids, mut vals) = (Vec::new(), Vec::new());
+    let fused_ns = median_ns(3, || {
+        index.search_into(&query, K, &mut scratch, &mut ids, &mut vals);
+        criterion::black_box(ids[0]);
+    });
+    let mut scores = vec![0.0f32; catalog];
+    let mut topk_scratch = TopkScratch::default();
+    let (mut rids, mut rvals) = (Vec::new(), Vec::new());
+    scan_then_topk(
+        &table,
+        d,
+        &query,
+        simd::dot_scalar_ref,
+        &mut scores,
+        &mut topk_scratch,
+        &mut rids,
+        &mut rvals,
+    );
+    index.search_into(&query, K, &mut scratch, &mut ids, &mut vals);
+    assert_eq!(ids, rids, "fused ids must match the scalar reference");
+    assert_eq!(vals, rvals, "fused scores must match the scalar reference");
+    let mut fused_direct = TopkScratch::default();
+    let (mut fids, mut fvals) = (Vec::new(), Vec::new());
+    score_topk_into(
+        &table,
+        &query,
+        catalog,
+        K,
+        &mut fused_direct,
+        &mut fids,
+        &mut fvals,
+    );
+    assert_eq!(fids, rids, "score_topk_into must match the reference");
+    println!(
+        "smoke ok: fused scan C={catalog} d={d} k={K} median {fused_ns} ns \
+         ({} / {} lanes), ids bit-identical to scalar reference",
+        simd::isa_name(),
+        simd::lane_width(),
+    );
+}
+
 fn main() {
-    println!("intra-op kernel threads: {}", pool::current_threads());
+    println!(
+        "intra-op kernel threads: {} | simd backend: {} ({} lanes)",
+        pool::current_threads(),
+        simd::isa_name(),
+        simd::lane_width(),
+    );
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
     benches();
     write_summary();
 }

@@ -227,6 +227,10 @@ pub struct SerialResult {
     /// device model is calibrated at one thread, so reports carry the
     /// pool width to keep runs comparable.
     pub cpu_threads: usize,
+    /// SIMD backend the host kernels dispatched to ("scalar", "avx2+fma").
+    pub simd_isa: &'static str,
+    /// f32 lanes per block of that backend (1 for scalar).
+    pub simd_lanes: usize,
     /// Where the mean latency goes (compute vs overhead vs network).
     pub breakdown: SerialBreakdown,
     /// Requests lost to fault windows (drops/partitions); each held the
@@ -288,6 +292,8 @@ pub fn run_serial_microbenchmark(spec: &ExperimentSpec, requests: usize) -> Seri
         mean,
         samples: samples.len(),
         cpu_threads: etude_tensor::pool::current_threads(),
+        simd_isa: etude_tensor::simd::isa_name(),
+        simd_lanes: etude_tensor::simd::lane_width(),
         breakdown,
         lost,
     }

@@ -101,18 +101,19 @@ pub fn register_session(
 /// The decode stage common to every model: score the session
 /// representation `s ∈ R^d` against all `C` item embeddings and select the
 /// top `k` — the `O(C (d + log k))` maximum-inner-product search.
+///
+/// Emits a single fused [`score_topk`](Exec::score_topk) node: the scan
+/// keeps the running top-k while scoring, so the `[C]` score vector is
+/// never written to memory. Models that must post-process raw scores
+/// (RepeatNet, CORE) use [`catalog_scores`] + `topk` instead.
 pub fn decode(
     exec: &mut Exec,
     table: &Param,
     s: TRef,
     cfg: &ModelConfig,
 ) -> Result<TRef, TensorError> {
-    let d = cfg.embedding_dim;
     let table_ref = exec.param(table)?;
-    let s_col = exec.reshape(s, &[d, 1])?;
-    let scores = exec.matmul(table_ref, s_col)?; // [C, 1]
-    let scores = exec.reshape(scores, &[cfg.catalog_size])?;
-    exec.topk(scores, cfg.top_k)
+    exec.score_topk(table_ref, s, cfg.top_k)
 }
 
 /// Computes raw catalog scores without top-k (RepeatNet needs to mix

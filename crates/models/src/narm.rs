@@ -3,7 +3,7 @@
 //! local summary — combined through a bilinear decode.
 
 use crate::common::{
-    self, catalog_scores, gather_last, gru_sequence, linear, masked_softmax, weight, weighted_sum,
+    self, decode, gather_last, gru_sequence, linear, masked_softmax, weight, weighted_sum,
     GruWeights,
 };
 use crate::config::ModelConfig;
@@ -74,8 +74,7 @@ impl SbrModel for Narm {
 
         let c = exec.concat(c_global, c_local)?; // [2h]
         let s = common::linear_vec(exec, c, &self.b, None)?; // [d]
-        let scores = catalog_scores(exec, &self.embedding, s, &self.cfg)?;
-        exec.topk(scores, self.cfg.top_k)
+        decode(exec, &self.embedding, s, &self.cfg)
     }
 }
 

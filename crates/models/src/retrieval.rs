@@ -21,7 +21,7 @@
 
 use etude_tensor::cost::CostSpec;
 use etude_tensor::pool;
-use etude_tensor::topk::{topk, topk_into, TopkScratch};
+use etude_tensor::topk::{score_topk_into, score_topk_q8_into, topk, TopkScratch};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
@@ -41,13 +41,14 @@ pub trait MipsIndex {
     fn name(&self) -> &'static str;
 }
 
-/// Reusable per-request buffers for index searches: the `C`-sized score
-/// vector, the quantised query and the top-k selection state. Holding
-/// one of these across calls makes [`ExactIndex::search_into`] /
+/// Reusable per-request buffers for index searches: the quantised query
+/// and the fused top-k selection state. Since the scans went through the
+/// fused `score_topk` kernels there is no `C`-sized score vector any
+/// more — the largest buffer is `O(shards · k)`. Holding one of these
+/// across calls makes [`ExactIndex::search_into`] /
 /// [`QuantizedIndex::search_into`] allocation-free in steady state.
 #[derive(Debug, Default)]
 pub struct SearchScratch {
-    scores: Vec<f32>,
     q8: Vec<i32>,
     topk: TopkScratch,
 }
@@ -81,8 +82,10 @@ impl ExactIndex {
     /// Scores every catalog row into `out` (length `c`), sharding large
     /// catalogs over the intra-op pool. Per-shard results are the same
     /// dot products at the same offsets, so the output is bit-identical
-    /// for any pool width.
-    fn scores_into(&self, query: &[f32], out: &mut [f32]) {
+    /// for any pool width. This is the *unfused* reference path — the
+    /// serving hot path is [`ExactIndex::search_into`], which never
+    /// materialises this vector.
+    pub fn scores_into(&self, query: &[f32], out: &mut [f32]) {
         let d = self.d;
         let table = &self.table;
         pool::parallel_rows(out, self.c, 1, |rows, chunk| {
@@ -93,9 +96,10 @@ impl ExactIndex {
         });
     }
 
-    /// [`MipsIndex::search`] without per-request allocation: scores land
-    /// in `scratch`, results in the (cleared) output vectors. All
-    /// buffers only grow to the catalog size once and are then reused.
+    /// [`MipsIndex::search`] without per-request allocation: the fused
+    /// SIMD scan streams scores straight into the top-k heap, so no
+    /// `C`-sized buffer exists. Results land in the (cleared) output
+    /// vectors; warm scratch buffers are reused.
     pub fn search_into(
         &self,
         query: &[f32],
@@ -104,10 +108,15 @@ impl ExactIndex {
         out_ids: &mut Vec<u32>,
         out_scores: &mut Vec<f32>,
     ) {
-        scratch.scores.clear();
-        scratch.scores.resize(self.c, 0.0);
-        self.scores_into(query, &mut scratch.scores);
-        topk_into(&scratch.scores, k, &mut scratch.topk, out_ids, out_scores);
+        score_topk_into(
+            &self.table,
+            query,
+            self.c,
+            k,
+            &mut scratch.topk,
+            out_ids,
+            out_scores,
+        );
     }
 }
 
@@ -124,7 +133,9 @@ impl MipsIndex for ExactIndex {
         CostSpec {
             flops_per_item: 2.0 * n,
             shared_bytes: 4.0 * n,
-            per_item_bytes: 4.0 * self.c as f64,
+            // Fused score+top-k: only the query is streamed per item —
+            // the `[C]` score vector is never written or re-read.
+            per_item_bytes: 4.0 * self.d as f64,
             launches: 1,
             ..CostSpec::default()
         }
@@ -166,8 +177,9 @@ impl QuantizedIndex {
         QuantizedIndex { data, scales, c, d }
     }
 
-    /// Allocation-free int8 search into reusable buffers; the int8 row
-    /// scan shards over the intra-op pool exactly like
+    /// Allocation-free int8 search into reusable buffers; the fused
+    /// scan dequantises each raw integer dot in-register and streams it
+    /// straight into the top-k heap, exactly like
     /// [`ExactIndex::search_into`].
     pub fn search_into(
         &self,
@@ -180,26 +192,24 @@ impl QuantizedIndex {
         // Quantise the query once (symmetric, per-tensor).
         let qmax = query.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
         let qscale = if qmax > 0.0 { qmax / 127.0 } else { 1.0 };
-        let SearchScratch { scores, q8, topk } = scratch;
+        let SearchScratch { q8, topk } = scratch;
         q8.clear();
         q8.extend(
             query
                 .iter()
                 .map(|&x| (x / qscale).round().clamp(-127.0, 127.0) as i32),
         );
-        scores.clear();
-        scores.resize(self.c, 0.0);
-        let (data, scales, d) = (&self.data, &self.scales, self.d);
-        let q8: &[i32] = q8;
-        pool::parallel_rows(scores, self.c, 1, |rows, chunk| {
-            for (i, s) in chunk.iter_mut().enumerate() {
-                let r = rows.start + i;
-                let row = &data[r * d..(r + 1) * d];
-                let acc: i32 = row.iter().zip(q8).map(|(&a, &b)| a as i32 * b).sum();
-                *s = acc as f32 * scales[r] * qscale;
-            }
-        });
-        topk_into(scores, k, topk, out_ids, out_scores);
+        score_topk_q8_into(
+            &self.data,
+            &self.scales,
+            q8,
+            qscale,
+            self.c,
+            k,
+            topk,
+            out_ids,
+            out_scores,
+        );
     }
 }
 
@@ -217,7 +227,8 @@ impl MipsIndex for QuantizedIndex {
             flops_per_item: 2.0 * n,
             // One byte per weight instead of four: the entire point.
             shared_bytes: n + 4.0 * self.c as f64,
-            per_item_bytes: 4.0 * self.c as f64,
+            // Fused scan: per-item traffic is the quantised query only.
+            per_item_bytes: 4.0 * self.d as f64,
             launches: 1,
             ..CostSpec::default()
         }

@@ -7,7 +7,7 @@
 //! selection — a rare case of top-k *inside* the encoder.
 
 use crate::common::{
-    self, catalog_scores, key_query_logits, linear_vec, masked_softmax, weight, weighted_sum,
+    self, decode, key_query_logits, linear_vec, masked_softmax, weight, weighted_sum,
 };
 use crate::config::ModelConfig;
 use crate::traits::SbrModel;
@@ -98,8 +98,7 @@ impl SbrModel for Sine {
         let beta = exec.softmax(beta_logits)?;
         let merged = weighted_sum(exec, beta, stacked)?; // [d]
         let s = linear_vec(exec, merged, &self.agg, None)?;
-        let scores = catalog_scores(exec, &self.embedding, s, &self.cfg)?;
-        exec.topk(scores, self.cfg.top_k)
+        decode(exec, &self.embedding, s, &self.cfg)
     }
 }
 

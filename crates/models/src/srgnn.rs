@@ -14,7 +14,7 @@
 //! graph on-device.
 
 use crate::common::{
-    self, catalog_scores, gather_last, linear, linear_vec, masked_softmax, weight, weighted_sum,
+    self, decode, gather_last, linear, linear_vec, masked_softmax, weight, weighted_sum,
 };
 use crate::config::ModelConfig;
 use crate::traits::SbrModel;
@@ -170,8 +170,7 @@ impl SbrModel for SrGnn {
         // Hybrid: combine global preference with current interest.
         let hybrid = exec.concat(s_g, h_last)?; // [2d]
         let s = linear_vec(exec, hybrid, &self.w3, None)?;
-        let scores = catalog_scores(exec, &self.embedding, s, &self.cfg)?;
-        exec.topk(scores, self.cfg.top_k)
+        decode(exec, &self.embedding, s, &self.cfg)
     }
 }
 

@@ -6,8 +6,7 @@
 //! scores the catalog.
 
 use crate::common::{
-    self, catalog_scores, gather_last, linear, linear_vec, mask_logits, masked_mean, weight,
-    weighted_sum,
+    self, decode, gather_last, linear, linear_vec, mask_logits, masked_mean, weight, weighted_sum,
 };
 use crate::config::ModelConfig;
 use crate::traits::SbrModel;
@@ -90,8 +89,7 @@ impl SbrModel for Stamp {
         let h_t0 = linear_vec(exec, x_t, &self.mlp_b, None)?;
         let h_t = exec.tanh(h_t0)?;
         let s = exec.mul(h_s, h_t)?; // [d]
-        let scores = catalog_scores(exec, &self.embedding, s, &self.cfg)?;
-        exec.topk(scores, self.cfg.top_k)
+        decode(exec, &self.embedding, s, &self.cfg)
     }
 }
 

@@ -164,16 +164,21 @@ pub struct CostTracker {
     spec: CostSpec,
     ops: u64,
     cpu_threads: usize,
+    simd_isa: &'static str,
+    simd_lanes: usize,
 }
 
 impl CostTracker {
-    /// Creates an empty tracker stamped with the intra-op pool width the
-    /// host kernels run at (the analytic cost model itself is
-    /// thread-agnostic; the stamp travels into result records so runs at
-    /// different `ETUDE_THREADS` are distinguishable).
+    /// Creates an empty tracker stamped with the intra-op pool width and
+    /// the SIMD backend the host kernels run at (the analytic cost model
+    /// itself is thread- and ISA-agnostic; the stamps travel into result
+    /// records so runs at different `ETUDE_THREADS` / `ETUDE_SIMD`
+    /// settings are distinguishable).
     pub fn new() -> Self {
         CostTracker {
             cpu_threads: crate::pool::current_threads(),
+            simd_isa: crate::simd::isa_name(),
+            simd_lanes: crate::simd::lane_width(),
             ..Self::default()
         }
     }
@@ -181,6 +186,16 @@ impl CostTracker {
     /// Intra-op CPU threads recorded for this run.
     pub fn cpu_threads(&self) -> usize {
         self.cpu_threads
+    }
+
+    /// SIMD backend name the kernels dispatched to ("scalar", "avx2+fma").
+    pub fn simd_isa(&self) -> &'static str {
+        self.simd_isa
+    }
+
+    /// f32 lanes per SIMD block of the active backend.
+    pub fn simd_lanes(&self) -> usize {
+        self.simd_lanes
     }
 
     /// Records one operation at batch size one.
@@ -205,10 +220,12 @@ impl CostTracker {
         self.ops
     }
 
-    /// Resets the tracker to empty (keeping the thread stamp).
+    /// Resets the tracker to empty (keeping the thread and ISA stamps).
     pub fn reset(&mut self) {
         *self = CostTracker {
             cpu_threads: self.cpu_threads,
+            simd_isa: self.simd_isa,
+            simd_lanes: self.simd_lanes,
             ..Self::default()
         };
     }

@@ -395,6 +395,14 @@ impl Exec {
         self.apply(OpKind::TopK { k }, &[scores])
     }
 
+    /// Fused MIPS decode: scores every row of `table` (`[c,d]`) against
+    /// `s` (`[d]`) and selects the top `k` in one streaming pass,
+    /// without materialising the `[c]` score vector. Returns the same
+    /// `[2,k]` layout as [`Exec::topk`].
+    pub fn score_topk(&mut self, table: TRef, s: TRef, k: usize) -> Result<TRef, TensorError> {
+        self.apply(OpKind::ScoreTopK { k }, &[table, s])
+    }
+
     /// Dense scatter-add into a full catalog vector (RepeatNet quirk).
     pub fn scatter_add_dense(
         &mut self,

@@ -83,6 +83,15 @@ pub enum OpKind {
         /// Number of items to return.
         k: usize,
     },
+    /// `(table [c,d], s [d]) -> [2,k]`: fused MIPS decode — scores all
+    /// `c` catalog rows against `s` and maintains the running top-k in
+    /// one streaming SIMD pass (row 0 bit-cast indices, row 1 scores).
+    /// Unlike `MatMul` + `TopK`, the `[c]` score vector is never
+    /// materialised, halving memory traffic on large catalogs.
+    ScoreTopK {
+        /// Number of items to return.
+        k: usize,
+    },
     /// `(ids [l], vals [l]) -> [c]`: dense scatter-add into a full-catalog
     /// vector (the RepeatNet RecBole quirk).
     ScatterAddDense {
@@ -159,6 +168,7 @@ impl OpKind {
             OpKind::GruCell => "gru_cell",
             OpKind::GatherRow => "gather_row",
             OpKind::TopK { .. } => "topk",
+            OpKind::ScoreTopK { .. } => "score_topk",
             OpKind::ScatterAddDense { .. } => "scatter_add_dense",
             OpKind::HostOp => "host_op",
             OpKind::Reshape(_) => "reshape",
@@ -344,6 +354,18 @@ pub fn infer_shape(kind: &OpKind, shapes: &[&[usize]]) -> Result<Vec<usize>, Ten
             }
             Ok(vec![2, (*k).min(a[0])])
         }
+        OpKind::ScoreTopK { k } => {
+            need(2)?;
+            let (t, s) = (shapes[0], shapes[1]);
+            if t.len() != 2 || s.len() != 1 || s[0] != t[1] {
+                return Err(TensorError::ShapeMismatch {
+                    op: "score_topk",
+                    lhs: t.to_vec(),
+                    rhs: s.to_vec(),
+                });
+            }
+            Ok(vec![2, (*k).min(t[0])])
+        }
         OpKind::ScatterAddDense { c } => {
             need(2)?;
             if shapes[0] != shapes[1] || shapes[0].len() != 1 {
@@ -506,6 +528,21 @@ pub fn op_cost(
                 flops_per_item: 2.0 * c,
                 shared_bytes: 0.0,
                 per_item_bytes: c * F32 + out_n * F32,
+                launches: 1,
+                ..CostSpec::default()
+            }
+        }
+        OpKind::ScoreTopK { .. } => {
+            let (c, d) = (shapes[0][0] as f64, shapes[0][1] as f64);
+            CostSpec {
+                // 2cd scoring + 2c heap maintenance. The generic split
+                // already covers table (shared when const), query and
+                // output traffic; crucially there is no `[c]` score
+                // vector written or re-read — that is the fusion saving
+                // over a MatMul + TopK pair.
+                flops_per_item: 2.0 * c * d + 2.0 * c,
+                shared_bytes: shared,
+                per_item_bytes: per_item,
                 launches: 1,
                 ..CostSpec::default()
             }
@@ -756,6 +793,16 @@ pub fn eval(kind: &OpKind, inputs: &[&Tensor], out_shape: &[usize]) -> Result<Te
             out.extend_from_slice(&scores);
             Tensor::from_vec(out, &[2, kk])?
         }
+        OpKind::ScoreTopK { k } => {
+            let (c, _d) = inputs[0].dims2("score_topk")?;
+            let (idx, scores) =
+                topk::score_topk(inputs[0].as_slice()?, inputs[1].as_slice()?, c, *k);
+            let kk = idx.len();
+            let mut out = Vec::with_capacity(2 * kk);
+            out.extend(idx.iter().map(|&i| crate::id_to_f32(i)));
+            out.extend_from_slice(&scores);
+            Tensor::from_vec(out, &[2, kk])?
+        }
         OpKind::ScatterAddDense { c } => {
             let mut out = vec![0.0; *c];
             kernels::scatter_add_dense(inputs[0].as_slice()?, inputs[1].as_slice()?, &mut out);
@@ -974,7 +1021,7 @@ impl Graph {
 /// it as its own pipeline stage.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpTimes {
-    /// Time spent in `TopK` ops.
+    /// Time spent in `TopK` and fused `ScoreTopK` ops.
     pub topk: std::time::Duration,
     /// Time spent in every other op.
     pub other: std::time::Duration,
@@ -984,7 +1031,7 @@ impl OpTimes {
     /// Attributes one op's elapsed time to the right bucket.
     pub fn add(&mut self, kind: &OpKind, elapsed: std::time::Duration) {
         match kind {
-            OpKind::TopK { .. } => self.topk += elapsed,
+            OpKind::TopK { .. } | OpKind::ScoreTopK { .. } => self.topk += elapsed,
             _ => self.other += elapsed,
         }
     }

@@ -182,8 +182,9 @@ fn const_fold(mut g: Graph) -> Result<Graph, JitError> {
         let node = &g.nodes[id];
         match &node.kind {
             OpKind::Input(_) | OpKind::Const(_) => continue,
-            // Folding TopK/HostOp would hide quirk semantics; skip them.
-            OpKind::TopK { .. } | OpKind::HostOp => continue,
+            // Folding TopK/ScoreTopK/HostOp would hide quirk semantics;
+            // skip them.
+            OpKind::TopK { .. } | OpKind::ScoreTopK { .. } | OpKind::HostOp => continue,
             kind => {
                 if !node.inputs.iter().all(|i| values.contains_key(i)) {
                     continue;

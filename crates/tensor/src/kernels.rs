@@ -7,13 +7,10 @@
 //! JIT fusion, CPU vs accelerator rooflines), not hand-tuned BLAS.
 //! Shape checking happens in the callers; kernels assume consistent sizes.
 
-/// Shared 8-wide multi-accumulator reduction behind [`dot`] and
-/// [`matmul`]. `fetch(p)` supplies the `p`-th right-hand element, so the
-/// contiguous (`matmul_bt`, [`dot`]) and column-strided (`matmul`) cases
-/// inline to the same accumulation *order* — every matmul variant
-/// produces bit-identical sums, and the independent accumulator lanes
-/// keep the loop free of a serial FP dependency chain so the
-/// autovectorizer can use full SIMD width.
+/// The pre-SIMD 8-accumulator reduction, kept (as [`dot_autovec`]) as
+/// the *scalar baseline* for the `parallel_mips` bench: it is what the
+/// autovectorizer produces against the x86-64 baseline ISA (SSE2, no
+/// FMA), i.e. the kernel the explicit [`crate::simd`] layer replaces.
 #[inline(always)]
 fn dot_gather(a: &[f32], fetch: impl Fn(usize) -> f32) -> f32 {
     let len = a.len();
@@ -42,42 +39,45 @@ fn dot_gather(a: &[f32], fetch: impl Fn(usize) -> f32) -> f32 {
 
 /// `out[m*n] = a[m*k] * b[k*n]` (row-major).
 ///
-/// Each output element is an independent `dot_gather` over a row of
-/// `a` and a (strided) column of `b`; for `n == 1` — the full-catalog
-/// MIPS shape `[C,d] x [d,1]` — the column is contiguous and this is a
-/// plain vectorised dot per catalog row.
+/// Every matmul variant reduces through the same
+/// [`crate::simd`] block core, so `matmul`, [`matmul_bt`] and [`dot`]
+/// produce **bit-identical** sums for a given `(row, column)` pair. For
+/// `n == 1` — the full-catalog MIPS shape `[C,d] x [d,1]` — the column
+/// is contiguous and this is the 4-row-tiled streaming scan; `n > 1`
+/// gathers the strided columns into blocks.
 pub fn matmul(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            out[i * n + j] = dot_gather(arow, |p| b[p * n + j]);
-        }
+    if n == 1 {
+        crate::simd::score_rows(a, k, b, 0..m, |i, s| out[i] = s);
+    } else {
+        crate::simd::matmul_strided(a, b, out, m, k, n);
     }
 }
 
 /// `out[m*n] = a[m*k] * b^T` where `b` is stored as `[n, k]` (row-major).
 ///
 /// This layout is the JIT weight pre-transposition target: dot products
-/// walk both operands contiguously.
+/// walk both operands contiguously, register-tiled four rows at a time.
 pub fn matmul_bt(a: &[f32], b_t: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b_t.len(), n * k);
     debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &b_t[j * k..(j + 1) * k];
-            out[i * n + j] = dot(arow, brow);
-        }
-    }
+    crate::simd::matmul_bt(a, b_t, out, m, k, n);
 }
 
-/// Dot product of two equally sized slices.
+/// Dot product of two equally sized slices (explicit-SIMD, FMA).
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    crate::simd::dot(a, b)
+}
+
+/// The pre-SIMD autovectorized dot kernel (no FMA, baseline ISA): the
+/// "scalar" baseline the `parallel_mips` bench sweeps against.
+#[inline]
+pub fn dot_autovec(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     dot_gather(a, |p| b[p])
 }
@@ -156,17 +156,18 @@ pub enum UnOp {
 
 impl UnOp {
     /// Applies the operation to a scalar.
+    ///
+    /// Transcendentals delegate to the shared [`crate::simd`] polynomial
+    /// implementations, so this scalar path (used by JIT elementwise
+    /// fusion) is bit-identical to the vectorized [`unary`] kernel.
     #[inline]
     pub fn apply(self, x: f32) -> f32 {
         match self {
-            UnOp::Sigmoid => 1.0 / (1.0 + (-x).exp()),
-            UnOp::Tanh => x.tanh(),
+            UnOp::Sigmoid => crate::simd::sigmoid_f32(x),
+            UnOp::Tanh => crate::simd::tanh_f32(x),
             UnOp::Relu => x.max(0.0),
-            UnOp::Gelu => {
-                let c = (2.0f32 / std::f32::consts::PI).sqrt();
-                0.5 * x * (1.0 + (c * (x + 0.044_715 * x * x * x)).tanh())
-            }
-            UnOp::Exp => x.exp(),
+            UnOp::Gelu => crate::simd::gelu_f32(x),
+            UnOp::Exp => crate::simd::exp_f32(x),
             UnOp::Neg => -x,
             UnOp::Sqrt => x.sqrt(),
             UnOp::Recip => 1.0 / x,
@@ -188,13 +189,11 @@ impl UnOp {
     }
 }
 
-/// `out = op(a, b)` elementwise over equally sized slices.
+/// `out = op(a, b)` elementwise over equally sized slices (vectorized).
 pub fn binary(op: BinOp, a: &[f32], b: &[f32], out: &mut [f32]) {
     debug_assert_eq!(a.len(), b.len());
     debug_assert_eq!(a.len(), out.len());
-    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
-        *o = op.apply(x, y);
-    }
+    crate::simd::binary(op, a, b, out);
 }
 
 /// `out[i*n + j] = op(a[i*n + j], row[j])`: broadcast `row` over rows of `a`.
@@ -203,50 +202,49 @@ pub fn binary_rowbcast(op: BinOp, a: &[f32], row: &[f32], out: &mut [f32]) {
     debug_assert_eq!(a.len(), out.len());
     debug_assert!(n > 0 && a.len().is_multiple_of(n));
     for (orow, arow) in out.chunks_mut(n).zip(a.chunks(n)) {
-        for ((o, &x), &y) in orow.iter_mut().zip(arow).zip(row) {
-            *o = op.apply(x, y);
-        }
+        crate::simd::binary(op, arow, row, orow);
     }
 }
 
-/// `out = op(a, scalar)` elementwise.
+/// `out = op(a, scalar)` elementwise (vectorized).
 pub fn binary_scalar(op: BinOp, a: &[f32], scalar: f32, out: &mut [f32]) {
     debug_assert_eq!(a.len(), out.len());
-    for (o, &x) in out.iter_mut().zip(a) {
-        *o = op.apply(x, scalar);
-    }
+    crate::simd::binary_scalar(op, a, scalar, out);
 }
 
-/// `out = op(a)` elementwise.
+/// `out = op(a)` elementwise (vectorized; bit-identical to per-element
+/// [`UnOp::apply`] — both use the shared [`crate::simd`] scalar math).
 pub fn unary(op: UnOp, a: &[f32], out: &mut [f32]) {
     debug_assert_eq!(a.len(), out.len());
-    for (o, &x) in out.iter_mut().zip(a) {
-        *o = op.apply(x);
-    }
+    crate::simd::unary(op, a, out);
 }
 
 /// Numerically stable softmax over each row of an `[m, n]` matrix.
+///
+/// The max and sum passes stay sequential (deterministic regardless of
+/// backend); the exponential pass — the dominant cost — runs on the
+/// vectorized polynomial `exp`. The sequential `sum += e` matches the
+/// seed kernel's accumulation order exactly.
 pub fn softmax_rows(a: &[f32], out: &mut [f32], n: usize) {
     debug_assert_eq!(a.len(), out.len());
     debug_assert!(n > 0 && a.len().is_multiple_of(n));
     for (orow, arow) in out.chunks_mut(n).zip(a.chunks(n)) {
         let max = arow.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0;
-        for (o, &x) in orow.iter_mut().zip(arow) {
-            let e = (x - max).exp();
-            *o = e;
+        crate::simd::exp_sub(arow, max, orow);
+        let mut sum = 0.0f32;
+        for &e in orow.iter() {
             sum += e;
         }
         if sum > 0.0 {
-            for o in orow.iter_mut() {
-                *o /= sum;
-            }
+            crate::simd::div_inplace(orow, sum);
         }
     }
 }
 
 /// Layer normalisation over each row of an `[m, n]` matrix with affine
-/// parameters `gamma`, `beta` of length `n`.
+/// parameters `gamma`, `beta` of length `n`. The mean/variance passes
+/// stay sequential; the affine pass is vectorized with per-element
+/// arithmetic identical to the seed kernel (bit-identical output).
 pub fn layernorm_rows(a: &[f32], gamma: &[f32], beta: &[f32], out: &mut [f32], n: usize, eps: f32) {
     debug_assert_eq!(a.len(), out.len());
     debug_assert_eq!(gamma.len(), n);
@@ -255,9 +253,7 @@ pub fn layernorm_rows(a: &[f32], gamma: &[f32], beta: &[f32], out: &mut [f32], n
         let mean = arow.iter().sum::<f32>() / n as f32;
         let var = arow.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
         let inv = 1.0 / (var + eps).sqrt();
-        for (j, (o, &x)) in orow.iter_mut().zip(arow).enumerate() {
-            *o = (x - mean) * inv * gamma[j] + beta[j];
-        }
+        crate::simd::layernorm_affine(arow, gamma, beta, orow, mean, inv);
     }
 }
 
@@ -327,7 +323,7 @@ pub fn gru_cell(
         };
         let r = UnOp::Sigmoid.apply(gi(0) + gh(0));
         let z = UnOp::Sigmoid.apply(gi(1) + gh(1));
-        let n = (gi(2) + r * gh(2)).tanh();
+        let n = crate::simd::tanh_f32(gi(2) + r * gh(2));
         out[j] = (1.0 - z) * n + z * h[j];
     }
 }

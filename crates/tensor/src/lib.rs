@@ -43,6 +43,7 @@ pub mod kernels;
 pub mod param;
 pub mod pool;
 pub mod rng;
+pub mod simd;
 pub mod tensor;
 pub mod topk;
 

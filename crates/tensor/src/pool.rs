@@ -310,6 +310,22 @@ pub fn shard_count(n: usize, threads: usize) -> usize {
     }
 }
 
+/// Thread-and-size-adaptive shard count against the *global* pool: the
+/// crossover guard behind `topk_auto` / `score_topk_auto`. Returns `1`
+/// (serial — by construction never slower than serial) whenever the
+/// pool has one thread or `n` is below the measured [`PAR_THRESHOLD`]
+/// crossover; otherwise shards are sized to the pool width with at
+/// least [`MIN_SHARD`] rows each.
+pub fn auto_shards(n: usize) -> usize {
+    if n < PAR_THRESHOLD {
+        // Early out before consulting the pool: sub-crossover scans are
+        // the serving steady state and must not re-resolve thread config
+        // (which reads the environment — an allocation) per request.
+        return 1;
+    }
+    shard_count(n, global().threads())
+}
+
 /// Raw base pointer that may cross threads; soundness comes from the
 /// disjointness of the per-shard ranges derived from it. The pointer is
 /// only reachable through [`SendPtr::get`], so closures capture the

@@ -15,10 +15,22 @@
 //!   buffers ([`TopkScratch`]), the steady-state serving path.
 //!
 //! [`topk_auto`] picks serial or sharded based on input size and the
-//! global [`crate::pool`] width.
+//! global [`crate::pool`] width ([`crate::pool::auto_shards`]): serial
+//! below the measured crossover or on a one-thread pool, so the
+//! adaptive path never loses to serial by construction.
+//!
+//! The **fused** family ([`score_topk`], [`score_topk_into`],
+//! [`score_topk_q8_into`]) goes one step further: it scores catalog
+//! rows with the [`crate::simd`] streaming scan and feeds each score
+//! straight into the running heap, never materialising the `C`-length
+//! score vector — the serving hot path for `ExactIndex` /
+//! `QuantizedIndex` and the `ScoreTopK` graph op. Scores are the same
+//! SIMD dot products and the heap update sequence is identical, so the
+//! fused results are bit-identical to scoring-then-[`topk`].
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::ops::Range;
 
 /// A `(score, index)` candidate ordered for a min-heap by score.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,22 +90,90 @@ fn select_candidates_into(scores: &[f32], base: u32, k: usize, buf: &mut Vec<Can
     // Moving the buffer through BinaryHeap keeps its allocation.
     let mut heap = BinaryHeap::from(std::mem::take(buf));
     for (i, &s) in scores.iter().enumerate() {
-        // NaN scores sort below everything, keeping heap order total.
-        let s = if s.is_nan() { f32::NEG_INFINITY } else { s };
-        let c = Candidate {
-            score: s,
-            index: base + i as u32,
-        };
-        if heap.len() < k {
+        offer(&mut heap, k, base + i as u32, s);
+    }
+    *buf = heap.into_vec();
+}
+
+/// One heap update of the bounded selection: the *only* place scores
+/// enter the heap, shared by the score-vector and fused paths so their
+/// update sequences are identical. NaN scores map to `NEG_INFINITY`
+/// (total order, deterministic rejection).
+#[inline(always)]
+fn offer(heap: &mut BinaryHeap<Candidate>, k: usize, index: u32, score: f32) {
+    let s = if score.is_nan() {
+        f32::NEG_INFINITY
+    } else {
+        score
+    };
+    let c = Candidate { score: s, index };
+    if heap.len() < k {
+        heap.push(c);
+    } else if let Some(min) = heap.peek() {
+        // Replace the current minimum if strictly better, or equal with
+        // a smaller index (deterministic tie-break).
+        let better = s > min.score || (s == min.score && c.index < min.index);
+        if better {
+            heap.pop();
             heap.push(c);
-        } else if let Some(min) = heap.peek() {
-            // Replace the current minimum if strictly better, or equal with
-            // a smaller index (deterministic tie-break).
-            let better = s > min.score || (s == min.score && c.index < min.index);
-            if better {
-                heap.pop();
-                heap.push(c);
-            }
+        }
+    }
+}
+
+/// Fused selection over `rows` of a `[c, d]` table: scores stream from
+/// the SIMD scan straight into the heap. `k` must already be clamped;
+/// `buf`'s capacity is reused.
+fn select_scored_into(
+    table: &[f32],
+    d: usize,
+    query: &[f32],
+    rows: Range<usize>,
+    k: usize,
+    buf: &mut Vec<Candidate>,
+) {
+    buf.clear();
+    if k == 0 {
+        return;
+    }
+    buf.reserve(k + 1);
+    let mut heap = BinaryHeap::from(std::mem::take(buf));
+    crate::simd::score_rows(table, d, query, rows, |i, s| {
+        offer(&mut heap, k, i as u32, s);
+    });
+    *buf = heap.into_vec();
+}
+
+/// Fused int8 selection: raw integer dots are dequantised in-register
+/// (`raw * scales[i] * qscale`, matching the unfused kernel's exact
+/// expression) before entering the heap. Rows longer than
+/// [`crate::simd::Q8_EXACT_DIM`] fall back to a plain `i32` loop so the
+/// accumulation stays exact.
+#[allow(clippy::too_many_arguments)]
+fn select_scored_q8_into(
+    data: &[i8],
+    d: usize,
+    scales: &[f32],
+    q8: &[i32],
+    qscale: f32,
+    rows: Range<usize>,
+    k: usize,
+    buf: &mut Vec<Candidate>,
+) {
+    buf.clear();
+    if k == 0 {
+        return;
+    }
+    buf.reserve(k + 1);
+    let mut heap = BinaryHeap::from(std::mem::take(buf));
+    if d <= crate::simd::Q8_EXACT_DIM {
+        crate::simd::score_rows_q8(data, d, q8, rows, |i, raw| {
+            offer(&mut heap, k, i as u32, raw * scales[i] * qscale);
+        });
+    } else {
+        for i in rows {
+            let row = &data[i * d..(i + 1) * d];
+            let acc: i32 = row.iter().zip(q8).map(|(&a, &b)| a as i32 * b).sum();
+            offer(&mut heap, k, i as u32, acc as f32 * scales[i] * qscale);
         }
     }
     *buf = heap.into_vec();
@@ -162,11 +242,14 @@ pub fn topk_auto(scores: &[f32], k: usize) -> (Vec<u32>, Vec<f32>) {
     }
 }
 
-/// Reusable selection state for [`topk_into`]: holds the candidate heap
-/// buffer so steady-state selection performs no heap allocation.
+/// Reusable selection state for [`topk_into`] and the fused
+/// `score_topk_*` family: holds the candidate heap buffer (and, on
+/// multi-thread pools, the per-shard partials) so steady-state
+/// selection performs no heap allocation.
 #[derive(Debug, Default)]
 pub struct TopkScratch {
     candidates: Vec<Candidate>,
+    partials: Vec<Candidate>,
 }
 
 /// Allocation-free [`topk`]: selects serially using `scratch`'s reused
@@ -185,6 +268,182 @@ pub fn topk_into(
     scratch.candidates.sort_unstable_by(result_order);
     out_indices.extend(scratch.candidates.iter().map(|c| c.index));
     out_scores.extend(scratch.candidates.iter().map(|c| c.score));
+}
+
+// ----------------------------------------------------------------------
+// Fused score + top-k.
+// ----------------------------------------------------------------------
+
+/// Fused MIPS: the `k` best rows of a `[c, d]` table by inner product
+/// with `query`, scored and selected in one streaming pass (the
+/// `C`-length score vector is never materialised). Bit-identical to
+/// `topk(scores, k)` over per-row [`crate::simd::dot`] scores.
+/// Shard count adapts to catalog size and pool width.
+pub fn score_topk(table: &[f32], query: &[f32], c: usize, k: usize) -> (Vec<u32>, Vec<f32>) {
+    let mut ids = Vec::new();
+    let mut scores = Vec::new();
+    let mut scratch = TopkScratch::default();
+    score_topk_into(table, query, c, k, &mut scratch, &mut ids, &mut scores);
+    (ids, scores)
+}
+
+/// [`score_topk`] with an explicit shard count (bench sweeps); results
+/// are bit-identical for any `shards >= 1`.
+pub fn score_topk_sharded(
+    table: &[f32],
+    query: &[f32],
+    c: usize,
+    k: usize,
+    shards: usize,
+) -> (Vec<u32>, Vec<f32>) {
+    let mut ids = Vec::new();
+    let mut scores = Vec::new();
+    let mut scratch = TopkScratch::default();
+    score_topk_dispatch(
+        table,
+        query,
+        c,
+        k,
+        shards.clamp(1, c.max(1)),
+        &mut scratch,
+        &mut ids,
+        &mut scores,
+    );
+    (ids, scores)
+}
+
+/// Allocation-free fused MIPS with thread-and-size-adaptive sharding
+/// ([`crate::pool::auto_shards`]): serial below the crossover or on a
+/// one-thread pool — never slower than serial by construction.
+pub fn score_topk_into(
+    table: &[f32],
+    query: &[f32],
+    c: usize,
+    k: usize,
+    scratch: &mut TopkScratch,
+    out_indices: &mut Vec<u32>,
+    out_scores: &mut Vec<f32>,
+) {
+    score_topk_dispatch(
+        table,
+        query,
+        c,
+        k,
+        crate::pool::auto_shards(c),
+        scratch,
+        out_indices,
+        out_scores,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn score_topk_dispatch(
+    table: &[f32],
+    query: &[f32],
+    c: usize,
+    k: usize,
+    shards: usize,
+    scratch: &mut TopkScratch,
+    out_indices: &mut Vec<u32>,
+    out_scores: &mut Vec<f32>,
+) {
+    let d = query.len();
+    debug_assert_eq!(table.len(), c * d, "table shape mismatch");
+    out_indices.clear();
+    out_scores.clear();
+    let k = k.min(c);
+    if k == 0 {
+        return;
+    }
+    if shards <= 1 {
+        select_scored_into(table, d, query, 0..c, k, &mut scratch.candidates);
+        scratch.candidates.sort_unstable_by(result_order);
+        out_indices.extend(scratch.candidates.iter().map(|c| c.index));
+        out_scores.extend(scratch.candidates.iter().map(|c| c.score));
+        return;
+    }
+    let ranges = crate::pool::shard_ranges(c, shards);
+    scratch.partials.clear();
+    scratch.partials.resize(shards * k, SENTINEL);
+    let base = crate::pool::SendPtr::new(scratch.partials.as_mut_ptr());
+    crate::pool::global().run_shards(shards, &|shard| {
+        // Each shard owns partials[shard*k .. (shard+1)*k]: disjoint.
+        let slot = unsafe { std::slice::from_raw_parts_mut(base.get().add(shard * k), k) };
+        let mut found = Vec::with_capacity(k + 1);
+        select_scored_into(table, d, query, ranges[shard].clone(), k, &mut found);
+        slot[..found.len()].copy_from_slice(&found);
+        slot[found.len()..].fill(SENTINEL);
+    });
+    scratch.partials.sort_unstable_by(result_order);
+    out_indices.extend(scratch.partials[..k].iter().map(|c| c.index));
+    out_scores.extend(scratch.partials[..k].iter().map(|c| c.score));
+}
+
+/// Allocation-free fused int8 MIPS over a `[c, d]` quantised table with
+/// per-row `scales` and a pre-quantised query `q8` (per-tensor scale
+/// `qscale`): dequantisation happens in-register per score. Sharding is
+/// adaptive like [`score_topk_into`].
+#[allow(clippy::too_many_arguments)]
+pub fn score_topk_q8_into(
+    data: &[i8],
+    scales: &[f32],
+    q8: &[i32],
+    qscale: f32,
+    c: usize,
+    k: usize,
+    scratch: &mut TopkScratch,
+    out_indices: &mut Vec<u32>,
+    out_scores: &mut Vec<f32>,
+) {
+    let d = q8.len();
+    debug_assert_eq!(data.len(), c * d, "table shape mismatch");
+    debug_assert_eq!(scales.len(), c, "per-row scales mismatch");
+    out_indices.clear();
+    out_scores.clear();
+    let k = k.min(c);
+    if k == 0 {
+        return;
+    }
+    let shards = crate::pool::auto_shards(c);
+    if shards <= 1 {
+        select_scored_q8_into(
+            data,
+            d,
+            scales,
+            q8,
+            qscale,
+            0..c,
+            k,
+            &mut scratch.candidates,
+        );
+        scratch.candidates.sort_unstable_by(result_order);
+        out_indices.extend(scratch.candidates.iter().map(|c| c.index));
+        out_scores.extend(scratch.candidates.iter().map(|c| c.score));
+        return;
+    }
+    let ranges = crate::pool::shard_ranges(c, shards);
+    scratch.partials.clear();
+    scratch.partials.resize(shards * k, SENTINEL);
+    let base = crate::pool::SendPtr::new(scratch.partials.as_mut_ptr());
+    crate::pool::global().run_shards(shards, &|shard| {
+        let slot = unsafe { std::slice::from_raw_parts_mut(base.get().add(shard * k), k) };
+        let mut found = Vec::with_capacity(k + 1);
+        select_scored_q8_into(
+            data,
+            d,
+            scales,
+            q8,
+            qscale,
+            ranges[shard].clone(),
+            k,
+            &mut found,
+        );
+        slot[..found.len()].copy_from_slice(&found);
+        slot[found.len()..].fill(SENTINEL);
+    });
+    scratch.partials.sort_unstable_by(result_order);
+    out_indices.extend(scratch.partials[..k].iter().map(|c| c.index));
+    out_scores.extend(scratch.partials[..k].iter().map(|c| c.score));
 }
 
 #[cfg(test)]
@@ -293,6 +552,128 @@ mod tests {
             assert_eq!(idx, eidx);
             assert_eq!(val, eval);
         }
+    }
+
+    #[test]
+    fn fused_score_topk_matches_score_then_topk() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(23);
+        for &(c, d) in &[(1usize, 1usize), (5, 3), (97, 8), (300, 17), (1000, 32)] {
+            let table: Vec<f32> = (0..c * d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let query: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let k = rng.gen_range(1..=c.min(25));
+            let scores: Vec<f32> = (0..c)
+                .map(|i| crate::simd::dot(&table[i * d..(i + 1) * d], &query))
+                .collect();
+            let expect = topk(&scores, k);
+            assert_eq!(
+                score_topk(&table, &query, c, k),
+                expect,
+                "c={c} d={d} k={k}"
+            );
+            for shards in 1..=6 {
+                assert_eq!(
+                    score_topk_sharded(&table, &query, c, k, shards),
+                    expect,
+                    "c={c} d={d} k={k} shards={shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_q8_matches_unfused_int8_scan() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(29);
+        let (c, d, k) = (500usize, 16usize, 21usize);
+        let data: Vec<i8> = (0..c * d)
+            .map(|_| rng.gen_range(-127i32..=127) as i8)
+            .collect();
+        let scales: Vec<f32> = (0..c).map(|_| rng.gen_range(0.001f32..0.02)).collect();
+        let q8: Vec<i32> = (0..d).map(|_| rng.gen_range(-127i32..=127)).collect();
+        let qscale = 0.0137f32;
+        let scores: Vec<f32> = (0..c)
+            .map(|r| {
+                let row = &data[r * d..(r + 1) * d];
+                let acc: i32 = row.iter().zip(&q8).map(|(&a, &b)| a as i32 * b).sum();
+                acc as f32 * scales[r] * qscale
+            })
+            .collect();
+        let mut scratch = TopkScratch::default();
+        let (mut ids, mut vals) = (Vec::new(), Vec::new());
+        score_topk_q8_into(
+            &data,
+            &scales,
+            &q8,
+            qscale,
+            c,
+            k,
+            &mut scratch,
+            &mut ids,
+            &mut vals,
+        );
+        assert_eq!((ids, vals), topk(&scores, k));
+    }
+
+    #[test]
+    fn fused_rejects_nan_scores_deterministically() {
+        // A NaN query poisons every dot product; the fused scan must map
+        // them all to NEG_INFINITY and fall back to index order, exactly
+        // like the unfused reference.
+        let (c, d) = (50usize, 4usize);
+        let table: Vec<f32> = (0..c * d).map(|i| i as f32 * 0.01).collect();
+        let mut query = vec![1.0f32; d];
+        query[2] = f32::NAN;
+        let (ids, vals) = score_topk(&table, &query, c, 5);
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert!(vals.iter().all(|v| *v == f32::NEG_INFINITY));
+        // One NaN row (not the whole query) is rejected deterministically.
+        let query = vec![1.0f32; d];
+        let mut table = table;
+        table[7 * d] = f32::NAN;
+        let scores: Vec<f32> = (0..c)
+            .map(|i| crate::simd::dot(&table[i * d..(i + 1) * d], &query))
+            .collect();
+        assert_eq!(score_topk(&table, &query, c, 10), topk(&scores, 10));
+    }
+
+    #[test]
+    fn auto_shard_choice_is_serial_below_crossover() {
+        // Satellite regression: the adaptive path must pick the serial
+        // kernel (1 shard) whenever the pool has one thread or the input
+        // is below the measured crossover — so it cannot lose to serial.
+        assert_eq!(crate::pool::shard_count(10_000, 1), 1);
+        assert_eq!(crate::pool::shard_count(10_000, 8), 1);
+        assert_eq!(crate::pool::shard_count(1_000_000, 1), 1);
+        assert!(crate::pool::auto_shards(10_000) == 1 || crate::pool::current_threads() > 1);
+    }
+
+    #[test]
+    fn auto_is_not_slower_than_serial_at_small_catalogs() {
+        // Timing half of the satellite regression at C = 10^4: the auto
+        // path routes to the identical serial code below the crossover,
+        // so its median must stay within 5% of serial (allowing noise).
+        let n = 10_000;
+        let scores: Vec<f32> = (0..n)
+            .map(|i| ((i * 2_654_435_761usize) % 1_000_003) as f32)
+            .collect();
+        let median = |f: &dyn Fn() -> (Vec<u32>, Vec<f32>)| {
+            let mut times: Vec<u128> = (0..9)
+                .map(|_| {
+                    let t = std::time::Instant::now();
+                    std::hint::black_box(f());
+                    t.elapsed().as_nanos()
+                })
+                .collect();
+            times.sort_unstable();
+            times[times.len() / 2]
+        };
+        let serial = median(&|| topk(&scores, 21));
+        let auto = median(&|| topk_auto(&scores, 21));
+        assert!(
+            auto as f64 <= serial as f64 * 1.05 || auto < serial + 50_000,
+            "auto {auto} ns vs serial {serial} ns at C=10^4"
+        );
     }
 
     #[test]

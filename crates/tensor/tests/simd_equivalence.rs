@@ -1,0 +1,255 @@
+//! Property tests pinning the SIMD kernel layer to its scalar reference.
+//!
+//! The dispatch contract (DESIGN.md §12) has two tiers:
+//!
+//! * **bit-identical** — `dot`, the fused `score_topk` family and every
+//!   kernel built on the shared block/reduction layout must return the
+//!   exact same bits on every backend, because top-k *ordering* (and
+//!   therefore recommendation output) must not depend on the host ISA;
+//! * **ULP-bounded** — `softmax_rows` goes through the shared polynomial
+//!   `exp_f32` instead of libm's `exp`, so its outputs are allowed to
+//!   drift by at most [`MAX_SOFTMAX_ULP`] ULPs from the same summation
+//!   algorithm run with `f32::exp`. `layernorm_rows` performs no
+//!   transcendental math and stays bit-identical.
+//!
+//! Edge cases (length 0, 1, `LANES±1`) and NaN handling are pinned
+//! explicitly alongside the randomized sweeps.
+
+use etude_tensor::topk::{score_topk, score_topk_sharded, topk};
+use etude_tensor::{kernels, simd};
+use proptest::prelude::*;
+
+/// Documented ULP tolerance for the softmax path (see DESIGN.md §12):
+/// the polynomial `exp_f32` is within ~2 ULP of libm over the clamped
+/// domain, and the final division adds at most one rounding apiece to
+/// numerator and denominator.
+const MAX_SOFTMAX_ULP: u64 = 4;
+
+/// Distance between two finite f32 values in units in the last place,
+/// via the standard monotone mapping of the IEEE bit patterns.
+fn ulp_distance(a: f32, b: f32) -> u64 {
+    fn ordered(x: f32) -> i64 {
+        let bits = x.to_bits() as i32;
+        i64::from(if bits < 0 { i32::MIN - bits } else { bits })
+    }
+    assert!(a.is_finite() && b.is_finite(), "ulp distance needs finites");
+    (ordered(a) - ordered(b)).unsigned_abs()
+}
+
+/// The seed's textbook row softmax with libm `exp`, kept as the
+/// reference: identical max-fold, summation order and final division,
+/// differing only in which exponential is used.
+fn softmax_rows_reference(a: &[f32], out: &mut [f32], m: usize, n: usize) {
+    for i in 0..m {
+        let row = &a[i * n..(i + 1) * n];
+        let orow = &mut out[i * n..(i + 1) * n];
+        let max = row.iter().fold(f32::NEG_INFINITY, |acc, &x| acc.max(x));
+        let mut sum = 0.0f32;
+        for (o, &x) in orow.iter_mut().zip(row) {
+            let e = (x - max).exp();
+            *o = e;
+            sum += e;
+        }
+        if sum > 0.0 {
+            for o in orow.iter_mut() {
+                *o /= sum;
+            }
+        }
+    }
+}
+
+/// The seed's textbook layer norm; the SIMD kernel computes mean and
+/// variance in the same sequential order and the affine pass performs
+/// per-element identical arithmetic, so this must match bitwise.
+fn layernorm_rows_reference(
+    a: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    out: &mut [f32],
+    m: usize,
+    n: usize,
+) {
+    const EPS: f32 = 1e-5;
+    for i in 0..m {
+        let row = &a[i * n..(i + 1) * n];
+        let orow = &mut out[i * n..(i + 1) * n];
+        let mean = row.iter().sum::<f32>() / n as f32;
+        let var = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        let inv = 1.0 / (var + EPS).sqrt();
+        for j in 0..n {
+            orow[j] = (row[j] - mean) * inv * gamma[j] + beta[j];
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The dispatched dot (scalar or wide, whatever this host runs)
+    /// returns the exact bits of the scalar-backend reference for every
+    /// length, including lengths straddling the block width.
+    #[test]
+    fn dot_is_bit_identical_to_scalar_reference(
+        a in proptest::collection::vec(-8.0f32..8.0, 0..200),
+        seed in any::<u64>(),
+    ) {
+        let b: Vec<f32> = a
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let h = seed.wrapping_mul(i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((h >> 40) as f32 / 8388608.0) - 1.0
+            })
+            .collect();
+        let got = simd::dot(&a, &b);
+        let want = simd::dot_scalar_ref(&a, &b);
+        prop_assert_eq!(got.to_bits(), want.to_bits());
+    }
+
+    /// The fused streaming top-k returns the same indices in the same
+    /// order as scoring with the scalar reference followed by the heap
+    /// selection — for any shard count, so the merge is order-stable too.
+    #[test]
+    fn fused_topk_index_order_matches_scalar_reference(
+        c in 1usize..400,
+        d in 1usize..40,
+        k in 1usize..30,
+        shards in 1usize..6,
+        qseed in any::<u64>(),
+    ) {
+        let table: Vec<f32> = (0..c * d)
+            .map(|i| {
+                let h = (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((h >> 40) as f32 / 8388608.0) - 1.0
+            })
+            .collect();
+        let query: Vec<f32> = (0..d)
+            .map(|i| {
+                let h = qseed.wrapping_add(i as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                ((h >> 40) as f32 / 8388608.0) - 1.0
+            })
+            .collect();
+        let mut scores = vec![0.0f32; c];
+        for (r, s) in scores.iter_mut().enumerate() {
+            *s = simd::dot_scalar_ref(&table[r * d..(r + 1) * d], &query);
+        }
+        let (want_ids, want_scores) = topk(&scores, k);
+        let (got_ids, got_scores) = score_topk(&table, &query, c, k);
+        prop_assert_eq!(&got_ids, &want_ids);
+        prop_assert_eq!(&got_scores, &want_scores);
+        let (sh_ids, sh_scores) = score_topk_sharded(&table, &query, c, k, shards);
+        prop_assert_eq!(&sh_ids, &want_ids);
+        prop_assert_eq!(&sh_scores, &want_scores);
+    }
+
+    /// Vectorized softmax stays within the documented ULP envelope of the
+    /// libm-based reference (same algorithm, different exponential).
+    #[test]
+    fn softmax_is_ulp_bounded_against_libm_reference(
+        m in 1usize..6,
+        n in 1usize..40,
+        lo in -20.0f32..0.0,
+        hi in 0.0f32..20.0,
+        seed in any::<u64>(),
+    ) {
+        let a: Vec<f32> = (0..m * n)
+            .map(|i| {
+                let h = seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let u = (h >> 40) as f32 / 16777216.0; // [0, 1)
+                lo + (hi - lo) * u
+            })
+            .collect();
+        let mut got = vec![0.0f32; m * n];
+        let mut want = vec![0.0f32; m * n];
+        kernels::softmax_rows(&a, &mut got, n);
+        softmax_rows_reference(&a, &mut want, m, n);
+        for (i, (&g, &w)) in got.iter().zip(&want).enumerate() {
+            let ulp = ulp_distance(g, w);
+            prop_assert!(
+                ulp <= MAX_SOFTMAX_ULP,
+                "softmax[{}] {} vs {}: {} ulp",
+                i, g, w, ulp
+            );
+        }
+    }
+
+    /// Vectorized layer norm is bit-identical to the textbook reference:
+    /// mean/variance folds are sequential in both, and the affine pass
+    /// performs the same per-element expression.
+    #[test]
+    fn layernorm_is_bit_identical_to_reference(
+        m in 1usize..6,
+        n in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let a: Vec<f32> = (0..m * n)
+            .map(|i| {
+                let h = seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((h >> 40) as f32 / 8388608.0) - 1.0
+            })
+            .collect();
+        let gamma: Vec<f32> = (0..n).map(|j| 0.5 + 0.01 * j as f32).collect();
+        let beta: Vec<f32> = (0..n).map(|j| -0.2 + 0.02 * j as f32).collect();
+        let mut got = vec![0.0f32; m * n];
+        let mut want = vec![0.0f32; m * n];
+        kernels::layernorm_rows(&a, &gamma, &beta, &mut got, n, 1e-5);
+        layernorm_rows_reference(&a, &gamma, &beta, &mut want, m, n);
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+}
+
+/// Lengths around the block width are where masked epilogues go wrong;
+/// pin 0, 1, `LANES - 1`, `LANES`, `LANES + 1` and a two-block straddle
+/// explicitly.
+#[test]
+fn dot_edge_lengths_match_scalar_reference() {
+    let lens = [
+        0,
+        1,
+        simd::LANES - 1,
+        simd::LANES,
+        simd::LANES + 1,
+        2 * simd::LANES + 3,
+    ];
+    for &len in &lens {
+        let a: Vec<f32> = (0..len).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..len).map(|i| (i as f32 * 0.71).cos()).collect();
+        assert_eq!(
+            simd::dot(&a, &b).to_bits(),
+            simd::dot_scalar_ref(&a, &b).to_bits(),
+            "len {len}"
+        );
+    }
+}
+
+/// Fused top-k with degenerate shapes: empty catalog, single row, k
+/// larger than the catalog.
+#[test]
+fn fused_topk_edge_shapes() {
+    let (ids, scores) = score_topk(&[], &[], 0, 5);
+    assert!(ids.is_empty() && scores.is_empty());
+
+    let (ids, scores) = score_topk(&[1.0, 2.0], &[3.0, 4.0], 1, 5);
+    assert_eq!(ids, vec![0]);
+    assert_eq!(scores, vec![11.0]);
+
+    let table = [1.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+    let (ids, _) = score_topk(&table, &[2.0, 1.0], 3, 10);
+    assert_eq!(ids, vec![2, 0, 1]); // 3.0, 2.0, 1.0
+}
+
+/// NaN scores are rejected deterministically: a NaN query maps every
+/// score to `NEG_INFINITY`, so selection degrades to ascending index
+/// order instead of depending on comparison quirks.
+#[test]
+fn nan_scores_are_rejected_deterministically() {
+    let d = 4;
+    let c = 8;
+    let table: Vec<f32> = (0..c * d).map(|i| i as f32).collect();
+    let query = [f32::NAN, 0.0, 0.0, 0.0];
+    let (ids, scores) = score_topk(&table, &query, c, 3);
+    assert_eq!(ids, vec![0, 1, 2]);
+    assert!(scores.iter().all(|s| *s == f32::NEG_INFINITY));
+}

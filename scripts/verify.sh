@@ -6,17 +6,21 @@
 # fleet aggregation, SLO timeline).
 # Pass --selfheal to add the control-plane smoke stage (autoscaler
 # timeline, rolling-restart chaos acceptance, breaker/ejection props).
+# Pass --simd to add the SIMD kernel-layer stage (backend equivalence
+# property suite on both backends, fused-scan smoke bench).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CHAOS=0
 FLEET=0
 SELFHEAL=0
+SIMD=0
 for arg in "$@"; do
     case "$arg" in
         --chaos) CHAOS=1 ;;
         --fleet) FLEET=1 ;;
         --selfheal) SELFHEAL=1 ;;
+        --simd) SIMD=1 ;;
         *) echo "unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -46,6 +50,15 @@ if [ "$FLEET" = "1" ]; then
     cargo test -q -p etude-loadgen --test tracing
     echo "==> checking results/trace_chaos.json is a trace_event file"
     grep -q '"traceEvents"' results/trace_chaos.json
+fi
+
+if [ "$SIMD" = "1" ]; then
+    echo "==> SIMD equivalence property suite (dispatched backend)"
+    cargo test -q --release -p etude-tensor --test simd_equivalence
+    echo "==> SIMD equivalence property suite (forced scalar backend)"
+    ETUDE_SIMD=scalar cargo test -q --release -p etude-tensor --test simd_equivalence
+    echo "==> parallel_mips --smoke (fused-scan cross-check bench)"
+    cargo bench -q -p etude-bench --bench parallel_mips -- --smoke
 fi
 
 if [ "$SELFHEAL" = "1" ]; then
