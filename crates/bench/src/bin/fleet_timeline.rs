@@ -112,10 +112,12 @@ fn drive(plan: &BenchPlan, replicas: usize, faulted: bool) -> Cell {
         instance: spec.instance,
         replicas,
         model_bytes: spec.model_bytes(),
+        node_budget: None,
     };
 
     let mut sim = Sim::new();
-    let deployment = Deployment::create(&mut sim, deployment_spec, &profile);
+    let deployment =
+        Deployment::create(&mut sim, deployment_spec, &profile).expect("cell spec is feasible");
     sim.run_until(deployment.ready_at());
     let start = sim.now();
     let since_zero = start.as_duration();

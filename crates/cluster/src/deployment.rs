@@ -18,8 +18,67 @@ use etude_control::{ControlAction, DecisionJournal, EjectionConfig};
 use etude_serve::simserver::{RustServerConfig, SimRustServer};
 use etude_serve::ServiceProfile;
 use etude_simnet::{shared, Shared, Sim, SimTime};
+use std::fmt;
 use std::rc::Rc;
 use std::time::Duration;
+
+/// Why a deployment was rejected at admission.
+///
+/// Every replica of a deployment holds the *entire* model, so a catalog
+/// whose embedding table exceeds what one node can dedicate to it cannot
+/// be served by replication at any replica count — the fix is a smaller
+/// model, a bigger node, or a partitioned ([`crate::shard`]) deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeployError {
+    /// Zero replicas were requested.
+    NoReplicas,
+    /// The model does not fit the instance's inference device at all.
+    DeviceCapacity {
+        /// Instance class that was asked to hold the model.
+        instance: InstanceType,
+        /// Bytes the model needs resident.
+        model_bytes: u64,
+        /// Bytes the device offers.
+        capacity: u64,
+    },
+    /// The model fits the device, but exceeds the operator-configured
+    /// per-node memory budget.
+    NodeBudgetExceeded {
+        /// Bytes each replica would need resident.
+        model_bytes: u64,
+        /// The configured per-node budget.
+        node_budget: u64,
+    },
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::NoReplicas => write!(f, "deployment needs at least one replica"),
+            DeployError::DeviceCapacity {
+                instance,
+                model_bytes,
+                capacity,
+            } => write!(
+                f,
+                "model needs {model_bytes} bytes but a {} device holds {capacity}; \
+                 every replica carries the full model — shard the catalog instead",
+                instance.name()
+            ),
+            DeployError::NodeBudgetExceeded {
+                model_bytes,
+                node_budget,
+            } => write!(
+                f,
+                "full-catalog replica needs {model_bytes} bytes resident, over the \
+                 {node_budget}-byte node budget; replication cannot fix this — \
+                 shard the catalog instead"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
 
 /// What to deploy.
 #[derive(Debug, Clone)]
@@ -31,6 +90,11 @@ pub struct DeploymentSpec {
     /// Bytes of the serialised model (drives pod startup time and device
     /// memory feasibility).
     pub model_bytes: u64,
+    /// Operator-configured per-node memory budget in bytes. `None`
+    /// defers to the device capacity alone; `Some(b)` additionally
+    /// rejects any replica whose resident model exceeds `b` — the knob
+    /// that forces large catalogs onto a sharded deployment.
+    pub node_budget: Option<u64>,
 }
 
 impl DeploymentSpec {
@@ -40,7 +104,14 @@ impl DeploymentSpec {
             instance,
             replicas: 1,
             model_bytes,
+            node_budget: None,
         }
+    }
+
+    /// Caps every replica's resident model at `bytes`.
+    pub fn with_node_budget(mut self, bytes: u64) -> DeploymentSpec {
+        self.node_budget = Some(bytes);
+        self
     }
 
     /// Monthly cost of the deployment.
@@ -48,9 +119,32 @@ impl DeploymentSpec {
         self.instance.monthly_cost() * self.replicas as f64
     }
 
-    /// Whether the model fits the instance's inference device at all.
+    /// Admission check: replica count, device capacity, node budget.
+    pub fn admit(&self) -> Result<(), DeployError> {
+        if self.replicas == 0 {
+            return Err(DeployError::NoReplicas);
+        }
+        if !self.instance.fits_model(self.model_bytes) {
+            return Err(DeployError::DeviceCapacity {
+                instance: self.instance,
+                model_bytes: self.model_bytes,
+                capacity: self.instance.device().profile().memory_capacity,
+            });
+        }
+        if let Some(budget) = self.node_budget {
+            if self.model_bytes > budget {
+                return Err(DeployError::NodeBudgetExceeded {
+                    model_bytes: self.model_bytes,
+                    node_budget: budget,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the deployment passes admission at all.
     pub fn feasible(&self) -> bool {
-        self.replicas > 0 && self.instance.fits_model(self.model_bytes)
+        self.admit().is_ok()
     }
 }
 
@@ -71,8 +165,13 @@ const DRAIN_POLL: Duration = Duration::from_millis(100);
 impl Deployment {
     /// Deploys `replicas` pods, each running the inference server
     /// configured for the instance class (worker pool on CPU, batcher on
-    /// GPU), and schedules their startup.
-    pub fn create(sim: &mut Sim, spec: DeploymentSpec, profile: &ServiceProfile) -> Deployment {
+    /// GPU), and schedules their startup. Rejects specs that fail
+    /// admission ([`DeploymentSpec::admit`]) before any pod is created.
+    pub fn create(
+        sim: &mut Sim,
+        spec: DeploymentSpec,
+        profile: &ServiceProfile,
+    ) -> Result<Deployment, DeployError> {
         Deployment::build(sim, spec, profile, None, shared(DecisionJournal::new()))
     }
 
@@ -85,7 +184,7 @@ impl Deployment {
         profile: &ServiceProfile,
         ejection: EjectionConfig,
         journal: Shared<DecisionJournal>,
-    ) -> Deployment {
+    ) -> Result<Deployment, DeployError> {
         Deployment::build(sim, spec, profile, Some(ejection), journal)
     }
 
@@ -95,7 +194,8 @@ impl Deployment {
         profile: &ServiceProfile,
         ejection: Option<EjectionConfig>,
         journal: Shared<DecisionJournal>,
-    ) -> Deployment {
+    ) -> Result<Deployment, DeployError> {
+        spec.admit()?;
         let mut pods = Vec::with_capacity(spec.replicas);
         let mut ready_at = sim.now();
         for replica in 0..spec.replicas {
@@ -107,14 +207,14 @@ impl Deployment {
             Some(config) => ClusterIpService::with_ejection(pods, config, Rc::clone(&journal)),
             None => ClusterIpService::new(pods),
         };
-        Deployment {
+        Ok(Deployment {
             next_id: shared(spec.replicas as u32),
             spec,
             profile: profile.clone(),
             service,
             ready_at,
             journal,
-        }
+        })
     }
 
     /// The deployment's spec (replica count as originally deployed;
@@ -283,6 +383,7 @@ mod tests {
             instance: InstanceType::GpuT4,
             replicas: 5,
             model_bytes: 0,
+            node_budget: None,
         };
         assert!((spec.monthly_cost() - 1_340.45).abs() < 1e-9);
     }
@@ -295,8 +396,9 @@ mod tests {
             instance: InstanceType::CpuE2,
             replicas: 3,
             model_bytes: 100_000_000,
+            node_budget: None,
         };
-        let deployment = Deployment::create(&mut sim, spec, &profile);
+        let deployment = Deployment::create(&mut sim, spec, &profile).unwrap();
         assert!(!deployment.service().all_ready());
         sim.run_until(deployment.ready_at());
         assert!(deployment.service().all_ready());
@@ -318,8 +420,63 @@ mod tests {
         // A 20 GB table cannot be served from a T4.
         let spec = DeploymentSpec::single(InstanceType::GpuT4, 20 * (1 << 30));
         assert!(!spec.feasible());
+        assert!(matches!(
+            spec.admit(),
+            Err(DeployError::DeviceCapacity { .. })
+        ));
         let spec = DeploymentSpec::single(InstanceType::GpuA100, 20 * (1 << 30));
         assert!(spec.feasible());
+        assert_eq!(spec.admit(), Ok(()));
+    }
+
+    #[test]
+    fn node_budget_rejects_full_catalog_replicas() {
+        // C = 10^7 at d = 57: a 2.28 GB table fits the device, but an
+        // operator budget of 1 GB per node rejects replication outright.
+        let table = 10_000_000u64 * 57 * 4;
+        let spec = DeploymentSpec {
+            instance: InstanceType::CpuE2,
+            replicas: 4,
+            model_bytes: table,
+            node_budget: None,
+        }
+        .with_node_budget(1 << 30);
+        let err = spec.admit().unwrap_err();
+        assert_eq!(
+            err,
+            DeployError::NodeBudgetExceeded {
+                model_bytes: table,
+                node_budget: 1 << 30,
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("shard the catalog"), "{msg}");
+        // The budget is per node: adding replicas cannot help.
+        let mut sim = Sim::new();
+        let profile = ServiceProfile::static_response(&Device::cpu());
+        let more = DeploymentSpec {
+            replicas: 64,
+            ..spec.clone()
+        };
+        assert!(Deployment::create(&mut sim, more, &profile).is_err());
+        // A shard-sized slice under the budget is admitted.
+        let slice = DeploymentSpec {
+            model_bytes: table / 4,
+            ..spec
+        };
+        assert_eq!(slice.admit(), Ok(()));
+        assert!(Deployment::create(&mut sim, slice, &profile).is_ok());
+    }
+
+    #[test]
+    fn zero_replicas_are_rejected() {
+        let spec = DeploymentSpec {
+            instance: InstanceType::CpuE2,
+            replicas: 0,
+            model_bytes: 0,
+            node_budget: None,
+        };
+        assert_eq!(spec.admit(), Err(DeployError::NoReplicas));
     }
 
     #[test]
@@ -330,12 +487,14 @@ mod tests {
             &mut sim,
             DeploymentSpec::single(InstanceType::CpuE2, 0),
             &profile,
-        );
+        )
+        .unwrap();
         let large = Deployment::create(
             &mut sim,
             DeploymentSpec::single(InstanceType::CpuE2, 5_000_000_000),
             &profile,
-        );
+        )
+        .unwrap();
         assert!(
             large.ready_at().since(small.ready_at()) > Duration::from_secs(10),
             "5 GB of model weights should add noticeable startup time"
@@ -352,9 +511,11 @@ mod tests {
                 instance: InstanceType::CpuE2,
                 replicas: 4,
                 model_bytes: 0,
+                node_budget: None,
             },
             &profile,
-        );
+        )
+        .unwrap();
         let ids: Vec<u32> = d.pods().iter().map(|p| p.id()).collect();
         assert_eq!(ids, vec![0, 1, 2, 3]);
         let summaries = d.service().pod_summaries();
@@ -370,7 +531,8 @@ mod tests {
             &mut sim,
             DeploymentSpec::single(InstanceType::GpuT4, 0),
             &profile,
-        );
+        )
+        .unwrap();
         assert_eq!(d.pods().len(), 1);
     }
 
@@ -384,9 +546,11 @@ mod tests {
                 instance: InstanceType::CpuE2,
                 replicas: 2,
                 model_bytes: 0,
+                node_budget: None,
             },
             &profile,
-        );
+        )
+        .unwrap();
         sim.run_until(d.ready_at());
         d.scale_to(&mut sim, 4);
         assert_eq!(d.replicas(), 4);
@@ -409,9 +573,11 @@ mod tests {
                 instance: InstanceType::CpuE2,
                 replicas: 3,
                 model_bytes: 0,
+                node_budget: None,
             },
             &profile,
-        );
+        )
+        .unwrap();
         sim.run_until(d.ready_at());
         d.scale_to(&mut sim, 2);
         // Pod 2 drains; with no in-flight work the next poll reaps it.
@@ -435,9 +601,11 @@ mod tests {
                 instance: InstanceType::CpuE2,
                 replicas: 3,
                 model_bytes: 0,
+                node_budget: None,
             },
             &profile,
-        );
+        )
+        .unwrap();
         sim.run_until(d.ready_at());
         let old_ids: Vec<u32> = d.pods().iter().map(|p| p.id()).collect();
         let handle = d.rolling_update(&mut sim, RolloutBudget::zero_downtime());

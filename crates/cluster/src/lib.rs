@@ -13,16 +13,22 @@
 //!   deployable, routable unit with a monthly cost, reconciled at runtime
 //!   via `scale_to` and `rolling_update`,
 //! * [`rollout`] — the rolling-restart reconciler: replaces pods under
-//!   maxSurge/maxUnavailable budgets with drain-before-terminate.
+//!   maxSurge/maxUnavailable budgets with drain-before-terminate,
+//! * [`shard`] — catalog partitioning: a [`shard::ShardPlan`] splits the
+//!   embedding table into contiguous slices and deploys one replica set
+//!   per slice, admitting catalogs whose full table the per-node memory
+//!   budget rejects.
 
 pub mod deployment;
 pub mod instances;
 pub mod pod;
 pub mod rollout;
 pub mod service;
+pub mod shard;
 
-pub use deployment::{Deployment, DeploymentSpec};
+pub use deployment::{DeployError, Deployment, DeploymentSpec};
 pub use instances::InstanceType;
 pub use pod::{Pod, PodLoadStats, PodPhase};
 pub use rollout::{RolloutBudget, RolloutHandle};
 pub use service::ClusterIpService;
+pub use shard::{ShardPlan, ShardSlice, ShardedDeployment};

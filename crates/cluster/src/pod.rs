@@ -46,6 +46,7 @@ pub struct Pod {
     state: Shared<PodState>,
     server: Rc<dyn SimService>,
     startup: Duration,
+    model_bytes: u64,
 }
 
 /// One pod's load counters, as the fleet view reports them: how much
@@ -94,12 +95,19 @@ impl Pod {
             }),
             server,
             startup: BASE_STARTUP + download,
+            model_bytes,
         })
     }
 
     /// The pod's replica index.
     pub fn id(&self) -> u32 {
         self.id
+    }
+
+    /// Bytes of model weights resident on this pod. Replicated pods
+    /// report the full table; shard-group pods report only their slice.
+    pub fn model_bytes(&self) -> u64 {
+        self.model_bytes
     }
 
     /// Schedules the startup sequence; the pod becomes ready after its

@@ -25,17 +25,21 @@ fn chaos_run(rps: u64) -> (LoadTestResult, String, usize) {
     let mut sim = Sim::new();
     let profile = ServiceProfile::static_response(&Device::cpu());
     let journal = shared(DecisionJournal::new());
-    let deployment = Rc::new(Deployment::create_managed(
-        &mut sim,
-        DeploymentSpec {
-            instance: InstanceType::CpuE2,
-            replicas: 4,
-            model_bytes: 0,
-        },
-        &profile,
-        EjectionConfig::default(),
-        Rc::clone(&journal),
-    ));
+    let deployment = Rc::new(
+        Deployment::create_managed(
+            &mut sim,
+            DeploymentSpec {
+                instance: InstanceType::CpuE2,
+                replicas: 4,
+                model_bytes: 0,
+                node_budget: None,
+            },
+            &profile,
+            EjectionConfig::default(),
+            Rc::clone(&journal),
+        )
+        .unwrap(),
+    );
     sim.run_until(deployment.ready_at());
     let start = sim.now();
 

@@ -58,6 +58,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         instance: spec.instance,
         replicas: spec.replicas,
         model_bytes: spec.model_bytes(),
+        node_budget: None,
     };
     let monthly_cost = deployment_spec.monthly_cost();
     if !deployment_spec.feasible() {
@@ -89,7 +90,10 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
     let log = workload.generate(expected_requests + 1_000);
 
     let mut sim = Sim::new();
-    let deployment = Rc::new(Deployment::create(&mut sim, deployment_spec, &profile));
+    let deployment = Rc::new(
+        Deployment::create(&mut sim, deployment_spec, &profile)
+            .expect("spec passed the feasibility gate above"),
+    );
     // The spec's fault schedule covers both layers: crash windows take
     // pods down (relative to virtual time zero), everything else rides
     // on the client-server network path.

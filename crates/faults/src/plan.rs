@@ -117,6 +117,15 @@ impl FaultPlan {
         self
     }
 
+    /// A shard-loss chaos plan: one [`FaultKind::Crash`] window over
+    /// `[from, until)`. Applied to *every* pod of a single shard group
+    /// it takes the whole catalog slice offline at once — no replica
+    /// failover can mask it — which is exactly the scenario the
+    /// scatter/gather router must degrade through rather than fail.
+    pub fn shard_loss(seed: u64, from: Duration, until: Duration) -> FaultPlan {
+        FaultPlan::seeded(seed).with_window(from, until, FaultKind::Crash)
+    }
+
     /// Whether the plan schedules no faults at all.
     pub fn is_calm(&self) -> bool {
         self.windows.is_empty()
@@ -293,6 +302,18 @@ mod tests {
         assert!(parse_plan("hello").is_none());
         assert!(parse_plan("{}").is_none());
         assert!(parse_plan("{\"seed\": 1}").is_none());
+    }
+
+    #[test]
+    fn shard_loss_is_a_total_crash_window() {
+        let plan = FaultPlan::shard_loss(7, Duration::from_secs(1), Duration::from_secs(3));
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.windows.len(), 1);
+        assert_eq!(plan.windows[0].kind, FaultKind::Crash);
+        assert_eq!(plan.active_at(Duration::from_secs(2)).count(), 1);
+        assert_eq!(plan.active_at(Duration::from_secs(3)).count(), 0);
+        // Chaos plans persist and replay like any other.
+        assert_eq!(parse_plan(&plan.render_json()).unwrap(), plan);
     }
 
     #[test]

@@ -323,6 +323,15 @@ impl IvfIndex {
         }
     }
 
+    /// Returns a copy of this index probing `nprobe` clusters per query.
+    /// The expensive k-means build is shared — sweep `nprobe` without
+    /// re-clustering.
+    pub fn with_nprobe(&self, nprobe: usize) -> IvfIndex {
+        let mut index = self.clone();
+        index.nprobe = nprobe.clamp(1, self.lists.len());
+        index
+    }
+
     /// Mean fraction of the catalog scanned per query.
     pub fn scan_fraction(&self) -> f64 {
         let mut sizes: Vec<usize> = self.lists.iter().map(Vec::len).collect();
@@ -381,6 +390,127 @@ impl MipsIndex for IvfIndex {
     fn name(&self) -> &'static str {
         "ivf"
     }
+}
+
+/// A contiguous slice of the catalog served by one shard group in the
+/// scatter/gather tier: rows `[base, base + len)` of the global `[c, d]`
+/// embedding table, searched with the same fused [`score_topk_into`]
+/// kernel as [`ExactIndex`] but reporting **global** item ids
+/// (`base + local row`). Because the slice rows are bit-identical to the
+/// corresponding global rows and the selection comparator is shared,
+/// concatenating per-shard results and re-sorting (the router's
+/// `merge_shard_topk`) reproduces the unsharded scan exactly.
+#[derive(Debug, Clone)]
+pub struct CatalogShard {
+    index: ExactIndex,
+    base: u32,
+}
+
+impl CatalogShard {
+    /// Extracts rows `range` of a global `[_, d]` row-major table.
+    pub fn from_table(table: &[f32], d: usize, range: std::ops::Range<usize>) -> CatalogShard {
+        let slice = table[range.start * d..range.end * d].to_vec();
+        CatalogShard {
+            index: ExactIndex::new(slice, range.len(), d),
+            base: range.start as u32,
+        }
+    }
+
+    /// Wraps an already-extracted slice whose row 0 is global row `base`.
+    pub fn new(slice: Vec<f32>, d: usize, base: u32) -> CatalogShard {
+        let rows = slice.len() / d.max(1);
+        CatalogShard {
+            index: ExactIndex::new(slice, rows, d),
+            base,
+        }
+    }
+
+    /// First global row held by this shard.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Number of catalog rows held by this shard.
+    pub fn rows(&self) -> usize {
+        self.index.c
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.index.d
+    }
+
+    /// Allocation-free slice search reporting global item ids.
+    pub fn search_into(
+        &self,
+        query: &[f32],
+        k: usize,
+        scratch: &mut SearchScratch,
+        out_ids: &mut Vec<u32>,
+        out_scores: &mut Vec<f32>,
+    ) {
+        self.index
+            .search_into(query, k, scratch, out_ids, out_scores);
+        for id in out_ids.iter_mut() {
+            *id += self.base;
+        }
+    }
+}
+
+impl MipsIndex for CatalogShard {
+    fn search(&self, query: &[f32], k: usize) -> (Vec<u32>, Vec<f32>) {
+        let mut ids = Vec::with_capacity(k);
+        let mut scores = Vec::with_capacity(k);
+        with_thread_scratch(|scratch| self.search_into(query, k, scratch, &mut ids, &mut scores));
+        (ids, scores)
+    }
+
+    fn cost_spec(&self) -> CostSpec {
+        self.index.cost_spec()
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        self.index.memory_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "shard"
+    }
+}
+
+/// Deterministic session-to-query embedding shared by every retrieval
+/// backend in the scatter/gather tier.
+///
+/// Shard pods hold only their catalog slice, so they cannot look up
+/// embeddings for arbitrary session items; the (tiny) session encoder is
+/// therefore replicated as a *pure function* of the item ids — a seeded
+/// hash embedding with recency weighting — while only the `C x d` catalog
+/// scan is partitioned. The unsharded reference server and every shard
+/// backend call this same function, so a query produces bit-identical
+/// vectors everywhere and bit-identity of the merged top-k reduces to
+/// bit-identity of the partitioned scan.
+pub fn encode_session_query(items: &[u32], d: usize, seed: u64) -> Vec<f32> {
+    let mut q = vec![0.0f32; d];
+    for (pos, &item) in items.iter().enumerate() {
+        // Later items dominate, mirroring the recency bias of real
+        // session encoders.
+        let weight = 1.0 / (items.len() - pos) as f32;
+        for (j, slot) in q.iter_mut().enumerate() {
+            // FNV-1a over (seed, item, dim), mapped into [-1, 1).
+            let mut h = 0xcbf29ce484222325u64 ^ seed;
+            for byte in item
+                .to_le_bytes()
+                .into_iter()
+                .chain((j as u32).to_le_bytes())
+            {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            let unit = (h >> 40) as f32 / (1u64 << 24) as f32;
+            *slot += weight * (2.0 * unit - 1.0);
+        }
+    }
+    q
 }
 
 /// Recall@k of `approx` against ground-truth ids `exact`.
@@ -533,6 +663,69 @@ mod tests {
                 etude_tensor::kernels::dot(&table[i * d..(i + 1) * d], &q)
             );
         }
+    }
+
+    #[test]
+    fn shard_search_reports_global_ids() {
+        let (c, d, k) = (1_000, 8, 21);
+        let table = random_table(c, d, 12);
+        let exact = ExactIndex::new(table.clone(), c, d);
+        let q = random_query(d, 13);
+        let (gids, gscores) = exact.search(&q, k);
+        // Partition into three uneven slices and merge the partials.
+        let cuts = [0usize, 300, 650, c];
+        let mut partials = Vec::new();
+        for w in cuts.windows(2) {
+            let shard = CatalogShard::from_table(&table, d, w[0]..w[1]);
+            assert_eq!(shard.base() as usize, w[0]);
+            assert_eq!(shard.rows(), w[1] - w[0]);
+            assert_eq!(shard.memory_bytes(), 4 * ((w[1] - w[0]) * d) as u64);
+            let (ids, scores) = shard.search(&q, k);
+            assert!(ids
+                .iter()
+                .all(|&i| (i as usize) >= w[0] && (i as usize) < w[1]));
+            partials.push((ids, scores));
+        }
+        let merged = etude_tensor::topk::merge_shard_topk(&partials, k);
+        assert_eq!(merged, (gids, gscores));
+    }
+
+    #[test]
+    fn full_range_shard_matches_exact_index() {
+        let (c, d, k) = (500, 12, 10);
+        let table = random_table(c, d, 14);
+        let exact = ExactIndex::new(table.clone(), c, d);
+        let shard = CatalogShard::from_table(&table, d, 0..c);
+        let q = random_query(d, 15);
+        assert_eq!(shard.search(&q, k), exact.search(&q, k));
+    }
+
+    #[test]
+    fn session_query_is_deterministic_and_seed_sensitive() {
+        let items = [3u32, 9, 4, 9];
+        let a = encode_session_query(&items, 18, 7);
+        let b = encode_session_query(&items, 18, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 18);
+        assert!(a.iter().any(|&x| x != 0.0));
+        let c = encode_session_query(&items, 18, 8);
+        assert_ne!(a, c);
+        // Order matters (recency weighting).
+        let d = encode_session_query(&[9, 4, 9, 3], 18, 7);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn with_nprobe_shares_the_build() {
+        let (c, d) = (2_000, 8);
+        let table = random_table(c, d, 16);
+        let base = IvfIndex::build(table, c, d, 32, 4);
+        let wide = base.with_nprobe(16);
+        assert_eq!(wide.nprobe(), 16);
+        assert_eq!(base.nprobe(), 4);
+        assert!(wide.scan_fraction() > base.scan_fraction());
+        // Clamped to nlist.
+        assert_eq!(base.with_nprobe(10_000).nprobe(), 32);
     }
 
     #[test]

@@ -28,6 +28,25 @@ pub struct StageSkew {
     pub p99_max_us: u64,
 }
 
+/// Health and residency of one shard group in a scatter/gather tier:
+/// which catalog slice it owns, how many bytes each replica keeps
+/// resident, and how many of its replicas answered the last scrape.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardGroupHealth {
+    /// Shard group id (position in the partition).
+    pub group: u32,
+    /// First global catalog row of the group's slice.
+    pub base: u64,
+    /// Rows in the group's slice.
+    pub rows: u64,
+    /// Embedding-table bytes resident on *each* replica of this group.
+    pub resident_bytes: u64,
+    /// Configured replicas.
+    pub replicas: usize,
+    /// Replicas that answered the last scrape.
+    pub healthy: usize,
+}
+
 /// A scrape of the whole fleet.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FleetSnapshot {
@@ -38,6 +57,9 @@ pub struct FleetSnapshot {
     /// Pods a stateful scraper has declared unhealthy: several
     /// *consecutive* failed scrapes, not just a blip in this one.
     pub unhealthy: usize,
+    /// Shard-group topology and health, when the fleet is a
+    /// scatter/gather tier (empty for replicated fleets).
+    pub shards: Vec<ShardGroupHealth>,
 }
 
 impl FleetSnapshot {
@@ -48,12 +70,19 @@ impl FleetSnapshot {
             pods,
             unreachable,
             unhealthy: 0,
+            shards: Vec::new(),
         }
     }
 
     /// Attaches a stateful scraper's unhealthy-pod count.
     pub fn with_unhealthy(mut self, unhealthy: usize) -> FleetSnapshot {
         self.unhealthy = unhealthy;
+        self
+    }
+
+    /// Attaches shard-group topology/health rows (scatter/gather tiers).
+    pub fn with_shards(mut self, shards: Vec<ShardGroupHealth>) -> FleetSnapshot {
+        self.shards = shards;
         self
     }
 
@@ -136,6 +165,20 @@ impl FleetSnapshot {
             self.sum(|p| p.degraded),
             self.sum(|p| p.faults),
         ));
+        if !self.shards.is_empty() {
+            out.push_str("  \"shards\": [");
+            for (i, s) in self.shards.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n    {{\"group\": {}, \"base\": {}, \"rows\": {}, \
+                     \"resident_bytes\": {}, \"replicas\": {}, \"healthy\": {}}}",
+                    s.group, s.base, s.rows, s.resident_bytes, s.replicas, s.healthy
+                ));
+            }
+            out.push_str("\n  ],\n");
+        }
         out.push_str("  \"skew\": [");
         for (i, s) in self.skew().iter().enumerate() {
             if i > 0 {
@@ -261,6 +304,24 @@ impl FleetSnapshot {
                 ));
             }
         }
+        if !self.shards.is_empty() {
+            out.push_str(
+                "# HELP etude_shard_healthy_replicas Replicas of each shard group that answered the last scrape.\n\
+                 # TYPE etude_shard_healthy_replicas gauge\n\
+                 # HELP etude_shard_resident_bytes Embedding-table bytes resident on each replica of the group.\n\
+                 # TYPE etude_shard_resident_bytes gauge\n",
+            );
+            for s in &self.shards {
+                out.push_str(&format!(
+                    "etude_shard_healthy_replicas{{group=\"{}\"}} {}\n",
+                    s.group, s.healthy
+                ));
+                out.push_str(&format!(
+                    "etude_shard_resident_bytes{{group=\"{}\"}} {}\n",
+                    s.group, s.resident_bytes
+                ));
+            }
+        }
         out
     }
 }
@@ -319,6 +380,32 @@ pub fn parse_fleet_health(body: &str) -> Option<(u64, u64, u64)> {
         crate::stats::num_field(head, "unreachable")?,
         crate::stats::num_field(head, "unhealthy")?,
     ))
+}
+
+/// Parses the `shards` section of a `/fleet` JSON document. `Some([])`
+/// when the document has no shard section (replicated fleets).
+pub fn parse_fleet_shards(body: &str) -> Option<Vec<ShardGroupHealth>> {
+    let Some(at) = body.find("\"shards\"") else {
+        return Some(Vec::new());
+    };
+    let rest = &body[at..];
+    let end = rest.find(']')?;
+    let mut scan = &rest[..end];
+    let mut rows = Vec::new();
+    while let Some(open) = scan.find('{') {
+        let close = scan[open..].find('}')? + open;
+        let obj = &scan[open..=close];
+        rows.push(ShardGroupHealth {
+            group: crate::stats::num_field(obj, "group")?,
+            base: crate::stats::num_field(obj, "base")?,
+            rows: crate::stats::num_field(obj, "rows")?,
+            resident_bytes: crate::stats::num_field(obj, "resident_bytes")?,
+            replicas: crate::stats::num_field(obj, "replicas")?,
+            healthy: crate::stats::num_field(obj, "healthy")?,
+        });
+        scan = &scan[close + 1..];
+    }
+    Some(rows)
 }
 
 /// Builds a fleet snapshot from raw `/stats` bodies; unparseable or
@@ -440,6 +527,43 @@ mod tests {
         assert!(text.contains("etude_fleet_unhealthy 1"));
         // The parsers that predate the field still work.
         assert_eq!(parse_fleet_pods(&json).map(|r| r.len()), Some(1));
+    }
+
+    #[test]
+    fn shard_sections_render_and_parse() {
+        let shards = vec![
+            ShardGroupHealth {
+                group: 0,
+                base: 0,
+                rows: 500_000,
+                resident_bytes: 64_000_000,
+                replicas: 2,
+                healthy: 2,
+            },
+            ShardGroupHealth {
+                group: 1,
+                base: 500_000,
+                rows: 500_000,
+                resident_bytes: 64_000_000,
+                replicas: 2,
+                healthy: 0,
+            },
+        ];
+        let fleet = FleetSnapshot::new(vec![pod_snapshot(0, &[10])], 2).with_shards(shards.clone());
+        let json = fleet.render_json();
+        assert_eq!(parse_fleet_shards(&json).unwrap(), shards);
+        // The shard section must not confuse the pre-existing parsers.
+        assert_eq!(parse_fleet_health(&json), Some((1, 2, 0)));
+        assert_eq!(parse_fleet_pods(&json).map(|r| r.len()), Some(1));
+        assert_eq!(parse_fleet_merged(&json), Some(fleet.merged_counts()));
+        let text = fleet.render_prometheus();
+        assert!(text.contains("etude_shard_healthy_replicas{group=\"1\"} 0"));
+        assert!(text.contains("etude_shard_resident_bytes{group=\"0\"} 64000000"));
+        // Replicated fleets have no section, and the parser reports that
+        // as an empty topology rather than a failure.
+        let plain = FleetSnapshot::new(vec![pod_snapshot(0, &[10])], 0).render_json();
+        assert!(!plain.contains("\"shards\""));
+        assert_eq!(parse_fleet_shards(&plain), Some(Vec::new()));
     }
 
     #[test]

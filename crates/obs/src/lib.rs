@@ -49,7 +49,9 @@ pub mod stats;
 pub mod trace;
 pub mod window;
 
-pub use fleet::{parse_fleet_health, FleetSnapshot, StageSkew};
+pub use fleet::{
+    parse_fleet_health, parse_fleet_shards, FleetSnapshot, ShardGroupHealth, StageSkew,
+};
 pub use recorder::{Recorder, SpanGuard};
 pub use ring::SpanRing;
 pub use slo::{SloCause, SloMonitor, SloPolicy, SloReport, SloViolation, TickAttribution};

@@ -298,6 +298,38 @@ pub fn encode_recommendations(items: &[u32], scores: &[f32]) -> String {
         .join(",")
 }
 
+/// Decodes a recommendation response body (`id:score,...`) back into
+/// parallel id/score vectors — the inverse of [`encode_recommendations`].
+/// Scores round-trip bit-exactly: the encoder prints f32s with Rust's
+/// shortest-round-trip `Display`, which `parse::<f32>` recovers exactly,
+/// so the scatter/gather router can merge shard replies without losing
+/// the bit-identity contract.
+pub fn decode_recommendations(body: &[u8]) -> Result<(Vec<u32>, Vec<f32>), HttpError> {
+    let s = std::str::from_utf8(body).map_err(|_| HttpError::Malformed("non-utf8 body"))?;
+    let mut ids = Vec::new();
+    let mut scores = Vec::new();
+    if s.trim().is_empty() {
+        return Ok((ids, scores));
+    }
+    for pair in s.trim().split(',') {
+        let (id, score) = pair
+            .split_once(':')
+            .ok_or(HttpError::Malformed("pair without colon"))?;
+        ids.push(
+            id.trim()
+                .parse()
+                .map_err(|_| HttpError::Malformed("bad item id"))?,
+        );
+        scores.push(
+            score
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::Malformed("bad score"))?,
+        );
+    }
+    Ok((ids, scores))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,5 +415,30 @@ mod tests {
     fn recommendation_body_format() {
         let body = encode_recommendations(&[7, 9], &[0.5, 0.25]);
         assert_eq!(body, "7:0.5,9:0.25");
+    }
+
+    #[test]
+    fn recommendation_body_roundtrips_bit_exactly() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(17);
+        let ids: Vec<u32> = (0..50).map(|_| rng.gen()).collect();
+        let scores: Vec<f32> = (0..50)
+            .map(|_| {
+                f32::from_bits(rng.gen::<u32>() & 0x7f7f_ffff) * if rng.gen() { 1.0 } else { -1.0 }
+            })
+            .collect();
+        let body = encode_recommendations(&ids, &scores);
+        let (rids, rscores) = decode_recommendations(body.as_bytes()).unwrap();
+        assert_eq!(rids, ids);
+        for (a, b) in rscores.iter().zip(&scores) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(
+            decode_recommendations(b"").unwrap(),
+            (Vec::new(), Vec::new())
+        );
+        assert!(decode_recommendations(b"7:0.5,9").is_err());
+        assert!(decode_recommendations(b"x:0.5").is_err());
+        assert!(decode_recommendations(b"7:zz").is_err());
     }
 }

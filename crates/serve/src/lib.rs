@@ -19,6 +19,10 @@
 //! * [`fleet`] — the fleet aggregation endpoint: scrape every pod's
 //!   `/stats`, merge bit-identically, serve `/fleet` (JSON) and
 //!   `/fleet/metrics` (Prometheus),
+//! * [`router`] — the scatter/gather tier for partitioned catalogs:
+//!   shard-backend routes over a catalog slice, and the router that
+//!   fans out, merges partial top-k bit-identically, and degrades
+//!   gracefully on shard-group loss,
 //! * [`service`] — [`service::ServiceProfile`], the bridge between model
 //!   costs and service times,
 //! * [`simserver`] — the same two server architectures as queueing models
@@ -30,12 +34,17 @@ pub mod batching;
 pub mod client;
 pub mod fleet;
 pub mod http;
+pub mod router;
 pub mod rustserver;
 pub mod service;
 pub mod simserver;
 
 pub use client::{ClientError, HttpClient, ResilientClient, ResilientResponse};
 pub use fleet::{fleet_routes, scrape_fleet, FleetScraper};
+pub use router::{
+    router_routes, scrape_shard_fleet, shard_backend_routes, RouterConfig, ShardGroupSpec,
+    ShardTopology,
+};
 pub use rustserver::{inject_faults, DegradationPolicy, DEGRADED_HEADER, RESET_MARKER};
 pub use service::{ServiceProfile, TorchServeProfile};
 pub use simserver::{RespondFn, ServeError, SimService};

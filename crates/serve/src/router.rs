@@ -1,0 +1,458 @@
+//! The scatter/gather routing tier for partitioned-catalog serving.
+//!
+//! At C = 10^7–10^8 the embedding table alone outgrows a single node, so
+//! the catalog is partitioned across *shard groups*: each group is a
+//! replica set of pods holding only its contiguous slice of the
+//! embedding table ([`etude_models::retrieval::CatalogShard`]). A router
+//! pod fans every prediction out to one healthy replica per group,
+//! merges the partial top-k results, and answers the client — paying a
+//! fan-out/merge cost instead of a memory wall.
+//!
+//! Correctness contract (verified by proptests and the chaos suite):
+//!
+//! * **Full health**: the merged top-k is **bit-identical** to an
+//!   unsharded fused [`etude_tensor::topk::score_topk`] scan of the full
+//!   table. Each shard runs the same kernel over its slice reporting
+//!   global ids; scores survive the wire exactly (Rust's shortest
+//!   round-trip f32 formatting); the merge comparator
+//!   ([`etude_tensor::topk::merge_shard_topk`]) equals the kernel's.
+//! * **Partial health**: when every replica of a group is unreachable,
+//!   the router serves the exact top-k of the *surviving* slices —
+//!   a `200` tagged [`DEGRADED_HEADER`], counted as `degraded` on
+//!   `/stats` — instead of failing the request. Only the loss of every
+//!   group yields an error (`503`).
+//!
+//! Within a group the router reuses [`ResilientClient`]: per-replica
+//! circuit breakers, hedged requests and bounded retries are scoped to
+//! that group's replica set. Scatter legs run concurrently (scoped
+//! threads) and each leg carries its own child trace context, so traces
+//! show the legs as sibling child spans under the router span.
+
+use crate::client::ResilientClient;
+use crate::http::{self, Method, Request, Response};
+use crate::rustserver::{
+    correlation_id, echo_request_id, nanos, note_trace, parse_prediction, shared_routes, trace_ctx,
+    Handler, DEGRADED_HEADER,
+};
+use etude_control::{BreakerConfig, HedgePolicy};
+use etude_faults::RetryPolicy;
+use etude_models::retrieval::{encode_session_query, CatalogShard};
+use etude_obs::{Recorder, Stage, TRACE_HEADER};
+use etude_tensor::topk::merge_shard_topk;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Salt domain for scatter-leg span ids: leg `i` of a routed request
+/// gets `span_hash(trace_id, router_span, SCATTER_SPAN_SALT + i)`, so
+/// sibling legs are distinct, deterministic children of the router span.
+pub const SCATTER_SPAN_SALT: u64 = 0x5ca7_7e50;
+
+/// One shard group: a contiguous catalog slice and the replica set
+/// serving it.
+#[derive(Debug, Clone)]
+pub struct ShardGroupSpec {
+    /// Group id (position in the partition).
+    pub id: u32,
+    /// First global catalog row of this group's slice.
+    pub base: u32,
+    /// Rows in the slice.
+    pub rows: usize,
+    /// Embedding-table bytes resident on each replica (4·rows·d).
+    pub resident_bytes: u64,
+    /// Addresses of the group's replicas.
+    pub replicas: Vec<SocketAddr>,
+}
+
+/// The catalog partition a router serves: which rows live where, plus
+/// the query-embedding parameters every backend shares.
+#[derive(Debug, Clone)]
+pub struct ShardTopology {
+    /// Total catalog rows (shard slices tile `0..catalog_size`).
+    pub catalog_size: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Seed of the shared [`encode_session_query`] hash embedding.
+    pub query_seed: u64,
+    /// The shard groups, in slice order.
+    pub groups: Vec<ShardGroupSpec>,
+}
+
+impl ShardTopology {
+    /// Partitions `catalog_size` rows into `groups` contiguous slices
+    /// (the same split [`etude_tensor::pool::shard_ranges`] uses, so the
+    /// proptest reference and the serving tier agree). Replica addresses
+    /// start empty; fill them as backends come up.
+    pub fn partition(
+        catalog_size: usize,
+        dim: usize,
+        query_seed: u64,
+        groups: usize,
+    ) -> ShardTopology {
+        let ranges = etude_tensor::pool::shard_ranges(catalog_size, groups.clamp(1, catalog_size));
+        ShardTopology {
+            catalog_size,
+            dim,
+            query_seed,
+            groups: ranges
+                .iter()
+                .enumerate()
+                .map(|(i, r)| ShardGroupSpec {
+                    id: i as u32,
+                    base: r.start as u32,
+                    rows: r.len(),
+                    resident_bytes: 4 * (r.len() * dim) as u64,
+                    replicas: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The slice of `table` owned by group `i`, as a servable shard.
+    pub fn shard_of(&self, table: &[f32], i: usize) -> CatalogShard {
+        let g = &self.groups[i];
+        CatalogShard::from_table(table, self.dim, g.base as usize..g.base as usize + g.rows)
+    }
+
+    /// Bytes of embedding table resident on the *largest* single pod —
+    /// what a node memory budget must fit.
+    pub fn max_resident_bytes(&self) -> u64 {
+        self.groups
+            .iter()
+            .map(|g| g.resident_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Router tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Recommendations returned to the client (and requested per shard).
+    pub k: usize,
+    /// Wall-clock budget for one scatter leg (retries included). A lost
+    /// shard group costs at most this much extra latency.
+    pub leg_budget: Duration,
+    /// Retry schedule within a leg.
+    pub policy: RetryPolicy,
+    /// Per-replica circuit breakers (`None` disables them).
+    pub breakers: Option<BreakerConfig>,
+    /// Hedged requests within a group's replica set (`None` disables).
+    pub hedge: Option<HedgePolicy>,
+    /// Seed for the clients' deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            k: 21,
+            leg_budget: Duration::from_millis(250),
+            policy: RetryPolicy::default_chaos(),
+            breakers: Some(BreakerConfig::default()),
+            hedge: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Builds the route table of a **shard backend** pod: `/predictions`
+/// over one catalog slice, answering with *global* item ids.
+///
+/// The session query is the shared deterministic hash embedding
+/// ([`encode_session_query`]) — a shard pod cannot embed items outside
+/// its slice, so the (tiny) session encoder is replicated as a pure
+/// function while only the catalog scan is partitioned. Passing the
+/// full-catalog range makes this the unsharded reference server, which
+/// is exactly how the bit-identity acceptance test uses it.
+pub fn shard_backend_routes(
+    shard: CatalogShard,
+    catalog_size: usize,
+    query_seed: u64,
+    k: usize,
+    recorder: Arc<Recorder>,
+) -> Handler {
+    let dim = shard.dim();
+    Arc::new(move |req: &Request| -> Response {
+        if let Some(resp) = shared_routes(req, &recorder) {
+            return resp;
+        }
+        match (req.method, req.path.as_str()) {
+            (Method::Post, "/predictions") => {
+                let t_total = Instant::now();
+                let (rid, echo) = correlation_id(req);
+                let t_parse = Instant::now();
+                // Ids validate against the *full* catalog: a shard serves
+                // a slice but speaks the global id space.
+                let items = match parse_prediction(&req.body, catalog_size) {
+                    Ok(items) => items,
+                    Err(resp) => return echo_request_id(resp, echo),
+                };
+                let parse = t_parse.elapsed();
+                let t_inf = Instant::now();
+                let query = encode_session_query(&items, dim, query_seed);
+                let (ids, scores) = etude_models::retrieval::MipsIndex::search(&shard, &query, k);
+                let inference = t_inf.elapsed();
+                let t_ser = Instant::now();
+                let body = http::encode_recommendations(&ids, &scores);
+                let resp = echo_request_id(
+                    Response::ok(body).with_header(
+                        "x-inference-duration-micros",
+                        inference.as_micros().to_string(),
+                    ),
+                    echo,
+                );
+                let serialize = t_ser.elapsed();
+                let total = t_total.elapsed();
+                recorder.record(rid, Stage::Parse, nanos(parse));
+                recorder.record(rid, Stage::Inference, nanos(inference));
+                recorder.record(rid, Stage::Serialize, nanos(serialize));
+                recorder.record(rid, Stage::Total, nanos(total));
+                note_trace(
+                    &recorder,
+                    trace_ctx(req),
+                    resp,
+                    &[
+                        (Stage::Parse, nanos(parse)),
+                        (Stage::Inference, nanos(inference)),
+                        (Stage::Serialize, nanos(serialize)),
+                        (Stage::Total, nanos(total)),
+                    ],
+                )
+            }
+            _ => Response::error(404, "no such route"),
+        }
+    })
+}
+
+/// One scatter leg's client state: a [`ResilientClient`] over the
+/// group's replica set. Wrapped in a mutex because the retry loop is
+/// `&mut self`; the router serialises in-flight legs per group, which
+/// also keeps breaker state coherent.
+struct GroupClient {
+    client: parking_lot::Mutex<ResilientClient>,
+}
+
+/// Builds the **router** route table over a shard topology.
+///
+/// * `POST /predictions` — validate, scatter to one healthy replica per
+///   group (concurrently), gather, merge, answer. Partial gathers are
+///   degraded `200`s; an empty gather is a `503`.
+/// * `GET /fleet`, `GET /fleet/metrics` — the shard-aware fleet view:
+///   per-group health and resident bytes on top of the merged per-pod
+///   snapshot.
+/// * `/ping`, `/static`, `/stats`, `/metrics` — the shared routes, over
+///   the router's own recorder (degraded counts land here).
+pub fn router_routes(
+    topology: ShardTopology,
+    config: RouterConfig,
+    recorder: Arc<Recorder>,
+) -> Handler {
+    assert!(
+        !topology.groups.is_empty(),
+        "a router needs at least one shard group"
+    );
+    for g in &topology.groups {
+        assert!(
+            !g.replicas.is_empty(),
+            "shard group {} has no replicas",
+            g.id
+        );
+    }
+    let clients: Vec<GroupClient> = topology
+        .groups
+        .iter()
+        .map(|g| {
+            let mut c = ResilientClient::new_multi(
+                g.replicas.clone(),
+                config.policy.clone(),
+                config.seed ^ u64::from(g.id),
+            )
+            .with_attempt_timeout(config.leg_budget);
+            if let Some(b) = config.breakers {
+                c = c.with_breakers(b);
+            }
+            if let Some(h) = config.hedge {
+                c = c.with_hedging(h);
+            }
+            GroupClient {
+                client: parking_lot::Mutex::new(c),
+            }
+        })
+        .collect();
+    let clients = Arc::new(clients);
+    let topology = Arc::new(topology);
+    let k = config.k;
+    let leg_budget = config.leg_budget;
+
+    Arc::new(move |req: &Request| -> Response {
+        if let Some(resp) = shared_routes(req, &recorder) {
+            return resp;
+        }
+        match (req.method, req.path.as_str()) {
+            (Method::Post, "/predictions") => {
+                let t_total = Instant::now();
+                let (rid, echo) = correlation_id(req);
+                let t_parse = Instant::now();
+                // Reject at the edge; shards never see bad input.
+                if let Err(resp) = parse_prediction(&req.body, topology.catalog_size) {
+                    return echo_request_id(resp, echo);
+                }
+                let parse = t_parse.elapsed();
+                let ctx = trace_ctx(req);
+
+                // Scatter: one leg per shard group, concurrently. Each
+                // leg forwards the session body untouched and carries a
+                // distinct child trace context, so pod spans attach as
+                // sibling children of the router span.
+                let t_scatter = Instant::now();
+                let mut partials: Vec<Option<(Vec<u32>, Vec<f32>)>> =
+                    Vec::with_capacity(clients.len());
+                partials.resize_with(clients.len(), || None);
+                std::thread::scope(|scope| {
+                    for (i, (gc, slot)) in clients.iter().zip(partials.iter_mut()).enumerate() {
+                        let mut leg = Request::post("/predictions", req.body.clone());
+                        if let Some(id) = echo {
+                            leg.headers
+                                .insert("x-request-id".into(), format!("{id}-s{i}"));
+                        }
+                        if let Some(ctx) = &ctx {
+                            let child = ctx.child(etude_obs::trace::span_hash(
+                                ctx.trace_id,
+                                ctx.span_id,
+                                SCATTER_SPAN_SALT + i as u64,
+                            ));
+                            leg.headers.insert(TRACE_HEADER.into(), child.encode());
+                        }
+                        scope.spawn(move || {
+                            let mut client = gc.client.lock();
+                            if let Ok(r) = client.request_within(&leg, leg_budget) {
+                                if r.response.status == 200 {
+                                    if let Ok(partial) =
+                                        http::decode_recommendations(&r.response.body)
+                                    {
+                                        *slot = Some(partial);
+                                    }
+                                }
+                            }
+                        });
+                    }
+                });
+                let scatter = t_scatter.elapsed();
+
+                // Gather + merge.
+                let t_merge = Instant::now();
+                let survivors: Vec<(Vec<u32>, Vec<f32>)> = partials.into_iter().flatten().collect();
+                let lost = clients.len() - survivors.len();
+                if survivors.is_empty() {
+                    return echo_request_id(
+                        Response::error(503, "all shard groups unavailable")
+                            .with_header("retry-after", "1".to_string()),
+                        echo,
+                    );
+                }
+                let (ids, scores) = merge_shard_topk(&survivors, k);
+                let merge = t_merge.elapsed();
+
+                let t_ser = Instant::now();
+                let body = http::encode_recommendations(&ids, &scores);
+                let mut resp = Response::ok(body);
+                if lost > 0 {
+                    recorder.note_degraded();
+                    resp = resp.with_header(DEGRADED_HEADER, lost.to_string());
+                }
+                let resp = echo_request_id(resp, echo);
+                let serialize = t_ser.elapsed();
+                let total = t_total.elapsed();
+                recorder.record(rid, Stage::Parse, nanos(parse));
+                recorder.record(rid, Stage::Inference, nanos(scatter));
+                recorder.record(rid, Stage::TopK, nanos(merge));
+                recorder.record(rid, Stage::Serialize, nanos(serialize));
+                recorder.record(rid, Stage::Total, nanos(total));
+                note_trace(
+                    &recorder,
+                    ctx,
+                    resp,
+                    &[
+                        (Stage::Parse, nanos(parse)),
+                        (Stage::Inference, nanos(scatter)),
+                        (Stage::TopK, nanos(merge)),
+                        (Stage::Serialize, nanos(serialize)),
+                        (Stage::Total, nanos(total)),
+                    ],
+                )
+            }
+            (Method::Get, "/fleet") => Response::ok(scrape_shard_fleet(&topology).render_json())
+                .with_header("content-type", "application/json".to_string()),
+            (Method::Get, "/fleet/metrics") => {
+                Response::ok(scrape_shard_fleet(&topology).render_prometheus())
+                    .with_header("content-type", "text/plain; version=0.0.4".to_string())
+            }
+            _ => Response::error(404, "no such route"),
+        }
+    })
+}
+
+/// Scrapes every replica of every group and assembles the shard-aware
+/// fleet snapshot: the usual merged per-pod view plus one
+/// [`etude_obs::ShardGroupHealth`] row per group.
+pub fn scrape_shard_fleet(topology: &ShardTopology) -> etude_obs::FleetSnapshot {
+    let mut pods = Vec::new();
+    let mut unreachable = 0;
+    let mut shards = Vec::with_capacity(topology.groups.len());
+    for g in &topology.groups {
+        let snap = crate::fleet::scrape_fleet(&g.replicas);
+        shards.push(etude_obs::ShardGroupHealth {
+            group: g.id,
+            base: u64::from(g.base),
+            rows: g.rows as u64,
+            resident_bytes: g.resident_bytes,
+            replicas: g.replicas.len(),
+            healthy: snap.pods.len(),
+        });
+        unreachable += snap.unreachable;
+        pods.extend(snap.pods);
+    }
+    etude_obs::FleetSnapshot::new(pods, unreachable).with_shards(shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_tiles_the_catalog() {
+        let topo = ShardTopology::partition(1_000, 18, 7, 4);
+        assert_eq!(topo.groups.len(), 4);
+        assert_eq!(topo.groups[0].base, 0);
+        let mut next = 0u32;
+        let mut total = 0usize;
+        for g in &topo.groups {
+            assert_eq!(g.base, next, "slices are contiguous");
+            assert_eq!(g.resident_bytes, 4 * (g.rows * 18) as u64);
+            next += g.rows as u32;
+            total += g.rows;
+        }
+        assert_eq!(total, 1_000);
+        assert_eq!(topo.max_resident_bytes(), 4 * 250 * 18);
+        // One group = the whole catalog.
+        let one = ShardTopology::partition(100, 4, 0, 1);
+        assert_eq!(one.groups.len(), 1);
+        assert_eq!(one.groups[0].rows, 100);
+    }
+
+    #[test]
+    fn shard_of_extracts_the_right_rows() {
+        let (c, d) = (120usize, 6usize);
+        let table: Vec<f32> = (0..c * d).map(|i| i as f32).collect();
+        let topo = ShardTopology::partition(c, d, 0, 3);
+        let mut rows = 0;
+        for i in 0..topo.groups.len() {
+            let shard = topo.shard_of(&table, i);
+            assert_eq!(shard.base(), topo.groups[i].base);
+            assert_eq!(shard.rows(), topo.groups[i].rows);
+            rows += shard.rows();
+        }
+        assert_eq!(rows, c);
+    }
+}

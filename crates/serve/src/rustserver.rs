@@ -356,7 +356,7 @@ static FALLBACK_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
 /// Correlation id of a request: the FNV hash of the client's
 /// `x-request-id`, or a process-local counter when the client sent none.
 /// Also returns the header value so responses can echo it.
-fn correlation_id(req: &Request) -> (u64, Option<&str>) {
+pub(crate) fn correlation_id(req: &Request) -> (u64, Option<&str>) {
     match req.headers.get("x-request-id") {
         Some(id) => (request_id_hash(id), Some(id.as_str())),
         None => (FALLBACK_REQUEST_ID.fetch_add(1, Ordering::Relaxed), None),
@@ -364,20 +364,20 @@ fn correlation_id(req: &Request) -> (u64, Option<&str>) {
 }
 
 /// Echoes the client's request id back, when it sent one.
-fn echo_request_id(resp: Response, id: Option<&str>) -> Response {
+pub(crate) fn echo_request_id(resp: Response, id: Option<&str>) -> Response {
     match id {
         Some(id) => resp.with_header("x-request-id", id.to_string()),
         None => resp,
     }
 }
 
-fn nanos(d: Duration) -> u64 {
+pub(crate) fn nanos(d: Duration) -> u64 {
     d.as_nanos().min(u128::from(u64::MAX)) as u64
 }
 
 /// The propagated trace context, when the client sent one (malformed
 /// headers are treated as absent — tracing must never fail a request).
-fn trace_ctx(req: &Request) -> Option<TraceCtx> {
+pub(crate) fn trace_ctx(req: &Request) -> Option<TraceCtx> {
     req.headers
         .get(TRACE_HEADER)
         .and_then(|v| TraceCtx::parse(v))
@@ -386,7 +386,7 @@ fn trace_ctx(req: &Request) -> Option<TraceCtx> {
 /// Retains the request's stage durations as pod-side trace spans (a
 /// no-op unless the recorder has trace retention on) and echoes the
 /// context back one hop deeper so clients can confirm propagation.
-fn note_trace(
+pub(crate) fn note_trace(
     recorder: &Recorder,
     ctx: Option<TraceCtx>,
     resp: Response,
@@ -406,7 +406,7 @@ fn note_trace(
 
 /// Routes every server flavour shares: readiness, the static
 /// infrastructure test and the two observability endpoints.
-fn shared_routes(req: &Request, recorder: &Recorder) -> Option<Response> {
+pub(crate) fn shared_routes(req: &Request, recorder: &Recorder) -> Option<Response> {
     match (req.method, req.path.as_str()) {
         (Method::Get, "/ping") => Some(Response::ok("pong")),
         (Method::Get, "/static") => Some(Response::ok("ok")),
@@ -423,7 +423,7 @@ fn shared_routes(req: &Request, recorder: &Recorder) -> Option<Response> {
 }
 
 /// Parses and validates a prediction request body.
-fn parse_prediction(body: &[u8], catalog_size: usize) -> Result<Vec<u32>, Response> {
+pub(crate) fn parse_prediction(body: &[u8], catalog_size: usize) -> Result<Vec<u32>, Response> {
     let items = match http::decode_session(body) {
         Ok(items) => items,
         Err(_) => return Err(Response::error(400, "malformed session")),

@@ -1,0 +1,294 @@
+//! Scatter/gather routing over real sockets: shard-group backends each
+//! holding one catalog slice, a router fanning out and merging, and the
+//! acceptance criteria of DESIGN.md §13 — at full health the routed
+//! answer is **byte-identical** to an unsharded reference server; under
+//! total shard-group loss the router serves the surviving slices'
+//! exact top-k tagged `x-degraded` instead of failing.
+
+use etude_faults::RetryPolicy;
+use etude_models::retrieval::{encode_session_query, CatalogShard, MipsIndex};
+use etude_obs::trace::span_hash;
+use etude_obs::{parse_fleet_shards, parse_stats_json, Recorder, TraceCtx, TRACE_HEADER};
+use etude_serve::http::{encode_recommendations, Request};
+use etude_serve::rustserver::{start, ServerConfig, ServerHandle, DEGRADED_HEADER};
+use etude_serve::{router_routes, shard_backend_routes, HttpClient, RouterConfig, ShardTopology};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+use std::time::Duration;
+
+const C: usize = 600;
+const D: usize = 8;
+const K: usize = 21;
+const QUERY_SEED: u64 = 42;
+
+/// Deterministic pseudo-random table in [-1, 1).
+fn table() -> Vec<f32> {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    (0..C * D)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u64 << 23) as f32 - 1.0
+        })
+        .collect()
+}
+
+/// Starts one shard-backend pod over `shard`, returning its handle and
+/// its recorder (for trace/span assertions).
+fn backend(shard: CatalogShard, pod: u32) -> (ServerHandle, Arc<Recorder>) {
+    let recorder = Arc::new(Recorder::with_pod(pod));
+    let handler = shard_backend_routes(shard, C, QUERY_SEED, K, Arc::clone(&recorder));
+    let server = start(ServerConfig::default(), handler).unwrap();
+    (server, recorder)
+}
+
+/// A fast-failing router config: no retries, tight leg budget, no
+/// breakers — a dead group costs one refused connect, not a backoff.
+fn quick_config() -> RouterConfig {
+    RouterConfig {
+        k: K,
+        leg_budget: Duration::from_millis(500),
+        policy: RetryPolicy::none(),
+        breakers: None,
+        hedge: None,
+        seed: 0,
+    }
+}
+
+/// An address nothing listens on.
+fn dead_addr() -> SocketAddr {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    listener.local_addr().unwrap()
+}
+
+/// A deterministic batch of sessions over the catalog.
+fn sessions() -> Vec<String> {
+    (0..20)
+        .map(|i| {
+            let a = (i * 37) % C;
+            let b = (i * 151 + 13) % C;
+            let c = (i * 211 + 101) % C;
+            format!("{a},{b},{c}")
+        })
+        .collect()
+}
+
+#[test]
+fn full_health_router_matches_unsharded_reference_byte_for_byte() {
+    let table = table();
+    let mut topo = ShardTopology::partition(C, D, QUERY_SEED, 3);
+
+    // Two replicas per group, plus the unsharded reference server.
+    let mut servers = Vec::new();
+    for i in 0..topo.groups.len() {
+        for _ in 0..2 {
+            let (server, _) = backend(topo.shard_of(&table, i), topo.groups[i].id);
+            topo.groups[i].replicas.push(server.addr());
+            servers.push(server);
+        }
+    }
+    let (reference, _) = backend(CatalogShard::from_table(&table, D, 0..C), 99);
+
+    let router = start(
+        ServerConfig::default(),
+        router_routes(topo, quick_config(), Arc::new(Recorder::new())),
+    )
+    .unwrap();
+
+    let mut via_router = HttpClient::connect(router.addr()).unwrap();
+    let mut via_reference = HttpClient::connect(reference.addr()).unwrap();
+    for session in sessions() {
+        let routed = via_router
+            .request(&Request::post("/predictions", session.clone()))
+            .unwrap();
+        let direct = via_reference
+            .request(&Request::post("/predictions", session.clone()))
+            .unwrap();
+        assert_eq!(routed.status, 200, "{session}");
+        assert_eq!(direct.status, 200);
+        assert!(
+            !routed.headers.contains_key(DEGRADED_HEADER),
+            "full health must not be degraded"
+        );
+        assert_eq!(
+            routed.body, direct.body,
+            "routed top-k diverged from the unsharded scan for {session}"
+        );
+    }
+
+    // Bad input is rejected at the router's edge, not scattered.
+    let bad = via_router
+        .request(&Request::post("/predictions", format!("{C}")))
+        .unwrap();
+    assert_eq!(bad.status, 400, "out-of-catalog id");
+
+    router.shutdown();
+    reference.shutdown();
+    for s in servers {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn losing_a_shard_group_degrades_without_failing() {
+    let table = table();
+    let mut topo = ShardTopology::partition(C, D, QUERY_SEED, 2);
+
+    let (alive, _) = backend(topo.shard_of(&table, 0), 0);
+    topo.groups[0].replicas.push(alive.addr());
+    // Group 1's only replica is dead from the start: total group loss.
+    topo.groups[1].replicas.push(dead_addr());
+
+    let survivor = topo.shard_of(&table, 0);
+    let router_recorder = Arc::new(Recorder::new());
+    let router = start(
+        ServerConfig::default(),
+        router_routes(topo, quick_config(), Arc::clone(&router_recorder)),
+    )
+    .unwrap();
+
+    let mut client = HttpClient::connect(router.addr()).unwrap();
+    let batch = sessions();
+    for session in &batch {
+        let resp = client
+            .request(&Request::post("/predictions", session.clone()))
+            .unwrap();
+        assert_eq!(resp.status, 200, "degraded requests still succeed");
+        assert_eq!(
+            resp.headers.get(DEGRADED_HEADER).map(String::as_str),
+            Some("1"),
+            "one lost group must be visible on the response"
+        );
+        // The degraded answer is the *exact* top-k of the surviving
+        // slice — same kernel, same merge, no approximation.
+        let items: Vec<u32> = session.split(',').map(|s| s.parse().unwrap()).collect();
+        let query = encode_session_query(&items, D, QUERY_SEED);
+        let (ids, scores) = MipsIndex::search(&survivor, &query, K);
+        assert_eq!(
+            &resp.body[..],
+            encode_recommendations(&ids, &scores).as_bytes()
+        );
+    }
+
+    // Every degraded response is counted on the router's /stats.
+    assert_eq!(router_recorder.degraded_count(), batch.len() as u64);
+    let stats = client.request(&Request::get("/stats")).unwrap();
+    let snap = parse_stats_json(std::str::from_utf8(&stats.body).unwrap()).unwrap();
+    assert_eq!(snap.degraded, batch.len() as u64);
+
+    // Only losing *every* group turns requests into errors.
+    alive.shutdown();
+    let resp = client
+        .request(&Request::post("/predictions", batch[0].clone()))
+        .unwrap();
+    assert_eq!(resp.status, 503, "all groups lost");
+    assert_eq!(
+        resp.headers.get("retry-after").map(String::as_str),
+        Some("1")
+    );
+
+    router.shutdown();
+}
+
+#[test]
+fn fleet_view_reports_per_group_health_and_resident_bytes() {
+    let table = table();
+    let mut topo = ShardTopology::partition(C, D, QUERY_SEED, 2);
+
+    // Group 0: both replicas live. Group 1: one of two replicas dead.
+    let (a, _) = backend(topo.shard_of(&table, 0), 0);
+    let (b, _) = backend(topo.shard_of(&table, 0), 0);
+    topo.groups[0].replicas.extend([a.addr(), b.addr()]);
+    let (c, _) = backend(topo.shard_of(&table, 1), 1);
+    topo.groups[1].replicas.extend([c.addr(), dead_addr()]);
+    let expected_bytes: Vec<u64> = topo.groups.iter().map(|g| g.resident_bytes).collect();
+
+    let router = start(
+        ServerConfig::default(),
+        router_routes(topo, quick_config(), Arc::new(Recorder::new())),
+    )
+    .unwrap();
+    let mut client = HttpClient::connect(router.addr()).unwrap();
+
+    let resp = client.request(&Request::get("/fleet")).unwrap();
+    assert_eq!(resp.status, 200);
+    let body = std::str::from_utf8(&resp.body).unwrap();
+    let shards = parse_fleet_shards(body).unwrap();
+    assert_eq!(shards.len(), 2);
+    assert_eq!((shards[0].replicas, shards[0].healthy), (2, 2));
+    assert_eq!((shards[1].replicas, shards[1].healthy), (2, 1));
+    assert_eq!(shards[0].base, 0);
+    assert_eq!(shards[0].rows + shards[1].rows, C as u64);
+    for (row, bytes) in shards.iter().zip(expected_bytes) {
+        assert_eq!(row.resident_bytes, bytes);
+    }
+
+    // The Prometheus rendering carries the same per-group gauges.
+    let metrics = client.request(&Request::get("/fleet/metrics")).unwrap();
+    let text = std::str::from_utf8(&metrics.body).unwrap();
+    assert!(text.contains("etude_shard_healthy_replicas{group=\"0\"} 2"));
+    assert!(text.contains("etude_shard_healthy_replicas{group=\"1\"} 1"));
+
+    router.shutdown();
+    for s in [a, b, c] {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn scatter_legs_trace_as_sibling_child_spans() {
+    let table = table();
+    let mut topo = ShardTopology::partition(C, D, QUERY_SEED, 3);
+
+    let mut servers = Vec::new();
+    let mut recorders = Vec::new();
+    for i in 0..topo.groups.len() {
+        let (server, recorder) = backend(topo.shard_of(&table, i), i as u32);
+        recorder.set_trace_retention(true);
+        topo.groups[i].replicas.push(server.addr());
+        servers.push(server);
+        recorders.push(recorder);
+    }
+    let router = start(
+        ServerConfig::default(),
+        router_routes(topo, quick_config(), Arc::new(Recorder::new())),
+    )
+    .unwrap();
+
+    let root = TraceCtx::root(7);
+    let mut req = Request::post("/predictions", "1,2,3".to_string());
+    req.headers.insert(TRACE_HEADER.into(), root.encode());
+    let mut client = HttpClient::connect(router.addr()).unwrap();
+    let resp = client.request(&req).unwrap();
+    assert_eq!(resp.status, 200);
+
+    // Leg i's pod spans are parented to a *distinct* child span of the
+    // router's span — sibling legs, deterministic ids.
+    let mut leg_parents = Vec::new();
+    for (i, recorder) in recorders.iter().enumerate() {
+        let spans = recorder.take_traces();
+        assert!(!spans.is_empty(), "backend {i} retained no spans");
+        let expected = span_hash(
+            root.trace_id,
+            root.span_id,
+            etude_serve::router::SCATTER_SPAN_SALT + i as u64,
+        );
+        for span in &spans {
+            assert_eq!(span.trace_id, root.trace_id);
+            assert_eq!(
+                span.parent_span, expected,
+                "backend {i} span not parented to its scatter leg"
+            );
+        }
+        leg_parents.push(expected);
+    }
+    leg_parents.sort_unstable();
+    leg_parents.dedup();
+    assert_eq!(leg_parents.len(), recorders.len(), "legs must be siblings");
+
+    router.shutdown();
+    for s in servers {
+        s.shutdown();
+    }
+}

@@ -634,7 +634,7 @@ pub fn dot_scalar_ref(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// Streaming row scores over `table[rows]` (row-major `[c, d]`), in
-/// ascending row order; see [`score_rows_impl`] for the tiling.
+/// ascending row order; see `score_rows_impl` for the tiling.
 #[inline]
 pub fn score_rows(
     table: &[f32],

@@ -446,6 +446,40 @@ pub fn score_topk_q8_into(
     out_scores.extend(scratch.partials[..k].iter().map(|c| c.score));
 }
 
+// ----------------------------------------------------------------------
+// Cross-shard merge (scatter/gather serving tier).
+// ----------------------------------------------------------------------
+
+/// Merges per-shard top-k partials — `(global_ids, scores)` pairs as
+/// produced by a [`score_topk`] scan over a contiguous catalog slice
+/// with its ids offset to global row numbers — into the overall top-k.
+///
+/// The comparator is `result_order`, the same one used by every
+/// selection path in this module (score descending, global id ascending
+/// on ties, NaN mapped to `NEG_INFINITY`). Because each partial is the
+/// complete top-k of its slice and slices tile the catalog, the merged
+/// result is **bit-identical** to a single [`score_topk`] over the whole
+/// table. Partials may be shorter than `k` (small or empty shards) and
+/// any subset of shards may be supplied (the degraded serving path):
+/// the merge is then the exact top-k of the surviving slices.
+pub fn merge_shard_topk(partials: &[(Vec<u32>, Vec<f32>)], k: usize) -> (Vec<u32>, Vec<f32>) {
+    let mut items: Vec<Candidate> = Vec::with_capacity(partials.iter().map(|(i, _)| i.len()).sum());
+    for (ids, scores) in partials {
+        debug_assert_eq!(ids.len(), scores.len(), "ragged partial");
+        for (&index, &score) in ids.iter().zip(scores) {
+            let score = if score.is_nan() {
+                f32::NEG_INFINITY
+            } else {
+                score
+            };
+            items.push(Candidate { score, index });
+        }
+    }
+    items.sort_unstable_by(result_order);
+    items.truncate(k);
+    unzip_candidates(&items)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -674,6 +708,67 @@ mod tests {
             auto as f64 <= serial as f64 * 1.05 || auto < serial + 50_000,
             "auto {auto} ns vs serial {serial} ns at C=10^4"
         );
+    }
+
+    #[test]
+    fn merge_of_slice_partials_matches_global_scan() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(41);
+        for _ in 0..10 {
+            let c = rng.gen_range(20..400);
+            let d = rng.gen_range(1..16);
+            let k = rng.gen_range(1..40);
+            let table: Vec<f32> = (0..c * d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let query: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let expect = score_topk(&table, &query, c, k);
+            for groups in 1..=5 {
+                let ranges = crate::pool::shard_ranges(c, groups.min(c));
+                let partials: Vec<(Vec<u32>, Vec<f32>)> = ranges
+                    .iter()
+                    .map(|r| {
+                        let slice = &table[r.start * d..r.end * d];
+                        let (ids, scores) = score_topk(slice, &query, r.len(), k);
+                        (ids.iter().map(|i| i + r.start as u32).collect(), scores)
+                    })
+                    .collect();
+                assert_eq!(
+                    merge_shard_topk(&partials, k),
+                    expect,
+                    "c={c} d={d} k={k} groups={groups}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_breaks_cross_shard_ties_by_global_id() {
+        // Identical scores on different shards: the lower global id wins,
+        // exactly as in the unsharded scan.
+        let a = (vec![4u32, 0], vec![1.0f32, 0.5]);
+        let b = (vec![2u32, 9], vec![1.0f32, 0.5]);
+        let (ids, scores) = merge_shard_topk(&[a, b], 3);
+        assert_eq!(ids, vec![2, 4, 0]);
+        assert_eq!(scores, vec![1.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn merge_handles_empty_and_short_partials() {
+        let empty = (Vec::new(), Vec::new());
+        let short = (vec![7u32], vec![0.25f32]);
+        let (ids, scores) = merge_shard_topk(&[empty, short], 21);
+        assert_eq!(ids, vec![7]);
+        assert_eq!(scores, vec![0.25]);
+        let (ids, scores) = merge_shard_topk(&[], 21);
+        assert!(ids.is_empty() && scores.is_empty());
+    }
+
+    #[test]
+    fn merge_maps_nan_to_neg_infinity() {
+        let bad = (vec![3u32], vec![f32::NAN]);
+        let good = (vec![5u32], vec![-1.0f32]);
+        let (ids, scores) = merge_shard_topk(&[bad, good], 2);
+        assert_eq!(ids, vec![5, 3]);
+        assert_eq!(scores[1], f32::NEG_INFINITY);
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Property tests pinning scatter/gather partial-top-k merging to the
+//! unsharded fused scan.
+//!
+//! The router's correctness contract (DESIGN.md §13) is that at full
+//! health the merged answer is **bit-identical** to running
+//! `score_topk` over the whole catalog on one node: same ids, same
+//! score bits, same order. The merge therefore must use the exact
+//! comparator of the fused scan — score descending, *global* id
+//! ascending on ties — and must survive the edges a live fleet
+//! produces: shards smaller than `k`, empty shards (a group that owns
+//! no rows or returned nothing), and cross-shard score ties.
+
+use etude_tensor::pool::shard_ranges;
+use etude_tensor::topk::{merge_shard_topk, score_topk};
+use proptest::prelude::*;
+
+/// Per-shard partials for a contiguous partition of `table`: each
+/// shard runs the same fused scan over its slice and reports global
+/// ids (`base + local`).
+fn shard_partials(
+    table: &[f32],
+    query: &[f32],
+    c: usize,
+    k: usize,
+    groups: usize,
+) -> Vec<(Vec<u32>, Vec<f32>)> {
+    let d = query.len();
+    shard_ranges(c, groups)
+        .into_iter()
+        .map(|r| {
+            let slice = &table[r.start * d..r.end * d];
+            let (mut ids, scores) = score_topk(slice, query, r.len(), k);
+            for id in &mut ids {
+                *id += r.start as u32;
+            }
+            (ids, scores)
+        })
+        .collect()
+}
+
+proptest! {
+    /// Random catalogs, dimensions, shard counts and k (including
+    /// k > rows-per-shard and k > c): merging per-shard partials is
+    /// bit-identical to the global scan.
+    #[test]
+    fn merge_matches_global_scan(
+        c in 1usize..200,
+        d in 1usize..24,
+        k in 1usize..64,
+        groups in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        // Deterministic pseudo-random table/query from the seed, kept
+        // in [-1, 1) so every score is finite.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u64 << 23) as f32 - 1.0
+        };
+        let table: Vec<f32> = (0..c * d).map(|_| next()).collect();
+        let query: Vec<f32> = (0..d).map(|_| next()).collect();
+
+        let reference = score_topk(&table, &query, c, k);
+        let partials = shard_partials(&table, &query, c, k, groups);
+        let merged = merge_shard_topk(&partials, k);
+
+        prop_assert_eq!(&merged.0, &reference.0, "ids diverged");
+        let merged_bits: Vec<u32> = merged.1.iter().map(|s| s.to_bits()).collect();
+        let reference_bits: Vec<u32> = reference.1.iter().map(|s| s.to_bits()).collect();
+        prop_assert_eq!(merged_bits, reference_bits, "score bits diverged");
+    }
+
+    /// Tables built entirely from a handful of repeated rows force
+    /// heavy cross-shard score ties; the merge must break every one of
+    /// them by global id, exactly like the global scan.
+    #[test]
+    fn cross_shard_ties_break_by_global_id(
+        c in 2usize..120,
+        groups in 2usize..6,
+        k in 1usize..40,
+        distinct in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let d = 4;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u64 << 23) as f32 - 1.0
+        };
+        let prototypes: Vec<Vec<f32>> =
+            (0..distinct).map(|_| (0..d).map(|_| next()).collect()).collect();
+        let table: Vec<f32> = (0..c)
+            .flat_map(|i| prototypes[i % distinct].clone())
+            .collect();
+        let query: Vec<f32> = (0..d).map(|_| next()).collect();
+
+        let reference = score_topk(&table, &query, c, k);
+        // Tied scores really exist whenever c > distinct and k sees
+        // more than one copy — and ids must come out ascending within
+        // each tie class in both paths.
+        let merged = merge_shard_topk(&shard_partials(&table, &query, c, k, groups), k);
+        prop_assert_eq!(&merged.0, &reference.0);
+        for (s, ids) in merged.1.windows(2).zip(merged.0.windows(2)) {
+            if s[0].to_bits() == s[1].to_bits() {
+                prop_assert!(ids[0] < ids[1], "tie not broken by global id: {ids:?}");
+            }
+        }
+    }
+
+    /// Empty and short partials: groups that own no rows, returned
+    /// nothing, or hold fewer than k rows must not disturb the merge.
+    #[test]
+    fn empty_and_short_partials_are_harmless(
+        c in 1usize..80,
+        k in 1usize..32,
+        groups in 1usize..6,
+        empties in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let d = 3;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u64 << 23) as f32 - 1.0
+        };
+        let table: Vec<f32> = (0..c * d).map(|_| next()).collect();
+        let query: Vec<f32> = (0..d).map(|_| next()).collect();
+
+        let reference = score_topk(&table, &query, c, k);
+        let mut partials = shard_partials(&table, &query, c, k, groups);
+        // Splice in empty partials at the front, middle and back —
+        // the router sees these when a shard group owns zero rows.
+        for i in 0..empties {
+            let at = (i * partials.len() / empties.max(1)).min(partials.len());
+            partials.insert(at, (Vec::new(), Vec::new()));
+        }
+        let merged = merge_shard_topk(&partials, k);
+        prop_assert_eq!(&merged.0, &reference.0);
+        let merged_bits: Vec<u32> = merged.1.iter().map(|s| s.to_bits()).collect();
+        let reference_bits: Vec<u32> = reference.1.iter().map(|s| s.to_bits()).collect();
+        prop_assert_eq!(merged_bits, reference_bits);
+    }
+
+    /// Losing shard groups degrades coverage, never correctness: the
+    /// merge of any subset of partials equals the global scan restricted
+    /// to the surviving rows (what the router serves under `x-degraded`).
+    #[test]
+    fn survivor_merge_equals_scan_over_survivors(
+        c in 2usize..120,
+        k in 1usize..32,
+        groups in 2usize..6,
+        lost in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let d = 5;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u64 << 23) as f32 - 1.0
+        };
+        let table: Vec<f32> = (0..c * d).map(|_| next()).collect();
+        let query: Vec<f32> = (0..d).map(|_| next()).collect();
+
+        let ranges = shard_ranges(c, groups);
+        let lost = lost.min(ranges.len() - 1);
+        let partials = shard_partials(&table, &query, c, k, groups);
+        let survivors: Vec<_> = partials.into_iter().skip(lost).collect();
+        let merged = merge_shard_topk(&survivors, k);
+
+        // Reference: one scan over the concatenation of surviving rows,
+        // ids shifted back to global.
+        let base = ranges[lost].start;
+        let surviving_rows = c - base;
+        let (mut ids, scores) =
+            score_topk(&table[base * d..], &query, surviving_rows, k);
+        for id in &mut ids {
+            *id += base as u32;
+        }
+        prop_assert_eq!(&merged.0, &ids);
+        let merged_bits: Vec<u32> = merged.1.iter().map(|s| s.to_bits()).collect();
+        let reference_bits: Vec<u32> = scores.iter().map(|s| s.to_bits()).collect();
+        prop_assert_eq!(merged_bits, reference_bits);
+    }
+}

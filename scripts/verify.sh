@@ -8,6 +8,9 @@
 # timeline, rolling-restart chaos acceptance, breaker/ejection props).
 # Pass --simd to add the SIMD kernel-layer stage (backend equivalence
 # property suite on both backends, fused-scan smoke bench).
+# Pass --scatter to add the scatter/gather sharding stage (partial
+# top-k merge proptests, router integration tests, shard-loss chaos
+# acceptance, smoke bench).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,12 +18,14 @@ CHAOS=0
 FLEET=0
 SELFHEAL=0
 SIMD=0
+SCATTER=0
 for arg in "$@"; do
     case "$arg" in
         --chaos) CHAOS=1 ;;
         --fleet) FLEET=1 ;;
         --selfheal) SELFHEAL=1 ;;
         --simd) SIMD=1 ;;
+        --scatter) SCATTER=1 ;;
         *) echo "unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -70,6 +75,19 @@ if [ "$SELFHEAL" = "1" ]; then
     cargo test -q -p etude-control
     echo "==> checking results/BENCH_autoscale.json was produced"
     grep -q '"bench": "autoscale_timeline"' results/BENCH_autoscale.json
+fi
+
+if [ "$SCATTER" = "1" ]; then
+    echo "==> partial top-k merge equivalence proptests"
+    cargo test -q --release -p etude-tensor --test merge_equivalence
+    echo "==> scatter/gather router integration tests (sockets, tracing)"
+    cargo test -q -p etude-serve --test router
+    echo "==> shard-loss chaos acceptance (zero client-visible failures)"
+    cargo test -q -p etude-loadgen --test shard_chaos
+    echo "==> scatter_gather --smoke (replicated vs sharded bench)"
+    cargo run --release -q -p etude-bench --bin scatter_gather -- --smoke
+    echo "==> checking results/BENCH_scatter_gather.json was produced"
+    grep -q '"bench": "scatter_gather"' results/BENCH_scatter_gather.json
 fi
 
 echo "==> cargo doc --no-deps (warnings are errors)"
