@@ -1,0 +1,248 @@
+//! **saturation** — open-connection capacity of the two serving tiers.
+//!
+//! Production session-based recommenders hold tens of thousands of
+//! mostly-idle keep-alive connections; the request rate is modest but
+//! every client keeps its socket open. This bench measures what that
+//! costs each serving architecture:
+//!
+//! * **blocking + fixed**: the thread-pool server whose workers scan
+//!   their connection list once per pass (`O(open conns)` work per
+//!   sweep, served or not) feeding the fixed-window batcher,
+//! * **reactor + continuous**: the epoll event-loop server (idle
+//!   connections cost one registration) feeding the continuous batcher.
+//!
+//! Each cell parks N open connections and drives a fixed low request
+//! rate through them via the coordinated-omission-corrected
+//! open-connection driver ([`etude_loadgen::openconn`]): latency is
+//! measured from *intended* send time, so a server that stalls the
+//! load generator cannot hide its tail. The headline is the largest N
+//! each tier sustains with p99 within the SLO and zero errors — the
+//! acceptance bar is reactor ≥ 5× blocking. A machine-readable summary
+//! goes to `results/BENCH_saturation.json`. Run with `--smoke` for a
+//! scaled-down grid (used by `scripts/verify.sh --reactor`).
+
+use etude_core::ServingMode;
+use etude_loadgen::openconn::{run_open_conn, OpenConnConfig};
+use etude_models::{ModelConfig, ModelKind, SbrModel};
+use etude_obs::Recorder;
+use etude_serve::batching::BatchConfig;
+use etude_serve::contbatch::ContinuousConfig;
+use etude_serve::model_routes_continuous;
+use etude_serve::reactor::{self, raise_nofile_limit, ReactorConfig};
+use etude_serve::rustserver::{self, model_routes_batched, Handler, ServerConfig, ServerHandle};
+use etude_tensor::Device;
+use std::sync::Arc;
+use std::time::Duration;
+
+const CATALOG: usize = 1_000;
+/// "Equal p99" bar for the headline: a cell is sustained when its
+/// CO-corrected p99 stays inside this and nothing errored. 10ms is the
+/// serving budget the paper's end-to-end scenarios leave the serving
+/// tier after model time; the blocking server's per-sweep connection
+/// scan eats through it as the pool grows, the reactor's does not.
+const SLO_P99_US: u64 = 10_000;
+/// Steady-state only: requests in the first half second warm caches and
+/// absorb the connect burst, and are excluded from the histogram.
+const WARMUP_SECS: f64 = 0.5;
+
+/// Stable label used in the JSON artifact and logs.
+fn mode_label(mode: ServingMode) -> &'static str {
+    match mode {
+        ServingMode::BlockingFixed => "blocking+fixed",
+        ServingMode::ReactorContinuous => "reactor+continuous",
+    }
+}
+
+struct Cell {
+    mode: &'static str,
+    connections: usize,
+    rps: f64,
+    duration: Duration,
+    sent: u64,
+    ok: u64,
+    shed: u64,
+    errors: u64,
+    p50_us: u64,
+    p99_us: u64,
+    max_us: u64,
+}
+
+impl Cell {
+    /// Within SLO and clean: this tier carries this many open
+    /// connections.
+    fn sustained(&self) -> bool {
+        self.errors == 0 && self.ok > 0 && self.p99_us <= SLO_P99_US
+    }
+}
+
+fn model() -> Arc<dyn SbrModel> {
+    let cfg = ModelConfig::new(CATALOG)
+        .with_max_session_len(8)
+        .with_seed(7);
+    Arc::from(ModelKind::Core.build(&cfg))
+}
+
+fn start_server(mode: ServingMode) -> ServerHandle {
+    match mode {
+        ServingMode::BlockingFixed => {
+            let handler: Handler =
+                model_routes_batched(model(), Device::cpu(), false, BatchConfig::default());
+            rustserver::start(ServerConfig::default(), handler).unwrap()
+        }
+        ServingMode::ReactorContinuous => {
+            let handler = model_routes_continuous(
+                model(),
+                Device::cpu(),
+                false,
+                ContinuousConfig::default(),
+                Arc::new(Recorder::new()),
+                None,
+            );
+            reactor::start(ReactorConfig::default(), handler).unwrap()
+        }
+    }
+}
+
+fn run_cell(mode: ServingMode, connections: usize, rps: f64, duration: Duration) -> Cell {
+    let server = start_server(mode);
+    let config = OpenConnConfig {
+        connections,
+        rps,
+        duration: duration + Duration::from_secs_f64(WARMUP_SECS),
+        body: "1,2,3".to_string(),
+        warmup: (rps * WARMUP_SECS).round() as u64,
+        ..OpenConnConfig::default()
+    };
+    let result = run_open_conn(server.addr(), &config).expect("open-conn run failed");
+    server.shutdown();
+    let label = mode_label(mode);
+    let cell = Cell {
+        mode: label,
+        connections: result.connections,
+        rps,
+        duration,
+        sent: result.sent,
+        ok: result.ok,
+        shed: result.shed,
+        errors: result.errors,
+        p50_us: result.corrected.p50(),
+        p99_us: result.corrected.p99(),
+        max_us: result.corrected.max(),
+    };
+    println!(
+        "  {label:>18} @ {:>6} conns: {:>4} ok, {} shed, {} errors, \
+         p50 {}us, p99 {}us [{}]",
+        cell.connections,
+        cell.ok,
+        cell.shed,
+        cell.errors,
+        cell.p50_us,
+        cell.p99_us,
+        if cell.sustained() {
+            "sustained"
+        } else {
+            "BLOWN"
+        },
+    );
+    cell
+}
+
+fn cell_json(c: &Cell) -> String {
+    format!(
+        "    {{\"mode\": \"{}\", \"connections\": {}, \"rps\": {:.0}, \
+         \"duration_s\": {:.1}, \"sent\": {}, \"ok\": {}, \"shed\": {}, \
+         \"errors\": {}, \"co_corrected\": true, \"p50_us\": {}, \
+         \"p99_us\": {}, \"max_us\": {}, \"sustained\": {}}}",
+        c.mode,
+        c.connections,
+        c.rps,
+        c.duration.as_secs_f64(),
+        c.sent,
+        c.ok,
+        c.shed,
+        c.errors,
+        c.p50_us,
+        c.p99_us,
+        c.max_us,
+        c.sustained(),
+    )
+}
+
+fn write_summary(cells: &[Cell], smoke: bool) {
+    let max_sustained = |mode: &str| -> usize {
+        cells
+            .iter()
+            .filter(|c| c.mode == mode && c.sustained())
+            .map(|c| c.connections)
+            .max()
+            .unwrap_or(0)
+    };
+    let blocking_max = max_sustained("blocking+fixed");
+    let reactor_max = max_sustained("reactor+continuous");
+    let ratio = if blocking_max > 0 {
+        reactor_max as f64 / blocking_max as f64
+    } else {
+        f64::from(reactor_max as u32)
+    };
+    println!(
+        "\nheadline: blocking+fixed sustains {blocking_max} open conns, \
+         reactor+continuous sustains {reactor_max} ({ratio:.1}x) at p99 <= {SLO_P99_US}us"
+    );
+
+    let body: Vec<String> = cells.iter().map(cell_json).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"saturation\",\n  \"mode\": \"{}\",\n  \
+         \"slo_p99_us\": {SLO_P99_US},\n  \"headline\": {{\
+         \"blocking_fixed_max_conns\": {blocking_max}, \
+         \"reactor_continuous_max_conns\": {reactor_max}, \
+         \"ratio\": {ratio:.1}}},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        body.join(",\n"),
+    );
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let path = dir.join("BENCH_saturation.json");
+    match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, &json)) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    println!(
+        "== saturation: open-connection capacity, blocking+fixed vs \
+         reactor+continuous ({} mode) ==\n",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    // Two fds per in-process connection, plus headroom for the servers
+    // and harness; scale the grid down rather than fail on boxes where
+    // the limit cannot be raised.
+    let limit = raise_nofile_limit(120_000).unwrap_or(1024);
+    let usable = (limit.saturating_sub(2_000) / 2) as usize;
+    let grid: Vec<usize> = if smoke {
+        vec![100, 1_000]
+    } else {
+        vec![1_000, 10_000, 50_000]
+    };
+    let grid: Vec<usize> = {
+        let mut g: Vec<usize> = grid.into_iter().map(|n| n.min(usable)).collect();
+        g.dedup();
+        g
+    };
+    println!("fd limit {limit} -> grid {grid:?}\n");
+
+    let (rps, duration) = if smoke {
+        (150.0, Duration::from_secs(1))
+    } else {
+        (300.0, Duration::from_secs(3))
+    };
+
+    let mut cells = Vec::new();
+    for &connections in &grid {
+        for mode in [ServingMode::BlockingFixed, ServingMode::ReactorContinuous] {
+            cells.push(run_cell(mode, connections, rps, duration));
+        }
+    }
+    write_summary(&cells, smoke);
+}

@@ -76,6 +76,12 @@ pub struct HttpClient {
     stream: TcpStream,
     buf: BytesMut,
     timeout: Duration,
+    /// An exchange on this connection was aborted mid-flight (timeout,
+    /// transport error, short read): response framing is no longer
+    /// trustworthy. Every subsequent request fails fast with a
+    /// `ConnectionReset`-class error instead of risking a late or
+    /// truncated response being attributed to the wrong request.
+    poisoned: bool,
 }
 
 impl HttpClient {
@@ -98,6 +104,7 @@ impl HttpClient {
             stream,
             buf: BytesMut::with_capacity(4096),
             timeout,
+            poisoned: false,
         })
     }
 
@@ -128,6 +135,25 @@ impl HttpClient {
     }
 
     fn send(&mut self, req: &Request) -> Result<Response, ClientError> {
+        if self.poisoned {
+            // A previous exchange was abandoned mid-flight; its (late,
+            // or truncated-short-of-Content-Length) response bytes may
+            // still arrive and would parse as *this* request's answer.
+            return Err(ClientError::Io(std::io::Error::new(
+                ErrorKind::ConnectionReset,
+                "connection poisoned by an aborted exchange",
+            )));
+        }
+        match self.exchange(req) {
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn exchange(&mut self, req: &Request) -> Result<Response, ClientError> {
         self.stream
             .write_all(&req.encode())
             .map_err(ClientError::Io)?;
@@ -139,6 +165,19 @@ impl HttpClient {
                 Err(e) => return Err(ClientError::Protocol(e)),
             }
             match self.stream.read(&mut chunk) {
+                Ok(0) if !self.buf.is_empty() => {
+                    // The server promised more (Content-Length) than it
+                    // delivered before closing: a short read. This is a
+                    // retryable transport failure — never a successful
+                    // (truncated) response.
+                    return Err(ClientError::Io(std::io::Error::new(
+                        ErrorKind::ConnectionReset,
+                        format!(
+                            "connection closed mid-response ({} partial bytes short of Content-Length)",
+                            self.buf.len()
+                        ),
+                    )));
+                }
                 Ok(0) => {
                     return Err(ClientError::Io(std::io::Error::new(
                         ErrorKind::UnexpectedEof,
@@ -849,6 +888,90 @@ mod tests {
             other => panic!("expected timeout, got {other:?}"),
         }
         server.shutdown();
+    }
+
+    /// A raw server that answers its first accept with a truncated
+    /// response — `Content-Length: 100` but only half the body — then
+    /// closes, and serves every later accept a full, correct response.
+    fn short_read_server() -> (SocketAddr, std::thread::JoinHandle<u64>) {
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut accepts = 0u64;
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { continue };
+                accepts += 1;
+                // Drain the request head (one read is enough for the
+                // tiny GETs the test sends).
+                let mut sink = [0u8; 1024];
+                let _ = stream.read(&mut sink);
+                if accepts == 1 {
+                    let head = b"HTTP/1.1 200 OK\r\ncontent-length: 100\r\n\r\n";
+                    let _ = stream.write_all(head);
+                    let _ = stream.write_all(&[b'x'; 50]);
+                    // Close 50 bytes short of the promised length.
+                    drop(stream);
+                    continue;
+                }
+                let body = b"full response";
+                let head = format!("HTTP/1.1 200 OK\r\ncontent-length: {}\r\n\r\n", body.len());
+                let _ = stream.write_all(head.as_bytes());
+                let _ = stream.write_all(body);
+                break; // test over after the first good exchange
+            }
+            accepts
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn short_reads_are_connection_reset_errors_not_truncated_successes() {
+        let (addr, server) = short_read_server();
+        let mut client = HttpClient::connect(addr).unwrap();
+        match client.request(&Request::get("/rec")) {
+            Err(ClientError::Io(e)) => {
+                assert_eq!(
+                    e.kind(),
+                    ErrorKind::ConnectionReset,
+                    "short read must be ConnReset-class, got {e:?}"
+                );
+            }
+            other => panic!("truncated body surfaced as {other:?}"),
+        }
+        // The aborted exchange poisons the connection: the next request
+        // on it fails fast instead of parsing leftovers.
+        match client.request(&Request::get("/rec")) {
+            Err(ClientError::Io(e)) => assert_eq!(e.kind(), ErrorKind::ConnectionReset),
+            other => panic!("poisoned connection served {other:?}"),
+        }
+        // A fresh connection closes the loop so the server thread exits.
+        let mut fresh = HttpClient::connect(addr).unwrap();
+        let resp = fresh.request(&Request::get("/rec")).unwrap();
+        assert_eq!(&resp.body[..], b"full response");
+        assert_eq!(server.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn resilient_client_retries_short_reads_to_a_full_response() {
+        let (addr, server) = short_read_server();
+        let policy = RetryPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(4),
+            max_retries: 5,
+            jitter: 0.5,
+        };
+        let mut client = ResilientClient::new(addr, policy, 11);
+        let out = client
+            .request_within(&Request::get("/rec"), Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(out.response.status, 200);
+        assert_eq!(&out.response.body[..], b"full response");
+        assert!(out.retries >= 1, "the short read must have cost a retry");
+        assert_eq!(
+            server.join().unwrap(),
+            2,
+            "retry must use a fresh connection"
+        );
     }
 
     #[test]

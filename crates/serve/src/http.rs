@@ -60,6 +60,12 @@ impl Request {
         }
     }
 
+    /// Adds a header.
+    pub fn with_header(mut self, key: &str, value: impl Into<String>) -> Request {
+        self.headers.insert(key.to_ascii_lowercase(), value.into());
+        self
+    }
+
     /// Creates a GET request.
     pub fn get(path: &str) -> Request {
         Request {

@@ -14,8 +14,16 @@
 //!   over real sockets in integration tests and examples,
 //! * [`client`] — a blocking keep-alive HTTP client for the load
 //!   generator's real-time mode,
+//! * [`reactor`] — the non-blocking epoll-style event-loop rewrite of
+//!   the accept/read/write path: a portable poller trait, single-digit
+//!   event-loop threads, per-connection state machines, and a dispatch
+//!   pool — tens of thousands of open keep-alive connections without a
+//!   thread per connection,
 //! * [`batching`] — the `batched-fn`-style request batcher (buffer up to
 //!   1,024 requests, flush every 2 ms) used for GPU inference,
+//! * [`contbatch`] — continuous batching: requests admit into the
+//!   in-flight batch as inference threads free up, with deadline-aware
+//!   admission (blown budgets shed before compute),
 //! * [`fleet`] — the fleet aggregation endpoint: scrape every pod's
 //!   `/stats`, merge bit-identically, serve `/fleet` (JSON) and
 //!   `/fleet/metrics` (Prometheus),
@@ -32,15 +40,21 @@
 
 pub mod batching;
 pub mod client;
+pub mod contbatch;
 pub mod fleet;
 pub mod http;
+pub mod reactor;
 pub mod router;
 pub mod rustserver;
 pub mod service;
 pub mod simserver;
 
 pub use client::{ClientError, HttpClient, ResilientClient, ResilientResponse};
+pub use contbatch::{
+    model_routes_continuous, ContinuousBatcher, ContinuousConfig, DEADLINE_HEADER,
+};
 pub use fleet::{fleet_routes, scrape_fleet, FleetScraper};
+pub use reactor::{new_poller, raise_nofile_limit, Interest, Poller, ReactorConfig};
 pub use router::{
     router_routes, scrape_shard_fleet, shard_backend_routes, RouterConfig, ShardGroupSpec,
     ShardTopology,

@@ -115,6 +115,27 @@ impl Drop for ServerHandle {
     }
 }
 
+/// Assembles a [`ServerHandle`] around externally spawned threads — the
+/// seam that lets the reactor server (`crate::reactor`) hand out the
+/// same handle type as the blocking server, so every caller (tests,
+/// fleet scrapers, benches) is flavor-agnostic. All threads must exit
+/// once `shutdown` is set; `stop()` pokes `addr` once to unblock any
+/// accept path and then joins them in order.
+pub(crate) fn assemble_handle(
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    requests_served: Arc<AtomicU64>,
+) -> ServerHandle {
+    ServerHandle {
+        addr,
+        shutdown,
+        accept_thread: None,
+        worker_threads: threads,
+        requests_served,
+    }
+}
+
 /// Starts a server with the given route handler on an OS-assigned port.
 pub fn start(config: ServerConfig, handler: Handler) -> std::io::Result<ServerHandle> {
     start_bound(TcpListener::bind(("127.0.0.1", 0))?, config, handler)
@@ -598,18 +619,18 @@ impl Default for DegradationPolicy {
 /// after `exit_after` consecutive successful batcher submissions (any
 /// overload resets that streak). In degraded mode overloaded requests get
 /// the popularity fallback as `200` + [`DEGRADED_HEADER`] instead of 503.
-struct Degradation {
+pub(crate) struct Degradation {
     policy: DegradationPolicy,
     /// Pre-encoded popularity top-k body, built once at route setup —
     /// the degraded path must not cost inference.
-    fallback_body: String,
+    pub(crate) fallback_body: String,
     degraded: AtomicBool,
     consecutive_sheds: AtomicU64,
     consecutive_ok: AtomicU64,
 }
 
 impl Degradation {
-    fn new(policy: DegradationPolicy, catalog_size: usize) -> Degradation {
+    pub(crate) fn new(policy: DegradationPolicy, catalog_size: usize) -> Degradation {
         let fallback_body = popularity_fallback(catalog_size, policy.top_k);
         Degradation {
             policy,
@@ -620,14 +641,14 @@ impl Degradation {
         }
     }
 
-    fn is_degraded(&self) -> bool {
+    pub(crate) fn is_degraded(&self) -> bool {
         self.degraded.load(Ordering::Relaxed)
     }
 
     /// A batcher submission succeeded: any shed streak ends, and in
     /// degraded mode a long enough success streak restores normal
     /// service.
-    fn note_success(&self) {
+    pub(crate) fn note_success(&self) {
         self.consecutive_sheds.store(0, Ordering::Relaxed);
         if self.is_degraded() {
             let oks = self.consecutive_ok.fetch_add(1, Ordering::Relaxed) + 1;
@@ -640,7 +661,7 @@ impl Degradation {
 
     /// The queue was full. Returns `true` when the request should be
     /// served from the fallback (degraded mode), `false` to shed it.
-    fn note_overload(&self) -> bool {
+    pub(crate) fn note_overload(&self) -> bool {
         if self.is_degraded() {
             self.consecutive_ok.store(0, Ordering::Relaxed);
             return true;
@@ -670,10 +691,10 @@ fn popularity_fallback(catalog_size: usize, top_k: usize) -> String {
 /// One batched inference result: the recommendation plus the measured
 /// inference/top-k wall-time split, so the handler thread can derive its
 /// queue wait (submit-to-response minus actual compute).
-struct BatchReply {
-    rec: Result<etude_models::Recommendation, String>,
-    inference: Duration,
-    topk: Duration,
+pub(crate) struct BatchReply {
+    pub(crate) rec: Result<etude_models::Recommendation, String>,
+    pub(crate) inference: Duration,
+    pub(crate) topk: Duration,
 }
 
 type PredictionBatcher = crate::batching::Batcher<Vec<u32>, BatchReply>;

@@ -1,0 +1,240 @@
+//! Equivalence and admission-invariant proptests for continuous
+//! batching.
+//!
+//! Two contracts lock the new batcher to the fixed one it replaces:
+//!
+//! 1. **Payload equivalence** — for any arrival schedule (sessions,
+//!    concurrency, ordering), the recommendation payloads served by the
+//!    continuous path are byte-identical to the fixed batcher's for the
+//!    same model and sessions. Batching is an execution strategy, never
+//!    a semantic: per-session inference is deterministic, so how
+//!    requests were grouped must be invisible in the bytes.
+//! 2. **Deadline admission** — no admitted request's inference ever
+//!    starts after its deadline budget is exhausted: a blown budget is
+//!    shed at the queue (before compute), and every *served* request's
+//!    measured queue wait is below its budget.
+
+use etude_faults::Deadline;
+use etude_models::{ModelConfig, ModelKind, SbrModel};
+use etude_serve::batching::BatchConfig;
+use etude_serve::contbatch::{AdmitError, ContinuousBatcher, ContinuousConfig};
+use etude_serve::http::Request;
+use etude_serve::rustserver::{model_routes_batched, Handler};
+use etude_serve::{model_routes_continuous, ContinuousConfig as PublicContinuousConfig};
+use etude_tensor::Device;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+const CATALOG: usize = 300;
+
+/// One shared model for the whole suite: building it is the expensive
+/// part, and equivalence must hold for *any* schedule against the same
+/// weights anyway.
+fn shared_model() -> Arc<dyn SbrModel> {
+    static MODEL: OnceLock<Arc<dyn SbrModel>> = OnceLock::new();
+    Arc::clone(MODEL.get_or_init(|| {
+        let cfg = ModelConfig::new(CATALOG)
+            .with_max_session_len(8)
+            .with_seed(17);
+        Arc::from(ModelKind::Core.build(&cfg))
+    }))
+}
+
+fn fixed_handler() -> Handler {
+    model_routes_batched(shared_model(), Device::cpu(), false, BatchConfig::default())
+}
+
+fn continuous_handler() -> Handler {
+    model_routes_continuous(
+        shared_model(),
+        Device::cpu(),
+        false,
+        PublicContinuousConfig::default(),
+        Arc::new(etude_obs::Recorder::new()),
+        None,
+    )
+}
+
+/// Fires `sessions` at a handler from `fanout` concurrent submitters
+/// (arrival order scrambled by the thread scheduler) and returns
+/// `(status, body)` per session, indexed like the input.
+fn drive(handler: &Handler, sessions: &[Vec<u32>]) -> Vec<(u16, Vec<u8>)> {
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for session in sessions {
+            let handler = Arc::clone(handler);
+            handles.push(scope.spawn(move || {
+                let body = session
+                    .iter()
+                    .map(|i| i.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let resp = handler(&Request::post("/predictions", body));
+                (resp.status, resp.body.to_vec())
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any arrival schedule: fixed-window and continuous batching serve
+    /// byte-identical recommendation payloads.
+    #[test]
+    fn payloads_match_fixed_batcher_for_any_schedule(
+        sessions in proptest::collection::vec(
+            proptest::collection::vec(0u32..CATALOG as u32, 1..8),
+            1..10,
+        ),
+    ) {
+        let fixed = drive(&fixed_handler(), &sessions);
+        let continuous = drive(&continuous_handler(), &sessions);
+        for (i, (f, c)) in fixed.iter().zip(&continuous).enumerate() {
+            prop_assert_eq!(f.0, 200u16, "fixed batcher failed session {}", i);
+            prop_assert_eq!(c.0, 200u16, "continuous batcher failed session {}", i);
+            prop_assert_eq!(
+                &f.1, &c.1,
+                "payload for session {} diverged between batchers", i
+            );
+        }
+    }
+
+    /// Any schedule of budgets and work: inference never starts on a
+    /// request whose budget already expired, and served requests'
+    /// queue waits stay within budget.
+    #[test]
+    fn inference_never_starts_past_the_deadline(
+        jobs in proptest::collection::vec(
+            // (budget_us, work_us): budgets down to sub-millisecond so
+            // plenty expire in the queue behind slower work.
+            (0u64..40_000, 0u64..4_000),
+            1..24,
+        ),
+    ) {
+        let late_starts = Arc::new(AtomicU64::new(0));
+        let ran = Arc::new(AtomicU64::new(0));
+        let handler_late = Arc::clone(&late_starts);
+        let handler_ran = Arc::clone(&ran);
+        let batcher: Arc<ContinuousBatcher<(Deadline, Duration), ()>> =
+            Arc::new(ContinuousBatcher::spawn(
+                ContinuousConfig {
+                    // One slot: everything queues behind the head job,
+                    // maximizing in-queue expiries.
+                    slots: 1,
+                    max_queue: 64,
+                    default_deadline: Duration::from_secs(1),
+                },
+                move |(deadline, work): (Deadline, Duration)| {
+                    // This closure IS the start of inference.
+                    if deadline.expired() {
+                        handler_late.fetch_add(1, Ordering::SeqCst);
+                    }
+                    handler_ran.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(work);
+                },
+            ));
+
+        let results: Vec<Result<Duration, AdmitError>> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for &(budget_us, work_us) in &jobs {
+                let batcher = Arc::clone(&batcher);
+                handles.push(scope.spawn(move || {
+                    let budget = Duration::from_micros(budget_us);
+                    let deadline = Deadline::after(budget);
+                    batcher
+                        .try_call((deadline, Duration::from_micros(work_us)), deadline)
+                        .map(|admitted| admitted.queue_wait)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        // The invariant itself: zero inferences started past expiry.
+        prop_assert_eq!(
+            late_starts.load(Ordering::SeqCst), 0,
+            "inference started after the deadline was exhausted"
+        );
+        let mut served = 0u64;
+        for (i, result) in results.iter().enumerate() {
+            match result {
+                Ok(queue_wait) => {
+                    served += 1;
+                    prop_assert!(
+                        *queue_wait <= Duration::from_micros(jobs[i].0),
+                        "served request {} waited {:?} on a {}us budget",
+                        i, queue_wait, jobs[i].0
+                    );
+                }
+                Err(AdmitError::Expired) => {}
+                Err(e) => prop_assert!(false, "unexpected admission error: {:?}", e),
+            }
+        }
+        // Exactly the served requests (and the in-queue expiries, which
+        // run no compute) reached a slot.
+        prop_assert_eq!(
+            ran.load(Ordering::SeqCst), served,
+            "handler ran for a request that was not served"
+        );
+    }
+}
+
+/// Low-load byte-identity across the full HTTP stack: the acceptance
+/// criterion's "byte-identical recommendation payloads between the two
+/// servers at low load", checked end-to-end over real sockets — the
+/// blocking server with the fixed batcher vs the reactor server with
+/// the continuous batcher.
+#[test]
+fn servers_agree_byte_for_byte_at_low_load() {
+    use etude_serve::client::HttpClient;
+    use etude_serve::reactor::{self, ReactorConfig};
+    use etude_serve::rustserver::{self, ServerConfig};
+
+    let blocking = rustserver::start(ServerConfig::default(), fixed_handler()).unwrap();
+    let reactor = reactor::start(ReactorConfig::default(), continuous_handler()).unwrap();
+    let mut blocking_client = HttpClient::connect(blocking.addr()).unwrap();
+    let mut reactor_client = HttpClient::connect(reactor.addr()).unwrap();
+
+    let sessions = ["1", "5,2,9", "10,20,30,40", "299", "0,0,7", "42,17,42,17,8"];
+    for session in sessions {
+        let req = Request::post("/predictions", session);
+        let a = blocking_client.request(&req).unwrap();
+        let b = reactor_client.request(&req).unwrap();
+        assert_eq!(a.status, 200, "blocking+fixed failed {session}");
+        assert_eq!(b.status, 200, "reactor+continuous failed {session}");
+        assert_eq!(
+            a.body, b.body,
+            "recommendation payload diverged for session {session}"
+        );
+    }
+    blocking.shutdown();
+    reactor.shutdown();
+}
+
+/// In-queue expiry sheds with the standard overload contract (503 +
+/// retry-after) through the full continuous route table.
+#[test]
+fn expired_requests_shed_with_503_before_compute() {
+    let handler = model_routes_continuous(
+        shared_model(),
+        Device::cpu(),
+        false,
+        PublicContinuousConfig::default(),
+        Arc::new(etude_obs::Recorder::new()),
+        None,
+    );
+    // A zero budget via the deadline header: expired at admission.
+    let req = Request::post("/predictions", "1,2,3").with_header(etude_serve::DEADLINE_HEADER, "0");
+    let started = Instant::now();
+    let resp = handler(&req);
+    assert_eq!(resp.status, 503);
+    assert_eq!(
+        resp.headers.get("retry-after").map(String::as_str),
+        Some("1")
+    );
+    // Shed BEFORE compute: far faster than an inference pass.
+    assert!(started.elapsed() < Duration::from_millis(50));
+}

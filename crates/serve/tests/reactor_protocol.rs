@@ -1,0 +1,297 @@
+//! Concurrency/protocol suite locking the reactor server to the
+//! blocking server's observable behavior.
+//!
+//! Every scenario runs against BOTH server flavors with the same route
+//! handler and asserts an identical transcript: the reactor rewrite is
+//! only allowed to change *capacity*, never protocol semantics. Covered
+//! hostile-client shapes:
+//!
+//! * keep-alive pipelining (many requests in one write, answers in
+//!   order),
+//! * slowloris (headers dripped one byte at a time — neither flavor
+//!   times the client out; it is eventually served),
+//! * mid-request disconnect (half a request then FIN — dropped without
+//!   a response, server stays healthy),
+//! * oversized body rejection (`Content-Length` past the cap → 500 and
+//!   close, without buffering the body),
+//! * a 10k-idle-connections smoke test on the reactor (the scenario
+//!   the thread-per-connection baseline exists to lose).
+
+use etude_serve::http::{self, Method, Request, Response};
+use etude_serve::reactor::{self, raise_nofile_limit, ReactorConfig};
+use etude_serve::rustserver::{self, Handler, ServerConfig, ServerHandle};
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn echo_handler() -> Handler {
+    Arc::new(|req: &Request| match (req.method, req.path.as_str()) {
+        (Method::Get, "/ping") => Response::ok("pong"),
+        (Method::Post, "/echo") => Response::ok(req.body.clone()),
+        _ => Response::error(404, "no such route"),
+    })
+}
+
+/// Both server flavors behind one seam, so every scenario is written
+/// once and asserted twice.
+fn both_servers() -> Vec<(&'static str, ServerHandle)> {
+    vec![
+        (
+            "blocking",
+            rustserver::start(ServerConfig::default(), echo_handler()).unwrap(),
+        ),
+        (
+            "reactor",
+            reactor::start(ReactorConfig::default(), echo_handler()).unwrap(),
+        ),
+    ]
+}
+
+/// Reads exactly `n` responses off a raw socket, returning parsed
+/// responses plus whether the server closed the connection after them.
+fn read_responses(stream: &mut TcpStream, n: usize) -> (Vec<Response>, bool) {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = bytes::BytesMut::new();
+    let mut out = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut closed = false;
+    while out.len() < n {
+        match http::parse_response(&mut buf) {
+            Ok(resp) => {
+                out.push(resp);
+                continue;
+            }
+            Err(http::HttpError::Incomplete) => {}
+            Err(e) => panic!("malformed response bytes: {e:?}"),
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                closed = true;
+                // Drain whatever complete responses arrived before the
+                // close before giving up.
+                while out.len() < n {
+                    match http::parse_response(&mut buf) {
+                        Ok(resp) => out.push(resp),
+                        Err(http::HttpError::Incomplete) => break,
+                        Err(e) => panic!("malformed response bytes: {e:?}"),
+                    }
+                }
+                break;
+            }
+            Ok(got) => buf.extend_from_slice(&chunk[..got]),
+            Err(e) => panic!("read failed: {e}"),
+        }
+    }
+    if out.len() == n && !closed {
+        // Probe for close without blocking the test: a short timeout
+        // read distinguishes "held open" from "server closed".
+        stream
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        match stream.read(&mut chunk) {
+            Ok(0) => closed = true,
+            Ok(_) => panic!("unexpected extra bytes after {n} responses"),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(_) => closed = true,
+        }
+    }
+    (out, closed)
+}
+
+/// Normalizes a transcript for cross-flavor comparison.
+fn transcript(responses: &[Response], closed: bool) -> Vec<(u16, Vec<u8>, bool)> {
+    responses
+        .iter()
+        .map(|r| (r.status, r.body.to_vec(), closed))
+        .collect()
+}
+
+#[test]
+fn pipelined_requests_answer_in_order_on_both_servers() {
+    let mut transcripts = Vec::new();
+    for (flavor, server) in both_servers() {
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // Six requests in a single write: interleaved GETs and POSTs
+        // whose bodies disambiguate ordering.
+        let mut wire = Vec::new();
+        for i in 0..3 {
+            wire.extend_from_slice(&Request::get("/ping").encode());
+            wire.extend_from_slice(&Request::post("/echo", format!("body-{i}")).encode());
+        }
+        stream.write_all(&wire).unwrap();
+        let (responses, closed) = read_responses(&mut stream, 6);
+        assert_eq!(responses.len(), 6, "{flavor}: lost pipelined responses");
+        assert!(!closed, "{flavor}: keep-alive connection was closed");
+        for (i, pair) in responses.chunks(2).enumerate() {
+            assert_eq!(&pair[0].body[..], b"pong", "{flavor}");
+            assert_eq!(pair[1].body, format!("body-{i}").as_bytes(), "{flavor}");
+        }
+        // The connection stays usable afterwards.
+        stream
+            .write_all(&Request::post("/echo", "after").encode())
+            .unwrap();
+        let (more, _) = read_responses(&mut stream, 1);
+        assert_eq!(&more[0].body[..], b"after", "{flavor}");
+        assert_eq!(server.requests_served(), 7, "{flavor}");
+        transcripts.push(transcript(&responses, closed));
+        server.shutdown();
+    }
+    assert_eq!(
+        transcripts[0], transcripts[1],
+        "blocking and reactor transcripts diverged"
+    );
+}
+
+#[test]
+fn slowloris_headers_are_eventually_served_on_both_servers() {
+    let mut transcripts = Vec::new();
+    for (flavor, server) in both_servers() {
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let wire = Request::post("/echo", "drip").encode();
+        // One byte at a time, with a pause every few bytes: the classic
+        // slowloris shape. Neither flavor imposes a header deadline, so
+        // the request must eventually complete.
+        for (i, b) in wire.iter().enumerate() {
+            stream.write_all(std::slice::from_ref(b)).unwrap();
+            if i % 8 == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let (responses, closed) = read_responses(&mut stream, 1);
+        assert_eq!(responses.len(), 1, "{flavor}: slowloris never served");
+        assert_eq!(&responses[0].body[..], b"drip", "{flavor}");
+        assert!(!closed, "{flavor}: keep-alive closed after slowloris");
+        transcripts.push(transcript(&responses, closed));
+        server.shutdown();
+    }
+    assert_eq!(transcripts[0], transcripts[1]);
+}
+
+#[test]
+fn mid_request_disconnect_is_dropped_without_wedging_either_server() {
+    for (flavor, server) in both_servers() {
+        let addr = server.addr();
+        {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let wire = Request::post("/echo", "never finished").encode();
+            // Half the request, then FIN.
+            stream.write_all(&wire[..wire.len() / 2]).unwrap();
+        }
+        // The partial request must not be served, and the server must
+        // keep serving fresh connections promptly.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(&Request::post("/echo", "alive").encode())
+            .unwrap();
+        let (responses, _) = read_responses(&mut stream, 1);
+        assert_eq!(&responses[0].body[..], b"alive", "{flavor}");
+        assert_eq!(
+            server.requests_served(),
+            1,
+            "{flavor}: the aborted request must not count as served"
+        );
+        server.shutdown();
+    }
+}
+
+#[test]
+fn oversized_bodies_are_rejected_identically() {
+    let mut transcripts = Vec::new();
+    for (flavor, server) in both_servers() {
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // Headers declaring a body one byte past the cap; the server
+        // must reject on the declaration without waiting for the bytes.
+        let head = format!(
+            "POST /echo HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            http::MAX_BODY_BYTES + 1
+        );
+        stream.write_all(head.as_bytes()).unwrap();
+        let (responses, closed) = read_responses(&mut stream, 1);
+        assert_eq!(responses.len(), 1, "{flavor}: no rejection response");
+        assert_eq!(responses[0].status, 500, "{flavor}");
+        assert_eq!(&responses[0].body[..], b"bad request", "{flavor}");
+        assert!(
+            closed,
+            "{flavor}: connection must close after a bad request"
+        );
+        transcripts.push(transcript(&responses, closed));
+        server.shutdown();
+    }
+    assert_eq!(transcripts[0], transcripts[1]);
+}
+
+#[test]
+fn requests_pipelined_behind_a_malformed_one_die_with_the_connection() {
+    let mut transcripts = Vec::new();
+    for (flavor, server) in both_servers() {
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&Request::post("/echo", "first").encode());
+        wire.extend_from_slice(b"NONSENSE /x HTTP/9.9\r\n\r\n");
+        wire.extend_from_slice(&Request::post("/echo", "doomed").encode());
+        stream.write_all(&wire).unwrap();
+        // The good request answers, the malformed one gets the 500, the
+        // one behind it is never served — on both flavors.
+        let (responses, closed) = read_responses(&mut stream, 2);
+        assert_eq!(responses.len(), 2, "{flavor}");
+        assert_eq!(&responses[0].body[..], b"first", "{flavor}");
+        assert_eq!(responses[1].status, 500, "{flavor}");
+        assert!(closed, "{flavor}: connection must close after the 500");
+        transcripts.push(transcript(&responses, closed));
+        server.shutdown();
+    }
+    assert_eq!(transcripts[0], transcripts[1]);
+}
+
+#[test]
+fn ten_thousand_idle_connections_smoke() {
+    // Each in-process connection costs two fds (client + server end);
+    // leave generous headroom for the harness itself.
+    let limit = raise_nofile_limit(25_000).unwrap_or(1024);
+    let target = 10_000usize.min(((limit.saturating_sub(500)) / 2) as usize);
+    assert!(
+        target >= 1_000,
+        "fd limit {limit} too low for a meaningful idle-connection smoke"
+    );
+
+    let server = reactor::start(ReactorConfig::default(), echo_handler()).unwrap();
+    let addr = server.addr();
+    let mut idle = Vec::with_capacity(target);
+    for i in 0..target {
+        match TcpStream::connect(addr) {
+            Ok(s) => idle.push(s),
+            Err(e) => panic!("connect #{i} failed: {e}"),
+        }
+    }
+
+    // With `target` idle connections parked, a live request must still
+    // be served promptly: idle connections cost a registration, not a
+    // scan or a thread.
+    let started = Instant::now();
+    let mut live = TcpStream::connect(addr).unwrap();
+    live.write_all(&Request::post("/echo", "under load").encode())
+        .unwrap();
+    let (responses, _) = read_responses(&mut live, 1);
+    let elapsed = started.elapsed();
+    assert_eq!(&responses[0].body[..], b"under load");
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "request took {elapsed:?} with {target} idle connections parked"
+    );
+
+    // The parked connections are still live too: spot-check a sample
+    // across the accept order (and therefore across event loops).
+    for idx in [0, target / 2, target - 1] {
+        let conn = &mut idle[idx];
+        conn.write_all(&Request::get("/ping").encode()).unwrap();
+        let (r, closed) = read_responses(conn, 1);
+        assert_eq!(&r[0].body[..], b"pong", "idle conn #{idx} unservable");
+        assert!(!closed, "idle conn #{idx} was dropped");
+    }
+
+    drop(idle);
+    server.shutdown();
+}

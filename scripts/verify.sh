@@ -11,6 +11,9 @@
 # Pass --scatter to add the scatter/gather sharding stage (partial
 # top-k merge proptests, router integration tests, shard-loss chaos
 # acceptance, smoke bench).
+# Pass --reactor to add the reactor/continuous-batching stage (protocol
+# parity suite, batching equivalence proptests, saturation shed
+# regression, smoke saturation bench).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,6 +22,7 @@ FLEET=0
 SELFHEAL=0
 SIMD=0
 SCATTER=0
+REACTOR=0
 for arg in "$@"; do
     case "$arg" in
         --chaos) CHAOS=1 ;;
@@ -26,6 +30,7 @@ for arg in "$@"; do
         --selfheal) SELFHEAL=1 ;;
         --simd) SIMD=1 ;;
         --scatter) SCATTER=1 ;;
+        --reactor) REACTOR=1 ;;
         *) echo "unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -88,6 +93,19 @@ if [ "$SCATTER" = "1" ]; then
     cargo run --release -q -p etude-bench --bin scatter_gather -- --smoke
     echo "==> checking results/BENCH_scatter_gather.json was produced"
     grep -q '"bench": "scatter_gather"' results/BENCH_scatter_gather.json
+fi
+
+if [ "$REACTOR" = "1" ]; then
+    echo "==> reactor protocol parity suite (blocking vs reactor transcripts)"
+    cargo test -q --release -p etude-serve --test reactor_protocol
+    echo "==> continuous-batching equivalence proptests"
+    cargo test -q --release -p etude-serve --test continuous_equivalence
+    echo "==> saturation shed regression (deadline admission under overload)"
+    cargo test -q --release -p etude-loadgen --test saturation
+    echo "==> saturation --smoke (open-connection capacity bench)"
+    cargo run --release -q -p etude-bench --bin saturation -- --smoke
+    echo "==> checking results/BENCH_saturation.json was produced"
+    grep -q '"bench": "saturation"' results/BENCH_saturation.json
 fi
 
 echo "==> cargo doc --no-deps (warnings are errors)"
