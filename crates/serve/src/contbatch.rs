@@ -14,7 +14,10 @@
 //! frees up**. Admission is deadline-aware at both ends:
 //!
 //! * at submit, a request whose [`Deadline`] is already blown is
-//!   rejected without ever queueing ([`AdmitError::Expired`]),
+//!   rejected without ever queueing ([`AdmitError::Expired`]) — the
+//!   budget is anchored at the instant the request was parsed off the
+//!   wire (`Request::arrival`), so time spent waiting for a reactor
+//!   dispatch thread counts against it too,
 //! * at dequeue — the instant inference *would* start — the deadline is
 //!   re-checked and expired requests are shed before compute, freeing
 //!   the slot for a request that can still make its budget.
@@ -329,7 +332,17 @@ pub(crate) fn continuous_routes(
                     Err(resp) => return echo_request_id(resp, echo),
                 };
                 let parse = t_parse.elapsed();
-                let deadline = Deadline::after(request_budget(req, default_deadline));
+                // Anchor the budget at the instant the request was
+                // parsed off the wire, not at handler entry: the
+                // reactor runs route handlers on a dispatch pool, and
+                // time spent waiting for a dispatch thread must be
+                // charged against the deadline (and shed when blown),
+                // or overload would serve requests arbitrarily past
+                // their end-to-end budget. The budget is capped at a
+                // day so a hostile header can't overflow the Instant.
+                let budget = request_budget(req, default_deadline).min(Duration::from_secs(86_400));
+                let deadline = Deadline::at(req.arrival + budget);
+                let dispatch_wait = t_total.saturating_duration_since(req.arrival);
                 recorder.set_queue_depth(batcher.queue_depth() as u64);
                 match batcher.try_call(items, deadline) {
                     Ok(Admitted {
@@ -354,9 +367,15 @@ pub(crate) fn continuous_routes(
                             echo,
                         );
                         let serialize = t_ser.elapsed();
-                        let total = t_total.elapsed();
+                        // End-to-end from the wire, and a queue span
+                        // covering both waits a request can suffer
+                        // before compute: dispatch-pool pickup and
+                        // batcher-slot pickup. For served requests the
+                        // sum is bounded by the budget by construction.
+                        let total = req.arrival.elapsed();
+                        let queued = dispatch_wait + queue_wait;
                         recorder.record(rid, Stage::Parse, nanos(parse));
-                        recorder.record(rid, Stage::Queue, nanos(queue_wait));
+                        recorder.record(rid, Stage::Queue, nanos(queued));
                         recorder.record(rid, Stage::Inference, nanos(inference));
                         recorder.record(rid, Stage::TopK, nanos(topk));
                         recorder.record(rid, Stage::Serialize, nanos(serialize));
@@ -367,7 +386,7 @@ pub(crate) fn continuous_routes(
                             resp,
                             &[
                                 (Stage::Parse, nanos(parse)),
-                                (Stage::Queue, nanos(queue_wait)),
+                                (Stage::Queue, nanos(queued)),
                                 (Stage::Inference, nanos(inference)),
                                 (Stage::TopK, nanos(topk)),
                                 (Stage::Serialize, nanos(serialize)),

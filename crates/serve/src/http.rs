@@ -8,6 +8,7 @@
 use bytes::{Bytes, BytesMut};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::time::Instant;
 
 /// HTTP methods the server supports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +48,12 @@ pub struct Request {
     pub headers: BTreeMap<String, String>,
     /// Request body.
     pub body: Bytes,
+    /// When the request came off the wire ([`parse_request`] stamps the
+    /// instant the final byte was parsed; the in-process constructors
+    /// stamp creation). Latency budgets anchor here, so any queueing
+    /// between parse and handler execution is charged against the
+    /// request's deadline rather than silently excluded from it.
+    pub arrival: Instant,
 }
 
 impl Request {
@@ -57,6 +64,7 @@ impl Request {
             path: path.to_string(),
             headers: BTreeMap::new(),
             body: body.into(),
+            arrival: Instant::now(),
         }
     }
 
@@ -73,6 +81,7 @@ impl Request {
             path: path.to_string(),
             headers: BTreeMap::new(),
             body: Bytes::new(),
+            arrival: Instant::now(),
         }
     }
 
@@ -237,6 +246,7 @@ pub fn parse_request(buf: &mut BytesMut) -> Result<Request, HttpError> {
         path,
         headers,
         body,
+        arrival: Instant::now(),
     })
 }
 

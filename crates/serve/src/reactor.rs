@@ -47,10 +47,14 @@ use std::time::{Duration, Instant};
 /// Declared here instead of pulling in a `libc` dependency: the symbols
 /// live in the C library every `std` binary already links.
 mod sys {
-    /// `epoll_event`. x86-64 Linux declares it packed; mirroring the
-    /// layout exactly is what makes the FFI sound.
+    /// `epoll_event`. The kernel packs it **only on x86-64** (12 bytes,
+    /// `data` at offset 4); every other Linux arch uses natural
+    /// alignment (16 bytes, `data` at offset 8). Mirroring the per-arch
+    /// layout exactly is what makes the FFI sound — a packed struct on
+    /// aarch64 would make `epoll_wait` write past the buffer.
     #[cfg(target_os = "linux")]
-    #[repr(C, packed)]
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
     pub struct EpollEvent {
         pub events: u32,
         pub data: u64,
@@ -241,7 +245,12 @@ impl Poller for EpollPoller {
 
     fn wait(&mut self, events: &mut Vec<Event>, timeout: Duration) -> std::io::Result<usize> {
         events.clear();
-        let cap = self.buf.capacity().max(64);
+        // `maxevents` must never exceed the allocation the kernel
+        // writes into: reserve up to the floor first, then derive the
+        // count from the actual capacity.
+        self.buf.clear();
+        self.buf.reserve(64);
+        let cap = self.buf.capacity();
         let timeout_ms = timeout.as_millis().min(i32::MAX as u128) as i32;
         let n = unsafe {
             sys::epoll_wait(
@@ -607,7 +616,14 @@ impl EventLoop {
                 return;
             }
             // Drain the inbox before handling IO so adopted connections
-            // and finished handlers are visible to this pass.
+            // and finished handlers are visible to this pass. Waker
+            // bytes are consumed BEFORE the queue is taken: a push that
+            // lands between the two steps then leaves its byte in the
+            // pipe (one spurious wakeup next pass) instead of having
+            // its byte eaten while the message sits queued until the
+            // next poll timeout.
+            let mut sink = [0u8; 256];
+            while matches!((&self.waker_rx).read(&mut sink), Ok(n) if n > 0) {}
             let inbox: Vec<LoopMsg> = std::mem::take(&mut *self.mailbox.queue.lock());
             for msg in inbox {
                 match msg {
@@ -622,10 +638,9 @@ impl EventLoop {
             }
             for &ev in events.iter() {
                 match ev.token {
-                    WAKER_TOKEN => {
-                        let mut sink = [0u8; 256];
-                        while matches!((&self.waker_rx).read(&mut sink), Ok(n) if n > 0) {}
-                    }
+                    // Already drained at the top of the pass, before the
+                    // queue was taken.
+                    WAKER_TOKEN => {}
                     LISTENER_TOKEN => self.accept_burst(),
                     token => {
                         let slot = token - FIRST_CONN;
@@ -1113,6 +1128,19 @@ mod tests {
         assert!(events[0].readable);
         poller.deregister(listener.as_raw_fd()).unwrap();
         assert!(poller.deregister(listener.as_raw_fd()).is_err());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_event_layout_matches_the_kernel() {
+        use std::mem::size_of;
+        // The kernel's epoll_event is packed (12 bytes) on x86-64 and
+        // naturally aligned (16 bytes, data at offset 8) everywhere
+        // else; a mismatch makes epoll_wait scribble past the buffer.
+        #[cfg(target_arch = "x86_64")]
+        assert_eq!(size_of::<sys::EpollEvent>(), 12);
+        #[cfg(not(target_arch = "x86_64"))]
+        assert_eq!(size_of::<sys::EpollEvent>(), 16);
     }
 
     #[cfg(target_os = "linux")]

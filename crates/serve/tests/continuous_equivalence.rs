@@ -238,3 +238,38 @@ fn expired_requests_shed_with_503_before_compute() {
     // Shed BEFORE compute: far faster than an inference pass.
     assert!(started.elapsed() < Duration::from_millis(50));
 }
+
+/// The deadline budget is anchored at wire-parse time, not handler
+/// entry: a request that exhausted its budget waiting for a dispatch
+/// thread (the reactor runs route handlers on a pool behind a queue)
+/// is shed even though the batcher's slots are free.
+#[test]
+fn dispatch_queue_wait_counts_against_the_budget() {
+    let handler = model_routes_continuous(
+        shared_model(),
+        Device::cpu(),
+        false,
+        PublicContinuousConfig::default(),
+        Arc::new(etude_obs::Recorder::new()),
+        None,
+    );
+    let mut req =
+        Request::post("/predictions", "1,2,3").with_header(etude_serve::DEADLINE_HEADER, "50");
+    // Simulate the overloaded dispatch queue: the request came off the
+    // wire long before the handler ran, blowing its 50 ms budget.
+    req.arrival = Instant::now() - Duration::from_millis(200);
+    let resp = handler(&req);
+    assert_eq!(
+        resp.status, 503,
+        "budget spent in the dispatch queue must shed, not serve late"
+    );
+    assert_eq!(
+        resp.headers.get("retry-after").map(String::as_str),
+        Some("1")
+    );
+
+    // An identical request whose arrival is fresh serves normally.
+    let fresh =
+        Request::post("/predictions", "1,2,3").with_header(etude_serve::DEADLINE_HEADER, "50");
+    assert_eq!(handler(&fresh).status, 200);
+}
