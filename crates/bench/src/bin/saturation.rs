@@ -65,6 +65,14 @@ struct Cell {
     p50_us: u64,
     p99_us: u64,
     max_us: u64,
+    /// Reactor busy / (busy + poll wait) over the run, scraped from the
+    /// server's own `/stats` after the schedule drains. `None` for the
+    /// blocking tier (no reactor, no telemetry block).
+    loop_utilization: Option<f64>,
+    /// p99 microseconds a parsed request waited in the dispatch queue
+    /// before a worker picked it up — queueing delay the latency
+    /// histogram can see but not attribute without this column.
+    dispatch_wait_p99_us: Option<u64>,
 }
 
 impl Cell {
@@ -90,15 +98,21 @@ fn start_server(mode: ServingMode) -> ServerHandle {
             rustserver::start(ServerConfig::default(), handler).unwrap()
         }
         ServingMode::ReactorContinuous => {
+            // One recorder serves both roles: the handler renders it at
+            // /stats, and `start_observed` installs the reactor's
+            // telemetry probe on it — so the loop-utilization and
+            // dispatch-wait columns come from the same snapshot the
+            // load driver scrapes.
+            let recorder = Arc::new(Recorder::new());
             let handler = model_routes_continuous(
                 model(),
                 Device::cpu(),
                 false,
                 ContinuousConfig::default(),
-                Arc::new(Recorder::new()),
+                Arc::clone(&recorder),
                 None,
             );
-            reactor::start(ReactorConfig::default(), handler).unwrap()
+            reactor::start_observed(ReactorConfig::default(), handler, recorder).unwrap()
         }
     }
 }
@@ -116,6 +130,7 @@ fn run_cell(mode: ServingMode, connections: usize, rps: f64, duration: Duration)
     let result = run_open_conn(server.addr(), &config).expect("open-conn run failed");
     server.shutdown();
     let label = mode_label(mode);
+    let reactor_stats = result.server_stats.as_ref().and_then(|s| s.reactor.clone());
     let cell = Cell {
         mode: label,
         connections: result.connections,
@@ -128,16 +143,24 @@ fn run_cell(mode: ServingMode, connections: usize, rps: f64, duration: Duration)
         p50_us: result.corrected.p50(),
         p99_us: result.corrected.p99(),
         max_us: result.corrected.max(),
+        loop_utilization: reactor_stats.as_ref().map(|r| r.utilization()),
+        dispatch_wait_p99_us: reactor_stats
+            .as_ref()
+            .map(|r| r.dispatch_wait_histogram().p99()),
     };
     println!(
         "  {label:>18} @ {:>6} conns: {:>4} ok, {} shed, {} errors, \
-         p50 {}us, p99 {}us [{}]",
+         p50 {}us, p99 {}us{} [{}]",
         cell.connections,
         cell.ok,
         cell.shed,
         cell.errors,
         cell.p50_us,
         cell.p99_us,
+        match (cell.loop_utilization, cell.dispatch_wait_p99_us) {
+            (Some(u), Some(w)) => format!(", loop util {u:.3}, dispatch wait p99 {w}us"),
+            _ => String::new(),
+        },
         if cell.sustained() {
             "sustained"
         } else {
@@ -148,11 +171,18 @@ fn run_cell(mode: ServingMode, connections: usize, rps: f64, duration: Duration)
 }
 
 fn cell_json(c: &Cell) -> String {
+    let util = c
+        .loop_utilization
+        .map_or("null".to_string(), |u| format!("{u:.4}"));
+    let wait = c
+        .dispatch_wait_p99_us
+        .map_or("null".to_string(), |w| w.to_string());
     format!(
         "    {{\"mode\": \"{}\", \"connections\": {}, \"rps\": {:.0}, \
          \"duration_s\": {:.1}, \"sent\": {}, \"ok\": {}, \"shed\": {}, \
          \"errors\": {}, \"co_corrected\": true, \"p50_us\": {}, \
-         \"p99_us\": {}, \"max_us\": {}, \"sustained\": {}}}",
+         \"p99_us\": {}, \"max_us\": {}, \"loop_utilization\": {util}, \
+         \"dispatch_wait_p99_us\": {wait}, \"sustained\": {}}}",
         c.mode,
         c.connections,
         c.rps,
@@ -192,11 +222,15 @@ fn write_summary(cells: &[Cell], smoke: bool) {
     let body: Vec<String> = cells.iter().map(cell_json).collect();
     let json = format!(
         "{{\n  \"bench\": \"saturation\",\n  \"mode\": \"{}\",\n  \
+         \"poller\": \"{}\",\n  \"event_loops\": {},\n  \"simd_isa\": \"{}\",\n  \
          \"slo_p99_us\": {SLO_P99_US},\n  \"headline\": {{\
          \"blocking_fixed_max_conns\": {blocking_max}, \
          \"reactor_continuous_max_conns\": {reactor_max}, \
          \"ratio\": {ratio:.1}}},\n  \"cells\": [\n{}\n  ]\n}}\n",
         if smoke { "smoke" } else { "full" },
+        reactor::poller_backend_name(),
+        ReactorConfig::default().event_loops,
+        etude_tensor::simd::isa_name(),
         body.join(",\n"),
     );
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
@@ -207,6 +241,75 @@ fn write_summary(cells: &[Cell], smoke: bool) {
     }
 }
 
+/// A/B measurement of the always-on profiler's cost on the hot kernel
+/// it tags: interleaved rounds of the fused score+top-k scan with
+/// scope recording + sampling on vs off, compared by median round
+/// ratio (the median cancels one-off scheduler noise that a mean of
+/// wall times would not).
+fn profiler_overhead_check() {
+    use etude_tensor::topk::{score_topk_into, TopkScratch};
+
+    const C: usize = 20_000;
+    const D: usize = 64;
+    const K: usize = 50;
+    const REPS: usize = 50;
+    const ROUNDS: usize = 7;
+
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    let table: Vec<f32> = (0..C * D)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u64 << 23) as f32 - 1.0
+        })
+        .collect();
+    let query: Vec<f32> = table[..D].to_vec();
+    let mut scratch = TopkScratch::default();
+    let mut ids = Vec::new();
+    let mut scores = Vec::new();
+
+    // The ticker is part of the cost under test: it is what production
+    // servers run. `set_enabled(false)` parks both it and the scopes.
+    etude_obs::profile::start_ticker(etude_obs::profile::DEFAULT_TICK);
+    let mut rep = |enabled: bool| {
+        etude_obs::profile::set_enabled(enabled);
+        let start = std::time::Instant::now();
+        score_topk_into(&table, &query, C, K, &mut scratch, &mut ids, &mut scores);
+        start.elapsed().as_secs_f64()
+    };
+    // Warm both paths (page the table in, intern the sites).
+    for _ in 0..16 {
+        rep(false);
+        rep(true);
+    }
+    // Strictly interleaved per-rep samples: every "on" rep has an
+    // adjacent "off" rep, so frequency drift and scheduler hiccups land
+    // on both sides equally and the per-side medians stay comparable.
+    let mut on = Vec::with_capacity(ROUNDS * REPS);
+    let mut off = Vec::with_capacity(ROUNDS * REPS);
+    for _ in 0..ROUNDS * REPS {
+        off.push(rep(false));
+        on.push(rep(true));
+    }
+    etude_obs::profile::set_enabled(true);
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    let ratio = median(&mut on) / median(&mut off);
+    let overhead_pct = (ratio - 1.0) * 100.0;
+    println!(
+        "profiler overhead on score_topk: {overhead_pct:+.2}% \
+         (median of {} interleaved reps per side)\n",
+        ROUNDS * REPS
+    );
+    assert!(
+        ratio <= 1.02,
+        "always-on profiler costs {overhead_pct:.2}% on the hot kernel (budget 2%)"
+    );
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     println!(
@@ -214,6 +317,9 @@ fn main() {
          reactor+continuous ({} mode) ==\n",
         if smoke { "smoke" } else { "full" }
     );
+    if smoke {
+        profiler_overhead_check();
+    }
 
     // Two fds per in-process connection, plus headroom for the servers
     // and harness; scale the grid down rather than fail on boxes where

@@ -235,6 +235,13 @@ pub struct SerialResult {
     pub simd_isa: &'static str,
     /// f32 lanes per block of that backend (1 for scalar).
     pub simd_lanes: usize,
+    /// Poller backend the reactor serving tier would run on this host
+    /// ("epoll", or "poll" under `ETUDE_POLLER=poll`). The serial bench
+    /// itself is virtual-time, but reports carry the serving substrate
+    /// so results files are comparable across hosts.
+    pub poller_backend: &'static str,
+    /// Event loops the default reactor config would spread over.
+    pub event_loops: usize,
     /// Where the mean latency goes (compute vs overhead vs network).
     pub breakdown: SerialBreakdown,
     /// Requests lost to fault windows (drops/partitions); each held the
@@ -298,6 +305,8 @@ pub fn run_serial_microbenchmark(spec: &ExperimentSpec, requests: usize) -> Seri
         cpu_threads: etude_tensor::pool::current_threads(),
         simd_isa: etude_tensor::simd::isa_name(),
         simd_lanes: etude_tensor::simd::lane_width(),
+        poller_backend: etude_serve::reactor::poller_backend_name(),
+        event_loops: etude_serve::ReactorConfig::default().event_loops,
         breakdown,
         lost,
     }

@@ -27,8 +27,10 @@
 
 use bytes::BytesMut;
 use etude_metrics::hdr::Histogram;
+use etude_obs::{parse_stats_json, StatsSnapshot};
 use etude_serve::http::{self, Request};
 use etude_serve::reactor::{new_poller, Event, Interest, Poller};
+use etude_serve::HttpClient;
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -95,6 +97,11 @@ pub struct OpenConnResult {
     pub corrected: Histogram,
     /// Wall-clock of the whole run (connect + schedule + drain).
     pub wall: Duration,
+    /// The server's own `/stats` snapshot, scraped once after the
+    /// schedule drains. Carries the reactor telemetry block (loop
+    /// utilization, dispatch queue wait) into bench reports. `None`
+    /// when the target exposes no parseable `/stats` route.
+    pub server_stats: Option<StatsSnapshot>,
 }
 
 struct ClientConn {
@@ -160,6 +167,7 @@ pub fn run_open_conn(addr: SocketAddr, config: &OpenConnConfig) -> std::io::Resu
         errors: 0,
         corrected: Histogram::new(),
         wall: Duration::ZERO,
+        server_stats: None,
     };
     let mut outstanding: u64 = 0;
     let mut events: Vec<Event> = Vec::new();
@@ -291,8 +299,20 @@ pub fn run_open_conn(addr: SocketAddr, config: &OpenConnConfig) -> std::io::Resu
         }
     }
 
+    result.server_stats = scrape_stats(addr);
     result.wall = started.elapsed();
     Ok(result)
+}
+
+/// Best-effort scrape of the target's `/stats` endpoint over a fresh
+/// blocking connection (the pool's sockets stay parked).
+fn scrape_stats(addr: SocketAddr) -> Option<StatsSnapshot> {
+    let mut client = HttpClient::connect(addr).ok()?;
+    let resp = client.request(&Request::get("/stats")).ok()?;
+    if resp.status != 200 {
+        return None;
+    }
+    parse_stats_json(std::str::from_utf8(&resp.body).ok()?)
 }
 
 fn reconnect(addr: SocketAddr) -> std::io::Result<TcpStream> {
@@ -353,6 +373,36 @@ mod tests {
         assert_eq!(result.shed, 0);
         assert!(result.ok >= 90, "only {} of ~100 served", result.ok);
         assert_eq!(result.corrected.count(), result.ok);
+        assert!(
+            result.server_stats.is_none(),
+            "no /stats route: the scrape must degrade to None"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn final_scrape_captures_the_servers_own_stats() {
+        let recorder = Arc::new(etude_obs::Recorder::new());
+        let snap_src = Arc::clone(&recorder);
+        let handler: Handler =
+            Arc::new(move |req: &Request| match (req.method, req.path.as_str()) {
+                (Method::Post, "/predictions") => Response::ok("0:1.0"),
+                (Method::Get, "/stats") => Response::ok(snap_src.snapshot().render_json()),
+                _ => Response::error(404, "nope"),
+            });
+        let server = start(ServerConfig::default(), handler).unwrap();
+        let config = OpenConnConfig {
+            connections: 2,
+            rps: 50.0,
+            duration: Duration::from_millis(200),
+            ..OpenConnConfig::default()
+        };
+        let result = run_open_conn(server.addr(), &config).unwrap();
+        assert_eq!(result.errors, 0);
+        let stats = result
+            .server_stats
+            .expect("a /stats route must be scraped into the result");
+        assert!(stats.reactor.is_none(), "thread-per-conn tier: no reactor");
         server.shutdown();
     }
 

@@ -9,7 +9,7 @@
 //! histograms together, in any scrape order — an acceptance criterion,
 //! verified end-to-end by `etude-serve`'s fleet test.
 
-use crate::stats::{parse_stats_json, StageCounts, StatsSnapshot};
+use crate::stats::{parse_stats_json, ReactorTelemetry, StageCounts, StatsSnapshot};
 use crate::Stage;
 use etude_metrics::hdr::Histogram;
 
@@ -123,6 +123,24 @@ impl FleetSnapshot {
             .collect()
     }
 
+    /// Merges reactor telemetry across every pod that ships it: summed
+    /// counters and busy/wait nanos (so fleet utilization is the
+    /// time-weighted mean), histograms folded on their exact sparse
+    /// buckets — order-independent like [`FleetSnapshot::merged_stage`].
+    /// `None` when no pod runs the reactor tier.
+    pub fn merged_reactor(&self) -> Option<ReactorTelemetry> {
+        let mut merged: Option<ReactorTelemetry> = None;
+        for pod in &self.pods {
+            if let Some(r) = &pod.reactor {
+                match &mut merged {
+                    Some(m) => m.merge(r),
+                    None => merged = Some(r.clone()),
+                }
+            }
+        }
+        merged
+    }
+
     /// Per-pod quantile spread for every stage at least two pods
     /// recorded (skew of a single replica is meaningless).
     pub fn skew(&self) -> Vec<StageSkew> {
@@ -165,6 +183,31 @@ impl FleetSnapshot {
             self.sum(|p| p.degraded),
             self.sum(|p| p.faults),
         ));
+        // Reactor keys stay flat (and their histograms are quoted pair
+        // strings), so they sit safely in the pre-array head that
+        // [`parse_fleet_health`] scans.
+        if let Some(r) = self.merged_reactor() {
+            out.push_str(&format!(
+                "  \"reactor_loops\": {},\n  \"reactor_busy_nanos\": {},\n  \
+                 \"reactor_wait_nanos\": {},\n  \"reactor_accepts\": {},\n  \
+                 \"reactor_conns\": {},\n  \"reactor_write_stalls\": {},\n  \
+                 \"reactor_evictions\": {},\n",
+                r.loops,
+                r.busy_nanos,
+                r.wait_nanos,
+                r.accepts,
+                r.conns,
+                r.write_stalls,
+                r.evictions,
+            ));
+            out.push_str(&format!(
+                "  \"reactor_poll_batch\": \"{}\",\n  \"reactor_wake_us\": \"{}\",\n  \
+                 \"reactor_dispatch_wait_us\": \"{}\",\n",
+                crate::stats::encode_pairs(&r.poll_batch),
+                crate::stats::encode_pairs(&r.wake_us),
+                crate::stats::encode_pairs(&r.dispatch_wait_us),
+            ));
+        }
         if !self.shards.is_empty() {
             out.push_str("  \"shards\": [");
             for (i, s) in self.shards.iter().enumerate() {
@@ -304,6 +347,9 @@ impl FleetSnapshot {
                 ));
             }
         }
+        if let Some(r) = self.merged_reactor() {
+            out.push_str(&crate::stats::render_reactor_prometheus(&r, "fleet_"));
+        }
         if !self.shards.is_empty() {
             out.push_str(
                 "# HELP etude_shard_healthy_replicas Replicas of each shard group that answered the last scrape.\n\
@@ -367,6 +413,15 @@ pub fn parse_fleet_pods(body: &str) -> Option<Vec<(i64, u64, u64)>> {
         scan = &scan[close + 1..];
     }
     Some(rows)
+}
+
+/// Parses the merged reactor telemetry block of a `/fleet` (or
+/// `/stats`) JSON document. `None` when the fleet runs no reactor tier.
+pub fn parse_fleet_reactor(body: &str) -> Option<ReactorTelemetry> {
+    // The flat reactor keys lead the document, before any array whose
+    // nested objects could shadow their names.
+    let head = &body[..body.find('[').unwrap_or(body.len())];
+    crate::stats::parse_reactor_block(head)
 }
 
 /// Parses the health header of a `/fleet` JSON document:
@@ -564,6 +619,47 @@ mod tests {
         let plain = FleetSnapshot::new(vec![pod_snapshot(0, &[10])], 0).render_json();
         assert!(!plain.contains("\"shards\""));
         assert_eq!(parse_fleet_shards(&plain), Some(Vec::new()));
+    }
+
+    #[test]
+    fn reactor_telemetry_merges_order_independently_through_fleet_json() {
+        let reactor = |busy, wait, batches: Vec<(u32, u64)>| ReactorTelemetry {
+            loops: 2,
+            busy_nanos: busy,
+            wait_nanos: wait,
+            accepts: 10,
+            conns: 4,
+            write_stalls: 1,
+            evictions: 0,
+            poll_batch: batches,
+            wake_us: vec![(5, 7)],
+            dispatch_wait_us: vec![(40, 3)],
+        };
+        let mut a = pod_snapshot(0, &[100]);
+        a.reactor = Some(reactor(300, 700, vec![(1, 5), (8, 2)]));
+        let mut b = pod_snapshot(1, &[200]);
+        b.reactor = Some(reactor(200, 800, vec![(1, 3)]));
+        let fleet = FleetSnapshot::new(vec![a.clone(), b.clone()], 0);
+        let swapped = FleetSnapshot::new(vec![b, a], 0);
+        let merged = fleet.merged_reactor().unwrap();
+        assert_eq!(swapped.merged_reactor().as_ref(), Some(&merged));
+        assert_eq!(merged.busy_nanos, 500);
+        assert_eq!(merged.wait_nanos, 1_500);
+        assert!((merged.utilization() - 0.25).abs() < 1e-9);
+        assert_eq!(merged.poll_batch, vec![(1, 8), (8, 2)]);
+        // The JSON round-trip carries the merged block, and the
+        // pre-reactor head parsers still work around it.
+        let json = fleet.render_json();
+        assert_eq!(parse_fleet_reactor(&json).as_ref(), Some(&merged));
+        assert_eq!(parse_fleet_health(&json), Some((2, 0, 0)));
+        assert_eq!(parse_fleet_merged(&json), Some(fleet.merged_counts()));
+        let text = fleet.render_prometheus();
+        assert!(text.contains("etude_fleet_reactor_loop_utilization 0.250000"));
+        assert!(text.contains("etude_fleet_dispatch_queue_wait_us_count 6"));
+        // Fleets without a reactor tier omit the block entirely.
+        let plain = FleetSnapshot::new(vec![pod_snapshot(0, &[10])], 0);
+        assert_eq!(parse_fleet_reactor(&plain.render_json()), None);
+        assert!(!plain.render_prometheus().contains("reactor"));
     }
 
     #[test]

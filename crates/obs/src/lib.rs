@@ -39,8 +39,22 @@
 //!   fleet histograms, skew views and Prometheus series,
 //! * [`slo`] — a multi-window multi-burn-rate SLO evaluator reporting
 //!   when an SLO first fell over and why.
+//!
+//! PR 9 adds the third layer — seeing *why* a tail is slow:
+//!
+//! * [`profile`] — an always-on cooperative sampling profiler: scoped
+//!   tags on per-thread seqlock stacks, folded into flamegraph-
+//!   compatible counts by a ticker thread (`/debug/profile`),
+//! * [`exemplar`] — a bounded slowest-N-per-window store retaining each
+//!   outlier's complete stage span tree plus profiler leaf deltas,
+//!   exported as Chrome trace JSON (`/debug/slow`),
+//! * [`stats::ReactorTelemetry`] — event-loop busy/wait utilization,
+//!   poll batch, wake-to-dequeue and dispatch queue-wait histograms
+//!   from the reactor tier, merged order-independently into `/fleet`.
 
+pub mod exemplar;
 pub mod fleet;
+pub mod profile;
 pub mod recorder;
 pub mod ring;
 pub mod slo;
@@ -49,13 +63,15 @@ pub mod stats;
 pub mod trace;
 pub mod window;
 
+pub use exemplar::{ExemplarMark, ExemplarStore};
 pub use fleet::{
     parse_fleet_health, parse_fleet_shards, FleetSnapshot, ShardGroupHealth, StageSkew,
 };
+pub use profile::{ProfileStats, ScopeGuard, Site};
 pub use recorder::{Recorder, SpanGuard};
 pub use ring::SpanRing;
 pub use slo::{SloCause, SloMonitor, SloPolicy, SloReport, SloViolation, TickAttribution};
 pub use span::{request_id_hash, SpanRecord, Stage};
-pub use stats::{parse_stats_json, StageCounts, StageStats, StatsSnapshot};
+pub use stats::{parse_stats_json, ReactorTelemetry, StageCounts, StageStats, StatsSnapshot};
 pub use trace::{ClientAttempt, ClientSpan, PodSpanRecord, TraceCollector, TraceCtx, TRACE_HEADER};
 pub use window::{WindowConfig, WindowSnapshot};

@@ -1,9 +1,10 @@
 //! The per-server span recorder: thread-ring registry, RAII span guards
 //! and aggregation into per-stage histograms.
 
+use crate::exemplar::ExemplarStore;
 use crate::ring::{SpanRing, DEFAULT_CAPACITY};
 use crate::span::{SpanRecord, Stage};
-use crate::stats::{StageCounts, StageStats, StatsSnapshot};
+use crate::stats::{ReactorTelemetry, StageCounts, StageStats, StatsSnapshot};
 use crate::trace::{span_hash, PodSpanRecord, TraceCtx};
 use crate::window::{StageWindows, WindowConfig};
 use etude_metrics::hdr::Histogram;
@@ -67,6 +68,11 @@ pub struct Recorder {
     /// post-run trace collector. Off (and allocation-free) by default.
     trace_retain: AtomicBool,
     traces: Mutex<Vec<PodSpanRecord>>,
+    /// Slowest-requests-per-window forensics store (`/debug/slow`).
+    exemplars: ExemplarStore,
+    /// Optional probe filling [`StatsSnapshot::reactor`]; installed by
+    /// the reactor serving tier, absent on thread-pool servers.
+    reactor_probe: Mutex<Option<Box<dyn Fn() -> ReactorTelemetry + Send + Sync>>>,
 }
 
 impl Default for Recorder {
@@ -105,6 +111,8 @@ impl Recorder {
             queue_depth: AtomicU64::new(0),
             trace_retain: AtomicBool::new(false),
             traces: Mutex::new(Vec::new()),
+            exemplars: ExemplarStore::new(),
+            reactor_probe: Mutex::new(None),
         }
     }
 
@@ -136,6 +144,20 @@ impl Recorder {
     /// The last reported batcher queue depth.
     pub fn queue_depth(&self) -> u64 {
         self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// The slowest-requests exemplar store backing `/debug/slow`.
+    pub fn exemplars(&self) -> &ExemplarStore {
+        &self.exemplars
+    }
+
+    /// Installs (or clears) the probe the reactor tier uses to surface
+    /// its event-loop telemetry in every snapshot.
+    pub fn set_reactor_probe(
+        &self,
+        probe: Option<Box<dyn Fn() -> ReactorTelemetry + Send + Sync>>,
+    ) {
+        *self.reactor_probe.lock() = probe;
     }
 
     /// Counts one request shed with a 503 because the queue was full.
@@ -338,6 +360,7 @@ impl Recorder {
             faults: self.faults.load(Ordering::Relaxed),
             pod: self.pod,
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            reactor: self.reactor_probe.lock().as_ref().map(|probe| probe()),
             window: Some(agg.windows.snapshot(current)),
             hist,
             stages,
@@ -542,6 +565,24 @@ mod tests {
         assert!(traces.iter().all(|t| t.parent_span == ctx.span_id));
         assert_ne!(traces[0].span_id, traces[1].span_id);
         assert!(r.take_traces().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn reactor_probe_feeds_snapshots_when_installed() {
+        let r = Recorder::new();
+        assert!(r.snapshot().reactor.is_none(), "no probe, no telemetry");
+        r.set_reactor_probe(Some(Box::new(|| ReactorTelemetry {
+            loops: 3,
+            busy_nanos: 10,
+            wait_nanos: 30,
+            ..ReactorTelemetry::default()
+        })));
+        let snap = r.snapshot();
+        let reactor = snap.reactor.expect("probe consulted");
+        assert_eq!(reactor.loops, 3);
+        assert!((reactor.utilization() - 0.25).abs() < 1e-9);
+        r.set_reactor_probe(None);
+        assert!(r.snapshot().reactor.is_none(), "probe cleared");
     }
 
     #[test]

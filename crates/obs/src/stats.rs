@@ -71,6 +71,100 @@ impl StageCounts {
     }
 }
 
+/// Encodes sparse `(index, count)` pairs as `index:count` tokens (the
+/// same flat wire shape as [`StageCounts::encode_counts`]).
+pub(crate) fn encode_pairs(pairs: &[(u32, u64)]) -> String {
+    pairs
+        .iter()
+        .map(|(i, c)| format!("{i}:{c}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Reactor/event-loop telemetry carried in a pod's `/stats` snapshot:
+/// where the serving tier's own time goes, as opposed to where the
+/// request pipeline's time goes (the stage histograms).
+///
+/// Histograms travel as exact sparse HDR bucket pairs like the stage
+/// histograms, so the fleet merge is bit-identical and
+/// order-independent. Counters are cumulative since server start; the
+/// busy/wait nanos are summed over every event loop, so
+/// [`ReactorTelemetry::utilization`] is the loop-average busy fraction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReactorTelemetry {
+    /// Event-loop threads running.
+    pub loops: u64,
+    /// Nanoseconds event loops spent working (summed over loops).
+    pub busy_nanos: u64,
+    /// Nanoseconds event loops spent blocked in the poller wait.
+    pub wait_nanos: u64,
+    /// Connections accepted since start.
+    pub accepts: u64,
+    /// Connection-slab occupancy at snapshot time (summed over loops).
+    pub conns: u64,
+    /// Writes that hit a full socket buffer and left bytes pending.
+    pub write_stalls: u64,
+    /// Connections evicted for exceeding the write-stall budget.
+    pub evictions: u64,
+    /// Events returned per poller wake (sparse HDR buckets).
+    pub poll_batch: Vec<(u32, u64)>,
+    /// Wake-to-dequeue latency of loop mailbox messages, µs buckets.
+    pub wake_us: Vec<(u32, u64)>,
+    /// Dispatch-pool queue wait, µs buckets.
+    pub dispatch_wait_us: Vec<(u32, u64)>,
+}
+
+impl ReactorTelemetry {
+    /// Busy fraction of total event-loop wall time, in `[0, 1]`
+    /// (0 before the first poll completes).
+    pub fn utilization(&self) -> f64 {
+        let total = self.busy_nanos + self.wait_nanos;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_nanos as f64 / total as f64
+        }
+    }
+
+    /// Reconstructs the poll batch-size histogram.
+    pub fn poll_batch_histogram(&self) -> Histogram {
+        Histogram::from_sparse(&self.poll_batch)
+    }
+
+    /// Reconstructs the wake-to-dequeue latency histogram (µs).
+    pub fn wake_histogram(&self) -> Histogram {
+        Histogram::from_sparse(&self.wake_us)
+    }
+
+    /// Reconstructs the dispatch queue-wait histogram (µs).
+    pub fn dispatch_wait_histogram(&self) -> Histogram {
+        Histogram::from_sparse(&self.dispatch_wait_us)
+    }
+
+    /// Folds another pod's telemetry into this one: counters sum,
+    /// histograms merge on exact buckets. Order-independent — merging
+    /// A into B equals merging B into A, which the fleet tier asserts.
+    pub fn merge(&mut self, other: &ReactorTelemetry) {
+        self.loops += other.loops;
+        self.busy_nanos += other.busy_nanos;
+        self.wait_nanos += other.wait_nanos;
+        self.accepts += other.accepts;
+        self.conns += other.conns;
+        self.write_stalls += other.write_stalls;
+        self.evictions += other.evictions;
+        let merge_pairs = |a: &[(u32, u64)], b: &[(u32, u64)]| -> Vec<(u32, u64)> {
+            let mut h = Histogram::from_sparse(a);
+            for &(index, count) in b {
+                h.add_bucket(index, count);
+            }
+            h.nonzero_buckets().collect()
+        };
+        self.poll_batch = merge_pairs(&self.poll_batch, &other.poll_batch);
+        self.wake_us = merge_pairs(&self.wake_us, &other.wake_us);
+        self.dispatch_wait_us = merge_pairs(&self.dispatch_wait_us, &other.dispatch_wait_us);
+    }
+}
+
 /// A full aggregation snapshot: per-stage stats plus bookkeeping.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct StatsSnapshot {
@@ -89,6 +183,8 @@ pub struct StatsSnapshot {
     pub pod: Option<u32>,
     /// Batcher queue depth at snapshot time (0 on unbatched servers).
     pub queue_depth: u64,
+    /// Reactor/event-loop telemetry (absent on thread-pool servers).
+    pub reactor: Option<ReactorTelemetry>,
     /// Rolling time-window view (absent on pre-window servers).
     pub window: Option<WindowSnapshot>,
     /// Exact sparse histogram buckets per non-empty stage.
@@ -160,6 +256,9 @@ impl StatsSnapshot {
              # TYPE etude_queue_depth gauge\n",
         );
         out.push_str(&format!("etude_queue_depth {}\n", self.queue_depth));
+        if let Some(r) = &self.reactor {
+            out.push_str(&render_reactor_prometheus(r, ""));
+        }
         out
     }
 
@@ -202,6 +301,28 @@ impl StatsSnapshot {
             out.push_str(&format!("  \"pod\": {pod},\n"));
         }
         out.push_str(&format!("  \"queue_depth\": {},\n", self.queue_depth));
+        if let Some(r) = &self.reactor {
+            out.push_str(&format!(
+                "  \"reactor_loops\": {},\n  \"reactor_busy_nanos\": {},\n  \
+                 \"reactor_wait_nanos\": {},\n  \"reactor_accepts\": {},\n  \
+                 \"reactor_conns\": {},\n  \"reactor_write_stalls\": {},\n  \
+                 \"reactor_evictions\": {},\n",
+                r.loops,
+                r.busy_nanos,
+                r.wait_nanos,
+                r.accepts,
+                r.conns,
+                r.write_stalls,
+                r.evictions,
+            ));
+            out.push_str(&format!(
+                "  \"reactor_poll_batch\": \"{}\",\n  \"reactor_wake_us\": \"{}\",\n  \
+                 \"reactor_dispatch_wait_us\": \"{}\",\n",
+                encode_pairs(&r.poll_batch),
+                encode_pairs(&r.wake_us),
+                encode_pairs(&r.dispatch_wait_us),
+            ));
+        }
         if let Some(w) = &self.window {
             out.push_str(&format!(
                 "  \"window\": {{\"bucket_millis\": {}, \"buckets\": [",
@@ -251,6 +372,82 @@ impl StatsSnapshot {
     }
 }
 
+/// Renders reactor telemetry in the Prometheus exposition format.
+/// `prefix` distinguishes the fleet-merged series (`fleet_`) from a
+/// single pod's (empty) so both can be scraped by one collector.
+pub(crate) fn render_reactor_prometheus(r: &ReactorTelemetry, prefix: &str) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str(&format!(
+        "# HELP etude_{prefix}reactor_loop_utilization Busy fraction of reactor event-loop wall time.\n\
+         # TYPE etude_{prefix}reactor_loop_utilization gauge\n\
+         etude_{prefix}reactor_loop_utilization {:.6}\n",
+        r.utilization()
+    ));
+    for (name, kind, help, value) in [
+        (
+            "reactor_event_loops",
+            "gauge",
+            "Reactor event-loop threads.",
+            r.loops,
+        ),
+        (
+            "reactor_open_connections",
+            "gauge",
+            "Connection-slab occupancy at scrape time.",
+            r.conns,
+        ),
+        (
+            "reactor_accepts_total",
+            "counter",
+            "Connections accepted since start.",
+            r.accepts,
+        ),
+        (
+            "reactor_write_stalls_total",
+            "counter",
+            "Writes that left bytes pending on a full socket buffer.",
+            r.write_stalls,
+        ),
+        (
+            "reactor_evictions_total",
+            "counter",
+            "Connections evicted past the write-stall budget.",
+            r.evictions,
+        ),
+    ] {
+        out.push_str(&format!(
+            "# HELP etude_{prefix}{name} {help}\n# TYPE etude_{prefix}{name} {kind}\n\
+             etude_{prefix}{name} {value}\n"
+        ));
+    }
+    for (name, help, h) in [
+        (
+            "reactor_poll_batch",
+            "Events returned per poller wake.",
+            r.poll_batch_histogram(),
+        ),
+        (
+            "reactor_wake_to_dequeue_us",
+            "Loop mailbox wake-to-dequeue latency in microseconds.",
+            r.wake_histogram(),
+        ),
+        (
+            "dispatch_queue_wait_us",
+            "Dispatch-pool queue wait in microseconds.",
+            r.dispatch_wait_histogram(),
+        ),
+    ] {
+        out.push_str(&format!(
+            "# HELP etude_{prefix}{name} {help}\n# TYPE etude_{prefix}{name} summary\n"
+        ));
+        for (q, v) in [("0.5", h.p50()), ("0.9", h.p90()), ("0.99", h.p99())] {
+            out.push_str(&format!("etude_{prefix}{name}{{quantile=\"{q}\"}} {v}\n"));
+        }
+        out.push_str(&format!("etude_{prefix}{name}_count {}\n", h.count()));
+    }
+    out
+}
+
 /// Extracts `"key": <value>` from a flat JSON object fragment.
 pub(crate) fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
     let needle = format!("\"{key}\":");
@@ -273,6 +470,30 @@ pub(crate) fn str_field(obj: &str, key: &str) -> Option<String> {
 /// Not a general JSON parser — just the inverse of our own renderer,
 /// tolerant of whitespace differences. Returns `None` on anything that
 /// does not look like a `/stats` document.
+/// Parses the flat `reactor_*` key block out of a `/stats` or `/fleet`
+/// document. Keyed on the loop count: servers without a reactor (and
+/// pre-reactor documents) simply omit the block.
+pub(crate) fn parse_reactor_block(body: &str) -> Option<ReactorTelemetry> {
+    num_field(body, "reactor_loops").map(|loops| ReactorTelemetry {
+        loops,
+        busy_nanos: num_field(body, "reactor_busy_nanos").unwrap_or(0),
+        wait_nanos: num_field(body, "reactor_wait_nanos").unwrap_or(0),
+        accepts: num_field(body, "reactor_accepts").unwrap_or(0),
+        conns: num_field(body, "reactor_conns").unwrap_or(0),
+        write_stalls: num_field(body, "reactor_write_stalls").unwrap_or(0),
+        evictions: num_field(body, "reactor_evictions").unwrap_or(0),
+        poll_batch: StageCounts::decode_counts(
+            &str_field(body, "reactor_poll_batch").unwrap_or_default(),
+        ),
+        wake_us: StageCounts::decode_counts(
+            &str_field(body, "reactor_wake_us").unwrap_or_default(),
+        ),
+        dispatch_wait_us: StageCounts::decode_counts(
+            &str_field(body, "reactor_dispatch_wait_us").unwrap_or_default(),
+        ),
+    })
+}
+
 pub fn parse_stats_json(body: &str) -> Option<StatsSnapshot> {
     let requests = num_field(body, "requests")?;
     let dropped = num_field(body, "dropped")?;
@@ -283,6 +504,7 @@ pub fn parse_stats_json(body: &str) -> Option<StatsSnapshot> {
     let faults = num_field(body, "faults").unwrap_or(0);
     let pod = num_field(body, "pod");
     let queue_depth = num_field(body, "queue_depth").unwrap_or(0);
+    let reactor = parse_reactor_block(body);
     let window = match body.find("\"window\"") {
         None => None,
         Some(at) => {
@@ -353,6 +575,7 @@ pub fn parse_stats_json(body: &str) -> Option<StatsSnapshot> {
         faults,
         pod,
         queue_depth,
+        reactor,
         window,
         hist,
         stages,
@@ -372,6 +595,18 @@ mod tests {
             faults: 2,
             pod: Some(4),
             queue_depth: 6,
+            reactor: Some(ReactorTelemetry {
+                loops: 2,
+                busy_nanos: 750_000,
+                wait_nanos: 2_250_000,
+                accepts: 64,
+                conns: 60,
+                write_stalls: 3,
+                evictions: 1,
+                poll_batch: vec![(1, 40), (4, 9)],
+                wake_us: vec![(12, 30)],
+                dispatch_wait_us: vec![(80, 25), (200, 5)],
+            }),
             window: Some(WindowSnapshot {
                 bucket_millis: 1_000,
                 buckets: vec![
@@ -540,6 +775,47 @@ mod tests {
         assert_eq!(parsed.shed, 0);
         assert_eq!(parsed.degraded, 0);
         assert_eq!(parsed.faults, 0);
+        assert_eq!(parsed.reactor, None, "pre-reactor documents carry none");
+    }
+
+    #[test]
+    fn reactor_telemetry_roundtrips_and_merges_order_independently() {
+        let snap = sample();
+        let r = snap.reactor.as_ref().unwrap();
+        assert!((r.utilization() - 0.25).abs() < 1e-9);
+        let parsed = parse_stats_json(&snap.render_json()).unwrap();
+        assert_eq!(parsed.reactor.as_ref(), Some(r));
+        // Merge is order-independent on the exact sparse buckets.
+        let mut other = r.clone();
+        other.busy_nanos = 10;
+        other.dispatch_wait_us = vec![(80, 5), (300, 2)];
+        let mut ab = r.clone();
+        ab.merge(&other);
+        let mut ba = other.clone();
+        ba.merge(r);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.dispatch_wait_us[0], (80, 30), "bucket counts summed");
+        assert_eq!(
+            ab.dispatch_wait_histogram().count(),
+            r.dispatch_wait_histogram().count() + other.dispatch_wait_histogram().count()
+        );
+    }
+
+    #[test]
+    fn prometheus_format_exposes_reactor_gauges() {
+        let text = sample().render_prometheus();
+        assert!(text.contains("etude_reactor_loop_utilization 0.250000"));
+        assert!(text.contains("etude_reactor_event_loops 2"));
+        assert!(text.contains("etude_reactor_open_connections 60"));
+        assert!(text.contains("etude_reactor_accepts_total 64"));
+        assert!(text.contains("etude_reactor_write_stalls_total 3"));
+        assert!(text.contains("etude_reactor_evictions_total 1"));
+        assert!(text.contains("etude_dispatch_queue_wait_us{quantile=\"0.99\"}"));
+        assert!(text.contains("etude_reactor_poll_batch{quantile=\"0.5\"}"));
+        assert!(text.contains("etude_reactor_wake_to_dequeue_us_count 30"));
+        // Thread-pool servers carry no reactor block at all.
+        let plain = StatsSnapshot::default().render_prometheus();
+        assert!(!plain.contains("reactor"));
     }
 
     #[test]

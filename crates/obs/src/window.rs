@@ -246,6 +246,46 @@ pub struct WindowSnapshot {
     pub buckets: Vec<WindowBucket>,
 }
 
+impl WindowSnapshot {
+    /// Merges two window views bucket-by-bucket, keyed on the absolute
+    /// bucket index. Buckets present on only one side copy through
+    /// verbatim — so merging *disjoint* windows (pods that were live at
+    /// different times) is exact. Buckets present on both sides sum
+    /// their counters and combine per-stage rows: counts sum, quantiles
+    /// take the max — a conservative tail bound, since an exact
+    /// quantile merge would need the underlying histograms, which the
+    /// window wire form deliberately omits.
+    pub fn merge(&self, other: &WindowSnapshot) -> WindowSnapshot {
+        let mut buckets: Vec<WindowBucket> = self.buckets.clone();
+        for b in &other.buckets {
+            match buckets.iter_mut().find(|mine| mine.index == b.index) {
+                None => buckets.push(b.clone()),
+                Some(mine) => {
+                    mine.requests += b.requests;
+                    mine.shed += b.shed;
+                    mine.degraded += b.degraded;
+                    mine.faults += b.faults;
+                    for stage in &b.lat {
+                        match mine.lat.iter_mut().find(|s| s.stage == stage.stage) {
+                            None => mine.lat.push(stage.clone()),
+                            Some(s) => {
+                                s.count += stage.count;
+                                s.p50_us = s.p50_us.max(stage.p50_us);
+                                s.p99_us = s.p99_us.max(stage.p99_us);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        buckets.sort_by_key(|b| b.index);
+        WindowSnapshot {
+            bucket_millis: self.bucket_millis.max(other.bucket_millis),
+            buckets,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,6 +355,73 @@ mod tests {
         assert_eq!(w.bucket_index(Duration::from_millis(0)), 0);
         assert_eq!(w.bucket_index(Duration::from_millis(249)), 0);
         assert_eq!(w.bucket_index(Duration::from_millis(1_000)), 4);
+    }
+
+    #[test]
+    fn rollover_exactly_at_the_window_boundary_reclaims_the_slot() {
+        let mut w = windows(4);
+        w.record(0, Stage::Total, 111);
+        // Bucket 4 maps onto bucket 0's slot: one full window later,
+        // exactly at the boundary. The old samples must vanish, not
+        // bleed into the new bucket.
+        w.record(4, Stage::Total, 222);
+        let snap = w.snapshot(4);
+        let indices: Vec<u64> = snap.buckets.iter().map(|b| b.index).collect();
+        assert_eq!(indices, vec![4], "bucket 0 left the window at t=4");
+        assert_eq!(snap.buckets[0].requests, 1);
+        assert_eq!(snap.buckets[0].lat[0].p50_us, 222, "no stale samples");
+        // The boundary instant itself maps to the *new* bucket.
+        assert_eq!(w.bucket_index(Duration::from_secs(4)), 4);
+        assert_eq!(w.bucket_index(Duration::from_nanos(3_999_999_999)), 3);
+    }
+
+    #[test]
+    fn disjoint_window_merge_is_exact_concatenation() {
+        let mut early = windows(4);
+        early.record(0, Stage::Total, 100);
+        early.record(1, Stage::Total, 150);
+        let mut late = windows(4);
+        late.record(7, Stage::Total, 900);
+        late.add_counters(8, 2, 0, 1);
+        let a = early.snapshot(1);
+        let b = late.snapshot(8);
+        let merged = a.merge(&b);
+        let indices: Vec<u64> = merged.buckets.iter().map(|x| x.index).collect();
+        assert_eq!(indices, vec![0, 1, 7, 8], "sorted union, nothing summed");
+        assert_eq!(merged.buckets[2].lat[0].p50_us, 900);
+        assert_eq!(merged.buckets[3].shed, 2);
+        assert_eq!(b.merge(&a), merged, "merge is symmetric on disjoint input");
+        // Overlapping buckets sum counts and take the conservative
+        // quantile bound.
+        let mut other = windows(4);
+        other.record(1, Stage::Total, 50);
+        let overlapped = a.merge(&other.snapshot(1));
+        let b1 = overlapped.buckets.iter().find(|x| x.index == 1).unwrap();
+        assert_eq!(b1.requests, 2);
+        assert_eq!(b1.lat[0].count, 2);
+        let p99_150 = a.buckets[1].lat[0].p99_us;
+        assert_eq!(b1.lat[0].p99_us, p99_150, "max of the two sides' p99");
+    }
+
+    #[test]
+    fn zero_sample_buckets_answer_percentiles_without_lat_rows() {
+        let mut w = windows(4);
+        // A bucket created by counters alone holds zero latency samples.
+        w.add_counters(2, 1, 0, 0);
+        let snap = w.snapshot(2);
+        assert_eq!(snap.buckets.len(), 1);
+        assert!(snap.buckets[0].lat.is_empty(), "empty stages are omitted");
+        // Quantiles of an empty histogram are defined (zero), so even a
+        // direct query on the backing slot cannot panic.
+        let h = Histogram::new();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 0);
+        assert!(h.is_empty());
+        // And a fully empty window snapshots to nothing at all.
+        let empty = windows(4).snapshot(10);
+        assert!(empty.buckets.is_empty());
+        assert!(empty.merge(&snap).buckets == snap.buckets, "identity merge");
     }
 
     #[test]

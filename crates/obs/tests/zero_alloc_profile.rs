@@ -1,0 +1,113 @@
+//! Proves the overhead budget of the profiling hot paths: after warm-up
+//! (site interning, thread-stack registration, the first fold), scope
+//! enter/exit, ticker sampling and exemplar offers all perform **zero**
+//! heap allocations — the same bar `zero_alloc_span` set for the span
+//! rings in PR 2. A counting global allocator makes the claim checkable
+//! rather than aspirational.
+//!
+//! Allocations are counted **per thread** — a process-wide count would
+//! also bill allocations made concurrently by the libtest harness thread
+//! to the hot path and flake under load.
+
+use etude_obs::exemplar::ExemplarStore;
+use etude_obs::{profile, profile_scope, Stage};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::time::Duration;
+
+thread_local! {
+    // const-initialised so reading it never allocates (a lazy initialiser
+    // would recurse into the allocator).
+    static THREAD_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn thread_allocations() -> u64 {
+    THREAD_ALLOCATIONS.with(|c| c.get())
+}
+
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // try_with: TLS may be unavailable during thread teardown.
+        let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+const STAGES: [(Stage, u64); 6] = [
+    (Stage::Parse, 10_000),
+    (Stage::Queue, 50_000),
+    (Stage::Inference, 400_000),
+    (Stage::TopK, 90_000),
+    (Stage::Serialize, 8_000),
+    (Stage::Total, 560_000),
+];
+
+/// One steady-state iteration: a nested scope pair (the request path),
+/// a periodic ticker fold, and an exemplar offer. Shared between the
+/// warm-up and the measured loop so every `Site` static, the thread's
+/// frame stack and the fold-table entries are interned *before*
+/// counting starts — those are one-time costs, off the steady path by
+/// design.
+fn iteration(store: &ExemplarStore, i: u64) {
+    let mark = store.begin();
+    {
+        profile_scope!("steady::score_topk");
+        {
+            profile_scope!("steady::dot");
+        }
+        if i.is_multiple_of(16) {
+            // The ticker body: fold every registered thread's stack
+            // into the preallocated table.
+            profile::sample_once();
+        }
+    }
+    // Monotonically slower requests keep winning slots, so offers take
+    // the full displacement + leaf-delta copy path every time.
+    store.offer("req-0123456789abcdef", &STAGES, 1_000 + i, &mark);
+}
+
+#[test]
+fn steady_state_profiling_and_exemplar_offers_do_not_allocate() {
+    let store = ExemplarStore::with_window(Duration::from_secs(10));
+
+    // Warm-up: interns the scope sites, registers this thread's frame
+    // stack, claims the fold-table entries and fills every exemplar
+    // slot, so the measured loop exercises only steady-state paths.
+    for i in 0..32u64 {
+        iteration(&store, i);
+    }
+    profile::sample_once();
+
+    let before = thread_allocations();
+    for i in 32..10_032u64 {
+        iteration(&store, i);
+    }
+    let after = thread_allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state profiling allocated {} times over 10,000 iterations",
+        after - before
+    );
+
+    // The work above must actually have been observed, not elided.
+    let stats = profile::stats();
+    assert!(stats.samples > 0, "ticker samples were taken");
+    assert!(!store.snapshot().is_empty(), "exemplars were retained");
+    let folded = profile::render_folded("etude");
+    assert!(folded.contains("steady::score_topk"));
+}

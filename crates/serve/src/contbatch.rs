@@ -277,8 +277,13 @@ pub fn model_routes_continuous(
     let infer_model = Arc::clone(&model);
     let infer_device = device.clone();
     let default_deadline = config.default_deadline;
+    // The continuous path is the production-shaped server, so it owns
+    // starting the always-on sampling profiler (idempotent; feeds
+    // `/debug/profile` and the exemplar leaf deltas on `/debug/slow`).
+    etude_obs::profile::start_ticker(etude_obs::profile::DEFAULT_TICK);
     let batcher: Arc<ContinuousBatcher<Vec<u32>, BatchReply>> =
         Arc::new(ContinuousBatcher::spawn(config, move |items: Vec<u32>| {
+            etude_obs::profile_scope!("contbatch::slot");
             let timed = match &compiled {
                 Some(graph) => {
                     traits::recommend_compiled_timed(infer_model.as_ref(), graph, &items)
@@ -326,6 +331,10 @@ pub(crate) fn continuous_routes(
             (Method::Post, "/predictions") => {
                 let t_total = Instant::now();
                 let (rid, echo) = correlation_id(req);
+                // Forensics: snapshot the profiler's leaf counts so a
+                // retained slow exemplar can say where CPU went *during
+                // this request* (delta at offer time).
+                let mark = recorder.exemplars().begin();
                 let t_parse = Instant::now();
                 let items = match parse_prediction(&req.body, catalog_size) {
                     Ok(items) => items,
@@ -374,25 +383,31 @@ pub(crate) fn continuous_routes(
                         // sum is bounded by the budget by construction.
                         let total = req.arrival.elapsed();
                         let queued = dispatch_wait + queue_wait;
-                        recorder.record(rid, Stage::Parse, nanos(parse));
-                        recorder.record(rid, Stage::Queue, nanos(queued));
-                        recorder.record(rid, Stage::Inference, nanos(inference));
-                        recorder.record(rid, Stage::TopK, nanos(topk));
-                        recorder.record(rid, Stage::Serialize, nanos(serialize));
-                        recorder.record(rid, Stage::Total, nanos(total));
-                        note_trace(
-                            &recorder,
-                            trace_ctx(req),
-                            resp,
-                            &[
-                                (Stage::Parse, nanos(parse)),
-                                (Stage::Queue, nanos(queued)),
-                                (Stage::Inference, nanos(inference)),
-                                (Stage::TopK, nanos(topk)),
-                                (Stage::Serialize, nanos(serialize)),
-                                (Stage::Total, nanos(total)),
-                            ],
-                        )
+                        let stages = [
+                            (Stage::Parse, nanos(parse)),
+                            (Stage::Queue, nanos(queued)),
+                            (Stage::Inference, nanos(inference)),
+                            (Stage::TopK, nanos(topk)),
+                            (Stage::Serialize, nanos(serialize)),
+                            (Stage::Total, nanos(total)),
+                        ];
+                        for &(stage, ns) in &stages {
+                            recorder.record(rid, stage, ns);
+                        }
+                        // Offer the complete span tree to the slowest-N
+                        // store; only tail outliers are retained.
+                        match echo {
+                            Some(id) => {
+                                recorder.exemplars().offer(id, &stages, nanos(total), &mark)
+                            }
+                            None => recorder.exemplars().offer(
+                                &format!("{rid:016x}"),
+                                &stages,
+                                nanos(total),
+                                &mark,
+                            ),
+                        }
+                        note_trace(&recorder, trace_ctx(req), resp, &stages)
                     }
                     Ok(Admitted {
                         result: BatchReply { rec: Err(_), .. },

@@ -33,6 +33,8 @@ use crate::http::{self, Response};
 use crate::rustserver::{assemble_handle, Handler, ServerHandle, RESET_MARKER};
 use bytes::BytesMut;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use etude_metrics::hdr::Histogram;
+use etude_obs::{profile_scope, ReactorTelemetry, Recorder};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::io::{ErrorKind, Read, Write};
@@ -398,6 +400,23 @@ impl Poller for PollPoller {
     }
 }
 
+/// The backend [`new_poller`] will build, without building one: what
+/// bench headers and results record so a run is reproducible from its
+/// own output. Honors `ETUDE_POLLER=poll` like the real constructor.
+pub fn poller_backend_name() -> &'static str {
+    if std::env::var("ETUDE_POLLER").as_deref() == Ok("poll") {
+        return "poll";
+    }
+    #[cfg(target_os = "linux")]
+    {
+        "epoll"
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        "poll"
+    }
+}
+
 /// Builds the platform's best poller: epoll on Linux, `poll(2)`
 /// elsewhere. `ETUDE_POLLER=poll` forces the fallback for A/B runs.
 pub fn new_poller() -> std::io::Result<Box<dyn Poller>> {
@@ -480,6 +499,67 @@ impl Default for ReactorConfig {
     }
 }
 
+/// Shared reactor telemetry: counters bumped by the event loops and
+/// dispatch workers, scraped into [`ReactorTelemetry`] by the recorder
+/// probe (`/stats`, `/metrics`, `/fleet`). Counters are relaxed atomics
+/// (per-event cost: one `fetch_add`); the three histograms are
+/// preallocated at construction and recorded under short mutexes held
+/// only by loop/worker threads, never by request handlers.
+pub struct ReactorMetrics {
+    loops: u64,
+    busy_nanos: AtomicU64,
+    wait_nanos: AtomicU64,
+    accepts: AtomicU64,
+    conns: AtomicU64,
+    write_stalls: AtomicU64,
+    evictions: AtomicU64,
+    poll_batch: Mutex<Histogram>,
+    wake_us: Mutex<Histogram>,
+    dispatch_wait_us: Mutex<Histogram>,
+}
+
+impl ReactorMetrics {
+    fn new(loops: usize) -> ReactorMetrics {
+        ReactorMetrics {
+            loops: loops as u64,
+            busy_nanos: AtomicU64::new(0),
+            wait_nanos: AtomicU64::new(0),
+            accepts: AtomicU64::new(0),
+            conns: AtomicU64::new(0),
+            write_stalls: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            poll_batch: Mutex::new(Histogram::new()),
+            wake_us: Mutex::new(Histogram::new()),
+            dispatch_wait_us: Mutex::new(Histogram::new()),
+        }
+    }
+
+    /// Snapshots the counters and the histograms' sparse buckets into
+    /// the wire form `/stats` and `/fleet` carry.
+    pub fn telemetry(&self) -> ReactorTelemetry {
+        ReactorTelemetry {
+            loops: self.loops,
+            busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
+            wait_nanos: self.wait_nanos.load(Ordering::Relaxed),
+            accepts: self.accepts.load(Ordering::Relaxed),
+            conns: self.conns.load(Ordering::Relaxed),
+            write_stalls: self.write_stalls.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            poll_batch: self.poll_batch.lock().nonzero_buckets().collect(),
+            wake_us: self.wake_us.lock().nonzero_buckets().collect(),
+            dispatch_wait_us: self.dispatch_wait_us.lock().nonzero_buckets().collect(),
+        }
+    }
+}
+
+fn duration_nanos(d: Duration) -> u64 {
+    d.as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+fn duration_micros(d: Duration) -> u64 {
+    d.as_micros().min(u128::from(u64::MAX)) as u64
+}
+
 /// How long a write may stall on a peer that stopped draining before
 /// the connection is evicted — the same budget as the blocking server.
 const WRITE_STALL_BUDGET: Duration = Duration::from_secs(1);
@@ -508,14 +588,16 @@ enum LoopMsg {
 }
 
 /// An event loop's inbox: a queue plus the write end of its waker pipe.
+/// Messages carry their enqueue time so the loop can histogram
+/// wake-to-dequeue latency — how long work sat waiting for the loop.
 struct Mailbox {
-    queue: Mutex<Vec<LoopMsg>>,
+    queue: Mutex<Vec<(Instant, LoopMsg)>>,
     waker: UnixStream,
 }
 
 impl Mailbox {
     fn push(&self, msg: LoopMsg) {
-        self.queue.lock().push(msg);
+        self.queue.lock().push((Instant::now(), msg));
         // A full pipe already guarantees a pending wakeup.
         let _ = (&self.waker).write(&[1u8]);
     }
@@ -528,6 +610,8 @@ struct DispatchJob {
     gen: u64,
     seq: u64,
     req: http::Request,
+    /// When the loop handed the job to the pool (queue-wait telemetry).
+    enqueued: Instant,
 }
 
 /// Per-connection reactor state machine.
@@ -603,6 +687,7 @@ struct EventLoop {
     dispatch: Sender<DispatchJob>,
     shutdown: Arc<AtomicBool>,
     config: ReactorConfig,
+    metrics: Arc<ReactorMetrics>,
 }
 
 impl EventLoop {
@@ -612,8 +697,23 @@ impl EventLoop {
             if self.shutdown.load(Ordering::SeqCst) {
                 return;
             }
+            let wait_start = Instant::now();
             if self.poller.wait(&mut events, TICK).is_err() {
                 return;
+            }
+            // Busy/wait split: everything after the poller returns,
+            // until the next wait, is busy time; the blocking wait
+            // itself is wait time. Their ratio is the loop utilization
+            // gauge — the number that says whether the loop or the
+            // handlers are the bottleneck.
+            let busy_start = Instant::now();
+            self.metrics
+                .wait_nanos
+                .fetch_add(duration_nanos(busy_start - wait_start), Ordering::Relaxed);
+            if !events.is_empty() {
+                // Empty wakeups are just the tick timeout; utilization
+                // already accounts for them.
+                self.metrics.poll_batch.lock().record(events.len() as u64);
             }
             // Drain the inbox before handling IO so adopted connections
             // and finished handlers are visible to this pass. Waker
@@ -624,8 +724,14 @@ impl EventLoop {
             // next poll timeout.
             let mut sink = [0u8; 256];
             while matches!((&self.waker_rx).read(&mut sink), Ok(n) if n > 0) {}
-            let inbox: Vec<LoopMsg> = std::mem::take(&mut *self.mailbox.queue.lock());
-            for msg in inbox {
+            let inbox: Vec<(Instant, LoopMsg)> = std::mem::take(&mut *self.mailbox.queue.lock());
+            if !inbox.is_empty() {
+                let mut wake = self.metrics.wake_us.lock();
+                for (at, _) in &inbox {
+                    wake.record(duration_micros(at.elapsed()));
+                }
+            }
+            for (_, msg) in inbox {
                 match msg {
                     LoopMsg::Adopt(stream) => self.adopt(stream),
                     LoopMsg::Done {
@@ -658,6 +764,9 @@ impl EventLoop {
                 }
             }
             self.tick();
+            self.metrics
+                .busy_nanos
+                .fetch_add(duration_nanos(busy_start.elapsed()), Ordering::Relaxed);
         }
     }
 
@@ -672,6 +781,7 @@ impl EventLoop {
             loop {
                 match listener.accept() {
                     Ok((stream, _)) => {
+                        self.metrics.accepts.fetch_add(1, Ordering::Relaxed);
                         let _ = stream.set_nodelay(true);
                         let target = self.next_loop % self.mailboxes.len();
                         self.next_loop = self.next_loop.wrapping_add(1);
@@ -721,12 +831,14 @@ impl EventLoop {
             return;
         }
         self.slab[slot] = Some(conn);
+        self.metrics.conns.fetch_add(1, Ordering::Relaxed);
     }
 
     fn close(&mut self, slot: usize) {
         if let Some(conn) = self.slab.get_mut(slot).and_then(Option::take) {
             let _ = self.poller.deregister(conn.stream.as_raw_fd());
             self.free.push(slot);
+            self.metrics.conns.fetch_sub(1, Ordering::Relaxed);
             drop(conn);
         }
     }
@@ -789,6 +901,7 @@ impl EventLoop {
                         gen: conn.gen,
                         seq,
                         req,
+                        enqueued: Instant::now(),
                     };
                     if self.dispatch.send(job).is_err() {
                         self.close(slot);
@@ -885,7 +998,10 @@ impl EventLoop {
                     conn.stall_since = None;
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                    conn.stall_since.get_or_insert_with(Instant::now);
+                    if conn.stall_since.is_none() {
+                        conn.stall_since = Some(Instant::now());
+                        self.metrics.write_stalls.fetch_add(1, Ordering::Relaxed);
+                    }
                     self.refresh_interest(slot);
                     return;
                 }
@@ -934,14 +1050,27 @@ impl EventLoop {
             })
             .collect();
         for slot in stalled {
+            self.metrics.evictions.fetch_add(1, Ordering::Relaxed);
             self.close(slot);
         }
     }
 }
 
-fn dispatch_worker(rx: Receiver<DispatchJob>, handler: Handler, served: Arc<AtomicU64>) {
+fn dispatch_worker(
+    rx: Receiver<DispatchJob>,
+    handler: Handler,
+    served: Arc<AtomicU64>,
+    metrics: Arc<ReactorMetrics>,
+) {
     while let Ok(job) = rx.recv() {
-        let resp = handler(&job.req);
+        metrics
+            .dispatch_wait_us
+            .lock()
+            .record(duration_micros(job.enqueued.elapsed()));
+        let resp = {
+            profile_scope!("reactor::handler");
+            handler(&job.req)
+        };
         served.fetch_add(1, Ordering::Relaxed);
         job.mailbox.push(LoopMsg::Done {
             slot: job.slot,
@@ -956,7 +1085,24 @@ fn dispatch_worker(rx: Receiver<DispatchJob>, handler: Handler, served: Arc<Atom
 /// OS-assigned port. The returned handle is interchangeable with the
 /// blocking server's.
 pub fn start(config: ReactorConfig, handler: Handler) -> std::io::Result<ServerHandle> {
-    start_bound(TcpListener::bind(("127.0.0.1", 0))?, config, handler)
+    start_bound(TcpListener::bind(("127.0.0.1", 0))?, config, handler, None)
+}
+
+/// Starts a reactor server whose event-loop telemetry feeds `recorder`:
+/// a probe installed on the recorder snapshots the loops' busy/wait
+/// split, poll batches, wake and dispatch-wait histograms into every
+/// `/stats`, `/metrics` and `/fleet` scrape.
+pub fn start_observed(
+    config: ReactorConfig,
+    handler: Handler,
+    recorder: Arc<Recorder>,
+) -> std::io::Result<ServerHandle> {
+    start_bound(
+        TcpListener::bind(("127.0.0.1", 0))?,
+        config,
+        handler,
+        Some(recorder),
+    )
 }
 
 /// Starts a reactor server on an explicit address (restart scenarios).
@@ -965,13 +1111,14 @@ pub fn start_on(
     config: ReactorConfig,
     handler: Handler,
 ) -> std::io::Result<ServerHandle> {
-    start_bound(TcpListener::bind(addr)?, config, handler)
+    start_bound(TcpListener::bind(addr)?, config, handler, None)
 }
 
 fn start_bound(
     listener: TcpListener,
     config: ReactorConfig,
     handler: Handler,
+    recorder: Option<Arc<Recorder>>,
 ) -> std::io::Result<ServerHandle> {
     // Same warm-up as the blocking server: the shared kernel pool must
     // exist before the first prediction.
@@ -981,6 +1128,11 @@ fn start_bound(
     let shutdown = Arc::new(AtomicBool::new(false));
     let served = Arc::new(AtomicU64::new(0));
     let loops = config.event_loops.max(1);
+    let metrics = Arc::new(ReactorMetrics::new(loops));
+    if let Some(recorder) = recorder {
+        let probe = Arc::clone(&metrics);
+        recorder.set_reactor_probe(Some(Box::new(move || probe.telemetry())));
+    }
 
     let mut mailboxes = Vec::with_capacity(loops);
     let mut waker_reads = Vec::with_capacity(loops);
@@ -1002,10 +1154,11 @@ fn start_bound(
         let rx = dispatch_rx.clone();
         let handler = Arc::clone(&handler);
         let served = Arc::clone(&served);
+        let metrics = Arc::clone(&metrics);
         threads.push(
             std::thread::Builder::new()
                 .name(format!("etude-reactor-handler-{i}"))
-                .spawn(move || dispatch_worker(rx, handler, served))
+                .spawn(move || dispatch_worker(rx, handler, served, metrics))
                 .expect("spawn dispatch worker"),
         );
     }
@@ -1032,6 +1185,7 @@ fn start_bound(
             dispatch: dispatch_tx.clone(),
             shutdown: Arc::clone(&shutdown),
             config: config.clone(),
+            metrics: Arc::clone(&metrics),
         };
         threads.push(
             std::thread::Builder::new()
@@ -1103,6 +1257,46 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(server.requests_served(), 160);
+        server.shutdown();
+    }
+
+    #[test]
+    fn observed_reactor_feeds_telemetry_into_stats_snapshots() {
+        let recorder = Arc::new(Recorder::new());
+        let server = start_observed(
+            ReactorConfig::default(),
+            static_handler(),
+            Arc::clone(&recorder),
+        )
+        .unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        for _ in 0..50 {
+            let resp = client.request(&Request::get("/ping")).unwrap();
+            assert_eq!(resp.status, 200);
+        }
+        let snap = recorder.snapshot();
+        let r = snap
+            .reactor
+            .clone()
+            .expect("probe installed by start_observed");
+        assert_eq!(r.loops, ReactorConfig::default().event_loops as u64);
+        assert_eq!(r.accepts, 1, "one client connection accepted");
+        assert_eq!(r.conns, 1, "still open");
+        let util = r.utilization();
+        assert!(
+            util > 0.0 && util <= 1.0,
+            "utilization in (0,1], got {util}"
+        );
+        assert!(
+            r.dispatch_wait_histogram().count() >= 50,
+            "every request crossed the dispatch pool"
+        );
+        assert!(!r.poll_batch.is_empty(), "poll batches recorded");
+        assert!(!r.wake_us.is_empty(), "handler completions woke the loop");
+        // The wire representation survives the stats round-trip.
+        let parsed = etude_obs::parse_stats_json(&snap.render_json()).unwrap();
+        assert_eq!(parsed.reactor.as_ref(), Some(&r));
+        drop(client);
         server.shutdown();
     }
 

@@ -312,10 +312,17 @@ pub fn router_routes(
                 std::thread::scope(|scope| {
                     for (i, (gc, slot)) in clients.iter().zip(partials.iter_mut()).enumerate() {
                         let mut leg = Request::post("/predictions", req.body.clone());
-                        if let Some(id) = echo {
-                            leg.headers
-                                .insert("x-request-id".into(), format!("{id}-s{i}"));
-                        }
+                        // Always stamp the leg with a per-shard request
+                        // id — derived from the client's id when it sent
+                        // one, from the router's correlation id hash
+                        // otherwise — so shard-side `/stats` spans and
+                        // slow exemplars correlate with the router-side
+                        // request even for anonymous traffic.
+                        let leg_id = match echo {
+                            Some(id) => format!("{id}-s{i}"),
+                            None => format!("{rid:016x}-s{i}"),
+                        };
+                        leg.headers.insert("x-request-id".into(), leg_id);
                         if let Some(ctx) = &ctx {
                             let child = ctx.child(etude_obs::trace::span_hash(
                                 ctx.trace_id,

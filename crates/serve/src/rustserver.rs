@@ -439,6 +439,20 @@ pub(crate) fn shared_routes(req: &Request, recorder: &Recorder) -> Option<Respon
             Response::ok(recorder.snapshot().render_json())
                 .with_header("content-type", "application/json".to_string()),
         ),
+        (Method::Get, "/debug/profile") => {
+            // Folded flamegraph lines, rooted at the process tag plus
+            // the active SIMD ISA so captures from different hosts stay
+            // distinguishable.
+            let root = format!("etude[{}]", etude_tensor::simd::isa_name());
+            Some(
+                Response::ok(etude_obs::profile::render_folded(&root))
+                    .with_header("content-type", "text/plain".to_string()),
+            )
+        }
+        (Method::Get, "/debug/slow") => Some(
+            Response::ok(recorder.exemplars().render_chrome_json())
+                .with_header("content-type", "application/json".to_string()),
+        ),
         _ => None,
     }
 }

@@ -8,7 +8,9 @@
 use etude_faults::RetryPolicy;
 use etude_models::retrieval::{encode_session_query, CatalogShard, MipsIndex};
 use etude_obs::trace::span_hash;
-use etude_obs::{parse_fleet_shards, parse_stats_json, Recorder, TraceCtx, TRACE_HEADER};
+use etude_obs::{
+    parse_fleet_shards, parse_stats_json, request_id_hash, Recorder, TraceCtx, TRACE_HEADER,
+};
 use etude_serve::http::{encode_recommendations, Request};
 use etude_serve::rustserver::{start, ServerConfig, ServerHandle, DEGRADED_HEADER};
 use etude_serve::{router_routes, shard_backend_routes, HttpClient, RouterConfig, ShardTopology};
@@ -286,6 +288,73 @@ fn scatter_legs_trace_as_sibling_child_spans() {
     leg_parents.sort_unstable();
     leg_parents.dedup();
     assert_eq!(leg_parents.len(), recorders.len(), "legs must be siblings");
+
+    router.shutdown();
+    for s in servers {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn scatter_legs_carry_request_ids_even_for_anonymous_traffic() {
+    let table = table();
+    let mut topo = ShardTopology::partition(C, D, QUERY_SEED, 2);
+
+    let mut servers = Vec::new();
+    let mut recorders = Vec::new();
+    for i in 0..topo.groups.len() {
+        let (server, recorder) = backend(topo.shard_of(&table, i), i as u32);
+        recorder.set_record_retention(true);
+        topo.groups[i].replicas.push(server.addr());
+        servers.push(server);
+        recorders.push(recorder);
+    }
+    let router = start(
+        ServerConfig::default(),
+        router_routes(topo, quick_config(), Arc::new(Recorder::new())),
+    )
+    .unwrap();
+    let mut client = HttpClient::connect(router.addr()).unwrap();
+
+    // A client-supplied id propagates to each leg with a shard suffix:
+    // the backend-side request id is the hash of exactly "<id>-s<i>".
+    let mut req = Request::post("/predictions", "1,2,3".to_string());
+    req.headers
+        .insert("x-request-id".into(), "traceme".to_string());
+    assert_eq!(client.request(&req).unwrap().status, 200);
+    for (i, recorder) in recorders.iter().enumerate() {
+        let records = recorder.take_records();
+        assert!(!records.is_empty(), "backend {i} retained no spans");
+        let expected = request_id_hash(&format!("traceme-s{i}"));
+        assert!(
+            records.iter().all(|r| r.request_id == expected),
+            "backend {i} spans not keyed by the propagated leg id"
+        );
+    }
+
+    // Anonymous traffic still gets router-derived leg ids: backend
+    // spans carry an FNV hash (a full-width id), not the small
+    // process-local fallback counter a header-less request would get.
+    let anon = Request::post("/predictions", "4,5,6".to_string());
+    assert_eq!(client.request(&anon).unwrap().status, 200);
+    let mut leg_ids = Vec::new();
+    for (i, recorder) in recorders.iter().enumerate() {
+        let records = recorder.take_records();
+        assert!(!records.is_empty(), "backend {i} retained no spans");
+        let id = records[0].request_id;
+        assert!(
+            records.iter().all(|r| r.request_id == id),
+            "backend {i} spans split across ids"
+        );
+        assert!(
+            id > u64::from(u32::MAX),
+            "backend {i} fell back to a local counter id ({id}): leg id header missing"
+        );
+        leg_ids.push(id);
+    }
+    leg_ids.sort_unstable();
+    leg_ids.dedup();
+    assert_eq!(leg_ids.len(), recorders.len(), "per-shard ids are distinct");
 
     router.shutdown();
     for s in servers {

@@ -324,6 +324,7 @@ pub fn score_topk_into(
     out_indices: &mut Vec<u32>,
     out_scores: &mut Vec<f32>,
 ) {
+    etude_obs::profile_scope!("tensor::score_topk");
     score_topk_dispatch(
         table,
         query,
@@ -395,6 +396,7 @@ pub fn score_topk_q8_into(
     out_indices: &mut Vec<u32>,
     out_scores: &mut Vec<f32>,
 ) {
+    etude_obs::profile_scope!("tensor::score_topk_q8");
     let d = q8.len();
     debug_assert_eq!(data.len(), c * d, "table shape mismatch");
     debug_assert_eq!(scales.len(), c, "per-row scales mismatch");

@@ -14,6 +14,10 @@
 # Pass --reactor to add the reactor/continuous-batching stage (protocol
 # parity suite, batching equivalence proptests, saturation shed
 # regression, smoke saturation bench).
+# The --profile stage (continuous profiler, reactor telemetry, tail
+# forensics: reactor under load, /debug/profile + /debug/slow scrapes,
+# loop utilization in (0,1], zero-allocation gates) runs as part of the
+# default sequence; pass --profile to request it explicitly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,6 +27,7 @@ SELFHEAL=0
 SIMD=0
 SCATTER=0
 REACTOR=0
+PROFILE=1
 for arg in "$@"; do
     case "$arg" in
         --chaos) CHAOS=1 ;;
@@ -31,6 +36,7 @@ for arg in "$@"; do
         --simd) SIMD=1 ;;
         --scatter) SCATTER=1 ;;
         --reactor) REACTOR=1 ;;
+        --profile) PROFILE=1 ;;
         *) echo "unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -106,6 +112,13 @@ if [ "$REACTOR" = "1" ]; then
     cargo run --release -q -p etude-bench --bin saturation -- --smoke
     echo "==> checking results/BENCH_saturation.json was produced"
     grep -q '"bench": "saturation"' results/BENCH_saturation.json
+fi
+
+if [ "$PROFILE" = "1" ]; then
+    echo "==> profiling & tail forensics (reactor under load: folded stacks name the fused kernel, loop utilization in (0,1], /debug/slow serves complete span trees as Chrome JSON)"
+    cargo test -q --release -p etude-serve --test forensics
+    echo "==> profiler + exemplar zero-steady-state-allocation gate"
+    cargo test -q --release -p etude-obs --test zero_alloc_profile
 fi
 
 echo "==> cargo doc --no-deps (warnings are errors)"
