@@ -31,6 +31,12 @@ pub enum ControlAction {
     Terminate,
     /// Rolling update finished (`a` = pods replaced).
     RolloutDone,
+    /// Admission controller widened its concurrency window
+    /// (`a` = old limit, `b` = new limit, milli-units).
+    LimitRaise,
+    /// Admission controller cut its concurrency window
+    /// (`a` = old limit, `b` = new limit, milli-units).
+    LimitCut,
 }
 
 impl ControlAction {
@@ -45,6 +51,8 @@ impl ControlAction {
             ControlAction::DrainBegin => "drain-begin",
             ControlAction::Terminate => "terminate",
             ControlAction::RolloutDone => "rollout-done",
+            ControlAction::LimitRaise => "limit-raise",
+            ControlAction::LimitCut => "limit-cut",
         }
     }
 
@@ -58,6 +66,8 @@ impl ControlAction {
             "drain-begin" => ControlAction::DrainBegin,
             "terminate" => ControlAction::Terminate,
             "rollout-done" => ControlAction::RolloutDone,
+            "limit-raise" => ControlAction::LimitRaise,
+            "limit-cut" => ControlAction::LimitCut,
             _ => return None,
         })
     }

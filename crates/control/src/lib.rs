@@ -10,6 +10,10 @@
 //! a pure function of explicit `now` values and a seed, so chaos runs
 //! replay bit-identically):
 //!
+//! * [`admission`] — an AIMD adaptive concurrency limiter with
+//!   criticality-ordered refusal (`x-criticality`): the front door of
+//!   the overload-control subsystem, learning each backend's
+//!   sustainable window from measured latency versus a target,
 //! * [`breaker`] — a per-backend closed/open/half-open circuit breaker
 //!   keyed off consecutive failures and server-suggested `Retry-After`
 //!   pauses; the resilient client consults it before dialling a backend,
@@ -29,12 +33,14 @@
 //!   byte-for-byte, which is exactly what the chaos acceptance test
 //!   asserts.
 
+pub mod admission;
 pub mod autoscaler;
 pub mod breaker;
 pub mod health;
 pub mod hedge;
 pub mod journal;
 
+pub use admission::{AdmissionConfig, AdmissionController, Criticality};
 pub use autoscaler::{Autoscaler, AutoscalerConfig, FleetObs, ScaleDecision};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use health::{EjectionConfig, HealthEvent, OutlierDetector};

@@ -21,7 +21,10 @@ pub struct RetryPolicy {
     /// Maximum retries after the initial attempt (0 = never retry).
     pub max_retries: u32,
     /// Jitter fraction in `[0, 1]`: a delay with nominal value `d` is
-    /// drawn uniformly from `[d * (1 - jitter), d]`.
+    /// drawn uniformly from `[d * (1 - jitter), d]`, then floored at
+    /// `d / 2` — full jitter decorrelates retries but never erases the
+    /// pause entirely (a zero-delay retry lands back inside the same
+    /// overload instant and feeds the storm it was meant to break).
     pub jitter: f64,
 }
 
@@ -103,9 +106,12 @@ impl Backoff {
         if nominal.is_zero() || self.policy.jitter <= 0.0 {
             return Some(nominal);
         }
-        // Uniform in [nominal * (1 - jitter), nominal].
+        // Uniform in [nominal * (1 - jitter), nominal], floored at half
+        // the nominal: jitter = 1.0 could otherwise draw a ~0 ms first
+        // retry, and an instant retry against an overloaded backend is
+        // exactly the synchronized storm the jitter exists to prevent.
         let unit: f64 = self.rng.gen();
-        let scale = 1.0 - self.policy.jitter.clamp(0.0, 1.0) * unit;
+        let scale = (1.0 - self.policy.jitter.clamp(0.0, 1.0) * unit).max(0.5);
         Some(Duration::from_secs_f64(nominal.as_secs_f64() * scale))
     }
 
@@ -168,6 +174,24 @@ mod tests {
         };
         assert_eq!(delays(42), delays(42));
         assert_ne!(delays(42), delays(43), "different seeds jitter apart");
+    }
+
+    #[test]
+    fn full_jitter_never_collapses_to_an_instant_retry() {
+        let policy = RetryPolicy {
+            base: Duration::from_millis(4),
+            cap: Duration::from_millis(64),
+            max_retries: 1,
+            jitter: 1.0,
+        };
+        for seed in 0..512u64 {
+            let d = Backoff::new(policy.clone(), seed).next_delay().unwrap();
+            assert!(
+                d >= policy.base / 2,
+                "seed {seed}: first retry delay {d:?} below the {:?} storm floor",
+                policy.base / 2
+            );
+        }
     }
 
     #[test]

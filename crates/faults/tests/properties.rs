@@ -65,6 +65,42 @@ proptest! {
         prop_assert_eq!(backoff.attempts(), retries);
     }
 
+    /// The retry-storm floor: no seed, jitter fraction, or attempt
+    /// number may ever produce a delay under half its nominal — in
+    /// particular the *first* retry always waits at least `base / 2`,
+    /// so a fleet of clients hitting the same overloaded backend can
+    /// never re-arrive in the same instant they were refused.
+    #[test]
+    fn jittered_delays_never_drop_below_half_nominal(
+        seed in any::<u64>(),
+        base_us in 1u64..50_000,
+        cap_mult in 1u32..64,
+        jitter in 0.0f64..=1.0,
+        retries in 1u32..40,
+    ) {
+        let policy = RetryPolicy {
+            base: Duration::from_micros(base_us),
+            cap: Duration::from_micros(base_us) * cap_mult,
+            max_retries: retries,
+            jitter,
+        };
+        let mut backoff = Backoff::new(policy.clone(), seed);
+        let slop = Duration::from_nanos(1);
+        let mut attempt = 0u32;
+        while let Some(d) = backoff.next_delay() {
+            let floor = policy.nominal_delay(attempt) / 2;
+            prop_assert!(d + slop >= floor, "attempt {attempt}: {d:?} < {floor:?}");
+            if attempt == 0 {
+                prop_assert!(
+                    d + slop >= policy.base / 2,
+                    "first retry {d:?} below base/2 = {:?}",
+                    policy.base / 2
+                );
+            }
+            attempt += 1;
+        }
+    }
+
     /// Two backoffs with the same (policy, seed) produce bit-identical
     /// schedules; a different seed diverges somewhere (with jitter on and
     /// enough retries, a full-schedule collision is astronomically

@@ -53,6 +53,9 @@ pub struct OpenConnConfig {
     pub path: String,
     /// Optional per-request deadline budget, sent as `x-deadline-ms`.
     pub deadline_ms: Option<u64>,
+    /// Optional criticality class, sent as `x-criticality`
+    /// (`shed-first` | `normal` | `critical`).
+    pub criticality: Option<String>,
     /// The first `warmup` scheduled requests are driven (and counted in
     /// `sent`/`ok`/`shed`) but excluded from the latency histogram:
     /// connect bursts, cold caches, and first-inference costs are a
@@ -72,6 +75,7 @@ impl Default for OpenConnConfig {
             body: "1,2,3".to_string(),
             path: "/predictions".to_string(),
             deadline_ms: None,
+            criticality: None,
             warmup: 0,
             drain_grace: Duration::from_secs(5),
         }
@@ -89,6 +93,13 @@ pub struct OpenConnResult {
     pub ok: u64,
     /// 503 responses — load the server *chose* to shed.
     pub shed: u64,
+    /// 429 responses — admission refusals (retryable, pre-queue), kept
+    /// apart from 503 sheds: a refusal never consumed a batch slot.
+    pub refused: u64,
+    /// 200 responses served *browned out*: the response carried a
+    /// non-zero `x-brownout-level` (or an `x-degraded` marker). These
+    /// are counted inside `ok` too — brownout is success, just cheaper.
+    pub brownout: u64,
     /// Transport failures, non-200/503 statuses, and stragglers that
     /// never answered within the drain grace.
     pub errors: u64,
@@ -144,6 +155,9 @@ pub fn run_open_conn(addr: SocketAddr, config: &OpenConnConfig) -> std::io::Resu
     if let Some(ms) = config.deadline_ms {
         req.headers.insert("x-deadline-ms".into(), ms.to_string());
     }
+    if let Some(class) = &config.criticality {
+        req.headers.insert("x-criticality".into(), class.clone());
+    }
     let wire = req.encode();
 
     let total: u64 = (config.rps * config.duration.as_secs_f64())
@@ -164,6 +178,8 @@ pub fn run_open_conn(addr: SocketAddr, config: &OpenConnConfig) -> std::io::Resu
         sent: 0,
         ok: 0,
         shed: 0,
+        refused: 0,
+        brownout: 0,
         errors: 0,
         corrected: Histogram::new(),
         wall: Duration::ZERO,
@@ -254,10 +270,19 @@ pub fn run_open_conn(addr: SocketAddr, config: &OpenConnConfig) -> std::io::Resu
                         match resp.status {
                             200 => {
                                 result.ok += 1;
+                                let browned = resp
+                                    .headers
+                                    .get("x-brownout-level")
+                                    .is_some_and(|v| v.trim() != "0")
+                                    || resp.headers.contains_key("x-degraded");
+                                if browned {
+                                    result.brownout += 1;
+                                }
                                 if idx >= config.warmup {
                                     result.corrected.record_duration(latency);
                                 }
                             }
+                            429 => result.refused += 1,
                             503 => result.shed += 1,
                             _ => result.errors += 1,
                         }
@@ -368,7 +393,10 @@ mod tests {
         };
         let result = run_open_conn(server.addr(), &config).unwrap();
         assert_eq!(result.connections, 8);
-        assert_eq!(result.ok + result.shed + result.errors, result.sent);
+        assert_eq!(
+            result.ok + result.shed + result.refused + result.errors,
+            result.sent
+        );
         assert_eq!(result.errors, 0, "clean run must not error");
         assert_eq!(result.shed, 0);
         assert!(result.ok >= 90, "only {} of ~100 served", result.ok);
@@ -421,10 +449,52 @@ mod tests {
         let result = run_open_conn(server.addr(), &config).unwrap();
         assert_eq!(result.ok, 0);
         assert!(result.shed > 0);
+        assert_eq!(result.refused, 0);
         assert_eq!(
             result.corrected.count(),
             0,
             "sheds must not pollute latency"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn refusals_and_brownouts_are_tallied_apart_from_sheds() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // A server that cycles 429 → browned-out 200 → clean 200, and
+        // echoes the criticality header back so the stamp is testable.
+        let turn = Arc::new(AtomicU64::new(0));
+        let handler: Handler = Arc::new(move |req: &Request| {
+            assert_eq!(
+                req.headers.get("x-criticality").map(String::as_str),
+                Some("critical")
+            );
+            match turn.fetch_add(1, Ordering::Relaxed) % 3 {
+                0 => Response::error(429, "refused").with_header("retry-after", "0".to_string()),
+                1 => Response::ok("0:1.0").with_header("x-brownout-level", "2".to_string()),
+                _ => Response::ok("0:1.0").with_header("x-brownout-level", "0".to_string()),
+            }
+        });
+        let server = start(ServerConfig::default(), handler).unwrap();
+        let config = OpenConnConfig {
+            connections: 1, // serialize: the cycle is deterministic
+            rps: 100.0,
+            duration: Duration::from_millis(300),
+            criticality: Some("critical".to_string()),
+            ..OpenConnConfig::default()
+        };
+        let result = run_open_conn(server.addr(), &config).unwrap();
+        assert_eq!(result.errors, 0);
+        assert_eq!(result.shed, 0, "429s must not be miscounted as sheds");
+        assert!(result.refused > 0, "429s land in `refused`");
+        assert!(result.brownout > 0, "level>0 200s land in `brownout`");
+        assert!(
+            result.brownout < result.ok,
+            "level-0 200s must not count as brownout"
+        );
+        assert_eq!(
+            result.ok + result.shed + result.refused + result.errors,
+            result.sent
         );
         server.shutdown();
     }

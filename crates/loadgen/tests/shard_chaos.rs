@@ -115,6 +115,7 @@ fn chaos_run(seed: u64) -> (Vec<Observed>, u64) {
         breakers: None,
         hedge: None,
         seed,
+        ..RouterConfig::default()
     };
     let router = start(
         ServerConfig::default(),

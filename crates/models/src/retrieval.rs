@@ -120,6 +120,13 @@ impl ExactIndex {
     }
 }
 
+impl ExactIndex {
+    /// Read-only view of the backing `[c, d]` row-major table.
+    pub fn table(&self) -> &[f32] {
+        &self.table
+    }
+}
+
 impl MipsIndex for ExactIndex {
     fn search(&self, query: &[f32], k: usize) -> (Vec<u32>, Vec<f32>) {
         let mut ids = Vec::with_capacity(k);
@@ -438,6 +445,14 @@ impl CatalogShard {
     /// Embedding dimension.
     pub fn dim(&self) -> usize {
         self.index.d
+    }
+
+    /// Int8-quantised copy of this shard's slice, for the brownout
+    /// ladder's quantized rung. Ids it reports are slice-local; callers
+    /// add [`CatalogShard::base`] exactly like
+    /// [`CatalogShard::search_into`] does.
+    pub fn quantize(&self) -> QuantizedIndex {
+        QuantizedIndex::from_f32(self.index.table(), self.index.c, self.index.d)
     }
 
     /// Allocation-free slice search reporting global item ids.

@@ -183,6 +183,14 @@ impl FleetSnapshot {
             self.sum(|p| p.degraded),
             self.sum(|p| p.faults),
         ));
+        out.push_str(&format!(
+            "  \"refused\": {},\n  \"brownout_quantized\": {},\n  \
+             \"brownout_reduced\": {},\n  \"brownout_fallback\": {},\n",
+            self.sum(|p| p.refused),
+            self.sum(|p| p.brownout[0]),
+            self.sum(|p| p.brownout[1]),
+            self.sum(|p| p.brownout[2]),
+        ));
         // Reactor keys stay flat (and their histograms are quoted pair
         // strings), so they sit safely in the pre-array head that
         // [`parse_fleet_health`] scans.
@@ -263,13 +271,14 @@ impl FleetSnapshot {
             out.push_str(&format!(
                 "\n    {{\"pod\": {}, \"requests\": {}, \"queue_depth\": {}, \
                  \"shed\": {}, \"degraded\": {}, \"faults\": {}, \
-                 \"p50_us\": {p50}, \"p99_us\": {p99}}}",
+                 \"refused\": {}, \"p50_us\": {p50}, \"p99_us\": {p99}}}",
                 p.pod.map(i64::from).unwrap_or(-1),
                 p.requests,
                 p.queue_depth,
                 p.shed,
                 p.degraded,
                 p.faults,
+                p.refused,
             ));
         }
         out.push_str("\n  ]\n}\n");
@@ -304,6 +313,24 @@ impl FleetSnapshot {
             "etude_fleet_requests_total {}\n",
             self.sum(|p| p.requests)
         ));
+        out.push_str(
+            "# HELP etude_fleet_requests_refused_total Admission refusals (429) across the fleet.\n\
+             # TYPE etude_fleet_requests_refused_total counter\n",
+        );
+        out.push_str(&format!(
+            "etude_fleet_requests_refused_total {}\n",
+            self.sum(|p| p.refused)
+        ));
+        out.push_str(
+            "# HELP etude_fleet_brownout_responses_total Browned-out 200s across the fleet per ladder level.\n\
+             # TYPE etude_fleet_brownout_responses_total counter\n",
+        );
+        for (label, i) in [("quantized", 0), ("reduced-k", 1), ("fallback", 2)] {
+            out.push_str(&format!(
+                "etude_fleet_brownout_responses_total{{level=\"{label}\"}} {}\n",
+                self.sum(|p| p.brownout[i])
+            ));
+        }
         out.push_str(
             "# HELP etude_fleet_stage_latency_microseconds Merged fleet stage quantiles.\n\
              # TYPE etude_fleet_stage_latency_microseconds summary\n",

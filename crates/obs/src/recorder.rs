@@ -58,6 +58,14 @@ pub struct Recorder {
     shed: AtomicU64,
     degraded: AtomicU64,
     faults: AtomicU64,
+    // Overload-control counters (PR 10): 429 admission refusals and
+    // browned-out 200s per ladder level (index 0 = quantized,
+    // 1 = reduced-k, 2 = popularity fallback).
+    refused: AtomicU64,
+    brownout: [AtomicU64; 3],
+    /// Admission-limit gauge in milli-units, updated by the serving
+    /// layer whenever the AIMD controller adjusts.
+    admission_limit_milli: AtomicU64,
     /// Pod identity in a fleet; `None` on standalone servers.
     pod: Option<u32>,
     /// Construction time: window buckets are numbered from here.
@@ -106,6 +114,9 @@ impl Recorder {
             shed: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
             faults: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
+            brownout: std::array::from_fn(|_| AtomicU64::new(0)),
+            admission_limit_milli: AtomicU64::new(0),
             pod: None,
             epoch: Instant::now(),
             queue_depth: AtomicU64::new(0),
@@ -168,6 +179,38 @@ impl Recorder {
     /// Counts one request answered from the degraded fallback path.
     pub fn note_degraded(&self) {
         self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request refused with a 429 by admission control.
+    pub fn note_refused(&self) {
+        self.refused.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one browned-out 200 at ladder level 1 (quantized),
+    /// 2 (reduced-k) or 3 (popularity fallback). Level 0 (exact) is
+    /// implicit — it is simply a normal request — and out-of-range
+    /// levels are ignored.
+    pub fn note_brownout(&self, level: u8) {
+        if (1..=3).contains(&level) {
+            self.brownout[(level - 1) as usize].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Publishes the admission controller's current limit (milli-units)
+    /// as a gauge.
+    pub fn set_admission_limit_milli(&self, limit: u64) {
+        self.admission_limit_milli.store(limit, Ordering::Relaxed);
+    }
+
+    /// Requests refused by admission control so far.
+    pub fn refused_count(&self) -> u64 {
+        self.refused.load(Ordering::Relaxed)
+    }
+
+    /// Browned-out 200s per ladder level (quantized, reduced-k,
+    /// fallback).
+    pub fn brownout_counts(&self) -> [u64; 3] {
+        std::array::from_fn(|i| self.brownout[i].load(Ordering::Relaxed))
     }
 
     /// Counts one server-side injected fault firing.
@@ -358,6 +401,9 @@ impl Recorder {
             shed: self.shed.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
             faults: self.faults.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
+            brownout: self.brownout_counts(),
+            admission_limit_milli: self.admission_limit_milli.load(Ordering::Relaxed),
             pod: self.pod,
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             reactor: self.reactor_probe.lock().as_ref().map(|probe| probe()),

@@ -179,6 +179,15 @@ pub struct StatsSnapshot {
     /// Server-side injected faults fired (slow-downs, error responses,
     /// connection resets). 0 outside chaos runs.
     pub faults: u64,
+    /// Requests refused with a 429 by criticality-aware admission
+    /// control (distinct from `shed`: refusal happens before queueing).
+    pub refused: u64,
+    /// Browned-out 200s per ladder level: `[quantized, reduced-k,
+    /// popularity-fallback]`. Level 0 (exact) is an ordinary request.
+    pub brownout: [u64; 3],
+    /// Admission controller's learned concurrency limit, milli-units
+    /// (0 when no admission control is installed).
+    pub admission_limit_milli: u64,
     /// Pod identity in a fleet (absent on standalone servers).
     pub pod: Option<u32>,
     /// Batcher queue depth at snapshot time (0 on unbatched servers).
@@ -256,6 +265,32 @@ impl StatsSnapshot {
              # TYPE etude_queue_depth gauge\n",
         );
         out.push_str(&format!("etude_queue_depth {}\n", self.queue_depth));
+        out.push_str(
+            "# HELP etude_requests_refused_total Requests refused with a 429 by admission control.\n\
+             # TYPE etude_requests_refused_total counter\n",
+        );
+        out.push_str(&format!("etude_requests_refused_total {}\n", self.refused));
+        out.push_str(
+            "# HELP etude_brownout_responses_total Browned-out 200s per ladder level.\n\
+             # TYPE etude_brownout_responses_total counter\n",
+        );
+        for (label, count) in [
+            ("quantized", self.brownout[0]),
+            ("reduced-k", self.brownout[1]),
+            ("fallback", self.brownout[2]),
+        ] {
+            out.push_str(&format!(
+                "etude_brownout_responses_total{{level=\"{label}\"}} {count}\n"
+            ));
+        }
+        out.push_str(
+            "# HELP etude_admission_limit Learned admission concurrency limit.\n\
+             # TYPE etude_admission_limit gauge\n",
+        );
+        out.push_str(&format!(
+            "etude_admission_limit {:.3}\n",
+            self.admission_limit_milli as f64 / 1000.0
+        ));
         if let Some(r) = &self.reactor {
             out.push_str(&render_reactor_prometheus(r, ""));
         }
@@ -300,6 +335,16 @@ impl StatsSnapshot {
         if let Some(pod) = self.pod {
             out.push_str(&format!("  \"pod\": {pod},\n"));
         }
+        out.push_str(&format!(
+            "  \"refused\": {},\n  \"brownout_quantized\": {},\n  \
+             \"brownout_reduced\": {},\n  \"brownout_fallback\": {},\n  \
+             \"admission_limit_milli\": {},\n",
+            self.refused,
+            self.brownout[0],
+            self.brownout[1],
+            self.brownout[2],
+            self.admission_limit_milli
+        ));
         out.push_str(&format!("  \"queue_depth\": {},\n", self.queue_depth));
         if let Some(r) = &self.reactor {
             out.push_str(&format!(
@@ -502,6 +547,14 @@ pub fn parse_stats_json(body: &str) -> Option<StatsSnapshot> {
     let shed = num_field(body, "shed").unwrap_or(0);
     let degraded = num_field(body, "degraded").unwrap_or(0);
     let faults = num_field(body, "faults").unwrap_or(0);
+    // Overload counters arrived in PR 10; older documents omit them.
+    let refused = num_field(body, "refused").unwrap_or(0);
+    let brownout = [
+        num_field(body, "brownout_quantized").unwrap_or(0),
+        num_field(body, "brownout_reduced").unwrap_or(0),
+        num_field(body, "brownout_fallback").unwrap_or(0),
+    ];
+    let admission_limit_milli = num_field(body, "admission_limit_milli").unwrap_or(0);
     let pod = num_field(body, "pod");
     let queue_depth = num_field(body, "queue_depth").unwrap_or(0);
     let reactor = parse_reactor_block(body);
@@ -573,6 +626,9 @@ pub fn parse_stats_json(body: &str) -> Option<StatsSnapshot> {
         shed,
         degraded,
         faults,
+        refused,
+        brownout,
+        admission_limit_milli,
         pod,
         queue_depth,
         reactor,
@@ -593,6 +649,9 @@ mod tests {
             shed: 7,
             degraded: 3,
             faults: 2,
+            refused: 5,
+            brownout: [11, 4, 9],
+            admission_limit_milli: 12_500,
             pod: Some(4),
             queue_depth: 6,
             reactor: Some(ReactorTelemetry {

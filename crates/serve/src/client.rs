@@ -258,8 +258,10 @@ fn run_leg(
 /// `Retry-After` honoring.
 ///
 /// Retryable outcomes are transport errors (the connection is reopened),
-/// timeouts, truncated/unparseable responses (mid-response resets) and
-/// 5xx statuses; 2xx/4xx end the loop immediately. A refused connection
+/// timeouts, truncated/unparseable responses (mid-response resets), 5xx
+/// statuses and 429 admission refusals (an over-limit backend names its
+/// own pause via `Retry-After`, and the next attempt rotates to another
+/// backend); other 2xx/4xx end the loop immediately. A refused connection
 /// — the signature of a pod restart window, when nothing is listening on
 /// the port yet — is retried on a short pace bounded only by the request
 /// deadline, not the retry budget, so a client riding out a rolling
@@ -551,7 +553,7 @@ impl ResilientClient {
                 }
             };
             let (retry_after, last_err) = match outcome {
-                Ok(resp) if resp.status < 500 => {
+                Ok(resp) if resp.status < 500 && resp.status != 429 => {
                     self.observe(winner, Obs::Success);
                     // Stick with whoever answered: if a hedge backup won,
                     // it becomes the preferred backend.
@@ -566,7 +568,8 @@ impl ResilientClient {
                     });
                 }
                 Ok(resp) => {
-                    // 5xx: retryable; the server may name its own pause.
+                    // 5xx or a 429 admission refusal: retryable; the
+                    // server may name its own pause.
                     let after = resp
                         .headers
                         .get("retry-after")
@@ -833,7 +836,9 @@ impl ResilientClient {
             } else {
                 // The losing-but-reported leg still teaches its breaker.
                 match &r.result {
-                    Ok(resp) if resp.status < 500 => self.observe(idx, Obs::Success),
+                    Ok(resp) if resp.status < 500 && resp.status != 429 => {
+                        self.observe(idx, Obs::Success)
+                    }
                     Ok(resp) => {
                         let after = resp
                             .headers

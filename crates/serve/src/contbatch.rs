@@ -39,6 +39,7 @@ use crate::rustserver::{
     BatchReply, Degradation, DegradationPolicy, Handler, DEGRADED_HEADER,
 };
 use crossbeam::channel::{bounded, Sender, TrySendError};
+use etude_control::Criticality;
 use etude_faults::Deadline;
 use etude_models::{traits, SbrModel};
 use etude_obs::{Recorder, Stage};
@@ -430,12 +431,34 @@ pub(crate) fn continuous_routes(
                         )
                     }
                     Err(AdmitError::Overloaded) => {
+                        // Shedding is criticality-ordered, not FIFO:
+                        // `critical` traffic takes the popularity
+                        // fallback immediately (a browned-out 200
+                        // always beats a 503), `normal` rides the
+                        // hysteresis state machine, and `shed-first`
+                        // never gets the fallback at all.
+                        let crit = Criticality::from_header(
+                            req.headers.get(Criticality::HEADER).map(String::as_str),
+                        );
                         if let Some(d) = &degradation {
-                            if d.note_overload() {
+                            let degraded_mode = d.note_overload();
+                            let fallback = match crit {
+                                Criticality::Critical => true,
+                                Criticality::Normal => degraded_mode,
+                                Criticality::ShedFirst => false,
+                            };
+                            if fallback {
                                 recorder.note_degraded();
+                                recorder.note_brownout(
+                                    crate::overload::BrownoutLevel::Fallback.as_u8(),
+                                );
                                 return echo_request_id(
                                     Response::ok(d.fallback_body.clone())
-                                        .with_header(DEGRADED_HEADER, "1".to_string()),
+                                        .with_header(DEGRADED_HEADER, "1".to_string())
+                                        .with_header(
+                                            crate::overload::BROWNOUT_HEADER,
+                                            "3".to_string(),
+                                        ),
                                     echo,
                                 );
                             }

@@ -27,6 +27,10 @@
 //! * [`fleet`] — the fleet aggregation endpoint: scrape every pod's
 //!   `/stats`, merge bit-identically, serve `/fleet` (JSON) and
 //!   `/fleet/metrics` (Prometheus),
+//! * [`overload`] — criticality-aware overload control: an AIMD
+//!   admission limiter in front of a brownout ladder (exact → int8 →
+//!   reduced-k → popularity fallback), so flash crowds degrade quality
+//!   before dropping traffic,
 //! * [`router`] — the scatter/gather tier for partitioned catalogs:
 //!   shard-backend routes over a catalog slice, and the router that
 //!   fans out, merges partial top-k bit-identically, and degrades
@@ -43,6 +47,7 @@ pub mod client;
 pub mod contbatch;
 pub mod fleet;
 pub mod http;
+pub mod overload;
 pub mod reactor;
 pub mod router;
 pub mod rustserver;
@@ -54,6 +59,10 @@ pub use contbatch::{
     model_routes_continuous, ContinuousBatcher, ContinuousConfig, DEADLINE_HEADER,
 };
 pub use fleet::{fleet_routes, scrape_fleet, FleetScraper};
+pub use overload::{
+    overload_routes, overload_routes_with_state, BrownoutLevel, LadderConfig, OverloadConfig,
+    OverloadState, BROWNOUT_HEADER,
+};
 pub use reactor::{new_poller, raise_nofile_limit, Interest, Poller, ReactorConfig};
 pub use router::{
     router_routes, scrape_shard_fleet, shard_backend_routes, RouterConfig, ShardGroupSpec,

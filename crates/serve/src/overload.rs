@@ -1,0 +1,660 @@
+//! Criticality-aware overload control: the brownout ladder.
+//!
+//! PR 8's continuous batcher made overload *safe* (blown budgets shed
+//! before compute); this module makes it *graceful*. Instead of the
+//! binary serve-exactly-or-503, a retrieval backend under pressure
+//! steps down a quality ladder, spending less compute per request as
+//! measured queue delay burns a larger fraction of the deadline budget:
+//!
+//! | level | name      | what is served                              |
+//! |-------|-----------|---------------------------------------------|
+//! | 0     | exact     | full-precision exhaustive scan, full k      |
+//! | 1     | quantized | int8 [`QuantizedIndex`] scan, full k        |
+//! | 2     | reduced-k | int8 scan, [`LadderConfig::reduced_k`] items|
+//! | 3     | fallback  | popularity fallback, no slot consumed       |
+//!
+//! Every response is stamped with [`BROWNOUT_HEADER`] and counted in
+//! `/stats` (`brownout_quantized` / `brownout_reduced` /
+//! `brownout_fallback`). The ladder preserves one invariant above all:
+//! **a browned-out 200 always beats a 503 for `normal` and `critical`
+//! traffic** — those classes are only ever refused outright when their
+//! budget is already dead (serving a late fallback would still be
+//! late).
+//!
+//! In front of the ladder sits an [`AdmissionController`]: an AIMD
+//! concurrency limiter fed by measured service latency. Its refusals
+//! are criticality-ordered — `shed-first` traffic is turned away (HTTP
+//! 429 + `retry-after`) while `normal`/`critical` still ride the
+//! ladder, so under a flash crowd the refusal mass lands almost
+//! entirely on the class that opted into being shed.
+//!
+//! Deadline semantics are inherited from [`ContinuousBatcher`]: budgets
+//! are anchored at wire-parse time and re-checked at dequeue, so *no
+//! inference starts past its budget* regardless of brownout level.
+
+use crate::contbatch::{request_budget, AdmitError, Admitted, ContinuousBatcher, ContinuousConfig};
+use crate::http::{self, Method, Request, Response};
+use crate::rustserver::{
+    correlation_id, echo_request_id, nanos, note_trace, parse_prediction, shared_routes, trace_ctx,
+    Degradation, DegradationPolicy, Handler, DEGRADED_HEADER,
+};
+use etude_control::{AdmissionConfig, AdmissionController, Criticality};
+use etude_faults::Deadline;
+use etude_models::retrieval::{encode_session_query, ExactIndex, MipsIndex, QuantizedIndex};
+use etude_obs::{Recorder, Stage};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Response header naming the brownout level a request was served at
+/// (`0`–`3`). Requests to the scatter/gather router inherit the
+/// router's level via the same header on shard legs.
+pub const BROWNOUT_HEADER: &str = "x-brownout-level";
+
+/// One rung of the brownout ladder. Ordering is degradation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BrownoutLevel {
+    /// Full-precision scan, full k.
+    Exact,
+    /// Int8 quantized scan, full k.
+    Quantized,
+    /// Int8 scan at a reduced k.
+    ReducedK,
+    /// Popularity fallback; consumes no inference slot.
+    Fallback,
+}
+
+impl BrownoutLevel {
+    /// Wire value for [`BROWNOUT_HEADER`].
+    pub fn as_u8(&self) -> u8 {
+        match self {
+            BrownoutLevel::Exact => 0,
+            BrownoutLevel::Quantized => 1,
+            BrownoutLevel::ReducedK => 2,
+            BrownoutLevel::Fallback => 3,
+        }
+    }
+
+    /// Parses a wire value, saturating above the ladder's top.
+    pub fn from_u8(v: u8) -> BrownoutLevel {
+        match v {
+            0 => BrownoutLevel::Exact,
+            1 => BrownoutLevel::Quantized,
+            2 => BrownoutLevel::ReducedK,
+            _ => BrownoutLevel::Fallback,
+        }
+    }
+
+    /// Reads an inherited level from a request header (absent → exact).
+    pub fn from_request(req: &Request) -> BrownoutLevel {
+        req.headers
+            .get(BROWNOUT_HEADER)
+            .and_then(|v| v.trim().parse::<u8>().ok())
+            .map(BrownoutLevel::from_u8)
+            .unwrap_or(BrownoutLevel::Exact)
+    }
+
+    /// Human label used in bench reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BrownoutLevel::Exact => "exact",
+            BrownoutLevel::Quantized => "quantized",
+            BrownoutLevel::ReducedK => "reduced-k",
+            BrownoutLevel::Fallback => "fallback",
+        }
+    }
+}
+
+/// Brownout-ladder tuning: at which fraction of the deadline budget the
+/// predicted queue delay pushes requests down each rung.
+#[derive(Debug, Clone)]
+pub struct LadderConfig {
+    /// Master switch; off = always exact (admission may still refuse).
+    pub enabled: bool,
+    /// Burn fraction at which the int8 rung engages.
+    pub quantized_at: f64,
+    /// Burn fraction at which k is reduced.
+    pub reduced_k_at: f64,
+    /// Burn fraction past which only the fallback is worth serving.
+    pub fallback_at: f64,
+    /// k served on the reduced-k rung.
+    pub reduced_k: usize,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        LadderConfig {
+            enabled: true,
+            quantized_at: 0.25,
+            reduced_k_at: 0.5,
+            fallback_at: 0.75,
+            reduced_k: 5,
+        }
+    }
+}
+
+/// Configuration of an overload-controlled retrieval backend.
+#[derive(Debug, Clone)]
+pub struct OverloadConfig {
+    /// Continuous-batcher shape (slots, queue bound, default budget).
+    pub batch: ContinuousConfig,
+    /// Top-k served on the exact and quantized rungs.
+    pub k: usize,
+    /// Admission control; `None` disables the limiter entirely.
+    pub admission: Option<AdmissionConfig>,
+    /// The brownout ladder.
+    pub ladder: LadderConfig,
+    /// Artificial per-request service-time floor (scaled down by rung:
+    /// quantized 40%, reduced-k 15%). Zero in production; benches and
+    /// chaos tests use it to pin a known capacity so "5× capacity" is a
+    /// statement, not a guess.
+    pub service_floor: Duration,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            batch: ContinuousConfig::default(),
+            k: 21,
+            admission: Some(AdmissionConfig::default()),
+            ladder: LadderConfig::default(),
+            service_floor: Duration::ZERO,
+        }
+    }
+}
+
+/// Shared overload state: the admission controller plus the measured
+/// queue-delay EWMA that drives the ladder.
+pub struct OverloadState {
+    admission: Option<AdmissionController>,
+    ladder: LadderConfig,
+    /// EWMA of the wait a request suffered before compute (dispatch +
+    /// batcher queue), in microseconds. `new = old·7/8 + sample/8`.
+    ewma_wait_us: AtomicU64,
+    /// Construction time; timestamps admission-journal entries.
+    epoch: Instant,
+}
+
+impl OverloadState {
+    fn new(admission: Option<AdmissionConfig>, ladder: LadderConfig) -> OverloadState {
+        OverloadState {
+            admission: admission.map(AdmissionController::new),
+            ladder,
+            ewma_wait_us: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    fn observe_wait(&self, wait: Duration) {
+        let sample = wait.as_micros().min(u64::MAX as u128) as u64;
+        let old = self.ewma_wait_us.load(Ordering::Relaxed);
+        self.ewma_wait_us
+            .store(old - old / 8 + sample / 8, Ordering::Relaxed);
+    }
+
+    /// Picks the rung for a request whose budget has `remaining` left:
+    /// the predicted queue delay (the EWMA) as a fraction of the
+    /// remaining budget, against the configured thresholds.
+    pub fn level_for(&self, remaining: Duration) -> BrownoutLevel {
+        if !self.ladder.enabled {
+            return BrownoutLevel::Exact;
+        }
+        let remaining_us = remaining.as_micros().max(1) as f64;
+        let burn = self.ewma_wait_us.load(Ordering::Relaxed) as f64 / remaining_us;
+        if burn >= self.ladder.fallback_at {
+            BrownoutLevel::Fallback
+        } else if burn >= self.ladder.reduced_k_at {
+            BrownoutLevel::ReducedK
+        } else if burn >= self.ladder.quantized_at {
+            BrownoutLevel::Quantized
+        } else {
+            BrownoutLevel::Exact
+        }
+    }
+
+    /// The admission controller, when one is installed.
+    pub fn admission(&self) -> Option<&AdmissionController> {
+        self.admission.as_ref()
+    }
+
+    /// Current queue-delay EWMA.
+    pub fn ewma_wait(&self) -> Duration {
+        Duration::from_micros(self.ewma_wait_us.load(Ordering::Relaxed))
+    }
+}
+
+/// What a ladder worker computes per request.
+struct OverloadReply {
+    ids: Vec<u32>,
+    scores: Vec<f32>,
+    inference: Duration,
+}
+
+type LadderJob = (Vec<u32>, BrownoutLevel);
+
+/// Builds an overload-controlled retrieval backend over a `[catalog ×
+/// dim]` embedding table: admission → ladder → continuous batcher →
+/// exact/int8 scan. Returns the route table and the shared
+/// [`OverloadState`] so callers (benches, chaos tests) can read the
+/// learned limit and drive assertions.
+pub fn overload_routes_with_state(
+    table: Vec<f32>,
+    catalog_size: usize,
+    dim: usize,
+    query_seed: u64,
+    config: OverloadConfig,
+    recorder: Arc<Recorder>,
+) -> (Handler, Arc<OverloadState>) {
+    assert_eq!(table.len(), catalog_size * dim, "table shape mismatch");
+    let quantized = QuantizedIndex::from_f32(&table, catalog_size, dim);
+    let exact = ExactIndex::new(table, catalog_size, dim);
+    let state = Arc::new(OverloadState::new(
+        config.admission.clone(),
+        config.ladder.clone(),
+    ));
+    let k = config.k.max(1);
+    let reduced_k = config.ladder.reduced_k.clamp(1, k);
+    let floor = config.service_floor;
+    let batcher: Arc<ContinuousBatcher<LadderJob, OverloadReply>> = Arc::new(
+        ContinuousBatcher::spawn(config.batch.clone(), move |(items, level): LadderJob| {
+            let t = Instant::now();
+            let query = encode_session_query(&items, dim, query_seed);
+            let (ids, scores) = match level {
+                BrownoutLevel::Exact => exact.search(&query, k),
+                BrownoutLevel::Quantized => quantized.search(&query, k),
+                // Reduced-k rides the int8 index too: each rung
+                // strictly cheaper than the one above it.
+                _ => quantized.search(&query, reduced_k),
+            };
+            let budgeted = match level {
+                BrownoutLevel::Exact => floor,
+                BrownoutLevel::Quantized => floor.mul_f64(0.4),
+                _ => floor.mul_f64(0.15),
+            };
+            if let Some(pad) = budgeted.checked_sub(t.elapsed()) {
+                if !pad.is_zero() {
+                    std::thread::sleep(pad);
+                }
+            }
+            OverloadReply {
+                ids,
+                scores,
+                inference: t.elapsed(),
+            }
+        }),
+    );
+    // The fallback body is PR 3's popularity fallback, shared with the
+    // model-serving tier via `Degradation`.
+    let degradation = Degradation::new(
+        DegradationPolicy {
+            top_k: k,
+            ..DegradationPolicy::default()
+        },
+        catalog_size,
+    );
+    let fallback_body = degradation.fallback_body.clone();
+    let default_deadline = config.batch.default_deadline;
+    let route_state = Arc::clone(&state);
+    let handler: Handler = Arc::new(move |req: &Request| -> Response {
+        if let Some(resp) = shared_routes(req, &recorder) {
+            return resp;
+        }
+        match (req.method, req.path.as_str()) {
+            (Method::Post, "/predictions") => {
+                let t_total = Instant::now();
+                let (rid, echo) = correlation_id(req);
+                let mark = recorder.exemplars().begin();
+                let t_parse = Instant::now();
+                let items = match parse_prediction(&req.body, catalog_size) {
+                    Ok(items) => items,
+                    Err(resp) => return echo_request_id(resp, echo),
+                };
+                let parse = t_parse.elapsed();
+                let crit = Criticality::from_header(
+                    req.headers.get(Criticality::HEADER).map(String::as_str),
+                );
+                // Same anchoring as the model tier: the budget starts
+                // at wire-parse time, capped so a hostile header can't
+                // overflow the deadline instant.
+                let budget = request_budget(req, default_deadline).min(Duration::from_secs(86_400));
+                let deadline = Deadline::at(req.arrival + budget);
+                let dispatch_wait = t_total.saturating_duration_since(req.arrival);
+                recorder.set_queue_depth(batcher.queue_depth() as u64);
+                if deadline.expired() {
+                    // Dead on arrival: a fallback would still be late.
+                    recorder.note_shed();
+                    if let Some(a) = route_state.admission() {
+                        a.on_shed(route_state.now());
+                    }
+                    return echo_request_id(
+                        Response::error(503, "deadline exhausted before inference")
+                            .with_header("retry-after", "1".to_string()),
+                        echo,
+                    );
+                }
+                // ── Admission ───────────────────────────────────────
+                let admitted = match route_state.admission() {
+                    Some(a) => {
+                        recorder.set_admission_limit_milli(a.limit_milli());
+                        a.try_acquire(crit)
+                    }
+                    None => true,
+                };
+                if !admitted {
+                    return match crit {
+                        // The class that opted into shedding is turned
+                        // away outright — 429, not 503: refusal happened
+                        // *before* queueing and is retryable elsewhere.
+                        Criticality::ShedFirst => {
+                            recorder.note_refused();
+                            echo_request_id(
+                                Response::error(429, "admission refused, retry later")
+                                    .with_header("retry-after", "1".to_string()),
+                                echo,
+                            )
+                        }
+                        // A browned-out 200 beats a 503: over-limit
+                        // normal/critical traffic gets the fallback,
+                        // which costs no inference slot.
+                        _ => {
+                            recorder.note_brownout(BrownoutLevel::Fallback.as_u8());
+                            recorder.note_degraded();
+                            serve_fallback(&fallback_body, echo)
+                        }
+                    };
+                }
+                let admission_t0 = Instant::now();
+                // ── Ladder ──────────────────────────────────────────
+                let level = route_state.level_for(deadline.remaining());
+                if level == BrownoutLevel::Fallback {
+                    // The ladder says queueing would burn the budget:
+                    // serve the fallback inline, return the token
+                    // unused (no service-latency signal to feed back).
+                    if let Some(a) = route_state.admission() {
+                        a.abandon();
+                    }
+                    recorder.note_brownout(BrownoutLevel::Fallback.as_u8());
+                    recorder.note_degraded();
+                    return serve_fallback(&fallback_body, echo);
+                }
+                match batcher.try_call((items, level), deadline) {
+                    Ok(Admitted {
+                        result: reply,
+                        queue_wait,
+                    }) => {
+                        if let Some(a) = route_state.admission() {
+                            a.release(route_state.now(), admission_t0.elapsed());
+                            recorder.set_admission_limit_milli(a.limit_milli());
+                        }
+                        let queued = dispatch_wait + queue_wait;
+                        route_state.observe_wait(queued);
+                        recorder.note_brownout(level.as_u8());
+                        let t_ser = Instant::now();
+                        let body = http::encode_recommendations(&reply.ids, &reply.scores);
+                        let resp = echo_request_id(
+                            Response::ok(body)
+                                .with_header(BROWNOUT_HEADER, level.as_u8().to_string())
+                                .with_header(
+                                    "x-inference-duration-micros",
+                                    reply.inference.as_micros().to_string(),
+                                ),
+                            echo,
+                        );
+                        let serialize = t_ser.elapsed();
+                        let total = req.arrival.elapsed();
+                        let stages = [
+                            (Stage::Parse, nanos(parse)),
+                            (Stage::Queue, nanos(queued)),
+                            (Stage::Inference, nanos(reply.inference)),
+                            (Stage::Serialize, nanos(serialize)),
+                            (Stage::Total, nanos(total)),
+                        ];
+                        for &(stage, ns) in &stages {
+                            recorder.record(rid, stage, ns);
+                        }
+                        match echo {
+                            Some(id) => {
+                                recorder.exemplars().offer(id, &stages, nanos(total), &mark)
+                            }
+                            None => recorder.exemplars().offer(
+                                &format!("{rid:016x}"),
+                                &stages,
+                                nanos(total),
+                                &mark,
+                            ),
+                        }
+                        note_trace(&recorder, trace_ctx(req), resp, &stages)
+                    }
+                    Err(AdmitError::Expired) => {
+                        // The budget died in the queue; the wait was at
+                        // least the remaining budget — feed that back so
+                        // the ladder reacts even while nothing is being
+                        // served.
+                        if let Some(a) = route_state.admission() {
+                            a.abandon();
+                            a.on_shed(route_state.now());
+                        }
+                        route_state.observe_wait(deadline.remaining().max(budget));
+                        recorder.note_shed();
+                        echo_request_id(
+                            Response::error(503, "deadline exhausted before inference")
+                                .with_header("retry-after", "1".to_string()),
+                            echo,
+                        )
+                    }
+                    Err(AdmitError::Overloaded) => {
+                        if let Some(a) = route_state.admission() {
+                            a.abandon();
+                            a.on_shed(route_state.now());
+                        }
+                        match crit {
+                            Criticality::ShedFirst => {
+                                recorder.note_shed();
+                                echo_request_id(
+                                    Response::error(503, "server overloaded, retry later")
+                                        .with_header("retry-after", "1".to_string()),
+                                    echo,
+                                )
+                            }
+                            // Queue full, budget alive: the browned-out
+                            // 200 still beats the 503.
+                            _ => {
+                                recorder.note_brownout(BrownoutLevel::Fallback.as_u8());
+                                recorder.note_degraded();
+                                serve_fallback(&fallback_body, echo)
+                            }
+                        }
+                    }
+                    Err(AdmitError::Closed) => {
+                        if let Some(a) = route_state.admission() {
+                            a.abandon();
+                        }
+                        echo_request_id(Response::error(503, "batcher unavailable"), echo)
+                    }
+                }
+            }
+            _ => Response::error(404, "no such route"),
+        }
+    });
+    (handler, state)
+}
+
+/// [`overload_routes_with_state`] without the state handle.
+pub fn overload_routes(
+    table: Vec<f32>,
+    catalog_size: usize,
+    dim: usize,
+    query_seed: u64,
+    config: OverloadConfig,
+    recorder: Arc<Recorder>,
+) -> Handler {
+    overload_routes_with_state(table, catalog_size, dim, query_seed, config, recorder).0
+}
+
+fn serve_fallback(body: &str, echo: Option<&str>) -> Response {
+    echo_request_id(
+        Response::ok(body.to_string())
+            .with_header(DEGRADED_HEADER, "1".to_string())
+            .with_header(BROWNOUT_HEADER, BrownoutLevel::Fallback.as_u8().to_string()),
+        echo,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(c: usize, d: usize) -> Vec<f32> {
+        (0..c * d)
+            .map(|i| ((i * 37 + 11) % 97) as f32 / 97.0)
+            .collect()
+    }
+
+    fn backend(config: OverloadConfig) -> (Handler, Arc<OverloadState>) {
+        overload_routes_with_state(table(64, 8), 64, 8, 7, config, Arc::new(Recorder::new()))
+    }
+
+    #[test]
+    fn exact_level_serves_full_k_with_header() {
+        let (h, _) = backend(OverloadConfig {
+            k: 5,
+            ..OverloadConfig::default()
+        });
+        let resp = h(&Request::post("/predictions", "1,2,3"));
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.headers.get(BROWNOUT_HEADER).map(String::as_str),
+            Some("0")
+        );
+        let body = String::from_utf8(resp.body.to_vec()).unwrap();
+        assert_eq!(body.split(',').count(), 5, "full k items served: {body}");
+    }
+
+    #[test]
+    fn ladder_levels_order_and_round_trip() {
+        for v in 0..=4u8 {
+            let level = BrownoutLevel::from_u8(v);
+            assert_eq!(BrownoutLevel::from_u8(level.as_u8()), level);
+        }
+        assert!(BrownoutLevel::Exact < BrownoutLevel::Quantized);
+        assert!(BrownoutLevel::Quantized < BrownoutLevel::ReducedK);
+        assert!(BrownoutLevel::ReducedK < BrownoutLevel::Fallback);
+        assert_eq!(BrownoutLevel::from_u8(9), BrownoutLevel::Fallback);
+    }
+
+    #[test]
+    fn burn_fraction_picks_the_rung() {
+        let state = OverloadState::new(None, LadderConfig::default());
+        // EWMA 0 → exact regardless of budget.
+        assert_eq!(
+            state.level_for(Duration::from_millis(100)),
+            BrownoutLevel::Exact
+        );
+        // Pump the EWMA to ~40 ms of measured wait.
+        for _ in 0..200 {
+            state.observe_wait(Duration::from_millis(40));
+        }
+        assert_eq!(
+            state.level_for(Duration::from_millis(500)),
+            BrownoutLevel::Exact
+        );
+        assert_eq!(
+            state.level_for(Duration::from_millis(120)),
+            BrownoutLevel::Quantized
+        );
+        assert_eq!(
+            state.level_for(Duration::from_millis(70)),
+            BrownoutLevel::ReducedK
+        );
+        assert_eq!(
+            state.level_for(Duration::from_millis(20)),
+            BrownoutLevel::Fallback
+        );
+        // Ladder off: always exact.
+        let off = OverloadState::new(
+            None,
+            LadderConfig {
+                enabled: false,
+                ..LadderConfig::default()
+            },
+        );
+        for _ in 0..200 {
+            off.observe_wait(Duration::from_millis(40));
+        }
+        assert_eq!(
+            off.level_for(Duration::from_millis(20)),
+            BrownoutLevel::Exact
+        );
+    }
+
+    #[test]
+    fn dead_on_arrival_budgets_get_503_even_for_critical() {
+        let (h, _) = backend(OverloadConfig::default());
+        let resp = h(&Request::post("/predictions", "1,2")
+            .with_header(crate::contbatch::DEADLINE_HEADER, "0")
+            .with_header(Criticality::HEADER, "critical"));
+        assert_eq!(resp.status, 503);
+    }
+
+    #[test]
+    fn admission_refusal_is_criticality_ordered() {
+        // A zero-capacity admission window: everything is over-limit.
+        let (h, state) = backend(OverloadConfig {
+            admission: Some(AdmissionConfig {
+                initial: 0.0,
+                min_limit: 0.0,
+                headroom: [0.0, 0.0, 0.0],
+                ..AdmissionConfig::default()
+            }),
+            ..OverloadConfig::default()
+        });
+        let shed =
+            h(&Request::post("/predictions", "1").with_header(Criticality::HEADER, "shed-first"));
+        assert_eq!(shed.status, 429, "shed-first is refused outright");
+        assert!(shed.headers.contains_key("retry-after"));
+        let normal = h(&Request::post("/predictions", "1"));
+        assert_eq!(normal.status, 200, "normal gets the browned-out 200");
+        assert_eq!(
+            normal.headers.get(BROWNOUT_HEADER).map(String::as_str),
+            Some("3")
+        );
+        let critical =
+            h(&Request::post("/predictions", "1").with_header(Criticality::HEADER, "critical"));
+        assert_eq!(critical.status, 200);
+        assert_eq!(
+            critical.headers.get(BROWNOUT_HEADER).map(String::as_str),
+            Some("3")
+        );
+        // Limiter-level refusals hit all three classes; only the
+        // shed-first one surfaced as a client-visible 429.
+        assert_eq!(
+            state.admission().unwrap().refused(Criticality::ShedFirst),
+            1
+        );
+        assert_eq!(state.admission().unwrap().refused_total(), 3);
+    }
+
+    #[test]
+    fn quantized_rung_is_served_when_inherited() {
+        // Drive the EWMA up so the ladder picks the quantized rung for
+        // a mid-sized budget, then check the header reports it.
+        let (h, state) = backend(OverloadConfig {
+            admission: None,
+            ..OverloadConfig::default()
+        });
+        for _ in 0..200 {
+            state.observe_wait(Duration::from_millis(40));
+        }
+        let resp = h(&Request::post("/predictions", "1,2,3")
+            .with_header(crate::contbatch::DEADLINE_HEADER, "120"));
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.headers.get(BROWNOUT_HEADER).map(String::as_str),
+            Some("1")
+        );
+    }
+}

@@ -29,13 +29,15 @@
 //! show the legs as sibling child spans under the router span.
 
 use crate::client::ResilientClient;
+use crate::contbatch::{request_budget, DEADLINE_HEADER};
 use crate::http::{self, Method, Request, Response};
+use crate::overload::{BrownoutLevel, LadderConfig, BROWNOUT_HEADER};
 use crate::rustserver::{
     correlation_id, echo_request_id, nanos, note_trace, parse_prediction, shared_routes, trace_ctx,
     Handler, DEGRADED_HEADER,
 };
-use etude_control::{BreakerConfig, HedgePolicy};
-use etude_faults::RetryPolicy;
+use etude_control::{BreakerConfig, Criticality, HedgePolicy};
+use etude_faults::{Deadline, RetryPolicy};
 use etude_models::retrieval::{encode_session_query, CatalogShard};
 use etude_obs::{Recorder, Stage, TRACE_HEADER};
 use etude_tensor::topk::merge_shard_topk;
@@ -141,6 +143,12 @@ pub struct RouterConfig {
     pub hedge: Option<HedgePolicy>,
     /// Seed for the clients' deterministic backoff jitter.
     pub seed: u64,
+    /// Budget granted to requests without an `x-deadline-ms` header.
+    /// The router decrements the remaining budget into each shard leg.
+    pub default_deadline: Duration,
+    /// Brownout thresholds on the *already burned* fraction of the
+    /// budget at scatter time; shard legs inherit the computed level.
+    pub ladder: LadderConfig,
 }
 
 impl Default for RouterConfig {
@@ -152,6 +160,8 @@ impl Default for RouterConfig {
             breakers: Some(BreakerConfig::default()),
             hedge: None,
             seed: 0,
+            default_deadline: Duration::from_secs(2),
+            ladder: LadderConfig::default(),
         }
     }
 }
@@ -173,6 +183,11 @@ pub fn shard_backend_routes(
     recorder: Arc<Recorder>,
 ) -> Handler {
     let dim = shard.dim();
+    // The quantized rung of the brownout ladder, built once: when a
+    // routed leg inherits level ≥ 1 the slice is scanned in int8.
+    let quantized = shard.quantize();
+    let base = shard.base();
+    let reduced_k = (k / 4).max(1);
     Arc::new(move |req: &Request| -> Response {
         if let Some(resp) = shared_routes(req, &recorder) {
             return resp;
@@ -189,17 +204,61 @@ pub fn shard_backend_routes(
                     Err(resp) => return echo_request_id(resp, echo),
                 };
                 let parse = t_parse.elapsed();
+                // Propagated deadline: the router decremented the
+                // remaining budget into `x-deadline-ms`, so a leg whose
+                // budget died in transit (or in the dispatch queue) is
+                // shed before its scan starts — the no-late-inference
+                // invariant, extended to the fan-out tier. Absent the
+                // header, the leg is effectively unbudgeted.
+                let budget = request_budget(req, Duration::from_secs(86_400))
+                    .min(Duration::from_secs(86_400));
+                if Deadline::at(req.arrival + budget).expired() {
+                    recorder.note_shed();
+                    return echo_request_id(
+                        Response::error(503, "leg budget exhausted before scan")
+                            .with_header("retry-after", "1".to_string()),
+                        echo,
+                    );
+                }
+                // Inherited brownout level: ≥ 1 scans int8, ≥ 2 also
+                // drops to the reduced k. Level 3 never reaches a shard
+                // (the router serves its popularity fallback locally),
+                // but a stray inherited 3 degrades to the cheapest
+                // scan rather than poisoning the merge.
+                let level = BrownoutLevel::from_request(req);
                 let t_inf = Instant::now();
                 let query = encode_session_query(&items, dim, query_seed);
-                let (ids, scores) = etude_models::retrieval::MipsIndex::search(&shard, &query, k);
+                let (ids, scores) = match level {
+                    BrownoutLevel::Exact => {
+                        etude_models::retrieval::MipsIndex::search(&shard, &query, k)
+                    }
+                    other => {
+                        let kk = if other >= BrownoutLevel::ReducedK {
+                            reduced_k
+                        } else {
+                            k
+                        };
+                        let (mut ids, scores) =
+                            etude_models::retrieval::MipsIndex::search(&quantized, &query, kk);
+                        for id in ids.iter_mut() {
+                            *id += base;
+                        }
+                        (ids, scores)
+                    }
+                };
                 let inference = t_inf.elapsed();
+                if level > BrownoutLevel::Exact {
+                    recorder.note_brownout(level.as_u8().min(2));
+                }
                 let t_ser = Instant::now();
                 let body = http::encode_recommendations(&ids, &scores);
                 let resp = echo_request_id(
-                    Response::ok(body).with_header(
-                        "x-inference-duration-micros",
-                        inference.as_micros().to_string(),
-                    ),
+                    Response::ok(body)
+                        .with_header(BROWNOUT_HEADER, level.as_u8().min(2).to_string())
+                        .with_header(
+                            "x-inference-duration-micros",
+                            inference.as_micros().to_string(),
+                        ),
                     echo,
                 );
                 let serialize = t_ser.elapsed();
@@ -284,6 +343,20 @@ pub fn router_routes(
     let topology = Arc::new(topology);
     let k = config.k;
     let leg_budget = config.leg_budget;
+    let default_deadline = config.default_deadline;
+    let ladder = config.ladder.clone();
+    // The router's own fallback rung: the global popularity fallback,
+    // served locally when the budget is nearly burned — cheaper and
+    // more useful than fanning out a scatter that cannot finish.
+    let fallback_body = crate::rustserver::Degradation::new(
+        crate::rustserver::DegradationPolicy {
+            top_k: k,
+            ..Default::default()
+        },
+        topology.catalog_size,
+    )
+    .fallback_body
+    .clone();
 
     Arc::new(move |req: &Request| -> Response {
         if let Some(resp) = shared_routes(req, &recorder) {
@@ -300,6 +373,65 @@ pub fn router_routes(
                 }
                 let parse = t_parse.elapsed();
                 let ctx = trace_ctx(req);
+
+                // Deadline propagation: anchor the budget at wire-parse
+                // time, shed before the fan-out when it is already
+                // burned, and decrement what remains into every leg.
+                let budget = request_budget(req, default_deadline).min(Duration::from_secs(86_400));
+                let deadline = Deadline::at(req.arrival + budget);
+                let remaining = deadline.remaining();
+                let crit = Criticality::from_header(
+                    req.headers.get(Criticality::HEADER).map(String::as_str),
+                );
+                if remaining.is_zero() {
+                    recorder.note_shed();
+                    return echo_request_id(
+                        Response::error(503, "deadline exhausted before fan-out")
+                            .with_header("retry-after", "1".to_string()),
+                        echo,
+                    );
+                }
+                // Brownout: the burned fraction of the budget picks the
+                // rung; shard legs inherit it (an upstream-set level is
+                // never lowered). Past the fallback threshold a scatter
+                // cannot finish in time, so the router serves its local
+                // popularity fallback — for traffic that did not opt
+                // into shedding.
+                let burned = 1.0 - remaining.as_secs_f64() / budget.as_secs_f64().max(1e-9);
+                let mut level = BrownoutLevel::from_request(req);
+                if ladder.enabled {
+                    if burned >= ladder.fallback_at {
+                        return match crit {
+                            Criticality::ShedFirst => {
+                                recorder.note_shed();
+                                echo_request_id(
+                                    Response::error(503, "budget too burned to fan out")
+                                        .with_header("retry-after", "1".to_string()),
+                                    echo,
+                                )
+                            }
+                            _ => {
+                                recorder.note_degraded();
+                                recorder.note_brownout(BrownoutLevel::Fallback.as_u8());
+                                echo_request_id(
+                                    Response::ok(fallback_body.clone())
+                                        .with_header(DEGRADED_HEADER, "1".to_string())
+                                        .with_header(
+                                            BROWNOUT_HEADER,
+                                            BrownoutLevel::Fallback.as_u8().to_string(),
+                                        ),
+                                    echo,
+                                )
+                            }
+                        };
+                    } else if burned >= ladder.reduced_k_at {
+                        level = level.max(BrownoutLevel::ReducedK);
+                    } else if burned >= ladder.quantized_at {
+                        level = level.max(BrownoutLevel::Quantized);
+                    }
+                }
+                let leg_deadline_ms = remaining.as_millis().max(1).to_string();
+                let leg_budget = leg_budget.min(remaining);
 
                 // Scatter: one leg per shard group, concurrently. Each
                 // leg forwards the session body untouched and carries a
@@ -323,6 +455,18 @@ pub fn router_routes(
                             None => format!("{rid:016x}-s{i}"),
                         };
                         leg.headers.insert("x-request-id".into(), leg_id);
+                        // Decremented budget, inherited brownout level
+                        // and criticality ride every leg.
+                        leg.headers
+                            .insert(DEADLINE_HEADER.into(), leg_deadline_ms.clone());
+                        if level > BrownoutLevel::Exact {
+                            leg.headers
+                                .insert(BROWNOUT_HEADER.into(), level.as_u8().to_string());
+                        }
+                        if crit != Criticality::Normal {
+                            leg.headers
+                                .insert(Criticality::HEADER.into(), crit.name().to_string());
+                        }
                         if let Some(ctx) = &ctx {
                             let child = ctx.child(etude_obs::trace::span_hash(
                                 ctx.trace_id,
@@ -363,7 +507,11 @@ pub fn router_routes(
 
                 let t_ser = Instant::now();
                 let body = http::encode_recommendations(&ids, &scores);
-                let mut resp = Response::ok(body);
+                let mut resp =
+                    Response::ok(body).with_header(BROWNOUT_HEADER, level.as_u8().to_string());
+                if level > BrownoutLevel::Exact {
+                    recorder.note_brownout(level.as_u8());
+                }
                 if lost > 0 {
                     recorder.note_degraded();
                     resp = resp.with_header(DEGRADED_HEADER, lost.to_string());

@@ -55,6 +55,7 @@ fn quick_config() -> RouterConfig {
         breakers: None,
         hedge: None,
         seed: 0,
+        ..RouterConfig::default()
     }
 }
 
@@ -360,4 +361,118 @@ fn scatter_legs_carry_request_ids_even_for_anonymous_traffic() {
     for s in servers {
         s.shutdown();
     }
+}
+
+#[test]
+fn expired_deadline_sheds_before_fanout_and_at_the_leg() {
+    let table = table();
+    let mut topo = ShardTopology::partition(C, D, QUERY_SEED, 2);
+    let mut servers = Vec::new();
+    for i in 0..topo.groups.len() {
+        let (server, _) = backend(topo.shard_of(&table, i), topo.groups[i].id);
+        topo.groups[i].replicas.push(server.addr());
+        servers.push(server);
+    }
+    let recorder = Arc::new(Recorder::new());
+    let router = start(
+        ServerConfig::default(),
+        router_routes(topo, quick_config(), Arc::clone(&recorder)),
+    )
+    .unwrap();
+    let mut client = HttpClient::connect(router.addr()).unwrap();
+
+    // A zero budget is dead on arrival: shed at the router's edge,
+    // before any socket is touched.
+    let dead = Request::post("/predictions", "1,2,3".to_string()).with_header("x-deadline-ms", "0");
+    let resp = client.request(&dead).unwrap();
+    assert_eq!(resp.status, 503, "zero budget must shed, not fan out");
+    assert_eq!(recorder.shed_count(), 1);
+
+    // A healthy budget still answers, and the response carries the
+    // (exact) brownout level explicitly.
+    let ok =
+        Request::post("/predictions", "1,2,3".to_string()).with_header("x-deadline-ms", "5000");
+    let resp = client.request(&ok).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.headers.get("x-brownout-level").map(String::as_str),
+        Some("0")
+    );
+
+    // The shard leg enforces its own inherited budget too.
+    let mut direct = HttpClient::connect(servers[0].addr()).unwrap();
+    let leg = Request::post("/predictions", "1".to_string()).with_header("x-deadline-ms", "0");
+    assert_eq!(direct.request(&leg).unwrap().status, 503);
+
+    router.shutdown();
+    for s in servers {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn inherited_brownout_level_switches_legs_to_the_quantized_rung() {
+    use etude_models::retrieval::QuantizedIndex;
+
+    let table = table();
+    // A single group covering the whole catalog makes the quantized
+    // reference easy to compute exactly.
+    let mut topo = ShardTopology::partition(C, D, QUERY_SEED, 1);
+    let (server, shard_recorder) = backend(topo.shard_of(&table, 0), 0);
+    topo.groups[0].replicas.push(server.addr());
+
+    let recorder = Arc::new(Recorder::new());
+    let router = start(
+        ServerConfig::default(),
+        router_routes(topo, quick_config(), Arc::clone(&recorder)),
+    )
+    .unwrap();
+    let mut client = HttpClient::connect(router.addr()).unwrap();
+
+    // Level 1 (quantized): int8 scan, full k, level echoed back.
+    let req =
+        Request::post("/predictions", "1,2,3".to_string()).with_header("x-brownout-level", "1");
+    let resp = client.request(&req).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.headers.get("x-brownout-level").map(String::as_str),
+        Some("1")
+    );
+    let quant = QuantizedIndex::from_f32(&table, C, D);
+    let query = encode_session_query(&[1, 2, 3], D, QUERY_SEED);
+    let (ids, scores) = MipsIndex::search(&quant, &query, K);
+    assert_eq!(
+        &resp.body[..],
+        encode_recommendations(&ids, &scores).as_bytes(),
+        "inherited level 1 must serve the int8 scan's exact answer"
+    );
+
+    // Level 2 (reduced-k): k/4 results from the int8 scan.
+    let req =
+        Request::post("/predictions", "1,2,3".to_string()).with_header("x-brownout-level", "2");
+    let resp = client.request(&req).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.headers.get("x-brownout-level").map(String::as_str),
+        Some("2")
+    );
+    let got = String::from_utf8(resp.body.to_vec()).unwrap();
+    assert_eq!(
+        got.split(',').count(),
+        (K / 4).max(1),
+        "reduced-k rung trims the answer"
+    );
+
+    // Browned-out responses are visible on both recorders.
+    assert!(
+        recorder.brownout_counts()[0] >= 1,
+        "router counts quantized responses"
+    );
+    assert!(
+        shard_recorder.brownout_counts()[0] >= 1,
+        "shard counts quantized legs"
+    );
+
+    router.shutdown();
+    server.shutdown();
 }

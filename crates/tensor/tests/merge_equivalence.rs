@@ -190,3 +190,73 @@ proptest! {
         prop_assert_eq!(merged_bits, reference_bits);
     }
 }
+
+/// Degenerate inputs the property generators above never quite pin
+/// down exactly: these are the literal edge shapes the router can hand
+/// the merge, each checked for exact equality with the serial
+/// reference (or the empty answer where no reference exists).
+mod degenerate {
+    use super::*;
+
+    fn table(c: usize, d: usize) -> (Vec<f32>, Vec<f32>) {
+        let mut state = 0xfeed_5eed_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u64 << 23) as f32 - 1.0
+        };
+        let table: Vec<f32> = (0..c * d).map(|_| next()).collect();
+        let query: Vec<f32> = (0..d).map(|_| next()).collect();
+        (table, query)
+    }
+
+    /// k = 0 asks for nothing and must get exactly nothing — from the
+    /// merge and from the serial scan alike, whatever the partials hold.
+    #[test]
+    fn k_zero_yields_the_empty_answer() {
+        let (t, q) = table(40, 4);
+        let reference = score_topk(&t, &q, 40, 0);
+        assert!(reference.0.is_empty() && reference.1.is_empty());
+
+        let partials = shard_partials(&t, &q, 40, 5, 3);
+        let (ids, scores) = merge_shard_topk(&partials, 0);
+        assert!(ids.is_empty(), "k=0 returned ids: {ids:?}");
+        assert!(scores.is_empty(), "k=0 returned scores: {scores:?}");
+
+        // And with no partials at all.
+        let (ids, scores) = merge_shard_topk(&[], 0);
+        assert!(ids.is_empty() && scores.is_empty());
+    }
+
+    /// Every group present but empty — the shape a router sees when
+    /// all shards answered yet none owned a surviving row.
+    #[test]
+    fn all_empty_groups_yield_the_empty_answer() {
+        let partials: Vec<(Vec<u32>, Vec<f32>)> =
+            (0..4).map(|_| (Vec::new(), Vec::new())).collect();
+        let (ids, scores) = merge_shard_topk(&partials, 21);
+        assert!(ids.is_empty(), "empty groups returned ids: {ids:?}");
+        assert!(scores.is_empty());
+    }
+
+    /// One surviving group among empties: the merge must pass the
+    /// survivor's partial through bit-for-bit — same ids, same score
+    /// bits, same order as the serial scan over that slice.
+    #[test]
+    fn single_survivor_passes_through_exactly() {
+        let (t, q) = table(60, 6);
+        let k = 21;
+        let survivor = score_topk(&t, &q, 60, k);
+        let partials = vec![
+            (Vec::new(), Vec::new()),
+            (survivor.0.clone(), survivor.1.clone()),
+            (Vec::new(), Vec::new()),
+        ];
+        let (ids, scores) = merge_shard_topk(&partials, k);
+        assert_eq!(ids, survivor.0, "single-survivor ids diverged");
+        let bits: Vec<u32> = scores.iter().map(|s| s.to_bits()).collect();
+        let ref_bits: Vec<u32> = survivor.1.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(bits, ref_bits, "single-survivor score bits diverged");
+    }
+}

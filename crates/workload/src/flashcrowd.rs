@@ -1,0 +1,310 @@
+//! Flash-crowd and diurnal arrival schedules for overload experiments
+//! (DESIGN.md §16). The synthetic generator ([`crate::generator`])
+//! answers *what* a session looks like; this module answers *when*
+//! sessions arrive and *how important* each one is, so the overload
+//! bench and chaos tests can drive a server through a reproducible
+//! brownout.
+//!
+//! The arrival process is a nonhomogeneous Poisson process sampled by
+//! thinning against the peak rate. The instantaneous rate is
+//!
+//! ```text
+//! rate(t) = base_rps · (1 + A·sin(2πt/P)) · spike_multiplier(t)
+//! ```
+//!
+//! — a diurnal sinusoid with one or more multiplicative flash-crowd
+//! spikes layered on top. Item popularity *drifts* over the horizon:
+//! each request draws its session from either the base catalog
+//! distribution or a re-seeded (different Zipf realisation) one, with
+//! the drifted share ramping linearly from 0 to [`FlashCrowdSpec::drift`].
+//! Everything — arrival times, criticality classes, session content —
+//! derives from one seed, so two builds of the same spec are
+//! bit-identical and a chaos run can be replayed exactly.
+
+use crate::generator::{SyntheticWorkload, WorkloadConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// One multiplicative flash-crowd spike: for `duration` starting at
+/// `at`, the base (diurnal) rate is multiplied by `multiplier`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpikeSpec {
+    /// Spike onset, measured from schedule start.
+    pub at: Duration,
+    /// Spike length.
+    pub duration: Duration,
+    /// Rate multiplier while the spike is active (`>= 1`).
+    pub multiplier: f64,
+}
+
+/// A complete, seeded description of an overload workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlashCrowdSpec {
+    /// Baseline arrival rate in requests per second.
+    pub base_rps: f64,
+    /// Relative amplitude of the diurnal sinusoid in `[0, 1)`.
+    pub diurnal_amplitude: f64,
+    /// Period of the diurnal sinusoid (compressed for tests: a "day"
+    /// can be two seconds).
+    pub diurnal_period: Duration,
+    /// Flash-crowd spikes layered over the sinusoid.
+    pub spikes: Vec<SpikeSpec>,
+    /// Total schedule length.
+    pub horizon: Duration,
+    /// Traffic mix over the criticality classes
+    /// `[shed-first, normal, critical]`; normalised internally.
+    pub criticality_mix: [f64; 3],
+    /// Fraction of requests drawn from the *drifted* item popularity
+    /// distribution at the end of the horizon (linear ramp from 0).
+    pub drift: f64,
+    /// Session-content marginals (Algorithm 1).
+    pub workload: WorkloadConfig,
+    /// Master seed for arrivals, classes, and content streams.
+    pub seed: u64,
+}
+
+impl FlashCrowdSpec {
+    /// A compact flash-crowd: mild diurnal swing, one hard spike of
+    /// `multiplier`× covering the middle half of the horizon, 10%
+    /// shed-first / 70% normal / 20% critical traffic, mild drift.
+    pub fn flash(catalog_size: usize, base_rps: f64, multiplier: f64, horizon: Duration) -> Self {
+        FlashCrowdSpec {
+            base_rps,
+            diurnal_amplitude: 0.2,
+            diurnal_period: horizon,
+            spikes: vec![SpikeSpec {
+                at: horizon / 4,
+                duration: horizon / 2,
+                multiplier,
+            }],
+            horizon,
+            criticality_mix: [0.1, 0.7, 0.2],
+            drift: 0.25,
+            workload: WorkloadConfig::bolcom_like(catalog_size),
+            seed: 0,
+        }
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Instantaneous arrival rate at offset `t`.
+    pub fn rate_at(&self, t: Duration) -> f64 {
+        let secs = t.as_secs_f64();
+        let period = self.diurnal_period.as_secs_f64().max(1e-9);
+        let diurnal = 1.0 + self.diurnal_amplitude * (secs / period * std::f64::consts::TAU).sin();
+        let spike: f64 = self
+            .spikes
+            .iter()
+            .filter(|s| t >= s.at && t < s.at + s.duration)
+            .map(|s| s.multiplier)
+            .product();
+        (self.base_rps * diurnal * spike).max(0.0)
+    }
+
+    /// An upper bound on [`Self::rate_at`] over the whole horizon —
+    /// the thinning envelope.
+    pub fn peak_rate(&self) -> f64 {
+        let spike_peak: f64 = self.spikes.iter().map(|s| s.multiplier).fold(1.0, f64::max);
+        self.base_rps * (1.0 + self.diurnal_amplitude.abs()) * spike_peak
+    }
+
+    /// Materialises the full schedule. Deterministic in `self`: equal
+    /// specs yield byte-equal schedules.
+    pub fn schedule(&self) -> Vec<ScheduledRequest> {
+        let base = SyntheticWorkload::new(self.workload);
+        // The drifted distribution is a different Zipf *realisation*
+        // over the same catalog: same marginals, re-shuffled heads.
+        let drifted = SyntheticWorkload::new(
+            self.workload
+                .with_seed(self.workload.seed ^ 0xd1f7_0000_0000_00d1),
+        );
+        let mut base_stream = base.clicks(self.seed ^ 0xa5a5);
+        let mut drift_stream = drifted.clicks(self.seed ^ 0x5a5a);
+
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let lambda = self.peak_rate().max(1e-9);
+        let horizon = self.horizon.as_secs_f64();
+        let mix = normalise(self.criticality_mix);
+
+        let mut out = Vec::new();
+        let mut t = 0.0f64;
+        loop {
+            // Exponential inter-arrival at the envelope rate...
+            let u: f64 = rng.gen::<f64>();
+            t += -(1.0 - u).ln() / lambda;
+            if t >= horizon {
+                break;
+            }
+            let at = Duration::from_secs_f64(t);
+            // ...thinned down to the instantaneous rate.
+            let accept: f64 = rng.gen::<f64>();
+            if accept * lambda >= self.rate_at(at) {
+                continue;
+            }
+            let class: f64 = rng.gen::<f64>();
+            let criticality = pick_class(&mix, class);
+            let drift_p = self.drift.clamp(0.0, 1.0) * (t / horizon);
+            let coin: f64 = rng.gen::<f64>();
+            let stream = if coin < drift_p {
+                &mut drift_stream
+            } else {
+                &mut base_stream
+            };
+            out.push(ScheduledRequest {
+                at,
+                session: next_session(stream),
+                criticality,
+            });
+        }
+        out
+    }
+}
+
+/// One request on the wire-clock: when to send it, which session body,
+/// and which criticality class header to stamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledRequest {
+    /// Send offset from schedule start.
+    pub at: Duration,
+    /// Session item ids (all `< C`).
+    pub session: Vec<u32>,
+    /// Criticality class index: 0 = shed-first, 1 = normal, 2 = critical.
+    pub criticality: u8,
+}
+
+impl ScheduledRequest {
+    /// The `/predictions` body: comma-separated item ids.
+    pub fn body(&self) -> String {
+        let mut s = String::with_capacity(self.session.len() * 4);
+        for (i, item) in self.session.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&item.to_string());
+        }
+        s
+    }
+}
+
+fn normalise(mix: [f64; 3]) -> [f64; 3] {
+    let total: f64 = mix.iter().map(|m| m.max(0.0)).sum();
+    if total <= 0.0 {
+        return [0.0, 1.0, 0.0]; // default everything to `normal`
+    }
+    [
+        mix[0].max(0.0) / total,
+        mix[1].max(0.0) / total,
+        mix[2].max(0.0) / total,
+    ]
+}
+
+fn pick_class(mix: &[f64; 3], u: f64) -> u8 {
+    let mut acc = 0.0;
+    for (i, m) in mix.iter().enumerate() {
+        acc += m;
+        if u < acc {
+            return i as u8;
+        }
+    }
+    2
+}
+
+/// Pulls one whole session off an infinite click stream.
+fn next_session(stream: &mut crate::generator::ClickStream<'_>) -> Vec<u32> {
+    let mut items = Vec::new();
+    loop {
+        let click = stream.next().expect("stream is infinite");
+        items.push(click.item);
+        if stream.at_session_boundary() {
+            return items;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FlashCrowdSpec {
+        FlashCrowdSpec::flash(2_000, 200.0, 5.0, Duration::from_secs(4)).with_seed(7)
+    }
+
+    #[test]
+    fn same_spec_replays_bit_identically() {
+        let a = spec().schedule();
+        let b = spec().schedule();
+        assert_eq!(a, b, "equal specs must give byte-equal schedules");
+        let c = spec().with_seed(8).schedule();
+        assert_ne!(a, c, "a different seed must perturb the schedule");
+    }
+
+    #[test]
+    fn spike_window_is_denser_than_the_shoulders() {
+        let s = spec();
+        let schedule = s.schedule();
+        assert!(!schedule.is_empty());
+        let spike = &s.spikes[0];
+        let (mut inside, mut outside) = (0usize, 0usize);
+        for r in &schedule {
+            if r.at >= spike.at && r.at < spike.at + spike.duration {
+                inside += 1;
+            } else {
+                outside += 1;
+            }
+        }
+        // The spike covers half the horizon at 5× rate: the inside
+        // count must dominate by a wide margin, not just half/half.
+        assert!(
+            inside as f64 > 2.5 * outside as f64,
+            "spike density missing: {inside} in, {outside} out"
+        );
+    }
+
+    #[test]
+    fn rate_envelope_bounds_the_instantaneous_rate() {
+        let s = spec();
+        let peak = s.peak_rate();
+        for i in 0..400 {
+            let t = s.horizon * i / 400;
+            assert!(s.rate_at(t) <= peak + 1e-9, "rate above envelope at {t:?}");
+        }
+    }
+
+    #[test]
+    fn criticality_mix_and_catalog_bounds_hold() {
+        let s = spec();
+        let schedule = s.schedule();
+        let mut counts = [0usize; 3];
+        for r in &schedule {
+            counts[r.criticality as usize] += 1;
+            assert!(!r.session.is_empty());
+            assert!(r.session.iter().all(|&i| (i as usize) < 2_000));
+        }
+        let n = schedule.len() as f64;
+        assert!((counts[0] as f64 / n - 0.1).abs() < 0.05, "{counts:?}");
+        assert!((counts[1] as f64 / n - 0.7).abs() < 0.05, "{counts:?}");
+        assert!((counts[2] as f64 / n - 0.2).abs() < 0.05, "{counts:?}");
+    }
+
+    #[test]
+    fn body_round_trips_through_the_wire_format() {
+        let r = ScheduledRequest {
+            at: Duration::ZERO,
+            session: vec![3, 1, 4, 1, 5],
+            criticality: 1,
+        };
+        assert_eq!(r.body(), "3,1,4,1,5");
+    }
+
+    #[test]
+    fn zero_mix_defaults_to_normal() {
+        let mut s = spec();
+        s.criticality_mix = [0.0, 0.0, 0.0];
+        assert!(s.schedule().iter().all(|r| r.criticality == 1));
+    }
+}

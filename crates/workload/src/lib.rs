@@ -13,6 +13,8 @@
 //! * [`powerlaw`] — discrete bounded power-law sampling and maximum
 //!   likelihood exponent estimation,
 //! * [`ecdf`] — empirical CDFs with `O(log C)` inverse-transform sampling,
+//! * [`flashcrowd`] — seeded flash-crowd/diurnal arrival schedules with
+//!   Zipf drift and criticality classes, for overload experiments,
 //! * [`generator`] — Algorithm 1 itself, in batch and streaming forms
 //!   (the paper reports >1M clicks/second on one core at `C = 10^7`;
 //!   `cargo bench -p etude-bench --bench workload_gen` reproduces this),
@@ -23,6 +25,7 @@
 //! * [`session`] — click/session types and invariant helpers.
 
 pub mod ecdf;
+pub mod flashcrowd;
 pub mod generator;
 pub mod powerlaw;
 pub mod reallog;
@@ -30,6 +33,7 @@ pub mod session;
 pub mod stats;
 
 pub use ecdf::Ecdf;
+pub use flashcrowd::{FlashCrowdSpec, ScheduledRequest, SpikeSpec};
 pub use generator::{SyntheticWorkload, WorkloadConfig};
 pub use session::{Click, SessionLog};
 pub use stats::LogStatistics;

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Bench regression guard: compare every working-tree results/BENCH_*.json
+# against its committed (HEAD) baseline and fail on a p99 regression of
+# more than 15% (override with BENCH_DIFF_TOLERANCE_PCT).
+#
+# Rules, in order, per file:
+#   * not committed at HEAD            -> skipped (new bench, no baseline)
+#   * byte-identical to HEAD           -> skipped (no fresh run to judge)
+#   * "mode" differs (smoke vs full)   -> skipped (not comparable)
+#   * p99 count differs                -> skipped (bench shape changed)
+#   * any p99_us > baseline * (1+tol)  -> FAIL (with a 200us absolute
+#     floor so micro-stage jitter on single-digit p99s cannot trip it)
+#
+# Exit 0 when nothing regressed, 1 otherwise. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOL_PCT="${BENCH_DIFF_TOLERANCE_PCT:-15}"
+FLOOR_US=200
+FAILED=0
+CHECKED=0
+
+extract_p99() {
+    # Ordered p99_us values, one per line.
+    grep -o '"p99_us": *[0-9][0-9]*' | grep -o '[0-9][0-9]*$' || true
+}
+
+extract_mode() {
+    grep -o '"mode": *"[a-z]*"' | head -1 | grep -o '"[a-z]*"$' || true
+}
+
+for file in results/BENCH_*.json; do
+    [ -e "$file" ] || continue
+    if ! base=$(git show "HEAD:$file" 2>/dev/null); then
+        echo "bench_diff: $file — no committed baseline, skipping"
+        continue
+    fi
+    if printf '%s' "$base" | cmp -s - "$file"; then
+        continue # unchanged since HEAD: nothing new to judge
+    fi
+    base_mode=$(printf '%s' "$base" | extract_mode)
+    cur_mode=$(extract_mode <"$file")
+    if [ "$base_mode" != "$cur_mode" ]; then
+        echo "bench_diff: $file — mode $base_mode -> $cur_mode, not comparable, skipping"
+        continue
+    fi
+    base_p99=$(printf '%s' "$base" | extract_p99)
+    cur_p99=$(extract_p99 <"$file")
+    if [ -z "$base_p99" ] && [ -z "$cur_p99" ]; then
+        continue # bench carries no p99s: out of scope
+    fi
+    if [ "$(printf '%s\n' "$base_p99" | wc -l)" != "$(printf '%s\n' "$cur_p99" | wc -l)" ]; then
+        echo "bench_diff: $file — p99 count changed, bench shape differs, skipping"
+        continue
+    fi
+    CHECKED=$((CHECKED + 1))
+    # Pairwise compare in emission order.
+    verdict=$(paste <(printf '%s\n' "$base_p99") <(printf '%s\n' "$cur_p99") |
+        awk -v tol="$TOL_PCT" -v floor="$FLOOR_US" '
+            {
+                limit = $1 * (1 + tol / 100);
+                if ($2 > limit && $2 > $1 + floor) {
+                    printf "  p99 #%d regressed: %dus -> %dus (>%s%% over baseline)\n",
+                           NR, $1, $2, tol;
+                    bad = 1;
+                }
+            }
+            END { exit bad ? 1 : 0 }
+        ') && status=0 || status=1
+    if [ "$status" = "1" ]; then
+        echo "bench_diff: FAIL $file"
+        printf '%s\n' "$verdict"
+        FAILED=1
+    else
+        echo "bench_diff: OK   $file (within ${TOL_PCT}% of baseline)"
+    fi
+done
+
+if [ "$FAILED" = "1" ]; then
+    echo "bench_diff: p99 regression detected"
+    exit 1
+fi
+echo "bench_diff: no regressions ($CHECKED file(s) compared)"

@@ -14,6 +14,9 @@
 # Pass --reactor to add the reactor/continuous-batching stage (protocol
 # parity suite, batching equivalence proptests, saturation shed
 # regression, smoke saturation bench).
+# Pass --overload to add the overload-control stage (flash-crowd chaos
+# acceptance + bit-identical replay, admission/ladder unit suites,
+# smoke brownout-ladder sweep, bench_diff regression guard).
 # The --profile stage (continuous profiler, reactor telemetry, tail
 # forensics: reactor under load, /debug/profile + /debug/slow scrapes,
 # loop utilization in (0,1], zero-allocation gates) runs as part of the
@@ -27,6 +30,7 @@ SELFHEAL=0
 SIMD=0
 SCATTER=0
 REACTOR=0
+OVERLOAD=0
 PROFILE=1
 for arg in "$@"; do
     case "$arg" in
@@ -36,6 +40,7 @@ for arg in "$@"; do
         --simd) SIMD=1 ;;
         --scatter) SCATTER=1 ;;
         --reactor) REACTOR=1 ;;
+        --overload) OVERLOAD=1 ;;
         --profile) PROFILE=1 ;;
         *) echo "unknown flag: $arg" >&2; exit 2 ;;
     esac
@@ -112,6 +117,20 @@ if [ "$REACTOR" = "1" ]; then
     cargo run --release -q -p etude-bench --bin saturation -- --smoke
     echo "==> checking results/BENCH_saturation.json was produced"
     grep -q '"bench": "saturation"' results/BENCH_saturation.json
+fi
+
+if [ "$OVERLOAD" = "1" ]; then
+    echo "==> admission controller + brownout ladder unit suites"
+    cargo test -q -p etude-control admission
+    cargo test -q -p etude-serve overload
+    echo "==> flash-crowd chaos acceptance (critical goodput, priority sheds, replay)"
+    cargo test -q --release -p etude-loadgen --test overload
+    echo "==> overload_brownout --smoke (off / admission / full-ladder sweep)"
+    cargo run --release -q -p etude-bench --bin overload_brownout -- --smoke
+    echo "==> checking results/BENCH_overload.json was produced"
+    grep -q '"bench": "overload_brownout"' results/BENCH_overload.json
+    echo "==> bench_diff (p99 regression guard vs committed results)"
+    scripts/bench_diff.sh
 fi
 
 if [ "$PROFILE" = "1" ]; then
